@@ -1,0 +1,192 @@
+#ifndef QPE_BENCH_BENCH_COMMON_H_
+#define QPE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench is
+// a standalone binary printing the same rows/series the paper reports;
+// flags scale the experiment up toward paper-sized runs.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/lhs_sampler.h"
+#include "data/datasets.h"
+#include "encoder/performance_encoder.h"
+#include "simdb/workload_runner.h"
+#include "simdb/workloads.h"
+#include "tasks/embeddings.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace qpe::bench {
+
+// Minimal --flag value parsing.
+inline double FlagDouble(int argc, char** argv, const char* name,
+                         double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+inline int FlagInt(int argc, char** argv, const char* name, int fallback) {
+  return static_cast<int>(FlagDouble(argc, argv, name, fallback));
+}
+
+// Runs all (or selected) templates of a workload across LHS configurations.
+inline std::vector<simdb::ExecutedQuery> RunBenchmark(
+    const simdb::BenchmarkWorkload& workload, int num_configs,
+    int instances_per_template, uint64_t seed) {
+  config::LhsSampler sampler((util::Rng(seed)));
+  const auto configs = sampler.Sample(num_configs);
+  simdb::RunOptions options;
+  options.instances_per_template = instances_per_template;
+  options.seed = seed + 1;
+  return simdb::RunWorkload(workload, configs, options);
+}
+
+// Deterministic train/test split by record index.
+inline void SplitRecords(const std::vector<simdb::ExecutedQuery>& all,
+                         int test_every,
+                         std::vector<simdb::ExecutedQuery>* train,
+                         std::vector<simdb::ExecutedQuery>* test) {
+  for (size_t i = 0; i < all.size(); ++i) {
+    (static_cast<int>(i) % test_every == 0 ? test : train)
+        ->push_back(all[i].Clone());
+  }
+}
+
+// Per-operator-group performance encoders pretrained on executed queries.
+struct PerfEncoderSet {
+  std::vector<std::unique_ptr<encoder::PerformanceEncoder>> encoders;
+  // Training history per group (empty when the group had too few samples).
+  std::vector<std::vector<encoder::PerfEpochStats>> histories;
+
+  void FillFeaturizerConfig(tasks::EmbeddingFeaturizer::Config* config) const {
+    for (int g = 0; g < 4; ++g) {
+      config->performance[g] = encoders[g].get();
+    }
+  }
+};
+
+inline PerfEncoderSet PretrainPerfEncoders(
+    const std::vector<simdb::ExecutedQuery>& executed,
+    const catalog::Catalog& catalog, int epochs, uint64_t seed,
+    const encoder::PerfEncoderConfig& config = {}) {
+  PerfEncoderSet set;
+  util::Rng rng(seed);
+  for (int g = 0; g < 4; ++g) {
+    set.encoders.push_back(
+        std::make_unique<encoder::PerformanceEncoder>(config, &rng));
+    auto samples = data::ExtractOperatorSamples(
+        executed, catalog, static_cast<plan::OperatorGroup>(g));
+    std::vector<encoder::PerfEpochStats> history;
+    if (samples.size() >= 30) {
+      auto dataset = data::SplitOperatorSamples(std::move(samples), seed + g);
+      encoder::PerfTrainOptions options;
+      options.epochs = epochs;
+      options.seed = seed + 10 + g;
+      history = encoder::TrainPerformanceEncoder(set.encoders.back().get(),
+                                                 dataset, options);
+    }
+    set.histories.push_back(std::move(history));
+  }
+  return set;
+}
+
+// Mixed-workload per-operator pretraining data (paper §6.2: TPC-H and
+// TPC-DS at several scale factors, each on LHS-sampled configurations).
+inline std::vector<data::OperatorDataset> BuildPerfPretrainData(
+    const std::vector<double>& scale_factors, int configs_per_workload,
+    uint64_t seed) {
+  std::vector<data::OperatorSample> samples[4];
+  int salt = 0;
+  for (double sf : scale_factors) {
+    simdb::TpchWorkload tpch(sf);
+    simdb::TpcdsWorkload tpcds(sf);
+    for (const simdb::BenchmarkWorkload* workload :
+         {static_cast<const simdb::BenchmarkWorkload*>(&tpch),
+          static_cast<const simdb::BenchmarkWorkload*>(&tpcds)}) {
+      const auto records =
+          RunBenchmark(*workload, configs_per_workload, 1, seed + salt++);
+      for (int g = 0; g < 4; ++g) {
+        auto extracted = data::ExtractOperatorSamples(
+            records, workload->GetCatalog(),
+            static_cast<plan::OperatorGroup>(g));
+        for (auto& sample : extracted) samples[g].push_back(std::move(sample));
+      }
+    }
+  }
+  std::vector<data::OperatorDataset> datasets;
+  for (int g = 0; g < 4; ++g) {
+    datasets.push_back(
+        data::SplitOperatorSamples(std::move(samples[g]), seed + 100 + g));
+  }
+  return datasets;
+}
+
+// Per-operator finetuning data from a single target workload.
+inline std::vector<data::OperatorDataset> BuildPerfFinetuneData(
+    const simdb::BenchmarkWorkload& workload, int num_configs, uint64_t seed,
+    int max_train_samples = 2000, int max_test_samples = 500) {
+  const auto records = RunBenchmark(workload, num_configs, 1, seed);
+  std::vector<data::OperatorDataset> datasets;
+  for (int g = 0; g < 4; ++g) {
+    auto samples = data::ExtractOperatorSamples(
+        records, workload.GetCatalog(), static_cast<plan::OperatorGroup>(g));
+    auto dataset = data::SplitOperatorSamples(std::move(samples), seed + g,
+                                              /*val_fraction=*/0.15,
+                                              /*test_fraction=*/0.2);
+    if (static_cast<int>(dataset.train.size()) > max_train_samples) {
+      dataset.train.resize(max_train_samples);
+    }
+    if (static_cast<int>(dataset.test.size()) > max_test_samples) {
+      dataset.test.resize(max_test_samples);
+    }
+    datasets.push_back(std::move(dataset));
+  }
+  return datasets;
+}
+
+// Truncates a dataset's training split to the given fraction.
+inline data::OperatorDataset FractionOf(const data::OperatorDataset& dataset,
+                                        double fraction) {
+  data::OperatorDataset out;
+  const size_t keep = static_cast<size_t>(dataset.train.size() * fraction);
+  for (size_t i = 0; i < keep; ++i) out.train.push_back(dataset.train[i]);
+  out.val = dataset.val;
+  out.test = dataset.test;
+  return out;
+}
+
+// Per-template MAE aggregation: groups test records by template and reports
+// the MAE of `predict` against observed latency.
+template <typename PredictFn>
+std::vector<std::pair<int, double>> PerTemplateMae(
+    const std::vector<simdb::ExecutedQuery>& test, PredictFn&& predict) {
+  std::vector<std::pair<int, double>> result;
+  std::vector<int> templates;
+  for (const auto& record : test) {
+    bool seen = false;
+    for (int t : templates) seen = seen || t == record.template_index;
+    if (!seen) templates.push_back(record.template_index);
+  }
+  for (int t : templates) {
+    double total = 0;
+    int count = 0;
+    for (const auto& record : test) {
+      if (record.template_index != t) continue;
+      total += std::abs(predict(record) - record.latency_ms);
+      ++count;
+    }
+    result.emplace_back(t, count > 0 ? total / count : 0.0);
+  }
+  return result;
+}
+
+}  // namespace qpe::bench
+
+#endif  // QPE_BENCH_BENCH_COMMON_H_

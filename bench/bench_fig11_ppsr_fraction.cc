@@ -1,0 +1,101 @@
+// Reproduces paper Figure 11: plan-pair regression MAE as a function of the
+// fraction of target-domain training data, pretrained (on the corpus) vs
+// no-pretraining, per domain. Shape to match: pretraining wins at small
+// fractions on TPC-H/TPC-DS and converges by ~0.3; on SPATIAL the gap is
+// small.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "encoder/ppsr.h"
+#include "nn/serialize.h"
+
+int main(int argc, char** argv) {
+  const int corpus_pairs = qpe::bench::FlagInt(argc, argv, "--corpus-pairs", 600);
+  const int domain_pairs = qpe::bench::FlagInt(argc, argv, "--domain-pairs", 300);
+  const int pretrain_epochs = qpe::bench::FlagInt(argc, argv, "--pretrain-epochs", 3);
+  const int finetune_epochs = qpe::bench::FlagInt(argc, argv, "--finetune-epochs", 3);
+
+  const std::vector<double> kFractions = {0.1, 0.3, 0.5, 0.7, 1.0};
+
+  std::cout << "Figure 11: PPSR MAE vs fraction of training data "
+               "(pretrained vs scratch)\n\n";
+
+  qpe::data::PairDatasetOptions corpus_options;
+  corpus_options.num_pairs = corpus_pairs;
+  corpus_options.corpus.max_nodes = 40;
+  const auto corpus = qpe::data::BuildCorpusPairDataset(corpus_options);
+
+  qpe::util::Rng rng(29);
+  qpe::encoder::StructureEncoderConfig config;
+  config.dropout = 0.0f;
+  // Pretrain the transformer encoder once.
+  qpe::encoder::PpsrModel pretrained(
+      std::make_unique<qpe::encoder::TransformerPlanEncoder>(config, &rng),
+      &rng);
+  qpe::encoder::PpsrTrainOptions pretrain_options;
+  pretrain_options.epochs = pretrain_epochs;
+  qpe::encoder::TrainPpsr(&pretrained, corpus.train, pretrain_options);
+
+  qpe::simdb::TpchWorkload tpch(0.5);
+  qpe::simdb::TpcdsWorkload tpcds(0.5);
+  qpe::simdb::SpatialWorkload spatial(0.1);
+  struct Domain {
+    const char* name;
+    const qpe::simdb::BenchmarkWorkload* workload;
+    uint64_t seed;
+  };
+  const std::vector<Domain> domains = {
+      {"TPC-H", &tpch, 71}, {"TPC-DS", &tpcds, 72}, {"SPATIAL", &spatial, 73}};
+
+  for (const Domain& domain : domains) {
+    qpe::data::PairDatasetOptions options;
+    options.num_pairs = domain_pairs;
+    options.seed = domain.seed;
+    const auto pairs =
+        qpe::data::BuildWorkloadPairDataset(*domain.workload, options);
+
+    qpe::util::TablePrinter table(
+        {"fraction", "pretrained MAE", "scratch MAE"});
+    for (double fraction : kFractions) {
+      std::vector<qpe::data::PlanPair> subset;
+      const size_t keep = static_cast<size_t>(pairs.train.size() * fraction);
+      for (size_t i = 0; i < keep; ++i) {
+        qpe::data::PlanPair pair;
+        pair.left = pairs.train[i].left->Clone();
+        pair.right = pairs.train[i].right->Clone();
+        pair.smatch = pairs.train[i].smatch;
+        subset.push_back(std::move(pair));
+      }
+      qpe::encoder::PpsrTrainOptions finetune_options;
+      finetune_options.epochs = finetune_epochs;
+
+      qpe::encoder::PpsrModel finetuned(
+          std::make_unique<qpe::encoder::TransformerPlanEncoder>(config, &rng),
+          &rng);
+      qpe::nn::CopyParameters(pretrained, &finetuned);
+      qpe::encoder::TrainPpsr(&finetuned, subset, finetune_options);
+
+      qpe::encoder::PpsrModel scratch(
+          std::make_unique<qpe::encoder::TransformerPlanEncoder>(config, &rng),
+          &rng);
+      qpe::encoder::PpsrTrainOptions scratch_options = finetune_options;
+      scratch_options.epochs = finetune_epochs + pretrain_epochs;
+      qpe::encoder::TrainPpsr(&scratch, subset, scratch_options);
+
+      table.AddRow({qpe::util::TablePrinter::Num(fraction, 1),
+                    qpe::util::TablePrinter::Num(
+                        qpe::encoder::EvaluatePpsrMae(finetuned, pairs.test), 4),
+                    qpe::util::TablePrinter::Num(
+                        qpe::encoder::EvaluatePpsrMae(scratch, pairs.test), 4)});
+    }
+    std::cout << "--- " << domain.name << " ---\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Paper shape: pretrained curve sits below scratch at small "
+               "fractions, with the gap closing as the fraction grows.\n";
+  return 0;
+}

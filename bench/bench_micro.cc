@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) of the library's hot paths: Smatch
+// scoring, plan linearization, physical planning, executor simulation,
+// structure-encoder inference, and performance-encoder inference.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "config/db_config.h"
+#include "data/datasets.h"
+#include "data/features.h"
+#include "data/plan_corpus.h"
+#include "encoder/performance_encoder.h"
+#include "encoder/structure_encoder.h"
+#include "plan/linearize.h"
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "simdb/workloads.h"
+#include "smatch/smatch.h"
+
+namespace {
+
+std::unique_ptr<qpe::plan::PlanNode> MakePlan(int nodes, uint64_t seed) {
+  qpe::data::CorpusOptions options;
+  options.min_nodes = nodes;
+  options.max_nodes = nodes + 4;
+  qpe::data::RandomPlanGenerator generator(qpe::util::Rng(seed), options);
+  return generator.Generate();
+}
+
+void BM_SmatchScore(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const auto a = MakePlan(nodes, 1);
+  const auto b = MakePlan(nodes, 2);
+  const auto fa = qpe::smatch::Flatten(*a);
+  const auto fb = qpe::smatch::Flatten(*b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qpe::smatch::Score(fa, fb).f1);
+  }
+}
+BENCHMARK(BM_SmatchScore)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_SmatchExact(benchmark::State& state) {
+  const auto a = MakePlan(7, 3);
+  const auto b = MakePlan(7, 4);
+  const auto fa = qpe::smatch::Flatten(*a);
+  const auto fb = qpe::smatch::Flatten(*b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qpe::smatch::ScoreExact(fa, fb).f1);
+  }
+}
+BENCHMARK(BM_SmatchExact);
+
+void BM_LinearizeDfsBracket(benchmark::State& state) {
+  const auto plan = MakePlan(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qpe::plan::LinearizeDfsBracket(*plan));
+  }
+}
+BENCHMARK(BM_LinearizeDfsBracket)->Arg(20)->Arg(100);
+
+void BM_PlannerTpchQ5(benchmark::State& state) {
+  qpe::simdb::TpchWorkload tpch(1.0);
+  qpe::config::DbConfig db_config;
+  qpe::simdb::Planner planner(&tpch.GetCatalog(), &db_config);
+  qpe::util::Rng rng(6);
+  const qpe::simdb::QuerySpec spec = tpch.Instantiate(4, &rng);  // Q5, 6-way
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.PlanQuery(spec).NumNodes());
+  }
+}
+BENCHMARK(BM_PlannerTpchQ5);
+
+void BM_ExecutorTpchQ5(benchmark::State& state) {
+  qpe::simdb::TpchWorkload tpch(1.0);
+  qpe::config::DbConfig db_config;
+  qpe::simdb::Planner planner(&tpch.GetCatalog(), &db_config);
+  qpe::simdb::ExecutorSim executor(&tpch.GetCatalog(), &db_config);
+  qpe::util::Rng rng(6);
+  const qpe::simdb::QuerySpec spec = tpch.Instantiate(4, &rng);
+  qpe::util::Rng noise(1);
+  for (auto _ : state) {
+    qpe::plan::Plan planned = planner.PlanQuery(spec);
+    benchmark::DoNotOptimize(
+        executor.Execute(&planned, spec.cardinality_seed, &noise));
+  }
+}
+BENCHMARK(BM_ExecutorTpchQ5);
+
+void BM_StructureEncoderInference(benchmark::State& state) {
+  qpe::util::Rng rng(7);
+  qpe::encoder::StructureEncoderConfig config;
+  qpe::encoder::TransformerPlanEncoder encoder(config, &rng);
+  const auto plan = MakePlan(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode(*plan, nullptr).at(0, 0));
+  }
+}
+BENCHMARK(BM_StructureEncoderInference)->Arg(20)->Arg(60);
+
+void BM_PerfEncoderInference(benchmark::State& state) {
+  qpe::util::Rng rng(9);
+  qpe::encoder::PerformanceEncoder model({}, &rng);
+  std::vector<qpe::data::OperatorSample> samples(state.range(0));
+  for (auto& sample : samples) {
+    sample.node_features.assign(qpe::data::kNodeFeatureDim, 0.1);
+    sample.meta_features.assign(qpe::catalog::Catalog::kMetaFeatureDim, 0.2);
+    sample.db_features.assign(qpe::config::DbConfig::FeatureDim(), 0.3);
+  }
+  std::vector<int> all(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) all[i] = static_cast<int>(i);
+  for (auto _ : state) {
+    const auto batch = qpe::encoder::MakePerfBatch(samples, all);
+    benchmark::DoNotOptimize(
+        model.PredictLabels(model.Embed(batch.node, batch.meta, batch.db))
+            .at(0, 0));
+  }
+}
+BENCHMARK(BM_PerfEncoderInference)->Arg(1)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

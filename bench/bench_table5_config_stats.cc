@@ -1,0 +1,64 @@
+// Reproduces paper Table 5: statistics (median / 95th / 5th percentile) of
+// the database configuration settings generated for training data via Latin
+// Hypercube Sampling. Paper reference values are printed alongside for
+// direct comparison — the shape to match is: medians near the range
+// midpoints, percentiles near the range edges.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "config/db_config.h"
+#include "config/lhs_sampler.h"
+
+int main(int argc, char** argv) {
+  using qpe::util::TablePrinter;
+  const int n = qpe::bench::FlagInt(argc, argv, "--configs", 120);
+
+  // Paper Table 5 (median, 95th, 5th), indexed in canonical knob order.
+  struct PaperRow {
+    double median, p95, p5;
+  };
+  const PaperRow kPaper[qpe::config::kNumKnobs] = {
+      {4860.00, 9421.05, 456.00},
+      {515.00, 958.05, 55.00},
+      {300.00, 540.00, 60.00},
+      {300000.00, 540000.00, 26000.00},
+      {4827.50, 9563.00, 454.85},
+      {1048576.00, 1966080.00, 131072.00},
+      {52.00, 96.00, 6.00},
+      {7340032.00, 15728640.00, 876953.60},
+      {3072.00, 5120.00, 417.95},
+      {5028.60, 9507.39, 560.40},
+      {2097152.00, 3932160.00, 131072.00},
+      {130624.00, 131072.00, 12416.00},
+      {15728640.00, 31457280.00, 1048576.00},
+  };
+
+  qpe::config::LhsSampler sampler((qpe::util::Rng(2021)));
+  const auto configs = sampler.Sample(n);
+
+  std::cout << "Table 5: statistics of " << n
+            << " LHS-generated configurations (measured vs paper)\n\n";
+  TablePrinter table({"Database Setting", "Unit", "Median", "95th", "5th",
+                      "Paper Median", "Paper 95th", "Paper 5th"});
+  for (int k = 0; k < qpe::config::kNumKnobs; ++k) {
+    const auto& info = qpe::config::KnobTable()[k];
+    std::vector<double> values;
+    values.reserve(configs.size());
+    for (const auto& config : configs) {
+      values.push_back(config.Get(static_cast<qpe::config::Knob>(k)));
+    }
+    table.AddRow({info.name, info.unit,
+                  TablePrinter::Num(qpe::util::Median(values), 2),
+                  TablePrinter::Num(qpe::util::Percentile(values, 95), 2),
+                  TablePrinter::Num(qpe::util::Percentile(values, 5), 2),
+                  TablePrinter::Num(kPaper[k].median, 2),
+                  TablePrinter::Num(kPaper[k].p95, 2),
+                  TablePrinter::Num(kPaper[k].p5, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nNote: wal_buffers saturates at its maximum in the paper "
+               "(95th == max); our range reproduces the same saturation "
+               "shape.\n";
+  return 0;
+}

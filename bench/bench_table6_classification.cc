@@ -1,0 +1,155 @@
+// Reproduces paper Table 6: query classification accuracy on the Join Order
+// Benchmark (113 templates, 33 clusters) — template and cluster accuracy on
+// dev and test for Structure-Only / Performance-Only / Both, plus Both
+// trained on 0.1 and 0.3 fractions of the data. Shape to match: structure
+// dominates; adding performance helps by a few points; both generalizes
+// best; cluster accuracy well above template accuracy; small-fraction
+// training stays respectable.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "encoder/ppsr.h"
+#include "tasks/classifier.h"
+
+namespace {
+
+struct Splits {
+  std::vector<std::vector<float>> train_x, dev_x, test_x;
+  std::vector<int> train_y, dev_y, test_y;
+};
+
+Splits SplitFeatures(const std::vector<std::vector<float>>& features,
+                     const std::vector<int>& labels, uint64_t seed) {
+  // Paper split 13505/1362/1362 ~= 0.83/0.085/0.085.
+  qpe::util::Rng rng(seed);
+  std::vector<int> main_idx, dev_idx, test_idx;
+  qpe::data::SplitIndices(static_cast<int>(features.size()), 0.085, 0.085,
+                          &rng, &main_idx, &dev_idx, &test_idx);
+  Splits splits;
+  for (int i : main_idx) {
+    splits.train_x.push_back(features[i]);
+    splits.train_y.push_back(labels[i]);
+  }
+  for (int i : dev_idx) {
+    splits.dev_x.push_back(features[i]);
+    splits.dev_y.push_back(labels[i]);
+  }
+  for (int i : test_idx) {
+    splits.test_x.push_back(features[i]);
+    splits.test_y.push_back(labels[i]);
+  }
+  return splits;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_configs = qpe::bench::FlagInt(argc, argv, "--configs", 12);
+  const int epochs = qpe::bench::FlagInt(argc, argv, "--epochs", 30);
+  const int ppsr_pairs = qpe::bench::FlagInt(argc, argv, "--ppsr-pairs", 300);
+
+  qpe::simdb::JobWorkload job;
+  std::cout << "Table 6: query classification on the Join Order Benchmark "
+               "(113 templates / 33 clusters, " << num_configs
+            << " configurations -> " << 113 * num_configs << " plans)\n\n";
+
+  const auto executed = qpe::bench::RunBenchmark(job, num_configs, 1, 4021);
+
+  // Pretrained encoders: structure on the corpus PPSR task, performance on
+  // out-of-domain TPC-H executions (the paper pretrains on the crowdsourced
+  // corpus and TPC-H/TPC-DS respectively).
+  qpe::util::Rng rng(2);
+  qpe::encoder::StructureEncoderConfig s_config;
+  s_config.dropout = 0.0f;
+  auto structure_encoder =
+      std::make_unique<qpe::encoder::TransformerPlanEncoder>(s_config, &rng);
+  {
+    qpe::data::PairDatasetOptions pair_options;
+    pair_options.num_pairs = ppsr_pairs;
+    pair_options.corpus.max_nodes = 40;
+    const auto pairs = qpe::data::BuildCorpusPairDataset(pair_options);
+    qpe::encoder::PpsrModel ppsr(std::move(structure_encoder), &rng);
+    qpe::encoder::PpsrTrainOptions ppsr_options;
+    ppsr_options.epochs = 2;
+    qpe::encoder::TrainPpsr(&ppsr, pairs.train, ppsr_options);
+    // Performance encoders pretrained out-of-domain (TPC-H/TPC-DS), as in
+    // the paper — their JOB embeddings are transfer features, not features
+    // fit to JOB itself.
+    qpe::simdb::TpchWorkload tpch(0.2);
+    const auto tpch_executed = qpe::bench::RunBenchmark(tpch, 10, 1, 5150);
+    auto perf = qpe::bench::PretrainPerfEncoders(
+        tpch_executed, tpch.GetCatalog(), /*epochs=*/20, 33);
+
+    // Featurize with three configurations: structure-only, perf-only, both.
+    qpe::tasks::EmbeddingFeaturizer::Config structure_only;
+    structure_only.structure = ppsr.encoder();
+    structure_only.catalog = &job.GetCatalog();
+    structure_only.include_db_features = false;
+    qpe::tasks::EmbeddingFeaturizer::Config perf_only;
+    perf_only.catalog = &job.GetCatalog();
+    perf.FillFeaturizerConfig(&perf_only);
+    perf_only.include_db_features = false;
+    // Classification consumes the C(p) embeddings themselves, not the
+    // latency-head predictions (those are a latency-task feature).
+    perf_only.include_group_predictions = false;
+    qpe::tasks::EmbeddingFeaturizer::Config both = perf_only;
+    both.structure = ppsr.encoder();
+
+    std::vector<int> labels;
+    for (const auto& record : executed) labels.push_back(record.template_index);
+    std::vector<int> template_to_cluster(job.NumTemplates());
+    for (int t = 0; t < job.NumTemplates(); ++t) {
+      template_to_cluster[t] = job.ClusterOf(t);
+    }
+
+    qpe::util::TablePrinter table({"Methods", "dev template", "dev cluster",
+                                   "test template", "test cluster"});
+    auto run = [&](const std::string& name,
+                   const qpe::tasks::EmbeddingFeaturizer::Config& f_config,
+                   double fraction) {
+      qpe::tasks::EmbeddingFeaturizer featurizer(f_config);
+      const auto features = featurizer.FeaturizeAll(executed);
+      Splits splits = SplitFeatures(features, labels, 11);
+      if (fraction < 1.0) {
+        const size_t keep =
+            static_cast<size_t>(splits.train_x.size() * fraction);
+        splits.train_x.resize(keep);
+        splits.train_y.resize(keep);
+      }
+      qpe::tasks::QueryClassifier::Config c_config;
+      c_config.feature_dim = featurizer.FeatureDim();
+      c_config.hidden_dim = 96;
+      c_config.template_to_cluster = template_to_cluster;
+      qpe::util::Rng c_rng(7);
+      qpe::tasks::QueryClassifier classifier(c_config, &c_rng);
+      qpe::tasks::QueryClassifier::TrainOptions options;
+      options.epochs = epochs;
+      classifier.Train(splits.train_x, splits.train_y, options);
+      const auto dev = classifier.Evaluate(splits.dev_x, splits.dev_y);
+      const auto test = classifier.Evaluate(splits.test_x, splits.test_y);
+      table.AddRow({name,
+                    qpe::util::TablePrinter::Num(dev.template_accuracy, 4),
+                    qpe::util::TablePrinter::Num(dev.cluster_accuracy, 4),
+                    qpe::util::TablePrinter::Num(test.template_accuracy, 4),
+                    qpe::util::TablePrinter::Num(test.cluster_accuracy, 4)});
+    };
+
+    run("Structure-Only", structure_only, 1.0);
+    run("Performance-Only", perf_only, 1.0);
+    run("Both", both, 1.0);
+    run("Both0.1", both, 0.1);
+    run("Both0.3", both, 0.3);
+    table.Print(std::cout);
+  }
+
+  std::cout << "\nPaper reference (Table 6):\n"
+               "  Structure-Only   dev 0.2452/0.4670  test 0.1946/0.3847\n"
+               "  Performance-Only dev 0.1645/0.2973  test 0.0977/0.1769\n"
+               "  Both             dev 0.2783/0.5573  test 0.2518/0.4647\n"
+               "  Both0.1          dev 0.2000/0.4927  test 0.1510/0.3340\n"
+               "  Both0.3          dev 0.2555/0.5228  test 0.1843/0.3855\n";
+  return 0;
+}

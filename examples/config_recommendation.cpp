@@ -1,0 +1,123 @@
+// Configuration recommendation — the paper's motivating application (§1):
+// once a latency model understands a workload's knob response, candidate
+// configurations can be ranked *offline*, without running the workload.
+// This example trains the latency model on a TPC-H workload under observed
+// configurations, then scores a fresh pool of LHS-sampled candidates by
+// predicted total workload latency and compares the recommendation against
+// the true best (which the simulator can reveal).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "config/lhs_sampler.h"
+#include "data/datasets.h"
+#include "encoder/performance_encoder.h"
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "simdb/workload_runner.h"
+#include "simdb/workloads.h"
+#include "tasks/embeddings.h"
+#include "tasks/latency_model.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  const int observed_configs = argc > 1 ? std::atoi(argv[1]) : 40;
+  const int candidate_configs = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  qpe::simdb::TpchWorkload tpch(0.1);
+  // The "workload" is a weighted subset of templates (paper §2.1).
+  const std::vector<int> workload_templates = {2, 4, 8, 17};
+
+  std::cout << "Config recommendation for a TPC-H sub-workload (templates "
+               "Q3, Q5, Q9, Q18)\n\n";
+
+  // --- Observe the workload under LHS-sampled configurations --------------
+  qpe::config::LhsSampler sampler((qpe::util::Rng(31)));
+  qpe::simdb::RunOptions run_options;
+  run_options.seed = 777;
+  const auto observed = qpe::simdb::RunWorkloadTemplates(
+      tpch, workload_templates, sampler.Sample(observed_configs), run_options);
+
+  // --- Train the latency model -------------------------------------------
+  auto perf_samples_seed = 55;
+  qpe::util::Rng rng(9);
+  qpe::encoder::PerfEncoderConfig perf_config;
+  std::vector<std::unique_ptr<qpe::encoder::PerformanceEncoder>> encoders;
+  qpe::tasks::EmbeddingFeaturizer::Config f_config;
+  f_config.catalog = &tpch.GetCatalog();
+  for (int g = 0; g < 4; ++g) {
+    encoders.push_back(
+        std::make_unique<qpe::encoder::PerformanceEncoder>(perf_config, &rng));
+    auto samples = qpe::data::ExtractOperatorSamples(
+        observed, tpch.GetCatalog(), static_cast<qpe::plan::OperatorGroup>(g));
+    if (samples.size() >= 30) {
+      auto dataset = qpe::data::SplitOperatorSamples(std::move(samples),
+                                                     perf_samples_seed + g);
+      qpe::encoder::PerfTrainOptions options;
+      options.epochs = 25;
+      qpe::encoder::TrainPerformanceEncoder(encoders.back().get(), dataset,
+                                            options);
+    }
+    f_config.performance[g] = encoders.back().get();
+  }
+  qpe::tasks::EmbeddingFeaturizer featurizer(f_config);
+  qpe::tasks::LatencyPredictor predictor(&featurizer, 96, &rng);
+  qpe::tasks::LatencyPredictor::TrainOptions train_options;
+  train_options.epochs = 120;
+  predictor.Train(observed, train_options);
+
+  // --- Score fresh candidate configurations offline -----------------------
+  qpe::config::LhsSampler candidate_sampler((qpe::util::Rng(99)));
+  const auto candidates = candidate_sampler.Sample(candidate_configs);
+  // Same query instances as training (same run seed), fresh knobs.
+  const auto candidate_runs = qpe::simdb::RunWorkloadTemplates(
+      tpch, workload_templates, candidates, run_options);
+
+  std::vector<double> predicted(candidate_configs, 0.0);
+  std::vector<double> actual(candidate_configs, 0.0);
+  for (size_t i = 0; i < candidate_runs.size(); ++i) {
+    const int config_index = static_cast<int>(i) % candidate_configs;
+    predicted[config_index] += predictor.PredictMs(candidate_runs[i]);
+    actual[config_index] += candidate_runs[i].latency_ms;
+  }
+
+  std::vector<int> by_predicted(candidate_configs);
+  for (int i = 0; i < candidate_configs; ++i) by_predicted[i] = i;
+  std::sort(by_predicted.begin(), by_predicted.end(),
+            [&](int a, int b) { return predicted[a] < predicted[b]; });
+  const int recommended = by_predicted[0];
+  int true_best = 0;
+  for (int i = 1; i < candidate_configs; ++i) {
+    if (actual[i] < actual[true_best]) true_best = i;
+  }
+  double worst = actual[0];
+  for (double a : actual) worst = std::max(worst, a);
+
+  qpe::util::TablePrinter table(
+      {"candidate", "predicted total ms", "actual total ms"});
+  for (int rank = 0; rank < std::min(5, candidate_configs); ++rank) {
+    const int c = by_predicted[rank];
+    table.AddRow({"#" + std::to_string(c),
+                  qpe::util::TablePrinter::Num(predicted[c], 0),
+                  qpe::util::TablePrinter::Num(actual[c], 0)});
+  }
+  std::cout << "Top-5 candidates by predicted workload latency:\n";
+  table.Print(std::cout);
+  std::cout << "\nRecommended config #" << recommended << ": actual "
+            << qpe::util::TablePrinter::Num(actual[recommended], 0)
+            << " ms;  true best #" << true_best << ": "
+            << qpe::util::TablePrinter::Num(actual[true_best], 0)
+            << " ms;  worst candidate: "
+            << qpe::util::TablePrinter::Num(worst, 0) << " ms\n"
+            << "Regret vs best: "
+            << qpe::util::TablePrinter::Num(
+                   100.0 * (actual[recommended] - actual[true_best]) /
+                       actual[true_best],
+                   1)
+            << "%  (picking at random risks "
+            << qpe::util::TablePrinter::Num(
+                   100.0 * (worst - actual[true_best]) / actual[true_best], 1)
+            << "% regret)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// End-to-end query latency prediction (paper §4.1, Figure 4): pretrains the
+// per-operator computational performance encoders on executed TPC-H plans,
+// fuses their embeddings with the database settings in the downstream
+// latency model, and compares against the TAM calibrated-cost baseline on a
+// held-out split.
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "config/lhs_sampler.h"
+#include "data/datasets.h"
+#include "encoder/performance_encoder.h"
+#include "simdb/workload_runner.h"
+#include "simdb/workloads.h"
+#include "tasks/baselines.h"
+#include "tasks/embeddings.h"
+#include "tasks/latency_model.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  const int num_configs = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  // --- Collect executed plans --------------------------------------------
+  qpe::simdb::TpchWorkload tpch(0.1);
+  qpe::config::LhsSampler sampler((qpe::util::Rng(3)));
+  const auto configs = sampler.Sample(num_configs);
+  qpe::simdb::RunOptions run_options;
+  run_options.instances_per_template = 2;
+  std::cout << "Executing 22 TPC-H templates x 2 instances x " << num_configs
+            << " configurations...\n";
+  const auto executed = qpe::simdb::RunWorkload(tpch, configs, run_options);
+
+  std::vector<qpe::simdb::ExecutedQuery> train, test;
+  for (size_t i = 0; i < executed.size(); ++i) {
+    qpe::simdb::ExecutedQuery copy;
+    copy.query = executed[i].query.CloneDeep();
+    copy.db_config = executed[i].db_config;
+    copy.latency_ms = executed[i].latency_ms;
+    copy.template_index = executed[i].template_index;
+    (i % 5 == 0 ? test : train).push_back(std::move(copy));
+  }
+  std::cout << "  " << train.size() << " train / " << test.size()
+            << " test executed plans\n\n";
+
+  // --- Pretrain per-operator performance encoders -------------------------
+  qpe::util::Rng rng(9);
+  qpe::encoder::PerfEncoderConfig perf_config;
+  std::vector<std::unique_ptr<qpe::encoder::PerformanceEncoder>> encoders;
+  qpe::tasks::EmbeddingFeaturizer::Config featurizer_config;
+  featurizer_config.catalog = &tpch.GetCatalog();
+  for (int g = 0; g < 4; ++g) {
+    const auto group = static_cast<qpe::plan::OperatorGroup>(g);
+    auto samples = qpe::data::ExtractOperatorSamples(
+        train, tpch.GetCatalog(), group);
+    encoders.push_back(
+        std::make_unique<qpe::encoder::PerformanceEncoder>(perf_config, &rng));
+    if (samples.size() >= 30) {
+      auto dataset =
+          qpe::data::SplitOperatorSamples(std::move(samples), 100 + g);
+      qpe::encoder::PerfTrainOptions options;
+      options.epochs = 25;
+      const auto history =
+          qpe::encoder::TrainPerformanceEncoder(encoders.back().get(),
+                                                dataset, options);
+      std::cout << "Pretrained " << qpe::plan::GroupName(group)
+                << " encoder: test MAE " << history.back().test_mae_ms
+                << " ms after " << history.size() << " epochs\n";
+    }
+    featurizer_config.performance[g] = encoders.back().get();
+  }
+
+  // --- Downstream latency model -------------------------------------------
+  qpe::tasks::EmbeddingFeaturizer featurizer(featurizer_config);
+  qpe::tasks::LatencyPredictor predictor(&featurizer, 64, &rng);
+  qpe::tasks::LatencyPredictor::TrainOptions train_options;
+  train_options.epochs = 50;
+  std::cout << "\nTraining the latency model on fused embeddings...\n";
+  predictor.Train(train, train_options);
+
+  qpe::tasks::TamBaseline tam;
+  tam.Train(train);
+  qpe::tasks::SvrBaseline svr;
+  svr.Train(train);
+
+  qpe::util::TablePrinter table({"model", "test MAE (ms)"});
+  table.AddRow({"Plan Encoders (ours)", qpe::util::TablePrinter::Num(
+                                            predictor.EvaluateMaeMs(test), 1)});
+  table.AddRow({"TAM (calibrated cost)",
+                qpe::util::TablePrinter::Num(tam.EvaluateMaeMs(test), 1)});
+  table.AddRow({"SVM (linear SVR)",
+                qpe::util::TablePrinter::Num(svr.EvaluateMaeMs(test), 1)});
+  std::cout << "\n";
+  table.Print(std::cout);
+  return 0;
+}

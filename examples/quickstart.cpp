@@ -1,0 +1,86 @@
+// Quickstart: the core objects of the library in one tour —
+//   1. build a query plan tree and linearize it (DFS-bracket),
+//   2. compare two plans with Smatch,
+//   3. plan + "execute" a TPC-H-style query under a configuration with the
+//      simulated database substrate,
+//   4. embed the plan with the (untrained) structure encoder.
+//
+// Build:  cmake -B build -G Ninja && cmake --build build
+// Run:    ./build/examples/quickstart
+
+#include <iostream>
+#include <memory>
+
+#include "config/db_config.h"
+#include "encoder/structure_encoder.h"
+#include "plan/explain.h"
+#include "plan/linearize.h"
+#include "plan/plan_node.h"
+#include "plan/serialize.h"
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "simdb/workloads.h"
+#include "smatch/smatch.h"
+#include "util/rng.h"
+
+int main() {
+  using qpe::plan::OperatorType;
+  using qpe::plan::PlanNode;
+
+  // --- 1. Build and linearize a plan ------------------------------------
+  auto root = std::make_unique<PlanNode>(OperatorType::Parse("Sort"));
+  PlanNode* join = root->AddChild(OperatorType::Parse("Join-Hash"));
+  join->AddChild(OperatorType::Parse("Scan-Seq"))->AddRelation("orders");
+  join->AddChild(OperatorType::Parse("Scan-Index"))->AddRelation("lineitem");
+
+  std::cout << "Plan (" << root->NumNodes() << " nodes), DFS-bracket:\n  "
+            << qpe::plan::ToBracketString(qpe::plan::LinearizeDfsBracket(*root))
+            << "\n\n";
+
+  // --- 2. Smatch similarity ---------------------------------------------
+  auto variant = root->Clone();
+  variant->children()[0]->set_type(OperatorType::Parse("Join-Merge"));
+  const qpe::smatch::SmatchScore score = qpe::smatch::Score(*root, *variant);
+  std::cout << "Smatch(plan, variant) = " << score.f1 << "  (precision "
+            << score.precision << ", recall " << score.recall << ")\n\n";
+
+  // --- 3. Plan + execute a query on the simulated database ---------------
+  qpe::simdb::TpchWorkload tpch(/*scale_factor=*/0.1);
+  qpe::util::Rng rng(7);
+  const qpe::simdb::QuerySpec q3 = tpch.Instantiate(2, &rng);  // TPC-H Q3
+  qpe::config::DbConfig db_config;  // knob midpoints
+  qpe::simdb::Planner planner(&tpch.GetCatalog(), &db_config);
+  qpe::simdb::ExecutorSim executor(&tpch.GetCatalog(), &db_config);
+  qpe::plan::Plan planned = planner.PlanQuery(q3);
+  qpe::util::Rng noise(1);
+  const double latency_ms =
+      executor.Execute(&planned, q3.cardinality_seed, &noise);
+  std::cout << "TPC-H Q3 under the default configuration ("
+            << latency_ms << " ms), EXPLAIN ANALYZE:\n"
+            << qpe::plan::Explain(*planned.root) << "\n";
+
+  // Knobs change the plan and the latency: shrink work_mem drastically.
+  qpe::config::DbConfig tiny_mem = db_config;
+  tiny_mem.Set(qpe::config::Knob::kWorkMem, 65536);
+  qpe::simdb::Planner tiny_planner(&tpch.GetCatalog(), &tiny_mem);
+  qpe::simdb::ExecutorSim tiny_executor(&tpch.GetCatalog(), &tiny_mem);
+  qpe::plan::Plan tiny_plan = tiny_planner.PlanQuery(q3);
+  qpe::util::Rng noise2(1);
+  std::cout << "Same query with work_mem=64KB: latency "
+            << tiny_executor.Execute(&tiny_plan, q3.cardinality_seed, &noise2)
+            << " ms\n\n";
+
+  // --- 4. Structural embedding -------------------------------------------
+  qpe::encoder::StructureEncoderConfig config;
+  qpe::util::Rng model_rng(42);
+  qpe::encoder::TransformerPlanEncoder encoder(config, &model_rng);
+  const qpe::nn::Tensor embedding = encoder.Encode(*planned.root, nullptr);
+  std::cout << "Structure embedding S(p): " << embedding.cols()
+            << " dims, first 4 = [";
+  for (int c = 0; c < 4; ++c) {
+    std::cout << embedding.at(0, c) << (c < 3 ? ", " : "]\n");
+  }
+  std::cout << "\nSee examples/plan_similarity.cpp and "
+               "examples/latency_prediction.cpp for trained encoders.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Workload characterization motivation demo (paper §1): the same query
+// responds very differently to configuration knobs than another query.
+// Runs a handful of TPC-H templates under LHS-sampled configurations and
+// prints per-template latency statistics — the per-query "knob response"
+// that makes workload characterization necessary.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "config/lhs_sampler.h"
+#include "simdb/workload_runner.h"
+#include "simdb/workloads.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  const double scale_factor = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const int num_configs = argc > 2 ? std::atoi(argv[2]) : 24;
+
+  qpe::simdb::TpchWorkload tpch(scale_factor);
+  qpe::config::LhsSampler sampler((qpe::util::Rng(11)));
+  const std::vector<qpe::config::DbConfig> configs = sampler.Sample(num_configs);
+
+  std::cout << "TPC-H (SF " << scale_factor << ") on " << num_configs
+            << " LHS-sampled configurations\n\n";
+
+  qpe::simdb::RunOptions options;
+  const auto executed = qpe::simdb::RunWorkload(tpch, configs, options);
+
+  std::map<int, std::vector<double>> latencies;
+  for (const auto& record : executed) {
+    latencies[record.template_index].push_back(record.latency_ms);
+  }
+
+  qpe::util::TablePrinter table({"template", "median ms", "p5 ms", "p95 ms",
+                                 "variability (p95-p5)", "p95/p5"});
+  for (const auto& [t, values] : latencies) {
+    const double p5 = qpe::util::Percentile(values, 5);
+    const double p95 = qpe::util::Percentile(values, 95);
+    table.AddRow({tpch.TemplateName(t), qpe::util::TablePrinter::Num(
+                                            qpe::util::Median(values), 1),
+                  qpe::util::TablePrinter::Num(p5, 1),
+                  qpe::util::TablePrinter::Num(p95, 1),
+                  qpe::util::TablePrinter::Num(p95 - p5, 1),
+                  qpe::util::TablePrinter::Num(p95 / std::max(1e-9, p5), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nQueries with a large p95/p5 ratio are the ones whose "
+               "latency depends heavily on the knob settings — TPC-H Q18 vs "
+               "Q7 in the paper's introduction.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the project, runs the full test suite, and regenerates every paper
+# table/figure, capturing outputs into test_output.txt / bench_output.txt at
+# the repo root. This is the one-command reproduction of EXPERIMENTS.md.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $b =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done

@@ -1,0 +1,98 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpe::catalog {
+
+double TableStats::RowWidth() const {
+  double width = 24.0;  // tuple header
+  for (const ColumnStats& col : columns) width += col.avg_width;
+  return width;
+}
+
+double TableStats::PageCount() const {
+  return std::max(1.0, std::ceil(row_count * RowWidth() / kPageSizeBytes));
+}
+
+const ColumnStats* TableStats::FindColumn(const std::string& column_name) const {
+  for (const ColumnStats& col : columns) {
+    if (col.name == column_name) return &col;
+  }
+  return nullptr;
+}
+
+int TableStats::IndexedColumnCount() const {
+  int count = 0;
+  for (const ColumnStats& col : columns) count += col.indexed;
+  return count;
+}
+
+TableStats& Catalog::AddTable(TableStats table) {
+  tables_.push_back(std::move(table));
+  return tables_.back();
+}
+
+const TableStats* Catalog::FindTable(const std::string& table_name) const {
+  for (const TableStats& table : tables_) {
+    if (table.name == table_name) return &table;
+  }
+  return nullptr;
+}
+
+double Catalog::TotalPages() const {
+  double total = 0;
+  for (const TableStats& table : tables_) total += table.PageCount();
+  return total;
+}
+
+double Catalog::TotalRows() const {
+  double total = 0;
+  for (const TableStats& table : tables_) total += table.row_count;
+  return total;
+}
+
+std::vector<double> Catalog::MetaFeatures(
+    const std::vector<std::string>& relations) const {
+  double rows = 0, pages = 0, bytes = 0;
+  double columns = 0, indexed = 0;
+  double ndv_sum = 0, null_frac_sum = 0, corr_sum = 0, width_sum = 0;
+  int col_count = 0;
+  for (const std::string& rel : relations) {
+    const TableStats* table = FindTable(rel);
+    if (table == nullptr) continue;
+    rows += table->row_count;
+    pages += table->PageCount();
+    bytes += table->TotalBytes();
+    columns += static_cast<double>(table->columns.size());
+    indexed += table->IndexedColumnCount();
+    for (const ColumnStats& col : table->columns) {
+      ndv_sum += col.ndv;
+      null_frac_sum += col.null_frac;
+      corr_sum += col.correlation;
+      width_sum += col.avg_width;
+      ++col_count;
+    }
+  }
+  const double inv_cols = col_count > 0 ? 1.0 / col_count : 0.0;
+  // Log-compress the unbounded magnitudes so features are in a learnable
+  // range regardless of scale factor.
+  return {
+      std::log1p(rows) / 25.0,
+      std::log1p(pages) / 25.0,
+      std::log1p(bytes) / 35.0,
+      columns / 64.0,
+      indexed / 16.0,
+      std::log1p(ndv_sum) / 25.0,
+      null_frac_sum * inv_cols,
+      corr_sum * inv_cols,
+      width_sum * inv_cols / 64.0,
+      static_cast<double>(relations.size()) / 8.0,
+      std::log1p(TotalPages()) / 25.0,
+      std::log1p(TotalRows()) / 25.0,
+      std::log1p(scale_factor_) / 8.0,
+      spatial_ ? 1.0 : 0.0,
+  };
+}
+
+}  // namespace qpe::catalog

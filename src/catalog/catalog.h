@@ -1,0 +1,76 @@
+#ifndef QPE_CATALOG_CATALOG_H_
+#define QPE_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+namespace qpe::catalog {
+
+// Per-column statistics, the analogue of pg_stats rows the paper reads from
+// PostgreSQL system tables ("meta-information ... data distribution,
+// selectivity, cardinality", §2.3).
+struct ColumnStats {
+  std::string name;
+  double ndv = 1;          // number of distinct values
+  double null_frac = 0;    // fraction of NULLs
+  double avg_width = 4;    // bytes
+  double correlation = 0;  // physical-order correlation in [-1, 1]
+  bool indexed = false;
+};
+
+// Per-table statistics (pg_class analogue).
+struct TableStats {
+  std::string name;
+  double row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  // Bytes per row (sum of column widths plus tuple header).
+  double RowWidth() const;
+  // 8 KiB heap pages needed for the table.
+  double PageCount() const;
+  double TotalBytes() const { return row_count * RowWidth(); }
+
+  const ColumnStats* FindColumn(const std::string& column_name) const;
+  int IndexedColumnCount() const;
+};
+
+inline constexpr double kPageSizeBytes = 8192.0;
+
+// A database catalog: schema + statistics for one benchmark instance.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(std::string name, double scale_factor, bool spatial = false)
+      : name_(std::move(name)), scale_factor_(scale_factor), spatial_(spatial) {}
+
+  const std::string& name() const { return name_; }
+  double scale_factor() const { return scale_factor_; }
+  // Spatial catalogs carry expensive geometry predicates and sparse,
+  // hard-to-estimate distributions; the executor simulator reads this flag.
+  bool spatial() const { return spatial_; }
+
+  TableStats& AddTable(TableStats table);
+  const std::vector<TableStats>& tables() const { return tables_; }
+  const TableStats* FindTable(const std::string& table_name) const;
+
+  double TotalPages() const;
+  double TotalRows() const;
+
+  // Meta-information feature vector for a set of relations (paper Table 4):
+  // aggregated cardinality/page/width/index/distribution statistics for the
+  // relations a plan node touches, plus database-level totals. Fixed
+  // dimension kMetaFeatureDim; unknown relations contribute zeros.
+  static constexpr int kMetaFeatureDim = 14;
+  std::vector<double> MetaFeatures(
+      const std::vector<std::string>& relations) const;
+
+ private:
+  std::string name_;
+  double scale_factor_ = 1.0;
+  bool spatial_ = false;
+  std::vector<TableStats> tables_;
+};
+
+}  // namespace qpe::catalog
+
+#endif  // QPE_CATALOG_CATALOG_H_

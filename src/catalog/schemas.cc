@@ -1,0 +1,323 @@
+#include "catalog/schemas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qpe::catalog {
+
+namespace {
+
+ColumnStats Col(const char* name, double ndv, double width, bool indexed,
+                double null_frac = 0.0, double correlation = 0.0) {
+  ColumnStats col;
+  col.name = name;
+  col.ndv = std::max(1.0, ndv);
+  col.avg_width = width;
+  col.indexed = indexed;
+  col.null_frac = null_frac;
+  col.correlation = correlation;
+  return col;
+}
+
+TableStats Table(const char* name, double rows, std::vector<ColumnStats> cols) {
+  TableStats table;
+  table.name = name;
+  table.row_count = rows;
+  table.columns = std::move(cols);
+  return table;
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog(double scale_factor) {
+  const double sf = scale_factor;
+  Catalog catalog("tpch", sf);
+  catalog.AddTable(Table("region", 5,
+                         {Col("r_regionkey", 5, 4, true, 0, 1.0),
+                          Col("r_name", 5, 12, false)}));
+  catalog.AddTable(Table("nation", 25,
+                         {Col("n_nationkey", 25, 4, true, 0, 1.0),
+                          Col("n_regionkey", 5, 4, false),
+                          Col("n_name", 25, 12, false)}));
+  catalog.AddTable(Table("supplier", 10000 * sf,
+                         {Col("s_suppkey", 10000 * sf, 4, true, 0, 1.0),
+                          Col("s_nationkey", 25, 4, false),
+                          Col("s_acctbal", 9000 * sf, 8, false),
+                          Col("s_comment", 10000 * sf, 60, false)}));
+  catalog.AddTable(Table("customer", 150000 * sf,
+                         {Col("c_custkey", 150000 * sf, 4, true, 0, 1.0),
+                          Col("c_nationkey", 25, 4, false),
+                          Col("c_mktsegment", 5, 10, false),
+                          Col("c_acctbal", 140000 * sf, 8, false),
+                          Col("c_comment", 150000 * sf, 70, false)}));
+  catalog.AddTable(Table("part", 200000 * sf,
+                         {Col("p_partkey", 200000 * sf, 4, true, 0, 1.0),
+                          Col("p_brand", 25, 10, false),
+                          Col("p_type", 150, 25, false),
+                          Col("p_size", 50, 4, false),
+                          Col("p_container", 40, 10, false),
+                          Col("p_retailprice", 100000 * sf, 8, false)}));
+  catalog.AddTable(Table("partsupp", 800000 * sf,
+                         {Col("ps_partkey", 200000 * sf, 4, true),
+                          Col("ps_suppkey", 10000 * sf, 4, true),
+                          Col("ps_availqty", 10000, 4, false),
+                          Col("ps_supplycost", 100000, 8, false)}));
+  catalog.AddTable(Table("orders", 1500000 * sf,
+                         {Col("o_orderkey", 1500000 * sf, 4, true, 0, 1.0),
+                          Col("o_custkey", 100000 * sf, 4, true),
+                          Col("o_orderdate", 2406, 4, true, 0, 0.9),
+                          Col("o_orderstatus", 3, 1, false),
+                          Col("o_orderpriority", 5, 15, false),
+                          Col("o_totalprice", 1400000 * sf, 8, false)}));
+  catalog.AddTable(
+      Table("lineitem", 6000000 * sf,
+            {Col("l_orderkey", 1500000 * sf, 4, true, 0, 0.99),
+             Col("l_partkey", 200000 * sf, 4, true),
+             Col("l_suppkey", 10000 * sf, 4, true),
+             Col("l_shipdate", 2526, 4, true, 0, 0.85),
+             Col("l_receiptdate", 2554, 4, false, 0, 0.85),
+             Col("l_quantity", 50, 8, false),
+             Col("l_discount", 11, 8, false),
+             Col("l_extendedprice", 900000 * sf, 8, false),
+             Col("l_returnflag", 3, 1, false),
+             Col("l_shipmode", 7, 10, false)}));
+  return catalog;
+}
+
+Catalog MakeTpcdsCatalog(double scale_factor) {
+  const double sf = scale_factor;
+  Catalog catalog("tpcds", sf);
+  catalog.AddTable(
+      Table("store_sales", 2880404 * sf,
+            {Col("ss_item_sk", 18000 * std::sqrt(sf), 4, true),
+             Col("ss_customer_sk", 100000 * sf, 4, true, 0.04),
+             Col("ss_store_sk", 12 * std::sqrt(sf), 4, true, 0.04),
+             Col("ss_sold_date_sk", 1823, 4, true, 0.04, 0.95),
+             Col("ss_promo_sk", 300 * std::sqrt(sf), 4, false, 0.04),
+             Col("ss_quantity", 100, 4, false),
+             Col("ss_sales_price", 200000, 8, false),
+             Col("ss_net_profit", 1000000, 8, false)}));
+  catalog.AddTable(
+      Table("catalog_sales", 1441548 * sf,
+            {Col("cs_item_sk", 18000 * std::sqrt(sf), 4, true),
+             Col("cs_bill_customer_sk", 100000 * sf, 4, true, 0.02),
+             Col("cs_call_center_sk", 6 * std::sqrt(sf), 4, false, 0.02),
+             Col("cs_sold_date_sk", 1823, 4, true, 0.02, 0.95),
+             Col("cs_quantity", 100, 4, false),
+             Col("cs_net_profit", 1000000, 8, false)}));
+  catalog.AddTable(
+      Table("web_sales", 719384 * sf,
+            {Col("ws_item_sk", 18000 * std::sqrt(sf), 4, true),
+             Col("ws_bill_customer_sk", 100000 * sf, 4, true, 0.02),
+             Col("ws_web_site_sk", 30, 4, false, 0.02),
+             Col("ws_sold_date_sk", 1823, 4, true, 0.02, 0.95),
+             Col("ws_quantity", 100, 4, false),
+             Col("ws_net_profit", 1000000, 8, false)}));
+  catalog.AddTable(
+      Table("store_returns", 287514 * sf,
+            {Col("sr_item_sk", 18000 * std::sqrt(sf), 4, true),
+             Col("sr_customer_sk", 100000 * sf, 4, true, 0.04),
+             Col("sr_returned_date_sk", 2003, 4, true, 0.04, 0.9),
+             Col("sr_return_amt", 100000, 8, false)}));
+  catalog.AddTable(
+      Table("inventory", 11745000 * sf,
+            {Col("inv_item_sk", 18000 * std::sqrt(sf), 4, true),
+             Col("inv_warehouse_sk", 5 * std::sqrt(sf), 4, true),
+             Col("inv_date_sk", 261, 4, true, 0, 0.99),
+             Col("inv_quantity_on_hand", 1000, 4, false, 0.05)}));
+  catalog.AddTable(
+      Table("item", 18000 * std::sqrt(sf),
+            {Col("i_item_sk", 18000 * std::sqrt(sf), 4, true, 0, 1.0),
+             Col("i_brand_id", 950, 4, false),
+             Col("i_category", 10, 12, false),
+             Col("i_class", 100, 12, false),
+             Col("i_manufact_id", 1000, 4, false),
+             Col("i_current_price", 9000, 8, false)}));
+  catalog.AddTable(
+      Table("customer", 100000 * sf,
+            {Col("c_customer_sk", 100000 * sf, 4, true, 0, 1.0),
+             Col("c_current_addr_sk", 50000 * sf, 4, true),
+             Col("c_current_cdemo_sk", 1920800, 4, true, 0.03),
+             Col("c_birth_year", 69, 4, false, 0.03),
+             Col("c_preferred_cust_flag", 2, 1, false, 0.03)}));
+  catalog.AddTable(
+      Table("customer_address", 50000 * sf,
+            {Col("ca_address_sk", 50000 * sf, 4, true, 0, 1.0),
+             Col("ca_state", 51, 2, false),
+             Col("ca_city", 700, 12, false),
+             Col("ca_gmt_offset", 5, 8, false)}));
+  catalog.AddTable(
+      Table("customer_demographics", 1920800,
+            {Col("cd_demo_sk", 1920800, 4, true, 0, 1.0),
+             Col("cd_gender", 2, 1, false),
+             Col("cd_marital_status", 5, 1, false),
+             Col("cd_education_status", 7, 12, false)}));
+  catalog.AddTable(
+      Table("household_demographics", 7200,
+            {Col("hd_demo_sk", 7200, 4, true, 0, 1.0),
+             Col("hd_buy_potential", 6, 10, false),
+             Col("hd_dep_count", 10, 4, false)}));
+  catalog.AddTable(Table("date_dim", 73049,
+                         {Col("d_date_sk", 73049, 4, true, 0, 1.0),
+                          Col("d_year", 200, 4, false, 0, 1.0),
+                          Col("d_moy", 12, 4, false),
+                          Col("d_dom", 31, 4, false),
+                          Col("d_day_name", 7, 9, false)}));
+  catalog.AddTable(Table("time_dim", 86400,
+                         {Col("t_time_sk", 86400, 4, true, 0, 1.0),
+                          Col("t_hour", 24, 4, false),
+                          Col("t_minute", 60, 4, false)}));
+  catalog.AddTable(Table("store", 12 * std::sqrt(sf),
+                         {Col("s_store_sk", 12 * std::sqrt(sf), 4, true, 0, 1.0),
+                          Col("s_state", 9, 2, false),
+                          Col("s_city", 18, 12, false),
+                          Col("s_number_employees", 300, 4, false)}));
+  catalog.AddTable(Table("warehouse", 5 * std::sqrt(sf),
+                         {Col("w_warehouse_sk", 5 * std::sqrt(sf), 4, true, 0, 1.0),
+                          Col("w_state", 9, 2, false)}));
+  catalog.AddTable(Table("promotion", 300 * std::sqrt(sf),
+                         {Col("p_promo_sk", 300 * std::sqrt(sf), 4, true, 0, 1.0),
+                          Col("p_channel_email", 2, 1, false),
+                          Col("p_channel_tv", 2, 1, false)}));
+  catalog.AddTable(Table("web_site", 30,
+                         {Col("web_site_sk", 30, 4, true, 0, 1.0),
+                          Col("web_class", 5, 10, false)}));
+  catalog.AddTable(Table("call_center", 6 * std::sqrt(sf),
+                         {Col("cc_call_center_sk", 6 * std::sqrt(sf), 4, true, 0, 1.0),
+                          Col("cc_class", 3, 10, false)}));
+  return catalog;
+}
+
+Catalog MakeImdbCatalog() {
+  Catalog catalog("imdb", 1.0);
+  catalog.AddTable(Table("title", 2528312,
+                         {Col("id", 2528312, 4, true, 0, 1.0),
+                          Col("kind_id", 7, 4, true),
+                          Col("production_year", 133, 4, true, 0.03, 0.1),
+                          Col("title", 2300000, 30, false)}));
+  catalog.AddTable(Table("movie_companies", 2609129,
+                         {Col("movie_id", 1087236, 4, true, 0, 0.4),
+                          Col("company_id", 234997, 4, true),
+                          Col("company_type_id", 2, 4, true),
+                          Col("note", 1300000, 40, false, 0.55)}));
+  catalog.AddTable(Table("movie_info", 14835720,
+                         {Col("movie_id", 2468825, 4, true, 0, 0.3),
+                          Col("info_type_id", 71, 4, true),
+                          Col("info", 2720930, 30, false)}));
+  catalog.AddTable(Table("movie_info_idx", 1380035,
+                         {Col("movie_id", 459925, 4, true, 0, 0.5),
+                          Col("info_type_id", 5, 4, true),
+                          Col("info", 1380035, 10, false)}));
+  catalog.AddTable(Table("movie_keyword", 4523930,
+                         {Col("movie_id", 476794, 4, true, 0, 0.4),
+                          Col("keyword_id", 134170, 4, true)}));
+  catalog.AddTable(Table("cast_info", 36244344,
+                         {Col("movie_id", 2331601, 4, true, 0, 0.3),
+                          Col("person_id", 4051810, 4, true),
+                          Col("role_id", 11, 4, true),
+                          Col("note", 14000000, 20, false, 0.6)}));
+  catalog.AddTable(Table("char_name", 3140339,
+                         {Col("id", 3140339, 4, true, 0, 1.0),
+                          Col("name", 3140000, 25, false)}));
+  catalog.AddTable(Table("company_name", 234997,
+                         {Col("id", 234997, 4, true, 0, 1.0),
+                          Col("country_code", 225, 6, false, 0.1),
+                          Col("name", 234997, 25, false)}));
+  catalog.AddTable(Table("company_type", 4,
+                         {Col("id", 4, 4, true, 0, 1.0),
+                          Col("kind", 4, 20, false)}));
+  catalog.AddTable(Table("info_type", 113,
+                         {Col("id", 113, 4, true, 0, 1.0),
+                          Col("info", 113, 15, false)}));
+  catalog.AddTable(Table("keyword", 134170,
+                         {Col("id", 134170, 4, true, 0, 1.0),
+                          Col("keyword", 134170, 15, false)}));
+  catalog.AddTable(Table("kind_type", 7,
+                         {Col("id", 7, 4, true, 0, 1.0),
+                          Col("kind", 7, 12, false)}));
+  catalog.AddTable(Table("name", 4167491,
+                         {Col("id", 4167491, 4, true, 0, 1.0),
+                          Col("gender", 3, 1, false, 0.7),
+                          Col("name", 4167491, 25, false)}));
+  catalog.AddTable(Table("role_type", 12,
+                         {Col("id", 12, 4, true, 0, 1.0),
+                          Col("role", 12, 12, false)}));
+  catalog.AddTable(Table("aka_name", 901343,
+                         {Col("id", 901343, 4, true, 0, 1.0),
+                          Col("person_id", 588222, 4, true),
+                          Col("name", 901343, 25, false)}));
+  catalog.AddTable(Table("aka_title", 361472,
+                         {Col("id", 361472, 4, true, 0, 1.0),
+                          Col("movie_id", 240672, 4, true),
+                          Col("title", 361472, 30, false)}));
+  catalog.AddTable(Table("comp_cast_type", 4,
+                         {Col("id", 4, 4, true, 0, 1.0),
+                          Col("kind", 4, 15, false)}));
+  catalog.AddTable(Table("complete_cast", 135086,
+                         {Col("id", 135086, 4, true, 0, 1.0),
+                          Col("movie_id", 93514, 4, true),
+                          Col("subject_id", 2, 4, true),
+                          Col("status_id", 2, 4, true)}));
+  catalog.AddTable(Table("link_type", 18,
+                         {Col("id", 18, 4, true, 0, 1.0),
+                          Col("link", 18, 15, false)}));
+  catalog.AddTable(Table("movie_link", 29997,
+                         {Col("id", 29997, 4, true, 0, 1.0),
+                          Col("movie_id", 6411, 4, true),
+                          Col("linked_movie_id", 15052, 4, true),
+                          Col("link_type_id", 16, 4, true)}));
+  catalog.AddTable(Table("person_info", 2963664,
+                         {Col("id", 2963664, 4, true, 0, 1.0),
+                          Col("person_id", 550721, 4, true),
+                          Col("info_type_id", 22, 4, true)}));
+  return catalog;
+}
+
+Catalog MakeSpatialCatalog(double region_scale) {
+  const double rs = region_scale;
+  Catalog catalog("spatial", rs, /*spatial=*/true);
+  // Jackpine-style TIGER layers. Geometry columns are wide (serialized
+  // multipolygon/linestring blobs) and poorly correlated; a GiST index is
+  // modelled as `indexed` on the geom column.
+  catalog.AddTable(Table("arealm", 60000 * rs,
+                         {Col("gid", 60000 * rs, 4, true, 0, 1.0),
+                          Col("geom", 60000 * rs, 900, true, 0, 0.05),
+                          Col("fullname", 40000 * rs, 25, false, 0.2)}));
+  catalog.AddTable(Table("areawater", 120000 * rs,
+                         {Col("gid", 120000 * rs, 4, true, 0, 1.0),
+                          Col("geom", 120000 * rs, 1100, true, 0, 0.05),
+                          Col("hydroid", 120000 * rs, 10, false)}));
+  catalog.AddTable(Table("edges", 2500000 * rs,
+                         {Col("gid", 2500000 * rs, 4, true, 0, 1.0),
+                          Col("geom", 2500000 * rs, 350, true, 0, 0.1),
+                          Col("roadflg", 2, 1, false),
+                          Col("mtfcc", 80, 5, false)}));
+  catalog.AddTable(Table("pointlm", 45000 * rs,
+                         {Col("gid", 45000 * rs, 4, true, 0, 1.0),
+                          Col("geom", 45000 * rs, 32, true, 0, 0.1),
+                          Col("mtfcc", 35, 5, false)}));
+  catalog.AddTable(Table("county", 70,
+                         {Col("gid", 70, 4, true, 0, 1.0),
+                          Col("geom", 70, 20000, true, 0, 0.0),
+                          Col("name", 70, 20, false)}));
+  // OSM layers (overlap / distance / routing workload).
+  catalog.AddTable(Table("osm_points", 1800000 * rs,
+                         {Col("osm_id", 1800000 * rs, 8, true, 0, 1.0),
+                          Col("geom", 1800000 * rs, 32, true, 0, 0.05),
+                          Col("amenity", 130, 12, false, 0.8)}));
+  catalog.AddTable(Table("osm_lines", 900000 * rs,
+                         {Col("osm_id", 900000 * rs, 8, true, 0, 1.0),
+                          Col("geom", 900000 * rs, 420, true, 0, 0.05),
+                          Col("highway", 30, 10, false, 0.4)}));
+  catalog.AddTable(Table("osm_polygons", 1200000 * rs,
+                         {Col("osm_id", 1200000 * rs, 8, true, 0, 1.0),
+                          Col("geom", 1200000 * rs, 800, true, 0, 0.05),
+                          Col("building", 20, 10, false, 0.5)}));
+  catalog.AddTable(Table("osm_roads", 150000 * rs,
+                         {Col("osm_id", 150000 * rs, 8, true, 0, 1.0),
+                          Col("geom", 150000 * rs, 500, true, 0, 0.05),
+                          Col("ref", 9000 * rs, 8, false, 0.6)}));
+  return catalog;
+}
+
+}  // namespace qpe::catalog

@@ -1,0 +1,32 @@
+#ifndef QPE_CATALOG_SCHEMAS_H_
+#define QPE_CATALOG_SCHEMAS_H_
+
+#include "catalog/catalog.h"
+
+namespace qpe::catalog {
+
+// Synthetic catalogs standing in for the paper's benchmark databases. Row
+// counts follow the official generators (dbgen/dsdgen/IMDB dumps) at the
+// given scale factor; column statistics (ndv, null fractions, correlation,
+// indexes) are representative values sufficient for the planner and the
+// executor simulator.
+
+// TPC-H: 8 tables (region, nation, supplier, customer, part, partsupp,
+// orders, lineitem). scale_factor 1 == ~8.6M total rows.
+Catalog MakeTpchCatalog(double scale_factor);
+
+// TPC-DS: the 17 tables used by our template set (3 fact + returns +
+// inventory + dimensions).
+Catalog MakeTpcdsCatalog(double scale_factor);
+
+// IMDB catalog for the Join Order Benchmark: the full 21-table schema.
+Catalog MakeImdbCatalog();
+
+// Spatial catalog modelling Jackpine (TIGER shapefiles) plus OSM extracts
+// for one region. `region_scale` scales feature counts (e.g. New York vs
+// Los Angeles extracts).
+Catalog MakeSpatialCatalog(double region_scale);
+
+}  // namespace qpe::catalog
+
+#endif  // QPE_CATALOG_SCHEMAS_H_

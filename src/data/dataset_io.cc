@@ -1,0 +1,81 @@
+#include "data/dataset_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "plan/serialize.h"
+
+namespace qpe::data {
+
+bool SaveExecutedQueries(const std::vector<simdb::ExecutedQuery>& records,
+                         const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const simdb::ExecutedQuery& record : records) {
+    os << "(record :latency " << record.latency_ms << " :template "
+       << record.template_index << " :instance " << record.instance_index
+       << " :config ";
+    const auto& values = record.db_config.values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      os << values[i] << (i + 1 < values.size() ? "," : "");
+    }
+    os << " " << plan::SerializePlan(record.query) << ")\n";
+  }
+  return static_cast<bool>(os);
+}
+
+std::vector<simdb::ExecutedQuery> LoadExecutedQueries(const std::string& path,
+                                                      bool* ok) {
+  if (ok != nullptr) *ok = false;
+  std::vector<simdb::ExecutedQuery> records;
+  std::ifstream is(path);
+  if (!is) return records;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::string prefix = "(record :latency ";
+    if (line.compare(0, prefix.size(), prefix) != 0) return {};
+    size_t pos = prefix.size();
+    simdb::ExecutedQuery record;
+    record.latency_ms = std::strtod(line.c_str() + pos, nullptr);
+
+    auto expect = [&](const std::string& token) {
+      pos = line.find(token, pos);
+      if (pos == std::string::npos) return false;
+      pos += token.size();
+      return true;
+    };
+    if (!expect(":template ")) return {};
+    record.template_index = std::atoi(line.c_str() + pos);
+    if (!expect(":instance ")) return {};
+    record.instance_index = std::atoi(line.c_str() + pos);
+    if (!expect(":config ")) return {};
+    for (int k = 0; k < config::kNumKnobs; ++k) {
+      char* end = nullptr;
+      record.db_config.Set(static_cast<config::Knob>(k),
+                           std::strtod(line.c_str() + pos, &end));
+      pos = end - line.c_str();
+      if (k + 1 < config::kNumKnobs) {
+        if (line[pos] != ',') return {};
+        ++pos;
+      }
+    }
+    const size_t plan_start = line.find("(plan", pos);
+    if (plan_start == std::string::npos) return {};
+    // The record's closing paren is the last character of the line.
+    const std::string plan_text =
+        line.substr(plan_start, line.size() - plan_start - 1);
+    auto parsed = plan::ParsePlan(plan_text);
+    if (!parsed.has_value()) return {};
+    record.query = std::move(*parsed);
+    records.push_back(std::move(record));
+  }
+  if (ok != nullptr) *ok = true;
+  return records;
+}
+
+}  // namespace qpe::data

@@ -1,0 +1,26 @@
+#ifndef QPE_DATA_DATASET_IO_H_
+#define QPE_DATA_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "simdb/workload_runner.h"
+
+namespace qpe::data {
+
+// Disk persistence for executed-query datasets (the analogue of the paper's
+// uploaded plan repository): one record per line —
+//   (record :latency <ms> :template <i> :instance <i> :config v1,...,v13 <plan s-expr>)
+// Plans round-trip through plan/serialize.h.
+
+bool SaveExecutedQueries(const std::vector<simdb::ExecutedQuery>& records,
+                         const std::string& path);
+
+// Returns an empty vector on malformed input or missing file; `ok` (if
+// non-null) distinguishes empty-file success from failure.
+std::vector<simdb::ExecutedQuery> LoadExecutedQueries(const std::string& path,
+                                                      bool* ok = nullptr);
+
+}  // namespace qpe::data
+
+#endif  // QPE_DATA_DATASET_IO_H_

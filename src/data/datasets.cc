@@ -1,0 +1,155 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+
+#include "config/lhs_sampler.h"
+#include "data/features.h"
+#include "simdb/planner.h"
+
+namespace qpe::data {
+
+namespace {
+
+PlanPairDataset SplitPairs(std::vector<PlanPair> pairs,
+                           const PairDatasetOptions& options, util::Rng* rng) {
+  std::vector<int> main_idx, dev_idx, test_idx;
+  SplitIndices(static_cast<int>(pairs.size()), options.dev_fraction,
+               options.test_fraction, rng, &main_idx, &dev_idx, &test_idx);
+  PlanPairDataset dataset;
+  for (int i : main_idx) dataset.train.push_back(std::move(pairs[i]));
+  for (int i : dev_idx) dataset.dev.push_back(std::move(pairs[i]));
+  for (int i : test_idx) dataset.test.push_back(std::move(pairs[i]));
+  return dataset;
+}
+
+std::vector<PlanPair> PairsFromPool(
+    std::vector<std::unique_ptr<plan::PlanNode>> pool,
+    const PairDatasetOptions& options, util::Rng* rng) {
+  RandomPlanGenerator mutator(rng->Fork(), options.corpus);
+  std::vector<PlanPair> pairs;
+  pairs.reserve(options.num_pairs);
+  const int n = static_cast<int>(pool.size());
+  for (int i = 0; i < options.num_pairs; ++i) {
+    PlanPair pair;
+    const plan::PlanNode& left = *pool[rng->UniformInt(0, n - 1)];
+    pair.left = left.Clone();
+    if (rng->Bernoulli(options.related_fraction)) {
+      pair.right = mutator.Mutate(left, rng->Uniform(0.05, 0.5));
+    } else {
+      pair.right = pool[rng->UniformInt(0, n - 1)]->Clone();
+    }
+    pair.smatch = smatch::Score(*pair.left, *pair.right).f1;
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+void SplitIndices(int n, double first_fraction, double second_fraction,
+                  util::Rng* rng, std::vector<int>* main_split,
+                  std::vector<int>* first_split,
+                  std::vector<int>* second_split) {
+  const std::vector<int> perm = rng->Permutation(n);
+  const int n_first = static_cast<int>(n * first_fraction);
+  const int n_second = static_cast<int>(n * second_fraction);
+  first_split->assign(perm.begin(), perm.begin() + n_first);
+  second_split->assign(perm.begin() + n_first,
+                       perm.begin() + n_first + n_second);
+  main_split->assign(perm.begin() + n_first + n_second, perm.end());
+}
+
+PlanPairDataset BuildCorpusPairDataset(const PairDatasetOptions& options) {
+  util::Rng rng(options.seed);
+  RandomPlanGenerator generator(rng.Fork(), options.corpus);
+  // A pool roughly half the pair count gives plenty of repeats (same plan in
+  // several pairs), like sampling pairs from a fixed crowd-sourced corpus.
+  const int pool_size = std::max(8, options.num_pairs / 2);
+  std::vector<std::unique_ptr<plan::PlanNode>> pool;
+  pool.reserve(pool_size);
+  for (int i = 0; i < pool_size; ++i) pool.push_back(generator.Generate());
+  std::vector<PlanPair> pairs = PairsFromPool(std::move(pool), options, &rng);
+  return SplitPairs(std::move(pairs), options, &rng);
+}
+
+PlanPairDataset BuildWorkloadPairDataset(
+    const simdb::BenchmarkWorkload& workload,
+    const PairDatasetOptions& options) {
+  util::Rng rng(options.seed);
+  // Plans from the workload under varied configurations: the planner's
+  // config-dependent choices create structural diversity within a template.
+  config::LhsSampler sampler(rng.Fork());
+  const int pool_size = std::max(8, options.num_pairs / 2);
+  const std::vector<config::DbConfig> configs =
+      sampler.Sample(std::max(4, pool_size / workload.NumTemplates() + 1));
+  std::vector<std::unique_ptr<plan::PlanNode>> pool;
+  pool.reserve(pool_size);
+  int config_index = 0;
+  while (static_cast<int>(pool.size()) < pool_size) {
+    for (int t = 0; t < workload.NumTemplates() &&
+                    static_cast<int>(pool.size()) < pool_size;
+         ++t) {
+      const simdb::QuerySpec spec = workload.Instantiate(t, &rng);
+      const config::DbConfig& db_config =
+          configs[config_index++ % configs.size()];
+      simdb::Planner planner(&workload.GetCatalog(), &db_config);
+      pool.push_back(planner.PlanQuery(spec).root->Clone());
+    }
+  }
+  std::vector<PlanPair> pairs = PairsFromPool(std::move(pool), options, &rng);
+  return SplitPairs(std::move(pairs), options, &rng);
+}
+
+std::vector<OperatorSample> ExtractOperatorSamples(
+    const std::vector<simdb::ExecutedQuery>& executed,
+    const catalog::Catalog& catalog, plan::OperatorGroup group) {
+  std::vector<OperatorSample> samples;
+  for (const simdb::ExecutedQuery& record : executed) {
+    if (record.query.root == nullptr) continue;
+    const std::vector<double> db_features = record.db_config.ToFeatures();
+    std::vector<std::vector<double>> group_node_features;
+    record.query.root->Visit([&](const plan::PlanNode& node) {
+      if (plan::GroupOf(node.type()) != group) return;
+      OperatorSample sample;
+      sample.node_features = NodeFeatures(node);
+      sample.meta_features = NodeMetaFeatures(node, catalog);
+      sample.db_features = db_features;
+      sample.actual_total_time_ms = node.props().actual_total_time_ms;
+      sample.total_cost = node.props().total_cost;
+      sample.startup_cost = node.props().startup_cost;
+      group_node_features.push_back(sample.node_features);
+      samples.push_back(std::move(sample));
+    });
+    // Cumulative sample: summed node features of this group with the plan's
+    // cumulative labels (§3.2.1).
+    if (group_node_features.size() > 1) {
+      OperatorSample cumulative;
+      cumulative.node_features = SumFeatures(group_node_features);
+      cumulative.meta_features =
+          NodeMetaFeatures(*record.query.root, catalog);
+      cumulative.db_features = db_features;
+      cumulative.actual_total_time_ms =
+          record.query.root->props().actual_total_time_ms;
+      cumulative.total_cost = record.query.root->props().total_cost;
+      cumulative.startup_cost = record.query.root->props().startup_cost;
+      samples.push_back(std::move(cumulative));
+    }
+  }
+  return samples;
+}
+
+OperatorDataset SplitOperatorSamples(std::vector<OperatorSample> samples,
+                                     uint64_t seed, double val_fraction,
+                                     double test_fraction) {
+  util::Rng rng(seed);
+  std::vector<int> main_idx, val_idx, test_idx;
+  SplitIndices(static_cast<int>(samples.size()), val_fraction, test_fraction,
+               &rng, &main_idx, &val_idx, &test_idx);
+  OperatorDataset dataset;
+  for (int i : main_idx) dataset.train.push_back(std::move(samples[i]));
+  for (int i : val_idx) dataset.val.push_back(std::move(samples[i]));
+  for (int i : test_idx) dataset.test.push_back(std::move(samples[i]));
+  return dataset;
+}
+
+}  // namespace qpe::data

@@ -1,0 +1,93 @@
+#ifndef QPE_DATA_DATASETS_H_
+#define QPE_DATA_DATASETS_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/plan_corpus.h"
+#include "plan/plan_node.h"
+#include "plan/taxonomy.h"
+#include "simdb/workload_runner.h"
+#include "simdb/workloads.h"
+#include "smatch/smatch.h"
+#include "util/rng.h"
+
+namespace qpe::data {
+
+// ---------------------------------------------------------------------------
+// Plan-pair similarity datasets (structure encoder pretraining/finetuning)
+// ---------------------------------------------------------------------------
+
+struct PlanPair {
+  std::unique_ptr<plan::PlanNode> left;
+  std::unique_ptr<plan::PlanNode> right;
+  double smatch = 0;  // optimal-matching F1, the regression target
+};
+
+struct PlanPairDataset {
+  std::vector<PlanPair> train;
+  std::vector<PlanPair> dev;
+  std::vector<PlanPair> test;
+};
+
+struct PairDatasetOptions {
+  int num_pairs = 2000;
+  // Fraction of pairs built as (plan, mutation-of-plan) so the Smatch label
+  // distribution covers the high end; the rest are random pairs.
+  double related_fraction = 0.5;
+  // train:dev:test ratio 20:1:1 as in the paper (§6.1).
+  double dev_fraction = 1.0 / 22.0;
+  double test_fraction = 1.0 / 22.0;
+  uint64_t seed = 17;
+  CorpusOptions corpus;
+};
+
+// Pairs over the synthetic crowdsourced corpus.
+PlanPairDataset BuildCorpusPairDataset(const PairDatasetOptions& options);
+
+// Pairs over plans produced by a benchmark workload (planner output across
+// random configurations); used for the TPC-H / TPC-DS / Spatial domain
+// adaptation experiments.
+PlanPairDataset BuildWorkloadPairDataset(
+    const simdb::BenchmarkWorkload& workload, const PairDatasetOptions& options);
+
+// ---------------------------------------------------------------------------
+// Per-operator performance samples (performance encoder training)
+// ---------------------------------------------------------------------------
+
+struct OperatorSample {
+  std::vector<double> node_features;
+  std::vector<double> meta_features;
+  std::vector<double> db_features;
+  // Labels (raw units; training applies EncodeLabel).
+  double actual_total_time_ms = 0;
+  double total_cost = 0;
+  double startup_cost = 0;
+};
+
+struct OperatorDataset {
+  std::vector<OperatorSample> train;
+  std::vector<OperatorSample> val;
+  std::vector<OperatorSample> test;
+};
+
+// Extracts one sample per node of `group` from each executed query, plus the
+// summed-features sample carrying the plan's cumulative labels (§3.2.1).
+std::vector<OperatorSample> ExtractOperatorSamples(
+    const std::vector<simdb::ExecutedQuery>& executed,
+    const catalog::Catalog& catalog, plan::OperatorGroup group);
+
+// Random 8:1:1 split (paper §6.2).
+OperatorDataset SplitOperatorSamples(std::vector<OperatorSample> samples,
+                                     uint64_t seed, double val_fraction = 0.1,
+                                     double test_fraction = 0.1);
+
+// Shuffled index split helper used throughout.
+void SplitIndices(int n, double first_fraction, double second_fraction,
+                  util::Rng* rng, std::vector<int>* main_split,
+                  std::vector<int>* first_split,
+                  std::vector<int>* second_split);
+
+}  // namespace qpe::data
+
+#endif  // QPE_DATA_DATASETS_H_

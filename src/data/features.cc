@@ -1,0 +1,98 @@
+#include "data/features.h"
+
+#include <cmath>
+#include <set>
+
+namespace qpe::data {
+
+namespace {
+
+double L(double v) { return std::log1p(std::max(0.0, v)) / 20.0; }
+
+}  // namespace
+
+std::vector<double> NodeFeatures(const plan::PlanNode& node) {
+  const plan::PlanProperties& p = node.props();
+  std::vector<double> f;
+  f.reserve(kNodeFeatureDim);
+  // --- Common (Table 1 "All") ---
+  f.push_back(L(p.actual_loops));
+  f.push_back(L(p.actual_rows));
+  f.push_back(L(p.plan_rows));
+  f.push_back(p.plan_width / 400.0);
+  f.push_back(L(p.shared_hit_blocks));
+  f.push_back(L(p.shared_read_blocks));
+  f.push_back(L(p.shared_dirtied_blocks));
+  f.push_back(L(p.shared_written_blocks));
+  f.push_back(L(p.local_hit_blocks));
+  f.push_back(L(p.local_read_blocks));
+  f.push_back(L(p.local_dirtied_blocks));
+  f.push_back(L(p.local_written_blocks));
+  f.push_back(L(p.temp_read_blocks));
+  f.push_back(L(p.temp_written_blocks));
+  f.push_back(static_cast<double>(p.parent_relationship) / 5.0);
+  f.push_back(L(p.plan_buffers));
+  // --- Scan ---
+  f.push_back(p.scan_direction);
+  f.push_back(p.has_index_condition ? 1.0 : 0.0);
+  f.push_back(p.has_recheck_condition ? 1.0 : 0.0);
+  f.push_back(p.has_filter ? 1.0 : 0.0);
+  f.push_back(L(p.rows_removed_by_filter));
+  f.push_back(L(p.heap_blocks));
+  f.push_back(p.parallel ? 1.0 : 0.0);
+  // --- Join ---
+  f.push_back(static_cast<double>(p.join_kind) / 6.0);
+  f.push_back(p.inner_unique ? 1.0 : 0.0);
+  f.push_back(p.has_merge_condition ? 1.0 : 0.0);
+  f.push_back(p.has_hash_condition ? 1.0 : 0.0);
+  f.push_back(L(p.rows_removed_by_join_filter));
+  f.push_back(L(p.hash_buckets));
+  f.push_back(L(p.hash_batches));
+  // --- Sort ---
+  f.push_back(static_cast<double>(p.sort_method) / 4.0);
+  f.push_back(L(p.sort_space_used_kb));
+  f.push_back(p.sort_space_on_disk ? 1.0 : 0.0);
+  f.push_back(p.num_sort_keys / 8.0);
+  // --- Aggregate ---
+  f.push_back(static_cast<double>(p.aggregate_strategy) / 4.0);
+  f.push_back(p.parallel_aware ? 1.0 : 0.0);
+  f.push_back(p.partial_mode ? 1.0 : 0.0);
+  // --- Shared join/sort/agg ---
+  f.push_back(L(p.peak_memory_kb));
+  // --- Topology hints ---
+  f.push_back(static_cast<double>(node.children().size()) / 4.0);
+  f.push_back(node.children().empty() ? 1.0 : 0.0);
+  return f;
+}
+
+std::vector<std::string> SubtreeRelations(const plan::PlanNode& node) {
+  std::set<std::string> unique;
+  node.Visit([&](const plan::PlanNode& n) {
+    for (const std::string& rel : n.relations()) unique.insert(rel);
+  });
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<double> NodeMetaFeatures(const plan::PlanNode& node,
+                                     const catalog::Catalog& catalog) {
+  return catalog.MetaFeatures(SubtreeRelations(node));
+}
+
+std::vector<double> SumFeatures(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  std::vector<double> total(rows[0].size(), 0.0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) total[i] += row[i];
+  }
+  return total;
+}
+
+double EncodeLabel(double raw) { return std::log1p(std::max(0.0, raw)) / 15.0; }
+
+double DecodeLabel(double encoded) {
+  // Clamp to the plausible range (0 .. ~5e8 ms): an untrained or diverging
+  // head must not explode an MAE through the exponential decode.
+  return std::expm1(std::min(20.0, std::max(0.0, encoded * 15.0)));
+}
+
+}  // namespace qpe::data

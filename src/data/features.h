@@ -1,0 +1,43 @@
+#ifndef QPE_DATA_FEATURES_H_
+#define QPE_DATA_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "config/db_config.h"
+#include "plan/plan_node.h"
+
+namespace qpe::data {
+
+// Numeric featurization of one plan node's properties (paper Table 1). A
+// single fixed layout covers all operator groups: the common block first,
+// then the scan/join/sort/aggregate blocks (zero where not applicable).
+// Count- and block-valued properties are log1p-compressed; categoricals are
+// small integers. `Total Cost` / `Actual Time` / `Startup` are labels and
+// never appear here.
+inline constexpr int kNodeFeatureDim = 40;
+
+std::vector<double> NodeFeatures(const plan::PlanNode& node);
+
+// The union of relations referenced in a node's subtree (a join node
+// "accesses" everything its scans access); used to look up meta features.
+std::vector<std::string> SubtreeRelations(const plan::PlanNode& node);
+
+// Meta features for a node = catalog.MetaFeatures(SubtreeRelations(node)).
+std::vector<double> NodeMetaFeatures(const plan::PlanNode& node,
+                                     const catalog::Catalog& catalog);
+
+// Elementwise sum of node feature vectors across a set of nodes; the paper
+// feeds the *summed* features of all same-group nodes with the cumulative
+// plan label as an extra training sample (§3.2.1).
+std::vector<double> SumFeatures(const std::vector<std::vector<double>>& rows);
+
+// Label transform for time/cost regression: train in log space so the loss
+// is scale-free across milliseconds..minutes.
+double EncodeLabel(double raw);
+double DecodeLabel(double encoded);
+
+}  // namespace qpe::data
+
+#endif  // QPE_DATA_FEATURES_H_

@@ -1,0 +1,111 @@
+#include "data/plan_corpus.h"
+
+#include <string>
+#include <vector>
+
+namespace qpe::data {
+
+namespace {
+
+using plan::OperatorType;
+using plan::PlanNode;
+
+OperatorType Op(const char* token) { return OperatorType::Parse(token); }
+
+const std::vector<OperatorType>& ScanPool() {
+  static const std::vector<OperatorType>* const kPool =
+      new std::vector<OperatorType>{
+          Op("Scan-Seq"),          Op("Scan-Index"),
+          Op("Scan-IndexOnly"),    Op("Scan-Heap-Bitmap"),
+          Op("Scan-Index-Bitmap"), Op("Scan-CTE"),
+          Op("Scan-Subquery"),     Op("Scan-Foreign"),
+          Op("Scan-Table"),        Op("Scan-Seq-Parallel"),
+      };
+  return *kPool;
+}
+
+const std::vector<OperatorType>& JoinPool() {
+  static const std::vector<OperatorType>* const kPool =
+      new std::vector<OperatorType>{
+          Op("Join-Hash"),        Op("Join-Merge"),      Op("Loop-Nested"),
+          Op("Join-Hash-Left"),   Op("Join-Merge-Left"), Op("Join-Hash-Semi"),
+          Op("Join-Hash-Anti"),   Op("Join-Merge-Full"), Op("Join-Hash-Right"),
+      };
+  return *kPool;
+}
+
+const std::vector<OperatorType>& UnaryPool() {
+  static const std::vector<OperatorType>* const kPool =
+      new std::vector<OperatorType>{
+          Op("Sort"),           Op("Aggregate"),       Op("Aggregate-Hash"),
+          Op("GroupAggregate"), Op("Limit"),           Op("Materialize"),
+          Op("Unique"),         Op("Hash"),            Op("Gather"),
+          Op("Filter"),         Op("WindowAgg"),       Op("Result"),
+          Op("Sort-Partial"),   Op("Append"),
+      };
+  return *kPool;
+}
+
+}  // namespace
+
+OperatorType RandomPlanGenerator::RandomScanType() {
+  return ScanPool()[rng_.UniformInt(0, ScanPool().size() - 1)];
+}
+OperatorType RandomPlanGenerator::RandomJoinType() {
+  return JoinPool()[rng_.UniformInt(0, JoinPool().size() - 1)];
+}
+OperatorType RandomPlanGenerator::RandomUnaryType() {
+  return UnaryPool()[rng_.UniformInt(0, UnaryPool().size() - 1)];
+}
+
+std::unique_ptr<PlanNode> RandomPlanGenerator::GenerateSubtree(int depth,
+                                                               int* budget) {
+  if (*budget <= 1 || (depth > 2 && !rng_.Bernoulli(options_.join_growth))) {
+    *budget -= 1;
+    return std::make_unique<PlanNode>(RandomScanType());
+  }
+  // Occasionally wrap in a unary operator.
+  if (rng_.Bernoulli(0.3) && *budget >= 3) {
+    *budget -= 1;
+    auto unary = std::make_unique<PlanNode>(RandomUnaryType());
+    unary->AddChild(GenerateSubtree(depth + 1, budget));
+    return unary;
+  }
+  *budget -= 1;
+  auto join = std::make_unique<PlanNode>(RandomJoinType());
+  join->AddChild(GenerateSubtree(depth + 1, budget));
+  join->AddChild(GenerateSubtree(depth + 1, budget));
+  return join;
+}
+
+std::unique_ptr<PlanNode> RandomPlanGenerator::Generate() {
+  while (true) {
+    int budget = static_cast<int>(
+        rng_.UniformInt(options_.min_nodes, options_.max_nodes));
+    auto root = std::make_unique<PlanNode>(RandomUnaryType());
+    root->AddChild(GenerateSubtree(1, &budget));
+    const int nodes = root->NumNodes();
+    if (nodes >= options_.min_nodes && nodes <= options_.max_nodes) {
+      return root;
+    }
+  }
+}
+
+std::unique_ptr<PlanNode> RandomPlanGenerator::Mutate(const PlanNode& original,
+                                                      double mutation_rate) {
+  auto copy = original.Clone();
+  copy->VisitMutable([&](PlanNode* node) {
+    if (!rng_.Bernoulli(mutation_rate)) return;
+    // Relabel within the same arity class so the tree stays grammatical.
+    if (node->children().size() >= 2) {
+      node->set_type(RandomJoinType());
+    } else if (node->children().size() == 1) {
+      node->set_type(RandomUnaryType());
+    } else {
+      node->set_type(RandomScanType());
+    }
+  });
+  return copy;
+}
+
+}  // namespace qpe::data

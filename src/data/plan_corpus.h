@@ -1,0 +1,49 @@
+#ifndef QPE_DATA_PLAN_CORPUS_H_
+#define QPE_DATA_PLAN_CORPUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "util/rng.h"
+
+namespace qpe::data {
+
+// Synthetic stand-in for the paper's crowdsourced explain.depesz.com corpus:
+// a generator of structurally diverse random plan trees over the full
+// operator taxonomy. Trees are grammatical (scans at the leaves, joins
+// binary, unary shaping operators above), with sizes distributed from tiny
+// OLTP lookups to deep analytic plans; plans above `max_nodes` are pruned
+// away, mirroring the paper's >200-node cut.
+struct CorpusOptions {
+  int min_nodes = 3;
+  int max_nodes = 200;
+  // Average plan size knob: probability of growing another join level.
+  double join_growth = 0.55;
+};
+
+class RandomPlanGenerator {
+ public:
+  explicit RandomPlanGenerator(util::Rng rng, CorpusOptions options = {})
+      : rng_(rng), options_(options) {}
+
+  std::unique_ptr<plan::PlanNode> Generate();
+
+  // A structural mutation of an existing plan (relabel some operators, drop
+  // or add a subtree); used to create related plan pairs with high Smatch.
+  std::unique_ptr<plan::PlanNode> Mutate(const plan::PlanNode& original,
+                                         double mutation_rate = 0.2);
+
+ private:
+  std::unique_ptr<plan::PlanNode> GenerateSubtree(int depth, int* budget);
+  plan::OperatorType RandomScanType();
+  plan::OperatorType RandomJoinType();
+  plan::OperatorType RandomUnaryType();
+
+  util::Rng rng_;
+  CorpusOptions options_;
+};
+
+}  // namespace qpe::data
+
+#endif  // QPE_DATA_PLAN_CORPUS_H_

@@ -1,0 +1,61 @@
+#include "encoder/encoder_suite.h"
+
+#include "nn/serialize.h"
+
+namespace qpe::encoder {
+
+namespace {
+
+const char* const kPerfFileNames[4] = {"perf_scan.qpe", "perf_join.qpe",
+                                       "perf_sort.qpe", "perf_aggregate.qpe"};
+
+}  // namespace
+
+EncoderSuite::EncoderSuite(const Config& config) : config_(config) {
+  util::Rng rng(config.seed);
+  structure_ =
+      std::make_unique<TransformerPlanEncoder>(config.structure, &rng);
+  for (auto& perf : performance_) {
+    perf = std::make_unique<PerformanceEncoder>(config.performance, &rng);
+  }
+}
+
+tasks::EmbeddingFeaturizer::Config EncoderSuite::FeaturizerConfig(
+    const catalog::Catalog* catalog) const {
+  tasks::EmbeddingFeaturizer::Config featurizer_config;
+  featurizer_config.structure = structure_.get();
+  for (int g = 0; g < 4; ++g) {
+    featurizer_config.performance[g] = performance_[g].get();
+  }
+  featurizer_config.catalog = catalog;
+  return featurizer_config;
+}
+
+bool EncoderSuite::SaveToDirectory(const std::string& directory) const {
+  if (!nn::SaveModuleToFile(*structure_, directory + "/structure.qpe")) {
+    return false;
+  }
+  for (int g = 0; g < 4; ++g) {
+    if (!nn::SaveModuleToFile(*performance_[g],
+                              directory + "/" + kPerfFileNames[g])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EncoderSuite::LoadFromDirectory(const std::string& directory) {
+  if (!nn::LoadModuleFromFile(structure_.get(),
+                              directory + "/structure.qpe")) {
+    return false;
+  }
+  for (int g = 0; g < 4; ++g) {
+    if (!nn::LoadModuleFromFile(performance_[g].get(),
+                                directory + "/" + kPerfFileNames[g])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qpe::encoder

@@ -1,0 +1,185 @@
+#include "encoder/performance_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/features.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace qpe::encoder {
+
+// --- PerfEncoderBase ---
+
+PerfEncoderBase::PerfEncoderBase(const PerfEncoderConfig& config,
+                                 util::Rng* rng)
+    : config_(config) {
+  heads_ = RegisterModule("heads",
+                          std::make_unique<nn::Linear>(config.embed_dim, 3, rng));
+}
+
+nn::Tensor PerfEncoderBase::PredictLabels(const nn::Tensor& embedding) const {
+  return heads_->Forward(embedding);
+}
+
+// --- PerformanceEncoder (three-column) ---
+
+PerformanceEncoder::PerformanceEncoder(const PerfEncoderConfig& config,
+                                       util::Rng* rng)
+    : PerfEncoderBase(config, rng) {
+  node_column_ = RegisterModule(
+      "node_column",
+      std::make_unique<nn::Mlp>(
+          std::vector<int>{config.node_dim, config.column_hidden,
+                           config.column_hidden},
+          nn::Activation::kRelu, nn::Activation::kRelu, rng));
+  meta_column_ = RegisterModule(
+      "meta_column",
+      std::make_unique<nn::Mlp>(
+          std::vector<int>{config.meta_dim, config.column_hidden,
+                           config.column_hidden},
+          nn::Activation::kRelu, nn::Activation::kRelu, rng));
+  db_column_ = RegisterModule(
+      "db_column",
+      std::make_unique<nn::Mlp>(
+          std::vector<int>{config.db_dim, config.column_hidden,
+                           config.column_hidden},
+          nn::Activation::kRelu, nn::Activation::kRelu, rng));
+  merge_ = RegisterModule(
+      "merge",
+      std::make_unique<nn::Linear>(3 * config.column_hidden, config.embed_dim,
+                                   rng));
+}
+
+nn::Tensor PerformanceEncoder::Embed(const nn::Tensor& node_features,
+                                     const nn::Tensor& meta_features,
+                                     const nn::Tensor& db_features) const {
+  const nn::Tensor merged = nn::ConcatCols({node_column_->Forward(node_features),
+                                        meta_column_->Forward(meta_features),
+                                        db_column_->Forward(db_features)});
+  return Relu(merge_->Forward(merged));
+}
+
+// --- SingleColumnPerformanceEncoder ---
+
+SingleColumnPerformanceEncoder::SingleColumnPerformanceEncoder(
+    const PerfEncoderConfig& config, util::Rng* rng)
+    : PerfEncoderBase(config, rng) {
+  const int input_dim = config.node_dim + config.meta_dim + config.db_dim;
+  // Same depth and comparable width as the three-column model.
+  stack_ = RegisterModule(
+      "stack", std::make_unique<nn::Mlp>(
+                   std::vector<int>{input_dim, 3 * config.column_hidden,
+                                    3 * config.column_hidden, config.embed_dim},
+                   nn::Activation::kRelu, nn::Activation::kRelu, rng));
+}
+
+nn::Tensor SingleColumnPerformanceEncoder::Embed(
+    const nn::Tensor& node_features, const nn::Tensor& meta_features,
+    const nn::Tensor& db_features) const {
+  return stack_->Forward(
+      nn::ConcatCols({node_features, meta_features, db_features}));
+}
+
+// --- Training ---
+
+namespace {
+
+nn::Tensor RowsToTensor(const std::vector<data::OperatorSample>& samples,
+                        const std::vector<int>& indices,
+                        const std::vector<double> data::OperatorSample::*field) {
+  const int cols =
+      static_cast<int>((samples[indices[0]].*field).size());
+  std::vector<float> data;
+  data.reserve(indices.size() * cols);
+  for (int i : indices) {
+    for (double v : samples[i].*field) data.push_back(static_cast<float>(v));
+  }
+  return nn::Tensor::FromVector(static_cast<int>(indices.size()), cols, data);
+}
+
+}  // namespace
+
+PerfBatch MakePerfBatch(const std::vector<data::OperatorSample>& samples,
+                        const std::vector<int>& indices) {
+  PerfBatch batch;
+  batch.node = RowsToTensor(samples, indices, &data::OperatorSample::node_features);
+  batch.meta = RowsToTensor(samples, indices, &data::OperatorSample::meta_features);
+  batch.db = RowsToTensor(samples, indices, &data::OperatorSample::db_features);
+  std::vector<float> labels;
+  labels.reserve(indices.size() * 3);
+  for (int i : indices) {
+    labels.push_back(
+        static_cast<float>(data::EncodeLabel(samples[i].actual_total_time_ms)));
+    labels.push_back(static_cast<float>(data::EncodeLabel(samples[i].total_cost)));
+    labels.push_back(
+        static_cast<float>(data::EncodeLabel(samples[i].startup_cost)));
+  }
+  batch.labels = nn::Tensor::FromVector(static_cast<int>(indices.size()), 3,
+                                        labels);
+  return batch;
+}
+
+double EvaluatePerfMaeMs(const PerfEncoderBase& model,
+                         const std::vector<data::OperatorSample>& samples) {
+  if (samples.empty()) return 0;
+  std::vector<int> all(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) all[i] = static_cast<int>(i);
+  const PerfBatch batch = MakePerfBatch(samples, all);
+  const nn::Tensor pred =
+      model.PredictLabels(model.Embed(batch.node, batch.meta, batch.db));
+  double total = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double pred_ms = data::DecodeLabel(pred.at(static_cast<int>(i), 0));
+    total += std::abs(pred_ms - samples[i].actual_total_time_ms);
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+std::vector<PerfEpochStats> TrainPerformanceEncoder(
+    PerfEncoderBase* model, const data::OperatorDataset& dataset,
+    const PerfTrainOptions& options) {
+  std::vector<nn::Tensor> params = model->Parameters();
+  nn::Adam optimizer(params, options.lr);
+  util::Rng rng(options.seed);
+  std::vector<PerfEpochStats> history;
+  double best_val = 1e18;
+  int best_epoch = -1;
+  model->SetTraining(true);
+  const int n = static_cast<int>(dataset.train.size());
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<int> order = rng.Permutation(n);
+    for (int start = 0; start < n; start += options.batch_size) {
+      const int end = std::min(n, start + options.batch_size);
+      const std::vector<int> indices(order.begin() + start,
+                                     order.begin() + end);
+      const PerfBatch batch = MakePerfBatch(dataset.train, indices);
+      const nn::Tensor pred =
+          model->PredictLabels(model->Embed(batch.node, batch.meta, batch.db));
+      const nn::Tensor loss = nn::MseLoss(pred, batch.labels);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(params, options.grad_clip);
+      optimizer.Step();
+    }
+    PerfEpochStats stats;
+    model->SetTraining(false);
+    stats.train_mae_ms = EvaluatePerfMaeMs(*model, dataset.train);
+    stats.val_mae_ms = EvaluatePerfMaeMs(*model, dataset.val);
+    stats.test_mae_ms = EvaluatePerfMaeMs(*model, dataset.test);
+    model->SetTraining(true);
+    history.push_back(stats);
+    if (stats.val_mae_ms < best_val - 1e-12) {
+      best_val = stats.val_mae_ms;
+      best_epoch = epoch;
+    }
+    if (options.patience_epochs > 0 &&
+        epoch - best_epoch >= options.patience_epochs) {
+      break;  // validation MAE stopped improving
+    }
+  }
+  model->SetTraining(false);
+  return history;
+}
+
+}  // namespace qpe::encoder

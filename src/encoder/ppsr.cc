@@ -1,0 +1,86 @@
+#include "encoder/ppsr.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace qpe::encoder {
+
+PpsrModel::PpsrModel(std::unique_ptr<PlanSequenceEncoder> encoder,
+                     util::Rng* rng) {
+  const int d = encoder->output_dim();
+  encoder_ = RegisterModule("encoder", std::move(encoder));
+  match_ = RegisterModule("match", std::make_unique<nn::Linear>(4 * d, 1, rng));
+}
+
+nn::Tensor PpsrModel::PredictSimilarity(const plan::PlanNode& left,
+                                        const plan::PlanNode& right,
+                                        util::Rng* dropout_rng) const {
+  const nn::Tensor v1 = encoder_->Encode(left, dropout_rng);
+  const nn::Tensor v2 = encoder_->Encode(right, dropout_rng);
+  const nn::Tensor features =
+      nn::ConcatCols({v1, v2, Abs(Sub(v1, v2)), Mul(v1, v2)});
+  return Sigmoid(match_->Forward(features));
+}
+
+std::vector<nn::Tensor> PpsrModel::HeadParameters() const {
+  return match_->Parameters();
+}
+
+double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
+                 const PpsrTrainOptions& options) {
+  std::vector<nn::Tensor> params =
+      options.freeze_encoder ? model->HeadParameters() : model->Parameters();
+  nn::Adam optimizer(params, options.lr);
+  util::Rng rng(options.seed);
+  model->SetTraining(true);
+  double last_epoch_loss = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const std::vector<int> order =
+        rng.Permutation(static_cast<int>(train.size()));
+    double epoch_loss = 0;
+    int batches = 0;
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      nn::Tensor batch_loss = nn::Tensor::Scalar(0.0f);
+      int batch_count = 0;
+      for (size_t i = start;
+           i < order.size() && i < start + options.batch_size; ++i) {
+        const data::PlanPair& pair = train[order[i]];
+        const nn::Tensor pred =
+            model->PredictSimilarity(*pair.left, *pair.right, &rng);
+        const nn::Tensor target =
+            nn::Tensor::Scalar(static_cast<float>(pair.smatch));
+        batch_loss = Add(batch_loss, Square(Sub(pred, target)));
+        ++batch_count;
+      }
+      if (batch_count == 0) continue;
+      const nn::Tensor loss =
+          Scale(batch_loss, 1.0f / static_cast<float>(batch_count));
+      optimizer.ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(params, options.grad_clip);
+      optimizer.Step();
+      epoch_loss += loss.value()[0];
+      ++batches;
+    }
+    last_epoch_loss = batches > 0 ? epoch_loss / batches : 0;
+  }
+  model->SetTraining(false);
+  return last_epoch_loss;
+}
+
+double EvaluatePpsrMae(const PpsrModel& model,
+                       const std::vector<data::PlanPair>& pairs) {
+  if (pairs.empty()) return 0;
+  double total = 0;
+  for (const data::PlanPair& pair : pairs) {
+    const nn::Tensor pred =
+        model.PredictSimilarity(*pair.left, *pair.right, nullptr);
+    total += std::abs(static_cast<double>(pred.value()[0]) - pair.smatch);
+  }
+  return total / static_cast<double>(pairs.size());
+}
+
+}  // namespace qpe::encoder

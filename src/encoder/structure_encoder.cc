@@ -1,0 +1,214 @@
+#include "encoder/structure_encoder.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace qpe::encoder {
+
+using plan::Taxonomy;
+
+TokenIds TokensToIds(const std::vector<plan::OperatorType>& tokens) {
+  TokenIds ids;
+  ids.level1.reserve(tokens.size());
+  ids.level2.reserve(tokens.size());
+  ids.level3.reserve(tokens.size());
+  for (const plan::OperatorType& t : tokens) {
+    ids.level1.push_back(t.level1);
+    ids.level2.push_back(t.level2);
+    ids.level3.push_back(t.level3);
+  }
+  return ids;
+}
+
+int BagOfTokensDim() {
+  const Taxonomy& tax = Taxonomy::Get();
+  return tax.Level1Count() + tax.Level2Count() + tax.Level3Count() + 2;
+}
+
+std::vector<double> BagOfTokens(const plan::PlanNode& root) {
+  const Taxonomy& tax = Taxonomy::Get();
+  std::vector<double> features(BagOfTokensDim(), 0.0);
+  int nodes = 0;
+  root.Visit([&](const plan::PlanNode& n) {
+    ++nodes;
+    features[n.type().level1] += 1.0;
+    features[tax.Level1Count() + n.type().level2] += 1.0;
+    features[tax.Level1Count() + tax.Level2Count() + n.type().level3] += 1.0;
+  });
+  const double inv = nodes > 0 ? 1.0 / nodes : 0.0;
+  for (double& f : features) f *= inv;
+  features[features.size() - 2] = std::log1p(static_cast<double>(nodes)) / 6.0;
+  features[features.size() - 1] =
+      std::log1p(static_cast<double>(root.Depth())) / 5.0;
+  return features;
+}
+
+namespace {
+
+nn::Tensor FeaturesToTensor(const std::vector<double>& features) {
+  std::vector<float> data(features.begin(), features.end());
+  return nn::Tensor::FromVector(1, static_cast<int>(data.size()), data);
+}
+
+}  // namespace
+
+// --- TransformerPlanEncoder ---
+
+TransformerPlanEncoder::TransformerPlanEncoder(
+    const StructureEncoderConfig& config, util::Rng* rng)
+    : config_(config) {
+  const Taxonomy& tax = Taxonomy::Get();
+  embed1_ = RegisterModule("embed1", std::make_unique<nn::Embedding>(
+                                         tax.Level1Count(), config.level1_dim,
+                                         rng));
+  embed2_ = RegisterModule("embed2", std::make_unique<nn::Embedding>(
+                                         tax.Level2Count(), config.level2_dim,
+                                         rng));
+  embed3_ = RegisterModule("embed3", std::make_unique<nn::Embedding>(
+                                         tax.Level3Count(), config.level3_dim,
+                                         rng));
+  transformer_ = RegisterModule(
+      "transformer",
+      std::make_unique<nn::TransformerEncoder>(
+          config.ModelDim(), config.num_heads, config.ff_dim,
+          config.num_layers, config.max_len, config.dropout, rng));
+  if (config.output_dim > 0 && config.output_dim != config.ModelDim()) {
+    projection_ = RegisterModule(
+        "projection",
+        std::make_unique<nn::Linear>(config.ModelDim(), config.output_dim, rng));
+  }
+}
+
+int TransformerPlanEncoder::output_dim() const {
+  return projection_ != nullptr ? config_.output_dim : config_.ModelDim();
+}
+
+nn::Tensor TransformerPlanEncoder::EncodeTokens(
+    const std::vector<plan::OperatorType>& tokens,
+    util::Rng* dropout_rng) const {
+  const TokenIds ids = TokensToIds(tokens);
+  const nn::Tensor embedded = nn::ConcatCols({embed1_->Forward(ids.level1),
+                                          embed2_->Forward(ids.level2),
+                                          embed3_->Forward(ids.level3)});
+  const nn::Tensor contextual = transformer_->Forward(embedded, dropout_rng);
+  // CLS pooling: the first token aggregates the sequence (§3.1.2).
+  nn::Tensor cls = SliceRows(contextual, 0, 1);
+  if (projection_ != nullptr) cls = projection_->Forward(cls);
+  return cls;
+}
+
+nn::Tensor TransformerPlanEncoder::Encode(const plan::PlanNode& root,
+                                          util::Rng* dropout_rng) const {
+  return EncodeTokens(plan::LinearizeDfsBracket(root), dropout_rng);
+}
+
+// --- LstmPlanEncoder ---
+
+LstmPlanEncoder::LstmPlanEncoder(const StructureEncoderConfig& config,
+                                 util::Rng* rng)
+    : config_(config) {
+  const Taxonomy& tax = Taxonomy::Get();
+  embed1_ = RegisterModule("embed1", std::make_unique<nn::Embedding>(
+                                         tax.Level1Count(), config.level1_dim,
+                                         rng));
+  embed2_ = RegisterModule("embed2", std::make_unique<nn::Embedding>(
+                                         tax.Level2Count(), config.level2_dim,
+                                         rng));
+  embed3_ = RegisterModule("embed3", std::make_unique<nn::Embedding>(
+                                         tax.Level3Count(), config.level3_dim,
+                                         rng));
+  lstm_ = RegisterModule(
+      "lstm", std::make_unique<nn::Lstm>(config.ModelDim(), config.ModelDim(),
+                                         rng));
+  if (config.output_dim > 0 && config.output_dim != config.ModelDim()) {
+    projection_ = RegisterModule(
+        "projection",
+        std::make_unique<nn::Linear>(config.ModelDim(), config.output_dim, rng));
+  }
+}
+
+int LstmPlanEncoder::output_dim() const {
+  return projection_ != nullptr ? config_.output_dim : config_.ModelDim();
+}
+
+nn::Tensor LstmPlanEncoder::Encode(const plan::PlanNode& root,
+                                   util::Rng* dropout_rng) const {
+  (void)dropout_rng;
+  std::vector<plan::OperatorType> tokens = plan::LinearizeDfsBracket(root);
+  if (static_cast<int>(tokens.size()) > config_.max_len) {
+    tokens.resize(config_.max_len);
+  }
+  const TokenIds ids = TokensToIds(tokens);
+  const nn::Tensor embedded = nn::ConcatCols({embed1_->Forward(ids.level1),
+                                          embed2_->Forward(ids.level2),
+                                          embed3_->Forward(ids.level3)});
+  nn::Tensor final_state = lstm_->Forward(embedded);
+  if (projection_ != nullptr) final_state = projection_->Forward(final_state);
+  return final_state;
+}
+
+// --- FnnPlanEncoder ---
+
+FnnPlanEncoder::FnnPlanEncoder(int hidden_dim, int output_dim, util::Rng* rng)
+    : output_dim_(output_dim) {
+  mlp_ = RegisterModule(
+      "mlp", std::make_unique<nn::Mlp>(
+                 std::vector<int>{BagOfTokensDim(), hidden_dim, output_dim},
+                 nn::Activation::kRelu, nn::Activation::kNone, rng));
+}
+
+nn::Tensor FnnPlanEncoder::Encode(const plan::PlanNode& root,
+                                  util::Rng* dropout_rng) const {
+  (void)dropout_rng;
+  return mlp_->Forward(FeaturesToTensor(BagOfTokens(root)));
+}
+
+// --- SparseAutoencoder ---
+
+SparseAutoencoder::SparseAutoencoder(int code_dim, util::Rng* rng)
+    : code_dim_(code_dim) {
+  encoder_ = RegisterModule(
+      "encoder", std::make_unique<nn::Linear>(BagOfTokensDim(), code_dim, rng));
+  decoder_ = RegisterModule(
+      "decoder", std::make_unique<nn::Linear>(code_dim, BagOfTokensDim(), rng));
+}
+
+nn::Tensor SparseAutoencoder::EncodeFeatures(const nn::Tensor& features) const {
+  return Sigmoid(encoder_->Forward(features));
+}
+
+nn::Tensor SparseAutoencoder::Encode(const plan::PlanNode& root,
+                                     util::Rng* dropout_rng) const {
+  (void)dropout_rng;
+  return EncodeFeatures(FeaturesToTensor(BagOfTokens(root)));
+}
+
+nn::Tensor SparseAutoencoder::ReconstructionLoss(const plan::PlanNode& root,
+                                                 float sparsity_weight) const {
+  const nn::Tensor features = FeaturesToTensor(BagOfTokens(root));
+  const nn::Tensor code = EncodeFeatures(features);
+  const nn::Tensor reconstruction = decoder_->Forward(code);
+  const nn::Tensor mse = Mean(Square(Sub(reconstruction, features)));
+  const nn::Tensor sparsity = Mean(Abs(code));
+  return Add(mse, Scale(sparsity, sparsity_weight));
+}
+
+void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
+                               const std::vector<const plan::PlanNode*>& plans,
+                               int epochs, float lr, uint64_t seed) {
+  nn::Adam optimizer(autoencoder->Parameters(), lr);
+  util::Rng rng(seed);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const std::vector<int> order =
+        rng.Permutation(static_cast<int>(plans.size()));
+    for (int idx : order) {
+      const nn::Tensor loss = autoencoder->ReconstructionLoss(*plans[idx]);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+}  // namespace qpe::encoder

@@ -1,0 +1,143 @@
+#ifndef QPE_ENCODER_STRUCTURE_ENCODER_H_
+#define QPE_ENCODER_STRUCTURE_ENCODER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "nn/transformer.h"
+#include "plan/linearize.h"
+#include "plan/plan_node.h"
+#include "plan/taxonomy.h"
+
+namespace qpe::encoder {
+
+// Splits a linearized token sequence into three per-level id sequences for
+// the sub-type embeddings.
+struct TokenIds {
+  std::vector<int> level1;
+  std::vector<int> level2;
+  std::vector<int> level3;
+};
+TokenIds TokensToIds(const std::vector<plan::OperatorType>& tokens);
+
+// Bag-of-subtypes featurization of a plan (normalized subtype counts plus
+// size/depth), the input of the FNN baseline and the sparse autoencoder.
+int BagOfTokensDim();
+std::vector<double> BagOfTokens(const plan::PlanNode& root);
+
+// Common interface of all plan structure encoders: plan in, S(p) out.
+class PlanSequenceEncoder : public nn::Module {
+ public:
+  // Returns the structural embedding [1, output_dim]. `dropout_rng` enables
+  // stochastic regularization during training; pass nullptr for eval.
+  virtual nn::Tensor Encode(const plan::PlanNode& root,
+                            util::Rng* dropout_rng) const = 0;
+  virtual int output_dim() const = 0;
+};
+
+struct StructureEncoderConfig {
+  // Sub-type embedding dims; the model dim is their sum (paper: input
+  // embedding is the concatenation of the three sub-type embeddings).
+  int level1_dim = 24;
+  int level2_dim = 12;
+  int level3_dim = 12;
+  int num_heads = 4;
+  int ff_dim = 96;
+  int num_layers = 2;
+  int max_len = 256;
+  float dropout = 0.1f;
+  // Final projection dim; 0 means "use the model dim directly". Used by the
+  // embedding-size sweep of the paper's Figure 9.
+  int output_dim = 0;
+
+  int ModelDim() const { return level1_dim + level2_dim + level3_dim; }
+};
+
+// The paper's structure encoder (§3.1.2): DFS-bracket linearization,
+// three-subtype concatenated input embeddings, multi-head self-attentive
+// (transformer) layers, CLS pooling.
+class TransformerPlanEncoder : public PlanSequenceEncoder {
+ public:
+  TransformerPlanEncoder(const StructureEncoderConfig& config, util::Rng* rng);
+
+  nn::Tensor Encode(const plan::PlanNode& root,
+                    util::Rng* dropout_rng) const override;
+  nn::Tensor EncodeTokens(const std::vector<plan::OperatorType>& tokens,
+                          util::Rng* dropout_rng) const;
+  int output_dim() const override;
+
+ private:
+  StructureEncoderConfig config_;
+  nn::Embedding* embed1_;
+  nn::Embedding* embed2_;
+  nn::Embedding* embed3_;
+  nn::TransformerEncoder* transformer_;
+  nn::Linear* projection_ = nullptr;  // only when output_dim != model dim
+};
+
+// LSTM baseline over the same linearization (LSTM-PPSR in §6.1).
+class LstmPlanEncoder : public PlanSequenceEncoder {
+ public:
+  LstmPlanEncoder(const StructureEncoderConfig& config, util::Rng* rng);
+
+  nn::Tensor Encode(const plan::PlanNode& root,
+                    util::Rng* dropout_rng) const override;
+  int output_dim() const override;
+
+ private:
+  StructureEncoderConfig config_;
+  nn::Embedding* embed1_;
+  nn::Embedding* embed2_;
+  nn::Embedding* embed3_;
+  nn::Lstm* lstm_;
+  nn::Linear* projection_ = nullptr;
+};
+
+// Feed-forward baseline on bag-of-subtype features (FNN in §6.1's
+// from-scratch comparison).
+class FnnPlanEncoder : public PlanSequenceEncoder {
+ public:
+  FnnPlanEncoder(int hidden_dim, int output_dim, util::Rng* rng);
+
+  nn::Tensor Encode(const plan::PlanNode& root,
+                    util::Rng* dropout_rng) const override;
+  int output_dim() const override { return output_dim_; }
+
+ private:
+  int output_dim_;
+  nn::Mlp* mlp_;
+};
+
+// Sparse autoencoder baseline (Sparse-AE in §6.1): self-supervised
+// reconstruction of the bag-of-subtypes vector with an L1 sparsity penalty
+// on the hidden code; Encode() returns the code.
+class SparseAutoencoder : public PlanSequenceEncoder {
+ public:
+  SparseAutoencoder(int code_dim, util::Rng* rng);
+
+  nn::Tensor Encode(const plan::PlanNode& root,
+                    util::Rng* dropout_rng) const override;
+  int output_dim() const override { return code_dim_; }
+
+  // Reconstruction + sparsity loss for one plan (self-supervised pretraining).
+  nn::Tensor ReconstructionLoss(const plan::PlanNode& root,
+                                float sparsity_weight = 1e-3f) const;
+
+ private:
+  nn::Tensor EncodeFeatures(const nn::Tensor& features) const;
+
+  int code_dim_;
+  nn::Linear* encoder_;
+  nn::Linear* decoder_;
+};
+
+// Pretrains a sparse autoencoder on a set of plans.
+void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
+                               const std::vector<const plan::PlanNode*>& plans,
+                               int epochs, float lr, uint64_t seed);
+
+}  // namespace qpe::encoder
+
+#endif  // QPE_ENCODER_STRUCTURE_ENCODER_H_

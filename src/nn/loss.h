@@ -1,0 +1,33 @@
+#ifndef QPE_NN_LOSS_H_
+#define QPE_NN_LOSS_H_
+
+#include "nn/tensor.h"
+
+namespace qpe::nn {
+
+// Loss functions composed from autograd ops. Predictions and targets must
+// have identical shapes; each returns a scalar ([1,1]) tensor.
+
+inline Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  return Mean(Square(Sub(prediction, target)));
+}
+
+inline Tensor L1Loss(const Tensor& prediction, const Tensor& target) {
+  return Mean(Abs(Sub(prediction, target)));
+}
+
+// Binary cross entropy on probabilities (apply Sigmoid first for logits).
+inline Tensor BceLoss(const Tensor& probability, const Tensor& target) {
+  const Tensor pos = Mul(target, Log(probability));
+  const Tensor one_minus_p = Sub(Tensor::Full(probability.rows(),
+                                              probability.cols(), 1.0f),
+                                 probability);
+  const Tensor one_minus_t =
+      Sub(Tensor::Full(target.rows(), target.cols(), 1.0f), target);
+  const Tensor neg = Mul(one_minus_t, Log(one_minus_p));
+  return Scale(Mean(Add(pos, neg)), -1.0f);
+}
+
+}  // namespace qpe::nn
+
+#endif  // QPE_NN_LOSS_H_

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace qpe::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Tensor p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0) {
+    velocity_.reserve(params_.size());
+    for (const Tensor& p : params_) {
+      velocity_.emplace_back(p.numel(), 0.0f);
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor p = params_[i];
+    std::vector<float>& value = p.value();
+    const std::vector<float>& grad = p.grad();
+    if (momentum_ > 0) {
+      std::vector<float>& vel = velocity_[i];
+      for (size_t j = 0; j < value.size(); ++j) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        value[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (size_t j = 0; j < value.size(); ++j) {
+        value[j] -= lr_ * grad[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.numel(), 0.0f);
+    v_.emplace_back(p.numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor p = params_[i];
+    std::vector<float>& value = p.value();
+    const std::vector<float>& grad = p.grad();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace qpe::nn

@@ -1,0 +1,99 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace qpe::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x51504531;  // "QPE1"
+
+void WriteU32(std::ostream& os, uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream& is, uint32_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(is, &len)) return false;
+  s->resize(len);
+  is.read(s->data(), static_cast<std::streamsize>(len));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void SaveModule(const Module& module, std::ostream& os) {
+  const auto named = module.NamedParameters();
+  WriteU32(os, kMagic);
+  WriteU32(os, static_cast<uint32_t>(named.size()));
+  for (const auto& [name, tensor] : named) {
+    WriteString(os, name);
+    WriteU32(os, static_cast<uint32_t>(tensor.rows()));
+    WriteU32(os, static_cast<uint32_t>(tensor.cols()));
+    os.write(reinterpret_cast<const char*>(tensor.value().data()),
+             static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+}
+
+bool LoadModule(Module* module, std::istream& is) {
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(is, &magic) || magic != kMagic) return false;
+  if (!ReadU32(is, &count)) return false;
+  auto named = module->NamedParameters();
+  if (count != named.size()) return false;
+  for (auto& [name, tensor] : named) {
+    std::string stored_name;
+    uint32_t rows = 0, cols = 0;
+    if (!ReadString(is, &stored_name) || stored_name != name) return false;
+    if (!ReadU32(is, &rows) || !ReadU32(is, &cols)) return false;
+    if (static_cast<int>(rows) != tensor.rows() ||
+        static_cast<int>(cols) != tensor.cols()) {
+      return false;
+    }
+    is.read(reinterpret_cast<char*>(tensor.value().data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    if (!is) return false;
+  }
+  return true;
+}
+
+bool SaveModuleToFile(const Module& module, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  SaveModule(module, os);
+  return static_cast<bool>(os);
+}
+
+bool LoadModuleFromFile(Module* module, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return LoadModule(module, is);
+}
+
+bool CopyParameters(const Module& source, Module* dest) {
+  const auto src = source.NamedParameters();
+  auto dst = dest->NamedParameters();
+  if (src.size() != dst.size()) return false;
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i].first != dst[i].first ||
+        src[i].second.rows() != dst[i].second.rows() ||
+        src[i].second.cols() != dst[i].second.cols()) {
+      return false;
+    }
+    dst[i].second.value() = src[i].second.value();
+  }
+  return true;
+}
+
+}  // namespace qpe::nn

@@ -1,0 +1,31 @@
+#ifndef QPE_NN_SERIALIZE_H_
+#define QPE_NN_SERIALIZE_H_
+
+#include <iostream>
+#include <string>
+
+#include "nn/module.h"
+
+namespace qpe::nn {
+
+// Binary checkpointing of module parameters, keyed by the stable dotted
+// parameter names. Loading requires an identically-shaped architecture.
+// This is what carries pretrained encoder weights into finetuning runs.
+
+void SaveModule(const Module& module, std::ostream& os);
+
+// Returns false (leaving already-copied tensors modified) on any
+// name/shape/format mismatch.
+bool LoadModule(Module* module, std::istream& is);
+
+// Convenience file-path wrappers. Save returns false on IO failure.
+bool SaveModuleToFile(const Module& module, const std::string& path);
+bool LoadModuleFromFile(Module* module, const std::string& path);
+
+// In-memory weight transfer between two identically-shaped modules (e.g.
+// cloning a pretrained encoder before finetuning it on a new domain).
+bool CopyParameters(const Module& source, Module* dest);
+
+}  // namespace qpe::nn
+
+#endif  // QPE_NN_SERIALIZE_H_

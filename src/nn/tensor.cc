@@ -1,0 +1,710 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace qpe::nn {
+
+namespace {
+
+constexpr float kLogEps = 1e-12f;
+
+#if defined(__GLIBC__)
+// Training loops allocate/free many medium-sized buffers (a 400x400
+// attention matrix is ~640 KB); glibc's default M_MMAP_THRESHOLD of 128 KB
+// would serve each from a fresh mmap, paying page faults on every forward
+// pass. Keep them on the recycled heap instead. Lives here so it links into
+// every binary that uses tensors.
+struct MallocTuning {
+  MallocTuning() {
+    mallopt(M_MMAP_THRESHOLD, 256 << 20);
+    mallopt(M_TRIM_THRESHOLD, 256 << 20);
+  }
+};
+const MallocTuning kMallocTuning;
+#endif  // __GLIBC__
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction and accessors
+// ---------------------------------------------------------------------------
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  auto impl = std::make_shared<Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->requires_grad = requires_grad;
+  impl->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  impl->grad.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  Tensor t = Zeros(rows, cols, requires_grad);
+  std::fill(t.value().begin(), t.value().end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(int rows, int cols, const std::vector<float>& data,
+                          bool requires_grad) {
+  assert(static_cast<int>(data.size()) == rows * cols);
+  Tensor t = Zeros(rows, cols, requires_grad);
+  t.value() = data;
+  return t;
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(1, 1, value, requires_grad);
+}
+
+Tensor Tensor::Xavier(int rows, int cols, util::Rng* rng) {
+  Tensor t = Zeros(rows, cols, /*requires_grad=*/true);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (float& v : t.value()) {
+    v = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(int rows, int cols, float stddev, util::Rng* rng) {
+  Tensor t = Zeros(rows, cols, /*requires_grad=*/true);
+  for (float& v : t.value()) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return t;
+}
+
+int Tensor::rows() const { return impl_ ? impl_->rows : 0; }
+int Tensor::cols() const { return impl_ ? impl_->cols : 0; }
+bool Tensor::requires_grad() const {
+  return impl_ != nullptr && impl_->requires_grad;
+}
+
+std::vector<float>& Tensor::value() { return impl_->value; }
+const std::vector<float>& Tensor::value() const { return impl_->value; }
+std::vector<float>& Tensor::grad() { return impl_->grad; }
+const std::vector<float>& Tensor::grad() const { return impl_->grad; }
+
+float Tensor::at(int r, int c) const {
+  return impl_->value[static_cast<size_t>(r) * impl_->cols + c];
+}
+void Tensor::set(int r, int c, float v) {
+  impl_->value[static_cast<size_t>(r) * impl_->cols + c] = v;
+}
+
+void Tensor::ZeroGrad() const {
+  if (impl_) std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+Tensor Tensor::Detach() const {
+  if (!impl_) return Tensor();
+  Tensor t = Zeros(rows(), cols(), /*requires_grad=*/false);
+  t.value() = impl_->value;
+  return t;
+}
+
+Tensor Tensor::MakeResult(int rows, int cols,
+                          std::vector<std::shared_ptr<Impl>> parents) {
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  Tensor t = Zeros(rows, cols, any_grad);
+  // Only keep graph edges when a gradient can flow.
+  if (any_grad) t.impl_->parents = std::move(parents);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Backward
+// ---------------------------------------------------------------------------
+
+void Tensor::Backward() const {
+  assert(impl_ && impl_->rows == 1 && impl_->cols == 1 &&
+         "Backward() requires a scalar result");
+  // Iterative topological sort (graphs can be thousands of nodes deep for
+  // LSTMs, so recursion is unsafe).
+  std::vector<Impl*> topo;
+  std::vector<std::pair<Impl*, size_t>> stack;  // node, next-parent index
+  stack.emplace_back(impl_.get(), 0);
+  impl_->visited = true;
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      Impl* parent = node->parents[next++].get();
+      if (!parent->visited) {
+        parent->visited = true;
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  for (Impl* node : topo) node->visited = false;  // reset scratch
+
+  impl_->grad[0] = 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ops
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Maps a broadcast operand's (r, c) index for an [m, n] result.
+inline size_t BIdx(int r, int c, int brows, int bcols) {
+  const int rr = brows == 1 ? 0 : r;
+  const int cc = bcols == 1 ? 0 : c;
+  return static_cast<size_t>(rr) * bcols + cc;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, b.impl_});
+  const float* av = a.impl_->value.data();
+  const float* bv = b.impl_->value.data();
+  float* ov = out.impl_->value.data();
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float aval = av[static_cast<size_t>(i) * k + p];
+      if (aval == 0.0f) continue;
+      const float* brow = bv + static_cast<size_t>(p) * n;
+      float* orow = ov + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += aval * brow[j];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_, bi = b.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, bi, oi, m, k, n]() {
+      const float* og = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ag = ai->grad.data();
+        const float* bv = bi->value.data();
+        // dA = dOut * B^T
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            const float g = og[static_cast<size_t>(i) * n + j];
+            if (g == 0.0f) continue;
+            for (int p = 0; p < k; ++p) {
+              ag[static_cast<size_t>(i) * k + p] +=
+                  g * bv[static_cast<size_t>(p) * n + j];
+            }
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        float* bg = bi->grad.data();
+        const float* av = ai->value.data();
+        // dB = A^T * dOut
+        for (int p = 0; p < k; ++p) {
+          for (int i = 0; i < m; ++i) {
+            const float aval = av[static_cast<size_t>(i) * k + p];
+            if (aval == 0.0f) continue;
+            const float* orow = og + static_cast<size_t>(i) * n;
+            float* brow = bg + static_cast<size_t>(p) * n;
+            for (int j = 0; j < n; ++j) brow[j] += aval * orow[j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+
+enum class BinOp { kAdd, kSub, kMul };
+
+Tensor Binary(const Tensor& a, const Tensor& b, BinOp op) {
+  const int m = a.rows(), n = a.cols();
+  const int bm = b.rows(), bn = b.cols();
+  assert((bm == m || bm == 1) && (bn == n || bn == 1));
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, b.impl_});
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const float av = a.impl_->value[static_cast<size_t>(r) * n + c];
+      const float bv = b.impl_->value[BIdx(r, c, bm, bn)];
+      float v = 0;
+      switch (op) {
+        case BinOp::kAdd: v = av + bv; break;
+        case BinOp::kSub: v = av - bv; break;
+        case BinOp::kMul: v = av * bv; break;
+      }
+      out.impl_->value[static_cast<size_t>(r) * n + c] = v;
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_, bi = b.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, bi, oi, m, n, bm, bn, op]() {
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < n; ++c) {
+          const float g = oi->grad[static_cast<size_t>(r) * n + c];
+          if (g == 0.0f) continue;
+          const size_t b_idx = BIdx(r, c, bm, bn);
+          switch (op) {
+            case BinOp::kAdd:
+              if (ai->requires_grad) ai->grad[static_cast<size_t>(r) * n + c] += g;
+              if (bi->requires_grad) bi->grad[b_idx] += g;
+              break;
+            case BinOp::kSub:
+              if (ai->requires_grad) ai->grad[static_cast<size_t>(r) * n + c] += g;
+              if (bi->requires_grad) bi->grad[b_idx] -= g;
+              break;
+            case BinOp::kMul:
+              if (ai->requires_grad) {
+                ai->grad[static_cast<size_t>(r) * n + c] += g * bi->value[b_idx];
+              }
+              if (bi->requires_grad) {
+                bi->grad[b_idx] +=
+                    g * ai->value[static_cast<size_t>(r) * n + c];
+              }
+              break;
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+// Elementwise unary op with derivative expressed from (input, output).
+Tensor Unary(const Tensor& a, float (*fwd)(float),
+             float (*dfn)(float /*x*/, float /*y*/)) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int i = 0; i < m * n; ++i) out.impl_->value[i] = fwd(a.impl_->value[i]);
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, dfn, m, n]() {
+      for (int i = 0; i < m * n; ++i) {
+        ai->grad[i] += oi->grad[i] * dfn(ai->value[i], oi->value[i]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) { return Binary(a, b, BinOp::kAdd); }
+Tensor Sub(const Tensor& a, const Tensor& b) { return Binary(a, b, BinOp::kSub); }
+Tensor Mul(const Tensor& a, const Tensor& b) { return Binary(a, b, BinOp::kMul); }
+
+Tensor Scale(const Tensor& a, float s) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int i = 0; i < m * n; ++i) out.impl_->value[i] = a.impl_->value[i] * s;
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, s, m, n]() {
+      for (int i = 0; i < m * n; ++i) ai->grad[i] += oi->grad[i] * s;
+    };
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int i = 0; i < m * n; ++i) out.impl_->value[i] = a.impl_->value[i] + s;
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, m, n]() {
+      for (int i = 0; i < m * n; ++i) ai->grad[i] += oi->grad[i];
+    };
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::exp(std::min(x, 30.0f)); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::log(std::max(x, kLogEps)); },
+      [](float x, float) { return 1.0f / std::max(x, kLogEps); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::sqrt(std::max(x, 0.0f)); },
+      [](float, float y) { return y > 0 ? 0.5f / y : 0.0f; });
+}
+
+Tensor Square(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return x * x; }, [](float x, float) { return 2 * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return std::abs(x); },
+      [](float x, float) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); });
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeResult(n, m, {a.impl_});
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < n; ++c) {
+      out.impl_->value[static_cast<size_t>(c) * m + r] =
+          a.impl_->value[static_cast<size_t>(r) * n + c];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, m, n]() {
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < n; ++c) {
+          ai->grad[static_cast<size_t>(r) * n + c] +=
+              oi->grad[static_cast<size_t>(c) * m + r];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& a) {
+  Tensor out = Tensor::MakeResult(1, 1, {a.impl_});
+  float total = 0;
+  for (float v : a.impl_->value) total += v;
+  out.impl_->value[0] = total;
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi]() {
+      const float g = oi->grad[0];
+      for (float& ag : ai->grad) ag += g;
+    };
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  return Scale(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor RowSum(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeResult(m, 1, {a.impl_});
+  for (int r = 0; r < m; ++r) {
+    float total = 0;
+    for (int c = 0; c < n; ++c) {
+      total += a.impl_->value[static_cast<size_t>(r) * n + c];
+    }
+    out.impl_->value[r] = total;
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, m, n]() {
+      for (int r = 0; r < m; ++r) {
+        const float g = oi->grad[r];
+        for (int c = 0; c < n; ++c) {
+          ai->grad[static_cast<size_t>(r) * n + c] += g;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor RowMean(const Tensor& a) {
+  return Scale(RowSum(a), 1.0f / static_cast<float>(a.cols()));
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int r = 0; r < m; ++r) {
+    const float* row = a.impl_->value.data() + static_cast<size_t>(r) * n;
+    float* orow = out.impl_->value.data() + static_cast<size_t>(r) * n;
+    float max_v = row[0];
+    for (int c = 1; c < n; ++c) max_v = std::max(max_v, row[c]);
+    float total = 0;
+    for (int c = 0; c < n; ++c) {
+      orow[c] = std::exp(row[c] - max_v);
+      total += orow[c];
+    }
+    for (int c = 0; c < n; ++c) orow[c] /= total;
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, m, n]() {
+      for (int r = 0; r < m; ++r) {
+        const float* y = oi->value.data() + static_cast<size_t>(r) * n;
+        const float* gy = oi->grad.data() + static_cast<size_t>(r) * n;
+        float* gx = ai->grad.data() + static_cast<size_t>(r) * n;
+        float dot = 0;
+        for (int c = 0; c < n; ++c) dot += y[c] * gy[c];
+        for (int c = 0; c < n; ++c) gx[c] += y[c] * (gy[c] - dot);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const int m = parts[0].rows();
+  int total_cols = 0;
+  std::vector<std::shared_ptr<Tensor::Impl>> parents;
+  for (const Tensor& p : parts) {
+    assert(p.rows() == m);
+    total_cols += p.cols();
+    parents.push_back(p.impl_);
+  }
+  Tensor out = Tensor::MakeResult(m, total_cols, parents);
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    const int n = p.cols();
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < n; ++c) {
+        out.impl_->value[static_cast<size_t>(r) * total_cols + offset + c] =
+            p.impl_->value[static_cast<size_t>(r) * n + c];
+      }
+    }
+    offset += n;
+  }
+  if (out.requires_grad()) {
+    std::vector<std::shared_ptr<Tensor::Impl>> part_impls;
+    for (const Tensor& p : parts) part_impls.push_back(p.impl_);
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [part_impls, oi, m, total_cols]() {
+      int offset = 0;
+      for (const auto& pi : part_impls) {
+        const int n = pi->cols;
+        if (pi->requires_grad) {
+          for (int r = 0; r < m; ++r) {
+            for (int c = 0; c < n; ++c) {
+              pi->grad[static_cast<size_t>(r) * n + c] +=
+                  oi->grad[static_cast<size_t>(r) * total_cols + offset + c];
+            }
+          }
+        }
+        offset += n;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  assert(!parts.empty());
+  const int n = parts[0].cols();
+  int total_rows = 0;
+  std::vector<std::shared_ptr<Tensor::Impl>> parents;
+  for (const Tensor& p : parts) {
+    assert(p.cols() == n);
+    total_rows += p.rows();
+    parents.push_back(p.impl_);
+  }
+  Tensor out = Tensor::MakeResult(total_rows, n, parents);
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.impl_->value.begin(), p.impl_->value.end(),
+              out.impl_->value.begin() + static_cast<size_t>(offset) * n);
+    offset += p.rows();
+  }
+  if (out.requires_grad()) {
+    std::vector<std::shared_ptr<Tensor::Impl>> part_impls;
+    for (const Tensor& p : parts) part_impls.push_back(p.impl_);
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [part_impls, oi, n]() {
+      int offset = 0;
+      for (const auto& pi : part_impls) {
+        if (pi->requires_grad) {
+          for (int i = 0; i < pi->rows * n; ++i) {
+            pi->grad[i] += oi->grad[static_cast<size_t>(offset) * n + i];
+          }
+        }
+        offset += pi->rows;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  const int m = a.rows(), n = a.cols();
+  assert(start >= 0 && start + len <= n);
+  Tensor out = Tensor::MakeResult(m, len, {a.impl_});
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < len; ++c) {
+      out.impl_->value[static_cast<size_t>(r) * len + c] =
+          a.impl_->value[static_cast<size_t>(r) * n + start + c];
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, m, n, start, len]() {
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < len; ++c) {
+          ai->grad[static_cast<size_t>(r) * n + start + c] +=
+              oi->grad[static_cast<size_t>(r) * len + c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  const int n = a.cols();
+  assert(start >= 0 && start + len <= a.rows());
+  Tensor out = Tensor::MakeResult(len, n, {a.impl_});
+  std::copy(a.impl_->value.begin() + static_cast<size_t>(start) * n,
+            a.impl_->value.begin() + static_cast<size_t>(start + len) * n,
+            out.impl_->value.begin());
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, n, start, len]() {
+      for (int i = 0; i < len * n; ++i) {
+        ai->grad[static_cast<size_t>(start) * n + i] += oi->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  const int n = a.cols();
+  const int m = static_cast<int>(indices.size());
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int r = 0; r < m; ++r) {
+    assert(indices[r] >= 0 && indices[r] < a.rows());
+    std::copy(a.impl_->value.begin() + static_cast<size_t>(indices[r]) * n,
+              a.impl_->value.begin() + static_cast<size_t>(indices[r] + 1) * n,
+              out.impl_->value.begin() + static_cast<size_t>(r) * n);
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, indices, m, n]() {
+      for (int r = 0; r < m; ++r) {
+        for (int c = 0; c < n; ++c) {
+          ai->grad[static_cast<size_t>(indices[r]) * n + c] +=
+              oi->grad[static_cast<size_t>(r) * n + c];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
+  if (p <= 0.0f) return a;
+  const int m = a.rows(), n = a.cols();
+  const float scale = 1.0f / (1.0f - p);
+  auto mask = std::make_shared<std::vector<float>>(m * n);
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int i = 0; i < m * n; ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : scale;
+    out.impl_->value[i] = a.impl_->value[i] * (*mask)[i];
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, mask, m, n]() {
+      for (int i = 0; i < m * n; ++i) ai->grad[i] += oi->grad[i] * (*mask)[i];
+    };
+  }
+  return out;
+}
+
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
+  const int m = logits.rows(), n = logits.cols();
+  assert(static_cast<int>(targets.size()) == m);
+  Tensor out = Tensor::MakeResult(1, 1, {logits.impl_});
+  // Cache the softmax for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(m * n);
+  float loss = 0;
+  for (int r = 0; r < m; ++r) {
+    const float* row = logits.impl_->value.data() + static_cast<size_t>(r) * n;
+    float* prow = probs->data() + static_cast<size_t>(r) * n;
+    float max_v = row[0];
+    for (int c = 1; c < n; ++c) max_v = std::max(max_v, row[c]);
+    float total = 0;
+    for (int c = 0; c < n; ++c) {
+      prow[c] = std::exp(row[c] - max_v);
+      total += prow[c];
+    }
+    for (int c = 0; c < n; ++c) prow[c] /= total;
+    loss -= std::log(std::max(prow[targets[r]], kLogEps));
+  }
+  out.impl_->value[0] = loss / static_cast<float>(m);
+  if (out.requires_grad()) {
+    auto li = logits.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [li, oi, probs, targets, m, n]() {
+      const float g = oi->grad[0] / static_cast<float>(m);
+      for (int r = 0; r < m; ++r) {
+        const float* prow = probs->data() + static_cast<size_t>(r) * n;
+        float* grow = li->grad.data() + static_cast<size_t>(r) * n;
+        for (int c = 0; c < n; ++c) {
+          grow[c] += g * (prow[c] - (c == targets[r] ? 1.0f : 0.0f));
+        }
+      }
+    };
+  }
+  return out;
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  double total = 0;
+  for (const Tensor& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0) {
+    const float scale = max_norm / norm;
+    for (Tensor p : params) {  // shared handle: copy aliases the storage
+      for (float& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace qpe::nn

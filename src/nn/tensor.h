@@ -1,0 +1,161 @@
+#ifndef QPE_NN_TENSOR_H_
+#define QPE_NN_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace qpe::nn {
+
+// A 2-D float tensor with reverse-mode automatic differentiation. This is
+// the computational substrate for every model in the library (the paper
+// trains with a deep-learning framework on GPU; we implement the same
+// mathematics from scratch for CPU).
+//
+// Tensor is a cheap shared handle: copies alias the same storage and the
+// same autograd node. Each forward pass builds a fresh dynamic graph;
+// calling Backward() on a scalar result accumulates gradients into every
+// reachable tensor that requires_grad (notably model parameters, whose
+// gradients persist until the optimizer clears them).
+//
+// Shapes are [rows, cols]; scalars are [1, 1]. Broadcasting in binary ops
+// supports a [1, n] row vector, an [m, 1] column vector, or a [1, 1] scalar
+// against an [m, n] tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // --- Construction ---
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+  static Tensor FromVector(int rows, int cols, const std::vector<float>& data,
+                           bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Xavier/Glorot-uniform initialization, for parameter matrices.
+  static Tensor Xavier(int rows, int cols, util::Rng* rng);
+  // Gaussian init with the given stddev.
+  static Tensor Gaussian(int rows, int cols, float stddev, util::Rng* rng);
+
+  bool defined() const { return impl_ != nullptr; }
+  int rows() const;
+  int cols() const;
+  int numel() const { return rows() * cols(); }
+  bool requires_grad() const;
+
+  // Raw storage access (row-major).
+  std::vector<float>& value();
+  const std::vector<float>& value() const;
+  std::vector<float>& grad();
+  const std::vector<float>& grad() const;
+  float at(int r, int c) const;
+  void set(int r, int c, float v);
+
+  // --- Autograd ---
+  // Backpropagates from this tensor; it must be a scalar ([1,1]).
+  void Backward() const;
+  void ZeroGrad() const;
+
+  // Detached copy sharing no graph history (same values).
+  Tensor Detach() const;
+
+  // --- Ops (each returns a new tensor wired into the graph) ---
+  friend Tensor MatMul(const Tensor& a, const Tensor& b);
+  friend Tensor Add(const Tensor& a, const Tensor& b);       // broadcasting
+  friend Tensor Sub(const Tensor& a, const Tensor& b);       // broadcasting
+  friend Tensor Mul(const Tensor& a, const Tensor& b);       // broadcasting
+  friend Tensor Scale(const Tensor& a, float s);
+  friend Tensor AddScalar(const Tensor& a, float s);
+  friend Tensor Relu(const Tensor& a);
+  friend Tensor Sigmoid(const Tensor& a);
+  friend Tensor Tanh(const Tensor& a);
+  friend Tensor Exp(const Tensor& a);
+  friend Tensor Log(const Tensor& a);    // clamped at 1e-12
+  friend Tensor Sqrt(const Tensor& a);   // clamped at 0
+  friend Tensor Square(const Tensor& a);
+  friend Tensor Abs(const Tensor& a);
+  friend Tensor Transpose(const Tensor& a);
+  friend Tensor Sum(const Tensor& a);                   // -> [1,1]
+  friend Tensor Mean(const Tensor& a);                  // -> [1,1]
+  friend Tensor RowSum(const Tensor& a);                // -> [m,1]
+  friend Tensor RowMean(const Tensor& a);               // -> [m,1]
+  friend Tensor SoftmaxRows(const Tensor& a);           // rowwise softmax
+  friend Tensor ConcatCols(const std::vector<Tensor>& parts);
+  friend Tensor ConcatRows(const std::vector<Tensor>& parts);
+  friend Tensor SliceCols(const Tensor& a, int start, int len);
+  friend Tensor SliceRows(const Tensor& a, int start, int len);
+  // Row gather: out[i] = a[indices[i]]; backward scatters. This is the
+  // embedding lookup primitive.
+  friend Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
+  // Dropout: zeroes entries with probability p and rescales by 1/(1-p).
+  friend Tensor Dropout(const Tensor& a, float p, util::Rng* rng);
+  // Negative log-likelihood of target classes under rowwise log-softmax of
+  // logits; returns the mean over rows ([1,1]).
+  friend Tensor CrossEntropy(const Tensor& logits,
+                             const std::vector<int>& targets);
+
+  // Implementation details below — public so the op implementations (some
+  // in internal linkage within tensor.cc) can build graph nodes; not part of
+  // the stable API.
+  struct Impl {
+    int rows = 0;
+    int cols = 0;
+    bool requires_grad = false;
+    std::vector<float> value;
+    std::vector<float> grad;
+    std::vector<std::shared_ptr<Impl>> parents;
+    std::function<void()> backward_fn;
+    bool visited = false;  // scratch for topological sort
+  };
+
+  explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  static Tensor MakeResult(int rows, int cols,
+                           std::vector<std::shared_ptr<Impl>> parents);
+  Impl* impl() const { return impl_.get(); }
+
+  std::shared_ptr<Impl> impl_;
+};
+
+// Namespace-scope declarations of the op set (the in-class friend
+// declarations alone are only found via ADL, which braced-init-list
+// arguments defeat).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Transpose(const Tensor& a);
+Tensor Sum(const Tensor& a);
+Tensor Mean(const Tensor& a);
+Tensor RowSum(const Tensor& a);
+Tensor RowMean(const Tensor& a);
+Tensor SoftmaxRows(const Tensor& a);
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+Tensor SliceCols(const Tensor& a, int start, int len);
+Tensor SliceRows(const Tensor& a, int start, int len);
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng);
+Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
+
+// Gradient utilities.
+
+// Clips the global L2 norm of the given tensors' gradients to `max_norm`;
+// returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace qpe::nn
+
+#endif  // QPE_NN_TENSOR_H_

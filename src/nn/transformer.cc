@@ -1,0 +1,131 @@
+#include "nn/transformer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace qpe::nn {
+
+// --- MultiHeadSelfAttention ---
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int num_heads,
+                                               util::Rng* rng)
+    : dim_(dim), num_heads_(num_heads), head_dim_(dim / num_heads) {
+  assert(dim % num_heads == 0);
+  wq_ = RegisterModule("wq", std::make_unique<Linear>(dim, dim, rng));
+  wk_ = RegisterModule("wk", std::make_unique<Linear>(dim, dim, rng));
+  wv_ = RegisterModule("wv", std::make_unique<Linear>(dim, dim, rng));
+  wo_ = RegisterModule("wo", std::make_unique<Linear>(dim, dim, rng));
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  assert(x.cols() == dim_);
+  const Tensor q = wq_->Forward(x);
+  const Tensor k = wk_->Forward(x);
+  const Tensor v = wv_->Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<Tensor> heads;
+  heads.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    const Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
+    const Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
+    const Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
+    const Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);  // [T, T]
+    const Tensor attention = SoftmaxRows(scores);
+    heads.push_back(MatMul(attention, vh));  // [T, head_dim]
+  }
+  return wo_->Forward(ConcatCols(heads));
+}
+
+// --- TransformerEncoderLayer ---
+
+TransformerEncoderLayer::TransformerEncoderLayer(int dim, int num_heads,
+                                                 int ff_dim, float dropout,
+                                                 util::Rng* rng)
+    : dropout_(dropout) {
+  attention_ = RegisterModule(
+      "attention", std::make_unique<MultiHeadSelfAttention>(dim, num_heads, rng));
+  norm1_ = RegisterModule("norm1", std::make_unique<LayerNorm>(dim));
+  norm2_ = RegisterModule("norm2", std::make_unique<LayerNorm>(dim));
+  ff1_ = RegisterModule("ff1", std::make_unique<Linear>(dim, ff_dim, rng));
+  ff2_ = RegisterModule("ff2", std::make_unique<Linear>(ff_dim, dim, rng));
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x,
+                                        util::Rng* dropout_rng) const {
+  const bool use_dropout = training() && dropout_rng != nullptr && dropout_ > 0;
+  Tensor attended = attention_->Forward(norm1_->Forward(x));
+  if (use_dropout) attended = Dropout(attended, dropout_, dropout_rng);
+  const Tensor h = Add(x, attended);
+  Tensor ff = ff2_->Forward(Relu(ff1_->Forward(norm2_->Forward(h))));
+  if (use_dropout) ff = Dropout(ff, dropout_, dropout_rng);
+  return Add(h, ff);
+}
+
+// --- TransformerEncoder ---
+
+TransformerEncoder::TransformerEncoder(int dim, int num_heads, int ff_dim,
+                                       int num_layers, int max_len,
+                                       float dropout, util::Rng* rng)
+    : dim_(dim), max_len_(max_len) {
+  positional_ = RegisterParameter(
+      "positional", Tensor::Gaussian(max_len, dim, 0.02f, rng));
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.push_back(
+        RegisterModule("layer" + std::to_string(i),
+                       std::make_unique<TransformerEncoderLayer>(
+                           dim, num_heads, ff_dim, dropout, rng)));
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x,
+                                   util::Rng* dropout_rng) const {
+  assert(x.cols() == dim_);
+  const int t = std::min(x.rows(), max_len_);
+  Tensor h = x.rows() <= max_len_ ? x : SliceRows(x, 0, max_len_);
+  h = Add(h, SliceRows(positional_, 0, t));
+  for (const TransformerEncoderLayer* layer : layers_) {
+    h = layer->Forward(h, dropout_rng);
+  }
+  return h;
+}
+
+// --- LSTM ---
+
+Lstm::Lstm(int input_dim, int hidden_dim, util::Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  input_gates_ = RegisterModule(
+      "input_gates", std::make_unique<Linear>(input_dim, 4 * hidden_dim, rng));
+  hidden_gates_ = RegisterModule(
+      "hidden_gates",
+      std::make_unique<Linear>(hidden_dim, 4 * hidden_dim, rng));
+}
+
+Tensor Lstm::ForwardAll(const Tensor& x) const {
+  assert(x.cols() == input_dim_);
+  const int t_len = x.rows();
+  Tensor h = Tensor::Zeros(1, hidden_dim_);
+  Tensor c = Tensor::Zeros(1, hidden_dim_);
+  std::vector<Tensor> outputs;
+  outputs.reserve(t_len);
+  // Precompute the input projections for the whole sequence at once.
+  const Tensor gates_x = input_gates_->Forward(x);  // [T, 4H]
+  for (int t = 0; t < t_len; ++t) {
+    const Tensor gx = SliceRows(gates_x, t, 1);
+    const Tensor gates = Add(gx, hidden_gates_->Forward(h));
+    const Tensor i = Sigmoid(SliceCols(gates, 0, hidden_dim_));
+    const Tensor f = Sigmoid(SliceCols(gates, hidden_dim_, hidden_dim_));
+    const Tensor g = Tanh(SliceCols(gates, 2 * hidden_dim_, hidden_dim_));
+    const Tensor o = Sigmoid(SliceCols(gates, 3 * hidden_dim_, hidden_dim_));
+    c = Add(Mul(f, c), Mul(i, g));
+    h = Mul(o, Tanh(c));
+    outputs.push_back(h);
+  }
+  return ConcatRows(outputs);
+}
+
+Tensor Lstm::Forward(const Tensor& x) const {
+  const Tensor all = ForwardAll(x);
+  return SliceRows(all, all.rows() - 1, 1);
+}
+
+}  // namespace qpe::nn

@@ -1,0 +1,104 @@
+#include "plan/explain.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace qpe::plan {
+
+namespace {
+
+// "Scan-Heap-Bitmap" -> "Bitmap Heap Scan", "Join-Hash" -> "Hash Join",
+// "Loop-Nested" -> "Nested Loop": reverse the taxonomy order for display.
+std::string DisplayName(const OperatorType& type) {
+  const Taxonomy& tax = Taxonomy::Get();
+  std::string out;
+  if (type.level3 != 0) out += tax.Level3Name(type.level3) + " ";
+  if (type.level2 != 0) out += tax.Level2Name(type.level2) + " ";
+  out += tax.Level1Name(type.level1);
+  return out;
+}
+
+std::string Num(double v, int precision = 2) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+const char* SortMethodName(SortMethod method) {
+  switch (method) {
+    case SortMethod::kQuicksort: return "quicksort";
+    case SortMethod::kTopN: return "top-N heapsort";
+    case SortMethod::kExternalMerge: return "external merge";
+    case SortMethod::kExternalSort: return "external sort";
+    case SortMethod::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+void ExplainNode(const PlanNode& node, const ExplainOptions& options,
+                 int depth, bool is_root, std::ostringstream& out) {
+  const std::string pad(is_root ? 0 : 6 * depth - 4, ' ');
+  const PlanProperties& p = node.props();
+  out << pad;
+  if (!is_root) out << "->  ";
+  out << DisplayName(node.type());
+  if (!node.relations().empty()) {
+    out << " on " << node.relations()[0];
+  }
+  out << "  (cost=" << Num(p.startup_cost) << ".." << Num(p.total_cost)
+      << " rows=" << Num(p.plan_rows, 0) << " width=" << Num(p.plan_width, 0)
+      << ")";
+  if (options.analyze) {
+    out << " (actual time=" << Num(p.actual_startup_time_ms, 3) << ".."
+        << Num(p.actual_total_time_ms, 3) << " rows=" << Num(p.actual_rows, 0)
+        << " loops=" << Num(p.actual_loops, 0) << ")";
+  }
+  out << "\n";
+
+  const std::string detail_pad(6 * depth + 2, ' ');
+  if (p.sort_method != SortMethod::kUnknown) {
+    out << detail_pad << "Sort Method: " << SortMethodName(p.sort_method)
+        << "  Memory: " << Num(p.peak_memory_kb, 0) << "kB";
+    if (p.sort_space_on_disk) {
+      out << "  Disk: " << Num(p.sort_space_used_kb, 0) << "kB";
+    }
+    out << "\n";
+  }
+  if (p.hash_batches > 0) {
+    out << detail_pad << "Hash Buckets: " << Num(p.hash_buckets, 0)
+        << "  Batches: " << Num(p.hash_batches, 0)
+        << "  Peak Memory: " << Num(p.peak_memory_kb, 0) << "kB\n";
+  }
+  if (p.has_index_condition) {
+    out << detail_pad << "Index Cond: (set)\n";
+  }
+  if (p.has_filter && options.analyze) {
+    out << detail_pad
+        << "Rows Removed by Filter: " << Num(p.rows_removed_by_filter, 0)
+        << "\n";
+  }
+  if (options.buffers && options.analyze &&
+      (p.shared_hit_blocks + p.shared_read_blocks + p.temp_read_blocks +
+       p.temp_written_blocks) > 0) {
+    out << detail_pad << "Buffers: shared hit=" << Num(p.shared_hit_blocks, 0)
+        << " read=" << Num(p.shared_read_blocks, 0);
+    if (p.temp_read_blocks + p.temp_written_blocks > 0) {
+      out << ", temp read=" << Num(p.temp_read_blocks, 0)
+          << " written=" << Num(p.temp_written_blocks, 0);
+    }
+    out << "\n";
+  }
+  for (const auto& child : node.children()) {
+    ExplainNode(*child, options, depth + 1, false, out);
+  }
+}
+
+}  // namespace
+
+std::string Explain(const PlanNode& root, const ExplainOptions& options) {
+  std::ostringstream out;
+  ExplainNode(root, options, 0, true, out);
+  return out.str();
+}
+
+}  // namespace qpe::plan

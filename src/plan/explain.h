@@ -1,0 +1,29 @@
+#ifndef QPE_PLAN_EXPLAIN_H_
+#define QPE_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/plan_node.h"
+
+namespace qpe::plan {
+
+// Renders a plan the way `EXPLAIN (ANALYZE, BUFFERS)` prints it — an
+// indented operator tree with estimates, actuals, and buffer counts:
+//
+//   Sort  (cost=98.2..98.2 rows=13 width=64) (actual time=12.4..12.5 rows=11)
+//     Sort Method: quicksort  Memory: 25kB
+//     ->  Hash Join  (cost=0.4..91.1 rows=13 width=64) (actual ...)
+//           Hash Batches: 1  Peak Memory: 12kB
+//           ->  Seq Scan on lineitem  (...)
+//
+// Used by the examples and invaluable when debugging the simulator.
+struct ExplainOptions {
+  bool analyze = true;  // include actual rows/time (ANALYZE)
+  bool buffers = true;  // include shared/temp buffer counts (BUFFERS)
+};
+
+std::string Explain(const PlanNode& root, const ExplainOptions& options = {});
+
+}  // namespace qpe::plan
+
+#endif  // QPE_PLAN_EXPLAIN_H_

@@ -1,0 +1,102 @@
+#include "plan/linearize.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace qpe::plan {
+
+namespace {
+
+// Children sorted by canonical typename for deterministic linearization.
+std::vector<const PlanNode*> SortedChildren(const PlanNode& node) {
+  std::vector<const PlanNode*> kids;
+  kids.reserve(node.children().size());
+  for (const auto& child : node.children()) kids.push_back(child.get());
+  std::stable_sort(kids.begin(), kids.end(),
+                   [](const PlanNode* a, const PlanNode* b) {
+                     return a->type() < b->type();
+                   });
+  return kids;
+}
+
+void DfsBracket(const PlanNode& node, std::vector<OperatorType>* out) {
+  const Taxonomy& tax = Taxonomy::Get();
+  if (node.children().empty()) {
+    out->push_back(node.type());
+    return;
+  }
+  out->push_back(OperatorType(static_cast<uint8_t>(tax.br_open()), 0, 0));
+  out->push_back(node.type());
+  for (const PlanNode* child : SortedChildren(node)) {
+    DfsBracket(*child, out);
+  }
+  out->push_back(OperatorType(static_cast<uint8_t>(tax.br_close()), 0, 0));
+}
+
+void Dfs(const PlanNode& node, std::vector<OperatorType>* out) {
+  out->push_back(node.type());
+  for (const PlanNode* child : SortedChildren(node)) Dfs(*child, out);
+}
+
+}  // namespace
+
+std::vector<OperatorType> LinearizeDfsBracket(const PlanNode& root,
+                                              bool add_cls_sep) {
+  const Taxonomy& tax = Taxonomy::Get();
+  std::vector<OperatorType> tokens;
+  if (add_cls_sep) {
+    tokens.push_back(OperatorType(static_cast<uint8_t>(tax.cls()), 0, 0));
+  }
+  DfsBracket(root, &tokens);
+  if (add_cls_sep) {
+    tokens.push_back(OperatorType(static_cast<uint8_t>(tax.sep()), 0, 0));
+  }
+  return tokens;
+}
+
+std::vector<OperatorType> LinearizeDfs(const PlanNode& root) {
+  std::vector<OperatorType> tokens;
+  Dfs(root, &tokens);
+  return tokens;
+}
+
+std::vector<OperatorType> LinearizeBfs(const PlanNode& root) {
+  std::vector<OperatorType> tokens;
+  std::deque<const PlanNode*> queue = {&root};
+  while (!queue.empty()) {
+    const PlanNode* node = queue.front();
+    queue.pop_front();
+    tokens.push_back(node->type());
+    for (const PlanNode* child : SortedChildren(*node)) {
+      queue.push_back(child);
+    }
+  }
+  return tokens;
+}
+
+std::string ToBracketString(const std::vector<OperatorType>& tokens) {
+  const Taxonomy& tax = Taxonomy::Get();
+  std::ostringstream oss;
+  bool first = true;
+  for (const OperatorType& t : tokens) {
+    const int l1 = t.level1;
+    if (l1 == tax.br_open()) {
+      if (!first) oss << " ";
+      oss << "(";
+      first = true;  // no space after an open bracket
+      continue;
+    }
+    if (l1 == tax.br_close()) {
+      oss << ")";
+      first = false;
+      continue;
+    }
+    if (!first) oss << " ";
+    oss << t.ToString();
+    first = false;
+  }
+  return oss.str();
+}
+
+}  // namespace qpe::plan

@@ -1,0 +1,34 @@
+#ifndef QPE_PLAN_LINEARIZE_H_
+#define QPE_PLAN_LINEARIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "plan/taxonomy.h"
+
+namespace qpe::plan {
+
+// Linearization of a plan tree into a token sequence for the sequence
+// encoders (paper §3.1.2). Each token is an OperatorType (three sub-type
+// ids); brackets and CLS/SEP delimiters are themselves operator tokens
+// ("BR_OPEN-NIL-NIL" etc.).
+
+// DFS-bracket traversal: root-first, with hierarchical brackets around the
+// children of every non-leaf node. Children are visited in sorted typename
+// order so the linearization of a tree is deterministic (paper Table 3).
+// With add_cls_sep, prepends CLS and appends SEP.
+std::vector<OperatorType> LinearizeDfsBracket(const PlanNode& root,
+                                              bool add_cls_sep = true);
+
+// Plain BFS and DFS traversals (no brackets); used as contrast baselines in
+// tests — they are ambiguous across distinct trees, which DFS-bracket fixes.
+std::vector<OperatorType> LinearizeDfs(const PlanNode& root);
+std::vector<OperatorType> LinearizeBfs(const PlanNode& root);
+
+// Human-readable rendering "(Sort (Join-Hash Scan-Seq Scan-Index))"-style.
+std::string ToBracketString(const std::vector<OperatorType>& tokens);
+
+}  // namespace qpe::plan
+
+#endif  // QPE_PLAN_LINEARIZE_H_

@@ -1,0 +1,49 @@
+#include "plan/plan_node.h"
+
+#include <algorithm>
+
+namespace qpe::plan {
+
+PlanNode* PlanNode::AddChild(std::unique_ptr<PlanNode> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+PlanNode* PlanNode::AddChild(OperatorType type) {
+  return AddChild(std::make_unique<PlanNode>(type));
+}
+
+int PlanNode::NumNodes() const {
+  int count = 1;
+  for (const auto& child : children_) count += child->NumNodes();
+  return count;
+}
+
+int PlanNode::Depth() const {
+  int max_child = 0;
+  for (const auto& child : children_) {
+    max_child = std::max(max_child, child->Depth());
+  }
+  return 1 + max_child;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>(type_);
+  copy->props_ = props_;
+  copy->relations_ = relations_;
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->Clone());
+  }
+  return copy;
+}
+
+Plan Plan::CloneDeep() const {
+  Plan copy;
+  copy.root = root ? root->Clone() : nullptr;
+  copy.benchmark = benchmark;
+  copy.template_id = template_id;
+  copy.cluster_id = cluster_id;
+  return copy;
+}
+
+}  // namespace qpe::plan

@@ -1,0 +1,179 @@
+#ifndef QPE_PLAN_PLAN_NODE_H_
+#define QPE_PLAN_PLAN_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/taxonomy.h"
+
+namespace qpe::plan {
+
+// Enumerations for categorical node properties; stored as small ints so the
+// property bag is a flat numeric record.
+enum class ParentRelationship : int {
+  kNone = 0,
+  kOuter,
+  kInner,
+  kSubquery,
+  kMember,
+  kInitPlan,
+};
+
+enum class SortMethod : int {
+  kUnknown = 0,
+  kQuicksort,
+  kTopN,
+  kExternalMerge,
+  kExternalSort,
+};
+
+enum class JoinKind : int {
+  kNone = 0,
+  kInner,
+  kLeft,
+  kRight,
+  kFull,
+  kSemi,
+  kAnti,
+};
+
+enum class AggregateStrategy : int {
+  kNone = 0,
+  kPlain,
+  kSorted,
+  kHashed,
+  kMixed,
+};
+
+// Execution/plan properties of a node (paper Table 1). Properties common to
+// all operators first, then the operator-group-specific ones; fields that do
+// not apply to a node's group stay zero. `Total Cost`, `Startup Cost`,
+// `Actual Total/Startup Time` are kept separate as labels — the paper
+// explicitly excludes them from input features (§2.1).
+struct PlanProperties {
+  // --- Common to all operators ---
+  double actual_loops = 1;
+  double actual_rows = 0;
+  double plan_rows = 0;   // optimizer cardinality estimate
+  double plan_width = 0;  // bytes per row
+  double shared_hit_blocks = 0;
+  double shared_read_blocks = 0;
+  double shared_dirtied_blocks = 0;
+  double shared_written_blocks = 0;
+  double local_hit_blocks = 0;
+  double local_read_blocks = 0;
+  double local_dirtied_blocks = 0;
+  double local_written_blocks = 0;
+  double temp_read_blocks = 0;
+  double temp_written_blocks = 0;
+  ParentRelationship parent_relationship = ParentRelationship::kNone;
+  double plan_buffers = 0;
+
+  // --- Scan ---
+  int scan_direction = 0;  // +1 forward, -1 backward
+  bool has_index_condition = false;
+  bool has_recheck_condition = false;
+  bool has_filter = false;
+  double rows_removed_by_filter = 0;
+  double heap_blocks = 0;
+  bool parallel = false;
+
+  // --- Join ---
+  JoinKind join_kind = JoinKind::kNone;
+  bool inner_unique = false;
+  bool has_merge_condition = false;
+  bool has_hash_condition = false;
+  double rows_removed_by_join_filter = 0;
+  double hash_buckets = 0;
+  double hash_batches = 0;
+
+  // --- Sort ---
+  SortMethod sort_method = SortMethod::kUnknown;
+  double sort_space_used_kb = 0;
+  bool sort_space_on_disk = false;
+  double num_sort_keys = 0;
+
+  // --- Aggregate ---
+  AggregateStrategy aggregate_strategy = AggregateStrategy::kNone;
+  bool parallel_aware = false;
+  bool partial_mode = false;
+
+  // --- Shared by Join/Sort/Aggregate ---
+  double peak_memory_kb = 0;
+
+  // --- Labels (never used as input features) ---
+  double startup_cost = 0;
+  double total_cost = 0;
+  double actual_startup_time_ms = 0;
+  double actual_total_time_ms = 0;
+};
+
+// One node of a query execution plan tree.
+class PlanNode {
+ public:
+  PlanNode() = default;
+  explicit PlanNode(OperatorType type) : type_(type) {}
+
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  const OperatorType& type() const { return type_; }
+  void set_type(OperatorType type) { type_ = type; }
+
+  PlanProperties& props() { return props_; }
+  const PlanProperties& props() const { return props_; }
+
+  // Names of relations this node reads (Scan nodes; empty elsewhere).
+  const std::vector<std::string>& relations() const { return relations_; }
+  void AddRelation(std::string name) { relations_.push_back(std::move(name)); }
+
+  const std::vector<std::unique_ptr<PlanNode>>& children() const {
+    return children_;
+  }
+  PlanNode* AddChild(std::unique_ptr<PlanNode> child);
+  PlanNode* AddChild(OperatorType type);
+
+  int NumNodes() const;
+  int Depth() const;
+
+  // Deep copy of this subtree.
+  std::unique_ptr<PlanNode> Clone() const;
+
+  // Pre-order visit of the subtree.
+  template <typename Fn>
+  void Visit(Fn&& fn) const {
+    fn(*this);
+    for (const auto& child : children_) child->Visit(fn);
+  }
+  template <typename Fn>
+  void VisitMutable(Fn&& fn) {
+    fn(this);
+    for (auto& child : children_) child->VisitMutable(fn);
+  }
+
+ private:
+  OperatorType type_;
+  PlanProperties props_;
+  std::vector<std::string> relations_;
+  std::vector<std::unique_ptr<PlanNode>> children_;
+};
+
+// A full plan: the root node plus plan-level metadata.
+struct Plan {
+  std::unique_ptr<PlanNode> root;
+  std::string benchmark;    // e.g. "tpch", "tpcds", "job", "spatial"
+  std::string template_id;  // e.g. "Q5", "11a", "OSM3"
+  int cluster_id = -1;      // JOB cluster (classification label), -1 if n/a
+
+  Plan() = default;
+  Plan(Plan&&) = default;
+  Plan& operator=(Plan&&) = default;
+
+  Plan CloneDeep() const;
+  int NumNodes() const { return root ? root->NumNodes() : 0; }
+};
+
+}  // namespace qpe::plan
+
+#endif  // QPE_PLAN_PLAN_NODE_H_

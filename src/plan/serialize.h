@@ -1,0 +1,26 @@
+#ifndef QPE_PLAN_SERIALIZE_H_
+#define QPE_PLAN_SERIALIZE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "plan/plan_node.h"
+
+namespace qpe::plan {
+
+// Plan <-> text round trip. Format is a compact s-expression; one node is
+//   (op "Scan-Seq-NIL" :rel lineitem :plan_rows 6000 ... (op ...) (op ...))
+// Only non-default properties are emitted. Used for dataset caching, golden
+// files in tests, and the examples.
+
+std::string SerializePlanNode(const PlanNode& node);
+std::string SerializePlan(const Plan& plan);
+
+// Returns nullptr / nullopt on malformed input.
+std::unique_ptr<PlanNode> ParsePlanNode(const std::string& text);
+std::optional<Plan> ParsePlan(const std::string& text);
+
+}  // namespace qpe::plan
+
+#endif  // QPE_PLAN_SERIALIZE_H_

@@ -1,0 +1,121 @@
+#include "plan/taxonomy.h"
+
+#include <sstream>
+
+namespace qpe::plan {
+
+Taxonomy::Taxonomy() {
+  // Level 1 (paper Table 2 plus Filter from Figure 1 and the four specials).
+  level1_ = {"NIL",        "Aggregate", "Append",    "Count",     "Delete",
+             "Enum",       "Filter",    "Gather",    "Group",     "GroupAggregate",
+             "Hash",       "Insert",    "Intersect", "Join",      "Limit",
+             "LockRows",   "Loop",      "Materialize", "ModifyTable", "Network",
+             "Result",     "Scan",      "Sequence",  "SetOp",     "Sort",
+             "Union",      "Unique",    "Update",    "Window",    "WindowAgg",
+             "BR_OPEN",    "BR_CLOSE",  "CLS",       "SEP"};
+  level2_ = {"NIL",   "And",      "CTE",    "Except", "Exists", "Foreign",
+             "Hash",  "Heap",     "Index",  "IndexOnly", "LoopHash", "Merge",
+             "Nested", "Or",      "Query",  "Quick",  "Seq",    "SetOp",
+             "Subquery", "Table", "WorkTable"};
+  level3_ = {"NIL",  "Anti",    "Bitmap",  "Full",     "Inner", "Left",
+             "Outer", "Parallel", "Partial", "Partition", "Right", "Semi",
+             "XN"};
+  br_open_ = Level1Id("BR_OPEN");
+  br_close_ = Level1Id("BR_CLOSE");
+  cls_ = Level1Id("CLS");
+  sep_ = Level1Id("SEP");
+}
+
+const Taxonomy& Taxonomy::Get() {
+  static const Taxonomy* const kInstance = new Taxonomy();
+  return *kInstance;
+}
+
+int Taxonomy::LookupId(const std::vector<std::string>& names,
+                       const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Taxonomy::Level1Id(const std::string& name) const {
+  return LookupId(level1_, name);
+}
+int Taxonomy::Level2Id(const std::string& name) const {
+  return LookupId(level2_, name);
+}
+int Taxonomy::Level3Id(const std::string& name) const {
+  return LookupId(level3_, name);
+}
+
+OperatorType OperatorType::FromNames(const std::string& l1,
+                                     const std::string& l2,
+                                     const std::string& l3) {
+  const Taxonomy& tax = Taxonomy::Get();
+  auto id_or_nil = [](int id) -> uint8_t {
+    return id < 0 ? 0 : static_cast<uint8_t>(id);
+  };
+  return OperatorType(id_or_nil(l1.empty() ? 0 : tax.Level1Id(l1)),
+                      id_or_nil(l2.empty() ? 0 : tax.Level2Id(l2)),
+                      id_or_nil(l3.empty() ? 0 : tax.Level3Id(l3)));
+}
+
+OperatorType OperatorType::Parse(const std::string& token) {
+  std::string parts[3];
+  int part = 0;
+  for (char c : token) {
+    if (c == '-') {
+      if (++part >= 3) break;
+    } else {
+      parts[part].push_back(c);
+    }
+  }
+  return FromNames(parts[0], parts[1], parts[2]);
+}
+
+std::string OperatorType::ToString(bool full) const {
+  const Taxonomy& tax = Taxonomy::Get();
+  std::ostringstream oss;
+  oss << tax.Level1Name(level1);
+  if (full || level2 != 0 || level3 != 0) oss << "-" << tax.Level2Name(level2);
+  if (full || level3 != 0) oss << "-" << tax.Level3Name(level3);
+  return oss.str();
+}
+
+bool OperatorType::operator<(const OperatorType& other) const {
+  return ToString(true) < other.ToString(true);
+}
+
+OperatorGroup GroupOf(const OperatorType& type) {
+  const Taxonomy& tax = Taxonomy::Get();
+  const std::string& l1 = tax.Level1Name(type.level1);
+  const std::string& l2 = tax.Level2Name(type.level2);
+  if (l1 == "Scan") return OperatorGroup::kScan;
+  if (l1 == "Join") return OperatorGroup::kJoin;
+  if (l1 == "Loop" && l2 == "Nested") return OperatorGroup::kJoin;
+  if (l1 == "Sort") return OperatorGroup::kSort;
+  if (l1 == "Aggregate" || l1 == "Group" || l1 == "GroupAggregate" ||
+      l1 == "WindowAgg") {
+    return OperatorGroup::kAggregate;
+  }
+  return OperatorGroup::kOther;
+}
+
+const char* GroupName(OperatorGroup group) {
+  switch (group) {
+    case OperatorGroup::kScan:
+      return "Scan";
+    case OperatorGroup::kJoin:
+      return "Join";
+    case OperatorGroup::kSort:
+      return "Sort";
+    case OperatorGroup::kAggregate:
+      return "Aggregate";
+    case OperatorGroup::kOther:
+      return "Other";
+  }
+  return "Unknown";
+}
+
+}  // namespace qpe::plan

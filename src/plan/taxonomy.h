@@ -1,0 +1,104 @@
+#ifndef QPE_PLAN_TAXONOMY_H_
+#define QPE_PLAN_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qpe::plan {
+
+// Three-level operator sub-type taxonomy (paper Table 2). Every plan node's
+// operator is written <Level1>-<Level2>-<Level3>, e.g. Bitmap Heap Scan is
+// Scan-Heap-Bitmap and Left Merge Join is Join-Merge-Left. Missing levels
+// use the NIL sub-type. Four special Level-1 tokens are added for the
+// sequence model: BR_OPEN, BR_CLOSE (DFS-bracket linearization) and CLS, SEP
+// (BERT-style sequence delimiters).
+class Taxonomy {
+ public:
+  static const Taxonomy& Get();
+
+  int Level1Count() const { return static_cast<int>(level1_.size()); }
+  int Level2Count() const { return static_cast<int>(level2_.size()); }
+  int Level3Count() const { return static_cast<int>(level3_.size()); }
+
+  // Returns -1 if the name is unknown.
+  int Level1Id(const std::string& name) const;
+  int Level2Id(const std::string& name) const;
+  int Level3Id(const std::string& name) const;
+
+  const std::string& Level1Name(int id) const { return level1_[id]; }
+  const std::string& Level2Name(int id) const { return level2_[id]; }
+  const std::string& Level3Name(int id) const { return level3_[id]; }
+
+  // Ids of the special tokens (Level 1).
+  int nil1() const { return 0; }
+  int nil2() const { return 0; }
+  int nil3() const { return 0; }
+  int br_open() const { return br_open_; }
+  int br_close() const { return br_close_; }
+  int cls() const { return cls_; }
+  int sep() const { return sep_; }
+
+ private:
+  Taxonomy();
+  int LookupId(const std::vector<std::string>& names,
+               const std::string& name) const;
+
+  std::vector<std::string> level1_;
+  std::vector<std::string> level2_;
+  std::vector<std::string> level3_;
+  int br_open_ = -1;
+  int br_close_ = -1;
+  int cls_ = -1;
+  int sep_ = -1;
+};
+
+// A concrete operator type: three sub-type ids into the taxonomy.
+struct OperatorType {
+  uint8_t level1 = 0;  // NIL
+  uint8_t level2 = 0;
+  uint8_t level3 = 0;
+
+  OperatorType() = default;
+  OperatorType(uint8_t l1, uint8_t l2, uint8_t l3)
+      : level1(l1), level2(l2), level3(l3) {}
+
+  // Builds from sub-type names; unknown/empty names map to NIL.
+  static OperatorType FromNames(const std::string& l1, const std::string& l2,
+                                const std::string& l3);
+
+  // Parses "Scan-Heap-Bitmap" / "Sort" / "Join-Merge-Left" style tokens.
+  static OperatorType Parse(const std::string& token);
+
+  // Canonical hyphenated token, trailing NILs omitted for readability only
+  // when full == false (serialization always uses the full 3-part form).
+  std::string ToString(bool full = false) const;
+
+  friend bool operator==(const OperatorType&, const OperatorType&) = default;
+  // Lexicographic order on the canonical token; used to sort children so the
+  // tree linearization is deterministic.
+  bool operator<(const OperatorType& other) const;
+};
+
+// The five exclusive functional groups the paper uses for the performance
+// encoder (§2.1): Scan, Join, Sort, Aggregate, Other.
+enum class OperatorGroup : int {
+  kScan = 0,
+  kJoin,
+  kSort,
+  kAggregate,
+  kOther,
+};
+
+inline constexpr int kNumOperatorGroups = 5;
+
+// Maps an operator type to its functional group. Join-like operators
+// (Join-*, Loop-Nested) map to kJoin; Aggregate/Group/GroupAggregate to
+// kAggregate; Scan to kScan; Sort to kSort; everything else to kOther.
+OperatorGroup GroupOf(const OperatorType& type);
+
+const char* GroupName(OperatorGroup group);
+
+}  // namespace qpe::plan
+
+#endif  // QPE_PLAN_TAXONOMY_H_

@@ -1,0 +1,308 @@
+#include "simdb/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace qpe::simdb {
+
+namespace {
+
+using catalog::TableStats;
+using plan::PlanNode;
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace
+
+double ExecutorSim::CacheHitRatio(const TableStats& table) const {
+  const double cache_bytes =
+      config_->Get(config::Knob::kSharedBuffers) +
+      0.5 * config_->Get(config::Knob::kEffectiveCacheSize);
+  return Clamp(cache_bytes / table.TotalBytes(), 0.02, 0.995);
+}
+
+double ExecutorSim::IoConcurrencyFactor() const {
+  const double eioc = config_->Get(config::Knob::kEffectiveIoConcurrency);
+  return 1.0 + 0.08 * std::sqrt(Clamp(eioc, 0.0, 128.0));
+}
+
+double ExecutorSim::ActualRows(const PlanNode& node, uint64_t cardinality_seed,
+                               int node_index, int joins_below) const {
+  // Data-dependent cardinality: the optimizer estimate distorted by
+  // misestimation noise that compounds with join depth, is worse for
+  // spatial data, and shrinks with default_statistics_target.
+  const auto& dst_info = config::GetKnobInfo(config::Knob::kDefaultStatisticsTarget);
+  const double dst_norm =
+      Clamp((config_->Get(config::Knob::kDefaultStatisticsTarget) -
+             dst_info.min_value) /
+                (dst_info.max_value - dst_info.min_value),
+            0.0, 1.0);
+  double sigma = catalog_->spatial() ? 0.7 : 0.25;
+  sigma *= 1.0 + 0.15 * joins_below;
+  sigma *= 1.3 - 0.3 * dst_norm;
+  util::Rng rng(HashCombine(cardinality_seed, static_cast<uint64_t>(node_index)));
+  return std::max(1.0, node.props().plan_rows * rng.LognormalFactor(sigma));
+}
+
+ExecutorSim::NodeExec ExecutorSim::ExecuteNode(PlanNode* node,
+                                               uint64_t cardinality_seed,
+                                               int* node_index,
+                                               int joins_below,
+                                               util::Rng* run_noise) const {
+  const int my_index = (*node_index)++;
+  const std::string type = node->type().ToString();
+  const bool is_join = plan::GroupOf(node->type()) == plan::OperatorGroup::kJoin;
+
+  // Execute children first (preorder indices, postorder times).
+  std::vector<NodeExec> child_exec;
+  for (const auto& child : node->children()) {
+    child_exec.push_back(ExecuteNode(child.get(), cardinality_seed, node_index,
+                                     joins_below + (is_join ? 1 : 0),
+                                     run_noise));
+  }
+
+  const double work_mem = config_->Get(config::Knob::kWorkMem);
+  auto& props = node->props();
+
+  NodeExec exec;
+  exec.rows = ActualRows(*node, cardinality_seed, my_index, joins_below);
+
+  double own_ms = 0;       // this node's own processing time
+  double startup_ms = 0;   // time before the first output row
+  double child_total = 0;  // sum of child total times
+  for (const NodeExec& c : child_exec) {
+    child_total += c.total_ms;
+    exec.hit_blocks += c.hit_blocks;
+    exec.read_blocks += c.read_blocks;
+    exec.temp_read += c.temp_read;
+    exec.temp_written += c.temp_written;
+  }
+
+  const TableStats* table =
+      node->relations().empty() ? nullptr
+                                : catalog_->FindTable(node->relations()[0]);
+
+  if ((type == "Scan-Seq" || type == "Scan-Seq-Parallel") &&
+      table != nullptr) {
+    // Parallel workers split the per-tuple CPU; the I/O stream is shared.
+    const double workers = type == "Scan-Seq-Parallel" ? 4.0 : 1.0;
+    const double pages = table->PageCount();
+    const double hr = CacheHitRatio(*table);
+    own_ms = pages * (hr * kHitPageMs +
+                      (1.0 - hr) * kSeqPageMs / IoConcurrencyFactor());
+    own_ms += table->row_count * kCpuRowMs / workers;
+    if (props.has_filter) own_ms += table->row_count * kCpuOpMs / workers;
+    if (props.has_recheck_condition && catalog_->spatial()) {
+      const double geom_width =
+          table->FindColumn("geom") != nullptr
+              ? table->FindColumn("geom")->avg_width
+              : 400.0;
+      own_ms += table->row_count * kGeomRowMs * (geom_width / 400.0);
+    }
+    exec.hit_blocks += pages * hr;
+    exec.read_blocks += pages * (1.0 - hr);
+    props.rows_removed_by_filter = std::max(0.0, table->row_count - exec.rows);
+  } else if (type == "Scan-Index" && table != nullptr) {
+    const double loops = std::max(1.0, props.actual_loops);
+    const double hr = CacheHitRatio(*table);
+    const double sel = Clamp(exec.rows / std::max(1.0, table->row_count),
+                             1e-9, 1.0);
+    double fetched =
+        Clamp(table->PageCount() * sel * 1.5, 1.0, table->PageCount());
+    double per_loop = fetched * (hr * kHitPageMs + (1.0 - hr) * kRandPageMs) +
+                      exec.rows * kCpuRowMs * 1.5;
+    if (props.has_recheck_condition && catalog_->spatial()) {
+      // GiST probe: a few random index+heap pages per descent plus the
+      // geometry recheck on each candidate tuple. This is where spatial
+      // workloads become strongly cache-sensitive.
+      fetched = std::max(fetched, 3.0);
+      per_loop = fetched * (hr * kHitPageMs + (1.0 - hr) * kRandPageMs) +
+                 std::max(1.0, exec.rows) * kGeomRowMs * 3.0;
+    }
+    own_ms = per_loop * loops;
+    exec.hit_blocks += fetched * hr * loops;
+    exec.read_blocks += fetched * (1.0 - hr) * loops;
+  } else if (type == "Scan-Heap-Bitmap" && table != nullptr) {
+    const double hr = CacheHitRatio(*table);
+    const double sel = Clamp(exec.rows / std::max(1.0, table->row_count),
+                             1e-9, 1.0);
+    const double fetched =
+        Clamp(2.0 * table->PageCount() * sel, 1.0, table->PageCount());
+    own_ms = fetched * (hr * kHitPageMs +
+                        (1.0 - hr) * kRandPageMs / IoConcurrencyFactor());
+    own_ms += exec.rows * (kCpuRowMs + kCpuOpMs);  // recheck
+    if (catalog_->spatial() && props.has_recheck_condition) {
+      own_ms += exec.rows * kGeomRowMs;
+    }
+    props.heap_blocks = fetched;
+    exec.hit_blocks += fetched * hr;
+    exec.read_blocks += fetched * (1.0 - hr);
+    // The bitmap must be complete before the heap scan starts.
+    startup_ms = child_total;
+  } else if (type == "Scan-Index-Bitmap" && table != nullptr) {
+    own_ms = exec.rows * kCpuRowMs * 0.3 + 0.05;
+  } else if (type == "Hash") {
+    const double in_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    own_ms = in_rows * kHashBuildRowMs;
+    startup_ms = child_total + own_ms;  // build is blocking
+    exec.rows = in_rows;
+  } else if (type == "Join-Hash") {
+    const double outer_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    const double inner_rows = child_exec.size() > 1 ? child_exec[1].rows : 0;
+    const double inner_width =
+        node->children().size() > 1 ? node->children()[1]->props().plan_width
+                                    : 32.0;
+    const double inner_bytes = inner_rows * inner_width;
+    double batches = 1;
+    if (inner_bytes > work_mem) {
+      batches = std::pow(
+          2.0, std::ceil(std::log2(std::max(2.0, inner_bytes / work_mem))));
+      const double outer_width = node->children()[0]->props().plan_width;
+      const double spill_pages =
+          (inner_bytes + outer_rows * outer_width) / catalog::kPageSizeBytes;
+      own_ms += 2.0 * spill_pages * kSeqPageMs;
+      exec.temp_written += spill_pages;
+      exec.temp_read += spill_pages;
+    }
+    props.hash_batches = batches;
+    props.peak_memory_kb = std::min(inner_bytes, work_mem) / 1024.0;
+    own_ms += outer_rows * kCpuOpMs * 1.5 + exec.rows * kCpuRowMs;
+    // Startup: the hash build (inner child) must finish first.
+    startup_ms = child_exec.size() > 1 ? child_exec[1].total_ms : 0;
+  } else if (type == "Join-Merge") {
+    double in_rows = 0;
+    for (const NodeExec& c : child_exec) in_rows += c.rows;
+    own_ms = in_rows * kCpuRowMs * 0.6 + exec.rows * kCpuRowMs;
+  } else if (type == "Loop-Nested") {
+    const double outer_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    const bool indexed_inner =
+        node->children().size() > 1 &&
+        node->children()[1]->type().ToString() == "Scan-Index" &&
+        node->children()[1]->props().actual_loops > 1;
+    if (indexed_inner) {
+      // The inner child was already charged per-loop in its own execution;
+      // the child's actual_loops was set at plan time from the estimate, so
+      // rescale to the realized outer cardinality.
+      PlanNode* inner = node->children()[1].get();
+      const double planned_loops = std::max(1.0, inner->props().actual_loops);
+      const double scale = outer_rows / planned_loops;
+      inner->props().actual_loops = outer_rows;
+      child_exec[1].total_ms *= scale;
+      child_total = child_exec[0].total_ms + child_exec[1].total_ms;
+      own_ms = exec.rows * kCpuRowMs;
+    } else {
+      const double inner_rows = child_exec.size() > 1 ? child_exec[1].rows : 0;
+      own_ms = outer_rows * inner_rows * kCpuOpMs + exec.rows * kCpuRowMs;
+      if (catalog_->spatial()) {
+        own_ms += outer_rows * std::max(1.0, inner_rows) * 0.05 * kGeomRowMs;
+      }
+    }
+  } else if (type == "Sort") {
+    const double in_rows = child_exec.empty() ? 1 : std::max(1.0, child_exec[0].rows);
+    const double width = props.plan_width > 0 ? props.plan_width : 32.0;
+    const double bytes = in_rows * width;
+    if (props.sort_method == plan::SortMethod::kTopN) {
+      own_ms = in_rows * std::log2(std::max(2.0, props.plan_rows)) * kSortRowMs;
+      props.peak_memory_kb = props.plan_rows * width / 1024.0;
+    } else if (bytes > work_mem) {
+      props.sort_method = plan::SortMethod::kExternalMerge;
+      props.sort_space_on_disk = true;
+      const double pages = bytes / catalog::kPageSizeBytes;
+      own_ms = in_rows * std::log2(std::max(2.0, in_rows)) * kSortRowMs +
+               2.0 * pages * kSeqPageMs;
+      exec.temp_written += pages;
+      exec.temp_read += pages;
+      props.sort_space_used_kb = bytes / 1024.0;
+      props.peak_memory_kb = work_mem / 1024.0;
+    } else {
+      props.sort_method = plan::SortMethod::kQuicksort;
+      props.sort_space_on_disk = false;
+      own_ms = in_rows * std::log2(std::max(2.0, in_rows)) * kSortRowMs;
+      props.sort_space_used_kb = bytes / 1024.0;
+      props.peak_memory_kb = bytes / 1024.0;
+    }
+    startup_ms = child_total + own_ms;  // sorting is blocking
+    if (props.sort_method != plan::SortMethod::kTopN) exec.rows = in_rows;
+  } else if (type == "Aggregate-Hash") {
+    const double in_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    own_ms = in_rows * kCpuOpMs * 1.2 + exec.rows * kCpuRowMs;
+    const double group_bytes = exec.rows * 48.0;
+    if (group_bytes > work_mem) {
+      const double pages = group_bytes / catalog::kPageSizeBytes;
+      own_ms += 2.0 * pages * kSeqPageMs;
+      exec.temp_written += pages;
+      exec.temp_read += pages;
+      props.hash_batches =
+          std::pow(2.0, std::ceil(std::log2(group_bytes / work_mem)));
+    }
+    props.peak_memory_kb = std::min(group_bytes, work_mem) / 1024.0;
+    startup_ms = child_total + own_ms * 0.9;
+  } else if (type == "GroupAggregate" || type == "Aggregate") {
+    const double in_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    own_ms = in_rows * kCpuOpMs * 0.8 + exec.rows * kCpuRowMs;
+    if (type == "Aggregate") exec.rows = 1;
+  } else if (type == "Gather") {
+    // Worker startup plus tuple motion through the shared queue.
+    const double in_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    own_ms = 2.0 + in_rows * kCpuOpMs * 2.0;
+    startup_ms = 2.0 + (child_exec.empty() ? 0.0 : child_exec[0].startup_ms);
+  } else if (type == "Limit") {
+    const double in_rows = child_exec.empty() ? 1 : std::max(1.0, child_exec[0].rows);
+    exec.rows = std::min(in_rows, std::max(1.0, props.plan_rows));
+    // A pipelined child can stop early: pay startup plus the consumed
+    // fraction of the streaming phase.
+    const double child_startup =
+        child_exec.empty() ? 0 : child_exec[0].startup_ms;
+    const double frac = Clamp(exec.rows / in_rows, 0.0, 1.0);
+    child_total = child_startup + frac * (child_total - child_startup);
+    own_ms = exec.rows * kCpuOpMs;
+  } else {
+    // Generic pass-through operator (Materialize, Result, ...).
+    const double in_rows = child_exec.empty() ? 0 : child_exec[0].rows;
+    own_ms = in_rows * kCpuOpMs;
+  }
+
+  // Run-to-run measurement jitter. Kept small relative to knob-induced
+  // variability: repeated executions of the same query under the same
+  // configuration are stable once caches are warm, which is what makes the
+  // paper's MAE-vs-variability comparison (Fig. 6) meaningful.
+  const double jitter =
+      run_noise->LognormalFactor(catalog_->spatial() ? 0.05 : 0.03);
+  own_ms *= jitter;
+
+  exec.total_ms = child_total + own_ms;
+  exec.startup_ms =
+      startup_ms > 0
+          ? std::min(startup_ms, exec.total_ms)
+          : (child_exec.empty() ? 0.0
+                                : std::min(child_exec[0].startup_ms, exec.total_ms));
+
+  // Publish actuals into the node's property bag.
+  props.actual_rows = exec.rows;
+  props.actual_total_time_ms = exec.total_ms;
+  props.actual_startup_time_ms = exec.startup_ms;
+  props.shared_hit_blocks = exec.hit_blocks;
+  props.shared_read_blocks = exec.read_blocks;
+  props.temp_read_blocks = exec.temp_read;
+  props.temp_written_blocks = exec.temp_written;
+  props.plan_buffers = exec.hit_blocks + exec.read_blocks;
+  return exec;
+}
+
+double ExecutorSim::Execute(plan::Plan* query, uint64_t cardinality_seed,
+                            util::Rng* run_noise) const {
+  if (query->root == nullptr) return 0.0;
+  int node_index = 0;
+  const NodeExec exec = ExecuteNode(query->root.get(), cardinality_seed,
+                                    &node_index, 0, run_noise);
+  return exec.total_ms;
+}
+
+}  // namespace qpe::simdb

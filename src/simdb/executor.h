@@ -1,0 +1,78 @@
+#ifndef QPE_SIMDB_EXECUTOR_H_
+#define QPE_SIMDB_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "config/db_config.h"
+#include "plan/plan_node.h"
+#include "util/rng.h"
+
+namespace qpe::simdb {
+
+// Analytical executor simulator: the stand-in for actually running the plan
+// on PostgreSQL and reading EXPLAIN (ANALYZE, BUFFERS) output. Walking the
+// planned tree bottom-up it fills in all "actual" properties — Actual Rows
+// (optimizer estimates distorted by data-dependent misestimation noise),
+// Actual Total/Startup Time, shared/temp buffer counts, realized sort
+// methods and hash batches — and returns the query latency.
+//
+// Knob sensitivity (what makes latency configuration-dependent at *run*
+// time, on top of the planner's choices):
+//   - shared_buffers + effective_cache_size: page-cache hit ratio;
+//   - work_mem: hash-join batching, hash-aggregate spill, external sorts;
+//   - effective_io_concurrency: prefetch speedup for bitmap/seq I/O.
+// The remaining knobs (bgwriter_*, checkpoint_timeout, deadlock_timeout,
+// wal_buffers, ...) do not affect read-query latency — they are nuisance
+// features the learned models must learn to ignore, exactly as in the
+// paper's setting.
+class ExecutorSim {
+ public:
+  ExecutorSim(const catalog::Catalog* catalog,
+              const config::DbConfig* db_config)
+      : catalog_(catalog), config_(db_config) {}
+
+  // Fills actuals in-place and returns the root's actual total time (ms).
+  // `cardinality_seed` fixes the query instance's true cardinalities
+  // (identical across configurations); `run_noise` models run-to-run
+  // measurement jitter.
+  double Execute(plan::Plan* query, uint64_t cardinality_seed,
+                 util::Rng* run_noise) const;
+
+  // --- Hardware model constants (ms) ---
+  static constexpr double kHitPageMs = 0.0002;   // page already cached
+  static constexpr double kSeqPageMs = 0.008;    // sequential read
+  static constexpr double kRandPageMs = 0.06;    // random read
+  static constexpr double kCpuRowMs = 0.00008;   // per-tuple CPU
+  static constexpr double kCpuOpMs = 0.00004;    // per-operator-evaluation
+  static constexpr double kHashBuildRowMs = 0.0002;
+  static constexpr double kSortRowMs = 0.00012;  // per comparison
+  static constexpr double kGeomRowMs = 0.004;    // spatial predicate base
+
+ private:
+  struct NodeExec {
+    double rows = 0;
+    double total_ms = 0;
+    double startup_ms = 0;
+    double hit_blocks = 0;
+    double read_blocks = 0;
+    double temp_read = 0;
+    double temp_written = 0;
+  };
+
+  NodeExec ExecuteNode(plan::PlanNode* node, uint64_t cardinality_seed,
+                       int* node_index, int joins_below,
+                       util::Rng* run_noise) const;
+
+  double CacheHitRatio(const catalog::TableStats& table) const;
+  double IoConcurrencyFactor() const;
+  double ActualRows(const plan::PlanNode& node, uint64_t cardinality_seed,
+                    int node_index, int joins_below) const;
+
+  const catalog::Catalog* catalog_;
+  const config::DbConfig* config_;
+};
+
+}  // namespace qpe::simdb
+
+#endif  // QPE_SIMDB_EXECUTOR_H_

@@ -1,0 +1,623 @@
+#include "simdb/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qpe::simdb {
+
+namespace {
+
+using catalog::ColumnStats;
+using catalog::TableStats;
+using plan::JoinKind;
+using plan::OperatorType;
+using plan::ParentRelationship;
+using plan::PlanNode;
+
+OperatorType Op(const char* token) { return OperatorType::Parse(token); }
+
+// A planned sub-result during join enumeration.
+struct Rel {
+  std::unique_ptr<PlanNode> node;
+  std::set<std::string> tables;
+  double rows = 1;
+  double width = 8;
+  double cost = 0;          // total cost of the subtree
+  double startup_cost = 0;  // cost before the first output row
+  std::string sorted_on;    // column the output is ordered by, if any
+};
+
+struct ScanChoice {
+  std::unique_ptr<PlanNode> node;
+  double cost = 0;
+  double startup = 0;
+  std::string sorted_on;
+};
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+double Planner::RandomPageCost() const {
+  return Clamp(config_->Get(config::Knob::kRandomPageCost) / 1000.0, 0.1, 10.0);
+}
+
+double Planner::EffectiveRandomPageCost(const TableStats& table) const {
+  const double cache_bytes =
+      config_->Get(config::Knob::kEffectiveCacheSize) +
+      config_->Get(config::Knob::kSharedBuffers);
+  const double cache_frac = Clamp(cache_bytes / table.TotalBytes(), 0.0, 1.0);
+  return std::max(kSeqPageCost, RandomPageCost() * (1.0 - 0.7 * cache_frac));
+}
+
+plan::Plan Planner::PlanQuery(const QuerySpec& spec) const {
+  const double work_mem = config_->Get(config::Knob::kWorkMem);
+
+  // ---------------------------------------------------------------------
+  // 1. Plan one access path per base table.
+  // ---------------------------------------------------------------------
+  std::vector<Rel> rels;
+  for (const std::string& table_name : spec.tables) {
+    const TableStats* table = catalog_->FindTable(table_name);
+    if (table == nullptr) continue;
+    const double pages = table->PageCount();
+    const double rows = table->row_count;
+
+    // Combined selectivity and best indexed filter column for this table.
+    double selectivity = 1.0;
+    int num_filters = 0;
+    bool any_spatial = false;
+    const ColumnStats* best_index_col = nullptr;
+    double best_index_sel = 1.0;
+    for (const FilterSpec& filter : spec.filters) {
+      if (filter.table != table_name) continue;
+      selectivity *= Clamp(filter.selectivity, 1e-8, 1.0);
+      ++num_filters;
+      any_spatial = any_spatial || filter.spatial;
+      const ColumnStats* col = table->FindColumn(filter.column);
+      if (col != nullptr && col->indexed && filter.selectivity < best_index_sel) {
+        best_index_sel = filter.selectivity;
+        best_index_col = col;
+      }
+    }
+    const double out_rows = std::max(1.0, rows * selectivity);
+
+    std::vector<ScanChoice> choices;
+
+    // Sequential scan: read every page, test every row.
+    {
+      ScanChoice seq;
+      seq.node = std::make_unique<PlanNode>(Op("Scan-Seq"));
+      seq.cost = pages * kSeqPageCost + rows * kCpuTupleCost +
+                 num_filters * rows * kCpuOperatorCost;
+      seq.startup = 0;
+      choices.push_back(std::move(seq));
+    }
+
+    // Parallel sequential scan under a Gather node: CPU work divides across
+    // kParallelWorkers, IO does not; worthwhile only for big tables.
+    if (pages > kParallelPageThreshold) {
+      ScanChoice parallel;
+      auto gather = std::make_unique<PlanNode>(Op("Gather"));
+      PlanNode* worker_scan = gather->AddChild(Op("Scan-Seq-Parallel"));
+      worker_scan->props().parallel = true;
+      worker_scan->props().parallel_aware = true;
+      worker_scan->props().partial_mode = true;
+      worker_scan->props().plan_rows = out_rows / kParallelWorkers;
+      worker_scan->props().plan_width = table->RowWidth() * 0.6;
+      worker_scan->props().has_filter = num_filters > 0;
+      worker_scan->AddRelation(table_name);
+      const double cpu = (rows * kCpuTupleCost +
+                          num_filters * rows * kCpuOperatorCost) /
+                         kParallelWorkers;
+      const double io = pages * kSeqPageCost;  // shared I/O bandwidth
+      worker_scan->props().total_cost = io + cpu;
+      parallel.cost = io + cpu + kParallelSetupCost +
+                      out_rows * kCpuTupleCost * 0.1;  // gather motion
+      parallel.startup = kParallelSetupCost;
+      parallel.node = std::move(gather);
+      choices.push_back(std::move(parallel));
+    }
+
+    if (best_index_col != nullptr) {
+      const double eff_random = EffectiveRandomPageCost(*table);
+      const double corr = std::abs(best_index_col->correlation);
+      // Index scan: random heap fetches, fewer when physically correlated.
+      {
+        const double fetched =
+            Clamp(pages * best_index_sel * (2.0 - corr), 1.0, pages);
+        ScanChoice idx;
+        idx.node = std::make_unique<PlanNode>(Op("Scan-Index"));
+        idx.node->props().has_index_condition = true;
+        idx.cost = fetched * eff_random +
+                   rows * best_index_sel * (kCpuIndexTupleCost + kCpuTupleCost) +
+                   num_filters * rows * best_index_sel * kCpuOperatorCost;
+        idx.startup = 0;
+        idx.sorted_on = corr > 0.8 ? best_index_col->name : "";
+        choices.push_back(std::move(idx));
+      }
+      // Bitmap heap scan: batch the random fetches in heap order.
+      {
+        const double fetched = Clamp(2.0 * pages * best_index_sel, 1.0, pages);
+        const double page_cost =
+            kSeqPageCost +
+            (eff_random - kSeqPageCost) * std::sqrt(best_index_sel);
+        ScanChoice bitmap;
+        bitmap.node = std::make_unique<PlanNode>(Op("Scan-Heap-Bitmap"));
+        bitmap.node->props().has_index_condition = true;
+        bitmap.node->props().has_recheck_condition = true;
+        PlanNode* bitmap_index = bitmap.node->AddChild(Op("Scan-Index-Bitmap"));
+        bitmap_index->props().has_index_condition = true;
+        bitmap_index->props().plan_rows = out_rows;
+        bitmap_index->props().plan_width = 0;
+        bitmap_index->AddRelation(table_name);
+        // Index part startup: the bitmap must be built before output.
+        const double index_cost =
+            rows * best_index_sel * kCpuIndexTupleCost + best_index_sel * pages * 0.1;
+        bitmap_index->props().total_cost = index_cost;
+        bitmap.cost = index_cost + fetched * page_cost +
+                      rows * best_index_sel * (kCpuTupleCost + kCpuOperatorCost) +
+                      num_filters * rows * best_index_sel * kCpuOperatorCost;
+        bitmap.startup = index_cost;
+        choices.push_back(std::move(bitmap));
+      }
+    }
+
+    size_t best = 0;
+    for (size_t i = 1; i < choices.size(); ++i) {
+      if (choices[i].cost < choices[best].cost) best = i;
+    }
+    ScanChoice chosen = std::move(choices[best]);
+    chosen.node->AddRelation(table_name);
+    chosen.node->props().plan_rows = out_rows;
+    chosen.node->props().plan_width = table->RowWidth() * 0.6;
+    chosen.node->props().has_filter = num_filters > 0;
+    chosen.node->props().heap_blocks =
+        chosen.node->type().ToString() == "Scan-Heap-Bitmap"
+            ? Clamp(2.0 * pages * selectivity, 1.0, pages)
+            : 0;
+    chosen.node->props().startup_cost = chosen.startup;
+    chosen.node->props().total_cost = chosen.cost;
+    if (any_spatial) chosen.node->props().has_recheck_condition = true;
+
+    Rel rel;
+    rel.tables.insert(table_name);
+    rel.rows = out_rows;
+    rel.width = table->RowWidth() * 0.6;
+    rel.cost = chosen.cost;
+    rel.startup_cost = chosen.startup;
+    rel.sorted_on = chosen.sorted_on;
+    rel.node = std::move(chosen.node);
+    rels.push_back(std::move(rel));
+  }
+
+  // ---------------------------------------------------------------------
+  // 2. Greedy join-order enumeration over the join graph.
+  // ---------------------------------------------------------------------
+  auto join_selectivity = [&](const JoinSpec& join) {
+    if (join.spatial) {
+      // Spatial joins emit a few matches per outer feature.
+      const TableStats* right = catalog_->FindTable(join.right_table);
+      return right == nullptr ? 1e-6 : 3.0 / std::max(1.0, right->row_count);
+    }
+    double left_ndv = 1, right_ndv = 1;
+    if (const TableStats* t = catalog_->FindTable(join.left_table)) {
+      if (const ColumnStats* c = t->FindColumn(join.left_column)) left_ndv = c->ndv;
+    }
+    if (const TableStats* t = catalog_->FindTable(join.right_table)) {
+      if (const ColumnStats* c = t->FindColumn(join.right_column)) right_ndv = c->ndv;
+    }
+    return 1.0 / std::max({left_ndv, right_ndv, 1.0});
+  };
+
+  while (rels.size() > 1) {
+    // Pick the cheapest joinable pair (connected by some join edge).
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_a = 0, best_b = 1;
+    const JoinSpec* best_join = nullptr;
+    for (size_t a = 0; a < rels.size(); ++a) {
+      for (size_t b = 0; b < rels.size(); ++b) {
+        if (a == b) continue;
+        for (const JoinSpec& join : spec.joins) {
+          const bool connects = rels[a].tables.count(join.left_table) > 0 &&
+                                rels[b].tables.count(join.right_table) > 0;
+          if (!connects) continue;
+          const double out =
+              rels[a].rows * rels[b].rows * join_selectivity(join);
+          if (out < best_cost) {
+            best_cost = out;
+            best_a = a;
+            best_b = b;
+            best_join = &join;
+          }
+        }
+      }
+    }
+    if (best_join == nullptr) break;  // disconnected graph; stop joining
+
+    // Outer = larger side result so the hash build is on the smaller input.
+    size_t outer_idx = best_a, inner_idx = best_b;
+    if (rels[outer_idx].rows < rels[inner_idx].rows) {
+      std::swap(outer_idx, inner_idx);
+    }
+    Rel& outer = rels[outer_idx];
+    Rel& inner = rels[inner_idx];
+    const double out_rows = std::max(
+        1.0, outer.rows * inner.rows * join_selectivity(*best_join));
+    const double out_width = std::min(400.0, outer.width + inner.width);
+
+    // Spatial joins are executed as GiST-index nested loops (PostGIS): the
+    // outer side probes the inner relation's spatial index per row. No
+    // hash/merge strategy exists for geometry predicates.
+    if (best_join->spatial && inner.tables.size() == 1) {
+      const std::string& inner_name = *inner.tables.begin();
+      const TableStats* inner_table_sp = catalog_->FindTable(inner_name);
+      if (inner_table_sp != nullptr &&
+          inner_table_sp->FindColumn("geom") != nullptr) {
+        auto join_node = std::make_unique<PlanNode>(Op("Loop-Nested"));
+        auto inner_scan = std::make_unique<PlanNode>(Op("Scan-Index"));
+        inner_scan->props().has_index_condition = true;
+        inner_scan->props().has_recheck_condition = true;  // geometry recheck
+        inner_scan->props().plan_rows =
+            std::max(1.0, out_rows / std::max(1.0, outer.rows));
+        inner_scan->props().plan_width = inner.width;
+        inner_scan->props().actual_loops = outer.rows;
+        inner_scan->props().parent_relationship = ParentRelationship::kInner;
+        // GiST descent: a few random index/heap pages per probe, plus the
+        // geometry test on each candidate.
+        const double probe_cost =
+            3.0 * EffectiveRandomPageCost(*inner_table_sp) +
+            8.0 * kCpuOperatorCost;
+        inner_scan->props().total_cost = probe_cost;
+        inner_scan->AddRelation(inner_name);
+        outer.node->props().parent_relationship = ParentRelationship::kOuter;
+        const double total =
+            outer.cost + inner.cost * 0.0 + outer.rows * probe_cost +
+            out_rows * kCpuTupleCost;
+        join_node->props().join_kind = JoinKind::kInner;
+        join_node->props().plan_rows = out_rows;
+        join_node->props().plan_width = out_width;
+        join_node->props().total_cost = total;
+        join_node->props().startup_cost = outer.startup_cost;
+        join_node->AddChild(std::move(outer.node));
+        join_node->AddChild(std::move(inner_scan));
+
+        Rel joined_sp;
+        joined_sp.tables = outer.tables;
+        joined_sp.tables.insert(inner.tables.begin(), inner.tables.end());
+        joined_sp.rows = out_rows;
+        joined_sp.width = out_width;
+        joined_sp.cost = total;
+        joined_sp.startup_cost = join_node->props().startup_cost;
+        joined_sp.node = std::move(join_node);
+        const size_t hi_sp = std::max(outer_idx, inner_idx);
+        const size_t lo_sp = std::min(outer_idx, inner_idx);
+        rels.erase(rels.begin() + hi_sp);
+        rels.erase(rels.begin() + lo_sp);
+        rels.push_back(std::move(joined_sp));
+        continue;
+      }
+    }
+
+    // --- Candidate join strategies ---
+    const double inner_bytes = inner.rows * inner.width;
+    const double inner_data_pages = inner_bytes / catalog::kPageSizeBytes;
+    const double outer_data_pages =
+        outer.rows * outer.width / catalog::kPageSizeBytes;
+
+    // Hash join (with batching when the build side exceeds work_mem).
+    double hash_batches = 1;
+    double hash_cost = inner.rows * (kCpuTupleCost + kCpuOperatorCost) +
+                       outer.rows * kCpuOperatorCost * 1.5 +
+                       out_rows * kCpuTupleCost;
+    if (inner_bytes > work_mem) {
+      hash_batches = std::pow(
+          2.0, std::ceil(std::log2(std::max(2.0, inner_bytes / work_mem))));
+      hash_cost += 2.0 * (inner_data_pages + outer_data_pages) * kSeqPageCost;
+    }
+    const double hash_total = hash_cost + outer.cost + inner.cost;
+
+    // Index nested loop: only if the inner side is a bare scan of a table
+    // whose join column is indexed.
+    double inl_total = std::numeric_limits<double>::infinity();
+    const TableStats* inner_table = nullptr;
+    const ColumnStats* inner_join_col = nullptr;
+    if (inner.tables.size() == 1 && !best_join->spatial) {
+      const std::string& inner_name = *inner.tables.begin();
+      const std::string& join_col = inner_name == best_join->right_table
+                                        ? best_join->right_column
+                                        : best_join->left_column;
+      inner_table = catalog_->FindTable(inner_name);
+      if (inner_table != nullptr) {
+        inner_join_col = inner_table->FindColumn(join_col);
+        if (inner_join_col != nullptr && inner_join_col->indexed) {
+          const double probe =
+              EffectiveRandomPageCost(*inner_table) + 5.0 * kCpuIndexTupleCost;
+          inl_total = outer.cost + outer.rows * probe + out_rows * kCpuTupleCost;
+        }
+      }
+    }
+
+    // Naive nested loop for tiny inputs.
+    double nl_total = std::numeric_limits<double>::infinity();
+    if (outer.rows * inner.rows < 1e7) {
+      nl_total = outer.cost + inner.cost +
+                 outer.rows * inner.rows * kCpuOperatorCost +
+                 out_rows * kCpuTupleCost;
+    }
+
+    // Merge join: cheap when both inputs are already ordered on the join
+    // columns; otherwise it must pay for sorts.
+    const bool outer_sorted = outer.sorted_on == best_join->left_column ||
+                              outer.sorted_on == best_join->right_column;
+    const bool inner_sorted = inner.sorted_on == best_join->left_column ||
+                              inner.sorted_on == best_join->right_column;
+    auto sort_cost = [&](double rows, double width) {
+      const double bytes = rows * width;
+      double cost = rows * std::log2(std::max(2.0, rows)) * kCpuOperatorCost * 2.0;
+      if (bytes > work_mem) {
+        cost += 2.0 * (bytes / catalog::kPageSizeBytes) * kSeqPageCost;
+      }
+      return cost;
+    };
+    double merge_cost = (outer.rows + inner.rows) * kCpuTupleCost * 1.1 +
+                        out_rows * kCpuTupleCost;
+    if (!outer_sorted) merge_cost += sort_cost(outer.rows, outer.width);
+    if (!inner_sorted) merge_cost += sort_cost(inner.rows, inner.width);
+    const double merge_total = merge_cost + outer.cost + inner.cost;
+
+    const double best_total =
+        std::min({hash_total, inl_total, nl_total, merge_total});
+
+    Rel joined;
+    joined.tables = outer.tables;
+    joined.tables.insert(inner.tables.begin(), inner.tables.end());
+    joined.rows = out_rows;
+    joined.width = out_width;
+    joined.cost = best_total;
+
+    std::unique_ptr<PlanNode> join_node;
+    if (best_total == hash_total) {
+      join_node = std::make_unique<PlanNode>(Op("Join-Hash"));
+      join_node->props().has_hash_condition = true;
+      join_node->props().hash_batches = hash_batches;
+      join_node->props().hash_buckets =
+          std::pow(2.0, std::ceil(std::log2(std::max(
+                            1024.0, inner.rows / hash_batches))));
+      join_node->props().peak_memory_kb =
+          std::min(inner_bytes, work_mem) / 1024.0;
+      auto hash_node = std::make_unique<PlanNode>(Op("Hash"));
+      hash_node->props().plan_rows = inner.rows;
+      hash_node->props().plan_width = inner.width;
+      hash_node->props().hash_batches = hash_batches;
+      hash_node->props().peak_memory_kb =
+          std::min(inner_bytes, work_mem) / 1024.0;
+      hash_node->props().startup_cost = inner.cost;
+      hash_node->props().total_cost =
+          inner.cost + inner.rows * kCpuTupleCost;
+      hash_node->props().parent_relationship = ParentRelationship::kInner;
+      inner.node->props().parent_relationship = ParentRelationship::kOuter;
+      hash_node->AddChild(std::move(inner.node));
+      outer.node->props().parent_relationship = ParentRelationship::kOuter;
+      // Hash join startup: the build side must finish first.
+      joined.startup_cost = hash_node->props().total_cost;
+      join_node->AddChild(std::move(outer.node));
+      join_node->AddChild(std::move(hash_node));
+    } else if (best_total == inl_total) {
+      join_node = std::make_unique<PlanNode>(Op("Loop-Nested"));
+      join_node->props().inner_unique =
+          inner_join_col != nullptr &&
+          inner_join_col->ndv >= inner_table->row_count * 0.99;
+      // Replace the inner side with a parameterized index scan.
+      auto inner_scan = std::make_unique<PlanNode>(Op("Scan-Index"));
+      inner_scan->props().has_index_condition = true;
+      inner_scan->props().plan_rows = std::max(
+          1.0, inner_table->row_count / std::max(1.0, inner_join_col->ndv));
+      inner_scan->props().plan_width = inner.width;
+      inner_scan->props().actual_loops = outer.rows;
+      inner_scan->props().parent_relationship = ParentRelationship::kInner;
+      inner_scan->props().total_cost =
+          EffectiveRandomPageCost(*inner_table) + 5.0 * kCpuIndexTupleCost;
+      inner_scan->AddRelation(inner_table->name);
+      outer.node->props().parent_relationship = ParentRelationship::kOuter;
+      joined.startup_cost = outer.startup_cost;
+      join_node->AddChild(std::move(outer.node));
+      join_node->AddChild(std::move(inner_scan));
+    } else if (best_total == merge_total) {
+      join_node = std::make_unique<PlanNode>(Op("Join-Merge"));
+      join_node->props().has_merge_condition = true;
+      auto maybe_sort = [&](std::unique_ptr<PlanNode> child, bool sorted,
+                            double rows, double width,
+                            double child_cost) -> std::unique_ptr<PlanNode> {
+        if (sorted) return child;
+        auto sort_node = std::make_unique<PlanNode>(Op("Sort"));
+        sort_node->props().plan_rows = rows;
+        sort_node->props().plan_width = width;
+        sort_node->props().num_sort_keys = 1;
+        const double bytes = rows * width;
+        sort_node->props().sort_method = bytes > work_mem
+                                             ? plan::SortMethod::kExternalMerge
+                                             : plan::SortMethod::kQuicksort;
+        sort_node->props().sort_space_on_disk = bytes > work_mem;
+        sort_node->props().peak_memory_kb = std::min(bytes, work_mem) / 1024.0;
+        sort_node->props().startup_cost = child_cost + sort_cost(rows, width);
+        sort_node->props().total_cost = sort_node->props().startup_cost;
+        sort_node->AddChild(std::move(child));
+        return sort_node;
+      };
+      auto outer_in = maybe_sort(std::move(outer.node), outer_sorted,
+                                 outer.rows, outer.width, outer.cost);
+      auto inner_in = maybe_sort(std::move(inner.node), inner_sorted,
+                                 inner.rows, inner.width, inner.cost);
+      outer_in->props().parent_relationship = ParentRelationship::kOuter;
+      inner_in->props().parent_relationship = ParentRelationship::kInner;
+      joined.startup_cost = best_total * 0.3;
+      join_node->AddChild(std::move(outer_in));
+      join_node->AddChild(std::move(inner_in));
+      joined.sorted_on = best_join->left_column;
+    } else {
+      // Naive nested loop: the inner side is rescanned once per outer row,
+      // so PostgreSQL interposes a Materialize node that caches it.
+      join_node = std::make_unique<PlanNode>(Op("Loop-Nested"));
+      outer.node->props().parent_relationship = ParentRelationship::kOuter;
+      auto materialize = std::make_unique<PlanNode>(Op("Materialize"));
+      materialize->props().plan_rows = inner.rows;
+      materialize->props().plan_width = inner.width;
+      materialize->props().parent_relationship = ParentRelationship::kInner;
+      materialize->props().startup_cost = inner.cost;
+      materialize->props().total_cost =
+          inner.cost + inner.rows * kCpuOperatorCost;
+      materialize->props().peak_memory_kb =
+          std::min(inner.rows * inner.width, work_mem) / 1024.0;
+      inner.node->props().parent_relationship = ParentRelationship::kOuter;
+      materialize->AddChild(std::move(inner.node));
+      joined.startup_cost = outer.startup_cost + inner.startup_cost;
+      join_node->AddChild(std::move(outer.node));
+      join_node->AddChild(std::move(materialize));
+    }
+    join_node->props().join_kind =
+        best_join->spatial ? JoinKind::kInner : JoinKind::kInner;
+    join_node->props().plan_rows = out_rows;
+    join_node->props().plan_width = out_width;
+    join_node->props().total_cost = best_total;
+    join_node->props().startup_cost = joined.startup_cost;
+    joined.node = std::move(join_node);
+
+    // Remove the two inputs, append the join result.
+    const size_t hi = std::max(outer_idx, inner_idx);
+    const size_t lo = std::min(outer_idx, inner_idx);
+    rels.erase(rels.begin() + hi);
+    rels.erase(rels.begin() + lo);
+    rels.push_back(std::move(joined));
+  }
+
+  Rel result = std::move(rels.front());
+
+  // ---------------------------------------------------------------------
+  // 3. Aggregation.
+  // ---------------------------------------------------------------------
+  if (spec.has_aggregate) {
+    const double groups =
+        std::max(1.0, result.rows * Clamp(spec.group_fraction, 0.0, 1.0));
+    const double group_bytes = groups * 48.0;
+    const bool hashed = spec.num_group_keys > 0 && group_bytes < work_mem;
+    std::unique_ptr<PlanNode> agg_node;
+    if (spec.num_group_keys == 0) {
+      agg_node = std::make_unique<PlanNode>(Op("Aggregate"));
+      agg_node->props().aggregate_strategy = plan::AggregateStrategy::kPlain;
+    } else if (hashed) {
+      agg_node = std::make_unique<PlanNode>(Op("Aggregate-Hash"));
+      agg_node->props().aggregate_strategy = plan::AggregateStrategy::kHashed;
+      agg_node->props().hash_buckets = std::pow(
+          2.0, std::ceil(std::log2(std::max(1024.0, groups))));
+      agg_node->props().peak_memory_kb = group_bytes / 1024.0;
+    } else {
+      // GroupAggregate needs sorted input.
+      agg_node = std::make_unique<PlanNode>(Op("GroupAggregate"));
+      agg_node->props().aggregate_strategy = plan::AggregateStrategy::kSorted;
+      if (result.sorted_on.empty()) {
+        auto sort_node = std::make_unique<PlanNode>(Op("Sort"));
+        const double bytes = result.rows * result.width;
+        sort_node->props().plan_rows = result.rows;
+        sort_node->props().plan_width = result.width;
+        sort_node->props().num_sort_keys = spec.num_group_keys;
+        sort_node->props().sort_method = bytes > work_mem
+                                             ? plan::SortMethod::kExternalMerge
+                                             : plan::SortMethod::kQuicksort;
+        sort_node->props().sort_space_on_disk = bytes > work_mem;
+        sort_node->props().peak_memory_kb = std::min(bytes, work_mem) / 1024.0;
+        const double scost =
+            result.rows * std::log2(std::max(2.0, result.rows)) *
+                kCpuOperatorCost * 2.0 +
+            (bytes > work_mem
+                 ? 2.0 * bytes / catalog::kPageSizeBytes * kSeqPageCost
+                 : 0.0);
+        sort_node->props().startup_cost = result.cost + scost;
+        sort_node->props().total_cost = result.cost + scost;
+        sort_node->AddChild(std::move(result.node));
+        result.node = std::move(sort_node);
+        result.cost += scost;
+        result.startup_cost = result.cost;
+      }
+    }
+    const double agg_cost =
+        result.rows * kCpuOperatorCost * (hashed ? 1.2 : 0.8) +
+        groups * kCpuTupleCost;
+    agg_node->props().plan_rows = groups;
+    agg_node->props().plan_width = std::min(result.width, 64.0);
+    agg_node->props().total_cost = result.cost + agg_cost;
+    agg_node->props().startup_cost =
+        hashed || spec.num_group_keys == 0 ? result.cost + agg_cost * 0.9
+                                           : result.startup_cost;
+    agg_node->AddChild(std::move(result.node));
+    result.node = std::move(agg_node);
+    result.rows = groups;
+    result.width = std::min(result.width, 64.0);
+    result.cost += agg_cost;
+    result.startup_cost = result.node->props().startup_cost;
+    result.sorted_on.clear();
+  }
+
+  // ---------------------------------------------------------------------
+  // 4. Ordering and limit.
+  // ---------------------------------------------------------------------
+  if (spec.has_sort) {
+    auto sort_node = std::make_unique<PlanNode>(Op("Sort"));
+    const bool top_n = spec.has_limit && spec.limit_rows * 64.0 < work_mem &&
+                       spec.limit_rows < result.rows;
+    const double bytes = result.rows * result.width;
+    sort_node->props().plan_rows = result.rows;
+    sort_node->props().plan_width = result.width;
+    sort_node->props().num_sort_keys = spec.num_sort_keys;
+    if (top_n) {
+      sort_node->props().sort_method = plan::SortMethod::kTopN;
+      sort_node->props().peak_memory_kb = spec.limit_rows * 64.0 / 1024.0;
+    } else if (bytes > work_mem) {
+      sort_node->props().sort_method = plan::SortMethod::kExternalMerge;
+      sort_node->props().sort_space_on_disk = true;
+      sort_node->props().peak_memory_kb = work_mem / 1024.0;
+    } else {
+      sort_node->props().sort_method = plan::SortMethod::kQuicksort;
+      sort_node->props().peak_memory_kb = bytes / 1024.0;
+    }
+    const double scost =
+        result.rows * std::log2(std::max(2.0, result.rows)) *
+            kCpuOperatorCost * (top_n ? 1.0 : 2.0) +
+        (sort_node->props().sort_space_on_disk
+             ? 2.0 * bytes / catalog::kPageSizeBytes * kSeqPageCost
+             : 0.0);
+    sort_node->props().startup_cost = result.cost + scost;
+    sort_node->props().total_cost = result.cost + scost;
+    sort_node->AddChild(std::move(result.node));
+    result.node = std::move(sort_node);
+    result.cost += scost;
+    result.startup_cost = result.cost;
+  }
+
+  if (spec.has_limit) {
+    auto limit_node = std::make_unique<PlanNode>(Op("Limit"));
+    limit_node->props().plan_rows = std::min(result.rows, spec.limit_rows);
+    limit_node->props().plan_width = result.width;
+    limit_node->props().startup_cost = result.startup_cost;
+    limit_node->props().total_cost = result.cost;
+    limit_node->AddChild(std::move(result.node));
+    result.node = std::move(limit_node);
+    result.rows = std::min(result.rows, spec.limit_rows);
+  }
+
+  plan::Plan planned;
+  planned.root = std::move(result.node);
+  planned.benchmark = spec.benchmark;
+  planned.template_id = spec.template_id;
+  planned.cluster_id = spec.cluster_id;
+  return planned;
+}
+
+}  // namespace qpe::simdb

@@ -1,0 +1,60 @@
+#ifndef QPE_SIMDB_PLANNER_H_
+#define QPE_SIMDB_PLANNER_H_
+
+#include "catalog/catalog.h"
+#include "config/db_config.h"
+#include "plan/plan_node.h"
+#include "simdb/query_spec.h"
+
+namespace qpe::simdb {
+
+// Cost-based physical planner: the stand-in for the PostgreSQL optimizer.
+// Given a logical QuerySpec, table statistics, and configuration knobs, it
+// chooses access paths (seq / index / bitmap heap scan), a greedy join
+// order, join algorithms (hash / merge / nested loop, with or without an
+// inner index), and aggregation/sort strategies, producing a plan tree with
+// optimizer estimates (Plan Rows, Plan Width, Startup/Total Cost).
+//
+// Configuration knobs influence planning the way they do in PostgreSQL:
+// random_page_cost and effective_cache_size steer scan choice, work_mem
+// steers hash/sort strategy and batching. That is what makes the same query
+// produce *different plans* under different configurations — the phenomenon
+// the paper's workload characterization is built around.
+class Planner {
+ public:
+  Planner(const catalog::Catalog* catalog, const config::DbConfig* db_config)
+      : catalog_(catalog), config_(db_config) {}
+
+  // Plans the query. The returned plan carries estimates and the chosen
+  // physical structure; actual runtime properties are filled in later by
+  // ExecutorSim.
+  plan::Plan PlanQuery(const QuerySpec& spec) const;
+
+  // Cost-model constants (PostgreSQL defaults, arbitrary cost units).
+  static constexpr double kSeqPageCost = 1.0;
+  static constexpr double kCpuTupleCost = 0.01;
+  static constexpr double kCpuIndexTupleCost = 0.005;
+  static constexpr double kCpuOperatorCost = 0.0025;
+
+  // Parallel-query model: worker count, startup overhead (parallel_setup_
+  // cost analogue) and the table size above which a Gather plan is offered.
+  static constexpr double kParallelWorkers = 4.0;
+  static constexpr double kParallelSetupCost = 1000.0;
+  static constexpr double kParallelPageThreshold = 50000.0;
+
+  // The random_page_cost knob is stored scaled by 1000 in the knob table
+  // (paper Table 5 medians ~5000); the effective multiplier is value/1000.
+  double RandomPageCost() const;
+
+  // Random-page cost discounted by the expected cache residency of a table
+  // (effective_cache_size + shared_buffers vs table size).
+  double EffectiveRandomPageCost(const catalog::TableStats& table) const;
+
+ private:
+  const catalog::Catalog* catalog_;
+  const config::DbConfig* config_;
+};
+
+}  // namespace qpe::simdb
+
+#endif  // QPE_SIMDB_PLANNER_H_

@@ -1,0 +1,61 @@
+#ifndef QPE_SIMDB_QUERY_SPEC_H_
+#define QPE_SIMDB_QUERY_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qpe::simdb {
+
+// A predicate on one table. `selectivity` is the true fraction of rows
+// passing; `spatial` marks geometry predicates (ST_Intersects & co), which
+// are far more expensive per row and harder to estimate.
+struct FilterSpec {
+  std::string table;
+  std::string column;
+  double selectivity = 0.1;
+  bool spatial = false;
+};
+
+// An equi-join (or spatial join when `spatial`) between two tables.
+struct JoinSpec {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  bool spatial = false;
+};
+
+// Logical description of a query: the planner turns this plus a catalog and
+// a configuration into a physical plan. This is the analogue of the SQL
+// text of one benchmark query instance.
+struct QuerySpec {
+  std::vector<std::string> tables;
+  std::vector<JoinSpec> joins;      // join graph; must connect `tables`
+  std::vector<FilterSpec> filters;
+
+  bool has_aggregate = false;
+  int num_group_keys = 0;
+  double group_fraction = 0.1;  // fraction of input rows surviving GROUP BY
+
+  bool has_sort = false;
+  int num_sort_keys = 1;
+
+  bool has_limit = false;
+  double limit_rows = 100;
+
+  // Identity/metadata.
+  std::string benchmark;
+  std::string template_id;
+  int cluster_id = -1;
+
+  // Seed fixing the query instance's *data-dependent* randomness (true
+  // cardinalities). The same instance executed under different knob
+  // configurations sees identical data, so this seed must not change with
+  // the configuration.
+  uint64_t cardinality_seed = 0;
+};
+
+}  // namespace qpe::simdb
+
+#endif  // QPE_SIMDB_QUERY_SPEC_H_

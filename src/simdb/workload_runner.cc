@@ -1,0 +1,54 @@
+#include "simdb/workload_runner.h"
+
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+
+namespace qpe::simdb {
+
+std::vector<ExecutedQuery> RunWorkloadTemplates(
+    const BenchmarkWorkload& workload,
+    const std::vector<int>& template_indices,
+    const std::vector<config::DbConfig>& configs, const RunOptions& options) {
+  std::vector<ExecutedQuery> executed;
+  executed.reserve(template_indices.size() * options.instances_per_template *
+                   configs.size());
+  // Two independent streams: instance generation must not depend on how
+  // many configurations are run, so that the same seed reproduces the same
+  // query instances — letting callers execute one instance set under
+  // *different* configuration sets (train vs test configurations, as in the
+  // paper's Figure 5/6 protocol).
+  util::Rng instance_stream(options.seed);
+  util::Rng noise_stream(options.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  for (int t : template_indices) {
+    for (int i = 0; i < options.instances_per_template; ++i) {
+      // Fix the instance (literals + data) once, then run it under every
+      // configuration.
+      util::Rng instance_rng = instance_stream.Fork();
+      const QuerySpec spec = workload.Instantiate(t, &instance_rng);
+      for (const config::DbConfig& db_config : configs) {
+        Planner planner(&workload.GetCatalog(), &db_config);
+        ExecutorSim executor(&workload.GetCatalog(), &db_config);
+        ExecutedQuery record;
+        record.query = planner.PlanQuery(spec);
+        util::Rng run_noise = noise_stream.Fork();
+        record.latency_ms =
+            executor.Execute(&record.query, spec.cardinality_seed, &run_noise);
+        record.db_config = db_config;
+        record.template_index = t;
+        record.instance_index = i;
+        executed.push_back(std::move(record));
+      }
+    }
+  }
+  return executed;
+}
+
+std::vector<ExecutedQuery> RunWorkload(
+    const BenchmarkWorkload& workload,
+    const std::vector<config::DbConfig>& configs, const RunOptions& options) {
+  std::vector<int> all(workload.NumTemplates());
+  for (int i = 0; i < workload.NumTemplates(); ++i) all[i] = i;
+  return RunWorkloadTemplates(workload, all, configs, options);
+}
+
+}  // namespace qpe::simdb

@@ -1,0 +1,56 @@
+#ifndef QPE_SIMDB_WORKLOAD_RUNNER_H_
+#define QPE_SIMDB_WORKLOAD_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "config/db_config.h"
+#include "plan/plan_node.h"
+#include "simdb/workloads.h"
+
+namespace qpe::simdb {
+
+// One executed query: the plan (with all actual properties filled in), the
+// configuration it ran under, and the observed latency. This is the unit of
+// training data for the performance encoder and the downstream tasks — the
+// analogue of one uploaded EXPLAIN ANALYZE record in the paper's pipeline.
+struct ExecutedQuery {
+  plan::Plan query;
+  config::DbConfig db_config;
+  double latency_ms = 0;
+  int template_index = -1;
+  int instance_index = -1;
+
+  ExecutedQuery Clone() const {
+    ExecutedQuery copy;
+    copy.query = query.CloneDeep();
+    copy.db_config = db_config;
+    copy.latency_ms = latency_ms;
+    copy.template_index = template_index;
+    copy.instance_index = instance_index;
+    return copy;
+  }
+};
+
+// Options for a workload run.
+struct RunOptions {
+  int instances_per_template = 1;  // distinct literal instantiations
+  uint64_t seed = 42;
+};
+
+// Executes every template of `workload` under every configuration. The same
+// query instance (fixed literals and data) is executed under all
+// configurations, so per-template latency variability across configurations
+// is attributable to the knobs — the setting of the paper's Figure 5.
+std::vector<ExecutedQuery> RunWorkload(
+    const BenchmarkWorkload& workload,
+    const std::vector<config::DbConfig>& configs, const RunOptions& options);
+
+// Convenience: runs only the given template indices.
+std::vector<ExecutedQuery> RunWorkloadTemplates(
+    const BenchmarkWorkload& workload, const std::vector<int>& template_indices,
+    const std::vector<config::DbConfig>& configs, const RunOptions& options);
+
+}  // namespace qpe::simdb
+
+#endif  // QPE_SIMDB_WORKLOAD_RUNNER_H_

@@ -1,0 +1,632 @@
+#include "simdb/workloads.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/schemas.h"
+
+namespace qpe::simdb {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+// Shorthand builders for template tables.
+FilterSpec Filter(const char* table, const char* column, double selectivity,
+                  bool spatial = false) {
+  FilterSpec f;
+  f.table = table;
+  f.column = column;
+  f.selectivity = selectivity;
+  f.spatial = spatial;
+  return f;
+}
+
+JoinSpec Join(const char* lt, const char* lc, const char* rt, const char* rc,
+              bool spatial = false) {
+  JoinSpec j;
+  j.left_table = lt;
+  j.left_column = lc;
+  j.right_table = rt;
+  j.right_column = rc;
+  j.spatial = spatial;
+  return j;
+}
+
+struct Shape {
+  bool aggregate = false;
+  int group_keys = 0;
+  double group_fraction = 0.1;
+  bool sort = false;
+  int sort_keys = 1;
+  bool limit = false;
+  double limit_rows = 100;
+};
+
+QuerySpec MakeSpec(const char* benchmark, std::string template_id,
+                   std::vector<const char*> tables,
+                   std::vector<JoinSpec> joins, std::vector<FilterSpec> filters,
+                   const Shape& shape, int cluster_id = -1) {
+  QuerySpec spec;
+  for (const char* t : tables) spec.tables.emplace_back(t);
+  spec.joins = std::move(joins);
+  spec.filters = std::move(filters);
+  spec.has_aggregate = shape.aggregate;
+  spec.num_group_keys = shape.group_keys;
+  spec.group_fraction = shape.group_fraction;
+  spec.has_sort = shape.sort;
+  spec.num_sort_keys = shape.sort_keys;
+  spec.has_limit = shape.limit;
+  spec.limit_rows = shape.limit_rows;
+  spec.benchmark = benchmark;
+  spec.template_id = std::move(template_id);
+  spec.cluster_id = cluster_id;
+  return spec;
+}
+
+Shape Agg(int group_keys, double group_fraction, bool sort = true) {
+  Shape s;
+  s.aggregate = true;
+  s.group_keys = group_keys;
+  s.group_fraction = group_fraction;
+  s.sort = sort;
+  return s;
+}
+
+Shape AggLimit(int group_keys, double group_fraction, double limit_rows) {
+  Shape s = Agg(group_keys, group_fraction);
+  s.limit = true;
+  s.limit_rows = limit_rows;
+  return s;
+}
+
+Shape SortLimit(double limit_rows) {
+  Shape s;
+  s.sort = true;
+  s.limit = true;
+  s.limit_rows = limit_rows;
+  return s;
+}
+
+}  // namespace
+
+QuerySpec BenchmarkWorkload::Instantiate(int template_index,
+                                         util::Rng* rng) const {
+  QuerySpec spec = templates_[template_index];
+  // Literal substitution: jitter every filter's selectivity around the
+  // template's base value (log-normal, clipped).
+  for (FilterSpec& filter : spec.filters) {
+    filter.selectivity =
+        Clamp(filter.selectivity * rng->LognormalFactor(0.35), 1e-7, 1.0);
+  }
+  spec.cardinality_seed = rng->NextU64();
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H
+// ---------------------------------------------------------------------------
+
+TpchWorkload::TpchWorkload(double scale_factor)
+    : BenchmarkWorkload(catalog::MakeTpchCatalog(scale_factor)) {
+  const char* kB = "tpch";
+  templates_.push_back(MakeSpec(kB, "Q1", {"lineitem"}, {},
+                                {Filter("lineitem", "l_shipdate", 0.98)},
+                                Agg(4, 1e-6)));
+  templates_.push_back(MakeSpec(
+      kB, "Q2", {"part", "partsupp", "supplier", "nation", "region"},
+      {Join("part", "p_partkey", "partsupp", "ps_partkey"),
+       Join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey"),
+       Join("nation", "n_regionkey", "region", "r_regionkey")},
+      {Filter("part", "p_size", 0.02), Filter("region", "r_name", 0.2)},
+      SortLimit(100)));
+  templates_.push_back(MakeSpec(
+      kB, "Q3", {"customer", "orders", "lineitem"},
+      {Join("customer", "c_custkey", "orders", "o_custkey"),
+       Join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+      {Filter("customer", "c_mktsegment", 0.2),
+       Filter("orders", "o_orderdate", 0.48),
+       Filter("lineitem", "l_shipdate", 0.54)},
+      AggLimit(2, 0.6, 10)));
+  templates_.push_back(MakeSpec(
+      kB, "Q4", {"orders", "lineitem"},
+      {Join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+      {Filter("orders", "o_orderdate", 0.04)}, Agg(1, 1e-5)));
+  templates_.push_back(MakeSpec(
+      kB, "Q5",
+      {"customer", "orders", "lineitem", "supplier", "nation", "region"},
+      {Join("customer", "c_custkey", "orders", "o_custkey"),
+       Join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+       Join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey"),
+       Join("nation", "n_regionkey", "region", "r_regionkey")},
+      {Filter("region", "r_name", 0.2), Filter("orders", "o_orderdate", 0.15)},
+      Agg(1, 1e-5)));
+  templates_.push_back(MakeSpec(kB, "Q6", {"lineitem"}, {},
+                                {Filter("lineitem", "l_shipdate", 0.15),
+                                 Filter("lineitem", "l_discount", 0.27),
+                                 Filter("lineitem", "l_quantity", 0.48)},
+                                Agg(0, 1.0, /*sort=*/false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q7", {"supplier", "lineitem", "orders", "customer", "nation"},
+      {Join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+       Join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+       Join("orders", "o_custkey", "customer", "c_custkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey")},
+      {Filter("nation", "n_name", 0.08),
+       Filter("lineitem", "l_shipdate", 0.3)},
+      Agg(3, 1e-5)));
+  templates_.push_back(MakeSpec(
+      kB, "Q8",
+      {"part", "lineitem", "supplier", "orders", "customer", "nation",
+       "region"},
+      {Join("part", "p_partkey", "lineitem", "l_partkey"),
+       Join("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+       Join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+       Join("orders", "o_custkey", "customer", "c_custkey"),
+       Join("customer", "c_nationkey", "nation", "n_nationkey"),
+       Join("nation", "n_regionkey", "region", "r_regionkey")},
+      {Filter("part", "p_type", 0.007), Filter("region", "r_name", 0.2),
+       Filter("orders", "o_orderdate", 0.3)},
+      Agg(1, 1e-6)));
+  templates_.push_back(MakeSpec(
+      kB, "Q9", {"part", "supplier", "lineitem", "partsupp", "orders",
+                 "nation"},
+      {Join("part", "p_partkey", "lineitem", "l_partkey"),
+       Join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+       Join("partsupp", "ps_partkey", "lineitem", "l_partkey"),
+       Join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey")},
+      {Filter("part", "p_type", 0.055)}, Agg(2, 1e-4)));
+  templates_.push_back(MakeSpec(
+      kB, "Q10", {"customer", "orders", "lineitem", "nation"},
+      {Join("customer", "c_custkey", "orders", "o_custkey"),
+       Join("orders", "o_orderkey", "lineitem", "l_orderkey"),
+       Join("customer", "c_nationkey", "nation", "n_nationkey")},
+      {Filter("orders", "o_orderdate", 0.04),
+       Filter("lineitem", "l_returnflag", 0.33)},
+      AggLimit(4, 0.3, 20)));
+  templates_.push_back(MakeSpec(
+      kB, "Q11", {"partsupp", "supplier", "nation"},
+      {Join("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey")},
+      {Filter("nation", "n_name", 0.04)}, Agg(1, 0.1)));
+  templates_.push_back(MakeSpec(
+      kB, "Q12", {"orders", "lineitem"},
+      {Join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+      {Filter("lineitem", "l_shipmode", 0.28),
+       Filter("lineitem", "l_receiptdate", 0.15)},
+      Agg(1, 1e-6)));
+  templates_.push_back(MakeSpec(
+      kB, "Q13", {"customer", "orders"},
+      {Join("customer", "c_custkey", "orders", "o_custkey")},
+      {Filter("orders", "o_orderpriority", 0.98)}, Agg(1, 1e-4)));
+  templates_.push_back(MakeSpec(
+      kB, "Q14", {"lineitem", "part"},
+      {Join("lineitem", "l_partkey", "part", "p_partkey")},
+      {Filter("lineitem", "l_shipdate", 0.013)},
+      Agg(0, 1.0, /*sort=*/false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q15", {"lineitem", "supplier"},
+      {Join("lineitem", "l_suppkey", "supplier", "s_suppkey")},
+      {Filter("lineitem", "l_shipdate", 0.04)}, Agg(1, 0.002)));
+  templates_.push_back(MakeSpec(
+      kB, "Q16", {"partsupp", "part", "supplier"},
+      {Join("partsupp", "ps_partkey", "part", "p_partkey"),
+       Join("partsupp", "ps_suppkey", "supplier", "s_suppkey")},
+      {Filter("part", "p_brand", 0.96), Filter("part", "p_size", 0.16)},
+      Agg(3, 1e-3)));
+  templates_.push_back(MakeSpec(
+      kB, "Q17", {"lineitem", "part"},
+      {Join("lineitem", "l_partkey", "part", "p_partkey")},
+      {Filter("part", "p_brand", 0.04), Filter("part", "p_container", 0.025)},
+      Agg(0, 1.0, /*sort=*/false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q18", {"customer", "orders", "lineitem"},
+      {Join("customer", "c_custkey", "orders", "o_custkey"),
+       Join("orders", "o_orderkey", "lineitem", "l_orderkey")},
+      {Filter("lineitem", "l_quantity", 0.05)}, AggLimit(4, 0.01, 100)));
+  templates_.push_back(MakeSpec(
+      kB, "Q19", {"lineitem", "part"},
+      {Join("lineitem", "l_partkey", "part", "p_partkey")},
+      {Filter("part", "p_brand", 0.12), Filter("part", "p_container", 0.1),
+       Filter("lineitem", "l_quantity", 0.2),
+       Filter("lineitem", "l_shipmode", 0.28)},
+      Agg(0, 1.0, /*sort=*/false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q20", {"supplier", "nation", "partsupp", "part"},
+      {Join("supplier", "s_suppkey", "partsupp", "ps_suppkey"),
+       Join("partsupp", "ps_partkey", "part", "p_partkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey")},
+      {Filter("part", "p_type", 0.05), Filter("nation", "n_name", 0.04)},
+      Shape{.sort = true}));
+  templates_.push_back(MakeSpec(
+      kB, "Q21", {"supplier", "lineitem", "orders", "nation"},
+      {Join("supplier", "s_suppkey", "lineitem", "l_suppkey"),
+       Join("lineitem", "l_orderkey", "orders", "o_orderkey"),
+       Join("supplier", "s_nationkey", "nation", "n_nationkey")},
+      {Filter("orders", "o_orderstatus", 0.33),
+       Filter("nation", "n_name", 0.04)},
+      AggLimit(1, 1e-4, 100)));
+  templates_.push_back(MakeSpec(
+      kB, "Q22", {"customer", "orders"},
+      {Join("customer", "c_custkey", "orders", "o_custkey")},
+      {Filter("customer", "c_acctbal", 0.13)}, Agg(1, 1e-5)));
+}
+
+// ---------------------------------------------------------------------------
+// TPC-DS
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct FkEdge {
+  const char* fact_col;
+  const char* dim;
+  const char* dim_col;
+};
+
+struct FactInfo {
+  const char* name;
+  std::vector<FkEdge> fks;
+};
+
+const std::vector<FactInfo>& TpcdsFacts() {
+  static const std::vector<FactInfo>* const kFacts = new std::vector<FactInfo>{
+      {"store_sales",
+       {{"ss_item_sk", "item", "i_item_sk"},
+        {"ss_customer_sk", "customer", "c_customer_sk"},
+        {"ss_store_sk", "store", "s_store_sk"},
+        {"ss_sold_date_sk", "date_dim", "d_date_sk"},
+        {"ss_promo_sk", "promotion", "p_promo_sk"}}},
+      {"catalog_sales",
+       {{"cs_item_sk", "item", "i_item_sk"},
+        {"cs_bill_customer_sk", "customer", "c_customer_sk"},
+        {"cs_call_center_sk", "call_center", "cc_call_center_sk"},
+        {"cs_sold_date_sk", "date_dim", "d_date_sk"}}},
+      {"web_sales",
+       {{"ws_item_sk", "item", "i_item_sk"},
+        {"ws_bill_customer_sk", "customer", "c_customer_sk"},
+        {"ws_web_site_sk", "web_site", "web_site_sk"},
+        {"ws_sold_date_sk", "date_dim", "d_date_sk"}}},
+      {"store_returns",
+       {{"sr_item_sk", "item", "i_item_sk"},
+        {"sr_customer_sk", "customer", "c_customer_sk"},
+        {"sr_returned_date_sk", "date_dim", "d_date_sk"}}},
+      {"inventory",
+       {{"inv_item_sk", "item", "i_item_sk"},
+        {"inv_warehouse_sk", "warehouse", "w_warehouse_sk"},
+        {"inv_date_sk", "date_dim", "d_date_sk"}}},
+  };
+  return *kFacts;
+}
+
+// Representative filterable columns per dimension table.
+struct DimFilter {
+  const char* table;
+  const char* column;
+  double min_sel;
+  double max_sel;
+};
+
+const std::vector<DimFilter>& TpcdsDimFilters() {
+  static const std::vector<DimFilter>* const kFilters =
+      new std::vector<DimFilter>{
+          {"date_dim", "d_year", 0.005, 0.1},
+          {"date_dim", "d_moy", 0.03, 0.2},
+          {"item", "i_category", 0.05, 0.3},
+          {"item", "i_class", 0.005, 0.1},
+          {"customer", "c_birth_year", 0.01, 0.2},
+          {"customer_address", "ca_state", 0.005, 0.1},
+          {"store", "s_state", 0.05, 0.5},
+          {"customer_demographics", "cd_gender", 0.3, 0.6},
+          {"customer_demographics", "cd_marital_status", 0.1, 0.4},
+          {"promotion", "p_channel_email", 0.3, 0.6},
+          {"household_demographics", "hd_buy_potential", 0.1, 0.4},
+      };
+  return *kFilters;
+}
+
+}  // namespace
+
+TpcdsWorkload::TpcdsWorkload(double scale_factor, int num_templates)
+    : BenchmarkWorkload(catalog::MakeTpcdsCatalog(scale_factor)) {
+  for (int i = 0; i < num_templates; ++i) {
+    util::Rng rng(9000 + i);  // template i is always the same shape
+    const FactInfo& fact = TpcdsFacts()[rng.UniformInt(0, TpcdsFacts().size() - 1)];
+
+    QuerySpec spec;
+    spec.benchmark = "tpcds";
+    spec.template_id = "Q" + std::to_string(i + 1);
+    spec.tables.push_back(fact.name);
+
+    // Join 2..min(4, fks) dimensions.
+    const int max_dims = static_cast<int>(fact.fks.size());
+    const int num_dims = static_cast<int>(rng.UniformInt(2, std::min(4, max_dims)));
+    std::vector<int> order = rng.Permutation(max_dims);
+    bool has_customer = false;
+    for (int d = 0; d < num_dims; ++d) {
+      const FkEdge& fk = fact.fks[order[d]];
+      spec.tables.push_back(fk.dim);
+      spec.joins.push_back(Join(fact.name, fk.fact_col, fk.dim, fk.dim_col));
+      if (std::string(fk.dim) == "customer") has_customer = true;
+    }
+    // Snowflake out of customer sometimes.
+    if (has_customer && rng.Bernoulli(0.5)) {
+      if (rng.Bernoulli(0.5)) {
+        spec.tables.push_back("customer_address");
+        spec.joins.push_back(Join("customer", "c_current_addr_sk",
+                                  "customer_address", "ca_address_sk"));
+      } else {
+        spec.tables.push_back("customer_demographics");
+        spec.joins.push_back(Join("customer", "c_current_cdemo_sk",
+                                  "customer_demographics", "cd_demo_sk"));
+      }
+    }
+
+    // 1..3 filters on joined tables.
+    const int num_filters = static_cast<int>(rng.UniformInt(1, 3));
+    int added = 0;
+    std::vector<int> filter_order = rng.Permutation(
+        static_cast<int>(TpcdsDimFilters().size()));
+    for (int f = 0; f < static_cast<int>(filter_order.size()) && added < num_filters;
+         ++f) {
+      const DimFilter& dim_filter = TpcdsDimFilters()[filter_order[f]];
+      bool joined = false;
+      for (const std::string& t : spec.tables) joined = joined || t == dim_filter.table;
+      if (!joined) continue;
+      const double log_lo = std::log(dim_filter.min_sel);
+      const double log_hi = std::log(dim_filter.max_sel);
+      spec.filters.push_back(Filter(dim_filter.table, dim_filter.column,
+                                    std::exp(rng.Uniform(log_lo, log_hi))));
+      ++added;
+    }
+    // Occasionally filter the fact table itself.
+    if (rng.Bernoulli(0.3)) {
+      const catalog::TableStats* fact_table = catalog_.FindTable(fact.name);
+      if (fact_table != nullptr && fact_table->columns.size() > 4) {
+        spec.filters.push_back(
+            Filter(fact.name, fact_table->columns.back().name.c_str(),
+                   rng.Uniform(0.2, 0.8)));
+      }
+    }
+
+    if (rng.Bernoulli(0.8)) {
+      spec.has_aggregate = true;
+      spec.num_group_keys = static_cast<int>(rng.UniformInt(1, 4));
+      spec.group_fraction = std::pow(10.0, -rng.Uniform(1.0, 4.0));
+    }
+    spec.has_sort = rng.Bernoulli(0.7);
+    spec.num_sort_keys = static_cast<int>(rng.UniformInt(1, 3));
+    if (rng.Bernoulli(0.4)) {
+      spec.has_limit = true;
+      spec.limit_rows = 100;
+    }
+    templates_.push_back(std::move(spec));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Join Order Benchmark
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Bridge tables connect to `title` via movie_id; each optionally pulls in a
+// dimension table.
+struct JobBridge {
+  const char* table;
+  const char* dim;        // nullptr if none
+  const char* bridge_col; // FK column in bridge pointing at dim
+  const char* dim_col;
+};
+
+const std::vector<JobBridge>& JobBridges() {
+  static const std::vector<JobBridge>* const kBridges =
+      new std::vector<JobBridge>{
+          {"movie_companies", "company_name", "company_id", "id"},
+          {"movie_info", "info_type", "info_type_id", "id"},
+          {"movie_info_idx", "info_type", "info_type_id", "id"},
+          {"movie_keyword", "keyword", "keyword_id", "id"},
+          {"cast_info", "name", "person_id", "id"},
+          {"complete_cast", "comp_cast_type", "subject_id", "id"},
+          {"movie_link", "link_type", "link_type_id", "id"},
+          {"aka_title", nullptr, nullptr, nullptr},
+      };
+  return *kBridges;
+}
+
+struct JobFilter {
+  const char* table;
+  const char* column;
+  double sel;
+};
+
+const std::vector<JobFilter>& JobFilters() {
+  static const std::vector<JobFilter>* const kFilters =
+      new std::vector<JobFilter>{
+          {"title", "production_year", 0.15},
+          {"title", "kind_id", 0.4},
+          {"company_name", "country_code", 0.05},
+          {"info_type", "info", 0.009},
+          {"keyword", "keyword", 0.0001},
+          {"name", "gender", 0.3},
+          {"movie_companies", "company_type_id", 0.5},
+          {"cast_info", "role_id", 0.09},
+          {"movie_info", "info_type_id", 0.014},
+          {"link_type", "link", 0.06},
+      };
+  return *kFilters;
+}
+
+}  // namespace
+
+JobWorkload::JobWorkload() : BenchmarkWorkload(catalog::MakeImdbCatalog()) {
+  // 113 = 14 clusters of 4 variants + 19 clusters of 3 variants.
+  int template_counter = 0;
+  for (int cluster = 0; cluster < kNumClusters; ++cluster) {
+    util::Rng rng(7000 + cluster);
+
+    // Cluster base: title plus 2..4 bridges (and their dims).
+    const int num_bridges = static_cast<int>(rng.UniformInt(2, 4));
+    std::vector<const char*> tables = {"title"};
+    std::vector<JoinSpec> joins;
+    std::vector<int> order =
+        rng.Permutation(static_cast<int>(JobBridges().size()));
+    for (int b = 0; b < num_bridges; ++b) {
+      const JobBridge& bridge = JobBridges()[order[b]];
+      tables.push_back(bridge.table);
+      joins.push_back(Join("title", "id", bridge.table, "movie_id"));
+      if (bridge.dim != nullptr && rng.Bernoulli(0.7)) {
+        tables.push_back(bridge.dim);
+        joins.push_back(
+            Join(bridge.table, bridge.bridge_col, bridge.dim, bridge.dim_col));
+      }
+    }
+    if (rng.Bernoulli(0.3)) {
+      tables.push_back("kind_type");
+      joins.push_back(Join("title", "kind_id", "kind_type", "id"));
+    }
+
+    // Base filters: 2..4 on the joined tables.
+    std::vector<FilterSpec> base_filters;
+    const int num_filters = static_cast<int>(rng.UniformInt(2, 4));
+    std::vector<int> filter_order =
+        rng.Permutation(static_cast<int>(JobFilters().size()));
+    for (int f = 0;
+         f < static_cast<int>(filter_order.size()) &&
+         static_cast<int>(base_filters.size()) < num_filters;
+         ++f) {
+      const JobFilter& job_filter = JobFilters()[filter_order[f]];
+      bool joined = false;
+      for (const char* t : tables) {
+        joined = joined || std::string(t) == job_filter.table;
+      }
+      if (!joined) continue;
+      base_filters.push_back(
+          Filter(job_filter.table, job_filter.column, job_filter.sel));
+    }
+
+    const int variants = cluster < 14 ? 4 : 3;
+    for (int v = 0; v < variants && template_counter < kNumTemplates; ++v) {
+      QuerySpec spec;
+      spec.benchmark = "job";
+      spec.template_id =
+          std::to_string(cluster + 1) + static_cast<char>('a' + v);
+      spec.cluster_id = cluster;
+      for (const char* t : tables) spec.tables.emplace_back(t);
+      spec.joins = joins;
+      spec.filters = base_filters;
+      // Variants differ in predicate selectivity (like 11a..11d): variant v
+      // scales filter f by a deterministic factor.
+      for (size_t f = 0; f < spec.filters.size(); ++f) {
+        const double factor =
+            std::pow(3.0, ((v + static_cast<int>(f)) % 4) - 1.5);
+        spec.filters[f].selectivity =
+            Clamp(spec.filters[f].selectivity * factor, 1e-7, 0.98);
+      }
+      // JOB queries are SELECT MIN(...) FROM ... : plain aggregate.
+      spec.has_aggregate = true;
+      spec.num_group_keys = 0;
+      spec.group_fraction = 1.0;
+      templates_.push_back(std::move(spec));
+      ++template_counter;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spatial (Jackpine + OSM)
+// ---------------------------------------------------------------------------
+
+SpatialWorkload::SpatialWorkload(double region_scale)
+    : BenchmarkWorkload(catalog::MakeSpatialCatalog(region_scale)) {
+  const char* kB = "spatial";
+  const bool kSp = true;
+  // Jackpine-style templates.
+  templates_.push_back(MakeSpec(
+      kB, "Q1", {"arealm", "areawater"},
+      {Join("arealm", "geom", "areawater", "geom", kSp)},
+      {Filter("arealm", "geom", 0.05, kSp)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q2", {"pointlm", "arealm"},
+      {Join("pointlm", "geom", "arealm", "geom", kSp)}, {},
+      Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q3", {"edges", "arealm"},
+      {Join("edges", "geom", "arealm", "geom", kSp)},
+      {Filter("edges", "roadflg", 0.5)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q4", {"pointlm", "edges"},
+      {Join("pointlm", "geom", "edges", "geom", kSp)},
+      {Filter("pointlm", "mtfcc", 0.1)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q5", {"county", "arealm"},
+      {Join("county", "geom", "arealm", "geom", kSp)}, {},
+      Agg(1, 0.001)));
+  templates_.push_back(MakeSpec(
+      kB, "Q6", {"areawater", "county"},
+      {Join("areawater", "geom", "county", "geom", kSp)},
+      {Filter("county", "name", 0.05)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q7", {"edges", "county"},
+      {Join("edges", "geom", "county", "geom", kSp)},
+      {Filter("edges", "mtfcc", 0.08)}, Agg(1, 0.0001)));
+  templates_.push_back(
+      MakeSpec(kB, "Q8", {"arealm"}, {},
+               {Filter("arealm", "geom", 0.01, kSp)}, Shape{.sort = true}));
+  templates_.push_back(MakeSpec(kB, "Q9", {"edges"}, {},
+                                {Filter("edges", "geom", 0.001, kSp)},
+                                SortLimit(1000)));
+  templates_.push_back(MakeSpec(
+      kB, "Q10", {"pointlm"}, {},
+      {Filter("pointlm", "geom", 0.005, kSp)}, Agg(1, 0.01)));
+  templates_.push_back(MakeSpec(
+      kB, "Q11", {"areawater"}, {},
+      {Filter("areawater", "geom", 0.02, kSp)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "Q12", {"edges", "pointlm", "arealm"},
+      {Join("edges", "geom", "pointlm", "geom", kSp),
+       Join("edges", "geom", "arealm", "geom", kSp)},
+      {Filter("edges", "roadflg", 0.5)}, Agg(1, 0.001)));
+  // OSM-style templates.
+  templates_.push_back(MakeSpec(
+      kB, "OSM1", {"osm_points", "osm_polygons"},
+      {Join("osm_points", "geom", "osm_polygons", "geom", kSp)},
+      {Filter("osm_points", "amenity", 0.02)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM2", {"osm_lines", "osm_polygons"},
+      {Join("osm_lines", "geom", "osm_polygons", "geom", kSp)},
+      {Filter("osm_lines", "highway", 0.2)}, Agg(1, 0.0005)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM3", {"osm_roads", "osm_points"},
+      {Join("osm_roads", "geom", "osm_points", "geom", kSp)}, {},
+      Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM4", {"osm_polygons"}, {},
+      {Filter("osm_polygons", "geom", 0.002, kSp),
+       Filter("osm_polygons", "building", 0.4)},
+      SortLimit(500)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM5", {"osm_points"}, {},
+      {Filter("osm_points", "amenity", 0.01),
+       Filter("osm_points", "geom", 0.05, kSp)},
+      Agg(1, 0.01)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM6", {"osm_roads", "osm_lines"},
+      {Join("osm_roads", "geom", "osm_lines", "geom", kSp)},
+      {Filter("osm_roads", "ref", 0.05)}, Agg(0, 1.0, false)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM7", {"osm_lines"}, {},
+      {Filter("osm_lines", "geom", 0.01, kSp)}, Agg(2, 0.001)));
+  templates_.push_back(MakeSpec(
+      kB, "OSM8", {"osm_points", "osm_roads", "osm_polygons"},
+      {Join("osm_points", "geom", "osm_roads", "geom", kSp),
+       Join("osm_roads", "geom", "osm_polygons", "geom", kSp)},
+      {Filter("osm_polygons", "building", 0.3)}, Agg(1, 0.0001)));
+}
+
+}  // namespace qpe::simdb

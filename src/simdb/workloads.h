@@ -1,0 +1,73 @@
+#ifndef QPE_SIMDB_WORKLOADS_H_
+#define QPE_SIMDB_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "simdb/query_spec.h"
+#include "util/rng.h"
+
+namespace qpe::simdb {
+
+// A benchmark workload: a catalog plus a fixed set of query templates.
+// Instantiate() produces a query instance — same structure as the template,
+// with literal parameters (filter selectivities) jittered and a fresh
+// cardinality seed, mirroring how benchmark drivers substitute random
+// literals into templates.
+class BenchmarkWorkload {
+ public:
+  virtual ~BenchmarkWorkload() = default;
+
+  const catalog::Catalog& GetCatalog() const { return catalog_; }
+  int NumTemplates() const { return static_cast<int>(templates_.size()); }
+  const QuerySpec& Template(int i) const { return templates_[i]; }
+  const std::string& TemplateName(int i) const {
+    return templates_[i].template_id;
+  }
+  int ClusterOf(int i) const { return templates_[i].cluster_id; }
+
+  QuerySpec Instantiate(int template_index, util::Rng* rng) const;
+
+ protected:
+  explicit BenchmarkWorkload(catalog::Catalog catalog)
+      : catalog_(std::move(catalog)) {}
+
+  catalog::Catalog catalog_;
+  std::vector<QuerySpec> templates_;
+};
+
+// TPC-H: 22 templates approximating the shapes of Q1..Q22.
+class TpchWorkload : public BenchmarkWorkload {
+ public:
+  explicit TpchWorkload(double scale_factor);
+};
+
+// TPC-DS: `num_templates` star/snowflake templates over the TPC-DS schema,
+// generated deterministically (template i is always the same query shape).
+class TpcdsWorkload : public BenchmarkWorkload {
+ public:
+  explicit TpcdsWorkload(double scale_factor, int num_templates = 60);
+};
+
+// Join Order Benchmark: 113 templates in 33 clusters over the IMDB schema.
+// Templates within a cluster share a join graph and differ in predicates,
+// like JOB's 11a/11b/11c/11d variants.
+class JobWorkload : public BenchmarkWorkload {
+ public:
+  JobWorkload();
+  static constexpr int kNumClusters = 33;
+  static constexpr int kNumTemplates = 113;
+};
+
+// Spatial benchmark: 12 Jackpine-style templates (prefix "Q") plus 8
+// OSM-style templates (prefix "OSM").
+class SpatialWorkload : public BenchmarkWorkload {
+ public:
+  explicit SpatialWorkload(double region_scale = 1.0);
+};
+
+}  // namespace qpe::simdb
+
+#endif  // QPE_SIMDB_WORKLOADS_H_

@@ -1,0 +1,232 @@
+#include "tasks/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/features.h"
+
+namespace qpe::tasks {
+
+namespace {
+
+// Linear prediction with a trailing bias weight.
+double Predict(const std::vector<double>& weights,
+               const std::vector<double>& features) {
+  double y = weights.back();  // bias
+  for (size_t i = 0; i < features.size() && i + 1 < weights.size(); ++i) {
+    y += weights[i] * features[i];
+  }
+  return y;
+}
+
+// Closed-form ridge regression: returns weights (last element = bias).
+std::vector<double> FitRidge(const std::vector<std::vector<double>>& x,
+                             const std::vector<double>& y, double lambda) {
+  const int n = static_cast<int>(x.size());
+  const int d = static_cast<int>(x[0].size()) + 1;  // +bias
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (int r = 0; r < n; ++r) {
+    std::vector<double> row = x[r];
+    row.push_back(1.0);
+    for (int i = 0; i < d; ++i) {
+      xty[i] += row[i] * y[r];
+      for (int j = 0; j < d; ++j) xtx[i][j] += row[i] * row[j];
+    }
+  }
+  return SolveRidge(std::move(xtx), std::move(xty), lambda);
+}
+
+void Standardize(const std::vector<std::vector<double>>& rows,
+                 std::vector<double>* mean, std::vector<double>* scale) {
+  const size_t d = rows[0].size();
+  mean->assign(d, 0.0);
+  scale->assign(d, 0.0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < d; ++i) (*mean)[i] += row[i];
+  }
+  for (size_t i = 0; i < d; ++i) (*mean)[i] /= static_cast<double>(rows.size());
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < d; ++i) {
+      const double c = row[i] - (*mean)[i];
+      (*scale)[i] += c * c;
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    (*scale)[i] = std::sqrt((*scale)[i] / static_cast<double>(rows.size()));
+    if ((*scale)[i] < 1e-9) (*scale)[i] = 1.0;
+  }
+}
+
+std::vector<double> Apply(const std::vector<double>& row,
+                          const std::vector<double>& mean,
+                          const std::vector<double>& scale) {
+  std::vector<double> out(row.size());
+  for (size_t i = 0; i < row.size(); ++i) out[i] = (row[i] - mean[i]) / scale[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> SolveRidge(std::vector<std::vector<double>> a,
+                               std::vector<double> b, double lambda) {
+  const int d = static_cast<int>(b.size());
+  for (int i = 0; i < d; ++i) a[i][i] += lambda;
+  // Gaussian elimination with partial pivoting.
+  for (int col = 0; col < d; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < d; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double diag = a[col][col];
+    if (std::abs(diag) < 1e-12) continue;
+    for (int r = 0; r < d; ++r) {
+      if (r == col) continue;
+      const double factor = a[r][col] / diag;
+      for (int c = col; c < d; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(d, 0.0);
+  for (int i = 0; i < d; ++i) {
+    x[i] = std::abs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+  }
+  return x;
+}
+
+std::vector<double> PlanLevelFeatures(const simdb::ExecutedQuery& record) {
+  std::vector<std::vector<double>> node_rows;
+  int nodes = 0;
+  record.query.root->Visit([&](const plan::PlanNode& node) {
+    node_rows.push_back(data::NodeFeatures(node));
+    ++nodes;
+  });
+  std::vector<double> features = data::SumFeatures(node_rows);
+  for (double v : record.db_config.ToFeatures()) features.push_back(v);
+  features.push_back(std::log1p(static_cast<double>(nodes)) / 6.0);
+  features.push_back(
+      std::log1p(record.query.root->props().total_cost) / 25.0);
+  features.push_back(
+      std::log1p(record.query.root->props().startup_cost) / 25.0);
+  return features;
+}
+
+double LatencyBaseline::EvaluateMaeMs(
+    const std::vector<simdb::ExecutedQuery>& records) const {
+  if (records.empty()) return 0;
+  double total = 0;
+  for (const simdb::ExecutedQuery& record : records) {
+    total += std::abs(PredictMs(record) - record.latency_ms);
+  }
+  return total / static_cast<double>(records.size());
+}
+
+// --- TAM ---
+
+namespace {
+
+std::vector<double> TamFeatures(const simdb::ExecutedQuery& record) {
+  return {std::log1p(record.query.root->props().total_cost),
+          std::log1p(record.query.root->props().startup_cost),
+          std::log1p(static_cast<double>(record.query.NumNodes()))};
+}
+
+}  // namespace
+
+void TamBaseline::Train(const std::vector<simdb::ExecutedQuery>& train) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (const simdb::ExecutedQuery& record : train) {
+    x.push_back(TamFeatures(record));
+    y.push_back(data::EncodeLabel(record.latency_ms));
+  }
+  weights_ = FitRidge(x, y, 1e-6);
+}
+
+double TamBaseline::PredictMs(const simdb::ExecutedQuery& record) const {
+  return data::DecodeLabel(Predict(weights_, TamFeatures(record)));
+}
+
+// --- SVM (linear SVR stand-in) ---
+
+void SvrBaseline::Train(const std::vector<simdb::ExecutedQuery>& train) {
+  std::vector<std::vector<double>> raw;
+  std::vector<double> y;
+  for (const simdb::ExecutedQuery& record : train) {
+    raw.push_back(PlanLevelFeatures(record));
+    y.push_back(data::EncodeLabel(record.latency_ms));
+  }
+  Standardize(raw, &mean_, &scale_);
+  std::vector<std::vector<double>> x;
+  x.reserve(raw.size());
+  for (const auto& row : raw) x.push_back(Apply(row, mean_, scale_));
+  weights_ = FitRidge(x, y, lambda_);
+}
+
+double SvrBaseline::PredictMs(const simdb::ExecutedQuery& record) const {
+  const std::vector<double> features =
+      Apply(PlanLevelFeatures(record), mean_, scale_);
+  return data::DecodeLabel(Predict(weights_, features));
+}
+
+// --- RBF ---
+
+void RbfBaseline::Train(const std::vector<simdb::ExecutedQuery>& train) {
+  std::vector<std::vector<double>> raw;
+  train_labels_.clear();
+  for (const simdb::ExecutedQuery& record : train) {
+    raw.push_back(PlanLevelFeatures(record));
+    train_labels_.push_back(data::EncodeLabel(record.latency_ms));
+  }
+  Standardize(raw, &mean_, &scale_);
+  train_features_.clear();
+  train_features_.reserve(raw.size());
+  for (const auto& row : raw) train_features_.push_back(Apply(row, mean_, scale_));
+
+  // Median-distance bandwidth heuristic over a subsample.
+  std::vector<double> distances;
+  const size_t n = train_features_.size();
+  const size_t stride = std::max<size_t>(1, n / 64);
+  for (size_t i = 0; i < n; i += stride) {
+    for (size_t j = i + stride; j < n; j += stride) {
+      double d2 = 0;
+      for (size_t k = 0; k < train_features_[i].size(); ++k) {
+        const double diff = train_features_[i][k] - train_features_[j][k];
+        d2 += diff * diff;
+      }
+      distances.push_back(std::sqrt(d2));
+    }
+  }
+  std::sort(distances.begin(), distances.end());
+  bandwidth_ = distances.empty() ? 1.0
+                                 : std::max(1e-3, distances[distances.size() / 2]);
+}
+
+double RbfBaseline::PredictMs(const simdb::ExecutedQuery& record) const {
+  const std::vector<double> query =
+      Apply(PlanLevelFeatures(record), mean_, scale_);
+  double weight_sum = 0, value_sum = 0;
+  for (size_t i = 0; i < train_features_.size(); ++i) {
+    double d2 = 0;
+    for (size_t k = 0; k < query.size(); ++k) {
+      const double diff = query[k] - train_features_[i][k];
+      d2 += diff * diff;
+    }
+    const double w = std::exp(-d2 / (2.0 * bandwidth_ * bandwidth_));
+    weight_sum += w;
+    value_sum += w * train_labels_[i];
+  }
+  if (weight_sum < 1e-12) {
+    // Far from all training points: fall back to the mean label.
+    double mean = 0;
+    for (double y : train_labels_) mean += y;
+    return data::DecodeLabel(train_labels_.empty()
+                                 ? 0.0
+                                 : mean / train_labels_.size());
+  }
+  return data::DecodeLabel(value_sum / weight_sum);
+}
+
+}  // namespace qpe::tasks

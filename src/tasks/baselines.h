@@ -1,0 +1,86 @@
+#ifndef QPE_TASKS_BASELINES_H_
+#define QPE_TASKS_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "simdb/workload_runner.h"
+
+namespace qpe::tasks {
+
+// Latency-prediction baselines from the paper's Figure 7/8 comparison
+// (Marcus & Papaemmanouil's study): TAM, SVM, RBF, and QPPNet (QPPNet lives
+// in tasks/qppnet.h). Each learns from executed queries and predicts
+// latency for unseen ones.
+
+// Flat plan-level feature vector shared by the SVM/RBF baselines: summed
+// node features plus configuration features plus plan shape statistics.
+std::vector<double> PlanLevelFeatures(const simdb::ExecutedQuery& record);
+
+class LatencyBaseline {
+ public:
+  virtual ~LatencyBaseline() = default;
+  virtual void Train(const std::vector<simdb::ExecutedQuery>& train) = 0;
+  virtual double PredictMs(const simdb::ExecutedQuery& record) const = 0;
+  virtual std::string name() const = 0;
+
+  double EvaluateMaeMs(const std::vector<simdb::ExecutedQuery>& records) const;
+};
+
+// TAM (Wu et al. [33]): a *tuned optimizer cost model* — calibrates a
+// linear map from optimizer cost estimates (total cost, startup cost, node
+// count) to observed latency.
+class TamBaseline : public LatencyBaseline {
+ public:
+  void Train(const std::vector<simdb::ExecutedQuery>& train) override;
+  double PredictMs(const simdb::ExecutedQuery& record) const override;
+  std::string name() const override { return "TAM"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+// SVM baseline (Akdere et al. [1]): linear support-vector regression,
+// realized as closed-form ridge regression on plan-level features (same
+// model family and feature granularity; the epsilon-insensitive loss is the
+// only simplification).
+class SvrBaseline : public LatencyBaseline {
+ public:
+  explicit SvrBaseline(double ridge_lambda = 1e-2) : lambda_(ridge_lambda) {}
+
+  void Train(const std::vector<simdb::ExecutedQuery>& train) override;
+  double PredictMs(const simdb::ExecutedQuery& record) const override;
+  std::string name() const override { return "SVM"; }
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+// RBF baseline (Li et al. [17]): RBF-kernel regression, realized as
+// Nadaraya-Watson kernel smoothing over standardized plan-level features
+// with a median-distance bandwidth.
+class RbfBaseline : public LatencyBaseline {
+ public:
+  void Train(const std::vector<simdb::ExecutedQuery>& train) override;
+  double PredictMs(const simdb::ExecutedQuery& record) const override;
+  std::string name() const override { return "RBF"; }
+
+ private:
+  std::vector<std::vector<double>> train_features_;  // standardized
+  std::vector<double> train_labels_;                 // encoded
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  double bandwidth_ = 1.0;
+};
+
+// Solves (A + lambda*I) x = b for symmetric positive-definite A via
+// Gaussian elimination with partial pivoting. Exposed for tests.
+std::vector<double> SolveRidge(std::vector<std::vector<double>> a,
+                               std::vector<double> b, double lambda);
+
+}  // namespace qpe::tasks
+
+#endif  // QPE_TASKS_BASELINES_H_

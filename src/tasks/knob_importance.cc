@@ -1,0 +1,82 @@
+#include "tasks/knob_importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "util/rng.h"
+
+namespace qpe::tasks {
+
+std::vector<KnobImportance> PermutationImportance(
+    const LatencyPredictor& model,
+    const std::vector<simdb::ExecutedQuery>& records, uint64_t seed) {
+  const double baseline = model.EvaluateMaeMs(records);
+  util::Rng rng(seed);
+  std::vector<KnobImportance> importances;
+  for (int k = 0; k < config::kNumKnobs; ++k) {
+    const auto knob = static_cast<config::Knob>(k);
+    // Shuffle this knob's values across records.
+    const std::vector<int> perm =
+        rng.Permutation(static_cast<int>(records.size()));
+    double total_error = 0;
+    for (size_t i = 0; i < records.size(); ++i) {
+      simdb::ExecutedQuery shuffled = records[i].Clone();
+      shuffled.db_config.Set(knob, records[perm[i]].db_config.Get(knob));
+      total_error += std::abs(model.PredictMs(shuffled) - records[i].latency_ms);
+    }
+    KnobImportance importance;
+    importance.knob = knob;
+    importance.score =
+        total_error / static_cast<double>(records.size()) - baseline;
+    importances.push_back(importance);
+  }
+  std::sort(importances.begin(), importances.end(),
+            [](const KnobImportance& a, const KnobImportance& b) {
+              return a.score > b.score;
+            });
+  return importances;
+}
+
+std::vector<KnobImportance> SimulatedSensitivity(
+    const simdb::BenchmarkWorkload& workload,
+    const std::vector<int>& template_indices, int instances, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<KnobImportance> importances(config::kNumKnobs);
+  for (int k = 0; k < config::kNumKnobs; ++k) {
+    importances[k].knob = static_cast<config::Knob>(k);
+  }
+  int count = 0;
+  for (int t : template_indices) {
+    for (int i = 0; i < instances; ++i) {
+      const simdb::QuerySpec spec = workload.Instantiate(t, &rng);
+      for (int k = 0; k < config::kNumKnobs; ++k) {
+        const auto knob = static_cast<config::Knob>(k);
+        const auto& info = config::GetKnobInfo(knob);
+        auto run = [&](double value) {
+          config::DbConfig db_config;  // midpoints elsewhere
+          db_config.Set(knob, value);
+          simdb::Planner planner(&workload.GetCatalog(), &db_config);
+          simdb::ExecutorSim executor(&workload.GetCatalog(), &db_config);
+          plan::Plan planned = planner.PlanQuery(spec);
+          util::Rng noise(seed + t);  // identical noise both runs
+          return executor.Execute(&planned, spec.cardinality_seed, &noise);
+        };
+        importances[k].score +=
+            std::abs(run(info.max_value) - run(info.min_value));
+      }
+      ++count;
+    }
+  }
+  for (auto& importance : importances) {
+    importance.score /= std::max(1, count);
+  }
+  std::sort(importances.begin(), importances.end(),
+            [](const KnobImportance& a, const KnobImportance& b) {
+              return a.score > b.score;
+            });
+  return importances;
+}
+
+}  // namespace qpe::tasks

@@ -1,0 +1,41 @@
+#ifndef QPE_TASKS_KNOB_IMPORTANCE_H_
+#define QPE_TASKS_KNOB_IMPORTANCE_H_
+
+#include <vector>
+
+#include "config/db_config.h"
+#include "simdb/workload_runner.h"
+#include "tasks/latency_model.h"
+
+namespace qpe::tasks {
+
+// Per-knob importance for a workload (the paper's motivating observation:
+// "query Q18 and query Q7 ... respond to knob changes shared_buffers vs.
+// effective_cache_size very differently"). Two estimators:
+//
+//  - Permutation importance of a trained latency model: shuffle one knob's
+//    values across the evaluation records and measure the increase in the
+//    model's prediction error. Captures what the *model* relies on.
+//  - Ground-truth sensitivity from the simulator: re-execute each record
+//    with one knob moved to its range extremes and measure the latency
+//    swing. Captures what actually matters.
+
+struct KnobImportance {
+  config::Knob knob;
+  double score = 0;  // larger = more important; units depend on estimator
+};
+
+// Permutation importance (MAE increase in ms when the knob is shuffled).
+std::vector<KnobImportance> PermutationImportance(
+    const LatencyPredictor& model,
+    const std::vector<simdb::ExecutedQuery>& records, uint64_t seed);
+
+// Ground-truth sensitivity: mean |latency(knob=max) - latency(knob=min)| in
+// ms over the given query instances, holding everything else fixed.
+std::vector<KnobImportance> SimulatedSensitivity(
+    const simdb::BenchmarkWorkload& workload,
+    const std::vector<int>& template_indices, int instances, uint64_t seed);
+
+}  // namespace qpe::tasks
+
+#endif  // QPE_TASKS_KNOB_IMPORTANCE_H_

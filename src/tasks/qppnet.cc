@@ -1,0 +1,94 @@
+#include "tasks/qppnet.h"
+
+#include <cmath>
+
+#include "data/features.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace qpe::tasks {
+
+QppNet::QppNet(const Config& config, util::Rng* rng) : config_(config) {
+  const int input_dim = data::kNodeFeatureDim + 2 * config.data_dim;
+  for (int g = 0; g < plan::kNumOperatorGroups; ++g) {
+    units_.push_back(RegisterModule(
+        std::string("unit_") + plan::GroupName(static_cast<plan::OperatorGroup>(g)),
+        std::make_unique<nn::Mlp>(
+            std::vector<int>{input_dim, config.hidden_dim, config.hidden_dim,
+                             config.data_dim},
+            nn::Activation::kRelu, nn::Activation::kNone, rng)));
+  }
+}
+
+nn::Tensor QppNet::ForwardNode(const plan::PlanNode& node) const {
+  // Children data vectors, zero-padded to two slots; extra children are
+  // summed into the second slot.
+  nn::Tensor left = nn::Tensor::Zeros(1, config_.data_dim);
+  nn::Tensor right = nn::Tensor::Zeros(1, config_.data_dim);
+  const auto& children = node.children();
+  if (!children.empty()) left = ForwardNode(*children[0]);
+  for (size_t i = 1; i < children.size(); ++i) {
+    right = Add(right, ForwardNode(*children[i]));
+  }
+  const std::vector<double> features = data::NodeFeatures(node);
+  std::vector<float> feature_floats(features.begin(), features.end());
+  const nn::Tensor node_features = nn::Tensor::FromVector(
+      1, static_cast<int>(feature_floats.size()), feature_floats);
+  const nn::Tensor input = nn::ConcatCols({node_features, left, right});
+  const int group = static_cast<int>(plan::GroupOf(node.type()));
+  return units_[group]->Forward(input);
+}
+
+nn::Tensor QppNet::PlanLoss(const plan::PlanNode& root) const {
+  // Supervise the root's latency output fully, internal nodes at reduced
+  // weight, as in the original per-operator training signal.
+  nn::Tensor total = nn::Tensor::Scalar(0.0f);
+  float weight_total = 0.0f;
+  std::vector<const plan::PlanNode*> stack = {&root};
+  while (!stack.empty()) {
+    const plan::PlanNode* node = stack.back();
+    stack.pop_back();
+    const float weight = node == &root ? 1.0f : config_.internal_loss_weight;
+    if (weight > 0) {
+      const nn::Tensor data_vector = ForwardNode(*node);
+      const nn::Tensor pred = SliceCols(data_vector, 0, 1);
+      const nn::Tensor target = nn::Tensor::Scalar(static_cast<float>(
+          data::EncodeLabel(node->props().actual_total_time_ms)));
+      total = Add(total, Scale(Square(Sub(pred, target)), weight));
+      weight_total += weight;
+    }
+    // Only descend one level for internal supervision to bound cost: the
+    // root plus its direct children cover the dominant operators.
+    if (node == &root) {
+      for (const auto& child : node->children()) stack.push_back(child.get());
+    }
+  }
+  return Scale(total, weight_total > 0 ? 1.0f / weight_total : 1.0f);
+}
+
+void QppNet::Train(const std::vector<simdb::ExecutedQuery>& train) {
+  nn::Adam optimizer(Parameters(), config_.lr);
+  util::Rng rng(config_.seed);
+  SetTraining(true);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<int> order =
+        rng.Permutation(static_cast<int>(train.size()));
+    for (int idx : order) {
+      if (train[idx].query.root == nullptr) continue;
+      const nn::Tensor loss = PlanLoss(*train[idx].query.root);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      nn::ClipGradNorm(Parameters(), 5.0f);
+      optimizer.Step();
+    }
+  }
+  SetTraining(false);
+}
+
+double QppNet::PredictMs(const simdb::ExecutedQuery& record) const {
+  if (record.query.root == nullptr) return 0;
+  const nn::Tensor data_vector = ForwardNode(*record.query.root);
+  return data::DecodeLabel(data_vector.at(0, 0));
+}
+
+}  // namespace qpe::tasks

@@ -1,0 +1,43 @@
+#ifndef QPE_TASKS_WORKLOAD_SIMILARITY_H_
+#define QPE_TASKS_WORKLOAD_SIMILARITY_H_
+
+#include <vector>
+
+#include "encoder/structure_encoder.h"
+#include "plan/plan_node.h"
+
+namespace qpe::tasks {
+
+// Workload-level characterization (paper §1/§2.1): a workload is a weighted
+// set of plans W = {(p_i, theta_i)}, sum(theta_i) = 1. With a pretrained
+// plan encoder, a workload embeds as the theta-weighted mean of its plan
+// embeddings, and workloads compare by embedding distance — enabling the
+// paper's motivating applications (identify databases with similar
+// workloads, transfer tuning experience) without sharing any query text.
+
+struct WeightedPlan {
+  const plan::PlanNode* plan = nullptr;
+  double theta = 1.0;
+};
+
+// theta-weighted mean embedding; weights are normalized internally.
+std::vector<double> WorkloadEmbedding(
+    const encoder::PlanSequenceEncoder& encoder,
+    const std::vector<WeightedPlan>& workload);
+
+// Cosine similarity between two workload embeddings (0 if degenerate).
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+// Euclidean distance between workload embeddings.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+// K-means clustering of workload (or plan) embeddings; returns the cluster
+// id per input row. Deterministic given the seed.
+std::vector<int> KMeansCluster(const std::vector<std::vector<double>>& rows,
+                               int k, int iterations, uint64_t seed);
+
+}  // namespace qpe::tasks
+
+#endif  // QPE_TASKS_WORKLOAD_SIMILARITY_H_

@@ -1,0 +1,61 @@
+#ifndef QPE_UTIL_RNG_H_
+#define QPE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qpe::util {
+
+// Deterministic, seedable pseudo-random number generator (xoshiro256**).
+// Every stochastic component in the library takes an explicit Rng (or a
+// seed) so that datasets, plans, and training runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller.
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // Lognormal multiplicative noise factor: exp(Normal(0, sigma)).
+  double LognormalFactor(double sigma);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Zipf-like skew sample in [0, n): index i with weight 1/(i+1)^theta.
+  int64_t Zipf(int64_t n, double theta);
+
+  // Samples an index according to non-negative weights (need not sum to 1).
+  int Categorical(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<int> Permutation(int n);
+
+  // Forks an independent stream seeded from this one (stable given call
+  // order). Useful for giving each subsystem its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace qpe::util
+
+#endif  // QPE_UTIL_RNG_H_

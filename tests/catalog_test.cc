@@ -1,0 +1,117 @@
+#include "catalog/catalog.h"
+#include "catalog/schemas.h"
+#include "gtest/gtest.h"
+
+namespace qpe::catalog {
+namespace {
+
+TEST(CatalogTest, TableLookup) {
+  Catalog catalog("test", 1.0);
+  TableStats t;
+  t.name = "foo";
+  t.row_count = 100;
+  t.columns = {{"a", 10, 0, 4, 0, true}};
+  catalog.AddTable(t);
+  ASSERT_NE(catalog.FindTable("foo"), nullptr);
+  EXPECT_EQ(catalog.FindTable("bar"), nullptr);
+  EXPECT_EQ(catalog.FindTable("foo")->IndexedColumnCount(), 1);
+}
+
+TEST(CatalogTest, PageCountFromWidth) {
+  TableStats t;
+  t.name = "t";
+  t.row_count = 1000;
+  t.columns = {{"a", 10, 0, 100, 0, false}};
+  // 1000 rows * (24 header + 100) bytes = 124000 bytes -> ceil(/8192) = 16.
+  EXPECT_DOUBLE_EQ(t.RowWidth(), 124.0);
+  EXPECT_DOUBLE_EQ(t.PageCount(), 16.0);
+}
+
+TEST(CatalogTest, EmptyTableStillOnePage) {
+  TableStats t;
+  t.name = "t";
+  t.row_count = 0;
+  EXPECT_DOUBLE_EQ(t.PageCount(), 1.0);
+}
+
+TEST(CatalogTest, MetaFeaturesFixedDim) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  EXPECT_EQ(static_cast<int>(catalog.MetaFeatures({"lineitem"}).size()),
+            Catalog::kMetaFeatureDim);
+  EXPECT_EQ(static_cast<int>(catalog.MetaFeatures({}).size()),
+            Catalog::kMetaFeatureDim);
+  EXPECT_EQ(static_cast<int>(catalog.MetaFeatures({"no_such_table"}).size()),
+            Catalog::kMetaFeatureDim);
+}
+
+TEST(CatalogTest, MetaFeaturesMonotoneInRelations) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  const auto one = catalog.MetaFeatures({"lineitem"});
+  const auto two = catalog.MetaFeatures({"lineitem", "orders"});
+  EXPECT_GT(two[0], one[0]);  // rows feature grows
+  EXPECT_GT(two[1], one[1]);  // pages feature grows
+}
+
+TEST(SchemasTest, TpchHasEightTables) {
+  const Catalog catalog = MakeTpchCatalog(1.0);
+  EXPECT_EQ(catalog.tables().size(), 8u);
+  ASSERT_NE(catalog.FindTable("lineitem"), nullptr);
+  EXPECT_DOUBLE_EQ(catalog.FindTable("lineitem")->row_count, 6000000.0);
+  EXPECT_DOUBLE_EQ(catalog.FindTable("region")->row_count, 5.0);
+  EXPECT_FALSE(catalog.spatial());
+}
+
+TEST(SchemasTest, TpchScalesLinearly) {
+  const Catalog sf1 = MakeTpchCatalog(1.0);
+  const Catalog sf10 = MakeTpchCatalog(10.0);
+  EXPECT_DOUBLE_EQ(sf10.FindTable("lineitem")->row_count,
+                   10.0 * sf1.FindTable("lineitem")->row_count);
+  // Fixed-size tables don't scale.
+  EXPECT_DOUBLE_EQ(sf10.FindTable("nation")->row_count, 25.0);
+}
+
+TEST(SchemasTest, TpcdsHasFactAndDimTables) {
+  const Catalog catalog = MakeTpcdsCatalog(1.0);
+  EXPECT_GE(catalog.tables().size(), 15u);
+  ASSERT_NE(catalog.FindTable("store_sales"), nullptr);
+  ASSERT_NE(catalog.FindTable("date_dim"), nullptr);
+  EXPECT_GT(catalog.FindTable("store_sales")->row_count,
+            catalog.FindTable("store")->row_count);
+}
+
+TEST(SchemasTest, ImdbHasTwentyOneTables) {
+  const Catalog catalog = MakeImdbCatalog();
+  EXPECT_EQ(catalog.tables().size(), 21u);
+  ASSERT_NE(catalog.FindTable("cast_info"), nullptr);
+  ASSERT_NE(catalog.FindTable("title"), nullptr);
+  EXPECT_GT(catalog.FindTable("cast_info")->row_count, 3e7);
+}
+
+TEST(SchemasTest, SpatialFlaggedAndHasGeomColumns) {
+  const Catalog catalog = MakeSpatialCatalog(1.0);
+  EXPECT_TRUE(catalog.spatial());
+  for (const char* name : {"arealm", "edges", "osm_points", "osm_polygons"}) {
+    const TableStats* table = catalog.FindTable(name);
+    ASSERT_NE(table, nullptr) << name;
+    EXPECT_NE(table->FindColumn("geom"), nullptr) << name;
+    EXPECT_TRUE(table->FindColumn("geom")->indexed) << name;
+  }
+}
+
+TEST(SchemasTest, AllColumnsHavePositiveNdv) {
+  for (const Catalog& catalog :
+       {MakeTpchCatalog(1.0), MakeTpcdsCatalog(1.0), MakeImdbCatalog(),
+        MakeSpatialCatalog(1.0)}) {
+    for (const TableStats& table : catalog.tables()) {
+      EXPECT_GT(table.row_count, 0) << table.name;
+      for (const ColumnStats& col : table.columns) {
+        EXPECT_GE(col.ndv, 1.0) << table.name << "." << col.name;
+        EXPECT_GE(col.null_frac, 0.0);
+        EXPECT_LE(col.null_frac, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qpe::catalog

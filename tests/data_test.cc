@@ -1,0 +1,211 @@
+#include <cmath>
+#include <set>
+
+#include "catalog/schemas.h"
+#include "config/lhs_sampler.h"
+#include "data/datasets.h"
+#include "data/features.h"
+#include "data/plan_corpus.h"
+#include "plan/linearize.h"
+#include "gtest/gtest.h"
+#include "simdb/workloads.h"
+
+namespace qpe::data {
+namespace {
+
+TEST(FeaturesTest, NodeFeatureDimMatches) {
+  plan::PlanNode node(plan::OperatorType::Parse("Scan-Seq"));
+  EXPECT_EQ(static_cast<int>(NodeFeatures(node).size()), kNodeFeatureDim);
+}
+
+TEST(FeaturesTest, LabelsNeverInFeatures) {
+  plan::PlanNode a(plan::OperatorType::Parse("Sort"));
+  plan::PlanNode b(plan::OperatorType::Parse("Sort"));
+  b.props().total_cost = 12345;
+  b.props().actual_total_time_ms = 999;
+  b.props().startup_cost = 77;
+  EXPECT_EQ(NodeFeatures(a), NodeFeatures(b));
+}
+
+TEST(FeaturesTest, FeaturesReflectProperties) {
+  plan::PlanNode a(plan::OperatorType::Parse("Scan-Seq"));
+  plan::PlanNode b(plan::OperatorType::Parse("Scan-Seq"));
+  b.props().actual_rows = 100000;
+  b.props().has_filter = true;
+  EXPECT_NE(NodeFeatures(a), NodeFeatures(b));
+}
+
+TEST(FeaturesTest, SubtreeRelationsUnion) {
+  plan::PlanNode join(plan::OperatorType::Parse("Join-Hash"));
+  plan::PlanNode* left = join.AddChild(plan::OperatorType::Parse("Scan-Seq"));
+  plan::PlanNode* right = join.AddChild(plan::OperatorType::Parse("Scan-Seq"));
+  left->AddRelation("orders");
+  right->AddRelation("lineitem");
+  right->AddRelation("orders");  // duplicate collapses
+  const auto relations = SubtreeRelations(join);
+  EXPECT_EQ(relations.size(), 2u);
+}
+
+TEST(FeaturesTest, LabelEncodeDecodeRoundTrip) {
+  for (double v : {0.0, 1.0, 12.5, 1000.0, 5e6}) {
+    EXPECT_NEAR(DecodeLabel(EncodeLabel(v)), v, 1e-6 * (1 + v));
+  }
+}
+
+TEST(FeaturesTest, EncodeLabelMonotone) {
+  EXPECT_LT(EncodeLabel(10), EncodeLabel(100));
+  EXPECT_LT(EncodeLabel(100), EncodeLabel(10000));
+}
+
+TEST(FeaturesTest, SumFeatures) {
+  EXPECT_EQ(SumFeatures({{1, 2}, {3, 4}}), (std::vector<double>{4, 6}));
+  EXPECT_TRUE(SumFeatures({}).empty());
+}
+
+TEST(PlanCorpusTest, SizeWithinBounds) {
+  CorpusOptions options;
+  options.min_nodes = 5;
+  options.max_nodes = 60;
+  RandomPlanGenerator generator(util::Rng(1), options);
+  for (int i = 0; i < 30; ++i) {
+    const auto plan = generator.Generate();
+    EXPECT_GE(plan->NumNodes(), options.min_nodes);
+    EXPECT_LE(plan->NumNodes(), options.max_nodes);
+  }
+}
+
+TEST(PlanCorpusTest, DeterministicForSeed) {
+  RandomPlanGenerator a((util::Rng(7)));
+  RandomPlanGenerator b((util::Rng(7)));
+  const auto pa = a.Generate();
+  const auto pb = b.Generate();
+  EXPECT_EQ(plan::ToBracketString(plan::LinearizeDfsBracket(*pa)),
+            plan::ToBracketString(plan::LinearizeDfsBracket(*pb)));
+}
+
+TEST(PlanCorpusTest, DiverseOperators) {
+  RandomPlanGenerator generator((util::Rng(3)));
+  std::set<std::string> seen;
+  for (int i = 0; i < 20; ++i) {
+    const auto plan = generator.Generate();
+    plan->Visit([&](const plan::PlanNode& n) {
+      seen.insert(n.type().ToString());
+    });
+  }
+  EXPECT_GT(seen.size(), 15u);
+}
+
+TEST(PlanCorpusTest, MutationPreservesShape) {
+  RandomPlanGenerator generator((util::Rng(4)));
+  const auto original = generator.Generate();
+  const auto mutated = generator.Mutate(*original, 0.5);
+  EXPECT_EQ(mutated->NumNodes(), original->NumNodes());
+  EXPECT_EQ(mutated->Depth(), original->Depth());
+}
+
+TEST(PlanCorpusTest, MutationZeroRateIsIdentity) {
+  RandomPlanGenerator generator((util::Rng(5)));
+  const auto original = generator.Generate();
+  const auto copy = generator.Mutate(*original, 0.0);
+  EXPECT_EQ(plan::ToBracketString(plan::LinearizeDfsBracket(*original)),
+            plan::ToBracketString(plan::LinearizeDfsBracket(*copy)));
+}
+
+TEST(DatasetsTest, SplitIndicesPartition) {
+  util::Rng rng(6);
+  std::vector<int> main_idx, a_idx, b_idx;
+  SplitIndices(100, 0.1, 0.2, &rng, &main_idx, &a_idx, &b_idx);
+  EXPECT_EQ(a_idx.size(), 10u);
+  EXPECT_EQ(b_idx.size(), 20u);
+  EXPECT_EQ(main_idx.size(), 70u);
+  std::set<int> all(main_idx.begin(), main_idx.end());
+  all.insert(a_idx.begin(), a_idx.end());
+  all.insert(b_idx.begin(), b_idx.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(DatasetsTest, CorpusPairDataset) {
+  PairDatasetOptions options;
+  options.num_pairs = 44;
+  options.corpus.max_nodes = 25;
+  const PlanPairDataset dataset = BuildCorpusPairDataset(options);
+  EXPECT_EQ(dataset.train.size() + dataset.dev.size() + dataset.test.size(),
+            44u);
+  EXPECT_GE(dataset.dev.size(), 1u);
+  EXPECT_GE(dataset.test.size(), 1u);
+  for (const auto& split : {&dataset.train, &dataset.dev, &dataset.test}) {
+    for (const PlanPair& pair : *split) {
+      EXPECT_GE(pair.smatch, 0.0);
+      EXPECT_LE(pair.smatch, 1.0);
+      ASSERT_NE(pair.left, nullptr);
+      ASSERT_NE(pair.right, nullptr);
+    }
+  }
+}
+
+TEST(DatasetsTest, RelatedPairsScoreHigherOnAverage) {
+  PairDatasetOptions related;
+  related.num_pairs = 30;
+  related.related_fraction = 1.0;
+  related.corpus.max_nodes = 25;
+  PairDatasetOptions unrelated = related;
+  unrelated.related_fraction = 0.0;
+  unrelated.seed = related.seed + 1;
+  auto avg = [](const PlanPairDataset& d) {
+    double total = 0;
+    int count = 0;
+    for (const auto* split : {&d.train, &d.dev, &d.test}) {
+      for (const PlanPair& pair : *split) {
+        total += pair.smatch;
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_GT(avg(BuildCorpusPairDataset(related)),
+            avg(BuildCorpusPairDataset(unrelated)) + 0.1);
+}
+
+TEST(DatasetsTest, WorkloadPairDataset) {
+  const simdb::TpchWorkload tpch(0.05);
+  PairDatasetOptions options;
+  options.num_pairs = 22;
+  const PlanPairDataset dataset = BuildWorkloadPairDataset(tpch, options);
+  EXPECT_EQ(dataset.train.size() + dataset.dev.size() + dataset.test.size(),
+            22u);
+}
+
+TEST(DatasetsTest, OperatorSampleExtraction) {
+  const simdb::TpchWorkload tpch(0.05);
+  config::LhsSampler sampler((util::Rng(8)));
+  const auto configs = sampler.Sample(3);
+  simdb::RunOptions run_options;
+  const auto executed =
+      simdb::RunWorkloadTemplates(tpch, {2, 4}, configs, run_options);
+  const auto scan_samples = ExtractOperatorSamples(
+      executed, tpch.GetCatalog(), plan::OperatorGroup::kScan);
+  ASSERT_FALSE(scan_samples.empty());
+  for (const OperatorSample& sample : scan_samples) {
+    EXPECT_EQ(static_cast<int>(sample.node_features.size()), kNodeFeatureDim);
+    EXPECT_EQ(static_cast<int>(sample.meta_features.size()),
+              catalog::Catalog::kMetaFeatureDim);
+    EXPECT_EQ(static_cast<int>(sample.db_features.size()),
+              config::DbConfig::FeatureDim());
+    EXPECT_GE(sample.actual_total_time_ms, 0);
+  }
+  // Q3/Q5 have joins, so join samples exist too.
+  EXPECT_FALSE(ExtractOperatorSamples(executed, tpch.GetCatalog(),
+                                      plan::OperatorGroup::kJoin)
+                   .empty());
+}
+
+TEST(DatasetsTest, SplitOperatorSamplesRatio) {
+  std::vector<OperatorSample> samples(100);
+  const OperatorDataset dataset = SplitOperatorSamples(std::move(samples), 9);
+  EXPECT_EQ(dataset.val.size(), 10u);
+  EXPECT_EQ(dataset.test.size(), 10u);
+  EXPECT_EQ(dataset.train.size(), 80u);
+}
+
+}  // namespace
+}  // namespace qpe::data

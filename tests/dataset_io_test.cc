@@ -1,0 +1,99 @@
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <filesystem>
+
+#include "config/lhs_sampler.h"
+#include "data/dataset_io.h"
+#include "gtest/gtest.h"
+#include "simdb/workload_runner.h"
+#include "simdb/workloads.h"
+#include "util/table_printer.h"
+
+namespace qpe::data {
+namespace {
+
+std::vector<simdb::ExecutedQuery> SmallDataset() {
+  const simdb::TpchWorkload tpch(0.05);
+  config::LhsSampler sampler((util::Rng(1)));
+  simdb::RunOptions options;
+  return simdb::RunWorkloadTemplates(tpch, {0, 2}, sampler.Sample(3), options);
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  const auto original = SmallDataset();
+  const std::string path = TempPath("qpe_dataset_io_test.txt");
+  ASSERT_TRUE(SaveExecutedQueries(original, path));
+  bool ok = false;
+  const auto loaded = LoadExecutedQueries(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].latency_ms, original[i].latency_ms);
+    EXPECT_EQ(loaded[i].template_index, original[i].template_index);
+    EXPECT_EQ(loaded[i].instance_index, original[i].instance_index);
+    EXPECT_EQ(loaded[i].query.NumNodes(), original[i].query.NumNodes());
+    EXPECT_EQ(loaded[i].query.benchmark, original[i].query.benchmark);
+    for (int k = 0; k < config::kNumKnobs; ++k) {
+      EXPECT_NEAR(loaded[i].db_config.Get(static_cast<config::Knob>(k)),
+                  original[i].db_config.Get(static_cast<config::Knob>(k)),
+                  std::abs(original[i].db_config.Get(
+                      static_cast<config::Knob>(k))) * 1e-5);
+    }
+    // Actual properties survive (the encoders need them).
+    EXPECT_NEAR(loaded[i].query.root->props().actual_total_time_ms,
+                original[i].query.root->props().actual_total_time_ms, 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, MissingFileFails) {
+  bool ok = true;
+  const auto loaded = LoadExecutedQueries("/no/such/qpe_file.txt", &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(DatasetIoTest, MalformedLineRejected) {
+  const std::string path = TempPath("qpe_dataset_io_bad.txt");
+  {
+    std::ofstream os(path);
+    os << "(record :latency banana)\n";
+  }
+  bool ok = true;
+  const auto loaded = LoadExecutedQueries(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, EmptyFileIsOkAndEmpty) {
+  const std::string path = TempPath("qpe_dataset_io_empty.txt");
+  { std::ofstream os(path); }
+  bool ok = false;
+  const auto loaded = LoadExecutedQueries(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterCsvTest, EscapesAndAligns) {
+  util::TablePrinter table({"name", "value"});
+  table.AddRow({"plain", "1"});
+  table.AddRow({"with,comma", "2"});
+  table.AddRow({"with\"quote", "3"});
+  std::ostringstream oss;
+  table.PrintCsv(oss);
+  EXPECT_EQ(oss.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",2\n"
+            "\"with\"\"quote\",3\n");
+}
+
+}  // namespace
+}  // namespace qpe::data

@@ -1,0 +1,206 @@
+// Focused tests of the executor simulator's accounting details and the
+// planner's physical structure choices — the substrate behaviours the
+// encoders learn from.
+
+#include <cmath>
+#include <string>
+
+#include "catalog/schemas.h"
+#include "config/db_config.h"
+#include "gtest/gtest.h"
+#include "plan/explain.h"
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "simdb/workloads.h"
+
+namespace qpe::simdb {
+namespace {
+
+plan::Plan PlanAndExecute(const BenchmarkWorkload& workload,
+                          const QuerySpec& spec,
+                          const config::DbConfig& db_config,
+                          uint64_t noise_seed = 1) {
+  Planner planner(&workload.GetCatalog(), &db_config);
+  ExecutorSim executor(&workload.GetCatalog(), &db_config);
+  plan::Plan planned = planner.PlanQuery(spec);
+  util::Rng noise(noise_seed);
+  executor.Execute(&planned, spec.cardinality_seed, &noise);
+  return planned;
+}
+
+TEST(ExecutorDetailTest, SeqScanBufferAccountingSumsToPages) {
+  const TpchWorkload tpch(0.1);
+  QuerySpec spec;
+  spec.tables = {"lineitem"};
+  spec.cardinality_seed = 3;
+  const config::DbConfig db_config;
+  const plan::Plan planned = PlanAndExecute(tpch, spec, db_config);
+  ASSERT_EQ(planned.root->type().ToString(), "Scan-Seq");
+  const auto& props = planned.root->props();
+  const double pages = tpch.GetCatalog().FindTable("lineitem")->PageCount();
+  EXPECT_NEAR(props.shared_hit_blocks + props.shared_read_blocks, pages,
+              pages * 0.01);
+}
+
+TEST(ExecutorDetailTest, WarmCacheShiftsReadsToHits) {
+  const TpchWorkload tpch(0.1);
+  QuerySpec spec;
+  spec.tables = {"orders"};
+  spec.cardinality_seed = 4;
+  config::DbConfig cold;
+  cold.Set(config::Knob::kSharedBuffers, 16384);
+  cold.Set(config::Knob::kEffectiveCacheSize, 65536);
+  config::DbConfig warm;
+  warm.Set(config::Knob::kSharedBuffers, 4194304 * 400.0);
+  warm.Set(config::Knob::kEffectiveCacheSize, 2097152 * 400.0);
+  const plan::Plan cold_plan = PlanAndExecute(tpch, spec, cold);
+  const plan::Plan warm_plan = PlanAndExecute(tpch, spec, warm);
+  EXPECT_GT(warm_plan.root->props().shared_hit_blocks,
+            cold_plan.root->props().shared_hit_blocks);
+  EXPECT_LT(warm_plan.root->props().shared_read_blocks,
+            cold_plan.root->props().shared_read_blocks);
+}
+
+TEST(ExecutorDetailTest, ExternalSortWritesTempBlocks) {
+  const TpchWorkload tpch(0.5);
+  QuerySpec spec;
+  spec.tables = {"orders"};
+  spec.has_sort = true;
+  spec.cardinality_seed = 5;
+  config::DbConfig small_mem;
+  small_mem.Set(config::Knob::kWorkMem, 65536);
+  const plan::Plan planned = PlanAndExecute(tpch, spec, small_mem);
+  double temp_written = 0;
+  plan::SortMethod method = plan::SortMethod::kUnknown;
+  planned.root->Visit([&](const plan::PlanNode& n) {
+    temp_written += n.props().temp_written_blocks;
+    if (n.props().sort_method != plan::SortMethod::kUnknown) {
+      method = n.props().sort_method;
+    }
+  });
+  // Only count once (root aggregates children).
+  EXPECT_EQ(method, plan::SortMethod::kExternalMerge);
+  EXPECT_GT(temp_written, 0);
+}
+
+TEST(ExecutorDetailTest, BatchedHashJoinWritesTempBlocks) {
+  const TpchWorkload tpch(0.5);
+  QuerySpec spec;
+  spec.tables = {"orders", "lineitem"};
+  JoinSpec join;
+  join.left_table = "orders";
+  join.left_column = "o_orderkey";
+  join.right_table = "lineitem";
+  join.right_column = "l_orderkey";
+  spec.joins = {join};
+  spec.cardinality_seed = 6;
+  config::DbConfig small_mem;
+  small_mem.Set(config::Knob::kWorkMem, 131072);
+  const plan::Plan planned = PlanAndExecute(tpch, spec, small_mem);
+  double max_batches = 0;
+  planned.root->Visit([&](const plan::PlanNode& n) {
+    max_batches = std::max(max_batches, n.props().hash_batches);
+  });
+  if (max_batches > 1) {
+    EXPECT_GT(planned.root->props().temp_written_blocks, 0);
+  }
+}
+
+TEST(ExecutorDetailTest, SpatialJoinUsesIndexNestedLoop) {
+  const SpatialWorkload spatial(0.1);
+  util::Rng rng(2);
+  // Q1 is a spatial join (arealm x areawater).
+  const QuerySpec spec = spatial.Instantiate(0, &rng);
+  const config::DbConfig db_config;
+  const plan::Plan planned = PlanAndExecute(spatial, spec, db_config);
+  bool found_spatial_probe = false;
+  planned.root->Visit([&](const plan::PlanNode& n) {
+    if (n.type().ToString() == "Loop-Nested" && n.children().size() == 2 &&
+        n.children()[1]->type().ToString() == "Scan-Index" &&
+        n.children()[1]->props().has_recheck_condition) {
+      found_spatial_probe = true;
+    }
+  });
+  EXPECT_TRUE(found_spatial_probe)
+      << plan::Explain(*planned.root, {.analyze = false, .buffers = false});
+}
+
+TEST(ExecutorDetailTest, BitmapScanHasIndexChild) {
+  const TpchWorkload tpch(1.0);
+  QuerySpec spec;
+  spec.tables = {"lineitem"};
+  FilterSpec filter;
+  filter.table = "lineitem";
+  filter.column = "l_shipdate";  // indexed
+  filter.selectivity = 0.02;     // mid selectivity -> bitmap territory
+  spec.filters = {filter};
+  spec.cardinality_seed = 7;
+  config::DbConfig db_config;
+  db_config.Set(config::Knob::kRandomPageCost, 4000);
+  Planner planner(&tpch.GetCatalog(), &db_config);
+  const plan::Plan planned = planner.PlanQuery(spec);
+  if (planned.root->type().ToString() == "Scan-Heap-Bitmap") {
+    ASSERT_EQ(planned.root->children().size(), 1u);
+    EXPECT_EQ(planned.root->children()[0]->type().ToString(),
+              "Scan-Index-Bitmap");
+  }
+}
+
+TEST(ExecutorDetailTest, NuisanceKnobsDoNotAffectLatency) {
+  // bgwriter/checkpoint/deadlock/wal knobs must not change read latency:
+  // the models must learn to ignore them, so the simulator must actually
+  // make them irrelevant.
+  const TpchWorkload tpch(0.1);
+  util::Rng rng(8);
+  const QuerySpec spec = tpch.Instantiate(2, &rng);
+  config::DbConfig base;
+  config::DbConfig tweaked;
+  tweaked.Set(config::Knob::kBgwriterDelay, 9000);
+  tweaked.Set(config::Knob::kBgwriterLruMaxpages, 900);
+  tweaked.Set(config::Knob::kCheckpointTimeout, 500);
+  tweaked.Set(config::Knob::kDeadlockTimeout, 500000);
+  tweaked.Set(config::Knob::kWalBuffers, 131000);
+  tweaked.Set(config::Knob::kMaintenanceWorkMem, 16000000);
+  tweaked.Set(config::Knob::kMaxStackDepth, 5000);
+  auto run = [&](const config::DbConfig& cfg) {
+    Planner planner(&tpch.GetCatalog(), &cfg);
+    ExecutorSim executor(&tpch.GetCatalog(), &cfg);
+    plan::Plan planned = planner.PlanQuery(spec);
+    util::Rng noise(9);
+    return executor.Execute(&planned, spec.cardinality_seed, &noise);
+  };
+  EXPECT_DOUBLE_EQ(run(base), run(tweaked));
+}
+
+TEST(ExecutorDetailTest, StatisticsTargetImprovesEstimates) {
+  // Higher default_statistics_target -> smaller |plan_rows - actual_rows|
+  // misestimation, on average over instances.
+  const TpchWorkload tpch(0.1);
+  auto mean_log_error = [&](double dst) {
+    config::DbConfig db_config;
+    db_config.Set(config::Knob::kDefaultStatisticsTarget, dst);
+    Planner planner(&tpch.GetCatalog(), &db_config);
+    ExecutorSim executor(&tpch.GetCatalog(), &db_config);
+    util::Rng rng(10);
+    double total = 0;
+    int count = 0;
+    for (int i = 0; i < 30; ++i) {
+      const QuerySpec spec = tpch.Instantiate(2, &rng);
+      plan::Plan planned = planner.PlanQuery(spec);
+      util::Rng noise(i);
+      executor.Execute(&planned, spec.cardinality_seed, &noise);
+      planned.root->Visit([&](const plan::PlanNode& n) {
+        if (n.props().plan_rows > 0 && n.props().actual_rows > 0) {
+          total += std::abs(std::log(n.props().actual_rows) -
+                            std::log(n.props().plan_rows));
+          ++count;
+        }
+      });
+    }
+    return total / count;
+  };
+  EXPECT_LT(mean_log_error(9500), mean_log_error(50));
+}
+
+}  // namespace
+}  // namespace qpe::simdb

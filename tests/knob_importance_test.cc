@@ -1,0 +1,71 @@
+#include <algorithm>
+
+#include "config/lhs_sampler.h"
+#include "gtest/gtest.h"
+#include "simdb/workloads.h"
+#include "tasks/embeddings.h"
+#include "tasks/knob_importance.h"
+
+namespace qpe::tasks {
+namespace {
+
+int RankOf(const std::vector<KnobImportance>& importances, config::Knob knob) {
+  for (size_t i = 0; i < importances.size(); ++i) {
+    if (importances[i].knob == knob) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TEST(SimulatedSensitivityTest, EffectiveKnobsOutrankNuisanceKnobs) {
+  const simdb::TpchWorkload tpch(0.2);
+  const auto importances =
+      SimulatedSensitivity(tpch, {2, 4, 17}, /*instances=*/2, 5);
+  ASSERT_EQ(importances.size(), static_cast<size_t>(config::kNumKnobs));
+  // The knobs the executor/planner actually consult must rank above the
+  // pure-nuisance knobs.
+  const int cache_rank = std::min(
+      RankOf(importances, config::Knob::kSharedBuffers),
+      RankOf(importances, config::Knob::kEffectiveCacheSize));
+  const int work_mem_rank = RankOf(importances, config::Knob::kWorkMem);
+  const int bgwriter_rank = RankOf(importances, config::Knob::kBgwriterDelay);
+  const int deadlock_rank =
+      RankOf(importances, config::Knob::kDeadlockTimeout);
+  EXPECT_LT(cache_rank, bgwriter_rank);
+  EXPECT_LT(cache_rank, deadlock_rank);
+  EXPECT_LT(work_mem_rank, bgwriter_rank);
+  // Nuisance knobs have exactly zero simulated sensitivity.
+  for (const auto& importance : importances) {
+    if (importance.knob == config::Knob::kBgwriterDelay ||
+        importance.knob == config::Knob::kDeadlockTimeout ||
+        importance.knob == config::Knob::kCheckpointTimeout ||
+        importance.knob == config::Knob::kWalBuffers) {
+      EXPECT_DOUBLE_EQ(importance.score, 0.0);
+    }
+  }
+}
+
+TEST(PermutationImportanceTest, ScoresComputedForEveryKnob) {
+  const simdb::TpchWorkload tpch(0.05);
+  config::LhsSampler sampler((util::Rng(1)));
+  simdb::RunOptions options;
+  const auto records = simdb::RunWorkloadTemplates(
+      tpch, {2, 4}, sampler.Sample(10), options);
+
+  EmbeddingFeaturizer::Config f_config;  // db features only
+  EmbeddingFeaturizer featurizer(f_config);
+  util::Rng rng(2);
+  LatencyPredictor model(&featurizer, 32, &rng);
+  LatencyPredictor::TrainOptions train_options;
+  train_options.epochs = 40;
+  model.Train(records, train_options);
+
+  const auto importances = PermutationImportance(model, records, 3);
+  ASSERT_EQ(importances.size(), static_cast<size_t>(config::kNumKnobs));
+  // Sorted descending.
+  for (size_t i = 1; i < importances.size(); ++i) {
+    EXPECT_GE(importances[i - 1].score, importances[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace qpe::tasks

@@ -1,0 +1,232 @@
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "plan/linearize.h"
+#include "plan/plan_node.h"
+#include "plan/serialize.h"
+#include "plan/taxonomy.h"
+
+namespace qpe::plan {
+namespace {
+
+OperatorType Op(const std::string& token) { return OperatorType::Parse(token); }
+
+// Builds the running example from the paper's Figure 1 / Table 3 (TPC-H Q5
+// shape): Filter(Sort(Aggregate(HashJoin(NestedLoop(...), ...)))).
+std::unique_ptr<PlanNode> BuildPaperExample() {
+  auto root = std::make_unique<PlanNode>(Op("Filter"));
+  PlanNode* sort = root->AddChild(Op("Sort"));
+  PlanNode* agg = sort->AddChild(Op("Aggregate"));
+  PlanNode* hash_join = agg->AddChild(Op("Join-Hash"));
+  PlanNode* nested1 = hash_join->AddChild(Op("Loop-Nested"));
+  PlanNode* join2 = nested1->AddChild(Op("Join-Hash"));
+  PlanNode* hash = join2->AddChild(Op("Hash"));
+  PlanNode* nested2 = hash->AddChild(Op("Loop-Nested"));
+  PlanNode* nested3 = nested2->AddChild(Op("Loop-Nested"));
+  nested3->AddChild(Op("Scan-Index"));
+  nested3->AddChild(Op("Scan-Seq"));
+  nested2->AddChild(Op("Scan-Heap-Bitmap"));
+  join2->AddChild(Op("Scan-Index-Bitmap"));
+  nested1->AddChild(Op("Scan-Index"));
+  hash_join->AddChild(Op("Scan-Seq"));
+  return root;
+}
+
+TEST(TaxonomyTest, SpecialTokensExist) {
+  const Taxonomy& tax = Taxonomy::Get();
+  EXPECT_GE(tax.br_open(), 0);
+  EXPECT_GE(tax.br_close(), 0);
+  EXPECT_GE(tax.cls(), 0);
+  EXPECT_GE(tax.sep(), 0);
+  EXPECT_EQ(tax.Level1Name(0), "NIL");
+  EXPECT_EQ(tax.Level2Name(0), "NIL");
+  EXPECT_EQ(tax.Level3Name(0), "NIL");
+}
+
+TEST(TaxonomyTest, LookupRoundTrip) {
+  const Taxonomy& tax = Taxonomy::Get();
+  for (int i = 0; i < tax.Level1Count(); ++i) {
+    EXPECT_EQ(tax.Level1Id(tax.Level1Name(i)), i);
+  }
+  for (int i = 0; i < tax.Level2Count(); ++i) {
+    EXPECT_EQ(tax.Level2Id(tax.Level2Name(i)), i);
+  }
+  for (int i = 0; i < tax.Level3Count(); ++i) {
+    EXPECT_EQ(tax.Level3Id(tax.Level3Name(i)), i);
+  }
+}
+
+TEST(TaxonomyTest, UnknownNameIsMinusOne) {
+  EXPECT_EQ(Taxonomy::Get().Level1Id("NotAnOperator"), -1);
+}
+
+TEST(OperatorTypeTest, ParseHyphenated) {
+  const OperatorType scan = Op("Scan-Heap-Bitmap");
+  EXPECT_EQ(scan.ToString(), "Scan-Heap-Bitmap");
+  const OperatorType join = Op("Join-Merge-Left");
+  EXPECT_EQ(join.ToString(), "Join-Merge-Left");
+}
+
+TEST(OperatorTypeTest, MissingLevelsAreNil) {
+  const OperatorType sort = Op("Sort");
+  EXPECT_EQ(sort.level2, 0);
+  EXPECT_EQ(sort.level3, 0);
+  EXPECT_EQ(sort.ToString(), "Sort");
+  EXPECT_EQ(sort.ToString(/*full=*/true), "Sort-NIL-NIL");
+}
+
+TEST(OperatorTypeTest, FullStringParseRoundTrip) {
+  const OperatorType t = Op("Join-Merge-Left");
+  EXPECT_EQ(OperatorType::Parse(t.ToString(true)), t);
+}
+
+TEST(OperatorTypeTest, GroupMapping) {
+  EXPECT_EQ(GroupOf(Op("Scan-Seq")), OperatorGroup::kScan);
+  EXPECT_EQ(GroupOf(Op("Scan-Heap-Bitmap")), OperatorGroup::kScan);
+  EXPECT_EQ(GroupOf(Op("Join-Hash")), OperatorGroup::kJoin);
+  EXPECT_EQ(GroupOf(Op("Join-Merge-Left")), OperatorGroup::kJoin);
+  EXPECT_EQ(GroupOf(Op("Loop-Nested")), OperatorGroup::kJoin);
+  EXPECT_EQ(GroupOf(Op("Sort")), OperatorGroup::kSort);
+  EXPECT_EQ(GroupOf(Op("Aggregate-Hash")), OperatorGroup::kAggregate);
+  EXPECT_EQ(GroupOf(Op("GroupAggregate")), OperatorGroup::kAggregate);
+  EXPECT_EQ(GroupOf(Op("Limit")), OperatorGroup::kOther);
+  EXPECT_EQ(GroupOf(Op("Materialize")), OperatorGroup::kOther);
+}
+
+TEST(PlanNodeTest, NumNodesAndDepth) {
+  const auto plan = BuildPaperExample();
+  EXPECT_EQ(plan->NumNodes(), 15);
+  EXPECT_EQ(plan->Depth(), 10);
+}
+
+TEST(PlanNodeTest, CloneIsDeepAndEqualShape) {
+  const auto plan = BuildPaperExample();
+  const auto copy = plan->Clone();
+  EXPECT_EQ(copy->NumNodes(), plan->NumNodes());
+  EXPECT_EQ(ToBracketString(LinearizeDfsBracket(*copy)),
+            ToBracketString(LinearizeDfsBracket(*plan)));
+}
+
+TEST(LinearizeTest, ClsAndSepDelimit) {
+  const auto plan = BuildPaperExample();
+  const auto tokens = LinearizeDfsBracket(*plan, /*add_cls_sep=*/true);
+  const Taxonomy& tax = Taxonomy::Get();
+  EXPECT_EQ(tokens.front().level1, tax.cls());
+  EXPECT_EQ(tokens.back().level1, tax.sep());
+}
+
+TEST(LinearizeTest, BracketsBalance) {
+  const auto plan = BuildPaperExample();
+  const auto tokens = LinearizeDfsBracket(*plan);
+  const Taxonomy& tax = Taxonomy::Get();
+  int depth = 0;
+  for (const auto& t : tokens) {
+    if (t.level1 == tax.br_open()) ++depth;
+    if (t.level1 == tax.br_close()) --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(LinearizeTest, TokenCountFormula) {
+  // CLS + SEP + one token per node + 2 brackets per internal node.
+  const auto plan = BuildPaperExample();
+  const auto tokens = LinearizeDfsBracket(*plan);
+  int internal = 0;
+  plan->Visit([&](const PlanNode& n) { internal += !n.children().empty(); });
+  EXPECT_EQ(static_cast<int>(tokens.size()), 2 + plan->NumNodes() + 2 * internal);
+}
+
+TEST(LinearizeTest, DeterministicUnderChildOrder) {
+  // Children are sorted by typename, so insertion order must not matter.
+  auto a = std::make_unique<PlanNode>(Op("Join-Hash"));
+  a->AddChild(Op("Scan-Seq"));
+  a->AddChild(Op("Scan-Index"));
+  auto b = std::make_unique<PlanNode>(Op("Join-Hash"));
+  b->AddChild(Op("Scan-Index"));
+  b->AddChild(Op("Scan-Seq"));
+  EXPECT_EQ(ToBracketString(LinearizeDfsBracket(*a)),
+            ToBracketString(LinearizeDfsBracket(*b)));
+}
+
+TEST(LinearizeTest, BracketDisambiguatesWhereDfsDoesNot) {
+  // Chain: A -> B -> C versus A with children B and C. Plain DFS gives the
+  // same sequence; DFS-bracket distinguishes them.
+  auto chain = std::make_unique<PlanNode>(Op("Sort"));
+  chain->AddChild(Op("Aggregate"))->AddChild(Op("Scan-Seq"));
+  auto fanout = std::make_unique<PlanNode>(Op("Sort"));
+  fanout->AddChild(Op("Aggregate"));
+  fanout->AddChild(Op("Scan-Seq"));
+
+  const auto dfs_chain = LinearizeDfs(*chain);
+  const auto dfs_fanout = LinearizeDfs(*fanout);
+  ASSERT_EQ(dfs_chain.size(), dfs_fanout.size());
+  bool same = true;
+  for (size_t i = 0; i < dfs_chain.size(); ++i) {
+    same = same && dfs_chain[i] == dfs_fanout[i];
+  }
+  EXPECT_TRUE(same);
+
+  EXPECT_NE(ToBracketString(LinearizeDfsBracket(*chain)),
+            ToBracketString(LinearizeDfsBracket(*fanout)));
+}
+
+TEST(LinearizeTest, BfsOrdersByLevel) {
+  const auto plan = BuildPaperExample();
+  const auto tokens = LinearizeBfs(*plan);
+  EXPECT_EQ(static_cast<int>(tokens.size()), plan->NumNodes());
+  EXPECT_EQ(tokens[0].ToString(), "Filter");
+  EXPECT_EQ(tokens[1].ToString(), "Sort");
+}
+
+TEST(SerializeTest, NodeRoundTrip) {
+  auto plan = BuildPaperExample();
+  plan->props().plan_rows = 1234;
+  plan->props().actual_total_time_ms = 56.5;
+  plan->children()[0]->props().sort_method = SortMethod::kExternalMerge;
+  const std::string text = SerializePlanNode(*plan);
+  const auto parsed = ParsePlanNode(text);
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->NumNodes(), plan->NumNodes());
+  EXPECT_DOUBLE_EQ(parsed->props().plan_rows, 1234);
+  EXPECT_DOUBLE_EQ(parsed->props().actual_total_time_ms, 56.5);
+  EXPECT_EQ(parsed->children()[0]->props().sort_method,
+            SortMethod::kExternalMerge);
+  EXPECT_EQ(SerializePlanNode(*parsed), text);
+}
+
+TEST(SerializeTest, RelationsRoundTrip) {
+  PlanNode scan(Op("Scan-Seq"));
+  scan.AddRelation("lineitem");
+  scan.AddRelation("orders");
+  const auto parsed = ParsePlanNode(SerializePlanNode(scan));
+  ASSERT_NE(parsed, nullptr);
+  ASSERT_EQ(parsed->relations().size(), 2u);
+  EXPECT_EQ(parsed->relations()[0], "lineitem");
+  EXPECT_EQ(parsed->relations()[1], "orders");
+}
+
+TEST(SerializeTest, PlanMetadataRoundTrip) {
+  Plan plan;
+  plan.root = BuildPaperExample();
+  plan.benchmark = "tpch";
+  plan.template_id = "Q5";
+  plan.cluster_id = 7;
+  const auto parsed = ParsePlan(SerializePlan(plan));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->benchmark, "tpch");
+  EXPECT_EQ(parsed->template_id, "Q5");
+  EXPECT_EQ(parsed->cluster_id, 7);
+  EXPECT_EQ(parsed->NumNodes(), 15);
+}
+
+TEST(SerializeTest, MalformedInputRejected) {
+  EXPECT_EQ(ParsePlanNode("(op"), nullptr);
+  EXPECT_EQ(ParsePlanNode("(notop \"Sort\")"), nullptr);
+  EXPECT_EQ(ParsePlanNode("(op \"Sort\" :bogus_prop 3)"), nullptr);
+  EXPECT_FALSE(ParsePlan("(op \"Sort\")").has_value());
+}
+
+}  // namespace
+}  // namespace qpe::plan

@@ -1,0 +1,210 @@
+// Parameterized property sweeps across workloads, templates, and
+// configurations: invariants of the planner, executor, linearization,
+// Smatch, and feature extraction that must hold for *every* query the
+// system can produce.
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "catalog/schemas.h"
+#include "config/lhs_sampler.h"
+#include "data/features.h"
+#include "data/plan_corpus.h"
+#include "gtest/gtest.h"
+#include "plan/linearize.h"
+#include "plan/serialize.h"
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "simdb/workloads.h"
+#include "smatch/smatch.h"
+
+namespace qpe {
+namespace {
+
+enum class WorkloadKind { kTpch, kTpcds, kJob, kSpatial };
+
+std::unique_ptr<simdb::BenchmarkWorkload> MakeWorkload(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTpch:
+      return std::make_unique<simdb::TpchWorkload>(0.05);
+    case WorkloadKind::kTpcds:
+      return std::make_unique<simdb::TpcdsWorkload>(0.05);
+    case WorkloadKind::kJob:
+      return std::make_unique<simdb::JobWorkload>();
+    case WorkloadKind::kSpatial:
+      return std::make_unique<simdb::SpatialWorkload>(0.05);
+  }
+  return nullptr;
+}
+
+const char* KindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTpch: return "tpch";
+    case WorkloadKind::kTpcds: return "tpcds";
+    case WorkloadKind::kJob: return "job";
+    case WorkloadKind::kSpatial: return "spatial";
+  }
+  return "?";
+}
+
+// (workload, config seed): every template of every workload is planned and
+// executed under a random configuration, and all invariants are checked.
+class PlanExecuteProperty
+    : public ::testing::TestWithParam<std::tuple<WorkloadKind, int>> {};
+
+TEST_P(PlanExecuteProperty, InvariantsHoldForEveryTemplate) {
+  const auto [kind, config_seed] = GetParam();
+  const auto workload = MakeWorkload(kind);
+  config::LhsSampler sampler((util::Rng(config_seed)));
+  const config::DbConfig db_config = sampler.Sample(1)[0];
+  simdb::Planner planner(&workload->GetCatalog(), &db_config);
+  simdb::ExecutorSim executor(&workload->GetCatalog(), &db_config);
+  util::Rng rng(1000 + config_seed);
+
+  // JOB has 113 templates; sample a subset to bound the sweep.
+  const int step = workload->NumTemplates() > 30 ? 7 : 1;
+  for (int t = 0; t < workload->NumTemplates(); t += step) {
+    SCOPED_TRACE(std::string(KindName(kind)) + " " +
+                 workload->TemplateName(t));
+    const simdb::QuerySpec spec = workload->Instantiate(t, &rng);
+    plan::Plan planned = planner.PlanQuery(spec);
+    ASSERT_NE(planned.root, nullptr);
+
+    // -- Planner invariants --
+    // Every spec table is scanned exactly once.
+    std::set<std::string> scanned;
+    int scan_count = 0;
+    planned.root->Visit([&](const plan::PlanNode& n) {
+      if (plan::GroupOf(n.type()) == plan::OperatorGroup::kScan &&
+          n.type().ToString() != "Scan-Index-Bitmap" &&
+          n.props().actual_loops <= 1) {
+        for (const auto& r : n.relations()) scanned.insert(r);
+        ++scan_count;
+      }
+      // Estimates are sane everywhere.
+      EXPECT_GE(n.props().plan_rows, 0);
+      EXPECT_GE(n.props().plan_width, 0);
+      EXPECT_GE(n.props().total_cost, 0);
+      EXPECT_LE(n.props().startup_cost, n.props().total_cost + 1e-6);
+      // Join nodes have exactly two children; scans are leaves or have the
+      // bitmap-index child.
+      if (plan::GroupOf(n.type()) == plan::OperatorGroup::kJoin) {
+        EXPECT_EQ(n.children().size(), 2u) << n.type().ToString();
+      }
+    });
+    (void)scan_count;
+
+    // The linearization is valid and parses back.
+    const auto tokens = plan::LinearizeDfsBracket(*planned.root);
+    const plan::Taxonomy& tax = plan::Taxonomy::Get();
+    int depth = 0;
+    for (const auto& token : tokens) {
+      if (token.level1 == tax.br_open()) ++depth;
+      if (token.level1 == tax.br_close()) --depth;
+      ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // Serialization round trip preserves structure.
+    const auto reparsed = plan::ParsePlanNode(
+        plan::SerializePlanNode(*planned.root));
+    ASSERT_NE(reparsed, nullptr);
+    EXPECT_EQ(reparsed->NumNodes(), planned.root->NumNodes());
+
+    // -- Executor invariants --
+    util::Rng noise(t);
+    const double latency =
+        executor.Execute(&planned, spec.cardinality_seed, &noise);
+    EXPECT_GT(latency, 0);
+    EXPECT_TRUE(std::isfinite(latency));
+    planned.root->Visit([&](const plan::PlanNode& n) {
+      EXPECT_GE(n.props().actual_rows, 0);
+      EXPECT_TRUE(std::isfinite(n.props().actual_total_time_ms));
+      EXPECT_GE(n.props().actual_total_time_ms, 0);
+      EXPECT_LE(n.props().actual_startup_time_ms,
+                n.props().actual_total_time_ms + 1e-9);
+      EXPECT_GE(n.props().shared_hit_blocks, 0);
+      EXPECT_GE(n.props().shared_read_blocks, 0);
+      // Feature extraction never produces NaNs or blow-ups.
+      for (double f : data::NodeFeatures(n)) {
+        EXPECT_TRUE(std::isfinite(f));
+        EXPECT_LT(std::abs(f), 100.0);
+      }
+    });
+
+    // Smatch self-similarity of a real plan is exactly 1.
+    EXPECT_DOUBLE_EQ(
+        smatch::Score(*planned.root, *planned.root->Clone()).f1, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, PlanExecuteProperty,
+    ::testing::Combine(::testing::Values(WorkloadKind::kTpch,
+                                         WorkloadKind::kTpcds,
+                                         WorkloadKind::kJob,
+                                         WorkloadKind::kSpatial),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(KindName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Knob monotonicity properties, swept over several query templates.
+class KnobMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnobMonotonicity, LargerCacheNeverMuchSlower) {
+  const int t = GetParam();
+  simdb::TpchWorkload tpch(0.2);
+  util::Rng rng(50 + t);
+  const simdb::QuerySpec spec = tpch.Instantiate(t, &rng);
+
+  auto latency = [&](double cache_scale) {
+    config::DbConfig db_config;
+    db_config.Set(config::Knob::kSharedBuffers, 16384 * cache_scale);
+    db_config.Set(config::Knob::kEffectiveCacheSize, 65536 * cache_scale);
+    simdb::Planner planner(&tpch.GetCatalog(), &db_config);
+    simdb::ExecutorSim executor(&tpch.GetCatalog(), &db_config);
+    plan::Plan planned = planner.PlanQuery(spec);
+    util::Rng noise(7);  // same noise stream for both runs
+    return executor.Execute(&planned, spec.cardinality_seed, &noise);
+  };
+  // A 1000x larger cache must never make the query substantially slower
+  // (plan changes may shift work, hence the 10% tolerance).
+  EXPECT_LT(latency(1000.0), latency(1.0) * 1.10) << "template " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(TpchTemplates, KnobMonotonicity,
+                         ::testing::Values(0, 2, 4, 8, 9, 12, 17, 21));
+
+// Smatch metric properties over random plan pairs.
+class SmatchMetricProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmatchMetricProperty, BoundsSymmetryIdentity) {
+  util::Rng rng(300 + GetParam());
+  data::CorpusOptions options;
+  options.min_nodes = 3;
+  options.max_nodes = 30;
+  data::RandomPlanGenerator generator(rng.Fork(), options);
+  const auto a = generator.Generate();
+  const auto b = generator.Generate();
+
+  const smatch::SmatchScore ab = smatch::Score(*a, *b);
+  EXPECT_GE(ab.f1, 0.0);
+  EXPECT_LE(ab.f1, 1.0);
+  EXPECT_NEAR(ab.f1, smatch::Score(*b, *a).f1, 1e-9);
+  EXPECT_DOUBLE_EQ(smatch::Score(*a, *a->Clone()).f1, 1.0);
+  // F1 is the harmonic mean of precision and recall.
+  if (ab.precision + ab.recall > 0) {
+    EXPECT_NEAR(ab.f1,
+                2 * ab.precision * ab.recall / (ab.precision + ab.recall),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmatchMetricProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qpe

@@ -1,0 +1,152 @@
+// Robustness and numerical-stability edge cases across the stack.
+
+#include <cmath>
+#include <limits>
+
+#include "catalog/schemas.h"
+#include "config/db_config.h"
+#include "data/features.h"
+#include "gtest/gtest.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "plan/serialize.h"
+#include "simdb/executor.h"
+#include "simdb/planner.h"
+#include "simdb/workloads.h"
+
+namespace qpe {
+namespace {
+
+TEST(NumericalStabilityTest, SoftmaxWithHugeLogits) {
+  const nn::Tensor logits =
+      nn::Tensor::FromVector(1, 3, {1000.0f, 999.0f, -1000.0f});
+  const nn::Tensor probs = nn::SoftmaxRows(logits);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_TRUE(std::isfinite(probs.at(0, c)));
+  }
+  EXPECT_GT(probs.at(0, 0), probs.at(0, 1));
+  EXPECT_NEAR(probs.at(0, 2), 0.0f, 1e-6f);
+}
+
+TEST(NumericalStabilityTest, CrossEntropyWithHugeLogits) {
+  const nn::Tensor logits =
+      nn::Tensor::FromVector(1, 2, {500.0f, -500.0f}, true);
+  const nn::Tensor loss = nn::CrossEntropy(logits, {1});
+  EXPECT_TRUE(std::isfinite(loss.value()[0]));
+  loss.Backward();
+  for (float g : logits.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(NumericalStabilityTest, LogOfZeroClamped) {
+  const nn::Tensor zero = nn::Tensor::Zeros(1, 1);
+  EXPECT_TRUE(std::isfinite(nn::Log(zero).value()[0]));
+}
+
+TEST(NumericalStabilityTest, ExpOverflowClamped) {
+  const nn::Tensor big = nn::Tensor::Full(1, 1, 1000.0f);
+  EXPECT_TRUE(std::isfinite(nn::Exp(big).value()[0]));
+}
+
+TEST(NumericalStabilityTest, DropoutZeroProbabilityIsIdentity) {
+  util::Rng rng(1);
+  const nn::Tensor x = nn::Tensor::FromVector(1, 4, {1, 2, 3, 4});
+  const nn::Tensor y = nn::Dropout(x, 0.0f, &rng);
+  for (int c = 0; c < 4; ++c) EXPECT_FLOAT_EQ(y.at(0, c), x.at(0, c));
+}
+
+TEST(NumericalStabilityTest, DecodeLabelClamped) {
+  EXPECT_TRUE(std::isfinite(data::DecodeLabel(100.0)));
+  EXPECT_TRUE(std::isfinite(data::DecodeLabel(-5.0)));
+  EXPECT_DOUBLE_EQ(data::DecodeLabel(-5.0), 0.0);
+}
+
+TEST(PlannerRobustnessTest, UnknownTableIsSkipped) {
+  const catalog::Catalog cat = catalog::MakeTpchCatalog(0.1);
+  const config::DbConfig cfg;
+  simdb::Planner planner(&cat, &cfg);
+  simdb::QuerySpec spec;
+  spec.tables = {"lineitem", "no_such_table"};
+  const plan::Plan planned = planner.PlanQuery(spec);
+  ASSERT_NE(planned.root, nullptr);
+  // Only the known table is planned.
+  int scans = 0;
+  planned.root->Visit([&](const plan::PlanNode& n) {
+    scans += !n.relations().empty();
+  });
+  EXPECT_GE(scans, 1);
+}
+
+TEST(PlannerRobustnessTest, ExtremeSelectivitiesClamped) {
+  const catalog::Catalog cat = catalog::MakeTpchCatalog(0.1);
+  const config::DbConfig cfg;
+  simdb::Planner planner(&cat, &cfg);
+  simdb::QuerySpec spec;
+  spec.tables = {"orders"};
+  simdb::FilterSpec filter;
+  filter.table = "orders";
+  filter.column = "o_orderdate";
+  for (double selectivity : {0.0, 1e-12, 1.0, 5.0}) {
+    filter.selectivity = selectivity;
+    spec.filters = {filter};
+    const plan::Plan planned = planner.PlanQuery(spec);
+    ASSERT_NE(planned.root, nullptr);
+    EXPECT_GE(planned.root->props().plan_rows, 1.0);
+    EXPECT_TRUE(std::isfinite(planned.root->props().total_cost));
+  }
+}
+
+TEST(PlannerRobustnessTest, DisconnectedJoinGraphStopsGracefully) {
+  const catalog::Catalog cat = catalog::MakeTpchCatalog(0.1);
+  const config::DbConfig cfg;
+  simdb::Planner planner(&cat, &cfg);
+  simdb::QuerySpec spec;
+  spec.tables = {"orders", "part"};  // no join edge between them
+  const plan::Plan planned = planner.PlanQuery(spec);
+  ASSERT_NE(planned.root, nullptr);  // one side survives as the result
+}
+
+TEST(ExecutorRobustnessTest, EmptyPlanReturnsZero) {
+  const catalog::Catalog cat = catalog::MakeTpchCatalog(0.1);
+  const config::DbConfig cfg;
+  simdb::ExecutorSim executor(&cat, &cfg);
+  plan::Plan empty;
+  util::Rng noise(1);
+  EXPECT_DOUBLE_EQ(executor.Execute(&empty, 1, &noise), 0.0);
+}
+
+TEST(SerializeRobustnessTest, DeeplyNestedPlanRoundTrips) {
+  auto root = std::make_unique<plan::PlanNode>(
+      plan::OperatorType::Parse("Materialize"));
+  plan::PlanNode* cursor = root.get();
+  for (int i = 0; i < 150; ++i) {
+    cursor = cursor->AddChild(plan::OperatorType::Parse("Materialize"));
+  }
+  cursor->AddChild(plan::OperatorType::Parse("Scan-Seq"));
+  const auto parsed = plan::ParsePlanNode(plan::SerializePlanNode(*root));
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->NumNodes(), root->NumNodes());
+}
+
+TEST(ConfigRobustnessTest, FeaturesFiniteAtExtremes) {
+  config::DbConfig config;
+  for (int k = 0; k < config::kNumKnobs; ++k) {
+    config.Set(static_cast<config::Knob>(k),
+               config::KnobTable()[k].max_value * 10);  // out of range
+  }
+  for (double f : config.ToFeatures()) {
+    EXPECT_TRUE(std::isfinite(f));
+  }
+}
+
+TEST(MetaFeatureRobustnessTest, SpatialFlagPropagates) {
+  const catalog::Catalog spatial = catalog::MakeSpatialCatalog(0.1);
+  const catalog::Catalog tpch = catalog::MakeTpchCatalog(0.1);
+  const auto spatial_features = spatial.MetaFeatures({"arealm"});
+  const auto tpch_features = tpch.MetaFeatures({"orders"});
+  EXPECT_DOUBLE_EQ(spatial_features.back(), 1.0);
+  EXPECT_DOUBLE_EQ(tpch_features.back(), 0.0);
+}
+
+}  // namespace
+}  // namespace qpe

@@ -1,0 +1,188 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace qpe::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatelyHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0, ss = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    ss += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ZipfSkewedTowardSmallIndices) {
+  Rng rng(17);
+  int first = 0, last = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Zipf(100, 1.0);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+    if (v == 0) ++first;
+    if (v == 99) ++last;
+  }
+  EXPECT_GT(first, last * 10);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.Categorical({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.7, 0.02);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(23);
+  const std::vector<int> p = rng.Permutation(50);
+  std::set<int> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 49);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+TEST(StatsTest, MeanMedian) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolation) {
+  std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 20.0);
+}
+
+TEST(StatsTest, StdDevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(StdDev({3, 3, 3, 3}), 0.0);
+}
+
+TEST(StatsTest, MaeAndRmse) {
+  const std::vector<double> pred = {1, 2, 3};
+  const std::vector<double> target = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, target), 1.0);
+  EXPECT_NEAR(RootMeanSquaredError(pred, target), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(StatsTest, MismatchedSizesReturnZero) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2}, {1}), 0.0);
+}
+
+TEST(StatsTest, FractionWithinAbsoluteError) {
+  EXPECT_DOUBLE_EQ(
+      FractionWithinAbsoluteError({1, 2, 3, 4}, {1, 3, 10, 4}, 1.0), 0.75);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer_name", "22"});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer_name | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace qpe::util
