@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_linearize.dir/bench_ablation_linearize.cc.o"
+  "CMakeFiles/bench_ablation_linearize.dir/bench_ablation_linearize.cc.o.d"
+  "bench_ablation_linearize"
+  "bench_ablation_linearize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_linearize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

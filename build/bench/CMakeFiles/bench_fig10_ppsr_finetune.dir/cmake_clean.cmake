@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_ppsr_finetune.dir/bench_fig10_ppsr_finetune.cc.o"
+  "CMakeFiles/bench_fig10_ppsr_finetune.dir/bench_fig10_ppsr_finetune.cc.o.d"
+  "bench_fig10_ppsr_finetune"
+  "bench_fig10_ppsr_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_ppsr_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

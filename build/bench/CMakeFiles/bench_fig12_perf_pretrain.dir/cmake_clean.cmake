@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_perf_pretrain.dir/bench_fig12_perf_pretrain.cc.o"
+  "CMakeFiles/bench_fig12_perf_pretrain.dir/bench_fig12_perf_pretrain.cc.o.d"
+  "bench_fig12_perf_pretrain"
+  "bench_fig12_perf_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_perf_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

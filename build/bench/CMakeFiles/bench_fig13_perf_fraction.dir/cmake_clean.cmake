@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_perf_fraction.dir/bench_fig13_perf_fraction.cc.o"
+  "CMakeFiles/bench_fig13_perf_fraction.dir/bench_fig13_perf_fraction.cc.o.d"
+  "bench_fig13_perf_fraction"
+  "bench_fig13_perf_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_perf_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

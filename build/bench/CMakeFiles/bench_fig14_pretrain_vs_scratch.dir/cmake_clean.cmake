@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_pretrain_vs_scratch.dir/bench_fig14_pretrain_vs_scratch.cc.o"
+  "CMakeFiles/bench_fig14_pretrain_vs_scratch.dir/bench_fig14_pretrain_vs_scratch.cc.o.d"
+  "bench_fig14_pretrain_vs_scratch"
+  "bench_fig14_pretrain_vs_scratch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pretrain_vs_scratch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

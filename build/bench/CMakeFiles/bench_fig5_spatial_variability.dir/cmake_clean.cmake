@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_spatial_variability.dir/bench_fig5_spatial_variability.cc.o"
+  "CMakeFiles/bench_fig5_spatial_variability.dir/bench_fig5_spatial_variability.cc.o.d"
+  "bench_fig5_spatial_variability"
+  "bench_fig5_spatial_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_spatial_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_spatial_mae.dir/bench_fig6_spatial_mae.cc.o"
+  "CMakeFiles/bench_fig6_spatial_mae.dir/bench_fig6_spatial_mae.cc.o.d"
+  "bench_fig6_spatial_mae"
+  "bench_fig6_spatial_mae.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_spatial_mae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

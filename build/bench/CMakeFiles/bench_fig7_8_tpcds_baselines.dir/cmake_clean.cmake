@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_tpcds_baselines.dir/bench_fig7_8_tpcds_baselines.cc.o"
+  "CMakeFiles/bench_fig7_8_tpcds_baselines.dir/bench_fig7_8_tpcds_baselines.cc.o.d"
+  "bench_fig7_8_tpcds_baselines"
+  "bench_fig7_8_tpcds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_tpcds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_embedding_size.dir/bench_fig9_embedding_size.cc.o"
+  "CMakeFiles/bench_fig9_embedding_size.dir/bench_fig9_embedding_size.cc.o.d"
+  "bench_fig9_embedding_size"
+  "bench_fig9_embedding_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_embedding_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

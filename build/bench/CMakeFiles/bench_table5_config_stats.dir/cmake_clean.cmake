@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_config_stats.dir/bench_table5_config_stats.cc.o"
+  "CMakeFiles/bench_table5_config_stats.dir/bench_table5_config_stats.cc.o.d"
+  "bench_table5_config_stats"
+  "bench_table5_config_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_config_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_classification.dir/bench_table6_classification.cc.o"
+  "CMakeFiles/bench_table6_classification.dir/bench_table6_classification.cc.o.d"
+  "bench_table6_classification"
+  "bench_table6_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_recommendation.dir/config_recommendation.cpp.o"
+  "CMakeFiles/config_recommendation.dir/config_recommendation.cpp.o.d"
+  "config_recommendation"
+  "config_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_prediction.dir/latency_prediction.cpp.o"
+  "CMakeFiles/latency_prediction.dir/latency_prediction.cpp.o.d"
+  "latency_prediction"
+  "latency_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

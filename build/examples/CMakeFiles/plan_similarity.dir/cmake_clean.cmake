@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_similarity.dir/plan_similarity.cpp.o"
+  "CMakeFiles/plan_similarity.dir/plan_similarity.cpp.o.d"
+  "plan_similarity"
+  "plan_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

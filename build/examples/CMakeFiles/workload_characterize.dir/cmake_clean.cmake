@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_characterize.dir/workload_characterize.cpp.o"
+  "CMakeFiles/workload_characterize.dir/workload_characterize.cpp.o.d"
+  "workload_characterize"
+  "workload_characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for workload_characterize.
+# This may be replaced when dependencies are built.

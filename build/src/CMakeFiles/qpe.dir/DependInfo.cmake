@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/qpe.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/qpe.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schemas.cc" "src/CMakeFiles/qpe.dir/catalog/schemas.cc.o" "gcc" "src/CMakeFiles/qpe.dir/catalog/schemas.cc.o.d"
+  "/root/repo/src/config/db_config.cc" "src/CMakeFiles/qpe.dir/config/db_config.cc.o" "gcc" "src/CMakeFiles/qpe.dir/config/db_config.cc.o.d"
+  "/root/repo/src/config/lhs_sampler.cc" "src/CMakeFiles/qpe.dir/config/lhs_sampler.cc.o" "gcc" "src/CMakeFiles/qpe.dir/config/lhs_sampler.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/qpe.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/qpe.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/qpe.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/qpe.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/features.cc" "src/CMakeFiles/qpe.dir/data/features.cc.o" "gcc" "src/CMakeFiles/qpe.dir/data/features.cc.o.d"
+  "/root/repo/src/data/plan_corpus.cc" "src/CMakeFiles/qpe.dir/data/plan_corpus.cc.o" "gcc" "src/CMakeFiles/qpe.dir/data/plan_corpus.cc.o.d"
+  "/root/repo/src/encoder/encoder_suite.cc" "src/CMakeFiles/qpe.dir/encoder/encoder_suite.cc.o" "gcc" "src/CMakeFiles/qpe.dir/encoder/encoder_suite.cc.o.d"
+  "/root/repo/src/encoder/performance_encoder.cc" "src/CMakeFiles/qpe.dir/encoder/performance_encoder.cc.o" "gcc" "src/CMakeFiles/qpe.dir/encoder/performance_encoder.cc.o.d"
+  "/root/repo/src/encoder/ppsr.cc" "src/CMakeFiles/qpe.dir/encoder/ppsr.cc.o" "gcc" "src/CMakeFiles/qpe.dir/encoder/ppsr.cc.o.d"
+  "/root/repo/src/encoder/structure_encoder.cc" "src/CMakeFiles/qpe.dir/encoder/structure_encoder.cc.o" "gcc" "src/CMakeFiles/qpe.dir/encoder/structure_encoder.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/qpe.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/qpe.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/qpe.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/qpe.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/qpe.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/qpe.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/CMakeFiles/qpe.dir/nn/tensor.cc.o" "gcc" "src/CMakeFiles/qpe.dir/nn/tensor.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/qpe.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/qpe.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/plan/explain.cc" "src/CMakeFiles/qpe.dir/plan/explain.cc.o" "gcc" "src/CMakeFiles/qpe.dir/plan/explain.cc.o.d"
+  "/root/repo/src/plan/linearize.cc" "src/CMakeFiles/qpe.dir/plan/linearize.cc.o" "gcc" "src/CMakeFiles/qpe.dir/plan/linearize.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/CMakeFiles/qpe.dir/plan/plan_node.cc.o" "gcc" "src/CMakeFiles/qpe.dir/plan/plan_node.cc.o.d"
+  "/root/repo/src/plan/serialize.cc" "src/CMakeFiles/qpe.dir/plan/serialize.cc.o" "gcc" "src/CMakeFiles/qpe.dir/plan/serialize.cc.o.d"
+  "/root/repo/src/plan/taxonomy.cc" "src/CMakeFiles/qpe.dir/plan/taxonomy.cc.o" "gcc" "src/CMakeFiles/qpe.dir/plan/taxonomy.cc.o.d"
+  "/root/repo/src/simdb/executor.cc" "src/CMakeFiles/qpe.dir/simdb/executor.cc.o" "gcc" "src/CMakeFiles/qpe.dir/simdb/executor.cc.o.d"
+  "/root/repo/src/simdb/planner.cc" "src/CMakeFiles/qpe.dir/simdb/planner.cc.o" "gcc" "src/CMakeFiles/qpe.dir/simdb/planner.cc.o.d"
+  "/root/repo/src/simdb/workload_runner.cc" "src/CMakeFiles/qpe.dir/simdb/workload_runner.cc.o" "gcc" "src/CMakeFiles/qpe.dir/simdb/workload_runner.cc.o.d"
+  "/root/repo/src/simdb/workloads.cc" "src/CMakeFiles/qpe.dir/simdb/workloads.cc.o" "gcc" "src/CMakeFiles/qpe.dir/simdb/workloads.cc.o.d"
+  "/root/repo/src/smatch/smatch.cc" "src/CMakeFiles/qpe.dir/smatch/smatch.cc.o" "gcc" "src/CMakeFiles/qpe.dir/smatch/smatch.cc.o.d"
+  "/root/repo/src/tasks/baselines.cc" "src/CMakeFiles/qpe.dir/tasks/baselines.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/baselines.cc.o.d"
+  "/root/repo/src/tasks/classifier.cc" "src/CMakeFiles/qpe.dir/tasks/classifier.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/classifier.cc.o.d"
+  "/root/repo/src/tasks/embeddings.cc" "src/CMakeFiles/qpe.dir/tasks/embeddings.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/embeddings.cc.o.d"
+  "/root/repo/src/tasks/knob_importance.cc" "src/CMakeFiles/qpe.dir/tasks/knob_importance.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/knob_importance.cc.o.d"
+  "/root/repo/src/tasks/latency_model.cc" "src/CMakeFiles/qpe.dir/tasks/latency_model.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/latency_model.cc.o.d"
+  "/root/repo/src/tasks/qppnet.cc" "src/CMakeFiles/qpe.dir/tasks/qppnet.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/qppnet.cc.o.d"
+  "/root/repo/src/tasks/workload_similarity.cc" "src/CMakeFiles/qpe.dir/tasks/workload_similarity.cc.o" "gcc" "src/CMakeFiles/qpe.dir/tasks/workload_similarity.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/qpe.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/qpe.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/qpe.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/qpe.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/qpe.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/qpe.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

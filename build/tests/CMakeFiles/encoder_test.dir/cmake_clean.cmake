@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoder_test.dir/encoder_test.cc.o"
+  "CMakeFiles/encoder_test.dir/encoder_test.cc.o.d"
+  "encoder_test"
+  "encoder_test.pdb"
+  "encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

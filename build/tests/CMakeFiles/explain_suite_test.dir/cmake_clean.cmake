@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_suite_test.dir/explain_suite_test.cc.o"
+  "CMakeFiles/explain_suite_test.dir/explain_suite_test.cc.o.d"
+  "explain_suite_test"
+  "explain_suite_test.pdb"
+  "explain_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knob_importance_test.dir/knob_importance_test.cc.o"
+  "CMakeFiles/knob_importance_test.dir/knob_importance_test.cc.o.d"
+  "knob_importance_test"
+  "knob_importance_test.pdb"
+  "knob_importance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knob_importance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

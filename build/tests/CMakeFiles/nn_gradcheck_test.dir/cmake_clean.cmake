@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_gradcheck_test.dir/nn_gradcheck_test.cc.o"
+  "CMakeFiles/nn_gradcheck_test.dir/nn_gradcheck_test.cc.o.d"
+  "nn_gradcheck_test"
+  "nn_gradcheck_test.pdb"
+  "nn_gradcheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

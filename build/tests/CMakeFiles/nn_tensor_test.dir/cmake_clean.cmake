@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tensor_test.dir/nn_tensor_test.cc.o"
+  "CMakeFiles/nn_tensor_test.dir/nn_tensor_test.cc.o.d"
+  "nn_tensor_test"
+  "nn_tensor_test.pdb"
+  "nn_tensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

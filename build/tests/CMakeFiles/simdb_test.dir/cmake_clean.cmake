@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simdb_test.dir/simdb_test.cc.o"
+  "CMakeFiles/simdb_test.dir/simdb_test.cc.o.d"
+  "simdb_test"
+  "simdb_test.pdb"
+  "simdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smatch_test.dir/smatch_test.cc.o"
+  "CMakeFiles/smatch_test.dir/smatch_test.cc.o.d"
+  "smatch_test"
+  "smatch_test.pdb"
+  "smatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

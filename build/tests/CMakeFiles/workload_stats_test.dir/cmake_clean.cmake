@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_stats_test.dir/workload_stats_test.cc.o"
+  "CMakeFiles/workload_stats_test.dir/workload_stats_test.cc.o.d"
+  "workload_stats_test"
+  "workload_stats_test.pdb"
+  "workload_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

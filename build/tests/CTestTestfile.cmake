@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/smatch_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/simdb_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_module_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/encoder_test[1]_include.cmake")
+include("/root/repo/build/tests/tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/explain_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_detail_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_gradcheck_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
+include("/root/repo/build/tests/knob_importance_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

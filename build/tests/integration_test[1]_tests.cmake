@@ -1,0 +1,3 @@
+add_test([=[IntegrationTest.PretrainCheckpointLoadAndServeBothTasks]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=IntegrationTest.PretrainCheckpointLoadAndServeBothTasks]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[IntegrationTest.PretrainCheckpointLoadAndServeBothTasks]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS IntegrationTest.PretrainCheckpointLoadAndServeBothTasks)
