@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) of the library's hot paths: Smatch
 // scoring, plan linearization, physical planning, executor simulation,
-// structure-encoder inference, and performance-encoder inference.
+// encoder inference, MatMul kernels (blocked vs naive reference), and full
+// training steps parameterised over the thread count.
 
 #include <benchmark/benchmark.h>
 
@@ -11,12 +12,14 @@
 #include "data/features.h"
 #include "data/plan_corpus.h"
 #include "encoder/performance_encoder.h"
+#include "encoder/ppsr.h"
 #include "encoder/structure_encoder.h"
 #include "plan/linearize.h"
 #include "simdb/executor.h"
 #include "simdb/planner.h"
 #include "simdb/workloads.h"
 #include "smatch/smatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -117,6 +120,124 @@ void BM_PerfEncoderInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PerfEncoderInference)->Arg(1)->Arg(32);
+
+// --- MatMul kernels ---------------------------------------------------------
+
+qpe::nn::Tensor RandomTensor(int rows, int cols, uint64_t seed,
+                             bool requires_grad) {
+  qpe::util::Rng rng(seed);
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (float& v : data) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return qpe::nn::Tensor::FromVector(rows, cols, data, requires_grad);
+}
+
+// Forward + full backward (dA and dB) through the blocked kernels.
+// Args: {size, threads}.
+void BM_MatMul(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  qpe::util::SetMaxThreads(static_cast<int>(state.range(1)));
+  qpe::nn::Tensor a = RandomTensor(size, size, 11, /*requires_grad=*/true);
+  qpe::nn::Tensor b = RandomTensor(size, size, 12, /*requires_grad=*/true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    const qpe::nn::Tensor out = MatMul(a, b);
+    Sum(out).Backward();
+    benchmark::DoNotOptimize(a.grad()[0]);
+  }
+  // Forward plus two backward products, 2*n^3 flops each.
+  state.SetItemsProcessed(state.iterations() * 3 * 2LL * size * size * size);
+  qpe::util::SetMaxThreads(1);
+}
+BENCHMARK(BM_MatMul)
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({512, 4});
+
+// Same workload through the pre-blocking naive kernel (always
+// single-threaded): the baseline the blocked kernels are measured against.
+void BM_MatMulReference(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  qpe::util::SetMaxThreads(1);
+  qpe::nn::Tensor a = RandomTensor(size, size, 11, /*requires_grad=*/true);
+  qpe::nn::Tensor b = RandomTensor(size, size, 12, /*requires_grad=*/true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    const qpe::nn::Tensor out = qpe::nn::MatMulReference(a, b);
+    Sum(out).Backward();
+    benchmark::DoNotOptimize(a.grad()[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 3 * 2LL * size * size * size);
+}
+BENCHMARK(BM_MatMulReference)->Arg(64)->Arg(256)->Arg(512);
+
+// --- Training steps ---------------------------------------------------------
+
+// One PPSR training epoch (24 pairs, transformer encoder) per iteration.
+// Arg: thread count.
+void BM_TrainStepPpsr(benchmark::State& state) {
+  qpe::util::SetMaxThreads(static_cast<int>(state.range(0)));
+  qpe::data::PairDatasetOptions options;
+  options.num_pairs = 24;
+  options.corpus.min_nodes = 4;
+  options.corpus.max_nodes = 16;
+  const qpe::data::PlanPairDataset dataset =
+      qpe::data::BuildCorpusPairDataset(options);
+  qpe::util::Rng rng(14);
+  qpe::encoder::StructureEncoderConfig config;
+  config.num_layers = 1;
+  qpe::encoder::PpsrModel model(
+      std::make_unique<qpe::encoder::TransformerPlanEncoder>(config, &rng),
+      &rng);
+  qpe::encoder::PpsrTrainOptions train_options;
+  train_options.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qpe::encoder::TrainPpsr(&model, dataset.train, train_options));
+  }
+  qpe::util::SetMaxThreads(1);
+}
+BENCHMARK(BM_TrainStepPpsr)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// One performance-encoder training epoch (128 synthetic operator samples,
+// including the per-epoch train-MAE evaluation) per iteration. Arg: thread
+// count.
+void BM_TrainStepPerfEncoder(benchmark::State& state) {
+  qpe::util::SetMaxThreads(static_cast<int>(state.range(0)));
+  qpe::util::Rng rng(9);
+  qpe::encoder::PerformanceEncoder model({}, &rng);
+  qpe::data::OperatorDataset dataset;
+  dataset.train.resize(128);
+  qpe::util::Rng feature_rng(10);
+  for (size_t i = 0; i < dataset.train.size(); ++i) {
+    auto& sample = dataset.train[i];
+    sample.node_features.resize(qpe::data::kNodeFeatureDim);
+    sample.meta_features.resize(qpe::catalog::Catalog::kMetaFeatureDim);
+    sample.db_features.resize(qpe::config::DbConfig::FeatureDim());
+    for (double& v : sample.node_features) v = feature_rng.Uniform();
+    for (double& v : sample.meta_features) v = feature_rng.Uniform();
+    for (double& v : sample.db_features) v = feature_rng.Uniform();
+    sample.actual_total_time_ms = 10.0 * (i % 7 + 1);
+    sample.total_cost = 100.0 * (i % 5 + 1);
+    sample.startup_cost = 1.0 * (i % 3 + 1);
+  }
+  qpe::encoder::PerfTrainOptions options;
+  options.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qpe::encoder::TrainPerformanceEncoder(&model, dataset, options)
+            .size());
+  }
+  qpe::util::SetMaxThreads(1);
+}
+BENCHMARK(BM_TrainStepPerfEncoder)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

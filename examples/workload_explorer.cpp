@@ -4,6 +4,7 @@
 // prints per-template latency statistics — the per-query "knob response"
 // that makes workload characterization necessary.
 
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <vector>
@@ -13,17 +14,29 @@
 #include "simdb/workloads.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
+// Usage: workload_explorer [--threads=N] [scale_factor] [num_configs]
 int main(int argc, char** argv) {
-  const double scale_factor = argc > 1 ? std::atof(argv[1]) : 0.1;
-  const int num_configs = argc > 2 ? std::atoi(argv[2]) : 24;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      qpe::util::SetMaxThreads(std::atoi(argv[i] + 10));
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const double scale_factor =
+      positional.size() > 0 ? std::atof(positional[0]) : 0.1;
+  const int num_configs = positional.size() > 1 ? std::atoi(positional[1]) : 24;
 
   qpe::simdb::TpchWorkload tpch(scale_factor);
   qpe::config::LhsSampler sampler((qpe::util::Rng(11)));
   const std::vector<qpe::config::DbConfig> configs = sampler.Sample(num_configs);
 
   std::cout << "TPC-H (SF " << scale_factor << ") on " << num_configs
-            << " LHS-sampled configurations\n\n";
+            << " LHS-sampled configurations, " << qpe::util::MaxThreads()
+            << " thread(s)\n\n";
 
   qpe::simdb::RunOptions options;
   const auto executed = qpe::simdb::RunWorkload(tpch, configs, options);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds bench_micro and records the parallel-engine micro-benchmarks
+# (blocked vs reference MatMul kernels, and full training steps at 1 vs 4
+# threads) into BENCH_micro.json at the repo root.
+#
+# Read the *wall-clock* (real_time) column: google-benchmark's cpu_time only
+# measures the main thread, so it under-reports multi-threaded runs. On a
+# single-core machine the 4-thread rows match the 1-thread rows in wall time
+# by construction; the kernel-level win shows up as BM_MatMul/N/1 vs
+# BM_MatMulReference/N.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build --target bench_micro -j"$(nproc)"
+
+./build/bench/bench_micro \
+  --benchmark_filter='BM_MatMul|BM_TrainStep' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out=BENCH_micro.json \
+  --benchmark_out_format=json
+
+echo
+echo "Wrote $(pwd)/BENCH_micro.json"

@@ -5,6 +5,7 @@
 #include "config/lhs_sampler.h"
 #include "data/features.h"
 #include "simdb/planner.h"
+#include "util/thread_pool.h"
 
 namespace qpe::data {
 
@@ -29,6 +30,10 @@ std::vector<PlanPair> PairsFromPool(
   std::vector<PlanPair> pairs;
   pairs.reserve(options.num_pairs);
   const int n = static_cast<int>(pool.size());
+  // Pair construction stays sequential (it consumes the caller's RNG
+  // stream); the Smatch labelling below — the expensive part, a search per
+  // pair — is embarrassingly parallel and deterministic per pair, so the
+  // labels are identical for every thread count.
   for (int i = 0; i < options.num_pairs; ++i) {
     PlanPair pair;
     const plan::PlanNode& left = *pool[rng->UniformInt(0, n - 1)];
@@ -38,9 +43,11 @@ std::vector<PlanPair> PairsFromPool(
     } else {
       pair.right = pool[rng->UniformInt(0, n - 1)]->Clone();
     }
-    pair.smatch = smatch::Score(*pair.left, *pair.right).f1;
     pairs.push_back(std::move(pair));
   }
+  util::ParallelRun(static_cast<int>(pairs.size()), [&](int i) {
+    pairs[i].smatch = smatch::Score(*pairs[i].left, *pairs[i].right).f1;
+  });
   return pairs;
 }
 

@@ -6,6 +6,7 @@
 #include "data/features.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "nn/parallel.h"
 
 namespace qpe::encoder {
 
@@ -123,6 +124,7 @@ PerfBatch MakePerfBatch(const std::vector<data::OperatorSample>& samples,
 double EvaluatePerfMaeMs(const PerfEncoderBase& model,
                          const std::vector<data::OperatorSample>& samples) {
   if (samples.empty()) return 0;
+  nn::NoGradGuard no_grad;  // pure forward: skip graph construction
   std::vector<int> all(samples.size());
   for (size_t i = 0; i < samples.size(); ++i) all[i] = static_cast<int>(i);
   const PerfBatch batch = MakePerfBatch(samples, all);
@@ -146,19 +148,35 @@ std::vector<PerfEpochStats> TrainPerformanceEncoder(
   double best_val = 1e18;
   int best_epoch = -1;
   model->SetTraining(true);
+  nn::ShardGradBuffers scratch;
   const int n = static_cast<int>(dataset.train.size());
+  // Rows per data-parallel shard within a minibatch. Fixed (never derived
+  // from the thread count) so the shard partition — and therefore the
+  // gradient reduction order — is identical for every thread count.
+  constexpr int kShardRows = 8;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const std::vector<int> order = rng.Permutation(n);
     for (int start = 0; start < n; start += options.batch_size) {
       const int end = std::min(n, start + options.batch_size);
-      const std::vector<int> indices(order.begin() + start,
-                                     order.begin() + end);
-      const PerfBatch batch = MakePerfBatch(dataset.train, indices);
-      const nn::Tensor pred =
-          model->PredictLabels(model->Embed(batch.node, batch.meta, batch.db));
-      const nn::Tensor loss = nn::MseLoss(pred, batch.labels);
-      optimizer.ZeroGrad();
-      loss.Backward();
+      const int count = end - start;
+      const int num_shards = (count + kShardRows - 1) / kShardRows;
+      model->ZeroGrad();
+      nn::ParallelGradientStep(
+          params, num_shards,
+          [&](int shard) {
+            const int s0 = start + shard * kShardRows;
+            const int s1 = std::min(end, s0 + kShardRows);
+            const std::vector<int> indices(order.begin() + s0,
+                                           order.begin() + s1);
+            const PerfBatch batch = MakePerfBatch(dataset.train, indices);
+            const nn::Tensor pred = model->PredictLabels(
+                model->Embed(batch.node, batch.meta, batch.db));
+            // Summed over shards this equals MseLoss over the whole
+            // minibatch: shard SSE over the full batch element count.
+            return Scale(Sum(Square(Sub(pred, batch.labels))),
+                         1.0f / static_cast<float>(count * 3));
+          },
+          &scratch);
       ClipGradNorm(params, options.grad_clip);
       optimizer.Step();
     }

@@ -1,9 +1,12 @@
 #include "encoder/ppsr.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "nn/parallel.h"
+#include "util/thread_pool.h"
 
 namespace qpe::encoder {
 
@@ -30,11 +33,18 @@ std::vector<nn::Tensor> PpsrModel::HeadParameters() const {
 
 double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
                  const PpsrTrainOptions& options) {
-  std::vector<nn::Tensor> params =
+  std::vector<nn::Tensor> opt_params =
       options.freeze_encoder ? model->HeadParameters() : model->Parameters();
-  nn::Adam optimizer(params, options.lr);
+  // Data-parallel shards must capture gradient writes into EVERY parameter,
+  // not just the optimized subset: with freeze_encoder the backward pass
+  // still flows gradients into the encoder weights (they require grad),
+  // the optimizer just never applies them.
+  const std::vector<nn::Tensor> all_params = model->Parameters();
+  nn::Adam optimizer(opt_params, options.lr);
   util::Rng rng(options.seed);
   model->SetTraining(true);
+  nn::ShardGradBuffers scratch;
+  std::vector<util::Rng> shard_rngs;
   double last_epoch_loss = 0;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     const std::vector<int> order =
@@ -43,26 +53,31 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
     int batches = 0;
     for (size_t start = 0; start < order.size();
          start += options.batch_size) {
-      nn::Tensor batch_loss = nn::Tensor::Scalar(0.0f);
-      int batch_count = 0;
-      for (size_t i = start;
-           i < order.size() && i < start + options.batch_size; ++i) {
-        const data::PlanPair& pair = train[order[i]];
-        const nn::Tensor pred =
-            model->PredictSimilarity(*pair.left, *pair.right, &rng);
-        const nn::Tensor target =
-            nn::Tensor::Scalar(static_cast<float>(pair.smatch));
-        batch_loss = Add(batch_loss, Square(Sub(pred, target)));
-        ++batch_count;
-      }
-      if (batch_count == 0) continue;
-      const nn::Tensor loss =
-          Scale(batch_loss, 1.0f / static_cast<float>(batch_count));
-      optimizer.ZeroGrad();
-      loss.Backward();
-      ClipGradNorm(params, options.grad_clip);
+      const int count = static_cast<int>(
+          std::min(order.size(), start + options.batch_size) - start);
+      if (count == 0) continue;
+      // One shard per pair. Dropout streams are forked sequentially in
+      // pair order before dispatch so they are a function of the data
+      // order alone, never of which thread runs which shard.
+      shard_rngs.clear();
+      for (int s = 0; s < count; ++s) shard_rngs.push_back(rng.Fork());
+      model->ZeroGrad();
+      const double batch_loss = nn::ParallelGradientStep(
+          all_params, count,
+          [&](int s) {
+            const data::PlanPair& pair = train[order[start + s]];
+            const nn::Tensor pred = model->PredictSimilarity(
+                *pair.left, *pair.right, &shard_rngs[s]);
+            const nn::Tensor target =
+                nn::Tensor::Scalar(static_cast<float>(pair.smatch));
+            // Summed over shards this equals the old mean-over-batch loss.
+            return Scale(Square(Sub(pred, target)),
+                         1.0f / static_cast<float>(count));
+          },
+          &scratch);
+      ClipGradNorm(opt_params, options.grad_clip);
       optimizer.Step();
-      epoch_loss += loss.value()[0];
+      epoch_loss += batch_loss;
       ++batches;
     }
     last_epoch_loss = batches > 0 ? epoch_loss / batches : 0;
@@ -74,12 +89,17 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
 double EvaluatePpsrMae(const PpsrModel& model,
                        const std::vector<data::PlanPair>& pairs) {
   if (pairs.empty()) return 0;
-  double total = 0;
-  for (const data::PlanPair& pair : pairs) {
+  const int n = static_cast<int>(pairs.size());
+  std::vector<double> errors(n, 0.0);
+  util::ParallelRun(n, [&](int i) {
+    nn::NoGradGuard no_grad;  // pure forward: skip graph construction
+    const data::PlanPair& pair = pairs[i];
     const nn::Tensor pred =
         model.PredictSimilarity(*pair.left, *pair.right, nullptr);
-    total += std::abs(static_cast<double>(pred.value()[0]) - pair.smatch);
-  }
+    errors[i] = std::abs(static_cast<double>(pred.value()[0]) - pair.smatch);
+  });
+  double total = 0;
+  for (double e : errors) total += e;  // fixed order: thread-count invariant
   return total / static_cast<double>(pairs.size());
 }
 

@@ -1,8 +1,10 @@
 #include "encoder/structure_encoder.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "nn/parallel.h"
 
 namespace qpe::encoder {
 
@@ -196,16 +198,30 @@ nn::Tensor SparseAutoencoder::ReconstructionLoss(const plan::PlanNode& root,
 
 void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
                                const std::vector<const plan::PlanNode*>& plans,
-                               int epochs, float lr, uint64_t seed) {
-  nn::Adam optimizer(autoencoder->Parameters(), lr);
+                               int epochs, float lr, uint64_t seed,
+                               int batch_size) {
+  const std::vector<nn::Tensor> params = autoencoder->Parameters();
+  nn::Adam optimizer(params, lr);
   util::Rng rng(seed);
+  nn::ShardGradBuffers scratch;
+  const size_t batch = batch_size < 1 ? 1 : static_cast<size_t>(batch_size);
   for (int epoch = 0; epoch < epochs; ++epoch) {
     const std::vector<int> order =
         rng.Permutation(static_cast<int>(plans.size()));
-    for (int idx : order) {
-      const nn::Tensor loss = autoencoder->ReconstructionLoss(*plans[idx]);
-      optimizer.ZeroGrad();
-      loss.Backward();
+    for (size_t start = 0; start < order.size(); start += batch) {
+      const int count =
+          static_cast<int>(std::min(order.size(), start + batch) - start);
+      autoencoder->ZeroGrad();
+      nn::ParallelGradientStep(
+          params, count,
+          [&](int s) {
+            // Summed over shards this is the mean loss over the minibatch;
+            // with batch_size == 1 the scale is exactly 1.
+            return Scale(
+                autoencoder->ReconstructionLoss(*plans[order[start + s]]),
+                1.0f / static_cast<float>(count));
+          },
+          &scratch);
       optimizer.Step();
     }
   }

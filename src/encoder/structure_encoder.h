@@ -133,10 +133,14 @@ class SparseAutoencoder : public PlanSequenceEncoder {
   nn::Linear* decoder_;
 };
 
-// Pretrains a sparse autoencoder on a set of plans.
+// Pretrains a sparse autoencoder on a set of plans. With batch_size > 1
+// each minibatch trains data-parallel (one shard per plan, gradients
+// reduced deterministically in shard order before the optimizer step);
+// batch_size == 1 reproduces the original per-plan SGD exactly.
 void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
                                const std::vector<const plan::PlanNode*>& plans,
-                               int epochs, float lr, uint64_t seed);
+                               int epochs, float lr, uint64_t seed,
+                               int batch_size = 1);
 
 }  // namespace qpe::encoder
 

@@ -1,0 +1,40 @@
+#include "nn/parallel.h"
+
+#include <cstddef>
+
+#include "util/thread_pool.h"
+
+namespace qpe::nn {
+
+double ParallelGradientStep(const std::vector<Tensor>& params, int num_shards,
+                            const std::function<Tensor(int)>& build_loss,
+                            ShardGradBuffers* scratch) {
+  scratch->resize(num_shards);
+  std::vector<double> losses(num_shards, 0.0);
+
+  util::ParallelRun(num_shards, [&](int shard) {
+    // Redirect parameter-gradient writes into this shard's private
+    // buffers; everything else in the shard graph is shard-local.
+    GradientCapture capture(params, &(*scratch)[shard]);
+    Tensor loss = build_loss(shard);
+    loss.Backward();
+    losses[shard] = loss.value()[0];
+  });
+
+  // Deterministic reduction: shards in ascending order, so the result is
+  // independent of how the shard tasks were scheduled across threads.
+  double total_loss = 0.0;
+  for (int shard = 0; shard < num_shards; ++shard) {
+    total_loss += losses[shard];
+    const std::vector<std::vector<float>>& grads = (*scratch)[shard];
+    for (size_t p = 0; p < params.size(); ++p) {
+      Tensor param = params[p];  // shared handle: copy aliases the storage
+      float* dst = param.grad().data();
+      const std::vector<float>& src = grads[p];
+      for (size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+    }
+  }
+  return total_loss;
+}
+
+}  // namespace qpe::nn

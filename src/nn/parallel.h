@@ -1,0 +1,44 @@
+#ifndef QPE_NN_PARALLEL_H_
+#define QPE_NN_PARALLEL_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace qpe::nn {
+
+// Per-shard gradient scratch for ParallelGradientStep: one buffer per
+// (shard, parameter). Declare it once outside the epoch loop so buffer
+// capacity is reused across steps instead of reallocated.
+using ShardGradBuffers = std::vector<std::vector<std::vector<float>>>;
+
+// One data-parallel gradient accumulation step.
+//
+// Runs build_loss(shard) for every shard in [0, num_shards) — potentially
+// concurrently on the global thread pool — where each call must build an
+// independent forward graph over its shard of the minibatch and return the
+// shard's scalar loss contribution (already weighted so that the sum over
+// shards equals the minibatch loss). Backward() runs inside each shard
+// task with gradient accumulation into `params` redirected to per-shard
+// buffers; the buffers are then reduced into the parameters' own grad
+// storage on the calling thread in ascending shard order.
+//
+// Because each shard's computation is independent of which thread ran it
+// and the reduction order is fixed, the resulting gradients and the
+// returned loss sum are identical for every thread count (threads=1 runs
+// everything inline).
+//
+// `params` must include EVERY requires_grad tensor shared between shard
+// graphs (i.e. all model parameters, not just the subset the optimizer
+// updates) — an unlisted shared parameter would be written concurrently.
+// Gradients accumulate into params' existing grads; zero them first for a
+// fresh step. Returns the sum of the shard losses, accumulated in shard
+// order.
+double ParallelGradientStep(const std::vector<Tensor>& params, int num_shards,
+                            const std::function<Tensor(int)>& build_loss,
+                            ShardGradBuffers* scratch);
+
+}  // namespace qpe::nn
+
+#endif  // QPE_NN_PARALLEL_H_

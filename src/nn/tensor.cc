@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 #if defined(__GLIBC__)
 #include <malloc.h>
 #endif
@@ -29,6 +31,24 @@ struct MallocTuning {
 const MallocTuning kMallocTuning;
 #endif  // __GLIBC__
 
+thread_local bool tl_no_grad = false;
+thread_local const std::unordered_map<Tensor::Impl*, float*>* tl_grad_redirect =
+    nullptr;
+
+// Where a backward function accumulates a parent's gradient. Normally the
+// parent's own (lazily allocated) grad buffer; under an active
+// GradientCapture the shared targets are redirected to per-thread shadow
+// buffers so concurrent Backward() calls on graphs sharing parameter
+// leaves never write the same memory.
+float* GradPtr(Tensor::Impl* p) {
+  if (tl_grad_redirect) {
+    auto it = tl_grad_redirect->find(p);
+    if (it != tl_grad_redirect->end()) return it->second;
+  }
+  p->EnsureGrad();
+  return p->grad.data();
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -41,7 +61,9 @@ Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
   impl->cols = cols;
   impl->requires_grad = requires_grad;
   impl->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
-  impl->grad.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  // grad stays empty until EnsureGrad(): most tensors (eval-mode
+  // activations, forward intermediates whose graph is discarded) never
+  // receive a gradient.
   return Tensor(std::move(impl));
 }
 
@@ -88,8 +110,14 @@ bool Tensor::requires_grad() const {
 
 std::vector<float>& Tensor::value() { return impl_->value; }
 const std::vector<float>& Tensor::value() const { return impl_->value; }
-std::vector<float>& Tensor::grad() { return impl_->grad; }
-const std::vector<float>& Tensor::grad() const { return impl_->grad; }
+std::vector<float>& Tensor::grad() {
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+const std::vector<float>& Tensor::grad() const {
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
 
 float Tensor::at(int r, int c) const {
   return impl_->value[static_cast<size_t>(r) * impl_->cols + c];
@@ -99,7 +127,9 @@ void Tensor::set(int r, int c, float v) {
 }
 
 void Tensor::ZeroGrad() const {
-  if (impl_) std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  if (impl_ && !impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
 }
 
 Tensor Tensor::Detach() const {
@@ -112,7 +142,9 @@ Tensor Tensor::Detach() const {
 Tensor Tensor::MakeResult(int rows, int cols,
                           std::vector<std::shared_ptr<Impl>> parents) {
   bool any_grad = false;
-  for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  if (!tl_no_grad) {
+    for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  }
   Tensor t = Zeros(rows, cols, any_grad);
   // Only keep graph edges when a gradient can flow.
   if (any_grad) t.impl_->parents = std::move(parents);
@@ -127,16 +159,26 @@ void Tensor::Backward() const {
   assert(impl_ && impl_->rows == 1 && impl_->cols == 1 &&
          "Backward() requires a scalar result");
   // Iterative topological sort (graphs can be thousands of nodes deep for
-  // LSTMs, so recursion is unsafe).
-  std::vector<Impl*> topo;
-  std::vector<std::pair<Impl*, size_t>> stack;  // node, next-parent index
+  // LSTMs, so recursion is unsafe). The scratch is thread_local and reused
+  // across calls: training loops run Backward() every step and the vectors
+  // keep their high-water capacity.
+  thread_local std::vector<Impl*> topo;
+  thread_local std::vector<std::pair<Impl*, size_t>> stack;
+  topo.clear();
+  stack.clear();
+
   stack.emplace_back(impl_.get(), 0);
   impl_->visited = true;
   while (!stack.empty()) {
     auto& [node, next] = stack.back();
     if (next < node->parents.size()) {
       Impl* parent = node->parents[next++].get();
-      if (!parent->visited) {
+      // Leaves (no parents, no backward_fn — parameters and inputs) are
+      // never enqueued: they contribute nothing to the sweep, and skipping
+      // them means the traversal never touches `visited` on impls shared
+      // between graphs running Backward() concurrently on other threads.
+      if (!parent->visited &&
+          !(parent->parents.empty() && !parent->backward_fn)) {
         parent->visited = true;
         stack.emplace_back(parent, 0);
       }
@@ -145,7 +187,13 @@ void Tensor::Backward() const {
       stack.pop_back();
     }
   }
-  for (Impl* node : topo) node->visited = false;  // reset scratch
+  for (Impl* node : topo) {
+    node->visited = false;  // reset scratch
+    // Backward functions read their own node's grad buffer; with lazy
+    // allocation it may not exist yet (e.g. a node whose consumers all
+    // skipped zero gradients).
+    node->EnsureGrad();
+  }
 
   impl_->grad[0] = 1.0f;
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
@@ -154,21 +202,152 @@ void Tensor::Backward() const {
 }
 
 // ---------------------------------------------------------------------------
-// Ops
+// NoGradGuard / GradientCapture
+// ---------------------------------------------------------------------------
+
+NoGradGuard::NoGradGuard() : previous_(tl_no_grad) { tl_no_grad = true; }
+NoGradGuard::~NoGradGuard() { tl_no_grad = previous_; }
+
+GradientCapture::GradientCapture(const std::vector<Tensor>& targets,
+                                 std::vector<std::vector<float>>* buffers) {
+  buffers->resize(targets.size());
+  map_.reserve(targets.size());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    Tensor::Impl* impl = targets[i].impl();
+    std::vector<float>& buf = (*buffers)[i];
+    buf.assign(impl->value.size(), 0.0f);
+    map_.emplace(impl, buf.data());
+  }
+  previous_ = tl_grad_redirect;
+  tl_grad_redirect = &map_;
+}
+
+GradientCapture::~GradientCapture() { tl_grad_redirect = previous_; }
+
+// ---------------------------------------------------------------------------
+// MatMul: blocked forward/backward kernels
 // ---------------------------------------------------------------------------
 
 namespace {
 
-// Maps a broadcast operand's (r, c) index for an [m, n] result.
-inline size_t BIdx(int r, int c, int brows, int bcols) {
-  const int rr = brows == 1 ? 0 : r;
-  const int cc = bcols == 1 ? 0 : c;
-  return static_cast<size_t>(rr) * bcols + cc;
+// Below this many flops (2*m*k*n) the kernels run inline: pool dispatch
+// costs more than the multiply.
+constexpr int64_t kMatMulParallelFlops = 1 << 17;
+// Tile sizes: a [kKC x kNC] panel of B (64 KB) stays resident in L1/L2
+// while it is streamed against every row of A.
+constexpr int kKC = 64;
+constexpr int kNC = 256;
+
+// out[i0:i1, :] += A[i0:i1, :] * B. Per output element the k-dimension is
+// accumulated in ascending order regardless of tiling or row partition, so
+// results are identical for every thread count.
+void MatMulForwardRange(const float* av, const float* bv, float* ov, int i0,
+                        int i1, int k, int n) {
+  for (int p0 = 0; p0 < k; p0 += kKC) {
+    const int p1 = std::min(k, p0 + kKC);
+    for (int j0 = 0; j0 < n; j0 += kNC) {
+      const int j1 = std::min(n, j0 + kNC);
+      for (int i = i0; i < i1; ++i) {
+        const float* arow = av + static_cast<size_t>(i) * k;
+        float* orow = ov + static_cast<size_t>(i) * n;
+        for (int p = p0; p < p1; ++p) {
+          const float aval = arow[p];
+          if (aval == 0.0f) continue;  // Relu outputs are often sparse
+          const float* brow = bv + static_cast<size_t>(p) * n;
+          for (int j = j0; j < j1; ++j) orow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// dA[i0:i1, :] += dOut[i0:i1, :] * B^T, computed as row-dot-products so
+// both inner operands are contiguous (no stride-n walk through B).
+void MatMulBackwardA(const float* og, const float* bv, float* ag, int i0,
+                     int i1, int k, int n) {
+  for (int i = i0; i < i1; ++i) {
+    const float* orow = og + static_cast<size_t>(i) * n;
+    float* arow = ag + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float* brow = bv + static_cast<size_t>(p) * n;
+      float dot = 0.0f;
+      for (int j = 0; j < n; ++j) dot += orow[j] * brow[j];
+      arow[p] += dot;
+    }
+  }
+}
+
+// dB[p0:p1, :] += (A^T * dOut)[p0:p1, :] as rank-1 row updates: for each i,
+// axpy dOut row i into the B-gradient rows selected by A row i. Per output
+// element the i-dimension is accumulated in ascending order regardless of
+// the p partition.
+void MatMulBackwardB(const float* av, const float* og, float* bg, int p0,
+                     int p1, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = av + static_cast<size_t>(i) * k;
+    const float* orow = og + static_cast<size_t>(i) * n;
+    for (int p = p0; p < p1; ++p) {
+      const float aval = arow[p];
+      if (aval == 0.0f) continue;
+      float* brow = bg + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) brow[j] += aval * orow[j];
+    }
+  }
 }
 
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, b.impl_});
+  const float* av = a.impl_->value.data();
+  const float* bv = b.impl_->value.data();
+  float* ov = out.impl_->value.data();  // pre-zeroed by MakeResult
+  const int64_t flops = 2LL * m * k * n;
+  if (flops < kMatMulParallelFlops) {
+    MatMulForwardRange(av, bv, ov, 0, m, k, n);
+  } else {
+    util::ParallelFor(m, /*grain=*/1, [&](int64_t i0, int64_t i1) {
+      MatMulForwardRange(av, bv, ov, static_cast<int>(i0),
+                         static_cast<int>(i1), k, n);
+    });
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_, bi = b.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, bi, oi, m, k, n, flops]() {
+      const float* og = oi->grad.data();
+      if (ai->requires_grad) {
+        float* ag = GradPtr(ai.get());
+        const float* bv = bi->value.data();
+        if (flops < kMatMulParallelFlops) {
+          MatMulBackwardA(og, bv, ag, 0, m, k, n);
+        } else {
+          util::ParallelFor(m, /*grain=*/1, [&](int64_t i0, int64_t i1) {
+            MatMulBackwardA(og, bv, ag, static_cast<int>(i0),
+                            static_cast<int>(i1), k, n);
+          });
+        }
+      }
+      if (bi->requires_grad) {
+        float* bg = GradPtr(bi.get());
+        const float* av = ai->value.data();
+        if (flops < kMatMulParallelFlops) {
+          MatMulBackwardB(av, og, bg, 0, k, m, k, n);
+        } else {
+          util::ParallelFor(k, /*grain=*/1, [&](int64_t p0, int64_t p1) {
+            MatMulBackwardB(av, og, bg, static_cast<int>(p0),
+                            static_cast<int>(p1), m, k, n);
+          });
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMulReference(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.rows());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   Tensor out = Tensor::MakeResult(m, n, {a.impl_, b.impl_});
@@ -190,7 +369,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     out.impl_->backward_fn = [ai, bi, oi, m, k, n]() {
       const float* og = oi->grad.data();
       if (ai->requires_grad) {
-        float* ag = ai->grad.data();
+        float* ag = GradPtr(ai.get());
         const float* bv = bi->value.data();
         // dA = dOut * B^T
         for (int i = 0; i < m; ++i) {
@@ -205,7 +384,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         }
       }
       if (bi->requires_grad) {
-        float* bg = bi->grad.data();
+        float* bg = GradPtr(bi.get());
         const float* av = ai->value.data();
         // dB = A^T * dOut
         for (int p = 0; p < k; ++p) {
@@ -224,6 +403,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 namespace {
+
+// Maps a broadcast operand's (r, c) index for an [m, n] result.
+inline size_t BIdx(int r, int c, int brows, int bcols) {
+  const int rr = brows == 1 ? 0 : r;
+  const int cc = bcols == 1 ? 0 : c;
+  return static_cast<size_t>(rr) * bcols + cc;
+}
 
 enum class BinOp { kAdd, kSub, kMul };
 
@@ -249,6 +435,8 @@ Tensor Binary(const Tensor& a, const Tensor& b, BinOp op) {
     auto ai = a.impl_, bi = b.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, n, bm, bn, op]() {
+      float* ag = ai->requires_grad ? GradPtr(ai.get()) : nullptr;
+      float* bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < n; ++c) {
           const float g = oi->grad[static_cast<size_t>(r) * n + c];
@@ -256,20 +444,19 @@ Tensor Binary(const Tensor& a, const Tensor& b, BinOp op) {
           const size_t b_idx = BIdx(r, c, bm, bn);
           switch (op) {
             case BinOp::kAdd:
-              if (ai->requires_grad) ai->grad[static_cast<size_t>(r) * n + c] += g;
-              if (bi->requires_grad) bi->grad[b_idx] += g;
+              if (ag) ag[static_cast<size_t>(r) * n + c] += g;
+              if (bg) bg[b_idx] += g;
               break;
             case BinOp::kSub:
-              if (ai->requires_grad) ai->grad[static_cast<size_t>(r) * n + c] += g;
-              if (bi->requires_grad) bi->grad[b_idx] -= g;
+              if (ag) ag[static_cast<size_t>(r) * n + c] += g;
+              if (bg) bg[b_idx] -= g;
               break;
             case BinOp::kMul:
-              if (ai->requires_grad) {
-                ai->grad[static_cast<size_t>(r) * n + c] += g * bi->value[b_idx];
+              if (ag) {
+                ag[static_cast<size_t>(r) * n + c] += g * bi->value[b_idx];
               }
-              if (bi->requires_grad) {
-                bi->grad[b_idx] +=
-                    g * ai->value[static_cast<size_t>(r) * n + c];
+              if (bg) {
+                bg[b_idx] += g * ai->value[static_cast<size_t>(r) * n + c];
               }
               break;
           }
@@ -290,8 +477,9 @@ Tensor Unary(const Tensor& a, float (*fwd)(float),
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, dfn, m, n]() {
+      float* ag = GradPtr(ai.get());
       for (int i = 0; i < m * n; ++i) {
-        ai->grad[i] += oi->grad[i] * dfn(ai->value[i], oi->value[i]);
+        ag[i] += oi->grad[i] * dfn(ai->value[i], oi->value[i]);
       }
     };
   }
@@ -312,7 +500,8 @@ Tensor Scale(const Tensor& a, float s) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, s, m, n]() {
-      for (int i = 0; i < m * n; ++i) ai->grad[i] += oi->grad[i] * s;
+      float* ag = GradPtr(ai.get());
+      for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i] * s;
     };
   }
   return out;
@@ -326,7 +515,8 @@ Tensor AddScalar(const Tensor& a, float s) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
-      for (int i = 0; i < m * n; ++i) ai->grad[i] += oi->grad[i];
+      float* ag = GradPtr(ai.get());
+      for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i];
     };
   }
   return out;
@@ -392,9 +582,10 @@ Tensor Transpose(const Tensor& a) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
+      float* ag = GradPtr(ai.get());
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < n; ++c) {
-          ai->grad[static_cast<size_t>(r) * n + c] +=
+          ag[static_cast<size_t>(r) * n + c] +=
               oi->grad[static_cast<size_t>(c) * m + r];
         }
       }
@@ -413,7 +604,9 @@ Tensor Sum(const Tensor& a) {
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi]() {
       const float g = oi->grad[0];
-      for (float& ag : ai->grad) ag += g;
+      float* ag = GradPtr(ai.get());
+      const size_t count = ai->value.size();
+      for (size_t i = 0; i < count; ++i) ag[i] += g;
     };
   }
   return out;
@@ -437,10 +630,11 @@ Tensor RowSum(const Tensor& a) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
+      float* ag = GradPtr(ai.get());
       for (int r = 0; r < m; ++r) {
         const float g = oi->grad[r];
         for (int c = 0; c < n; ++c) {
-          ai->grad[static_cast<size_t>(r) * n + c] += g;
+          ag[static_cast<size_t>(r) * n + c] += g;
         }
       }
     };
@@ -471,10 +665,11 @@ Tensor SoftmaxRows(const Tensor& a) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
+      float* ag = GradPtr(ai.get());
       for (int r = 0; r < m; ++r) {
         const float* y = oi->value.data() + static_cast<size_t>(r) * n;
         const float* gy = oi->grad.data() + static_cast<size_t>(r) * n;
-        float* gx = ai->grad.data() + static_cast<size_t>(r) * n;
+        float* gx = ag + static_cast<size_t>(r) * n;
         float dot = 0;
         for (int c = 0; c < n; ++c) dot += y[c] * gy[c];
         for (int c = 0; c < n; ++c) gx[c] += y[c] * (gy[c] - dot);
@@ -515,9 +710,10 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       for (const auto& pi : part_impls) {
         const int n = pi->cols;
         if (pi->requires_grad) {
+          float* pg = GradPtr(pi.get());
           for (int r = 0; r < m; ++r) {
             for (int c = 0; c < n; ++c) {
-              pi->grad[static_cast<size_t>(r) * n + c] +=
+              pg[static_cast<size_t>(r) * n + c] +=
                   oi->grad[static_cast<size_t>(r) * total_cols + offset + c];
             }
           }
@@ -554,8 +750,9 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       int offset = 0;
       for (const auto& pi : part_impls) {
         if (pi->requires_grad) {
+          float* pg = GradPtr(pi.get());
           for (int i = 0; i < pi->rows * n; ++i) {
-            pi->grad[i] += oi->grad[static_cast<size_t>(offset) * n + i];
+            pg[i] += oi->grad[static_cast<size_t>(offset) * n + i];
           }
         }
         offset += pi->rows;
@@ -579,9 +776,10 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n, start, len]() {
+      float* ag = GradPtr(ai.get());
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < len; ++c) {
-          ai->grad[static_cast<size_t>(r) * n + start + c] +=
+          ag[static_cast<size_t>(r) * n + start + c] +=
               oi->grad[static_cast<size_t>(r) * len + c];
         }
       }
@@ -601,8 +799,9 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, n, start, len]() {
+      float* ag = GradPtr(ai.get());
       for (int i = 0; i < len * n; ++i) {
-        ai->grad[static_cast<size_t>(start) * n + i] += oi->grad[i];
+        ag[static_cast<size_t>(start) * n + i] += oi->grad[i];
       }
     };
   }
@@ -623,9 +822,10 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, indices, m, n]() {
+      float* ag = GradPtr(ai.get());
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < n; ++c) {
-          ai->grad[static_cast<size_t>(indices[r]) * n + c] +=
+          ag[static_cast<size_t>(indices[r]) * n + c] +=
               oi->grad[static_cast<size_t>(r) * n + c];
         }
       }
@@ -648,7 +848,8 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
     auto ai = a.impl_;
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, mask, m, n]() {
-      for (int i = 0; i < m * n; ++i) ai->grad[i] += oi->grad[i] * (*mask)[i];
+      float* ag = GradPtr(ai.get());
+      for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i] * (*mask)[i];
     };
   }
   return out;
@@ -680,9 +881,10 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [li, oi, probs, targets, m, n]() {
       const float g = oi->grad[0] / static_cast<float>(m);
+      float* lg = GradPtr(li.get());
       for (int r = 0; r < m; ++r) {
         const float* prow = probs->data() + static_cast<size_t>(r) * n;
-        float* grow = li->grad.data() + static_cast<size_t>(r) * n;
+        float* grow = lg + static_cast<size_t>(r) * n;
         for (int c = 0; c < n; ++c) {
           grow[c] += g * (prow[c] - (c == targets[r] ? 1.0f : 0.0f));
         }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
@@ -46,7 +47,10 @@ class Tensor {
   int numel() const { return rows() * cols(); }
   bool requires_grad() const;
 
-  // Raw storage access (row-major).
+  // Raw storage access (row-major). Gradient storage is allocated lazily —
+  // a tensor that never participates in a Backward() pass (eval-mode
+  // activations, detached copies) never pays for a grad buffer; the
+  // accessors allocate a zeroed buffer on first touch.
   std::vector<float>& value();
   const std::vector<float>& value() const;
   std::vector<float>& grad();
@@ -105,10 +109,14 @@ class Tensor {
     int cols = 0;
     bool requires_grad = false;
     std::vector<float> value;
-    std::vector<float> grad;
+    std::vector<float> grad;  // lazily sized; see EnsureGrad()
     std::vector<std::shared_ptr<Impl>> parents;
     std::function<void()> backward_fn;
     bool visited = false;  // scratch for topological sort
+
+    void EnsureGrad() {
+      if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
+    }
   };
 
   explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -149,6 +157,55 @@ Tensor SliceRows(const Tensor& a, int start, int len);
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng);
 Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
+
+// Naive triple-loop matrix multiply (the pre-blocking kernel), kept as the
+// reference implementation for the blocked/tiled MatMul: tests assert
+// forward/backward equivalence and the micro-benchmarks use it as the
+// baseline. Not for production paths.
+Tensor MatMulReference(const Tensor& a, const Tensor& b);
+
+// --- Threading / autograd interaction --------------------------------------
+
+// While alive on a thread, ops built on that thread record no graph edges
+// and no backward functions (like torch.no_grad()): forward passes over
+// trainable parameters become pure computations. Use for evaluation paths;
+// nests correctly.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// While alive on a thread, gradient accumulation into the given target
+// tensors (typically model parameters, the only tensors shared between
+// data-parallel shard graphs) is redirected into the caller-provided
+// buffers instead of the tensors' own grad storage. This is what lets
+// several worker threads run Backward() concurrently on graphs that share
+// parameter leaves: every shared write is redirected to a private buffer,
+// and the training loop then reduces the buffers in shard order so the
+// result is identical for every thread count.
+//
+// `buffers` is resized to one zeroed buffer per target (capacity is reused
+// across steps). Affects only the constructing thread. An inner capture
+// fully replaces an outer one for its lifetime (redirects only its own
+// targets); the outer redirect is restored on destruction.
+class GradientCapture {
+ public:
+  GradientCapture(const std::vector<Tensor>& targets,
+                  std::vector<std::vector<float>>* buffers);
+  ~GradientCapture();
+  GradientCapture(const GradientCapture&) = delete;
+  GradientCapture& operator=(const GradientCapture&) = delete;
+
+ private:
+  std::unordered_map<Tensor::Impl*, float*> map_;
+  const std::unordered_map<Tensor::Impl*, float*>* previous_;
+};
 
 // Gradient utilities.
 

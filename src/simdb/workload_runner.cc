@@ -2,6 +2,7 @@
 
 #include "simdb/executor.h"
 #include "simdb/planner.h"
+#include "util/thread_pool.h"
 
 namespace qpe::simdb {
 
@@ -9,37 +10,61 @@ std::vector<ExecutedQuery> RunWorkloadTemplates(
     const BenchmarkWorkload& workload,
     const std::vector<int>& template_indices,
     const std::vector<config::DbConfig>& configs, const RunOptions& options) {
-  std::vector<ExecutedQuery> executed;
-  executed.reserve(template_indices.size() * options.instances_per_template *
-                   configs.size());
   // Two independent streams: instance generation must not depend on how
   // many configurations are run, so that the same seed reproduces the same
   // query instances — letting callers execute one instance set under
   // *different* configuration sets (train vs test configurations, as in the
   // paper's Figure 5/6 protocol).
+  //
+  // Every per-run RNG is forked sequentially up front, in the same nested
+  // (template, instance, config) order the sequential loop used, and each
+  // parallel task writes a precomputed slot of the output — so the result
+  // is bit-identical to a single-threaded run for any thread count.
   util::Rng instance_stream(options.seed);
   util::Rng noise_stream(options.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  struct Item {
+    int template_index = -1;
+    int instance_index = -1;
+    util::Rng instance_rng;
+    std::vector<util::Rng> noise_rngs;  // one per configuration
+  };
+  std::vector<Item> items;
+  items.reserve(template_indices.size() * options.instances_per_template);
   for (int t : template_indices) {
     for (int i = 0; i < options.instances_per_template; ++i) {
-      // Fix the instance (literals + data) once, then run it under every
-      // configuration.
-      util::Rng instance_rng = instance_stream.Fork();
-      const QuerySpec spec = workload.Instantiate(t, &instance_rng);
-      for (const config::DbConfig& db_config : configs) {
-        Planner planner(&workload.GetCatalog(), &db_config);
-        ExecutorSim executor(&workload.GetCatalog(), &db_config);
-        ExecutedQuery record;
-        record.query = planner.PlanQuery(spec);
-        util::Rng run_noise = noise_stream.Fork();
-        record.latency_ms =
-            executor.Execute(&record.query, spec.cardinality_seed, &run_noise);
-        record.db_config = db_config;
-        record.template_index = t;
-        record.instance_index = i;
-        executed.push_back(std::move(record));
+      Item item;
+      item.template_index = t;
+      item.instance_index = i;
+      item.instance_rng = instance_stream.Fork();
+      item.noise_rngs.reserve(configs.size());
+      for (size_t c = 0; c < configs.size(); ++c) {
+        item.noise_rngs.push_back(noise_stream.Fork());
       }
+      items.push_back(std::move(item));
     }
   }
+  const int num_configs = static_cast<int>(configs.size());
+  std::vector<ExecutedQuery> executed(items.size() * configs.size());
+  util::ParallelRun(static_cast<int>(items.size()), [&](int idx) {
+    Item& item = items[idx];
+    // Fix the instance (literals + data) once, then run it under every
+    // configuration.
+    const QuerySpec spec =
+        workload.Instantiate(item.template_index, &item.instance_rng);
+    for (int c = 0; c < num_configs; ++c) {
+      const config::DbConfig& db_config = configs[c];
+      Planner planner(&workload.GetCatalog(), &db_config);
+      ExecutorSim executor(&workload.GetCatalog(), &db_config);
+      ExecutedQuery record;
+      record.query = planner.PlanQuery(spec);
+      record.latency_ms = executor.Execute(&record.query, spec.cardinality_seed,
+                                           &item.noise_rngs[c]);
+      record.db_config = db_config;
+      record.template_index = item.template_index;
+      record.instance_index = item.instance_index;
+      executed[static_cast<size_t>(idx) * num_configs + c] = std::move(record);
+    }
+  });
   return executed;
 }
 

@@ -1,0 +1,147 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace qpe::util {
+
+namespace {
+
+thread_local bool tl_in_pool_task = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || tl_in_pool_task) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  job->pending.store(num_tasks, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Drain(job.get());
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return job->pending.load(std::memory_order_acquire) == 0;
+  });
+  job_.reset();
+}
+
+void ThreadPool::Drain(Job* job) {
+  tl_in_pool_task = true;
+  while (true) {
+    const int i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->num_tasks) break;
+    (*job->fn)(i);
+    if (job->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  tl_in_pool_task = false;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job) Drain(job.get());
+  }
+}
+
+// --- Global pool -----------------------------------------------------------
+
+namespace {
+
+int DefaultThreads() {
+  if (const char* env = std::getenv("QPE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int g_max_threads = 0;  // 0 = not yet initialized
+std::unique_ptr<ThreadPool> g_pool;
+
+ThreadPool& GlobalPool() {
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(MaxThreads());
+  return *g_pool;
+}
+
+}  // namespace
+
+int MaxThreads() {
+  if (g_max_threads == 0) g_max_threads = DefaultThreads();
+  return g_max_threads;
+}
+
+void SetMaxThreads(int n) {
+  g_pool.reset();
+  g_max_threads = n >= 1 ? n : DefaultThreads();
+}
+
+bool InParallelRegion() { return tl_in_pool_task; }
+
+void ParallelRun(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (num_tasks == 1 || MaxThreads() == 1 || tl_in_pool_task) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  GlobalPool().Run(num_tasks, fn);
+}
+
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  // Over-partition relative to the thread count so uneven tasks balance.
+  const int64_t target_chunks = static_cast<int64_t>(MaxThreads()) * 4;
+  const int64_t chunk = std::max(grain, (n + target_chunks - 1) / target_chunks);
+  const int num_chunks = static_cast<int>((n + chunk - 1) / chunk);
+  if (num_chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  ParallelRun(num_chunks, [&](int c) {
+    const int64_t begin = static_cast<int64_t>(c) * chunk;
+    body(begin, std::min(n, begin + chunk));
+  });
+}
+
+}  // namespace qpe::util

@@ -1,0 +1,92 @@
+#ifndef QPE_UTIL_THREAD_POOL_H_
+#define QPE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qpe::util {
+
+// Fixed-size thread pool (no work stealing): Run() hands tasks 0..n-1 to a
+// set of persistent workers plus the calling thread and blocks until every
+// task finished. Tasks must be independent; the library's determinism
+// contract is that each task writes only its own disjoint outputs and any
+// cross-task reduction happens afterwards in task-index order on the
+// caller, so results never depend on how tasks were scheduled.
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers (the caller is the remaining thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes fn(i) once for every i in [0, num_tasks); returns when all
+  // calls completed. Concurrent Run() calls are serialized; a Run() from
+  // inside a pool task executes inline on the calling thread.
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+ private:
+  // One batch of tasks. Heap-allocated and shared so that a worker waking
+  // up late holds the batch it saw alive and can never observe a half
+  // reinitialized successor.
+  struct Job {
+    const std::function<void(int)>* fn = nullptr;
+    int num_tasks = 0;
+    std::atomic<int> next{0};
+    std::atomic<int> pending{0};
+  };
+
+  void WorkerLoop();
+  void Drain(Job* job);
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;  // serializes concurrent Run() callers
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;  // guarded by mu_
+  uint64_t generation_ = 0;   // guarded by mu_
+  bool stop_ = false;         // guarded by mu_
+};
+
+// --- Global threading knobs ------------------------------------------------
+//
+// All parallel paths in the library draw threads from one process-global
+// pool sized by MaxThreads(). The default is QPE_THREADS from the
+// environment, else std::thread::hardware_concurrency(); set it to 1 to run
+// everything inline (results are identical either way — see the determinism
+// contract above — but 1 also removes the pool from stack traces).
+
+// Current configured thread count (always >= 1).
+int MaxThreads();
+
+// Sets the thread count; n < 1 resets to the default. Recreates the global
+// pool, so call it from the main thread between parallel regions only.
+void SetMaxThreads(int n);
+
+// True while the current thread is executing a pool task; nested parallel
+// calls run inline in that case.
+bool InParallelRegion();
+
+// Runs fn(i) for i in [0, num_tasks) on the global pool (inline when
+// MaxThreads() == 1, num_tasks == 1, or already inside a pool task).
+void ParallelRun(int num_tasks, const std::function<void(int)>& fn);
+
+// Splits [0, n) into contiguous chunks of at least `grain` items and runs
+// body(begin, end) for each chunk via ParallelRun.
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace qpe::util
+
+#endif  // QPE_UTIL_THREAD_POOL_H_
