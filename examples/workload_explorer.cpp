@@ -3,28 +3,69 @@
 // Runs a handful of TPC-H templates under LHS-sampled configurations and
 // prints per-template latency statistics — the per-query "knob response"
 // that makes workload characterization necessary.
+//
+// With --checkpoint-dir=DIR the run is fault-tolerant end to end: the
+// executed-query dataset is persisted to DIR/executed.qpe and a Scan-group
+// performance encoder is trained with crash-safe checkpoints in
+// DIR/scan_encoder.ckpt. A killed run restarted with --resume skips the
+// completed workload execution and continues training from the last
+// checkpoint, finishing with bit-identical weights (the printed model
+// fingerprint) to an uninterrupted run.
+
+#include <sys/stat.h>
 
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "config/lhs_sampler.h"
+#include "data/dataset_io.h"
+#include "data/datasets.h"
+#include "encoder/performance_encoder.h"
 #include "simdb/workload_runner.h"
 #include "simdb/workloads.h"
+#include "util/checksum.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
 
-// Usage: workload_explorer [--threads=N] [scale_factor] [num_configs]
+namespace {
+
+// CRC32 over every parameter buffer: two runs produced the same weights iff
+// the fingerprints match, which is what the crash-resume smoke compares.
+uint32_t ModelFingerprint(const qpe::nn::Module& model) {
+  uint32_t crc = 0;
+  for (const auto& [name, tensor] : model.NamedParameters()) {
+    crc = qpe::util::Crc32(tensor.value().data(),
+                           tensor.value().size() * sizeof(float), crc);
+  }
+  return crc;
+}
+
+}  // namespace
+
+// Usage: workload_explorer [--threads=N] [--checkpoint-dir=DIR] [--resume]
+//                          [scale_factor] [num_configs]
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
+  std::string checkpoint_dir;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       qpe::util::SetMaxThreads(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      checkpoint_dir = argv[i] + 17;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "--resume requires --checkpoint-dir=DIR\n";
+    return 1;
   }
   const double scale_factor =
       positional.size() > 0 ? std::atof(positional[0]) : 0.1;
@@ -38,8 +79,39 @@ int main(int argc, char** argv) {
             << " LHS-sampled configurations, " << qpe::util::MaxThreads()
             << " thread(s)\n\n";
 
-  qpe::simdb::RunOptions options;
-  const auto executed = qpe::simdb::RunWorkload(tpch, configs, options);
+  const std::string executed_path = checkpoint_dir + "/executed.qpe";
+  std::vector<qpe::simdb::ExecutedQuery> executed;
+  bool loaded = false;
+  if (resume) {
+    auto restored = qpe::data::LoadExecutedQueriesChecked(executed_path);
+    if (restored.ok()) {
+      executed = std::move(restored.value());
+      loaded = true;
+      std::cout << "Resumed " << executed.size() << " executed queries from "
+                << executed_path << " (workload execution skipped)\n\n";
+    } else if (restored.status().code() != qpe::util::StatusCode::kNotFound) {
+      // A corrupt dataset is an error; a missing one just means the first
+      // run died before the workload finished — re-execute it.
+      std::cerr << "cannot resume: " << restored.status().ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!loaded) {
+    qpe::simdb::RunOptions options;
+    executed = qpe::simdb::RunWorkload(tpch, configs, options);
+    if (!checkpoint_dir.empty()) {
+      ::mkdir(checkpoint_dir.c_str(), 0755);
+      const qpe::util::Status saved =
+          qpe::data::SaveExecutedQueriesStatus(executed, executed_path);
+      if (!saved.ok()) {
+        std::cerr << "cannot persist executed queries: " << saved.ToString()
+                  << "\n";
+        return 1;
+      }
+      std::cout << "Persisted " << executed.size() << " executed queries to "
+                << executed_path << "\n\n";
+    }
+  }
 
   std::map<int, std::vector<double>> latencies;
   for (const auto& record : executed) {
@@ -62,5 +134,47 @@ int main(int argc, char** argv) {
   std::cout << "\nQueries with a large p95/p5 ratio are the ones whose "
                "latency depends heavily on the knob settings — TPC-H Q18 vs "
                "Q7 in the paper's introduction.\n";
+
+  if (checkpoint_dir.empty()) return 0;
+
+  // --- Fault-tolerant encoder training over the executed workload ---------
+  std::cout << "\nTraining a Scan-group performance encoder with crash-safe "
+               "checkpoints in "
+            << checkpoint_dir << "\n";
+  auto samples = qpe::data::ExtractOperatorSamples(
+      executed, tpch.GetCatalog(), qpe::plan::OperatorGroup::kScan);
+  if (samples.size() < 30) {
+    std::cout << "  only " << samples.size()
+              << " Scan samples — skipping training (need >= 30)\n";
+    return 0;
+  }
+  auto dataset = qpe::data::SplitOperatorSamples(std::move(samples), 100);
+  qpe::util::Rng rng(9);
+  qpe::encoder::PerfEncoderConfig perf_config;
+  qpe::encoder::PerformanceEncoder model(perf_config, &rng);
+  qpe::encoder::PerfTrainOptions options;
+  options.epochs = 12;
+  options.checkpoint.path = checkpoint_dir + "/scan_encoder.ckpt";
+  options.checkpoint.interval_epochs = 1;
+  options.checkpoint.resume = resume;
+  qpe::util::Status io_status;
+  options.io_status = &io_status;
+  const auto history =
+      qpe::encoder::TrainPerformanceEncoder(&model, dataset, options);
+  if (!io_status.ok()) {
+    std::cerr << "checkpoint error: " << io_status.ToString() << "\n";
+    return 1;
+  }
+  if (resume) {
+    std::cout << "  resumed training: ran " << history.size() << " of "
+              << options.epochs << " epochs this process\n";
+  }
+  int skipped = 0;
+  for (const auto& stats : history) skipped += stats.skipped_batches;
+  if (!history.empty()) {
+    std::cout << "  final val MAE " << history.back().val_mae_ms << " ms, "
+              << skipped << " batch(es) skipped by the loss-spike guard\n";
+  }
+  std::cout << "  model fingerprint: " << ModelFingerprint(model) << "\n";
   return 0;
 }

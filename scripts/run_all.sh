@@ -11,6 +11,10 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Fault-tolerance verification: ASan robustness suites, fault injection,
+# and the crash-resume smoke (see scripts/verify_robustness.sh).
+./scripts/verify_robustness.sh 2>&1 | tee -a test_output.txt
+
 : > bench_output.txt
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue

@@ -7,38 +7,69 @@
 #include <sstream>
 
 #include "plan/serialize.h"
+#include "util/fault_injection.h"
 
 namespace qpe::data {
 
-bool SaveExecutedQueries(const std::vector<simdb::ExecutedQuery>& records,
-                         const std::string& path) {
+namespace {
+
+util::Status MalformedRecord(const std::string& path, size_t line_number,
+                             const std::string& reason) {
+  return util::DataLossError(path + " line " + std::to_string(line_number) +
+                             ": " + reason);
+}
+
+}  // namespace
+
+util::Status SaveExecutedQueriesStatus(
+    const std::vector<simdb::ExecutedQuery>& records, const std::string& path) {
+  if (util::Status s = util::InjectFault("dataset.save.open"); !s.ok()) {
+    return s;
+  }
   std::ofstream os(path);
-  if (!os) return false;
+  if (!os) return util::IoError("cannot open '" + path + "' for writing");
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
-  for (const simdb::ExecutedQuery& record : records) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    const simdb::ExecutedQuery& record = records[i];
+    if (util::Status s = util::InjectFault("dataset.save.write"); !s.ok()) {
+      return s;
+    }
     os << "(record :latency " << record.latency_ms << " :template "
        << record.template_index << " :instance " << record.instance_index
        << " :config ";
     const auto& values = record.db_config.values();
-    for (size_t i = 0; i < values.size(); ++i) {
-      os << values[i] << (i + 1 < values.size() ? "," : "");
+    for (size_t k = 0; k < values.size(); ++k) {
+      os << values[k] << (k + 1 < values.size() ? "," : "");
     }
     os << " " << plan::SerializePlan(record.query) << ")\n";
+    if (!os) {
+      return util::IoError("write to '" + path + "' failed at record " +
+                           std::to_string(i + 1));
+    }
   }
-  return static_cast<bool>(os);
+  os.flush();
+  if (!os) return util::IoError("flush of '" + path + "' failed");
+  return util::OkStatus();
 }
 
-std::vector<simdb::ExecutedQuery> LoadExecutedQueries(const std::string& path,
-                                                      bool* ok) {
-  if (ok != nullptr) *ok = false;
+util::StatusOr<std::vector<simdb::ExecutedQuery>> LoadExecutedQueriesChecked(
+    const std::string& path) {
+  if (util::Status s = util::InjectFault("dataset.load.open"); !s.ok()) {
+    return s;
+  }
   std::vector<simdb::ExecutedQuery> records;
   std::ifstream is(path);
-  if (!is) return records;
+  if (!is) return util::NotFoundError("cannot open '" + path + "'");
   std::string line;
+  size_t line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const std::string prefix = "(record :latency ";
-    if (line.compare(0, prefix.size(), prefix) != 0) return {};
+    if (line.compare(0, prefix.size(), prefix) != 0) {
+      return MalformedRecord(path, line_number,
+                             "line does not start with '(record :latency '");
+    }
     size_t pos = prefix.size();
     simdb::ExecutedQuery record;
     record.latency_ms = std::strtod(line.c_str() + pos, nullptr);
@@ -49,33 +80,61 @@ std::vector<simdb::ExecutedQuery> LoadExecutedQueries(const std::string& path,
       pos += token.size();
       return true;
     };
-    if (!expect(":template ")) return {};
+    if (!expect(":template ")) {
+      return MalformedRecord(path, line_number, "missing ':template' token");
+    }
     record.template_index = std::atoi(line.c_str() + pos);
-    if (!expect(":instance ")) return {};
+    if (!expect(":instance ")) {
+      return MalformedRecord(path, line_number, "missing ':instance' token");
+    }
     record.instance_index = std::atoi(line.c_str() + pos);
-    if (!expect(":config ")) return {};
+    if (!expect(":config ")) {
+      return MalformedRecord(path, line_number, "missing ':config' token");
+    }
     for (int k = 0; k < config::kNumKnobs; ++k) {
       char* end = nullptr;
       record.db_config.Set(static_cast<config::Knob>(k),
                            std::strtod(line.c_str() + pos, &end));
       pos = end - line.c_str();
       if (k + 1 < config::kNumKnobs) {
-        if (line[pos] != ',') return {};
+        if (pos >= line.size() || line[pos] != ',') {
+          return MalformedRecord(
+              path, line_number,
+              "config has " + std::to_string(k + 1) + " value(s), expected " +
+                  std::to_string(config::kNumKnobs));
+        }
         ++pos;
       }
     }
     const size_t plan_start = line.find("(plan", pos);
-    if (plan_start == std::string::npos) return {};
+    if (plan_start == std::string::npos) {
+      return MalformedRecord(path, line_number, "missing '(plan' section");
+    }
     // The record's closing paren is the last character of the line.
     const std::string plan_text =
         line.substr(plan_start, line.size() - plan_start - 1);
-    auto parsed = plan::ParsePlan(plan_text);
-    if (!parsed.has_value()) return {};
-    record.query = std::move(*parsed);
+    auto parsed = plan::ParsePlanChecked(plan_text);
+    if (!parsed.ok()) {
+      return MalformedRecord(path, line_number, parsed.status().message());
+    }
+    record.query = std::move(parsed.value());
     records.push_back(std::move(record));
   }
-  if (ok != nullptr) *ok = true;
+  if (is.bad()) return util::IoError("read of '" + path + "' failed");
   return records;
+}
+
+bool SaveExecutedQueries(const std::vector<simdb::ExecutedQuery>& records,
+                         const std::string& path) {
+  return SaveExecutedQueriesStatus(records, path).ok();
+}
+
+std::vector<simdb::ExecutedQuery> LoadExecutedQueries(const std::string& path,
+                                                      bool* ok) {
+  auto result = LoadExecutedQueriesChecked(path);
+  if (ok != nullptr) *ok = result.ok();
+  if (!result.ok()) return {};
+  return std::move(result.value());
 }
 
 }  // namespace qpe::data

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "simdb/workload_runner.h"
+#include "util/status.h"
 
 namespace qpe::data {
 
@@ -13,11 +14,20 @@ namespace qpe::data {
 //   (record :latency <ms> :template <i> :instance <i> :config v1,...,v13 <plan s-expr>)
 // Plans round-trip through plan/serialize.h.
 
+util::Status SaveExecutedQueriesStatus(
+    const std::vector<simdb::ExecutedQuery>& records, const std::string& path);
+
+// Parses the whole file or reports the 1-based line number and reason of
+// the first malformed record, e.g.
+//   "dataset.txt line 17: missing ':config' token".
+util::StatusOr<std::vector<simdb::ExecutedQuery>> LoadExecutedQueriesChecked(
+    const std::string& path);
+
+// Legacy wrappers. Save returns false on IO failure. Load returns an empty
+// vector on malformed input or missing file; `ok` (if non-null)
+// distinguishes empty-file success from failure.
 bool SaveExecutedQueries(const std::vector<simdb::ExecutedQuery>& records,
                          const std::string& path);
-
-// Returns an empty vector on malformed input or missing file; `ok` (if
-// non-null) distinguishes empty-file success from failure.
 std::vector<simdb::ExecutedQuery> LoadExecutedQueries(const std::string& path,
                                                       bool* ok = nullptr);
 

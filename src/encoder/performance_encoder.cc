@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "data/features.h"
 #include "nn/loss.h"
@@ -138,6 +139,16 @@ double EvaluatePerfMaeMs(const PerfEncoderBase& model,
   return total / static_cast<double>(samples.size());
 }
 
+namespace {
+
+void RecordIoStatus(const PerfTrainOptions& options, util::Status status) {
+  if (options.io_status != nullptr && options.io_status->ok()) {
+    *options.io_status = std::move(status);
+  }
+}
+
+}  // namespace
+
 std::vector<PerfEpochStats> TrainPerformanceEncoder(
     PerfEncoderBase* model, const data::OperatorDataset& dataset,
     const PerfTrainOptions& options) {
@@ -145,8 +156,22 @@ std::vector<PerfEpochStats> TrainPerformanceEncoder(
   nn::Adam optimizer(params, options.lr);
   util::Rng rng(options.seed);
   std::vector<PerfEpochStats> history;
-  double best_val = 1e18;
-  int best_epoch = -1;
+  nn::TrainingState ckpt_state;
+  const bool checkpointing = !options.checkpoint.path.empty();
+  if (checkpointing && options.checkpoint.resume &&
+      nn::CheckpointExists(options.checkpoint.path)) {
+    util::Status s = nn::LoadTrainingCheckpoint(options.checkpoint.path, model,
+                                                &optimizer, &ckpt_state);
+    if (!s.ok()) {
+      // A corrupt checkpoint must not be silently overwritten by a fresh
+      // run; surface the error and do nothing.
+      RecordIoStatus(options, std::move(s));
+      return history;
+    }
+    rng.SetState(ckpt_state.rng);
+  }
+  double best_val = ckpt_state.best_val;
+  int best_epoch = static_cast<int>(ckpt_state.best_epoch);
   model->SetTraining(true);
   nn::ShardGradBuffers scratch;
   const int n = static_cast<int>(dataset.train.size());
@@ -154,14 +179,18 @@ std::vector<PerfEpochStats> TrainPerformanceEncoder(
   // from the thread count) so the shard partition — and therefore the
   // gradient reduction order — is identical for every thread count.
   constexpr int kShardRows = 8;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  const int interval = std::max(1, options.checkpoint.interval_epochs);
+  for (int epoch = static_cast<int>(ckpt_state.next_epoch);
+       epoch < options.epochs; ++epoch) {
     const std::vector<int> order = rng.Permutation(n);
+    int epoch_skipped = 0;
+    int epoch_nonfinite = 0;
     for (int start = 0; start < n; start += options.batch_size) {
       const int end = std::min(n, start + options.batch_size);
       const int count = end - start;
       const int num_shards = (count + kShardRows - 1) / kShardRows;
       model->ZeroGrad();
-      nn::ParallelGradientStep(
+      const double batch_loss = nn::ParallelGradientStep(
           params, num_shards,
           [&](int shard) {
             const int s0 = start + shard * kShardRows;
@@ -177,6 +206,15 @@ std::vector<PerfEpochStats> TrainPerformanceEncoder(
                          1.0f / static_cast<float>(count * 3));
           },
           &scratch);
+      ++ckpt_state.global_step;
+      if (!std::isfinite(batch_loss)) {
+        // Loss-spike guard: a NaN/Inf batch would propagate poison through
+        // the Adam moments into every later step. Drop the update (the
+        // gradients are zeroed at the top of the next batch) and count it.
+        ++epoch_nonfinite;
+        ++epoch_skipped;
+        continue;
+      }
       ClipGradNorm(params, options.grad_clip);
       optimizer.Step();
     }
@@ -185,16 +223,33 @@ std::vector<PerfEpochStats> TrainPerformanceEncoder(
     stats.train_mae_ms = EvaluatePerfMaeMs(*model, dataset.train);
     stats.val_mae_ms = EvaluatePerfMaeMs(*model, dataset.val);
     stats.test_mae_ms = EvaluatePerfMaeMs(*model, dataset.test);
+    stats.skipped_batches = epoch_skipped;
+    stats.nonfinite_losses = epoch_nonfinite;
     model->SetTraining(true);
     history.push_back(stats);
+    ckpt_state.skipped_batches += epoch_skipped;
+    ckpt_state.nonfinite_losses += epoch_nonfinite;
     if (stats.val_mae_ms < best_val - 1e-12) {
       best_val = stats.val_mae_ms;
       best_epoch = epoch;
     }
-    if (options.patience_epochs > 0 &&
-        epoch - best_epoch >= options.patience_epochs) {
-      break;  // validation MAE stopped improving
+    const bool early_stop = options.patience_epochs > 0 &&
+                            epoch - best_epoch >= options.patience_epochs;
+    if (checkpointing &&
+        ((epoch + 1) % interval == 0 || epoch + 1 == options.epochs ||
+         early_stop)) {
+      ckpt_state.next_epoch = epoch + 1;
+      ckpt_state.best_val = best_val;
+      ckpt_state.best_epoch = best_epoch;
+      ckpt_state.rng = rng.GetState();
+      util::Status s = nn::SaveTrainingCheckpoint(options.checkpoint.path,
+                                                  *model, optimizer,
+                                                  ckpt_state);
+      // A failed periodic save degrades durability, not training: record
+      // the error and keep going.
+      if (!s.ok()) RecordIoStatus(options, std::move(s));
     }
+    if (early_stop) break;  // validation MAE stopped improving
   }
   model->SetTraining(false);
   return history;

@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "data/datasets.h"
+#include "nn/checkpoint.h"
 #include "nn/module.h"
 #include "nn/tensor.h"
+#include "util/status.h"
 
 namespace qpe::encoder {
 
@@ -91,12 +93,26 @@ struct PerfTrainOptions {
   // stops at <5 ms improvement over 100 epochs).
   int patience_epochs = 0;  // 0 disables early stopping
   double patience_delta_ms = 5.0;
+  // Crash-safe checkpoint/resume (nn/checkpoint.h). With a non-empty path
+  // the run saves full training state every `interval_epochs` and, when
+  // `resume` is set and the file exists, continues from it — bit-exactly:
+  // the resumed run finishes with the same weights as an uninterrupted one.
+  nn::CheckpointConfig checkpoint;
+  // If non-null, receives the first checkpoint IO error (training continues
+  // after a failed periodic save but aborts on a corrupt resume file rather
+  // than silently overwriting it).
+  util::Status* io_status = nullptr;
 };
 
 struct PerfEpochStats {
   double train_mae_ms = 0;
   double val_mae_ms = 0;
   double test_mae_ms = 0;
+  // Loss-spike guard observability: batches whose loss came back NaN/Inf
+  // this epoch were skipped (no optimizer step) instead of poisoning the
+  // weights.
+  int skipped_batches = 0;
+  int nonfinite_losses = 0;
 };
 
 // Batched tensors for a set of operator samples.

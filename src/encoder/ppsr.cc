@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -42,11 +43,37 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
   const std::vector<nn::Tensor> all_params = model->Parameters();
   nn::Adam optimizer(opt_params, options.lr);
   util::Rng rng(options.seed);
+  nn::TrainingState ckpt_state;
+  const bool checkpointing = !options.checkpoint.path.empty();
+  if (options.stats != nullptr) *options.stats = PpsrTrainStats{};
+  auto record_io = [&options](util::Status s) {
+    if (options.stats != nullptr && options.stats->io_status.ok()) {
+      options.stats->io_status = std::move(s);
+    }
+  };
+  if (checkpointing && options.checkpoint.resume &&
+      nn::CheckpointExists(options.checkpoint.path)) {
+    util::Status s = nn::LoadTrainingCheckpoint(options.checkpoint.path, model,
+                                                &optimizer, &ckpt_state);
+    if (!s.ok()) {
+      // Never overwrite a checkpoint that failed to load; surface and stop.
+      record_io(std::move(s));
+      return 0;
+    }
+    rng.SetState(ckpt_state.rng);
+    if (options.stats != nullptr) {
+      options.stats->resumed_from_epoch = ckpt_state.next_epoch;
+      options.stats->skipped_batches = ckpt_state.skipped_batches;
+      options.stats->nonfinite_losses = ckpt_state.nonfinite_losses;
+    }
+  }
   model->SetTraining(true);
   nn::ShardGradBuffers scratch;
   std::vector<util::Rng> shard_rngs;
   double last_epoch_loss = 0;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  const int interval = std::max(1, options.checkpoint.interval_epochs);
+  for (int epoch = static_cast<int>(ckpt_state.next_epoch);
+       epoch < options.epochs; ++epoch) {
     const std::vector<int> order =
         rng.Permutation(static_cast<int>(train.size()));
     double epoch_loss = 0;
@@ -75,12 +102,33 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
                          1.0f / static_cast<float>(count));
           },
           &scratch);
+      ++ckpt_state.global_step;
+      if (!std::isfinite(batch_loss)) {
+        // Loss-spike guard: skip the poisoned update (grads are zeroed at
+        // the top of the next batch) instead of feeding NaN into Adam.
+        ++ckpt_state.nonfinite_losses;
+        ++ckpt_state.skipped_batches;
+        if (options.stats != nullptr) {
+          ++options.stats->nonfinite_losses;
+          ++options.stats->skipped_batches;
+        }
+        continue;
+      }
       ClipGradNorm(opt_params, options.grad_clip);
       optimizer.Step();
       epoch_loss += batch_loss;
       ++batches;
     }
     last_epoch_loss = batches > 0 ? epoch_loss / batches : 0;
+    if (checkpointing &&
+        ((epoch + 1) % interval == 0 || epoch + 1 == options.epochs)) {
+      ckpt_state.next_epoch = epoch + 1;
+      ckpt_state.rng = rng.GetState();
+      util::Status s = nn::SaveTrainingCheckpoint(options.checkpoint.path,
+                                                  *model, optimizer,
+                                                  ckpt_state);
+      if (!s.ok()) record_io(std::move(s));  // degrade, don't abort training
+    }
   }
   model->SetTraining(false);
   return last_epoch_loss;

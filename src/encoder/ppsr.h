@@ -1,12 +1,15 @@
 #ifndef QPE_ENCODER_PPSR_H_
 #define QPE_ENCODER_PPSR_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "data/datasets.h"
 #include "encoder/structure_encoder.h"
+#include "nn/checkpoint.h"
 #include "nn/module.h"
+#include "util/status.h"
 
 namespace qpe::encoder {
 
@@ -33,6 +36,15 @@ class PpsrModel : public nn::Module {
   nn::Linear* match_;
 };
 
+// Observability for a TrainPpsr run: where it resumed, how many batches the
+// loss-spike guard dropped, and the first checkpoint IO error (if any).
+struct PpsrTrainStats {
+  int64_t resumed_from_epoch = 0;  // 0 == started fresh
+  int64_t skipped_batches = 0;     // cumulative across resumes
+  int64_t nonfinite_losses = 0;
+  util::Status io_status;
+};
+
 struct PpsrTrainOptions {
   int epochs = 8;
   float lr = 5e-4f;
@@ -42,6 +54,12 @@ struct PpsrTrainOptions {
   // ("Transformer-PPSR-fixed" in §6.1).
   bool freeze_encoder = false;
   float grad_clip = 5.0f;
+  // Crash-safe checkpoint/resume (nn/checkpoint.h); empty path disables.
+  // A resumed run finishes with bit-identical weights to an uninterrupted
+  // one at the same thread count.
+  nn::CheckpointConfig checkpoint;
+  // If non-null, filled with resume/skip/IO information for the run.
+  PpsrTrainStats* stats = nullptr;
 };
 
 // Trains the model on Smatch-labelled pairs; returns the final-epoch mean

@@ -199,20 +199,34 @@ nn::Tensor SparseAutoencoder::ReconstructionLoss(const plan::PlanNode& root,
 void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
                                const std::vector<const plan::PlanNode*>& plans,
                                int epochs, float lr, uint64_t seed,
-                               int batch_size) {
+                               int batch_size,
+                               const nn::CheckpointConfig& checkpoint) {
   const std::vector<nn::Tensor> params = autoencoder->Parameters();
   nn::Adam optimizer(params, lr);
   util::Rng rng(seed);
+  nn::TrainingState ckpt_state;
+  const bool checkpointing = !checkpoint.path.empty();
+  if (checkpointing && checkpoint.resume &&
+      nn::CheckpointExists(checkpoint.path)) {
+    if (!nn::LoadTrainingCheckpoint(checkpoint.path, autoencoder, &optimizer,
+                                    &ckpt_state)
+             .ok()) {
+      return;  // never overwrite a checkpoint that failed to load
+    }
+    rng.SetState(ckpt_state.rng);
+  }
   nn::ShardGradBuffers scratch;
   const size_t batch = batch_size < 1 ? 1 : static_cast<size_t>(batch_size);
-  for (int epoch = 0; epoch < epochs; ++epoch) {
+  const int interval = std::max(1, checkpoint.interval_epochs);
+  for (int epoch = static_cast<int>(ckpt_state.next_epoch); epoch < epochs;
+       ++epoch) {
     const std::vector<int> order =
         rng.Permutation(static_cast<int>(plans.size()));
     for (size_t start = 0; start < order.size(); start += batch) {
       const int count =
           static_cast<int>(std::min(order.size(), start + batch) - start);
       autoencoder->ZeroGrad();
-      nn::ParallelGradientStep(
+      const double batch_loss = nn::ParallelGradientStep(
           params, count,
           [&](int s) {
             // Summed over shards this is the mean loss over the minibatch;
@@ -222,7 +236,19 @@ void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
                 1.0f / static_cast<float>(count));
           },
           &scratch);
+      if (!std::isfinite(batch_loss)) {
+        ++ckpt_state.skipped_batches;  // loss-spike guard: drop the update
+        ++ckpt_state.nonfinite_losses;
+        continue;
+      }
       optimizer.Step();
+    }
+    if (checkpointing && ((epoch + 1) % interval == 0 || epoch + 1 == epochs)) {
+      ckpt_state.next_epoch = epoch + 1;
+      ckpt_state.rng = rng.GetState();
+      // Best effort: a failed periodic save degrades durability only.
+      (void)nn::SaveTrainingCheckpoint(checkpoint.path, *autoencoder,
+                                       optimizer, ckpt_state);
     }
   }
 }

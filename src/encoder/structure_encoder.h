@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/checkpoint.h"
 #include "nn/module.h"
 #include "nn/tensor.h"
 #include "nn/transformer.h"
@@ -136,11 +137,15 @@ class SparseAutoencoder : public PlanSequenceEncoder {
 // Pretrains a sparse autoencoder on a set of plans. With batch_size > 1
 // each minibatch trains data-parallel (one shard per plan, gradients
 // reduced deterministically in shard order before the optimizer step);
-// batch_size == 1 reproduces the original per-plan SGD exactly.
+// batch_size == 1 reproduces the original per-plan SGD exactly. With a
+// non-empty `checkpoint.path` the run saves crash-safe training state every
+// `checkpoint.interval_epochs` and resumes bit-exactly from an existing
+// checkpoint file.
 void PretrainSparseAutoencoder(SparseAutoencoder* autoencoder,
                                const std::vector<const plan::PlanNode*>& plans,
                                int epochs, float lr, uint64_t seed,
-                               int batch_size = 1);
+                               int batch_size = 1,
+                               const nn::CheckpointConfig& checkpoint = {});
 
 }  // namespace qpe::encoder
 

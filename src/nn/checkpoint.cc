@@ -1,0 +1,350 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <utility>
+#include <vector>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "nn/serialize.h"
+#include "util/checksum.h"
+#include "util/fault_injection.h"
+
+namespace qpe::nn {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x51504543;  // "QPEC"
+constexpr uint32_t kCheckpointVersion = 1;
+// magic + version + payload_size + payload_crc
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+// --- little binary writer/reader over in-memory payloads ---
+
+void PutBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+void PutU32(std::string* out, uint32_t v) { PutBytes(out, &v, sizeof(v)); }
+void PutU64(std::string* out, uint64_t v) { PutBytes(out, &v, sizeof(v)); }
+void PutI64(std::string* out, int64_t v) { PutBytes(out, &v, sizeof(v)); }
+void PutF64(std::string* out, double v) { PutBytes(out, &v, sizeof(v)); }
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounds-checked reader; every failure carries the byte offset so corrupt
+// payloads are diagnosable.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& data) : data_(data) {}
+
+  util::Status Bytes(void* out, size_t size, const char* what) {
+    if (pos_ + size > data_.size()) {
+      return util::DataLossError(
+          std::string("checkpoint payload truncated reading ") + what +
+          " at offset " + std::to_string(pos_) + " (need " +
+          std::to_string(size) + " byte(s), have " +
+          std::to_string(data_.size() - pos_) + ")");
+    }
+    std::memcpy(out, data_.data() + pos_, size);
+    pos_ += size;
+    return util::OkStatus();
+  }
+  util::Status U32(uint32_t* v, const char* what) {
+    return Bytes(v, sizeof(*v), what);
+  }
+  util::Status U64(uint64_t* v, const char* what) {
+    return Bytes(v, sizeof(*v), what);
+  }
+  util::Status I64(int64_t* v, const char* what) {
+    return Bytes(v, sizeof(*v), what);
+  }
+  util::Status F64(double* v, const char* what) {
+    return Bytes(v, sizeof(*v), what);
+  }
+  util::Status Str(std::string* s, const char* what) {
+    uint32_t len = 0;
+    if (util::Status st = U32(&len, what); !st.ok()) return st;
+    if (pos_ + len > data_.size()) {
+      return util::DataLossError(
+          std::string("checkpoint payload truncated reading ") + what +
+          " at offset " + std::to_string(pos_));
+    }
+    s->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return util::OkStatus();
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+std::string BuildPayload(const Module& module, const Optimizer& optimizer,
+                         const TrainingState& state) {
+  std::string payload;
+  // Training state.
+  PutI64(&payload, state.next_epoch);
+  PutI64(&payload, state.global_step);
+  PutI64(&payload, state.skipped_batches);
+  PutI64(&payload, state.nonfinite_losses);
+  PutF64(&payload, state.best_val);
+  PutI64(&payload, state.best_epoch);
+  // RNG stream.
+  for (uint64_t word : state.rng.s) PutU64(&payload, word);
+  PutU32(&payload, state.rng.has_cached_normal ? 1 : 0);
+  PutF64(&payload, state.rng.cached_normal);
+  // Module section (the nn/serialize format, embedded verbatim).
+  std::ostringstream module_os(std::ios::binary);
+  SaveModule(module, module_os);
+  const std::string module_bytes = module_os.str();
+  PutU64(&payload, module_bytes.size());
+  payload.append(module_bytes);
+  // Optimizer state.
+  const OptimizerState opt = optimizer.ExportState();
+  PutString(&payload, opt.kind);
+  PutI64(&payload, opt.step_count);
+  PutU32(&payload, static_cast<uint32_t>(opt.slots.size()));
+  for (const auto& slot : opt.slots) {
+    PutU32(&payload, static_cast<uint32_t>(slot.size()));
+    for (const auto& buffer : slot) {
+      PutU64(&payload, buffer.size());
+      PutBytes(&payload, buffer.data(), buffer.size() * sizeof(float));
+    }
+  }
+  return payload;
+}
+
+util::Status ParsePayload(const std::string& payload, Module* module,
+                          TrainingState* staged_state,
+                          OptimizerState* staged_opt,
+                          internal::StagedModule* staged_module) {
+  PayloadReader reader(payload);
+  util::Status s;
+  if (s = reader.I64(&staged_state->next_epoch, "next_epoch"); !s.ok())
+    return s;
+  if (s = reader.I64(&staged_state->global_step, "global_step"); !s.ok())
+    return s;
+  if (s = reader.I64(&staged_state->skipped_batches, "skipped_batches");
+      !s.ok())
+    return s;
+  if (s = reader.I64(&staged_state->nonfinite_losses, "nonfinite_losses");
+      !s.ok())
+    return s;
+  if (s = reader.F64(&staged_state->best_val, "best_val"); !s.ok()) return s;
+  if (s = reader.I64(&staged_state->best_epoch, "best_epoch"); !s.ok())
+    return s;
+  for (uint64_t& word : staged_state->rng.s) {
+    if (s = reader.U64(&word, "rng state"); !s.ok()) return s;
+  }
+  uint32_t has_cached = 0;
+  if (s = reader.U32(&has_cached, "rng cache flag"); !s.ok()) return s;
+  staged_state->rng.has_cached_normal = has_cached != 0;
+  if (s = reader.F64(&staged_state->rng.cached_normal, "rng cached normal");
+      !s.ok())
+    return s;
+  // Module section.
+  uint64_t module_size = 0;
+  if (s = reader.U64(&module_size, "module section size"); !s.ok()) return s;
+  if (module_size > reader.remaining()) {
+    return util::DataLossError(
+        "checkpoint module section claims " + std::to_string(module_size) +
+        " byte(s) but only " + std::to_string(reader.remaining()) +
+        " remain at offset " + std::to_string(reader.pos()));
+  }
+  std::string module_bytes(module_size, '\0');
+  if (s = reader.Bytes(module_bytes.data(), module_size, "module section");
+      !s.ok())
+    return s;
+  std::istringstream module_is(module_bytes, std::ios::binary);
+  if (s = internal::StageModule(module, module_is, staged_module); !s.ok())
+    return s;
+  // Optimizer state.
+  if (s = reader.Str(&staged_opt->kind, "optimizer kind"); !s.ok()) return s;
+  if (s = reader.I64(&staged_opt->step_count, "optimizer step count"); !s.ok())
+    return s;
+  uint32_t num_slots = 0;
+  if (s = reader.U32(&num_slots, "optimizer slot count"); !s.ok()) return s;
+  staged_opt->slots.assign(num_slots, {});
+  for (uint32_t slot = 0; slot < num_slots; ++slot) {
+    uint32_t num_buffers = 0;
+    if (s = reader.U32(&num_buffers, "optimizer buffer count"); !s.ok())
+      return s;
+    staged_opt->slots[slot].assign(num_buffers, {});
+    for (uint32_t i = 0; i < num_buffers; ++i) {
+      uint64_t count = 0;
+      if (s = reader.U64(&count, "optimizer buffer size"); !s.ok()) return s;
+      if (count > reader.remaining() / sizeof(float)) {
+        return util::DataLossError(
+            "checkpoint optimizer buffer claims " + std::to_string(count) +
+            " float(s) but only " + std::to_string(reader.remaining()) +
+            " byte(s) remain at offset " + std::to_string(reader.pos()));
+      }
+      staged_opt->slots[slot][i].resize(count);
+      if (s = reader.Bytes(staged_opt->slots[slot][i].data(),
+                           count * sizeof(float), "optimizer buffer");
+          !s.ok())
+        return s;
+    }
+  }
+  if (reader.remaining() != 0) {
+    return util::DataLossError("checkpoint payload has " +
+                               std::to_string(reader.remaining()) +
+                               " trailing byte(s) after optimizer state");
+  }
+  return util::OkStatus();
+}
+
+#ifdef __unix__
+util::Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return util::IoError("cannot reopen '" + path + "' for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return util::IoError("fsync of '" + path + "' failed");
+  return util::OkStatus();
+}
+#endif
+
+}  // namespace
+
+bool CheckpointExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+util::Status SaveTrainingCheckpoint(const std::string& path,
+                                    const Module& module,
+                                    const Optimizer& optimizer,
+                                    const TrainingState& state) {
+  const std::string payload = BuildPayload(module, optimizer, state);
+  const uint32_t crc = util::Crc32(payload);
+
+  const std::string tmp_path = path + ".tmp";
+  // Any failure past this point must not leave a stray temp file behind.
+  auto fail = [&tmp_path](util::Status s) {
+    std::remove(tmp_path.c_str());
+    return s;
+  };
+  if (util::Status s = util::InjectFault("checkpoint.open_tmp"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      return util::IoError("cannot open '" + tmp_path + "' for writing");
+    }
+    std::string header;
+    PutU32(&header, kCheckpointMagic);
+    PutU32(&header, kCheckpointVersion);
+    PutU64(&header, payload.size());
+    PutU32(&header, crc);
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    if (util::Status s = util::InjectFault("checkpoint.write"); !s.ok()) {
+      return fail(std::move(s));
+    }
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (util::Status s = util::InjectFault("checkpoint.flush"); !s.ok()) {
+      return fail(std::move(s));
+    }
+    if (!os) return fail(util::IoError("write to '" + tmp_path + "' failed"));
+  }
+#ifdef __unix__
+  // Durability: the data must be on disk *before* the rename publishes it.
+  if (util::Status s = FsyncPath(tmp_path); !s.ok()) return fail(std::move(s));
+#endif
+  if (util::Status s = util::InjectFault("checkpoint.rename"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail(util::IoError("atomic rename '" + tmp_path + "' -> '" + path +
+                              "' failed"));
+  }
+  return util::OkStatus();
+}
+
+util::Status LoadTrainingCheckpoint(const std::string& path, Module* module,
+                                    Optimizer* optimizer,
+                                    TrainingState* state) {
+  if (util::Status s = util::InjectFault("checkpoint.read.open"); !s.ok()) {
+    return s;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return util::NotFoundError("cannot open checkpoint '" + path + "'");
+  std::ostringstream buffer(std::ios::binary);
+  buffer << is.rdbuf();
+  if (util::Status s = util::InjectFault("checkpoint.read"); !s.ok()) return s;
+  if (is.bad()) return util::IoError("read of checkpoint '" + path + "' failed");
+  const std::string file = buffer.str();
+
+  if (file.size() < kHeaderSize) {
+    return util::DataLossError("checkpoint '" + path + "' is " +
+                               std::to_string(file.size()) +
+                               " byte(s), smaller than the " +
+                               std::to_string(kHeaderSize) + "-byte header");
+  }
+  uint32_t magic = 0, version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  std::memcpy(&magic, file.data(), 4);
+  std::memcpy(&version, file.data() + 4, 4);
+  std::memcpy(&payload_size, file.data() + 8, 8);
+  std::memcpy(&crc, file.data() + 16, 4);
+  if (magic != kCheckpointMagic) {
+    return util::DataLossError("checkpoint '" + path + "' has bad magic " +
+                               std::to_string(magic) + ", expected " +
+                               std::to_string(kCheckpointMagic));
+  }
+  if (version != kCheckpointVersion) {
+    return util::FailedPreconditionError(
+        "checkpoint '" + path + "' is format version " +
+        std::to_string(version) + ", this build reads version " +
+        std::to_string(kCheckpointVersion));
+  }
+  if (file.size() - kHeaderSize != payload_size) {
+    return util::DataLossError(
+        "checkpoint '" + path + "' header claims a " +
+        std::to_string(payload_size) + "-byte payload but " +
+        std::to_string(file.size() - kHeaderSize) + " byte(s) follow");
+  }
+  const std::string payload = file.substr(kHeaderSize);
+  const uint32_t computed = util::Crc32(payload);
+  if (computed != crc) {
+    return util::DataLossError(
+        "checkpoint '" + path + "' payload CRC mismatch: stored " +
+        std::to_string(crc) + ", computed " + std::to_string(computed) +
+        " (corrupted file)");
+  }
+
+  // Stage everything; commit only when nothing can fail anymore.
+  TrainingState staged_state;
+  OptimizerState staged_opt;
+  internal::StagedModule staged_module;
+  if (util::Status s = ParsePayload(payload, module, &staged_state,
+                                    &staged_opt, &staged_module);
+      !s.ok()) {
+    return util::Status(s.code(), "checkpoint '" + path + "': " + s.message());
+  }
+  // ImportState validates against the live optimizer before mutating it, so
+  // it is the last fallible step; the module and state commits below cannot
+  // fail.
+  if (util::Status s = optimizer->ImportState(staged_opt); !s.ok()) {
+    return util::Status(s.code(), "checkpoint '" + path + "': " + s.message());
+  }
+  internal::CommitModule(module, std::move(staged_module));
+  *state = staged_state;
+  return util::OkStatus();
+}
+
+}  // namespace qpe::nn

@@ -8,6 +8,40 @@ void Optimizer::ZeroGrad() {
   for (Tensor p : params_) p.ZeroGrad();
 }
 
+util::Status Optimizer::ValidateState(const OptimizerState& state,
+                                      const std::string& expected_kind,
+                                      size_t expected_slots) const {
+  if (state.kind != expected_kind) {
+    return util::FailedPreconditionError(
+        "optimizer state kind '" + state.kind + "' does not match '" +
+        expected_kind + "'");
+  }
+  if (state.slots.size() != expected_slots) {
+    return util::FailedPreconditionError(
+        "optimizer state has " + std::to_string(state.slots.size()) +
+        " slot(s), expected " + std::to_string(expected_slots));
+  }
+  for (size_t slot = 0; slot < state.slots.size(); ++slot) {
+    if (state.slots[slot].size() != params_.size()) {
+      return util::FailedPreconditionError(
+          "optimizer slot " + std::to_string(slot) + " covers " +
+          std::to_string(state.slots[slot].size()) + " parameter(s), expected " +
+          std::to_string(params_.size()));
+    }
+    for (size_t i = 0; i < params_.size(); ++i) {
+      const size_t expected = static_cast<size_t>(params_[i].numel());
+      if (state.slots[slot][i].size() != expected) {
+        return util::FailedPreconditionError(
+            "optimizer slot " + std::to_string(slot) + " parameter " +
+            std::to_string(i) + " has " +
+            std::to_string(state.slots[slot][i].size()) +
+            " element(s), expected " + std::to_string(expected));
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
 Sgd::Sgd(std::vector<Tensor> params, float lr, float momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
   if (momentum_ > 0) {
@@ -35,6 +69,22 @@ void Sgd::Step() {
       }
     }
   }
+}
+
+OptimizerState Sgd::ExportState() const {
+  OptimizerState state;
+  state.kind = "sgd";
+  if (momentum_ > 0) state.slots = {velocity_};
+  return state;
+}
+
+util::Status Sgd::ImportState(const OptimizerState& state) {
+  const size_t expected_slots = momentum_ > 0 ? 1 : 0;
+  if (util::Status s = ValidateState(state, "sgd", expected_slots); !s.ok()) {
+    return s;
+  }
+  if (momentum_ > 0) velocity_ = state.slots[0];
+  return util::OkStatus();
 }
 
 Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
@@ -70,6 +120,22 @@ void Adam::Step() {
       value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
+}
+
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.kind = "adam";
+  state.step_count = step_count_;
+  state.slots = {m_, v_};
+  return state;
+}
+
+util::Status Adam::ImportState(const OptimizerState& state) {
+  if (util::Status s = ValidateState(state, "adam", 2); !s.ok()) return s;
+  step_count_ = static_cast<int>(state.step_count);
+  m_ = state.slots[0];
+  v_ = state.slots[1];
+  return util::OkStatus();
 }
 
 }  // namespace qpe::nn

@@ -1,11 +1,24 @@
 #ifndef QPE_NN_OPTIMIZER_H_
 #define QPE_NN_OPTIMIZER_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "nn/tensor.h"
+#include "util/status.h"
 
 namespace qpe::nn {
+
+// Serializable snapshot of an optimizer's mutable state. `kind` guards
+// against restoring, say, Adam moments into an Sgd; `slots` is one vector
+// of per-parameter buffers per state kind (Sgd momentum: {velocity};
+// Adam: {m, v}). Checkpoint/resume round-trips this bit-exactly.
+struct OptimizerState {
+  std::string kind;
+  int64_t step_count = 0;
+  std::vector<std::vector<std::vector<float>>> slots;
+};
 
 // Optimizers update parameter values in place from accumulated gradients,
 // then expect ZeroGradAll() (or Module::ZeroGrad) before the next step.
@@ -17,9 +30,21 @@ class Optimizer {
   virtual void Step() = 0;
   void ZeroGrad();
 
+  // Snapshot / restore of moments and step counters for checkpointing.
+  // ImportState validates kind, slot count, and every buffer size against
+  // this optimizer and mutates nothing on mismatch.
+  virtual OptimizerState ExportState() const = 0;
+  virtual util::Status ImportState(const OptimizerState& state) = 0;
+
   const std::vector<Tensor>& params() const { return params_; }
 
  protected:
+  // Shared ImportState validation: checks `kind` and that each slot has one
+  // correctly-sized buffer per parameter.
+  util::Status ValidateState(const OptimizerState& state,
+                             const std::string& expected_kind,
+                             size_t expected_slots) const;
+
   std::vector<Tensor> params_;
 };
 
@@ -28,6 +53,8 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
 
   void Step() override;
+  OptimizerState ExportState() const override;
+  util::Status ImportState(const OptimizerState& state) override;
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
@@ -44,6 +71,8 @@ class Adam : public Optimizer {
        float beta2 = 0.999f, float eps = 1e-8f);
 
   void Step() override;
+  OptimizerState ExportState() const override;
+  util::Status ImportState(const OptimizerState& state) override;
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }

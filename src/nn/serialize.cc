@@ -2,6 +2,10 @@
 
 #include <cstdint>
 #include <fstream>
+#include <utility>
+#include <vector>
+
+#include "util/fault_injection.h"
 
 namespace qpe::nn {
 
@@ -46,39 +50,128 @@ void SaveModule(const Module& module, std::ostream& os) {
   }
 }
 
-bool LoadModule(Module* module, std::istream& is) {
+namespace internal {
+
+util::Status StageModule(Module* module, std::istream& is,
+                         StagedModule* staged) {
   uint32_t magic = 0, count = 0;
-  if (!ReadU32(is, &magic) || magic != kMagic) return false;
-  if (!ReadU32(is, &count)) return false;
+  if (!ReadU32(is, &magic)) {
+    return util::DataLossError("module stream truncated in header");
+  }
+  if (magic != kMagic) {
+    return util::DataLossError("bad module magic " + std::to_string(magic) +
+                               ", expected " + std::to_string(kMagic));
+  }
+  if (!ReadU32(is, &count)) {
+    return util::DataLossError("module stream truncated in parameter count");
+  }
   auto named = module->NamedParameters();
-  if (count != named.size()) return false;
-  for (auto& [name, tensor] : named) {
+  if (count != named.size()) {
+    return util::FailedPreconditionError(
+        "module stream has " + std::to_string(count) +
+        " parameter(s), destination module has " +
+        std::to_string(named.size()));
+  }
+  // Stage phase: parse and validate every tensor against the destination
+  // before touching any of its storage, so a failure anywhere leaves the
+  // module byte-identical to its pre-call state.
+  staged->values.assign(named.size(), {});
+  for (size_t i = 0; i < named.size(); ++i) {
+    const auto& [name, tensor] = named[i];
     std::string stored_name;
     uint32_t rows = 0, cols = 0;
-    if (!ReadString(is, &stored_name) || stored_name != name) return false;
-    if (!ReadU32(is, &rows) || !ReadU32(is, &cols)) return false;
+    if (!ReadString(is, &stored_name)) {
+      return util::DataLossError("module stream truncated in name of tensor " +
+                                 std::to_string(i) + " ('" + name + "')");
+    }
+    if (stored_name != name) {
+      return util::FailedPreconditionError(
+          "tensor " + std::to_string(i) + " is named '" + stored_name +
+          "' in the stream but '" + name + "' in the module");
+    }
+    if (!ReadU32(is, &rows) || !ReadU32(is, &cols)) {
+      return util::DataLossError("module stream truncated in shape of '" +
+                                 name + "'");
+    }
     if (static_cast<int>(rows) != tensor.rows() ||
         static_cast<int>(cols) != tensor.cols()) {
-      return false;
+      return util::FailedPreconditionError(
+          "tensor '" + name + "' is [" + std::to_string(rows) + ", " +
+          std::to_string(cols) + "] in the stream but [" +
+          std::to_string(tensor.rows()) + ", " + std::to_string(tensor.cols()) +
+          "] in the module");
     }
-    is.read(reinterpret_cast<char*>(tensor.value().data()),
-            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
-    if (!is) return false;
+    staged->values[i].resize(static_cast<size_t>(tensor.numel()));
+    is.read(
+        reinterpret_cast<char*>(staged->values[i].data()),
+        static_cast<std::streamsize>(staged->values[i].size() * sizeof(float)));
+    if (!is) {
+      return util::DataLossError("module stream truncated in data of '" +
+                                 name + "'");
+    }
   }
-  return true;
+  return util::OkStatus();
+}
+
+void CommitModule(Module* module, StagedModule&& staged) {
+  auto named = module->NamedParameters();
+  for (size_t i = 0; i < named.size(); ++i) {
+    named[i].second.value() = std::move(staged.values[i]);
+  }
+}
+
+}  // namespace internal
+
+util::Status LoadModuleStatus(Module* module, std::istream& is) {
+  if (util::Status s = util::InjectFault("module.load.read"); !s.ok()) {
+    return s;
+  }
+  internal::StagedModule staged;
+  if (util::Status s = internal::StageModule(module, is, &staged); !s.ok()) {
+    return s;
+  }
+  internal::CommitModule(module, std::move(staged));
+  return util::OkStatus();
+}
+
+util::Status SaveModuleToFileStatus(const Module& module,
+                                    const std::string& path) {
+  if (util::Status s = util::InjectFault("module.save.open"); !s.ok()) {
+    return s;
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return util::IoError("cannot open '" + path + "' for writing");
+  SaveModule(module, os);
+  if (util::Status s = util::InjectFault("module.save.write"); !s.ok()) {
+    return s;
+  }
+  if (!os) return util::IoError("write to '" + path + "' failed");
+  return util::OkStatus();
+}
+
+util::Status LoadModuleFromFileStatus(Module* module, const std::string& path) {
+  if (util::Status s = util::InjectFault("module.load.open"); !s.ok()) {
+    return s;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return util::NotFoundError("cannot open '" + path + "'");
+  util::Status s = LoadModuleStatus(module, is);
+  if (!s.ok()) {
+    return util::Status(s.code(), "'" + path + "': " + s.message());
+  }
+  return s;
+}
+
+bool LoadModule(Module* module, std::istream& is) {
+  return LoadModuleStatus(module, is).ok();
 }
 
 bool SaveModuleToFile(const Module& module, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
-  SaveModule(module, os);
-  return static_cast<bool>(os);
+  return SaveModuleToFileStatus(module, path).ok();
 }
 
 bool LoadModuleFromFile(Module* module, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  return LoadModule(module, is);
+  return LoadModuleFromFileStatus(module, path).ok();
 }
 
 bool CopyParameters(const Module& source, Module* dest) {
@@ -91,6 +184,8 @@ bool CopyParameters(const Module& source, Module* dest) {
         src[i].second.cols() != dst[i].second.cols()) {
       return false;
     }
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
     dst[i].second.value() = src[i].second.value();
   }
   return true;

@@ -113,33 +113,39 @@ void SerializeNode(const PlanNode& node, std::ostringstream& oss) {
   oss << ")";
 }
 
-// Tiny recursive-descent parser over the s-expression format.
+// Tiny recursive-descent parser over the s-expression format. The first
+// failure is recorded with its reason and byte offset (see error()), so
+// callers can report *where* a corrupt plan text broke instead of just
+// returning nullptr.
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
 
   std::unique_ptr<PlanNode> ParseNode() {
     SkipWs();
-    if (!Consume('(')) return nullptr;
+    if (!Consume('(')) return Fail("expected '(' opening a plan node");
     SkipWs();
-    if (!ConsumeWord("op")) return nullptr;
+    if (!ConsumeWord("op")) return Fail("expected 'op' keyword");
     SkipWs();
     const std::string type_token = ParseQuoted();
     auto node = std::make_unique<PlanNode>(OperatorType::Parse(type_token));
     while (true) {
       SkipWs();
-      if (pos_ >= text_.size()) return nullptr;
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated plan node (missing ')')");
+      }
       if (text_[pos_] == ')') {
         ++pos_;
         return node;
       }
       if (text_[pos_] == '(') {
         auto child = ParseNode();
-        if (!child) return nullptr;
+        if (!child) return nullptr;  // error already recorded
         node->AddChild(std::move(child));
         continue;
       }
       if (text_[pos_] == ':') {
+        const size_t key_pos = pos_;
         ++pos_;
         const std::string key = ParseWord();
         SkipWs();
@@ -156,12 +162,24 @@ class Parser {
             break;
           }
         }
-        if (!found) return nullptr;  // unknown property
+        if (!found) {
+          return FailAt("unknown property '" + key + "'", key_pos);
+        }
         continue;
       }
-      return nullptr;  // unexpected character
+      return Fail(std::string("unexpected character '") + text_[pos_] + "'");
     }
   }
+
+  // Records the first error (later ones are symptoms of the first).
+  std::nullptr_t Fail(const std::string& reason) { return FailAt(reason, pos_); }
+  std::nullptr_t FailAt(const std::string& reason, size_t pos) {
+    if (error_.empty()) {
+      error_ = reason + " at offset " + std::to_string(pos);
+    }
+    return nullptr;
+  }
+  const std::string& error() const { return error_; }
 
   bool Consume(char c) {
     if (pos_ < text_.size() && text_[pos_] == c) {
@@ -209,6 +227,7 @@ class Parser {
  private:
   const std::string& text_;
   size_t pos_ = 0;
+  std::string error_;
 };
 
 }  // namespace
@@ -232,20 +251,32 @@ std::string SerializePlan(const Plan& plan) {
   return oss.str();
 }
 
-std::unique_ptr<PlanNode> ParsePlanNode(const std::string& text) {
+util::StatusOr<std::unique_ptr<PlanNode>> ParsePlanNodeChecked(
+    const std::string& text) {
   Parser parser(text);
-  return parser.ParseNode();
+  auto node = parser.ParseNode();
+  if (!node) {
+    return util::DataLossError("plan node parse failed: " + parser.error());
+  }
+  return node;
 }
 
-std::optional<Plan> ParsePlan(const std::string& text) {
+util::StatusOr<Plan> ParsePlanChecked(const std::string& text) {
   Parser parser(text);
+  auto fail = [&parser](const std::string& reason) {
+    return util::DataLossError("plan parse failed: " + reason + " at offset " +
+                               std::to_string(parser.pos()));
+  };
   parser.SkipWs();
-  if (!parser.Consume('(')) return std::nullopt;
+  if (!parser.Consume('(')) return fail("expected '(' opening the plan");
   parser.SkipWs();
-  if (!parser.ConsumeWord("plan")) return std::nullopt;
+  if (!parser.ConsumeWord("plan")) return fail("expected 'plan' keyword");
   Plan plan;
   while (true) {
     parser.SkipWs();
+    if (parser.pos() >= text.size()) {
+      return fail("unterminated plan (missing ')')");
+    }
     if (parser.Consume(')')) break;
     if (parser.Consume(':')) {
       const std::string key = parser.ParseWord();
@@ -258,14 +289,27 @@ std::optional<Plan> ParsePlan(const std::string& text) {
       } else if (key == "cluster") {
         plan.cluster_id = std::atoi(value.c_str());
       } else {
-        return std::nullopt;
+        return fail("unknown plan attribute '" + key + "'");
       }
       continue;
     }
     plan.root = parser.ParseNode();
-    if (!plan.root) return std::nullopt;
+    if (!plan.root) {
+      return util::DataLossError("plan parse failed: " + parser.error());
+    }
   }
   return plan;
+}
+
+std::unique_ptr<PlanNode> ParsePlanNode(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseNode();
+}
+
+std::optional<Plan> ParsePlan(const std::string& text) {
+  auto result = ParsePlanChecked(text);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.value());
 }
 
 }  // namespace qpe::plan

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "plan/plan_node.h"
+#include "util/status.h"
 
 namespace qpe::plan {
 
@@ -17,7 +18,14 @@ namespace qpe::plan {
 std::string SerializePlanNode(const PlanNode& node);
 std::string SerializePlan(const Plan& plan);
 
-// Returns nullptr / nullopt on malformed input.
+// Checked parsers: on malformed input the Status names the reason and the
+// byte offset of the first error (e.g. "unknown property 'bogus' at offset
+// 42"), so a corrupt corpus line is diagnosable instead of a bare nullopt.
+util::StatusOr<std::unique_ptr<PlanNode>> ParsePlanNodeChecked(
+    const std::string& text);
+util::StatusOr<Plan> ParsePlanChecked(const std::string& text);
+
+// Legacy wrappers: nullptr / nullopt on malformed input, diagnostics dropped.
 std::unique_ptr<PlanNode> ParsePlanNode(const std::string& text);
 std::optional<Plan> ParsePlan(const std::string& text);
 

@@ -1,0 +1,22 @@
+#ifndef QPE_UTIL_CHECKSUM_H_
+#define QPE_UTIL_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qpe::util {
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Guards checkpoint
+// payloads against silent corruption: a single bit flip anywhere in the
+// payload changes the checksum. Incremental use: pass the previous result
+// as `seed` to extend a running checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace qpe::util
+
+#endif  // QPE_UTIL_CHECKSUM_H_

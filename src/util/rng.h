@@ -6,6 +6,15 @@
 
 namespace qpe::util {
 
+// Complete serializable snapshot of an Rng stream, including the Box-Muller
+// cache so a restored stream replays *exactly* — checkpoint/resume of a
+// training run depends on this being bit-faithful.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 // Deterministic, seedable pseudo-random number generator (xoshiro256**).
 // Every stochastic component in the library takes an explicit Rng (or a
 // seed) so that datasets, plans, and training runs are reproducible.
@@ -49,6 +58,10 @@ class Rng {
   // Forks an independent stream seeded from this one (stable given call
   // order). Useful for giving each subsystem its own stream.
   Rng Fork();
+
+  // Snapshot / restore of the full generator state (for checkpointing).
+  RngState GetState() const;
+  void SetState(const RngState& state);
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,548 @@
+// Fault-tolerance tests: crash-safe checkpoint format (corruption matrix),
+// transactional loading (zero mutation on any failure), deterministic fault
+// injection through every IO site, and bit-exact interrupt/resume for all
+// three training loops.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "data/plan_corpus.h"
+#include "encoder/performance_encoder.h"
+#include "encoder/ppsr.h"
+#include "encoder/structure_encoder.h"
+#include "gtest/gtest.h"
+#include "nn/checkpoint.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace qpe::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<std::vector<float>> AllValues(const Module& module) {
+  std::vector<std::vector<float>> values;
+  for (const auto& [name, tensor] : module.NamedParameters()) {
+    values.push_back(tensor.value());
+  }
+  return values;
+}
+
+bool SameState(const OptimizerState& a, const OptimizerState& b) {
+  return a.kind == b.kind && a.step_count == b.step_count && a.slots == b.slots;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A tiny perf-encoder dataset with synthetic features so the resume tests
+// run in milliseconds and depend only on the RNG seed.
+encoder::PerfEncoderConfig TinyConfig() {
+  encoder::PerfEncoderConfig config;
+  config.node_dim = 6;
+  config.meta_dim = 3;
+  config.db_dim = 2;
+  config.column_hidden = 8;
+  config.embed_dim = 8;
+  return config;
+}
+
+data::OperatorSample SyntheticSample(util::Rng* rng) {
+  data::OperatorSample sample;
+  for (int i = 0; i < 6; ++i) sample.node_features.push_back(rng->Uniform());
+  for (int i = 0; i < 3; ++i) sample.meta_features.push_back(rng->Uniform());
+  for (int i = 0; i < 2; ++i) sample.db_features.push_back(rng->Uniform());
+  sample.actual_total_time_ms = 1.0 + 40.0 * rng->Uniform();
+  sample.total_cost = 10.0 + 100.0 * rng->Uniform();
+  sample.startup_cost = rng->Uniform();
+  return sample;
+}
+
+data::OperatorDataset SyntheticDataset(int train_n = 48) {
+  util::Rng rng(123);
+  data::OperatorDataset dataset;
+  for (int i = 0; i < train_n; ++i) {
+    dataset.train.push_back(SyntheticSample(&rng));
+  }
+  for (int i = 0; i < 8; ++i) dataset.val.push_back(SyntheticSample(&rng));
+  for (int i = 0; i < 8; ++i) dataset.test.push_back(SyntheticSample(&rng));
+  return dataset;
+}
+
+// Builds a checkpoint with non-trivial Adam moments by running a couple of
+// real training epochs against it.
+struct SavedCheckpoint {
+  std::string path;
+  std::vector<std::vector<float>> model_values;
+};
+
+SavedCheckpoint MakeValidCheckpoint(const char* name) {
+  SavedCheckpoint saved;
+  saved.path = TempPath(name);
+  std::remove(saved.path.c_str());
+  const data::OperatorDataset dataset = SyntheticDataset();
+  util::Rng rng(7);
+  encoder::PerformanceEncoder model(TinyConfig(), &rng);
+  encoder::PerfTrainOptions options;
+  options.epochs = 2;
+  options.checkpoint.path = saved.path;
+  util::Status io_status;
+  options.io_status = &io_status;
+  TrainPerformanceEncoder(&model, dataset, options);
+  EXPECT_TRUE(io_status.ok()) << io_status.ToString();
+  EXPECT_TRUE(CheckpointExists(saved.path));
+  saved.model_values = AllValues(model);
+  return saved;
+}
+
+// A fresh model/optimizer pair that every failed load must leave untouched.
+struct Victim {
+  Victim() : rng(99), model(TinyConfig(), &rng),
+             optimizer(model.Parameters(), 1e-3f) {}
+
+  util::Rng rng;
+  encoder::PerformanceEncoder model;
+  Adam optimizer;
+};
+
+// --- Save/load round trip -------------------------------------------------
+
+TEST(CheckpointTest, RoundTripRestoresModelOptimizerAndState) {
+  const SavedCheckpoint saved =
+      MakeValidCheckpoint("qpe_ckpt_roundtrip.ckpt");
+
+  Victim victim;
+  EXPECT_NE(AllValues(victim.model), saved.model_values);
+  TrainingState state;
+  const util::Status s = LoadTrainingCheckpoint(saved.path, &victim.model,
+                                                &victim.optimizer, &state);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(AllValues(victim.model), saved.model_values);
+  EXPECT_EQ(state.next_epoch, 2);
+  EXPECT_GT(state.global_step, 0);
+  const OptimizerState opt = victim.optimizer.ExportState();
+  EXPECT_EQ(opt.kind, "adam");
+  EXPECT_EQ(opt.step_count, state.global_step);
+  std::remove(saved.path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  Victim victim;
+  TrainingState state;
+  const util::Status s = LoadTrainingCheckpoint(
+      TempPath("qpe_ckpt_never_written.ckpt"), &victim.model,
+      &victim.optimizer, &state);
+  EXPECT_EQ(s.code(), util::StatusCode::kNotFound);
+}
+
+// --- Corruption matrix ----------------------------------------------------
+
+// Every corrupted variant must fail with a descriptive Status and leave the
+// destination model + optimizer byte-identical to their pre-call state.
+void ExpectCleanRejection(const std::string& corrupt_path,
+                          util::StatusCode expected_code,
+                          const std::string& expected_substring) {
+  Victim victim;
+  const auto values_before = AllValues(victim.model);
+  const OptimizerState opt_before = victim.optimizer.ExportState();
+  TrainingState state;
+  state.next_epoch = 41;  // sentinel: must survive the failed load
+  const util::Status s = LoadTrainingCheckpoint(corrupt_path, &victim.model,
+                                                &victim.optimizer, &state);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), expected_code) << s.ToString();
+  EXPECT_NE(s.message().find(expected_substring), std::string::npos)
+      << "missing '" << expected_substring << "' in: " << s.ToString();
+  EXPECT_EQ(AllValues(victim.model), values_before);
+  EXPECT_TRUE(SameState(victim.optimizer.ExportState(), opt_before));
+  EXPECT_EQ(state.next_epoch, 41);
+}
+
+TEST(CheckpointTest, CorruptionMatrixFailsCleanly) {
+  const SavedCheckpoint saved = MakeValidCheckpoint("qpe_ckpt_matrix.ckpt");
+  const std::string bytes = ReadFile(saved.path);
+  constexpr size_t kHeaderSize = 20;  // magic + version + size + crc
+  ASSERT_GT(bytes.size(), kHeaderSize + 64);
+  const std::string corrupt_path = TempPath("qpe_ckpt_matrix_corrupt.ckpt");
+
+  // Zero-length file.
+  WriteFile(corrupt_path, "");
+  ExpectCleanRejection(corrupt_path, util::StatusCode::kDataLoss, "checkpoint");
+
+  // Truncated mid-header.
+  WriteFile(corrupt_path, bytes.substr(0, 10));
+  ExpectCleanRejection(corrupt_path, util::StatusCode::kDataLoss, "checkpoint");
+
+  // Truncated mid-payload: the header's payload size no longer matches.
+  WriteFile(corrupt_path, bytes.substr(0, bytes.size() - 37));
+  ExpectCleanRejection(corrupt_path, util::StatusCode::kDataLoss, "payload");
+
+  // A single flipped bit deep in the payload: caught by the CRC.
+  {
+    std::string flipped = bytes;
+    flipped[kHeaderSize + flipped.size() / 2] ^= 0x10;
+    WriteFile(corrupt_path, flipped);
+    ExpectCleanRejection(corrupt_path, util::StatusCode::kDataLoss,
+                         "CRC mismatch");
+  }
+
+  // Version-field mismatch (CRC still valid: it covers the payload only).
+  {
+    std::string future = bytes;
+    future[4] = 99;  // little-endian u32 version at offset 4
+    WriteFile(corrupt_path, future);
+    ExpectCleanRejection(corrupt_path, util::StatusCode::kFailedPrecondition,
+                         "format version");
+  }
+
+  // Bad magic.
+  {
+    std::string wrong = bytes;
+    wrong[0] ^= 0xFF;
+    WriteFile(corrupt_path, wrong);
+    ExpectCleanRejection(corrupt_path, util::StatusCode::kDataLoss,
+                         "bad magic");
+  }
+
+  std::remove(corrupt_path.c_str());
+  std::remove(saved.path.c_str());
+}
+
+// A checkpoint for a different architecture must be rejected without
+// touching the destination (the shape check runs during staging).
+TEST(CheckpointTest, ArchitectureMismatchRejectedWithoutMutation) {
+  const SavedCheckpoint saved = MakeValidCheckpoint("qpe_ckpt_arch.ckpt");
+  util::Rng rng(5);
+  encoder::PerfEncoderConfig other = TinyConfig();
+  other.embed_dim = 12;  // different merge/head shapes
+  encoder::PerformanceEncoder model(other, &rng);
+  Adam optimizer(model.Parameters(), 1e-3f);
+  const auto values_before = AllValues(model);
+  TrainingState state;
+  const util::Status s =
+      LoadTrainingCheckpoint(saved.path, &model, &optimizer, &state);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition) << s.ToString();
+  EXPECT_EQ(AllValues(model), values_before);
+  std::remove(saved.path.c_str());
+}
+
+// --- Fault injection ------------------------------------------------------
+
+TEST(CheckpointTest, InjectedSaveFaultsLeaveNoFileBehind) {
+  const data::OperatorDataset dataset = SyntheticDataset(16);
+  util::Rng rng(7);
+  encoder::PerformanceEncoder model(TinyConfig(), &rng);
+  Adam optimizer(model.Parameters(), 1e-3f);
+  TrainingState state;
+  const std::string path = TempPath("qpe_ckpt_fault_save.ckpt");
+  std::remove(path.c_str());
+  const std::string tmp_path = path + ".tmp";
+
+  // Walk the fault through every checkpoint-write site (open, write, flush,
+  // rename): each must fail with a descriptive IO Status, leave no final
+  // file, and leak no temp file. Eventually the fault index exceeds the
+  // number of sites and the save succeeds.
+  int failures = 0;
+  bool succeeded = false;
+  for (int nth = 1; nth <= 10 && !succeeded; ++nth) {
+    util::ScopedFaultInjection guard("checkpoint.", nth);
+    const util::Status s = SaveTrainingCheckpoint(path, model, optimizer,
+                                                  state);
+    if (s.ok()) {
+      succeeded = true;
+      break;
+    }
+    ++failures;
+    EXPECT_EQ(s.code(), util::StatusCode::kIo) << s.ToString();
+    EXPECT_NE(s.message().find("injected fault"), std::string::npos)
+        << s.ToString();
+    EXPECT_FALSE(CheckpointExists(path)) << "partial checkpoint after fault";
+    EXPECT_FALSE(CheckpointExists(tmp_path)) << "leaked temp file";
+  }
+  EXPECT_TRUE(succeeded) << "save never recovered past the fault sweep";
+  EXPECT_GE(failures, 3);  // at least open/write/rename are separate sites
+  EXPECT_TRUE(CheckpointExists(path));
+  EXPECT_FALSE(CheckpointExists(tmp_path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, InjectedReadFaultLeavesModelUntouched) {
+  const SavedCheckpoint saved = MakeValidCheckpoint("qpe_ckpt_fault_read.ckpt");
+  Victim victim;
+  const auto values_before = AllValues(victim.model);
+  TrainingState state;
+  util::ScopedFaultInjection guard("checkpoint.read", 1);
+  const util::Status s = LoadTrainingCheckpoint(saved.path, &victim.model,
+                                                &victim.optimizer, &state);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("injected fault"), std::string::npos);
+  EXPECT_EQ(AllValues(victim.model), values_before);
+  std::remove(saved.path.c_str());
+}
+
+// A failed periodic save must not abort training: the error is surfaced via
+// io_status and the run still completes every epoch.
+TEST(CheckpointTest, FailedPeriodicSaveDegradesButTrainingContinues) {
+  const data::OperatorDataset dataset = SyntheticDataset(16);
+  util::Rng rng(7);
+  encoder::PerformanceEncoder model(TinyConfig(), &rng);
+  encoder::PerfTrainOptions options;
+  options.epochs = 3;
+  options.checkpoint.path = TempPath("qpe_ckpt_degrade.ckpt");
+  std::remove(options.checkpoint.path.c_str());
+  util::Status io_status;
+  options.io_status = &io_status;
+  util::ScopedFaultInjection guard("checkpoint.rename", 1);
+  const auto history = TrainPerformanceEncoder(&model, dataset, options);
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_FALSE(io_status.ok());
+  EXPECT_NE(io_status.message().find("injected fault"), std::string::npos);
+  std::remove(options.checkpoint.path.c_str());
+}
+
+// A corrupt resume file must abort the run (zero epochs) instead of being
+// silently overwritten by a fresh training run.
+TEST(CheckpointTest, CorruptResumeFileAbortsInsteadOfOverwriting) {
+  const SavedCheckpoint saved = MakeValidCheckpoint("qpe_ckpt_noclobber.ckpt");
+  std::string bytes = ReadFile(saved.path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  WriteFile(saved.path, bytes);
+
+  const data::OperatorDataset dataset = SyntheticDataset(16);
+  util::Rng rng(7);
+  encoder::PerformanceEncoder model(TinyConfig(), &rng);
+  encoder::PerfTrainOptions options;
+  options.epochs = 3;
+  options.checkpoint.path = saved.path;
+  util::Status io_status;
+  options.io_status = &io_status;
+  const auto history = TrainPerformanceEncoder(&model, dataset, options);
+  EXPECT_TRUE(history.empty());
+  EXPECT_EQ(io_status.code(), util::StatusCode::kDataLoss)
+      << io_status.ToString();
+  EXPECT_EQ(ReadFile(saved.path), bytes) << "corrupt checkpoint was clobbered";
+  std::remove(saved.path.c_str());
+}
+
+// --- Transactional LoadModule (partial-mutation regression) ---------------
+
+TEST(LoadModuleTest, ShapeMismatchLeavesDestinationUntouched) {
+  util::Rng r1(1), r2(2);
+  // First layer matches, second differs: staging must reach the mismatch
+  // only after earlier tensors validated, and still mutate nothing.
+  Mlp source({4, 6, 3}, Activation::kRelu, Activation::kNone, &r1);
+  Mlp dest({4, 6, 4}, Activation::kRelu, Activation::kNone, &r2);
+  std::ostringstream os;
+  SaveModule(source, os);
+  const auto values_before = AllValues(dest);
+
+  std::istringstream is(os.str());
+  EXPECT_FALSE(LoadModule(&dest, is));
+  EXPECT_EQ(AllValues(dest), values_before);
+
+  std::istringstream is2(os.str());
+  const util::Status s = LoadModuleStatus(&dest, is2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kFailedPrecondition) << s.ToString();
+  // The diagnostic names the offending tensor and both shapes.
+  EXPECT_NE(s.message().find("layer1.weight"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(AllValues(dest), values_before);
+}
+
+TEST(LoadModuleTest, TruncatedStreamLeavesDestinationUntouched) {
+  util::Rng r1(3), r2(4);
+  Mlp source({4, 6, 3}, Activation::kRelu, Activation::kNone, &r1);
+  Mlp dest({4, 6, 3}, Activation::kRelu, Activation::kNone, &r2);
+  std::ostringstream os;
+  SaveModule(source, os);
+  const std::string bytes = os.str();
+  const auto values_before = AllValues(dest);
+
+  // Cut in the middle of the last tensor's data.
+  std::istringstream is(bytes.substr(0, bytes.size() - 5));
+  const util::Status s = LoadModuleStatus(&dest, is);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kDataLoss) << s.ToString();
+  EXPECT_NE(s.message().find("truncated"), std::string::npos) << s.ToString();
+  EXPECT_EQ(AllValues(dest), values_before);
+}
+
+// --- Bit-exact interrupt/resume ------------------------------------------
+
+// Acceptance criterion: a run checkpointed and interrupted at epoch k, then
+// resumed, must finish with bit-identical parameters to an uninterrupted
+// run at the same thread count.
+TEST(ResumeTest, PerfEncoderResumeIsBitExact) {
+  const data::OperatorDataset dataset = SyntheticDataset();
+  const std::string path = TempPath("qpe_resume_perf.ckpt");
+  std::remove(path.c_str());
+
+  encoder::PerfTrainOptions uninterrupted;
+  uninterrupted.epochs = 6;
+  uninterrupted.batch_size = 16;
+  util::Rng rng_a(77);
+  encoder::PerformanceEncoder model_a(TinyConfig(), &rng_a);
+  const auto history_a = TrainPerformanceEncoder(&model_a, dataset,
+                                                 uninterrupted);
+  ASSERT_EQ(history_a.size(), 6u);
+
+  // Interrupted run: 3 epochs with checkpointing, then resume to 6.
+  util::Rng rng_b(77);
+  encoder::PerformanceEncoder model_b(TinyConfig(), &rng_b);
+  encoder::PerfTrainOptions first_half = uninterrupted;
+  first_half.epochs = 3;
+  first_half.checkpoint.path = path;
+  util::Status io_status;
+  first_half.io_status = &io_status;
+  ASSERT_EQ(TrainPerformanceEncoder(&model_b, dataset, first_half).size(), 3u);
+  ASSERT_TRUE(io_status.ok()) << io_status.ToString();
+
+  // The resumed process starts from a *fresh* model, as after a crash.
+  util::Rng rng_c(77);
+  encoder::PerformanceEncoder model_c(TinyConfig(), &rng_c);
+  encoder::PerfTrainOptions second_half = uninterrupted;
+  second_half.checkpoint.path = path;
+  second_half.io_status = &io_status;
+  const auto resumed = TrainPerformanceEncoder(&model_c, dataset, second_half);
+  ASSERT_TRUE(io_status.ok()) << io_status.ToString();
+  EXPECT_EQ(resumed.size(), 3u) << "resume should run only epochs 3..5";
+
+  EXPECT_EQ(AllValues(model_c), AllValues(model_a));
+  // And the resumed epochs reproduce the uninterrupted history exactly.
+  for (size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed[i].val_mae_ms, history_a[i + 3].val_mae_ms);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, PpsrResumeIsBitExact) {
+  data::PairDatasetOptions pair_options;
+  pair_options.num_pairs = 20;
+  pair_options.corpus.max_nodes = 12;
+  const data::PlanPairDataset dataset = BuildCorpusPairDataset(pair_options);
+  const std::string path = TempPath("qpe_resume_ppsr.ckpt");
+  std::remove(path.c_str());
+
+  encoder::PpsrTrainOptions uninterrupted;
+  uninterrupted.epochs = 4;
+  util::Rng rng_a(31);
+  encoder::PpsrModel model_a(
+      std::make_unique<encoder::FnnPlanEncoder>(8, 6, &rng_a), &rng_a);
+  TrainPpsr(&model_a, dataset.train, uninterrupted);
+
+  util::Rng rng_b(31);
+  encoder::PpsrModel model_b(
+      std::make_unique<encoder::FnnPlanEncoder>(8, 6, &rng_b), &rng_b);
+  encoder::PpsrTrainOptions first_half = uninterrupted;
+  first_half.epochs = 2;
+  first_half.checkpoint.path = path;
+  encoder::PpsrTrainStats stats;
+  first_half.stats = &stats;
+  TrainPpsr(&model_b, dataset.train, first_half);
+  ASSERT_TRUE(stats.io_status.ok()) << stats.io_status.ToString();
+
+  util::Rng rng_c(31);
+  encoder::PpsrModel model_c(
+      std::make_unique<encoder::FnnPlanEncoder>(8, 6, &rng_c), &rng_c);
+  encoder::PpsrTrainOptions second_half = uninterrupted;
+  second_half.checkpoint.path = path;
+  second_half.stats = &stats;
+  TrainPpsr(&model_c, dataset.train, second_half);
+  ASSERT_TRUE(stats.io_status.ok()) << stats.io_status.ToString();
+  EXPECT_EQ(stats.resumed_from_epoch, 2);
+
+  EXPECT_EQ(AllValues(model_c), AllValues(model_a));
+  std::remove(path.c_str());
+}
+
+TEST(ResumeTest, SparseAutoencoderResumeIsBitExact) {
+  std::vector<std::unique_ptr<plan::PlanNode>> owned;
+  std::vector<const plan::PlanNode*> plans;
+  data::CorpusOptions corpus;
+  corpus.min_nodes = 4;
+  corpus.max_nodes = 14;
+  for (int i = 0; i < 12; ++i) {
+    data::RandomPlanGenerator generator(util::Rng(200 + i), corpus);
+    owned.push_back(generator.Generate());
+    plans.push_back(owned.back().get());
+  }
+  const std::string path = TempPath("qpe_resume_sae.ckpt");
+  std::remove(path.c_str());
+
+  util::Rng rng_a(13);
+  encoder::SparseAutoencoder model_a(8, &rng_a);
+  PretrainSparseAutoencoder(&model_a, plans, 6, 5e-3f, 1, 2);
+
+  util::Rng rng_b(13);
+  encoder::SparseAutoencoder model_b(8, &rng_b);
+  CheckpointConfig checkpoint;
+  checkpoint.path = path;
+  PretrainSparseAutoencoder(&model_b, plans, 3, 5e-3f, 1, 2, checkpoint);
+
+  util::Rng rng_c(13);
+  encoder::SparseAutoencoder model_c(8, &rng_c);
+  PretrainSparseAutoencoder(&model_c, plans, 6, 5e-3f, 1, 2, checkpoint);
+
+  EXPECT_EQ(AllValues(model_c), AllValues(model_a));
+  std::remove(path.c_str());
+}
+
+// --- Loss-spike guard -----------------------------------------------------
+
+TEST(LossSpikeGuardTest, NonFiniteBatchesAreSkippedAndCounted) {
+  data::OperatorDataset dataset = SyntheticDataset();
+  // Poison one training sample with a huge feature value: the squared loss
+  // overflows float to Inf for every batch containing it. (A literal NaN
+  // would be silently squashed by ReLU / label clamping before the loss.)
+  dataset.train[5].node_features[0] = 1e30;
+
+  util::Rng rng(7);
+  encoder::PerformanceEncoder model(TinyConfig(), &rng);
+  encoder::PerfTrainOptions options;
+  options.epochs = 3;
+  options.batch_size = 16;  // 48 samples -> 3 batches, 1 poisoned per epoch
+  const auto history = TrainPerformanceEncoder(&model, dataset, options);
+  ASSERT_EQ(history.size(), 3u);
+
+  int skipped = 0, nonfinite = 0;
+  for (const auto& stats : history) {
+    skipped += stats.skipped_batches;
+    nonfinite += stats.nonfinite_losses;
+  }
+  EXPECT_EQ(skipped, 3) << "exactly the poisoned batch, every epoch";
+  EXPECT_EQ(nonfinite, skipped);
+
+  // The guard kept the poison out of the weights and Adam moments.
+  for (const auto& values : AllValues(model)) {
+    for (float v : values) ASSERT_TRUE(std::isfinite(v));
+  }
+  // Clean validation data still evaluates to a finite MAE.
+  EXPECT_TRUE(std::isfinite(history.back().val_mae_ms));
+}
+
+}  // namespace
+}  // namespace qpe::nn

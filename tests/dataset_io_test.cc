@@ -6,6 +6,9 @@
 #include "config/lhs_sampler.h"
 #include "data/dataset_io.h"
 #include "gtest/gtest.h"
+#include "plan/serialize.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
 #include "simdb/workload_runner.h"
 #include "simdb/workloads.h"
 #include "util/table_printer.h"
@@ -79,6 +82,101 @@ TEST(DatasetIoTest, EmptyFileIsOkAndEmpty) {
   EXPECT_TRUE(ok);
   EXPECT_TRUE(loaded.empty());
   std::remove(path.c_str());
+}
+
+// --- Checked loader diagnostics (line numbers + reason) -------------------
+
+TEST(DatasetIoCheckedTest, ReportsLineNumberOfFirstMalformedRecord) {
+  const auto dataset = SmallDataset();
+  const std::string path = TempPath("qpe_dataset_io_lineno.txt");
+  ASSERT_TRUE(SaveExecutedQueries(dataset, path));
+  {
+    std::ofstream os(path, std::ios::app);
+    os << "this is not a record\n";
+  }
+  const auto loaded = LoadExecutedQueriesChecked(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
+  const std::string expected =
+      "line " + std::to_string(dataset.size() + 1);
+  EXPECT_NE(loaded.status().message().find(expected), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoCheckedTest, ReportsMissingTokenReason) {
+  const std::string path = TempPath("qpe_dataset_io_token.txt");
+  {
+    std::ofstream os(path);
+    os << "(record :latency 1.5 :instance 0)\n";
+  }
+  const auto loaded = LoadExecutedQueriesChecked(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find(":template"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoCheckedTest, ForwardsPlanParseDiagnostics) {
+  const auto dataset = SmallDataset();
+  const std::string path = TempPath("qpe_dataset_io_plan.txt");
+  ASSERT_TRUE(SaveExecutedQueries(dataset, path));
+  // Corrupt the plan section of the saved record: the loader must forward
+  // the plan parser's reason and offset, prefixed with the line number.
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  is.close();
+  const size_t op = line.find("(op ");
+  ASSERT_NE(op, std::string::npos);
+  line.replace(op, 4, "(xx ");
+  {
+    std::ofstream os(path);
+    os << line << "\n";
+  }
+  const auto loaded = LoadExecutedQueriesChecked(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("at offset"), std::string::npos)
+      << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoCheckedTest, MissingFileIsNotFound) {
+  const auto loaded = LoadExecutedQueriesChecked("/no/such/qpe_file.txt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(DatasetIoCheckedTest, SaveFaultInjectionFailsWithIoStatus) {
+  const auto dataset = SmallDataset();
+  const std::string path = TempPath("qpe_dataset_io_fault.txt");
+  util::ScopedFaultInjection guard("dataset.save.open", 1);
+  const util::Status s = SaveExecutedQueriesStatus(dataset, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::StatusCode::kIo);
+  EXPECT_NE(s.message().find("injected fault"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(ParsePlanCheckedTest, UnknownPropertyNamesOffset) {
+  const auto parsed =
+      plan::ParsePlanChecked("(plan :cluster 0 (op \"Sort\" :bogus 1))");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), util::StatusCode::kDataLoss);
+  EXPECT_NE(parsed.status().message().find("unknown property 'bogus'"),
+            std::string::npos)
+      << parsed.status().ToString();
+  EXPECT_NE(parsed.status().message().find("at offset"), std::string::npos);
+}
+
+TEST(ParsePlanCheckedTest, UnterminatedPlanRejected) {
+  const auto parsed =
+      plan::ParsePlanChecked("(plan :cluster 0 (op \"Sort\")");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("unterminated"), std::string::npos)
+      << parsed.status().ToString();
 }
 
 TEST(TablePrinterCsvTest, EscapesAndAligns) {
