@@ -23,7 +23,11 @@
 #include "config/lhs_sampler.h"
 #include "data/dataset_io.h"
 #include "data/datasets.h"
+#include "data/features.h"
+#include "data/plan_corpus.h"
+#include "encoder/encoder_suite.h"
 #include "encoder/performance_encoder.h"
+#include "plan/explain.h"
 #include "simdb/workload_runner.h"
 #include "simdb/workloads.h"
 #include "util/checksum.h"
@@ -44,25 +48,105 @@ uint32_t ModelFingerprint(const qpe::nn::Module& model) {
   return crc;
 }
 
+void PrintEmbedding(const char* label, const qpe::nn::Tensor& embedding) {
+  std::cout << "  " << label << " [" << embedding.cols() << "-d]:";
+  const int show = std::min(8, embedding.cols());
+  for (int c = 0; c < show; ++c) {
+    std::cout << (c == 0 ? " " : ", ")
+              << qpe::util::TablePrinter::Num(embedding.at(0, c), 4);
+  }
+  if (show < embedding.cols()) std::cout << ", ...";
+  std::cout << "\n";
+}
+
+// --ingest mode: parse a foreign EXPLAIN text file, report every repaired
+// defect, and emit the structural + per-group performance embeddings an
+// (untrained) encoder suite produces for it — the end-to-end path a
+// crowdsourced plan would take into the characterization pipeline.
+int RunIngest(const std::string& path, bool strict) {
+  const auto policy = strict ? qpe::plan::IngestionPolicy::kStrict
+                             : qpe::plan::IngestionPolicy::kLenient;
+  auto ingested = qpe::data::IngestExplainFile(path, policy);
+  if (!ingested.ok()) {
+    std::cerr << "ingestion rejected: " << ingested.status().ToString() << "\n";
+    return 1;
+  }
+  const qpe::plan::PlanNode& root = *ingested->plan.root;
+  std::cout << "Ingested " << path << " under the "
+            << (strict ? "strict" : "lenient") << " policy\n"
+            << ingested->stats.ToString() << "\n";
+  if (!ingested->warnings.empty()) {
+    std::cout << "repairs (" << ingested->warnings.total() << " warning(s)):\n"
+              << ingested->warnings.ToString();
+  }
+  std::cout << "\nSanitized plan (" << root.NumNodes() << " nodes, depth "
+            << root.Depth() << "):\n"
+            << qpe::plan::Explain(root) << "\n";
+
+  qpe::encoder::EncoderSuite suite;
+  PrintEmbedding("structural embedding",
+                 suite.structure()->Encode(root, nullptr));
+
+  // Per-group performance embeddings over the summed same-group node
+  // features (§3.2.1); meta features come from the TPC-H catalog (foreign
+  // relation names simply contribute nothing) and the default DbConfig.
+  const qpe::simdb::TpchWorkload tpch(0.05);
+  const qpe::config::DbConfig db_config;
+  const std::vector<double> db = db_config.ToFeatures();
+  const std::vector<double> meta =
+      qpe::data::NodeMetaFeatures(root, tpch.GetCatalog());
+  auto to_tensor = [](const std::vector<double>& values) {
+    std::vector<float> row(values.begin(), values.end());
+    return qpe::nn::Tensor::FromVector(1, static_cast<int>(row.size()), row);
+  };
+  for (const auto group :
+       {qpe::plan::OperatorGroup::kScan, qpe::plan::OperatorGroup::kJoin,
+        qpe::plan::OperatorGroup::kSort, qpe::plan::OperatorGroup::kAggregate}) {
+    std::vector<std::vector<double>> rows;
+    root.Visit([&](const qpe::plan::PlanNode& node) {
+      if (qpe::plan::GroupOf(node.type()) == group) {
+        rows.push_back(qpe::data::NodeFeatures(node));
+      }
+    });
+    if (rows.empty()) continue;
+    const qpe::nn::Tensor embedding =
+        suite.performance(group)->Embed(to_tensor(qpe::data::SumFeatures(rows)),
+                                        to_tensor(meta), to_tensor(db));
+    const std::string label = std::string(qpe::plan::GroupName(group)) +
+                              " performance embedding (" +
+                              std::to_string(rows.size()) + " node(s))";
+    PrintEmbedding(label.c_str(), embedding);
+  }
+  return 0;
+}
+
 }  // namespace
 
 // Usage: workload_explorer [--threads=N] [--checkpoint-dir=DIR] [--resume]
+//                          [--ingest=EXPLAIN.txt [--strict]]
 //                          [scale_factor] [num_configs]
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
   std::string checkpoint_dir;
+  std::string ingest_path;
   bool resume = false;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       qpe::util::SetMaxThreads(std::atoi(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
       checkpoint_dir = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--ingest=", 9) == 0) {
+      ingest_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
+  if (!ingest_path.empty()) return RunIngest(ingest_path, strict);
   if (resume && checkpoint_dir.empty()) {
     std::cerr << "--resume requires --checkpoint-dir=DIR\n";
     return 1;

@@ -8,17 +8,21 @@
 #  2. Exercises the QPE_FAULT environment hook: an injected checkpoint
 #     fault must surface as a descriptive error (non-zero exit), not a
 #     partial file.
-#  3. Crash-resume smoke: kills a checkpointed workload_explorer run
+#  3. Ingestion fuzz sweep: 10k seeded byte-level mutations of EXPLAIN text
+#     plus tree-level corruptions, run under ASan — any crash, leak, or
+#     non-finite embedding from an accepted plan fails the run.
+#  4. Crash-resume smoke: kills a checkpointed workload_explorer run
 #     mid-flight with SIGKILL, resumes it, and requires the resumed run's
 #     model fingerprint to be bit-identical to an uninterrupted run's.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/3] AddressSanitizer robustness suites ==="
+echo "=== [1/4] AddressSanitizer robustness suites ==="
 cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
-  --target checkpoint_test dataset_io_test robustness_test workload_explorer
+  --target checkpoint_test dataset_io_test robustness_test ingestion_test \
+  workload_explorer
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -30,7 +34,20 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
 explorer=./build-asan/examples/workload_explorer
 
 echo
-echo "=== [2/3] Environment-driven fault injection (QPE_FAULT) ==="
+echo "=== [2/4] Ingestion fuzz sweep (10k seeded mutations under ASan) ==="
+# The ingestion suite runs its parser/sanitizer/encoder tests plus two fuzz
+# loops (byte-level EXPLAIN mutations, tree-level corruptions); the fixed
+# seeds inside the tests plus QPE_FUZZ_ITERS make every iteration
+# reproducible. Lenient mode must accept-and-repair without ever producing
+# a non-finite embedding; strict mode must reject with a descriptive Status
+# and never a partial tree.
+QPE_FUZZ_ITERS=10000 \
+  ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/ingestion_test
+echo "ingestion fuzz sweep passed: no crashes, no leaks, finite embeddings"
+
+echo
+echo "=== [3/4] Environment-driven fault injection (QPE_FAULT) ==="
 fault_dir=$(mktemp -d)
 trap 'rm -rf "$fault_dir"' EXIT
 # The very first checkpoint write fails; the run must exit non-zero and
@@ -53,7 +70,7 @@ fi
 echo "injected checkpoint fault surfaced cleanly, no temp file leaked"
 
 echo
-echo "=== [3/3] Crash-resume smoke (SIGKILL mid-run) ==="
+echo "=== [4/4] Crash-resume smoke (SIGKILL mid-run) ==="
 SF=0.2
 CONFIGS=24
 fingerprint() { grep -o "model fingerprint: [0-9]*" | awk '{print $3}'; }
@@ -88,5 +105,5 @@ if [ "$resumed" != "$expected" ]; then
 fi
 
 echo
-echo "Robustness verification passed: ASan clean, faults degrade cleanly,"
-echo "crash-resume is bit-exact."
+echo "Robustness verification passed: ASan clean, ingestion fuzz clean,"
+echo "faults degrade cleanly, crash-resume is bit-exact."

@@ -7,19 +7,43 @@ namespace qpe::data {
 
 namespace {
 
-double L(double v) { return std::log1p(std::max(0.0, v)) / 20.0; }
+// Repairs a raw property value for featurization: non-finite -> 0 (counted),
+// negative count -> 0 (counted). Keeps the graceful-degradation invariant
+// that NodeFeatures never emits a non-finite number.
+double Guard(double v, plan::IngestionStats* stats) {
+  if (!std::isfinite(v)) {
+    if (stats != nullptr) ++stats->nonfinite_values;
+    return 0.0;
+  }
+  if (v < 0) {
+    if (stats != nullptr) ++stats->negative_values;
+    return 0.0;
+  }
+  return v;
+}
+
+// Clamps a categorical code into [lo, hi] (counted as invalid_enums).
+double Cat(int code, int lo, int hi, plan::IngestionStats* stats) {
+  if (code < lo || code > hi) {
+    if (stats != nullptr) ++stats->invalid_enums;
+    return code < lo ? lo : hi;
+  }
+  return code;
+}
 
 }  // namespace
 
-std::vector<double> NodeFeatures(const plan::PlanNode& node) {
+std::vector<double> NodeFeatures(const plan::PlanNode& node,
+                                 plan::IngestionStats* stats) {
   const plan::PlanProperties& p = node.props();
+  auto L = [stats](double v) { return std::log1p(Guard(v, stats)) / 20.0; };
   std::vector<double> f;
   f.reserve(kNodeFeatureDim);
   // --- Common (Table 1 "All") ---
   f.push_back(L(p.actual_loops));
   f.push_back(L(p.actual_rows));
   f.push_back(L(p.plan_rows));
-  f.push_back(p.plan_width / 400.0);
+  f.push_back(Guard(p.plan_width, stats) / 400.0);
   f.push_back(L(p.shared_hit_blocks));
   f.push_back(L(p.shared_read_blocks));
   f.push_back(L(p.shared_dirtied_blocks));
@@ -30,10 +54,10 @@ std::vector<double> NodeFeatures(const plan::PlanNode& node) {
   f.push_back(L(p.local_written_blocks));
   f.push_back(L(p.temp_read_blocks));
   f.push_back(L(p.temp_written_blocks));
-  f.push_back(static_cast<double>(p.parent_relationship) / 5.0);
+  f.push_back(Cat(static_cast<int>(p.parent_relationship), 0, 5, stats) / 5.0);
   f.push_back(L(p.plan_buffers));
   // --- Scan ---
-  f.push_back(p.scan_direction);
+  f.push_back(Cat(p.scan_direction, -1, 1, stats));
   f.push_back(p.has_index_condition ? 1.0 : 0.0);
   f.push_back(p.has_recheck_condition ? 1.0 : 0.0);
   f.push_back(p.has_filter ? 1.0 : 0.0);
@@ -41,7 +65,7 @@ std::vector<double> NodeFeatures(const plan::PlanNode& node) {
   f.push_back(L(p.heap_blocks));
   f.push_back(p.parallel ? 1.0 : 0.0);
   // --- Join ---
-  f.push_back(static_cast<double>(p.join_kind) / 6.0);
+  f.push_back(Cat(static_cast<int>(p.join_kind), 0, 6, stats) / 6.0);
   f.push_back(p.inner_unique ? 1.0 : 0.0);
   f.push_back(p.has_merge_condition ? 1.0 : 0.0);
   f.push_back(p.has_hash_condition ? 1.0 : 0.0);
@@ -49,12 +73,12 @@ std::vector<double> NodeFeatures(const plan::PlanNode& node) {
   f.push_back(L(p.hash_buckets));
   f.push_back(L(p.hash_batches));
   // --- Sort ---
-  f.push_back(static_cast<double>(p.sort_method) / 4.0);
+  f.push_back(Cat(static_cast<int>(p.sort_method), 0, 4, stats) / 4.0);
   f.push_back(L(p.sort_space_used_kb));
   f.push_back(p.sort_space_on_disk ? 1.0 : 0.0);
-  f.push_back(p.num_sort_keys / 8.0);
+  f.push_back(Guard(p.num_sort_keys, stats) / 8.0);
   // --- Aggregate ---
-  f.push_back(static_cast<double>(p.aggregate_strategy) / 4.0);
+  f.push_back(Cat(static_cast<int>(p.aggregate_strategy), 0, 4, stats) / 4.0);
   f.push_back(p.parallel_aware ? 1.0 : 0.0);
   f.push_back(p.partial_mode ? 1.0 : 0.0);
   // --- Shared join/sort/agg ---
@@ -87,7 +111,12 @@ std::vector<double> SumFeatures(const std::vector<std::vector<double>>& rows) {
   return total;
 }
 
-double EncodeLabel(double raw) { return std::log1p(std::max(0.0, raw)) / 15.0; }
+double EncodeLabel(double raw) {
+  // NaN and +/-Inf labels (corrupt foreign actuals) encode as 0, matching
+  // the "treat as absent" degradation everywhere else.
+  if (!std::isfinite(raw)) return 0.0;
+  return std::log1p(std::max(0.0, raw)) / 15.0;
+}
 
 double DecodeLabel(double encoded) {
   // Clamp to the plausible range (0 .. ~5e8 ms): an untrained or diverging

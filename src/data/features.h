@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "config/db_config.h"
 #include "plan/plan_node.h"
+#include "plan/sanitize.h"
 
 namespace qpe::data {
 
@@ -18,7 +19,13 @@ namespace qpe::data {
 // never appear here.
 inline constexpr int kNodeFeatureDim = 40;
 
-std::vector<double> NodeFeatures(const plan::PlanNode& node);
+// Every emitted feature is guaranteed finite regardless of the node's
+// contents: NaN/Inf properties featurize as 0, negative counts clamp to 0,
+// and categorical codes clamp into their enum range. When `stats` is given,
+// each repair is counted there (nonfinite_values / negative_values /
+// invalid_enums) so ingestion can report how degraded a foreign plan was.
+std::vector<double> NodeFeatures(const plan::PlanNode& node,
+                                 plan::IngestionStats* stats = nullptr);
 
 // The union of relations referenced in a node's subtree (a join node
 // "accesses" everything its scans access); used to look up meta features.

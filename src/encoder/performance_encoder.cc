@@ -95,7 +95,13 @@ nn::Tensor RowsToTensor(const std::vector<data::OperatorSample>& samples,
   std::vector<float> data;
   data.reserve(indices.size() * cols);
   for (int i : indices) {
-    for (double v : samples[i].*field) data.push_back(static_cast<float>(v));
+    for (double v : samples[i].*field) {
+      // Last line of defense for foreign samples: a non-finite feature (or
+      // a double that overflows float) becomes 0 instead of poisoning the
+      // whole batch through the matmul.
+      const float fv = static_cast<float>(v);
+      data.push_back(std::isfinite(fv) ? fv : 0.0f);
+    }
   }
   return nn::Tensor::FromVector(static_cast<int>(indices.size()), cols, data);
 }

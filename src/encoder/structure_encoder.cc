@@ -10,15 +10,27 @@ namespace qpe::encoder {
 
 using plan::Taxonomy;
 
+namespace {
+
+// Ingestion hardening: an id outside the vocabulary (a corrupt or
+// unsanitized foreign tree) embeds as the reserved UNKNOWN row instead of
+// reading past the embedding table.
+int ClampId(uint8_t id, int count, int unknown) {
+  return id < count ? id : unknown;
+}
+
+}  // namespace
+
 TokenIds TokensToIds(const std::vector<plan::OperatorType>& tokens) {
+  const Taxonomy& tax = Taxonomy::Get();
   TokenIds ids;
   ids.level1.reserve(tokens.size());
   ids.level2.reserve(tokens.size());
   ids.level3.reserve(tokens.size());
   for (const plan::OperatorType& t : tokens) {
-    ids.level1.push_back(t.level1);
-    ids.level2.push_back(t.level2);
-    ids.level3.push_back(t.level3);
+    ids.level1.push_back(ClampId(t.level1, tax.Level1Count(), tax.unknown1()));
+    ids.level2.push_back(ClampId(t.level2, tax.Level2Count(), tax.unknown2()));
+    ids.level3.push_back(ClampId(t.level3, tax.Level3Count(), tax.unknown3()));
   }
   return ids;
 }
@@ -34,9 +46,12 @@ std::vector<double> BagOfTokens(const plan::PlanNode& root) {
   int nodes = 0;
   root.Visit([&](const plan::PlanNode& n) {
     ++nodes;
-    features[n.type().level1] += 1.0;
-    features[tax.Level1Count() + n.type().level2] += 1.0;
-    features[tax.Level1Count() + tax.Level2Count() + n.type().level3] += 1.0;
+    const plan::OperatorType& t = n.type();
+    features[ClampId(t.level1, tax.Level1Count(), tax.unknown1())] += 1.0;
+    features[tax.Level1Count() +
+             ClampId(t.level2, tax.Level2Count(), tax.unknown2())] += 1.0;
+    features[tax.Level1Count() + tax.Level2Count() +
+             ClampId(t.level3, tax.Level3Count(), tax.unknown3())] += 1.0;
   });
   const double inv = nodes > 0 ? 1.0 / nodes : 0.0;
   for (double& f : features) f *= inv;
@@ -89,7 +104,13 @@ int TransformerPlanEncoder::output_dim() const {
 nn::Tensor TransformerPlanEncoder::EncodeTokens(
     const std::vector<plan::OperatorType>& tokens,
     util::Rng* dropout_rng) const {
-  const TokenIds ids = TokensToIds(tokens);
+  std::vector<plan::OperatorType> bounded = tokens;
+  // Sequences past max_len (adversarially deep foreign plans) truncate
+  // instead of outrunning the positional-encoding table.
+  if (static_cast<int>(bounded.size()) > config_.max_len) {
+    bounded.resize(config_.max_len);
+  }
+  const TokenIds ids = TokensToIds(bounded);
   const nn::Tensor embedded = nn::ConcatCols({embed1_->Forward(ids.level1),
                                           embed2_->Forward(ids.level2),
                                           embed3_->Forward(ids.level3)});

@@ -1,6 +1,7 @@
 #include "plan/plan_node.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace qpe::plan {
 
@@ -13,18 +14,36 @@ PlanNode* PlanNode::AddChild(OperatorType type) {
   return AddChild(std::make_unique<PlanNode>(type));
 }
 
+void PlanNode::TruncateChildren(size_t keep) {
+  if (children_.size() > keep) {
+    children_.resize(keep);
+  }
+}
+
 int PlanNode::NumNodes() const {
-  int count = 1;
-  for (const auto& child : children_) count += child->NumNodes();
+  int count = 0;
+  std::vector<const PlanNode*> stack = {this};
+  while (!stack.empty()) {
+    const PlanNode* node = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const auto& child : node->children_) stack.push_back(child.get());
+  }
   return count;
 }
 
 int PlanNode::Depth() const {
-  int max_child = 0;
-  for (const auto& child : children_) {
-    max_child = std::max(max_child, child->Depth());
+  int max_depth = 0;
+  std::vector<std::pair<const PlanNode*, int>> stack = {{this, 1}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (const auto& child : node->children_) {
+      stack.emplace_back(child.get(), depth + 1);
+    }
   }
-  return 1 + max_child;
+  return max_depth;
 }
 
 std::unique_ptr<PlanNode> PlanNode::Clone() const {

@@ -134,6 +134,12 @@ class PlanNode {
   PlanNode* AddChild(std::unique_ptr<PlanNode> child);
   PlanNode* AddChild(OperatorType type);
 
+  // Deterministically drops all children past the first `keep` (ingestion
+  // fan-out cap); DropChildren removes the whole child list (depth cap).
+  void TruncateChildren(size_t keep);
+  void DropChildren() { TruncateChildren(0); }
+
+  // Iterative — safe on pathologically deep (foreign / fuzzed) trees.
   int NumNodes() const;
   int Depth() const;
 

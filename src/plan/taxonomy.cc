@@ -12,18 +12,22 @@ Taxonomy::Taxonomy() {
              "LockRows",   "Loop",      "Materialize", "ModifyTable", "Network",
              "Result",     "Scan",      "Sequence",  "SetOp",     "Sort",
              "Union",      "Unique",    "Update",    "Window",    "WindowAgg",
-             "BR_OPEN",    "BR_CLOSE",  "CLS",       "SEP"};
+             "BR_OPEN",    "BR_CLOSE",  "CLS",       "SEP",       "UNKNOWN"};
   level2_ = {"NIL",   "And",      "CTE",    "Except", "Exists", "Foreign",
              "Hash",  "Heap",     "Index",  "IndexOnly", "LoopHash", "Merge",
              "Nested", "Or",      "Query",  "Quick",  "Seq",    "SetOp",
-             "Subquery", "Table", "WorkTable"};
+             "Subquery", "Table", "WorkTable", "UNKNOWN"};
   level3_ = {"NIL",  "Anti",    "Bitmap",  "Full",     "Inner", "Left",
              "Outer", "Parallel", "Partial", "Partition", "Right", "Semi",
-             "XN"};
-  br_open_ = Level1Id("BR_OPEN");
-  br_close_ = Level1Id("BR_CLOSE");
-  cls_ = Level1Id("CLS");
-  sep_ = Level1Id("SEP");
+             "XN",    "UNKNOWN"};
+  // UNKNOWN tokens are appended last so every pre-existing id is stable.
+  br_open_ = LookupId(level1_, "BR_OPEN");
+  br_close_ = LookupId(level1_, "BR_CLOSE");
+  cls_ = LookupId(level1_, "CLS");
+  sep_ = LookupId(level1_, "SEP");
+  unknown1_ = LookupId(level1_, "UNKNOWN");
+  unknown2_ = LookupId(level2_, "UNKNOWN");
+  unknown3_ = LookupId(level3_, "UNKNOWN");
 }
 
 const Taxonomy& Taxonomy::Get() {
@@ -40,12 +44,25 @@ int Taxonomy::LookupId(const std::vector<std::string>& names,
 }
 
 int Taxonomy::Level1Id(const std::string& name) const {
-  return LookupId(level1_, name);
+  const int id = LookupId(level1_, name);
+  return id < 0 ? unknown1_ : id;
 }
 int Taxonomy::Level2Id(const std::string& name) const {
-  return LookupId(level2_, name);
+  const int id = LookupId(level2_, name);
+  return id < 0 ? unknown2_ : id;
 }
 int Taxonomy::Level3Id(const std::string& name) const {
+  const int id = LookupId(level3_, name);
+  return id < 0 ? unknown3_ : id;
+}
+
+int Taxonomy::FindLevel1(const std::string& name) const {
+  return LookupId(level1_, name);
+}
+int Taxonomy::FindLevel2(const std::string& name) const {
+  return LookupId(level2_, name);
+}
+int Taxonomy::FindLevel3(const std::string& name) const {
   return LookupId(level3_, name);
 }
 
@@ -53,12 +70,15 @@ OperatorType OperatorType::FromNames(const std::string& l1,
                                      const std::string& l2,
                                      const std::string& l3) {
   const Taxonomy& tax = Taxonomy::Get();
-  auto id_or_nil = [](int id) -> uint8_t {
-    return id < 0 ? 0 : static_cast<uint8_t>(id);
-  };
-  return OperatorType(id_or_nil(l1.empty() ? 0 : tax.Level1Id(l1)),
-                      id_or_nil(l2.empty() ? 0 : tax.Level2Id(l2)),
-                      id_or_nil(l3.empty() ? 0 : tax.Level3Id(l3)));
+  return OperatorType(
+      static_cast<uint8_t>(l1.empty() ? 0 : tax.Level1Id(l1)),
+      static_cast<uint8_t>(l2.empty() ? 0 : tax.Level2Id(l2)),
+      static_cast<uint8_t>(l3.empty() ? 0 : tax.Level3Id(l3)));
+}
+
+OperatorType OperatorType::Unknown() {
+  const Taxonomy& tax = Taxonomy::Get();
+  return OperatorType(static_cast<uint8_t>(tax.unknown1()), 0, 0);
 }
 
 OperatorType OperatorType::Parse(const std::string& token) {

@@ -12,7 +12,10 @@ namespace qpe::plan {
 // Scan-Heap-Bitmap and Left Merge Join is Join-Merge-Left. Missing levels
 // use the NIL sub-type. Four special Level-1 tokens are added for the
 // sequence model: BR_OPEN, BR_CLOSE (DFS-bracket linearization) and CLS, SEP
-// (BERT-style sequence delimiters).
+// (BERT-style sequence delimiters). Each level additionally reserves an
+// UNKNOWN sub-type (its own embedding row) for operator names outside the
+// taxonomy — foreign EXPLAIN plans routinely contain operators we have never
+// seen, and they must map to a real token instead of an out-of-range id.
 class Taxonomy {
  public:
   static const Taxonomy& Get();
@@ -21,16 +24,31 @@ class Taxonomy {
   int Level2Count() const { return static_cast<int>(level2_.size()); }
   int Level3Count() const { return static_cast<int>(level3_.size()); }
 
-  // Returns -1 if the name is unknown.
+  // Lenient lookups: unknown names map to the reserved UNKNOWN sub-type of
+  // the level, never to a sentinel a consumer could index with.
   int Level1Id(const std::string& name) const;
   int Level2Id(const std::string& name) const;
   int Level3Id(const std::string& name) const;
 
-  const std::string& Level1Name(int id) const { return level1_[id]; }
-  const std::string& Level2Name(int id) const { return level2_[id]; }
-  const std::string& Level3Name(int id) const { return level3_[id]; }
+  // Strict lookups: -1 if the name is not in the taxonomy. Use these when
+  // the caller needs to *detect* a foreign name (ingestion diagnostics).
+  int FindLevel1(const std::string& name) const;
+  int FindLevel2(const std::string& name) const;
+  int FindLevel3(const std::string& name) const;
 
-  // Ids of the special tokens (Level 1).
+  // Bounds-safe: ids outside [0, count) name themselves "UNKNOWN" instead of
+  // indexing out of the vocabulary (corrupt trees carry arbitrary bytes).
+  const std::string& Level1Name(int id) const {
+    return level1_[ValidId(id, level1_, unknown1_)];
+  }
+  const std::string& Level2Name(int id) const {
+    return level2_[ValidId(id, level2_, unknown2_)];
+  }
+  const std::string& Level3Name(int id) const {
+    return level3_[ValidId(id, level3_, unknown3_)];
+  }
+
+  // Ids of the special tokens (Level 1) and the per-level UNKNOWN tokens.
   int nil1() const { return 0; }
   int nil2() const { return 0; }
   int nil3() const { return 0; }
@@ -38,11 +56,20 @@ class Taxonomy {
   int br_close() const { return br_close_; }
   int cls() const { return cls_; }
   int sep() const { return sep_; }
+  int unknown1() const { return unknown1_; }
+  int unknown2() const { return unknown2_; }
+  int unknown3() const { return unknown3_; }
 
  private:
   Taxonomy();
   int LookupId(const std::vector<std::string>& names,
                const std::string& name) const;
+  static size_t ValidId(int id, const std::vector<std::string>& names,
+                        int unknown) {
+    return (id < 0 || id >= static_cast<int>(names.size()))
+               ? static_cast<size_t>(unknown)
+               : static_cast<size_t>(id);
+  }
 
   std::vector<std::string> level1_;
   std::vector<std::string> level2_;
@@ -51,6 +78,9 @@ class Taxonomy {
   int br_close_ = -1;
   int cls_ = -1;
   int sep_ = -1;
+  int unknown1_ = -1;
+  int unknown2_ = -1;
+  int unknown3_ = -1;
 };
 
 // A concrete operator type: three sub-type ids into the taxonomy.
@@ -63,9 +93,13 @@ struct OperatorType {
   OperatorType(uint8_t l1, uint8_t l2, uint8_t l3)
       : level1(l1), level2(l2), level3(l3) {}
 
-  // Builds from sub-type names; unknown/empty names map to NIL.
+  // Builds from sub-type names; empty names map to NIL, non-empty names
+  // outside the taxonomy map to the level's reserved UNKNOWN sub-type.
   static OperatorType FromNames(const std::string& l1, const std::string& l2,
                                 const std::string& l3);
+
+  // The fully-unknown operator token (UNKNOWN-NIL-NIL).
+  static OperatorType Unknown();
 
   // Parses "Scan-Heap-Bitmap" / "Sort" / "Join-Merge-Left" style tokens.
   static OperatorType Parse(const std::string& token);

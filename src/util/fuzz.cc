@@ -1,0 +1,105 @@
+#include "util/fuzz.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+
+namespace qpe::util {
+
+namespace {
+
+// Hostile replacements for a run of digits: non-finite spellings, overflow,
+// and sign flips — exactly the corruptions a numeric parser must survive.
+const char* const kHostileNumbers[] = {
+    "nan", "inf", "-inf", "1e309", "-1", "99999999999999999999", "0x7f", "",
+};
+
+void RewriteDigitRun(std::string* s, Rng* rng) {
+  // Find a random digit and expand to the full run around it.
+  if (s->empty()) return;
+  const size_t start = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(s->size()) - 1));
+  size_t i = start;
+  while (i < s->size() && !std::isdigit(static_cast<unsigned char>((*s)[i]))) {
+    ++i;
+  }
+  if (i == s->size()) return;
+  size_t lo = i;
+  size_t hi = i;
+  while (lo > 0 && std::isdigit(static_cast<unsigned char>((*s)[lo - 1]))) {
+    --lo;
+  }
+  while (hi < s->size() &&
+         std::isdigit(static_cast<unsigned char>((*s)[hi]))) {
+    ++hi;
+  }
+  const int pick = static_cast<int>(rng->UniformInt(
+      0, static_cast<int64_t>(std::size(kHostileNumbers)) - 1));
+  s->replace(lo, hi - lo, kHostileNumbers[pick]);
+}
+
+}  // namespace
+
+std::string MutateBytes(std::string input, Rng* rng, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    const int op = static_cast<int>(rng->UniformInt(0, 5));
+    const size_t n = input.size();
+    switch (op) {
+      case 0: {  // bit flip
+        if (n == 0) break;
+        const size_t i =
+            static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+        input[i] = static_cast<char>(input[i] ^ (1 << rng->UniformInt(0, 7)));
+        break;
+      }
+      case 1: {  // delete a byte
+        if (n == 0) break;
+        input.erase(
+            static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1)),
+            1);
+        break;
+      }
+      case 2: {  // insert a random byte (biased toward structure characters)
+        static const char kChars[] = " \n\t->()=.0:x\xff";
+        const size_t i =
+            static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n)));
+        const char c = kChars[rng->UniformInt(
+            0, static_cast<int64_t>(sizeof(kChars)) - 2)];
+        input.insert(i, 1, c);
+        break;
+      }
+      case 3: {  // duplicate a region (lines included — fake extra nodes)
+        if (n == 0) break;
+        const size_t i =
+            static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1));
+        const size_t len = static_cast<size_t>(
+            rng->UniformInt(1, std::min<int64_t>(64, static_cast<int64_t>(n - i))));
+        input.insert(i, input.substr(i, len));
+        break;
+      }
+      case 4: {  // truncate the tail
+        if (n == 0) break;
+        input.resize(
+            static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1)));
+        break;
+      }
+      default:
+        RewriteDigitRun(&input, rng);
+        break;
+    }
+  }
+  return input;
+}
+
+int FuzzIterationsFromEnv(int fallback) {
+  const char* env = std::getenv("QPE_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v <= 0) return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace qpe::util

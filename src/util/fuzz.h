@@ -1,0 +1,24 @@
+#ifndef QPE_UTIL_FUZZ_H_
+#define QPE_UTIL_FUZZ_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace qpe::util {
+
+// Deterministic byte-level mutator for robustness fuzzing. Given a seed
+// corpus entry, applies `rounds` random edits drawn from the given Rng:
+// bit flips, byte deletions/insertions, region duplication, truncation, and
+// digit-run rewrites to hostile numerals ("nan", "inf", "1e309", "-1").
+// The same (input, rng state, rounds) always yields the same output, so a
+// failing iteration is reproducible from its seed alone.
+std::string MutateBytes(std::string input, Rng* rng, int rounds);
+
+// Reads QPE_FUZZ_ITERS from the environment (the verify script sets it to
+// 10000 for the ASan sweep); returns `fallback` when unset or unparsable.
+int FuzzIterationsFromEnv(int fallback);
+
+}  // namespace qpe::util
+
+#endif  // QPE_UTIL_FUZZ_H_

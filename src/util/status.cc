@@ -30,4 +30,16 @@ std::string Status::ToString() const {
   return out;
 }
 
+std::string WarningLog::ToString() const {
+  std::string out;
+  for (const std::string& entry : entries_) {
+    out += entry;
+    out += '\n';
+  }
+  if (dropped() > 0) {
+    out += "... and " + std::to_string(dropped()) + " more warning(s)\n";
+  }
+  return out;
+}
+
 }  // namespace qpe::util

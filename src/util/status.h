@@ -2,8 +2,10 @@
 #define QPE_UTIL_STATUS_H_
 
 #include <cassert>
+#include <cstddef>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace qpe::util {
 
@@ -95,6 +97,36 @@ class [[nodiscard]] StatusOr {
  private:
   Status status_;
   T value_{};
+};
+
+// Recoverable-warning channel: the middle ground between a hard Status and
+// silence. Lenient parsers/ingestors push one formatted entry per defect
+// they repaired; the log caps its size so a pathological input (a fuzzed
+// 10k-line EXPLAIN where every line is broken) cannot balloon memory — the
+// overflow is counted, not stored.
+class WarningLog {
+ public:
+  WarningLog() = default;
+  explicit WarningLog(size_t capacity) : capacity_(capacity) {}
+
+  void Add(std::string message) {
+    ++total_;
+    if (entries_.size() < capacity_) entries_.push_back(std::move(message));
+  }
+
+  bool empty() const { return total_ == 0; }
+  // Warnings raised, including any dropped past the capacity.
+  size_t total() const { return total_; }
+  size_t dropped() const { return total_ - entries_.size(); }
+  const std::vector<std::string>& entries() const { return entries_; }
+
+  // One warning per line; notes the dropped count when the log overflowed.
+  std::string ToString() const;
+
+ private:
+  size_t capacity_ = 64;
+  size_t total_ = 0;
+  std::vector<std::string> entries_;
 };
 
 }  // namespace qpe::util

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "catalog/schemas.h"
@@ -60,6 +61,66 @@ TEST(FeaturesTest, EncodeLabelMonotone) {
 TEST(FeaturesTest, SumFeatures) {
   EXPECT_EQ(SumFeatures({{1, 2}, {3, 4}}), (std::vector<double>{4, 6}));
   EXPECT_TRUE(SumFeatures({}).empty());
+}
+
+TEST(FeaturesTest, NanRowsFeaturizeFiniteAndAreCounted) {
+  plan::PlanNode node(plan::OperatorType::Parse("Scan-Seq"));
+  node.props().actual_rows = std::nan("");
+  node.props().plan_rows = std::nan("");
+  plan::IngestionStats stats;
+  for (double v : NodeFeatures(node, &stats)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(stats.nonfinite_values, 2);
+}
+
+TEST(FeaturesTest, InfiniteTimesAndBlocksFeaturizeFinite) {
+  plan::PlanNode node(plan::OperatorType::Parse("Join-Hash"));
+  node.props().shared_read_blocks = std::numeric_limits<double>::infinity();
+  node.props().hash_buckets = -std::numeric_limits<double>::infinity();
+  node.props().plan_width = std::numeric_limits<double>::infinity();
+  plan::IngestionStats stats;
+  for (double v : NodeFeatures(node, &stats)) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  EXPECT_EQ(stats.nonfinite_values, 3);
+}
+
+TEST(FeaturesTest, NegativeCountsClampToZeroAndAreCounted) {
+  plan::PlanNode node(plan::OperatorType::Parse("Sort"));
+  node.props().actual_rows = -10;
+  node.props().sort_space_used_kb = -1;
+  node.props().num_sort_keys = -2;
+  plan::IngestionStats stats;
+  const std::vector<double> f = NodeFeatures(node, &stats);
+  for (double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -1.0);  // scan_direction may legitimately be -1
+  }
+  EXPECT_EQ(stats.negative_values, 3);
+  // Clamped features equal the all-zero baseline, not garbage.
+  plan::PlanNode clean(plan::OperatorType::Parse("Sort"));
+  EXPECT_EQ(f, NodeFeatures(clean));
+}
+
+TEST(FeaturesTest, InvalidEnumCodesClampIntoRange) {
+  plan::PlanNode node(plan::OperatorType::Parse("Sort"));
+  node.props().sort_method = static_cast<plan::SortMethod>(200);
+  node.props().join_kind = static_cast<plan::JoinKind>(-7);
+  node.props().scan_direction = 55;
+  plan::IngestionStats stats;
+  for (double v : NodeFeatures(node, &stats)) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LE(std::abs(v), 2.0);
+  }
+  EXPECT_EQ(stats.invalid_enums, 3);
+}
+
+TEST(FeaturesTest, NonfiniteLabelsEncodeAsZero) {
+  EXPECT_DOUBLE_EQ(EncodeLabel(std::nan("")), 0.0);
+  EXPECT_DOUBLE_EQ(EncodeLabel(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_DOUBLE_EQ(EncodeLabel(-std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_DOUBLE_EQ(EncodeLabel(-5.0), 0.0);
 }
 
 TEST(PlanCorpusTest, SizeWithinBounds) {

@@ -57,8 +57,27 @@ TEST(TaxonomyTest, LookupRoundTrip) {
   }
 }
 
-TEST(TaxonomyTest, UnknownNameIsMinusOne) {
-  EXPECT_EQ(Taxonomy::Get().Level1Id("NotAnOperator"), -1);
+TEST(TaxonomyTest, UnknownNameMapsToReservedUnknownToken) {
+  const Taxonomy& tax = Taxonomy::Get();
+  // Lenient lookups resolve foreign names to the reserved UNKNOWN sub-type
+  // (a real embedding row), never to a sentinel a consumer could index with.
+  EXPECT_EQ(tax.Level1Id("NotAnOperator"), tax.unknown1());
+  EXPECT_EQ(tax.Level2Id("NotAnOperator"), tax.unknown2());
+  EXPECT_EQ(tax.Level3Id("NotAnOperator"), tax.unknown3());
+  EXPECT_EQ(tax.Level1Name(tax.unknown1()), "UNKNOWN");
+  // Strict lookups keep the detection capability.
+  EXPECT_EQ(tax.FindLevel1("NotAnOperator"), -1);
+  EXPECT_EQ(tax.FindLevel2("NotAnOperator"), -1);
+  EXPECT_EQ(tax.FindLevel3("NotAnOperator"), -1);
+  EXPECT_EQ(tax.FindLevel1("Scan"), tax.Level1Id("Scan"));
+}
+
+TEST(TaxonomyTest, OutOfRangeIdNamesAsUnknown) {
+  const Taxonomy& tax = Taxonomy::Get();
+  EXPECT_EQ(tax.Level1Name(-1), "UNKNOWN");
+  EXPECT_EQ(tax.Level1Name(tax.Level1Count() + 40), "UNKNOWN");
+  EXPECT_EQ(tax.Level2Name(255), "UNKNOWN");
+  EXPECT_EQ(tax.Level3Name(255), "UNKNOWN");
 }
 
 TEST(OperatorTypeTest, ParseHyphenated) {
