@@ -14,6 +14,7 @@
 #include "encoder/performance_encoder.h"
 #include "encoder/ppsr.h"
 #include "encoder/structure_encoder.h"
+#include "nn/tensor.h"
 #include "plan/linearize.h"
 #include "simdb/executor.h"
 #include "simdb/planner.h"
@@ -174,6 +175,98 @@ void BM_MatMulReference(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3 * 2LL * size * size * size);
 }
 BENCHMARK(BM_MatMulReference)->Arg(64)->Arg(256)->Arg(512);
+
+// --- Fused kernels ----------------------------------------------------------
+
+// Fused LayerNorm kernel vs the 8-op composite chain it replaced (both
+// inference-mode forwards; the fused forward is bit-identical by contract).
+void BM_LayerNormFused(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 64;
+  qpe::nn::NoGradGuard no_grad;
+  const qpe::nn::Tensor x = RandomTensor(rows, cols, 21, false);
+  const qpe::nn::Tensor gamma = RandomTensor(1, cols, 22, false);
+  const qpe::nn::Tensor beta = RandomTensor(1, cols, 23, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayerNormRows(x, gamma, beta).at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_LayerNormFused)->Arg(16)->Arg(256);
+
+void BM_LayerNormUnfused(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 64;
+  qpe::nn::NoGradGuard no_grad;
+  const qpe::nn::Tensor x = RandomTensor(rows, cols, 21, false);
+  const qpe::nn::Tensor gamma = RandomTensor(1, cols, 22, false);
+  const qpe::nn::Tensor beta = RandomTensor(1, cols, 23, false);
+  for (auto _ : state) {
+    const qpe::nn::Tensor mean = RowMean(x);
+    const qpe::nn::Tensor centered = Sub(x, mean);
+    const qpe::nn::Tensor var = RowMean(Square(centered));
+    const qpe::nn::Tensor inv_std = Sqrt(AddScalar(var, 1e-5f));
+    const qpe::nn::Tensor recip = Exp(Scale(Log(inv_std), -1.0f));
+    benchmark::DoNotOptimize(
+        Add(Mul(Mul(centered, recip), gamma), beta).at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_LayerNormUnfused)->Arg(16)->Arg(256);
+
+// Fused bias+GELU (the batched FFN activation) vs Gelu(Add(a, bias)).
+void BM_BiasGeluFused(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 96;
+  qpe::nn::NoGradGuard no_grad;
+  const qpe::nn::Tensor a = RandomTensor(rows, cols, 24, false);
+  const qpe::nn::Tensor bias = RandomTensor(1, cols, 25, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BiasGelu(a, bias).at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_BiasGeluFused)->Arg(16)->Arg(256);
+
+void BM_BiasGeluUnfused(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 96;
+  qpe::nn::NoGradGuard no_grad;
+  const qpe::nn::Tensor a = RandomTensor(rows, cols, 24, false);
+  const qpe::nn::Tensor bias = RandomTensor(1, cols, 25, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gelu(Add(a, bias)).at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_BiasGeluUnfused)->Arg(16)->Arg(256);
+
+// Masked row softmax (the batched attention kernel) with all rows fully
+// valid, against the unmasked kernel it must match bit-for-bit.
+void BM_SoftmaxRowsMasked(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 64;
+  qpe::nn::NoGradGuard no_grad;
+  const qpe::nn::Tensor a = RandomTensor(rows, cols, 26, false);
+  const std::vector<int> valid(rows, cols);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRowsMasked(a, valid).at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_SoftmaxRowsMasked)->Arg(16)->Arg(256);
+
+void BM_SoftmaxRowsUnmasked(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 64;
+  qpe::nn::NoGradGuard no_grad;
+  const qpe::nn::Tensor a = RandomTensor(rows, cols, 26, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(a).at(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_SoftmaxRowsUnmasked)->Arg(16)->Arg(256);
 
 // --- Training steps ---------------------------------------------------------
 

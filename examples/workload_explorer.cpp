@@ -28,6 +28,7 @@
 #include "encoder/encoder_suite.h"
 #include "encoder/performance_encoder.h"
 #include "plan/explain.h"
+#include "serve/embedding_service.h"
 #include "simdb/workload_runner.h"
 #include "simdb/workloads.h"
 #include "util/checksum.h"
@@ -84,8 +85,16 @@ int RunIngest(const std::string& path, bool strict) {
             << qpe::plan::Explain(root) << "\n";
 
   qpe::encoder::EncoderSuite suite;
-  PrintEmbedding("structural embedding",
-                 suite.structure()->Encode(root, nullptr));
+  // The ingested plan takes the same serving path production traffic does:
+  // fingerprint, cache probe, batched encode on a miss.
+  qpe::serve::EmbeddingService service(suite.structure());
+  PrintEmbedding("structural embedding", service.EncodeOne(root));
+  // A replay of the same plan must be served from the warm cache.
+  (void)service.EncodeOne(root);
+  const qpe::serve::ServiceStats serving = service.GetStats();
+  std::cout << "serving: " << serving.plans << " plan(s) over "
+            << serving.requests << " request(s); cache " << serving.cache.hits
+            << " hit(s), " << serving.cache.misses << " miss(es)\n\n";
 
   // Per-group performance embeddings over the summed same-group node
   // features (§3.2.1); meta features come from the TPC-H catalog (foreign

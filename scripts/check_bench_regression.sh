@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Serving-throughput regression gate: rebuilds bench_serving, runs it to a
+# temporary file, and compares the fresh numbers against the committed
+# BENCH_serving.json baseline. A drop of more than 10% on any throughput
+# metric (per-plan, raw-batched, batched-serving, or warm-cache plans/sec)
+# fails the script with exit 1.
+#
+# The committed baseline is a portable-build number; the comparison build
+# is portable too, so a QPE_NATIVE-tuned tree never masks (or fakes) a
+# regression. CPU-frequency scaling on shared hosts adds real run-to-run
+# variance — bench_serving already defends with process-CPU-time and
+# best-of repetitions — so the threshold is deliberately coarse (10%).
+#
+# Usage: scripts/check_bench_regression.sh [baseline.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_serving.json}"
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "missing baseline ${BASELINE} — run scripts/run_bench_baseline.sh first"
+  exit 1
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build --target bench_serving -j"$(nproc)"
+
+FRESH="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+trap 'rm -f "${FRESH}"' EXIT
+./build/bench/bench_serving "${FRESH}"
+
+python3 - "${BASELINE}" "${FRESH}" <<'PY'
+import json
+import sys
+
+THRESHOLD = 0.10
+METRICS = [
+    "per_plan_plans_per_sec",
+    "raw_batched_plans_per_sec",
+    "batched_plans_per_sec",
+    "cached_plans_per_sec",
+]
+
+with open(sys.argv[1]) as f:
+    baseline = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+failed = False
+print()
+print(f"{'metric':<28} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+for metric in METRICS:
+    base = baseline.get(metric)
+    now = fresh.get(metric)
+    if base is None or now is None:
+        print(f"{metric:<28} missing from baseline or fresh run")
+        failed = True
+        continue
+    ratio = now / base if base else float("inf")
+    flag = ""
+    if ratio < 1.0 - THRESHOLD:
+        flag = "  REGRESSION"
+        failed = True
+    print(f"{metric:<28} {base:>12.1f} {now:>12.1f} {ratio:>6.2f}x{flag}")
+
+if failed:
+    print(f"\nFAIL: throughput dropped more than {THRESHOLD:.0%} vs baseline")
+    sys.exit(1)
+print(f"\nOK: all throughput metrics within {THRESHOLD:.0%} of baseline")
+PY

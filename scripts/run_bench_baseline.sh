@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
 # Builds bench_micro and records the parallel-engine micro-benchmarks
-# (blocked vs reference MatMul kernels, and full training steps at 1 vs 4
-# threads) into BENCH_micro.json at the repo root.
+# (blocked vs reference MatMul kernels, fused vs unfused serving kernels,
+# and full training steps at 1 vs 4 threads) into BENCH_micro.json, then
+# builds bench_serving and records the end-to-end serving numbers
+# (per-plan vs batched vs warm-cache plans/sec, request latency
+# percentiles) into BENCH_serving.json at the repo root.
+#
+# Both baselines are portable-build numbers (no -march=native) so they are
+# reproducible on any x86-64 host; configure with -DQPE_NATIVE=ON for
+# arch-specific codegen when benchmarking a specific machine, but do not
+# commit those numbers over the portable baseline.
 #
 # Read the *wall-clock* (real_time) column: google-benchmark's cpu_time only
 # measures the main thread, so it under-reports multi-threaded runs. On a
@@ -13,13 +21,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -S . >/dev/null
-cmake --build build --target bench_micro -j"$(nproc)"
+cmake --build build --target bench_micro bench_serving -j"$(nproc)"
 
 ./build/bench/bench_micro \
-  --benchmark_filter='BM_MatMul|BM_TrainStep' \
+  --benchmark_filter='BM_MatMul|BM_TrainStep|Fused|BM_SoftmaxRows' \
   --benchmark_min_time=0.05 \
   --benchmark_out=BENCH_micro.json \
   --benchmark_out_format=json
 
 echo
-echo "Wrote $(pwd)/BENCH_micro.json"
+./build/bench/bench_serving BENCH_serving.json
+
+echo
+echo "Wrote $(pwd)/BENCH_micro.json and $(pwd)/BENCH_serving.json"

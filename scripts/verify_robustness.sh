@@ -22,7 +22,7 @@ echo "=== [1/4] AddressSanitizer robustness suites ==="
 cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
   --target checkpoint_test dataset_io_test robustness_test ingestion_test \
-  workload_explorer
+  serving_test workload_explorer
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -30,6 +30,8 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/dataset_io_test
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/robustness_test
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/serving_test
 
 explorer=./build-asan/examples/workload_explorer
 

@@ -2,16 +2,21 @@
 # Builds the library with ThreadSanitizer (-DQPE_SANITIZE=thread) and runs
 # the threading test suite — thread-pool semantics, blocked-vs-naive MatMul
 # equivalence, and the threads=1 vs threads=4 bit-exact determinism tests —
-# under TSan, so any data race in the parallel engine fails the run.
+# plus the serving suite (sharded embedding cache under concurrent
+# hit/miss/eviction traffic, EmbeddingService with data-parallel
+# micro-batches) under TSan, so any data race in the parallel engine or the
+# serving layer fails the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DQPE_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target threading_test -j"$(nproc)"
+cmake --build build-tsan --target threading_test serving_test -j"$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/threading_test
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  ./build-tsan/tests/serving_test
 
 echo
 echo "ThreadSanitizer run clean."

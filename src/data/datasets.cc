@@ -34,19 +34,39 @@ std::vector<PlanPair> PairsFromPool(
   // stream); the Smatch labelling below — the expensive part, a search per
   // pair — is embarrassingly parallel and deterministic per pair, so the
   // labels are identical for every thread count.
+  //
+  // Sides drawn from the pool reference their pool index so the labelling
+  // pass can flatten each pool plan once instead of re-flattening both
+  // sides of every pair (pool plans recur across many pairs); only mutated
+  // right sides are flattened per pair.
+  std::vector<int> left_pool_index(options.num_pairs);
+  std::vector<int> right_pool_index(options.num_pairs);  // -1 => mutated
   for (int i = 0; i < options.num_pairs; ++i) {
     PlanPair pair;
-    const plan::PlanNode& left = *pool[rng->UniformInt(0, n - 1)];
+    const int left_idx = rng->UniformInt(0, n - 1);
+    const plan::PlanNode& left = *pool[left_idx];
+    left_pool_index[i] = left_idx;
     pair.left = left.Clone();
     if (rng->Bernoulli(options.related_fraction)) {
       pair.right = mutator.Mutate(left, rng->Uniform(0.05, 0.5));
+      right_pool_index[i] = -1;
     } else {
-      pair.right = pool[rng->UniformInt(0, n - 1)]->Clone();
+      const int right_idx = rng->UniformInt(0, n - 1);
+      pair.right = pool[right_idx]->Clone();
+      right_pool_index[i] = right_idx;
     }
     pairs.push_back(std::move(pair));
   }
+  std::vector<smatch::FlatPlan> pool_flat(n);
+  util::ParallelRun(n, [&](int i) { pool_flat[i] = smatch::Flatten(*pool[i]); });
   util::ParallelRun(static_cast<int>(pairs.size()), [&](int i) {
-    pairs[i].smatch = smatch::Score(*pairs[i].left, *pairs[i].right).f1;
+    const smatch::FlatPlan& left = pool_flat[left_pool_index[i]];
+    if (right_pool_index[i] >= 0) {
+      pairs[i].smatch =
+          smatch::Score(left, pool_flat[right_pool_index[i]]).f1;
+    } else {
+      pairs[i].smatch = smatch::Score(left, smatch::Flatten(*pairs[i].right)).f1;
+    }
   });
   return pairs;
 }

@@ -70,6 +70,16 @@ nn::Tensor FeaturesToTensor(const std::vector<double>& features) {
 
 }  // namespace
 
+// --- PlanSequenceEncoder ---
+
+std::vector<nn::Tensor> PlanSequenceEncoder::EncodeBatch(
+    std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
+  std::vector<nn::Tensor> out;
+  out.reserve(plans.size());
+  for (const plan::PlanNode* p : plans) out.push_back(Encode(*p, dropout_rng));
+  return out;
+}
+
 // --- TransformerPlanEncoder ---
 
 TransformerPlanEncoder::TransformerPlanEncoder(
@@ -124,6 +134,52 @@ nn::Tensor TransformerPlanEncoder::EncodeTokens(
 nn::Tensor TransformerPlanEncoder::Encode(const plan::PlanNode& root,
                                           util::Rng* dropout_rng) const {
   return EncodeTokens(plan::LinearizeDfsBracket(root), dropout_rng);
+}
+
+std::vector<nn::Tensor> TransformerPlanEncoder::EncodeBatch(
+    std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
+  if (plans.empty()) return {};
+  if (dropout_rng != nullptr && training()) {
+    // Dropout draws are defined per sequence; the packed path cannot
+    // reproduce them, so training-mode batches take the per-plan loop.
+    return PlanSequenceEncoder::EncodeBatch(plans, dropout_rng);
+  }
+  // Linearize and pack every plan's (truncated) token sequence into one
+  // ragged batch.
+  TokenIds packed;
+  std::vector<int> lengths;
+  lengths.reserve(plans.size());
+  for (const plan::PlanNode* p : plans) {
+    std::vector<plan::OperatorType> tokens = plan::LinearizeDfsBracket(*p);
+    if (static_cast<int>(tokens.size()) > config_.max_len) {
+      tokens.resize(config_.max_len);
+    }
+    const TokenIds ids = TokensToIds(tokens);
+    packed.level1.insert(packed.level1.end(), ids.level1.begin(),
+                         ids.level1.end());
+    packed.level2.insert(packed.level2.end(), ids.level2.begin(),
+                         ids.level2.end());
+    packed.level3.insert(packed.level3.end(), ids.level3.begin(),
+                         ids.level3.end());
+    lengths.push_back(static_cast<int>(tokens.size()));
+  }
+  const nn::BatchLayout layout = nn::BatchLayout::FromLengths(lengths);
+  // One embedding gather + one transformer pass for the whole batch.
+  const nn::Tensor embedded =
+      nn::ConcatCols({embed1_->Forward(packed.level1),
+                      embed2_->Forward(packed.level2),
+                      embed3_->Forward(packed.level3)});
+  const nn::Tensor contextual = transformer_->ForwardBatch(embedded, layout);
+  // CLS pooling: row 0 of each sequence, gathered into a [B, d] matrix so
+  // the optional projection is itself one batched GEMM.
+  nn::Tensor cls = GatherRows(contextual, layout.offsets);
+  if (projection_ != nullptr) cls = projection_->Forward(cls);
+  std::vector<nn::Tensor> out;
+  out.reserve(plans.size());
+  for (int i = 0; i < layout.size(); ++i) {
+    out.push_back(SliceRows(cls, i, 1));
+  }
+  return out;
 }
 
 // --- LstmPlanEncoder ---

@@ -2,6 +2,7 @@
 #define QPE_ENCODER_STRUCTURE_ENCODER_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/checkpoint.h"
@@ -35,6 +36,16 @@ class PlanSequenceEncoder : public nn::Module {
   // stochastic regularization during training; pass nullptr for eval.
   virtual nn::Tensor Encode(const plan::PlanNode& root,
                             util::Rng* dropout_rng) const = 0;
+
+  // Encodes a batch of plans; result i is the [1, output_dim] embedding of
+  // plans[i], bit-identical to Encode(*plans[i], dropout_rng). The base
+  // implementation is a per-plan loop; encoders with a batched forward
+  // (TransformerPlanEncoder) override it to amortize matmuls across the
+  // whole batch. This is the serving hot path — see serve::EmbeddingService.
+  virtual std::vector<nn::Tensor> EncodeBatch(
+      std::span<const plan::PlanNode* const> plans,
+      util::Rng* dropout_rng) const;
+
   virtual int output_dim() const = 0;
 };
 
@@ -67,6 +78,18 @@ class TransformerPlanEncoder : public PlanSequenceEncoder {
                     util::Rng* dropout_rng) const override;
   nn::Tensor EncodeTokens(const std::vector<plan::OperatorType>& tokens,
                           util::Rng* dropout_rng) const;
+
+  // Batched inference: linearizes all plans, packs the token sequences into
+  // one ragged batch (nn::BatchLayout) and runs a single transformer
+  // forward, so the embedding lookup, q/k/v/output projections, layer
+  // norms and feed-forward GEMMs are amortized across the batch.
+  // Bit-identical to per-plan Encode. With a non-null dropout RNG during
+  // training it falls back to the per-plan path (dropout draws are
+  // per-sequence by contract).
+  std::vector<nn::Tensor> EncodeBatch(
+      std::span<const plan::PlanNode* const> plans,
+      util::Rng* dropout_rng) const override;
+
   int output_dim() const override;
 
  private:

@@ -87,15 +87,9 @@ LayerNorm::LayerNorm(int dim)
 
 Tensor LayerNorm::Forward(const Tensor& x) const {
   assert(x.cols() == dim_);
-  const Tensor mean = RowMean(x);                    // [m,1]
-  const Tensor centered = Sub(x, mean);              // broadcast column
-  const Tensor var = RowMean(Square(centered));      // [m,1]
-  const Tensor inv_std = Sqrt(AddScalar(var, 1e-5f));
-  // centered / std, via elementwise multiply with reciprocal.
-  const Tensor recip =
-      Exp(Scale(Log(inv_std), -1.0f));  // 1/std with stable gradients
-  const Tensor normalized = Mul(centered, recip);
-  return Add(Mul(normalized, gamma_), beta_);
+  // Fused single-node kernel; bit-identical forward to the 8-op chain
+  // (RowMean/Sub/Square/Sqrt/Log/Exp/Mul/Add) this used to build.
+  return LayerNormRows(x, gamma_, beta_);
 }
 
 // --- BatchNorm1d ---

@@ -241,19 +241,19 @@ constexpr int kNC = 256;
 // out[i0:i1, :] += A[i0:i1, :] * B. Per output element the k-dimension is
 // accumulated in ascending order regardless of tiling or row partition, so
 // results are identical for every thread count.
-void MatMulForwardRange(const float* av, const float* bv, float* ov, int i0,
-                        int i1, int k, int n) {
+void MatMulForwardRange(const float* __restrict av, const float* __restrict bv,
+                        float* __restrict ov, int i0, int i1, int k, int n) {
   for (int p0 = 0; p0 < k; p0 += kKC) {
     const int p1 = std::min(k, p0 + kKC);
     for (int j0 = 0; j0 < n; j0 += kNC) {
       const int j1 = std::min(n, j0 + kNC);
       for (int i = i0; i < i1; ++i) {
-        const float* arow = av + static_cast<size_t>(i) * k;
-        float* orow = ov + static_cast<size_t>(i) * n;
+        const float* __restrict arow = av + static_cast<size_t>(i) * k;
+        float* __restrict orow = ov + static_cast<size_t>(i) * n;
         for (int p = p0; p < p1; ++p) {
           const float aval = arow[p];
           if (aval == 0.0f) continue;  // Relu outputs are often sparse
-          const float* brow = bv + static_cast<size_t>(p) * n;
+          const float* __restrict brow = bv + static_cast<size_t>(p) * n;
           for (int j = j0; j < j1; ++j) orow[j] += aval * brow[j];
         }
       }
@@ -263,13 +263,13 @@ void MatMulForwardRange(const float* av, const float* bv, float* ov, int i0,
 
 // dA[i0:i1, :] += dOut[i0:i1, :] * B^T, computed as row-dot-products so
 // both inner operands are contiguous (no stride-n walk through B).
-void MatMulBackwardA(const float* og, const float* bv, float* ag, int i0,
-                     int i1, int k, int n) {
+void MatMulBackwardA(const float* __restrict og, const float* __restrict bv,
+                     float* __restrict ag, int i0, int i1, int k, int n) {
   for (int i = i0; i < i1; ++i) {
-    const float* orow = og + static_cast<size_t>(i) * n;
-    float* arow = ag + static_cast<size_t>(i) * k;
+    const float* __restrict orow = og + static_cast<size_t>(i) * n;
+    float* __restrict arow = ag + static_cast<size_t>(i) * k;
     for (int p = 0; p < k; ++p) {
-      const float* brow = bv + static_cast<size_t>(p) * n;
+      const float* __restrict brow = bv + static_cast<size_t>(p) * n;
       float dot = 0.0f;
       for (int j = 0; j < n; ++j) dot += orow[j] * brow[j];
       arow[p] += dot;
@@ -281,15 +281,16 @@ void MatMulBackwardA(const float* og, const float* bv, float* ag, int i0,
 // axpy dOut row i into the B-gradient rows selected by A row i. Per output
 // element the i-dimension is accumulated in ascending order regardless of
 // the p partition.
-void MatMulBackwardB(const float* av, const float* og, float* bg, int p0,
-                     int p1, int m, int k, int n) {
+void MatMulBackwardB(const float* __restrict av, const float* __restrict og,
+                     float* __restrict bg, int p0, int p1, int m, int k,
+                     int n) {
   for (int i = 0; i < m; ++i) {
-    const float* arow = av + static_cast<size_t>(i) * k;
-    const float* orow = og + static_cast<size_t>(i) * n;
+    const float* __restrict arow = av + static_cast<size_t>(i) * k;
+    const float* __restrict orow = og + static_cast<size_t>(i) * n;
     for (int p = p0; p < p1; ++p) {
       const float aval = arow[p];
       if (aval == 0.0f) continue;
-      float* brow = bg + static_cast<size_t>(p) * n;
+      float* __restrict brow = bg + static_cast<size_t>(p) * n;
       for (int j = 0; j < n; ++j) brow[j] += aval * orow[j];
     }
   }
@@ -526,6 +527,26 @@ Tensor Relu(const Tensor& a) {
   return Unary(
       a, [](float x) { return x > 0 ? x : 0.0f; },
       [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+namespace {
+
+// Exact (erf-form) GELU and its derivative Phi(x) + x * phi(x).
+inline float GeluFwd(float x) {
+  return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
+}
+inline float GeluDeriv(float x) {
+  const float cdf = 0.5f * (1.0f + std::erf(x * 0.70710678118654752f));
+  const float pdf = 0.39894228040143268f * std::exp(-0.5f * x * x);
+  return cdf + x * pdf;
+}
+
+}  // namespace
+
+Tensor Gelu(const Tensor& a) {
+  return Unary(
+      a, [](float x) { return GeluFwd(x); },
+      [](float x, float) { return GeluDeriv(x); });
 }
 
 Tensor Sigmoid(const Tensor& a) {
@@ -887,6 +908,397 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
         float* grow = lg + static_cast<size_t>(r) * n;
         for (int c = 0; c < n; ++c) {
           grow[c] += g * (prow[c] - (c == targets[r] ? 1.0f : 0.0f));
+        }
+      }
+    };
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fused serving kernels
+// ---------------------------------------------------------------------------
+//
+// Contiguous row-major single-pass kernels; the __restrict qualifiers and
+// simple ascending inner loops are what lets the compiler vectorize them
+// (see -DQPE_NATIVE=ON for arch-specific codegen). Forward arithmetic is
+// bit-identical to the op chains they replace — see tensor.h.
+
+Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
+  const int m = a.rows(), n = a.cols();
+  assert(bias.rows() == 1 && bias.cols() == n);
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_});
+  {
+    const float* __restrict av = a.impl_->value.data();
+    const float* __restrict bv = bias.impl_->value.data();
+    float* __restrict ov = out.impl_->value.data();
+    for (int r = 0; r < m; ++r) {
+      const float* __restrict arow = av + static_cast<size_t>(r) * n;
+      float* __restrict orow = ov + static_cast<size_t>(r) * n;
+      for (int c = 0; c < n; ++c) {
+        const float s = arow[c] + bv[c];
+        orow[c] = s > 0 ? s : 0.0f;
+      }
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_, bi = bias.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, bi, oi, m, n]() {
+      // out > 0 iff the pre-activation a + bias was > 0.
+      const float* __restrict ov = oi->value.data();
+      const float* __restrict og = oi->grad.data();
+      float* __restrict ag = ai->requires_grad ? GradPtr(ai.get()) : nullptr;
+      float* __restrict bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      for (int r = 0; r < m; ++r) {
+        const size_t base = static_cast<size_t>(r) * n;
+        for (int c = 0; c < n; ++c) {
+          if (ov[base + c] <= 0) continue;
+          const float g = og[base + c];
+          if (ag) ag[base + c] += g;
+          if (bg) bg[c] += g;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
+  const int m = a.rows(), n = a.cols();
+  assert(bias.rows() == 1 && bias.cols() == n);
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_});
+  {
+    const float* __restrict av = a.impl_->value.data();
+    const float* __restrict bv = bias.impl_->value.data();
+    float* __restrict ov = out.impl_->value.data();
+    for (int r = 0; r < m; ++r) {
+      const float* __restrict arow = av + static_cast<size_t>(r) * n;
+      float* __restrict orow = ov + static_cast<size_t>(r) * n;
+      for (int c = 0; c < n; ++c) orow[c] = GeluFwd(arow[c] + bv[c]);
+    }
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_, bi = bias.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, bi, oi, m, n]() {
+      const float* __restrict av = ai->value.data();
+      const float* __restrict bv = bi->value.data();
+      const float* __restrict og = oi->grad.data();
+      float* __restrict ag = ai->requires_grad ? GradPtr(ai.get()) : nullptr;
+      float* __restrict bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      for (int r = 0; r < m; ++r) {
+        const size_t base = static_cast<size_t>(r) * n;
+        for (int c = 0; c < n; ++c) {
+          const float g = og[base + c] * GeluDeriv(av[base + c] + bv[c]);
+          if (ag) ag[base + c] += g;
+          if (bg) bg[c] += g;
+        }
+      }
+    };
+  }
+  return out;
+}
+
+namespace {
+
+// Row statistics of the fused LayerNorm, replicating the original op
+// chain's arithmetic exactly: mean and variance accumulate in ascending
+// column order and scale by a precomputed 1/n, and the reciprocal
+// standard deviation goes through the same clamped sqrt/log/exp chain the
+// composite forward used (Sqrt -> Log -> Scale(-1) -> Exp).
+inline void LayerNormRowStats(const float* __restrict row, int n, float invn,
+                              float* mean_out, float* recip_out) {
+  float total = 0;
+  for (int c = 0; c < n; ++c) total += row[c];
+  const float mean = total * invn;
+  float sq = 0;
+  for (int c = 0; c < n; ++c) {
+    const float d = row[c] - mean;
+    sq += d * d;
+  }
+  const float var = sq * invn;
+  const float inv_std = std::sqrt(std::max(var + 1e-5f, 0.0f));
+  const float log_std = std::log(std::max(inv_std, kLogEps));
+  *mean_out = mean;
+  *recip_out = std::exp(std::min(-log_std, 30.0f));
+}
+
+}  // namespace
+
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
+  const int m = x.rows(), n = x.cols();
+  assert(gamma.rows() == 1 && gamma.cols() == n);
+  assert(beta.rows() == 1 && beta.cols() == n);
+  Tensor out = Tensor::MakeResult(m, n, {x.impl_, gamma.impl_, beta.impl_});
+  const float invn = 1.0f / static_cast<float>(n);
+  {
+    const float* __restrict xv = x.impl_->value.data();
+    const float* __restrict gv = gamma.impl_->value.data();
+    const float* __restrict bv = beta.impl_->value.data();
+    float* __restrict ov = out.impl_->value.data();
+    for (int r = 0; r < m; ++r) {
+      const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
+      float* __restrict orow = ov + static_cast<size_t>(r) * n;
+      float mean, recip;
+      LayerNormRowStats(xrow, n, invn, &mean, &recip);
+      for (int c = 0; c < n; ++c) {
+        orow[c] = ((xrow[c] - mean) * recip) * gv[c] + bv[c];
+      }
+    }
+  }
+  if (out.requires_grad()) {
+    auto xi = x.impl_, gi = gamma.impl_, bi = beta.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [xi, gi, bi, oi, m, n, invn]() {
+      const float* __restrict xv = xi->value.data();
+      const float* __restrict gv = gi->value.data();
+      const float* __restrict og = oi->grad.data();
+      float* __restrict xg = xi->requires_grad ? GradPtr(xi.get()) : nullptr;
+      float* __restrict gg = gi->requires_grad ? GradPtr(gi.get()) : nullptr;
+      float* __restrict bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      for (int r = 0; r < m; ++r) {
+        const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
+        const float* __restrict grow = og + static_cast<size_t>(r) * n;
+        float mean, recip;
+        LayerNormRowStats(xrow, n, invn, &mean, &recip);
+        // dxhat = dy * gamma; dx = r * (dxhat - mean(dxhat) - xhat *
+        // mean(dxhat * xhat)) — the standard layer-norm backward.
+        float m1 = 0, m2 = 0;
+        for (int c = 0; c < n; ++c) {
+          const float xhat = (xrow[c] - mean) * recip;
+          const float dxhat = grow[c] * gv[c];
+          m1 += dxhat;
+          m2 += dxhat * xhat;
+          if (gg) gg[c] += grow[c] * xhat;
+          if (bg) bg[c] += grow[c];
+        }
+        if (xg == nullptr) continue;
+        m1 *= invn;
+        m2 *= invn;
+        float* __restrict xgrow = xg + static_cast<size_t>(r) * n;
+        for (int c = 0; c < n; ++c) {
+          const float xhat = (xrow[c] - mean) * recip;
+          xgrow[c] += recip * (grow[c] * gv[c] - m1 - xhat * m2);
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid) {
+  const int m = a.rows(), n = a.cols();
+  assert(static_cast<int>(valid.size()) == m);
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  for (int r = 0; r < m; ++r) {
+    const int v = std::min(std::max(valid[r], 0), n);
+    const float* __restrict row =
+        a.impl_->value.data() + static_cast<size_t>(r) * n;
+    float* __restrict orow =
+        out.impl_->value.data() + static_cast<size_t>(r) * n;
+    if (v == 0) continue;  // row already zero
+    float max_v = row[0];
+    for (int c = 1; c < v; ++c) max_v = std::max(max_v, row[c]);
+    float total = 0;
+    for (int c = 0; c < v; ++c) {
+      orow[c] = std::exp(row[c] - max_v);
+      total += orow[c];
+    }
+    for (int c = 0; c < v; ++c) orow[c] /= total;
+  }
+  if (out.requires_grad()) {
+    auto ai = a.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [ai, oi, valid, m, n]() {
+      float* __restrict ag = GradPtr(ai.get());
+      for (int r = 0; r < m; ++r) {
+        const int v = std::min(std::max(valid[r], 0), n);
+        const float* __restrict y = oi->value.data() + static_cast<size_t>(r) * n;
+        const float* __restrict gy = oi->grad.data() + static_cast<size_t>(r) * n;
+        float* __restrict gx = ag + static_cast<size_t>(r) * n;
+        float dot = 0;
+        for (int c = 0; c < v; ++c) dot += y[c] * gy[c];
+        for (int c = 0; c < v; ++c) gx[c] += y[c] * (gy[c] - dot);
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
+                                const Tensor& v,
+                                const std::vector<int>& offsets,
+                                const std::vector<int>& lengths,
+                                int num_heads, float scale) {
+  const int total = q.rows(), dim = q.cols();
+  assert(k.rows() == total && k.cols() == dim);
+  assert(v.rows() == total && v.cols() == dim);
+  assert(num_heads > 0 && dim % num_heads == 0);
+  assert(offsets.size() == lengths.size());
+  const int dh = dim / num_heads;
+  Tensor out = Tensor::MakeResult(total, dim, {q.impl_, k.impl_, v.impl_});
+  {
+    const float* __restrict qv = q.impl_->value.data();
+    const float* __restrict kv = k.impl_->value.data();
+    const float* __restrict vv = v.impl_->value.data();
+    float* __restrict ov = out.impl_->value.data();
+    std::vector<float> probs;  // per-(sequence, head) [len, len] scratch
+    std::vector<float> kt;     // packed k^T head block, [dh, len]
+    for (size_t s = 0; s < lengths.size(); ++s) {
+      const int off = offsets[s];
+      const int len = lengths[s];
+      assert(off >= 0 && len > 0 && off + len <= total);
+      probs.resize(static_cast<size_t>(len) * len);
+      kt.resize(static_cast<size_t>(dh) * len);
+      for (int h = 0; h < num_heads; ++h) {
+        const int col0 = h * dh;
+        // Pack the head's key block transposed so the score loops run
+        // saxpy-style over a contiguous j dimension.
+        for (int j = 0; j < len; ++j) {
+          const float* __restrict krow =
+              kv + static_cast<size_t>(off + j) * dim + col0;
+          for (int c = 0; c < dh; ++c) {
+            kt[static_cast<size_t>(c) * len + j] = krow[c];
+          }
+        }
+        // Scores then row softmax: per element the arithmetic mirrors
+        // Scale(MatMul(qh, Transpose(kh)), scale) and SoftmaxRows exactly —
+        // ascending-c accumulation scaled once after the sum, then
+        // max/exp/sum/divide per row — so the fused values are
+        // bit-identical to the op chain's.
+        for (int i = 0; i < len; ++i) {
+          const float* __restrict qrow =
+              qv + static_cast<size_t>(off + i) * dim + col0;
+          float* __restrict prow = probs.data() + static_cast<size_t>(i) * len;
+          for (int j = 0; j < len; ++j) prow[j] = 0.0f;
+          for (int c = 0; c < dh; ++c) {
+            const float qc = qrow[c];
+            const float* __restrict ktrow =
+                kt.data() + static_cast<size_t>(c) * len;
+            for (int j = 0; j < len; ++j) prow[j] += qc * ktrow[j];
+          }
+          float max_v = prow[0] * scale;
+          for (int j = 0; j < len; ++j) {
+            prow[j] *= scale;
+            if (prow[j] > max_v) max_v = prow[j];
+          }
+          float sum = 0;
+          for (int j = 0; j < len; ++j) {
+            prow[j] = std::exp(prow[j] - max_v);
+            sum += prow[j];
+          }
+          for (int j = 0; j < len; ++j) prow[j] /= sum;
+        }
+        // Context = probs * vh: j-outer saxpy, so the inner c loop is
+        // contiguous in v; per element this accumulates ascending j,
+        // exactly like MatMul(probs, vh).
+        for (int i = 0; i < len; ++i) {
+          const float* __restrict prow =
+              probs.data() + static_cast<size_t>(i) * len;
+          float* __restrict orow =
+              ov + static_cast<size_t>(off + i) * dim + col0;
+          for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+          for (int j = 0; j < len; ++j) {
+            const float p = prow[j];
+            const float* __restrict vrow =
+                vv + static_cast<size_t>(off + j) * dim + col0;
+            for (int c = 0; c < dh; ++c) orow[c] += p * vrow[c];
+          }
+        }
+      }
+    }
+  }
+  if (out.requires_grad()) {
+    auto qi = q.impl_, ki = k.impl_, vi = v.impl_;
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [qi, ki, vi, oi, offsets, lengths, num_heads,
+                              scale, dim, dh]() {
+      const float* __restrict qv = qi->value.data();
+      const float* __restrict kv = ki->value.data();
+      const float* __restrict vv = vi->value.data();
+      const float* __restrict og = oi->grad.data();
+      float* __restrict qg = qi->requires_grad ? GradPtr(qi.get()) : nullptr;
+      float* __restrict kg = ki->requires_grad ? GradPtr(ki.get()) : nullptr;
+      float* __restrict vg = vi->requires_grad ? GradPtr(vi.get()) : nullptr;
+      std::vector<float> probs, dprobs;
+      for (size_t s = 0; s < lengths.size(); ++s) {
+        const int off = offsets[s];
+        const int len = lengths[s];
+        probs.resize(static_cast<size_t>(len) * len);
+        dprobs.resize(static_cast<size_t>(len) * len);
+        for (int h = 0; h < num_heads; ++h) {
+          const int col0 = h * dh;
+          // Recompute the attention probabilities (cheaper than caching
+          // [len, len] per sequence per head across the graph's lifetime).
+          for (int i = 0; i < len; ++i) {
+            const float* __restrict qrow =
+                qv + static_cast<size_t>(off + i) * dim + col0;
+            float* __restrict prow =
+                probs.data() + static_cast<size_t>(i) * len;
+            for (int j = 0; j < len; ++j) {
+              const float* __restrict krow =
+                  kv + static_cast<size_t>(off + j) * dim + col0;
+              float dot = 0;
+              for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
+              prow[j] = dot * scale;
+            }
+            float max_v = prow[0];
+            for (int j = 1; j < len; ++j) max_v = std::max(max_v, prow[j]);
+            float sum = 0;
+            for (int j = 0; j < len; ++j) {
+              prow[j] = std::exp(prow[j] - max_v);
+              sum += prow[j];
+            }
+            for (int j = 0; j < len; ++j) prow[j] /= sum;
+          }
+          for (int i = 0; i < len; ++i) {
+            const float* __restrict prow =
+                probs.data() + static_cast<size_t>(i) * len;
+            float* __restrict dprow =
+                dprobs.data() + static_cast<size_t>(i) * len;
+            const float* __restrict grow =
+                og + static_cast<size_t>(off + i) * dim + col0;
+            // d_probs = d_ctx * vh^T; d_vh += probs^T * d_ctx.
+            for (int j = 0; j < len; ++j) {
+              const float* __restrict vrow =
+                  vv + static_cast<size_t>(off + j) * dim + col0;
+              float dp = 0;
+              for (int c = 0; c < dh; ++c) dp += grow[c] * vrow[c];
+              dprow[j] = dp;
+              if (vg) {
+                float* __restrict vgrow =
+                    vg + static_cast<size_t>(off + j) * dim + col0;
+                const float p = prow[j];
+                for (int c = 0; c < dh; ++c) vgrow[c] += p * grow[c];
+              }
+            }
+            // Softmax backward, then the post-softmax Scale folds into the
+            // score gradient: d_scores = scale * p * (dp - sum(p * dp)).
+            float dot = 0;
+            for (int j = 0; j < len; ++j) dot += prow[j] * dprow[j];
+            for (int j = 0; j < len; ++j) {
+              dprow[j] = scale * prow[j] * (dprow[j] - dot);
+            }
+            // d_qh += d_scores * kh; d_kh += d_scores^T * qh.
+            const float* __restrict qrow =
+                qv + static_cast<size_t>(off + i) * dim + col0;
+            float* __restrict qgrow =
+                qg ? qg + static_cast<size_t>(off + i) * dim + col0 : nullptr;
+            for (int j = 0; j < len; ++j) {
+              const float ds = dprow[j];
+              const float* __restrict krow =
+                  kv + static_cast<size_t>(off + j) * dim + col0;
+              if (qgrow) {
+                for (int c = 0; c < dh; ++c) qgrow[c] += ds * krow[c];
+              }
+              if (kg) {
+                float* __restrict kgrow =
+                    kg + static_cast<size_t>(off + j) * dim + col0;
+                for (int c = 0; c < dh; ++c) kgrow[c] += ds * qrow[c];
+              }
+            }
+          }
         }
       }
     };

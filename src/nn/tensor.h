@@ -74,6 +74,7 @@ class Tensor {
   friend Tensor Scale(const Tensor& a, float s);
   friend Tensor AddScalar(const Tensor& a, float s);
   friend Tensor Relu(const Tensor& a);
+  friend Tensor Gelu(const Tensor& a);
   friend Tensor Sigmoid(const Tensor& a);
   friend Tensor Tanh(const Tensor& a);
   friend Tensor Exp(const Tensor& a);
@@ -87,6 +88,18 @@ class Tensor {
   friend Tensor RowSum(const Tensor& a);                // -> [m,1]
   friend Tensor RowMean(const Tensor& a);               // -> [m,1]
   friend Tensor SoftmaxRows(const Tensor& a);           // rowwise softmax
+  // --- Fused serving kernels (see "Fused kernels" below) ---
+  friend Tensor BiasRelu(const Tensor& a, const Tensor& bias);
+  friend Tensor BiasGelu(const Tensor& a, const Tensor& bias);
+  friend Tensor LayerNormRows(const Tensor& x, const Tensor& gamma,
+                              const Tensor& beta);
+  friend Tensor SoftmaxRowsMasked(const Tensor& a,
+                                  const std::vector<int>& valid);
+  friend Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
+                                         const Tensor& v,
+                                         const std::vector<int>& offsets,
+                                         const std::vector<int>& lengths,
+                                         int num_heads, float scale);
   friend Tensor ConcatCols(const std::vector<Tensor>& parts);
   friend Tensor ConcatRows(const std::vector<Tensor>& parts);
   friend Tensor SliceCols(const Tensor& a, int start, int len);
@@ -137,6 +150,7 @@ Tensor Mul(const Tensor& a, const Tensor& b);
 Tensor Scale(const Tensor& a, float s);
 Tensor AddScalar(const Tensor& a, float s);
 Tensor Relu(const Tensor& a);
+Tensor Gelu(const Tensor& a);
 Tensor Sigmoid(const Tensor& a);
 Tensor Tanh(const Tensor& a);
 Tensor Exp(const Tensor& a);
@@ -157,6 +171,51 @@ Tensor SliceRows(const Tensor& a, int start, int len);
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng);
 Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
+
+// --- Fused kernels ----------------------------------------------------------
+//
+// Single-node forward/backward kernels for the serving hot path. Each one
+// replaces a chain of elementwise ops (and the graph nodes, allocations and
+// memory passes that come with it) by one pass over contiguous rows with
+// restrict-qualified pointers. Forward results are bit-identical to the op
+// chains they replace, so swapping them into a model changes no numbers.
+
+// max(a + bias, 0) with a [1, n] bias row: fuses Linear's bias add with the
+// ReLU that follows it (one pass instead of two ops).
+Tensor BiasRelu(const Tensor& a, const Tensor& bias);
+
+// gelu(a + bias) (exact erf form, as in BERT/PyTorch defaults). The GELU
+// feed-forward variant of BiasRelu; selected by TransformerEncoderLayer's
+// ff_activation config.
+Tensor BiasGelu(const Tensor& a, const Tensor& bias);
+
+// Row-wise layer normalization: y = (x - mean) / sqrt(var + 1e-5) * gamma
+// + beta, one kernel instead of the 8-op autograd chain LayerNorm::Forward
+// used to build. Forward arithmetic replicates the original chain exactly
+// (including its exp(-log(std)) reciprocal), so existing weights produce
+// bit-identical activations.
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta);
+
+// Row-wise softmax over the first valid[r] columns of row r; the remaining
+// (padding) columns are exactly 0. Over the valid prefix this is
+// bit-identical to SoftmaxRows on the unpadded row — the padding mask of
+// the batched attention path.
+Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid);
+
+// Fused multi-head self-attention over a ragged packed batch. q/k/v are
+// [sum(lengths), dim] projections; rows [offsets[s], offsets[s]+lengths[s])
+// form sequence s. For every sequence and every head (head h spans columns
+// [h*dh, (h+1)*dh), dh = dim/num_heads) the output block equals
+//   MatMul(SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), scale)), vh)
+// bit-for-bit, but runs as one op instead of ~8 per sequence per head —
+// on short plan sequences the chain's per-op dispatch/allocation dominates
+// the actual arithmetic. Keys never cross sequence boundaries, so packing
+// imposes an exact attention mask by construction.
+Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
+                                const Tensor& v,
+                                const std::vector<int>& offsets,
+                                const std::vector<int>& lengths,
+                                int num_heads, float scale);
 
 // Naive triple-loop matrix multiply (the pre-blocking kernel), kept as the
 // reference implementation for the blocked/tiled MatMul: tests assert

@@ -5,6 +5,20 @@
 
 namespace qpe::nn {
 
+// --- BatchLayout ---
+
+BatchLayout BatchLayout::FromLengths(const std::vector<int>& lengths) {
+  BatchLayout layout;
+  layout.lengths = lengths;
+  layout.offsets.reserve(lengths.size());
+  for (const int len : lengths) {
+    assert(len > 0);
+    layout.offsets.push_back(layout.total_rows);
+    layout.total_rows += len;
+  }
+  return layout;
+}
+
 // --- MultiHeadSelfAttention ---
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int num_heads,
@@ -36,12 +50,35 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
   return wo_->Forward(ConcatCols(heads));
 }
 
+Tensor MultiHeadSelfAttention::ForwardBatch(const Tensor& x,
+                                            const BatchLayout& layout) const {
+  assert(x.cols() == dim_);
+  assert(x.rows() == layout.total_rows);
+  // One GEMM per projection for the whole batch — this is where batching
+  // amortizes the matmul cost vs. B per-sequence projections.
+  const Tensor q = wq_->Forward(x);
+  const Tensor k = wk_->Forward(x);
+  const Tensor v = wv_->Forward(x);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  // Keys never cross sequence boundaries inside the fused kernel, so the
+  // attention mask is exact by construction; per (sequence, head) block the
+  // kernel is bit-identical to the single-sequence
+  // MatMul(SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), scale)), vh) chain,
+  // but replaces ~8 tensor ops per sequence per head with one op — on short
+  // plan sequences the chain's dispatch/allocation overhead dominates.
+  const Tensor context = MultiHeadAttentionPacked(
+      q, k, v, layout.offsets, layout.lengths, num_heads_, scale);
+  // Output projection, again batched over the packed matrix.
+  return wo_->Forward(context);
+}
+
 // --- TransformerEncoderLayer ---
 
 TransformerEncoderLayer::TransformerEncoderLayer(int dim, int num_heads,
                                                  int ff_dim, float dropout,
-                                                 util::Rng* rng)
-    : dropout_(dropout) {
+                                                 util::Rng* rng,
+                                                 FfActivation activation)
+    : dropout_(dropout), activation_(activation) {
   attention_ = RegisterModule(
       "attention", std::make_unique<MultiHeadSelfAttention>(dim, num_heads, rng));
   norm1_ = RegisterModule("norm1", std::make_unique<LayerNorm>(dim));
@@ -56,16 +93,33 @@ Tensor TransformerEncoderLayer::Forward(const Tensor& x,
   Tensor attended = attention_->Forward(norm1_->Forward(x));
   if (use_dropout) attended = Dropout(attended, dropout_, dropout_rng);
   const Tensor h = Add(x, attended);
-  Tensor ff = ff2_->Forward(Relu(ff1_->Forward(norm2_->Forward(h))));
+  const Tensor pre = ff1_->Forward(norm2_->Forward(h));
+  Tensor ff = ff2_->Forward(activation_ == FfActivation::kGelu ? Gelu(pre)
+                                                               : Relu(pre));
   if (use_dropout) ff = Dropout(ff, dropout_, dropout_rng);
   return Add(h, ff);
+}
+
+Tensor TransformerEncoderLayer::ForwardBatch(const Tensor& x,
+                                             const BatchLayout& layout) const {
+  const Tensor attended = attention_->ForwardBatch(norm1_->Forward(x), layout);
+  const Tensor h = Add(x, attended);
+  // Fused bias+activation on the packed matrix: bit-identical to
+  // Relu/Gelu(Add(MatMul(h2, W1), b1)) but one kernel pass instead of
+  // three ops.
+  const Tensor pre = MatMul(norm2_->Forward(h), ff1_->weight());
+  const Tensor activated = activation_ == FfActivation::kGelu
+                               ? BiasGelu(pre, ff1_->bias())
+                               : BiasRelu(pre, ff1_->bias());
+  return Add(h, ff2_->Forward(activated));
 }
 
 // --- TransformerEncoder ---
 
 TransformerEncoder::TransformerEncoder(int dim, int num_heads, int ff_dim,
                                        int num_layers, int max_len,
-                                       float dropout, util::Rng* rng)
+                                       float dropout, util::Rng* rng,
+                                       FfActivation activation)
     : dim_(dim), max_len_(max_len) {
   positional_ = RegisterParameter(
       "positional", Tensor::Gaussian(max_len, dim, 0.02f, rng));
@@ -73,7 +127,7 @@ TransformerEncoder::TransformerEncoder(int dim, int num_heads, int ff_dim,
     layers_.push_back(
         RegisterModule("layer" + std::to_string(i),
                        std::make_unique<TransformerEncoderLayer>(
-                           dim, num_heads, ff_dim, dropout, rng)));
+                           dim, num_heads, ff_dim, dropout, rng, activation)));
   }
 }
 
@@ -85,6 +139,26 @@ Tensor TransformerEncoder::Forward(const Tensor& x,
   h = Add(h, SliceRows(positional_, 0, t));
   for (const TransformerEncoderLayer* layer : layers_) {
     h = layer->Forward(h, dropout_rng);
+  }
+  return h;
+}
+
+Tensor TransformerEncoder::ForwardBatch(const Tensor& x,
+                                        const BatchLayout& layout) const {
+  assert(x.cols() == dim_);
+  assert(x.rows() == layout.total_rows);
+  // Positional embeddings gathered per packed row: row t of sequence s gets
+  // positional_[t], exactly as the single-sequence path adds
+  // SliceRows(positional_, 0, T_s).
+  std::vector<int> positions;
+  positions.reserve(layout.total_rows);
+  for (const int len : layout.lengths) {
+    assert(len <= max_len_);
+    for (int t = 0; t < len; ++t) positions.push_back(t);
+  }
+  Tensor h = Add(x, GatherRows(positional_, positions));
+  for (const TransformerEncoderLayer* layer : layers_) {
+    h = layer->ForwardBatch(h, layout);
   }
   return h;
 }

@@ -1,0 +1,42 @@
+#include "plan/fingerprint.h"
+
+#include "plan/linearize.h"
+
+namespace qpe::plan {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+inline uint64_t FnvByte(uint64_t h, uint8_t b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+// splitmix64 finalizer (Steele et al.): full-avalanche mix of the FNV state.
+inline uint64_t Mix(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+uint64_t FingerprintTokens(const std::vector<OperatorType>& tokens) {
+  uint64_t h = kFnvOffset;
+  for (const OperatorType& t : tokens) {
+    h = FnvByte(h, t.level1);
+    h = FnvByte(h, t.level2);
+    h = FnvByte(h, t.level3);
+  }
+  return Mix(h);
+}
+
+uint64_t FingerprintPlan(const PlanNode& root) {
+  return FingerprintTokens(LinearizeDfsBracket(root));
+}
+
+}  // namespace qpe::plan

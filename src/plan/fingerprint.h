@@ -1,0 +1,37 @@
+#ifndef QPE_PLAN_FINGERPRINT_H_
+#define QPE_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "plan/taxonomy.h"
+
+namespace qpe::plan {
+
+// Canonical 64-bit fingerprint of a plan's structure, used as the cache key
+// of the embedding-serving layer (serve::EmbeddingCache).
+//
+// The fingerprint hashes the DFS-bracket linearization — the exact token
+// sequence the structure encoders consume. Two plans with the same
+// fingerprint therefore produce the same tokens, and (hash collisions
+// aside) the same embedding: TransformerPlanEncoder::Encode is a pure
+// function of the token sequence. The linearization itself is
+// deterministic (children visited in sorted-typename order), so the
+// fingerprint is stable across processes, threads and plan-tree clone
+// order. Plans should be sanitized (SanitizePlan) before fingerprinting so
+// foreign trees with out-of-vocabulary operators map onto the same
+// canonical tokens the encoder will see.
+//
+// The hash is FNV-1a over the three sub-type bytes of every token,
+// finalized with a splitmix64 mix so nearby sequences disperse across the
+// full 64-bit space (the raw FNV state of short similar sequences is
+// clustered, which would skew cache sharding).
+uint64_t FingerprintTokens(const std::vector<OperatorType>& tokens);
+
+// Fingerprint of LinearizeDfsBracket(root).
+uint64_t FingerprintPlan(const PlanNode& root);
+
+}  // namespace qpe::plan
+
+#endif  // QPE_PLAN_FINGERPRINT_H_

@@ -1,0 +1,98 @@
+#include "serve/embedding_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace qpe::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EmbeddingCache::EmbeddingCache(const EmbeddingCacheConfig& config) {
+  const size_t shard_count =
+      RoundUpPow2(static_cast<size_t>(std::max(config.shards, 1)));
+  capacity_ = std::max<size_t>(config.capacity, 1);
+  // Every shard gets an equal share, at least one entry.
+  shard_capacity_ = std::max<size_t>(capacity_ / shard_count, 1);
+  shard_mask_ = shard_count - 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+EmbeddingCache::Shard& EmbeddingCache::ShardFor(uint64_t key) {
+  return *shards_[key & shard_mask_];
+}
+
+const EmbeddingCache::Shard& EmbeddingCache::ShardFor(uint64_t key) const {
+  return *shards_[key & shard_mask_];
+}
+
+bool EmbeddingCache::Lookup(uint64_t key, std::vector<float>* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (out != nullptr) *out = it->second->second;
+  return true;
+}
+
+void EmbeddingCache::Insert(uint64_t key, std::vector<float> embedding) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(embedding);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(embedding));
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+bool EmbeddingCache::Contains(uint64_t key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.count(key) != 0;
+}
+
+void EmbeddingCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->hits = shard->misses = shard->evictions = 0;
+  }
+}
+
+EmbeddingCache::Stats EmbeddingCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace qpe::serve

@@ -1,0 +1,90 @@
+#ifndef QPE_SERVE_EMBEDDING_CACHE_H_
+#define QPE_SERVE_EMBEDDING_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace qpe::serve {
+
+// Configuration of the plan-fingerprint embedding cache.
+struct EmbeddingCacheConfig {
+  // Total number of embeddings held across all shards.
+  size_t capacity = 4096;
+  // Number of independent LRU shards (rounded up to a power of two). More
+  // shards means less lock contention under concurrent serving; 1 shard
+  // gives a single globally-ordered LRU (useful for eviction-order tests).
+  int shards = 8;
+};
+
+// Sharded, thread-safe LRU cache of plan embeddings keyed by the 64-bit
+// plan fingerprint (plan::FingerprintPlan — a hash of the sanitized
+// DFS-bracket linearization, i.e. exactly the encoder's input, so equal
+// keys mean equal embeddings up to hash collisions).
+//
+// Each shard is an independent LRU protected by its own mutex; a key's
+// shard is derived from its low bits, which the fingerprint's splitmix64
+// finalizer distributes uniformly. Values are raw float rows (the [1, d]
+// embedding's storage), not nn::Tensor handles, so cached entries never
+// alias autograd state.
+class EmbeddingCache {
+ public:
+  explicit EmbeddingCache(const EmbeddingCacheConfig& config = {});
+
+  // On hit copies the cached embedding into *out (out may be null to probe)
+  // and refreshes its LRU position; returns true. Counts one hit or miss.
+  bool Lookup(uint64_t key, std::vector<float>* out);
+
+  // Inserts or refreshes `key`; the least-recently-used entry of the
+  // key's shard is evicted when the shard exceeds its capacity share.
+  void Insert(uint64_t key, std::vector<float> embedding);
+
+  // Probe without touching LRU order or counters (tests, introspection).
+  bool Contains(uint64_t key) const;
+
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  // Aggregated over shards; a consistent per-shard snapshot (shards are
+  // locked one at a time, so cross-shard totals may race a concurrent
+  // writer, which is fine for monitoring counters).
+  Stats GetStats() const;
+
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used. The map stores iterators into the list.
+    std::list<std::pair<uint64_t, std::vector<float>>> lru;
+    std::unordered_map<uint64_t, decltype(lru)::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key);
+  const Shard& ShardFor(uint64_t key) const;
+
+  size_t capacity_ = 0;
+  size_t shard_capacity_ = 0;
+  uint64_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qpe::serve
+
+#endif  // QPE_SERVE_EMBEDDING_CACHE_H_

@@ -22,12 +22,19 @@ int EmbeddingFeaturizer::FeatureDim() const {
 
 std::vector<float> EmbeddingFeaturizer::Featurize(
     const simdb::ExecutedQuery& record) const {
+  return FeaturizeImpl(record, nullptr);
+}
+
+std::vector<float> EmbeddingFeaturizer::FeaturizeImpl(
+    const simdb::ExecutedQuery& record, const nn::Tensor* structure) const {
   std::vector<float> features;
   features.reserve(FeatureDim());
   const plan::PlanNode& root = *record.query.root;
 
   if (config_.structure != nullptr) {
-    const nn::Tensor s = config_.structure->Encode(root, nullptr);
+    const nn::Tensor s = structure != nullptr
+                             ? *structure
+                             : config_.structure->Encode(root, nullptr);
     for (float v : s.value()) features.push_back(v);
   }
 
@@ -87,10 +94,22 @@ std::vector<float> EmbeddingFeaturizer::Featurize(
 
 std::vector<std::vector<float>> EmbeddingFeaturizer::FeaturizeAll(
     const std::vector<simdb::ExecutedQuery>& records) const {
+  // Batch the structural encodes across the whole dataset: one packed
+  // transformer forward instead of a per-record pass.
+  std::vector<nn::Tensor> structure;
+  if (config_.structure != nullptr) {
+    std::vector<const plan::PlanNode*> roots;
+    roots.reserve(records.size());
+    for (const simdb::ExecutedQuery& record : records) {
+      roots.push_back(record.query.root.get());
+    }
+    structure = config_.structure->EncodeBatch(roots, nullptr);
+  }
   std::vector<std::vector<float>> rows;
   rows.reserve(records.size());
-  for (const simdb::ExecutedQuery& record : records) {
-    rows.push_back(Featurize(record));
+  for (size_t i = 0; i < records.size(); ++i) {
+    rows.push_back(FeaturizeImpl(
+        records[i], structure.empty() ? nullptr : &structure[i]));
   }
   return rows;
 }

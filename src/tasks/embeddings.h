@@ -40,12 +40,19 @@ class EmbeddingFeaturizer {
   std::vector<float> Featurize(const simdb::ExecutedQuery& record) const;
 
   // Featurizes a whole dataset into an [N, FeatureDim] row-major matrix.
+  // The structure embeddings of all records are computed in one
+  // EncodeBatch call (bit-identical to per-record Encode).
   std::vector<std::vector<float>> FeaturizeAll(
       const std::vector<simdb::ExecutedQuery>& records) const;
 
   const Config& config() const { return config_; }
 
  private:
+  // `structure` is the precomputed structural embedding of the record's
+  // plan (batched path), or null to encode inline.
+  std::vector<float> FeaturizeImpl(const simdb::ExecutedQuery& record,
+                                   const nn::Tensor* structure) const;
+
   Config config_;
 };
 

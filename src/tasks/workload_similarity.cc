@@ -14,12 +14,21 @@ std::vector<double> WorkloadEmbedding(
   double total_theta = 0;
   for (const WeightedPlan& entry : workload) total_theta += entry.theta;
   if (total_theta <= 0) return embedding;
+  // Encode the whole workload in one batched forward (bit-identical to
+  // per-plan Encode, but the transformer GEMMs amortize across plans).
+  std::vector<const plan::PlanNode*> plans;
+  std::vector<double> weights;
+  plans.reserve(workload.size());
+  weights.reserve(workload.size());
   for (const WeightedPlan& entry : workload) {
     if (entry.plan == nullptr) continue;
-    const nn::Tensor plan_embedding = encoder.Encode(*entry.plan, nullptr);
-    const double weight = entry.theta / total_theta;
-    for (int c = 0; c < plan_embedding.cols(); ++c) {
-      embedding[c] += weight * plan_embedding.at(0, c);
+    plans.push_back(entry.plan);
+    weights.push_back(entry.theta / total_theta);
+  }
+  const std::vector<nn::Tensor> encoded = encoder.EncodeBatch(plans, nullptr);
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    for (int c = 0; c < encoded[i].cols(); ++c) {
+      embedding[c] += weights[i] * encoded[i].at(0, c);
     }
   }
   return embedding;

@@ -282,5 +282,180 @@ TEST(TensorTest, DeepGraphBackwardDoesNotOverflowStack) {
   EXPECT_GT(x.grad()[0], 0.0f);
 }
 
+// --- Fused serving kernels --------------------------------------------------
+//
+// The fused kernels promise bit-identical forwards to the op chains they
+// replace; these tests enforce exact (==) float equality, not tolerance.
+
+// Values bounded away from the ReLU kink so central differences and the
+// subgradient agree.
+Tensor KinkFreeTensor(int rows, int cols, util::Rng* rng) {
+  Tensor t = Tensor::Zeros(rows, cols, /*requires_grad=*/true);
+  for (float& v : t.value()) {
+    const float x = static_cast<float>(rng->Uniform(0.1, 1.0));
+    v = rng->Bernoulli(0.5) ? x : -x;
+  }
+  return t;
+}
+
+TEST(FusedKernelTest, BiasReluMatchesUnfusedBitExact) {
+  util::Rng rng(71);
+  const Tensor a = RandTensor(5, 7, &rng);
+  const Tensor bias = RandTensor(1, 7, &rng);
+  const Tensor fused = BiasRelu(a, bias);
+  const Tensor unfused = Relu(Add(a, bias));
+  ASSERT_EQ(fused.numel(), unfused.numel());
+  for (int i = 0; i < fused.numel(); ++i) {
+    EXPECT_EQ(fused.value()[i], unfused.value()[i]) << "element " << i;
+  }
+  // Gradients accumulate in the same row-major order as the Add/Relu
+  // chain, so they are exact too.
+  Sum(fused).Backward();
+  const std::vector<float> fused_a = a.grad(), fused_b = bias.grad();
+  a.ZeroGrad();
+  bias.ZeroGrad();
+  Sum(unfused).Backward();
+  for (int i = 0; i < a.numel(); ++i) EXPECT_EQ(fused_a[i], a.grad()[i]);
+  for (int i = 0; i < bias.numel(); ++i) EXPECT_EQ(fused_b[i], bias.grad()[i]);
+}
+
+TEST(FusedKernelTest, BiasGeluMatchesGeluOfAddBitExact) {
+  util::Rng rng(72);
+  const Tensor a = RandTensor(4, 6, &rng);
+  const Tensor bias = RandTensor(1, 6, &rng);
+  const Tensor fused = BiasGelu(a, bias);
+  const Tensor unfused = Gelu(Add(a, bias));
+  for (int i = 0; i < fused.numel(); ++i) {
+    EXPECT_EQ(fused.value()[i], unfused.value()[i]) << "element " << i;
+  }
+}
+
+TEST(FusedKernelTest, BiasReluGradient) {
+  util::Rng rng(73);
+  const Tensor a = KinkFreeTensor(3, 5, &rng);
+  Tensor bias = Tensor::Zeros(1, 5, /*requires_grad=*/true);  // keeps a+b off 0
+  CheckGradients({a, bias}, [&]() { return Sum(BiasRelu(a, bias)); });
+}
+
+TEST(FusedKernelTest, GeluForwardAndGradient) {
+  // Exact erf form: gelu(0) = 0, gelu(x) -> x for large x, -> 0 for small.
+  const Tensor x =
+      Tensor::FromVector(1, 3, {0.0f, 10.0f, -10.0f}, /*requires_grad=*/true);
+  const Tensor y = Gelu(x);
+  EXPECT_EQ(y.value()[0], 0.0f);
+  EXPECT_NEAR(y.value()[1], 10.0f, 1e-4f);
+  EXPECT_NEAR(y.value()[2], 0.0f, 1e-4f);
+  util::Rng rng(74);
+  const Tensor a = RandTensor(3, 4, &rng);
+  CheckGradients({a}, [&]() { return Sum(Gelu(a)); });
+  const Tensor b = RandTensor(2, 4, &rng);
+  const Tensor bias = RandTensor(1, 4, &rng, 0.3f);
+  CheckGradients({b, bias}, [&]() { return Sum(BiasGelu(b, bias)); });
+}
+
+TEST(FusedKernelTest, LayerNormRowsMatchesCompositeChainBitExact) {
+  util::Rng rng(75);
+  const Tensor x = RandTensor(6, 9, &rng);
+  const Tensor gamma = RandTensor(1, 9, &rng);
+  const Tensor beta = RandTensor(1, 9, &rng);
+  const Tensor fused = LayerNormRows(x, gamma, beta);
+  // The op chain LayerNorm::Forward used before the fused kernel existed.
+  const Tensor mean = RowMean(x);
+  const Tensor centered = Sub(x, mean);
+  const Tensor var = RowMean(Square(centered));
+  const Tensor inv_std = Sqrt(AddScalar(var, 1e-5f));
+  const Tensor recip = Exp(Scale(Log(inv_std), -1.0f));
+  const Tensor unfused = Add(Mul(Mul(centered, recip), gamma), beta);
+  for (int i = 0; i < fused.numel(); ++i) {
+    EXPECT_EQ(fused.value()[i], unfused.value()[i]) << "element " << i;
+  }
+}
+
+TEST(FusedKernelTest, LayerNormRowsGradient) {
+  util::Rng rng(76);
+  const Tensor x = RandTensor(4, 6, &rng);
+  const Tensor gamma = RandTensor(1, 6, &rng);
+  const Tensor beta = RandTensor(1, 6, &rng);
+  // Weighted sum so row gradients are not uniform.
+  const Tensor w = RandTensor(6, 1, &rng);
+  CheckGradients({x, gamma, beta},
+                 [&]() { return Sum(MatMul(LayerNormRows(x, gamma, beta), w)); });
+}
+
+TEST(FusedKernelTest, SoftmaxRowsMaskedMatchesUnpaddedBitExact) {
+  util::Rng rng(77);
+  const Tensor a = RandTensor(3, 6, &rng);
+  const std::vector<int> valid = {6, 4, 2};
+  const Tensor masked = SoftmaxRowsMasked(a, valid);
+  for (int r = 0; r < 3; ++r) {
+    // Row r over its valid prefix must equal SoftmaxRows on the unpadded
+    // row; the padding tail must be exactly zero.
+    const Tensor row = SoftmaxRows(SliceCols(SliceRows(a, r, 1), 0, valid[r]));
+    for (int c = 0; c < valid[r]; ++c) {
+      EXPECT_EQ(masked.at(r, c), row.at(0, c)) << r << "," << c;
+    }
+    for (int c = valid[r]; c < 6; ++c) EXPECT_EQ(masked.at(r, c), 0.0f);
+  }
+}
+
+TEST(FusedKernelTest, SoftmaxRowsMaskedGradient) {
+  util::Rng rng(78);
+  const Tensor a = RandTensor(3, 5, &rng);
+  const std::vector<int> valid = {5, 3, 1};
+  const Tensor w = RandTensor(5, 1, &rng);
+  CheckGradients(
+      {a}, [&]() { return Sum(MatMul(SoftmaxRowsMasked(a, valid), w)); });
+}
+
+TEST(FusedKernelTest, MultiHeadAttentionPackedMatchesChainBitExact) {
+  util::Rng rng(79);
+  const int dim = 8, num_heads = 2, dh = dim / num_heads;
+  const std::vector<int> offsets = {0, 5};
+  const std::vector<int> lengths = {5, 3};
+  const Tensor q = RandTensor(8, dim, &rng);
+  const Tensor k = RandTensor(8, dim, &rng);
+  const Tensor v = RandTensor(8, dim, &rng);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const Tensor fused =
+      MultiHeadAttentionPacked(q, k, v, offsets, lengths, num_heads, scale);
+  // The per-sequence, per-head op chain ForwardBatch used before the fused
+  // kernel existed.
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const Tensor qs = SliceRows(q, offsets[s], lengths[s]);
+    const Tensor ks = SliceRows(k, offsets[s], lengths[s]);
+    const Tensor vs = SliceRows(v, offsets[s], lengths[s]);
+    for (int h = 0; h < num_heads; ++h) {
+      const Tensor qh = SliceCols(qs, h * dh, dh);
+      const Tensor kh = SliceCols(ks, h * dh, dh);
+      const Tensor vh = SliceCols(vs, h * dh, dh);
+      const Tensor ctx =
+          MatMul(SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), scale)), vh);
+      for (int i = 0; i < lengths[s]; ++i) {
+        for (int c = 0; c < dh; ++c) {
+          EXPECT_EQ(fused.at(offsets[s] + i, h * dh + c), ctx.at(i, c))
+              << "seq " << s << " head " << h << " (" << i << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedKernelTest, MultiHeadAttentionPackedGradient) {
+  util::Rng rng(80);
+  const int dim = 6, num_heads = 2;
+  const std::vector<int> offsets = {0, 4};
+  const std::vector<int> lengths = {4, 2};
+  const Tensor q = RandTensor(6, dim, &rng);
+  const Tensor k = RandTensor(6, dim, &rng);
+  const Tensor v = RandTensor(6, dim, &rng);
+  const Tensor w = RandTensor(dim, 1, &rng);
+  const float scale = 1.0f / std::sqrt(3.0f);
+  CheckGradients({q, k, v}, [&]() {
+    return Sum(MatMul(
+        MultiHeadAttentionPacked(q, k, v, offsets, lengths, num_heads, scale),
+        w));
+  });
+}
+
 }  // namespace
 }  // namespace qpe::nn
