@@ -334,4 +334,15 @@ BENCHMARK(BM_TrainStepPerfEncoder)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp this binary's build type
+// into the JSON context so the baseline scripts can refuse debug-recorded
+// numbers. (The reporter's own `library_build_type` field describes how
+// libbenchmark was compiled, not this binary.)
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("qpe_build_type", QPE_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -178,6 +178,7 @@ int main(int argc, char** argv) {
   }
   out.precision(6);
   out << "{\n"
+      << "  \"build_type\": \"" << QPE_BUILD_TYPE << "\",\n"
       << "  \"threads\": 1,\n"
       << "  \"batch_size\": " << kBatchSize << ",\n"
       << "  \"num_plans\": " << n << ",\n"

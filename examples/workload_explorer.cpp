@@ -27,6 +27,7 @@
 #include "data/plan_corpus.h"
 #include "encoder/encoder_suite.h"
 #include "encoder/performance_encoder.h"
+#include "nn/arena.h"
 #include "plan/explain.h"
 #include "serve/embedding_service.h"
 #include "simdb/workload_runner.h"
@@ -48,6 +49,25 @@ uint32_t ModelFingerprint(const qpe::nn::Module& model) {
   }
   return crc;
 }
+
+// Prints the tensor-arena telemetry at scope exit, so every return path in
+// main() reports it when --mem-stats is set.
+struct MemStatsReport {
+  bool enabled = false;
+  ~MemStatsReport() {
+    if (!enabled) return;
+    const qpe::nn::MemoryStats stats = qpe::nn::GlobalMemoryStats();
+    std::cout << "\nMemory stats (tensor arena):\n"
+              << "  bytes requested:  " << stats.bytes_requested << "\n"
+              << "  arena hits:       " << stats.arena_hits << "\n"
+              << "  arena misses:     " << stats.arena_misses << "\n"
+              << "  recycled buffers: " << stats.recycled_buffers << "\n"
+              << "  released buffers: " << stats.released_buffers << "\n"
+              << "  graph epochs:     " << stats.epochs << "\n"
+              << "  peak arena bytes: " << stats.peak_arena_bytes << "\n"
+              << "  peak RSS bytes:   " << qpe::nn::PeakRssBytes() << "\n";
+  }
+};
 
 void PrintEmbedding(const char* label, const qpe::nn::Tensor& embedding) {
   std::cout << "  " << label << " [" << embedding.cols() << "-d]:";
@@ -132,7 +152,7 @@ int RunIngest(const std::string& path, bool strict) {
 }  // namespace
 
 // Usage: workload_explorer [--threads=N] [--checkpoint-dir=DIR] [--resume]
-//                          [--ingest=EXPLAIN.txt [--strict]]
+//                          [--ingest=EXPLAIN.txt [--strict]] [--mem-stats]
 //                          [scale_factor] [num_configs]
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
@@ -140,6 +160,7 @@ int main(int argc, char** argv) {
   std::string ingest_path;
   bool resume = false;
   bool strict = false;
+  MemStatsReport mem_report;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       qpe::util::SetMaxThreads(std::atoi(argv[i] + 10));
@@ -151,6 +172,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--mem-stats") == 0) {
+      mem_report.enabled = true;
     } else {
       positional.push_back(argv[i]);
     }

@@ -1,70 +1,144 @@
 #!/usr/bin/env bash
-# Serving-throughput regression gate: rebuilds bench_serving, runs it to a
-# temporary file, and compares the fresh numbers against the committed
-# BENCH_serving.json baseline. A drop of more than 10% on any throughput
-# metric (per-plan, raw-batched, batched-serving, or warm-cache plans/sec)
-# fails the script with exit 1.
+# Benchmark regression gate: rebuilds bench_serving and bench_micro from a
+# Release tree, runs them to temporary files, and compares the fresh
+# numbers against the committed baselines.
+#
+#   - BENCH_serving.json: a drop of more than 10% on any throughput metric
+#     (per-plan, raw-batched, batched-serving, or warm-cache plans/sec)
+#     fails with exit 1.
+#   - BENCH_micro.json: a cpu_time increase of more than 25% on the
+#     training-step benchmarks (BM_TrainStepPpsr, BM_TrainStepPerfEncoder)
+#     fails with exit 1. The threshold is coarser than serving because a
+#     whole training epoch has more run-to-run variance than the
+#     best-of-N serving loops.
+#
+# Both comparisons refuse baselines recorded from a non-Release build: a
+# debug-recorded baseline makes any Release run look like a huge win and
+# the gate stops gating. Re-record with scripts/run_bench_baseline.sh.
 #
 # The committed baseline is a portable-build number; the comparison build
 # is portable too, so a QPE_NATIVE-tuned tree never masks (or fakes) a
 # regression. CPU-frequency scaling on shared hosts adds real run-to-run
 # variance — bench_serving already defends with process-CPU-time and
-# best-of repetitions — so the threshold is deliberately coarse (10%).
+# best-of repetitions — so the thresholds are deliberately coarse.
 #
-# Usage: scripts/check_bench_regression.sh [baseline.json]
+# Usage: scripts/check_bench_regression.sh [serving_baseline.json] [micro_baseline.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE="${1:-BENCH_serving.json}"
-if [[ ! -f "${BASELINE}" ]]; then
-  echo "missing baseline ${BASELINE} — run scripts/run_bench_baseline.sh first"
-  exit 1
-fi
+SERVING_BASELINE="${1:-BENCH_serving.json}"
+MICRO_BASELINE="${2:-BENCH_micro.json}"
+for baseline in "${SERVING_BASELINE}" "${MICRO_BASELINE}"; do
+  if [[ ! -f "${baseline}" ]]; then
+    echo "missing baseline ${baseline} — run scripts/run_bench_baseline.sh first"
+    exit 1
+  fi
+done
 
-cmake -B build -S . >/dev/null
-cmake --build build --target bench_serving -j"$(nproc)"
+BUILD_DIR="${QPE_BENCH_BUILD_DIR:-build-release}"
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_serving bench_micro -j"$(nproc)"
 
-FRESH="$(mktemp /tmp/bench_serving.XXXXXX.json)"
-trap 'rm -f "${FRESH}"' EXIT
-./build/bench/bench_serving "${FRESH}"
+FRESH_SERVING="$(mktemp /tmp/bench_serving.XXXXXX.json)"
+FRESH_MICRO="$(mktemp /tmp/bench_micro.XXXXXX.json)"
+trap 'rm -f "${FRESH_SERVING}" "${FRESH_MICRO}"' EXIT
+"./${BUILD_DIR}/bench/bench_serving" "${FRESH_SERVING}"
+echo
+"./${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_filter='BM_TrainStep' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${FRESH_MICRO}" \
+  --benchmark_out_format=json
 
-python3 - "${BASELINE}" "${FRESH}" <<'PY'
+python3 - "${SERVING_BASELINE}" "${FRESH_SERVING}" "${MICRO_BASELINE}" "${FRESH_MICRO}" <<'PY'
 import json
 import sys
 
-THRESHOLD = 0.10
-METRICS = [
+SERVING_THRESHOLD = 0.10   # throughput: fail below (1 - 0.10) x baseline
+MICRO_THRESHOLD = 0.25     # cpu_time:   fail above (1 + 0.25) x baseline
+SERVING_METRICS = [
     "per_plan_plans_per_sec",
     "raw_batched_plans_per_sec",
     "batched_plans_per_sec",
     "cached_plans_per_sec",
 ]
+MICRO_PREFIXES = ("BM_TrainStepPpsr", "BM_TrainStepPerfEncoder")
 
 with open(sys.argv[1]) as f:
-    baseline = json.load(f)
+    serving_base = json.load(f)
 with open(sys.argv[2]) as f:
-    fresh = json.load(f)
+    serving_fresh = json.load(f)
+with open(sys.argv[3]) as f:
+    micro_base = json.load(f)
+with open(sys.argv[4]) as f:
+    micro_fresh = json.load(f)
 
 failed = False
+
+# A baseline recorded from a debug (or unstamped) build defeats the gate.
+base_types = {
+    sys.argv[1]: serving_base.get("build_type", ""),
+    sys.argv[3]: micro_base.get("context", {}).get("qpe_build_type", ""),
+}
+for name, build_type in base_types.items():
+    if build_type != "Release":
+        print(f"FAIL: baseline {name} was recorded from build type "
+              f"'{build_type or 'unknown'}', not Release — re-record with "
+              "scripts/run_bench_baseline.sh")
+        failed = True
+if failed:
+    sys.exit(1)
+
 print()
-print(f"{'metric':<28} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
-for metric in METRICS:
-    base = baseline.get(metric)
-    now = fresh.get(metric)
+print(f"{'metric':<34} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+for metric in SERVING_METRICS:
+    base = serving_base.get(metric)
+    now = serving_fresh.get(metric)
     if base is None or now is None:
-        print(f"{metric:<28} missing from baseline or fresh run")
+        print(f"{metric:<34} missing from baseline or fresh run")
         failed = True
         continue
     ratio = now / base if base else float("inf")
     flag = ""
-    if ratio < 1.0 - THRESHOLD:
+    if ratio < 1.0 - SERVING_THRESHOLD:
         flag = "  REGRESSION"
         failed = True
-    print(f"{metric:<28} {base:>12.1f} {now:>12.1f} {ratio:>6.2f}x{flag}")
+    print(f"{metric:<34} {base:>12.1f} {now:>12.1f} {ratio:>6.2f}x{flag}")
+
+
+def train_step_times(report):
+    times = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name.startswith(MICRO_PREFIXES) and bench.get("run_type") != "aggregate":
+            times[name] = bench["cpu_time"]
+    return times
+
+
+base_times = train_step_times(micro_base)
+fresh_times = train_step_times(micro_fresh)
+for name in sorted(base_times):
+    base = base_times[name]
+    now = fresh_times.get(name)
+    if now is None:
+        print(f"{name:<34} missing from fresh run")
+        failed = True
+        continue
+    ratio = now / base if base else float("inf")
+    flag = ""
+    if ratio > 1.0 + MICRO_THRESHOLD:
+        flag = "  REGRESSION"
+        failed = True
+    print(f"{name + ' cpu_time(ms)':<34} {base:>12.2f} {now:>12.2f} "
+          f"{ratio:>6.2f}x{flag}")
+if not base_times:
+    print("no BM_TrainStep benchmarks found in micro baseline")
+    failed = True
 
 if failed:
-    print(f"\nFAIL: throughput dropped more than {THRESHOLD:.0%} vs baseline")
+    print("\nFAIL: benchmark regression vs committed baselines")
     sys.exit(1)
-print(f"\nOK: all throughput metrics within {THRESHOLD:.0%} of baseline")
+print(f"\nOK: serving within {SERVING_THRESHOLD:.0%} and train-step "
+      f"cpu_time within {MICRO_THRESHOLD:.0%} of baseline")
 PY

@@ -6,6 +6,15 @@
 # (per-plan vs batched vs warm-cache plans/sec, request latency
 # percentiles) into BENCH_serving.json at the repo root.
 #
+# Baselines are ONLY recorded from a Release build. The default `build`
+# tree is configured without CMAKE_BUILD_TYPE (no optimization), and a
+# baseline recorded from it makes every later Release run look 5-10x
+# faster than "baseline" — the regression gate becomes noise. This script
+# therefore configures a dedicated build-release tree and refuses to
+# commit numbers unless both binaries self-report a Release build type
+# (the qpe_build_type JSON context / build_type JSON field, stamped from
+# CMAKE_BUILD_TYPE at compile time).
+#
 # Both baselines are portable-build numbers (no -march=native) so they are
 # reproducible on any x86-64 host; configure with -DQPE_NATIVE=ON for
 # arch-specific codegen when benchmarking a specific machine, but do not
@@ -20,17 +29,43 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . >/dev/null
-cmake --build build --target bench_micro bench_serving -j"$(nproc)"
+BUILD_DIR="${QPE_BENCH_BUILD_DIR:-build-release}"
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_micro bench_serving -j"$(nproc)"
 
-./build/bench/bench_micro \
+# min_time 0.2s: the train-step benchmarks run ~20 ms/iteration, and a
+# 0.05s window records 2-3 warmup-dominated iterations — too noisy to gate
+# a 25% regression threshold on.
+"./${BUILD_DIR}/bench/bench_micro" \
   --benchmark_filter='BM_MatMul|BM_TrainStep|Fused|BM_SoftmaxRows' \
-  --benchmark_min_time=0.05 \
+  --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_micro.json \
   --benchmark_out_format=json
 
 echo
-./build/bench/bench_serving BENCH_serving.json
+"./${BUILD_DIR}/bench/bench_serving" BENCH_serving.json
+
+# Refuse to leave non-Release numbers behind as the committed baseline.
+python3 - <<'PY'
+import json
+import sys
+
+with open("BENCH_micro.json") as f:
+    micro = json.load(f)["context"].get("qpe_build_type", "")
+with open("BENCH_serving.json") as f:
+    serving = json.load(f).get("build_type", "")
+
+bad = [name for name, value in [("BENCH_micro.json", micro),
+                                ("BENCH_serving.json", serving)]
+       if value != "Release"]
+if bad:
+    for name in bad:
+        print(f"ERROR: {name} was recorded from a non-Release build")
+    print("refusing to keep a debug-recorded baseline; "
+          "delete the files and rerun")
+    sys.exit(1)
+print("\nbaseline build type: Release (verified in both files)")
+PY
 
 echo
 echo "Wrote $(pwd)/BENCH_micro.json and $(pwd)/BENCH_serving.json"

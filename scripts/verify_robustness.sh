@@ -22,7 +22,7 @@ echo "=== [1/4] AddressSanitizer robustness suites ==="
 cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
   --target checkpoint_test dataset_io_test robustness_test ingestion_test \
-  serving_test workload_explorer
+  serving_test arena_test workload_explorer
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -32,6 +32,11 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/robustness_test
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/serving_test
+# The arena cooperates with sanitizers by disabling recycling
+# (QPE_SANITIZE_BUILD): every Acquire allocates fresh and EndEpoch really
+# frees, so ASan sees each graph buffer's true lifetime.
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/arena_test
 
 explorer=./build-asan/examples/workload_explorer
 

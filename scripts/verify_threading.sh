@@ -5,18 +5,23 @@
 # plus the serving suite (sharded embedding cache under concurrent
 # hit/miss/eviction traffic, EmbeddingService with data-parallel
 # micro-batches) under TSan, so any data race in the parallel engine or the
-# serving layer fails the run.
+# serving layer fails the run. The arena suite rides along: per-thread
+# arenas plus the relaxed-atomic telemetry counters must stay race-free
+# under the multi-threaded training tests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DQPE_SANITIZE=thread >/dev/null
-cmake --build build-tsan --target threading_test serving_test -j"$(nproc)"
+cmake --build build-tsan --target threading_test serving_test arena_test \
+  -j"$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/threading_test
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/serving_test
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  ./build-tsan/tests/arena_test
 
 echo
 echo "ThreadSanitizer run clean."

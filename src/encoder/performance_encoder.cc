@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "data/features.h"
+#include "nn/arena.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/parallel.h"
@@ -131,15 +132,18 @@ PerfBatch MakePerfBatch(const std::vector<data::OperatorSample>& samples,
 double EvaluatePerfMaeMs(const PerfEncoderBase& model,
                          const std::vector<data::OperatorSample>& samples) {
   if (samples.empty()) return 0;
+  nn::ArenaScope arena;     // the whole eval graph dies with this scope
   nn::NoGradGuard no_grad;  // pure forward: skip graph construction
   std::vector<int> all(samples.size());
   for (size_t i = 0; i < samples.size(); ++i) all[i] = static_cast<int>(i);
   const PerfBatch batch = MakePerfBatch(samples, all);
   const nn::Tensor pred =
       model.PredictLabels(model.Embed(batch.node, batch.meta, batch.db));
+  const float* pv = pred.value().data();  // [n, 3] rows; label in column 0
+  const int pn = pred.cols();
   double total = 0;
   for (size_t i = 0; i < samples.size(); ++i) {
-    const double pred_ms = data::DecodeLabel(pred.at(static_cast<int>(i), 0));
+    const double pred_ms = data::DecodeLabel(pv[i * pn]);
     total += std::abs(pred_ms - samples[i].actual_total_time_ms);
   }
   return total / static_cast<double>(samples.size());

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "nn/arena.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/parallel.h"
@@ -140,6 +141,7 @@ double EvaluatePpsrMae(const PpsrModel& model,
   const int n = static_cast<int>(pairs.size());
   std::vector<double> errors(n, 0.0);
   util::ParallelRun(n, [&](int i) {
+    nn::ArenaScope arena;     // per-item graph epoch; nothing escapes
     nn::NoGradGuard no_grad;  // pure forward: skip graph construction
     const data::PlanPair& pair = pairs[i];
     const nn::Tensor pred =

@@ -5,10 +5,23 @@
 
 namespace qpe::nn {
 
-std::vector<Tensor> Module::Parameters() const {
-  std::vector<Tensor> out;
-  for (const auto& [name, tensor] : NamedParameters()) out.push_back(tensor);
-  return out;
+std::vector<Tensor> Module::Parameters() const { return CachedParameters(); }
+
+const std::vector<Tensor>& Module::CachedParameters() const {
+  if (!param_cache_valid_) {
+    param_cache_.clear();
+    CollectParams(&param_cache_);
+    param_cache_valid_ = true;
+  }
+  return param_cache_;
+}
+
+void Module::CollectParams(std::vector<Tensor>* out) const {
+  // Same traversal order as CollectNamed, minus the name building.
+  for (const auto& [name, tensor] : params_) out->push_back(tensor);
+  for (const auto& [name, submodule] : submodules_) {
+    submodule->CollectParams(out);
+  }
 }
 
 std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
@@ -30,7 +43,7 @@ void Module::CollectNamed(
 
 int Module::ParameterCount() const {
   int count = 0;
-  for (const Tensor& p : Parameters()) count += p.numel();
+  for (const Tensor& p : CachedParameters()) count += p.numel();
   return count;
 }
 
@@ -40,11 +53,12 @@ void Module::SetTraining(bool training) {
 }
 
 void Module::ZeroGrad() {
-  for (Tensor p : Parameters()) p.ZeroGrad();
+  for (const Tensor& p : CachedParameters()) p.ZeroGrad();
 }
 
 Tensor& Module::RegisterParameter(const std::string& name, Tensor tensor) {
   params_.emplace_back(name, std::move(tensor));
+  param_cache_valid_ = false;
   return params_.back().second;
 }
 
@@ -109,15 +123,18 @@ Tensor BatchNorm1d::Forward(const Tensor& x) {
   assert(x.cols() == dim_);
   if (training() && x.rows() > 1) {
     const int m = x.rows();
+    const float* xv = x.value().data();
     // Batch statistics as constants for the running update.
     std::vector<float> mean(dim_, 0.0f), var(dim_, 0.0f);
     for (int r = 0; r < m; ++r) {
-      for (int c = 0; c < dim_; ++c) mean[c] += x.at(r, c);
+      const float* xrow = xv + static_cast<size_t>(r) * dim_;
+      for (int c = 0; c < dim_; ++c) mean[c] += xrow[c];
     }
     for (int c = 0; c < dim_; ++c) mean[c] /= static_cast<float>(m);
     for (int r = 0; r < m; ++r) {
+      const float* xrow = xv + static_cast<size_t>(r) * dim_;
       for (int c = 0; c < dim_; ++c) {
-        const float d = x.at(r, c) - mean[c];
+        const float d = xrow[c] - mean[c];
         var[c] += d * d;
       }
     }
@@ -131,18 +148,22 @@ Tensor BatchNorm1d::Forward(const Tensor& x) {
     // so gradients flow through the statistics as in standard batch norm).
     Tensor col_mean = Tensor::Zeros(1, dim_);
     Tensor col_inv_std = Tensor::Zeros(1, dim_);
+    float* mv = col_mean.value().data();
+    float* sv = col_inv_std.value().data();
     for (int c = 0; c < dim_; ++c) {
-      col_mean.set(0, c, mean[c]);
-      col_inv_std.set(0, c, 1.0f / std::sqrt(var[c] + 1e-5f));
+      mv[c] = mean[c];
+      sv[c] = 1.0f / std::sqrt(var[c] + 1e-5f);
     }
     const Tensor normalized = Mul(Sub(x, col_mean), col_inv_std);
     return Add(Mul(normalized, gamma_), beta_);
   }
   Tensor col_mean = Tensor::Zeros(1, dim_);
   Tensor col_inv_std = Tensor::Zeros(1, dim_);
+  float* mv = col_mean.value().data();
+  float* sv = col_inv_std.value().data();
   for (int c = 0; c < dim_; ++c) {
-    col_mean.set(0, c, running_mean_[c]);
-    col_inv_std.set(0, c, 1.0f / std::sqrt(running_var_[c] + 1e-5f));
+    mv[c] = running_mean_[c];
+    sv[c] = 1.0f / std::sqrt(running_var_[c] + 1e-5f);
   }
   const Tensor normalized = Mul(Sub(x, col_mean), col_inv_std);
   return Add(Mul(normalized, gamma_), beta_);

@@ -21,7 +21,11 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
-  // All trainable parameters of this module and its submodules.
+  // All trainable parameters of this module and its submodules. Served from
+  // a cache (tensors are shared handles, so the cached copies alias the
+  // live parameters): training loops call this every step via
+  // ZeroGrad/optimizers, and rebuilding the dotted-name tree each time
+  // dominated small-model step cost.
   std::vector<Tensor> Parameters() const;
   // Parameters with stable dotted path names, e.g. "encoder.layer0.wq".
   std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
@@ -43,15 +47,22 @@ class Module {
   M* RegisterModule(const std::string& name, std::unique_ptr<M> module) {
     M* raw = module.get();
     submodules_.emplace_back(name, std::move(module));
+    param_cache_valid_ = false;
     return raw;
   }
 
  private:
   void CollectNamed(const std::string& prefix,
                     std::vector<std::pair<std::string, Tensor>>* out) const;
+  void CollectParams(std::vector<Tensor>* out) const;
+  // The flattened parameter list, built once after construction (both
+  // Register* calls invalidate it) and reused by ZeroGrad()/Parameters().
+  const std::vector<Tensor>& CachedParameters() const;
 
   std::vector<std::pair<std::string, Tensor>> params_;
   std::vector<std::pair<std::string, std::unique_ptr<Module>>> submodules_;
+  mutable std::vector<Tensor> param_cache_;
+  mutable bool param_cache_valid_ = false;
   bool training_ = true;
 };
 

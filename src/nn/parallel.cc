@@ -2,6 +2,7 @@
 
 #include <cstddef>
 
+#include "nn/arena.h"
 #include "util/thread_pool.h"
 
 namespace qpe::nn {
@@ -13,6 +14,9 @@ double ParallelGradientStep(const std::vector<Tensor>& params, int num_shards,
   std::vector<double> losses(num_shards, 0.0);
 
   util::ParallelRun(num_shards, [&](int shard) {
+    // One shard graph = one arena epoch: declared first so the loss handle
+    // and capture are destroyed before EndEpoch() recycles the graph.
+    ArenaScope arena;
     // Redirect parameter-gradient writes into this shard's private
     // buffers; everything else in the shard graph is shard-local.
     GradientCapture capture(params, &(*scratch)[shard]);

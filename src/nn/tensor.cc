@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/arena.h"
 #include "util/thread_pool.h"
 
 #if defined(__GLIBC__)
@@ -49,6 +50,30 @@ float* GradPtr(Tensor::Impl* p) {
   return p->grad.data();
 }
 
+// Single creation point for tensor storage. Tensors that can participate
+// in the long-lived parameter set (requires_grad=true at creation) always
+// come from the plain heap; everything else draws from the thread's
+// TensorArena when an ArenaScope is active, so per-step graph storage is
+// recycled instead of freed. zero_fill=false is only legal when the caller
+// overwrites every element before the value is read.
+Tensor NewTensor(int rows, int cols, bool requires_grad, bool zero_fill) {
+  if (!requires_grad) {
+    if (TensorArena* arena = TensorArena::Current()) {
+      return Tensor(arena->Acquire(rows, cols, zero_fill));
+    }
+  }
+  auto impl = std::make_shared<Tensor::Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->requires_grad = requires_grad;
+  // Fresh vectors value-initialize, so the heap path is always zeroed.
+  // grad stays empty until EnsureGrad(): most tensors (eval-mode
+  // activations, forward intermediates whose graph is discarded) never
+  // receive a gradient.
+  impl->value.resize(static_cast<size_t>(rows) * cols);
+  return Tensor(std::move(impl));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -56,19 +81,11 @@ float* GradPtr(Tensor::Impl* p) {
 // ---------------------------------------------------------------------------
 
 Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
-  auto impl = std::make_shared<Impl>();
-  impl->rows = rows;
-  impl->cols = cols;
-  impl->requires_grad = requires_grad;
-  impl->value.assign(static_cast<size_t>(rows) * cols, 0.0f);
-  // grad stays empty until EnsureGrad(): most tensors (eval-mode
-  // activations, forward intermediates whose graph is discarded) never
-  // receive a gradient.
-  return Tensor(std::move(impl));
+  return NewTensor(rows, cols, requires_grad, /*zero_fill=*/true);
 }
 
 Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
-  Tensor t = Zeros(rows, cols, requires_grad);
+  Tensor t = NewTensor(rows, cols, requires_grad, /*zero_fill=*/false);
   std::fill(t.value().begin(), t.value().end(), value);
   return t;
 }
@@ -76,8 +93,8 @@ Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
 Tensor Tensor::FromVector(int rows, int cols, const std::vector<float>& data,
                           bool requires_grad) {
   assert(static_cast<int>(data.size()) == rows * cols);
-  Tensor t = Zeros(rows, cols, requires_grad);
-  t.value() = data;
+  Tensor t = NewTensor(rows, cols, requires_grad, /*zero_fill=*/false);
+  std::copy(data.begin(), data.end(), t.value().begin());
   return t;
 }
 
@@ -134,21 +151,44 @@ void Tensor::ZeroGrad() const {
 
 Tensor Tensor::Detach() const {
   if (!impl_) return Tensor();
-  Tensor t = Zeros(rows(), cols(), /*requires_grad=*/false);
-  t.value() = impl_->value;
+  Tensor t = NewTensor(rows(), cols(), /*requires_grad=*/false,
+                       /*zero_fill=*/false);
+  std::copy(impl_->value.begin(), impl_->value.end(), t.value().begin());
   return t;
 }
 
-Tensor Tensor::MakeResult(int rows, int cols,
-                          std::vector<std::shared_ptr<Impl>> parents) {
+namespace {
+
+// Shared MakeResult body over any parent range. Parents are copied into the
+// result's existing `parents` vector (assign reuses recycled capacity)
+// instead of moving a freshly allocated vector in.
+template <typename ParentRange>
+Tensor MakeResultImpl(int rows, int cols, const ParentRange& parents,
+                      Tensor::Fill fill) {
   bool any_grad = false;
   if (!tl_no_grad) {
     for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
   }
-  Tensor t = Zeros(rows, cols, any_grad);
+  Tensor t = NewTensor(rows, cols, /*requires_grad=*/false,
+                       /*zero_fill=*/fill == Tensor::Fill::kZero);
+  t.impl_->requires_grad = any_grad;
   // Only keep graph edges when a gradient can flow.
-  if (any_grad) t.impl_->parents = std::move(parents);
+  if (any_grad) t.impl_->parents.assign(parents.begin(), parents.end());
   return t;
+}
+
+}  // namespace
+
+Tensor Tensor::MakeResult(int rows, int cols,
+                          std::initializer_list<std::shared_ptr<Impl>> parents,
+                          Fill fill) {
+  return MakeResultImpl(rows, cols, parents, fill);
+}
+
+Tensor Tensor::MakeResult(int rows, int cols,
+                          const std::vector<std::shared_ptr<Impl>>& parents,
+                          Fill fill) {
+  return MakeResultImpl(rows, cols, parents, fill);
 }
 
 // ---------------------------------------------------------------------------
@@ -315,12 +355,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     });
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_, bi = b.impl_;
+    // Backward closures capture parent impls as raw pointers: the result's
+    // `parents` vector owns them for the closure's whole lifetime, and the
+    // smaller capture fits BackwardFn's inline storage.
+    Tensor::Impl* const ai = a.impl_.get();
+    Tensor::Impl* const bi = b.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, k, n, flops]() {
       const float* og = oi->grad.data();
       if (ai->requires_grad) {
-        float* ag = GradPtr(ai.get());
+        float* ag = GradPtr(ai);
         const float* bv = bi->value.data();
         if (flops < kMatMulParallelFlops) {
           MatMulBackwardA(og, bv, ag, 0, m, k, n);
@@ -332,7 +376,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         }
       }
       if (bi->requires_grad) {
-        float* bg = GradPtr(bi.get());
+        float* bg = GradPtr(bi);
         const float* av = ai->value.data();
         if (flops < kMatMulParallelFlops) {
           MatMulBackwardB(av, og, bg, 0, k, m, k, n);
@@ -365,12 +409,13 @@ Tensor MatMulReference(const Tensor& a, const Tensor& b) {
     }
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_, bi = b.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
+    Tensor::Impl* const bi = b.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, k, n]() {
       const float* og = oi->grad.data();
       if (ai->requires_grad) {
-        float* ag = GradPtr(ai.get());
+        float* ag = GradPtr(ai);
         const float* bv = bi->value.data();
         // dA = dOut * B^T
         for (int i = 0; i < m; ++i) {
@@ -385,7 +430,7 @@ Tensor MatMulReference(const Tensor& a, const Tensor& b) {
         }
       }
       if (bi->requires_grad) {
-        float* bg = GradPtr(bi.get());
+        float* bg = GradPtr(bi);
         const float* av = ai->value.data();
         // dB = A^T * dOut
         for (int p = 0; p < k; ++p) {
@@ -418,7 +463,8 @@ Tensor Binary(const Tensor& a, const Tensor& b, BinOp op) {
   const int m = a.rows(), n = a.cols();
   const int bm = b.rows(), bn = b.cols();
   assert((bm == m || bm == 1) && (bn == n || bn == 1));
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_, b.impl_});
+  Tensor out =
+      Tensor::MakeResult(m, n, {a.impl_, b.impl_}, Tensor::Fill::kOverwrite);
   for (int r = 0; r < m; ++r) {
     for (int c = 0; c < n; ++c) {
       const float av = a.impl_->value[static_cast<size_t>(r) * n + c];
@@ -433,11 +479,12 @@ Tensor Binary(const Tensor& a, const Tensor& b, BinOp op) {
     }
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_, bi = b.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
+    Tensor::Impl* const bi = b.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, n, bm, bn, op]() {
-      float* ag = ai->requires_grad ? GradPtr(ai.get()) : nullptr;
-      float* bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      float* ag = ai->requires_grad ? GradPtr(ai) : nullptr;
+      float* bg = bi->requires_grad ? GradPtr(bi) : nullptr;
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < n; ++c) {
           const float g = oi->grad[static_cast<size_t>(r) * n + c];
@@ -472,13 +519,13 @@ Tensor Binary(const Tensor& a, const Tensor& b, BinOp op) {
 Tensor Unary(const Tensor& a, float (*fwd)(float),
              float (*dfn)(float /*x*/, float /*y*/)) {
   const int m = a.rows(), n = a.cols();
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int i = 0; i < m * n; ++i) out.impl_->value[i] = fwd(a.impl_->value[i]);
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, dfn, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int i = 0; i < m * n; ++i) {
         ag[i] += oi->grad[i] * dfn(ai->value[i], oi->value[i]);
       }
@@ -495,13 +542,13 @@ Tensor Mul(const Tensor& a, const Tensor& b) { return Binary(a, b, BinOp::kMul);
 
 Tensor Scale(const Tensor& a, float s) {
   const int m = a.rows(), n = a.cols();
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int i = 0; i < m * n; ++i) out.impl_->value[i] = a.impl_->value[i] * s;
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, s, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i] * s;
     };
   }
@@ -510,13 +557,13 @@ Tensor Scale(const Tensor& a, float s) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   const int m = a.rows(), n = a.cols();
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int i = 0; i < m * n; ++i) out.impl_->value[i] = a.impl_->value[i] + s;
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i];
     };
   }
@@ -592,7 +639,7 @@ Tensor Abs(const Tensor& a) {
 
 Tensor Transpose(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  Tensor out = Tensor::MakeResult(n, m, {a.impl_});
+  Tensor out = Tensor::MakeResult(n, m, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int r = 0; r < m; ++r) {
     for (int c = 0; c < n; ++c) {
       out.impl_->value[static_cast<size_t>(c) * m + r] =
@@ -600,10 +647,10 @@ Tensor Transpose(const Tensor& a) {
     }
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < n; ++c) {
           ag[static_cast<size_t>(r) * n + c] +=
@@ -616,16 +663,16 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor Sum(const Tensor& a) {
-  Tensor out = Tensor::MakeResult(1, 1, {a.impl_});
+  Tensor out = Tensor::MakeResult(1, 1, {a.impl_}, Tensor::Fill::kOverwrite);
   float total = 0;
   for (float v : a.impl_->value) total += v;
   out.impl_->value[0] = total;
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi]() {
       const float g = oi->grad[0];
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       const size_t count = ai->value.size();
       for (size_t i = 0; i < count; ++i) ag[i] += g;
     };
@@ -639,7 +686,7 @@ Tensor Mean(const Tensor& a) {
 
 Tensor RowSum(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  Tensor out = Tensor::MakeResult(m, 1, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, 1, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int r = 0; r < m; ++r) {
     float total = 0;
     for (int c = 0; c < n; ++c) {
@@ -648,10 +695,10 @@ Tensor RowSum(const Tensor& a) {
     out.impl_->value[r] = total;
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int r = 0; r < m; ++r) {
         const float g = oi->grad[r];
         for (int c = 0; c < n; ++c) {
@@ -669,7 +716,7 @@ Tensor RowMean(const Tensor& a) {
 
 Tensor SoftmaxRows(const Tensor& a) {
   const int m = a.rows(), n = a.cols();
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int r = 0; r < m; ++r) {
     const float* row = a.impl_->value.data() + static_cast<size_t>(r) * n;
     float* orow = out.impl_->value.data() + static_cast<size_t>(r) * n;
@@ -683,10 +730,10 @@ Tensor SoftmaxRows(const Tensor& a) {
     for (int c = 0; c < n; ++c) orow[c] /= total;
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int r = 0; r < m; ++r) {
         const float* y = oi->value.data() + static_cast<size_t>(r) * n;
         const float* gy = oi->grad.data() + static_cast<size_t>(r) * n;
@@ -710,7 +757,8 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     total_cols += p.cols();
     parents.push_back(p.impl_);
   }
-  Tensor out = Tensor::MakeResult(m, total_cols, parents);
+  Tensor out =
+      Tensor::MakeResult(m, total_cols, parents, Tensor::Fill::kOverwrite);
   int offset = 0;
   for (const Tensor& p : parts) {
     const int n = p.cols();
@@ -723,12 +771,12 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     offset += n;
   }
   if (out.requires_grad()) {
-    std::vector<std::shared_ptr<Tensor::Impl>> part_impls;
-    for (const Tensor& p : parts) part_impls.push_back(p.impl_);
+    // The parts are exactly the result's parent edges — iterate those
+    // instead of capturing a second vector of owners.
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
-    out.impl_->backward_fn = [part_impls, oi, m, total_cols]() {
+    out.impl_->backward_fn = [oi, m, total_cols]() {
       int offset = 0;
-      for (const auto& pi : part_impls) {
+      for (const auto& pi : oi->parents) {
         const int n = pi->cols;
         if (pi->requires_grad) {
           float* pg = GradPtr(pi.get());
@@ -756,7 +804,8 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     total_rows += p.rows();
     parents.push_back(p.impl_);
   }
-  Tensor out = Tensor::MakeResult(total_rows, n, parents);
+  Tensor out =
+      Tensor::MakeResult(total_rows, n, parents, Tensor::Fill::kOverwrite);
   int offset = 0;
   for (const Tensor& p : parts) {
     std::copy(p.impl_->value.begin(), p.impl_->value.end(),
@@ -764,12 +813,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     offset += p.rows();
   }
   if (out.requires_grad()) {
-    std::vector<std::shared_ptr<Tensor::Impl>> part_impls;
-    for (const Tensor& p : parts) part_impls.push_back(p.impl_);
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
-    out.impl_->backward_fn = [part_impls, oi, n]() {
+    out.impl_->backward_fn = [oi, n]() {
       int offset = 0;
-      for (const auto& pi : part_impls) {
+      for (const auto& pi : oi->parents) {
         if (pi->requires_grad) {
           float* pg = GradPtr(pi.get());
           for (int i = 0; i < pi->rows * n; ++i) {
@@ -786,7 +833,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 Tensor SliceCols(const Tensor& a, int start, int len) {
   const int m = a.rows(), n = a.cols();
   assert(start >= 0 && start + len <= n);
-  Tensor out = Tensor::MakeResult(m, len, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, len, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int r = 0; r < m; ++r) {
     for (int c = 0; c < len; ++c) {
       out.impl_->value[static_cast<size_t>(r) * len + c] =
@@ -794,10 +841,10 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
     }
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, m, n, start, len]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < len; ++c) {
           ag[static_cast<size_t>(r) * n + start + c] +=
@@ -812,15 +859,15 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 Tensor SliceRows(const Tensor& a, int start, int len) {
   const int n = a.cols();
   assert(start >= 0 && start + len <= a.rows());
-  Tensor out = Tensor::MakeResult(len, n, {a.impl_});
+  Tensor out = Tensor::MakeResult(len, n, {a.impl_}, Tensor::Fill::kOverwrite);
   std::copy(a.impl_->value.begin() + static_cast<size_t>(start) * n,
             a.impl_->value.begin() + static_cast<size_t>(start + len) * n,
             out.impl_->value.begin());
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, n, start, len]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int i = 0; i < len * n; ++i) {
         ag[static_cast<size_t>(start) * n + i] += oi->grad[i];
       }
@@ -832,7 +879,7 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   const int n = a.cols();
   const int m = static_cast<int>(indices.size());
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_}, Tensor::Fill::kOverwrite);
   for (int r = 0; r < m; ++r) {
     assert(indices[r] >= 0 && indices[r] < a.rows());
     std::copy(a.impl_->value.begin() + static_cast<size_t>(indices[r]) * n,
@@ -840,10 +887,10 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
               out.impl_->value.begin() + static_cast<size_t>(r) * n);
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, indices, m, n]() {
-      float* ag = GradPtr(ai.get());
+      float* ag = GradPtr(ai);
       for (int r = 0; r < m; ++r) {
         for (int c = 0; c < n; ++c) {
           ag[static_cast<size_t>(indices[r]) * n + c] +=
@@ -859,18 +906,26 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
   if (p <= 0.0f) return a;
   const int m = a.rows(), n = a.cols();
   const float scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<std::vector<float>>(m * n);
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_});
+  // The mask is itself a (gradient-free) tensor so its storage recycles
+  // with the graph; as a parent of `out` it stays alive for the backward
+  // pass. Allocated before `out` to preserve the arena's child-after-parent
+  // ordering. Leaves without grad never affect any_grad or the topo sweep.
+  Tensor mask = NewTensor(m, n, /*requires_grad=*/false, /*zero_fill=*/false);
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, mask.impl_},
+                                  Tensor::Fill::kOverwrite);
+  float* mv = mask.impl_->value.data();
   for (int i = 0; i < m * n; ++i) {
-    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : scale;
-    out.impl_->value[i] = a.impl_->value[i] * (*mask)[i];
+    mv[i] = rng->Bernoulli(p) ? 0.0f : scale;
+    out.impl_->value[i] = a.impl_->value[i] * mv[i];
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
+    Tensor::Impl* const mi = mask.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
-    out.impl_->backward_fn = [ai, oi, mask, m, n]() {
-      float* ag = GradPtr(ai.get());
-      for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i] * (*mask)[i];
+    out.impl_->backward_fn = [ai, mi, oi, m, n]() {
+      float* ag = GradPtr(ai);
+      const float* mv = mi->value.data();
+      for (int i = 0; i < m * n; ++i) ag[i] += oi->grad[i] * mv[i];
     };
   }
   return out;
@@ -879,13 +934,16 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
 Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
   const int m = logits.rows(), n = logits.cols();
   assert(static_cast<int>(targets.size()) == m);
-  Tensor out = Tensor::MakeResult(1, 1, {logits.impl_});
-  // Cache the softmax for the backward pass.
-  auto probs = std::make_shared<std::vector<float>>(m * n);
+  // Cache the softmax for the backward pass as a gradient-free parent
+  // tensor (arena-recycled with the rest of the graph); allocated before
+  // `out` to preserve child-after-parent acquisition order.
+  Tensor probs = NewTensor(m, n, /*requires_grad=*/false, /*zero_fill=*/false);
+  Tensor out = Tensor::MakeResult(1, 1, {logits.impl_, probs.impl_},
+                                  Tensor::Fill::kOverwrite);
   float loss = 0;
   for (int r = 0; r < m; ++r) {
     const float* row = logits.impl_->value.data() + static_cast<size_t>(r) * n;
-    float* prow = probs->data() + static_cast<size_t>(r) * n;
+    float* prow = probs.impl_->value.data() + static_cast<size_t>(r) * n;
     float max_v = row[0];
     for (int c = 1; c < n; ++c) max_v = std::max(max_v, row[c]);
     float total = 0;
@@ -898,13 +956,14 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
   }
   out.impl_->value[0] = loss / static_cast<float>(m);
   if (out.requires_grad()) {
-    auto li = logits.impl_;
+    Tensor::Impl* const li = logits.impl_.get();
+    Tensor::Impl* const pi = probs.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
-    out.impl_->backward_fn = [li, oi, probs, targets, m, n]() {
+    out.impl_->backward_fn = [li, pi, oi, targets, m, n]() {
       const float g = oi->grad[0] / static_cast<float>(m);
-      float* lg = GradPtr(li.get());
+      float* lg = GradPtr(li);
       for (int r = 0; r < m; ++r) {
-        const float* prow = probs->data() + static_cast<size_t>(r) * n;
+        const float* prow = pi->value.data() + static_cast<size_t>(r) * n;
         float* grow = lg + static_cast<size_t>(r) * n;
         for (int c = 0; c < n; ++c) {
           grow[c] += g * (prow[c] - (c == targets[r] ? 1.0f : 0.0f));
@@ -927,7 +986,8 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
 Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
   const int m = a.rows(), n = a.cols();
   assert(bias.rows() == 1 && bias.cols() == n);
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_},
+                                  Tensor::Fill::kOverwrite);
   {
     const float* __restrict av = a.impl_->value.data();
     const float* __restrict bv = bias.impl_->value.data();
@@ -942,14 +1002,15 @@ Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
     }
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_, bi = bias.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
+    Tensor::Impl* const bi = bias.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, n]() {
       // out > 0 iff the pre-activation a + bias was > 0.
       const float* __restrict ov = oi->value.data();
       const float* __restrict og = oi->grad.data();
-      float* __restrict ag = ai->requires_grad ? GradPtr(ai.get()) : nullptr;
-      float* __restrict bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      float* __restrict ag = ai->requires_grad ? GradPtr(ai) : nullptr;
+      float* __restrict bg = bi->requires_grad ? GradPtr(bi) : nullptr;
       for (int r = 0; r < m; ++r) {
         const size_t base = static_cast<size_t>(r) * n;
         for (int c = 0; c < n; ++c) {
@@ -967,7 +1028,8 @@ Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
 Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
   const int m = a.rows(), n = a.cols();
   assert(bias.rows() == 1 && bias.cols() == n);
-  Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_},
+                                  Tensor::Fill::kOverwrite);
   {
     const float* __restrict av = a.impl_->value.data();
     const float* __restrict bv = bias.impl_->value.data();
@@ -979,14 +1041,15 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
     }
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_, bi = bias.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
+    Tensor::Impl* const bi = bias.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, n]() {
       const float* __restrict av = ai->value.data();
       const float* __restrict bv = bi->value.data();
       const float* __restrict og = oi->grad.data();
-      float* __restrict ag = ai->requires_grad ? GradPtr(ai.get()) : nullptr;
-      float* __restrict bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      float* __restrict ag = ai->requires_grad ? GradPtr(ai) : nullptr;
+      float* __restrict bg = bi->requires_grad ? GradPtr(bi) : nullptr;
       for (int r = 0; r < m; ++r) {
         const size_t base = static_cast<size_t>(r) * n;
         for (int c = 0; c < n; ++c) {
@@ -1030,7 +1093,8 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
   const int m = x.rows(), n = x.cols();
   assert(gamma.rows() == 1 && gamma.cols() == n);
   assert(beta.rows() == 1 && beta.cols() == n);
-  Tensor out = Tensor::MakeResult(m, n, {x.impl_, gamma.impl_, beta.impl_});
+  Tensor out = Tensor::MakeResult(m, n, {x.impl_, gamma.impl_, beta.impl_},
+                                  Tensor::Fill::kOverwrite);
   const float invn = 1.0f / static_cast<float>(n);
   {
     const float* __restrict xv = x.impl_->value.data();
@@ -1048,15 +1112,17 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
     }
   }
   if (out.requires_grad()) {
-    auto xi = x.impl_, gi = gamma.impl_, bi = beta.impl_;
+    Tensor::Impl* const xi = x.impl_.get();
+    Tensor::Impl* const gi = gamma.impl_.get();
+    Tensor::Impl* const bi = beta.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [xi, gi, bi, oi, m, n, invn]() {
       const float* __restrict xv = xi->value.data();
       const float* __restrict gv = gi->value.data();
       const float* __restrict og = oi->grad.data();
-      float* __restrict xg = xi->requires_grad ? GradPtr(xi.get()) : nullptr;
-      float* __restrict gg = gi->requires_grad ? GradPtr(gi.get()) : nullptr;
-      float* __restrict bg = bi->requires_grad ? GradPtr(bi.get()) : nullptr;
+      float* __restrict xg = xi->requires_grad ? GradPtr(xi) : nullptr;
+      float* __restrict gg = gi->requires_grad ? GradPtr(gi) : nullptr;
+      float* __restrict bg = bi->requires_grad ? GradPtr(bi) : nullptr;
       for (int r = 0; r < m; ++r) {
         const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
         const float* __restrict grow = og + static_cast<size_t>(r) * n;
@@ -1108,10 +1174,10 @@ Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid) {
     for (int c = 0; c < v; ++c) orow[c] /= total;
   }
   if (out.requires_grad()) {
-    auto ai = a.impl_;
+    Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, valid, m, n]() {
-      float* __restrict ag = GradPtr(ai.get());
+      float* __restrict ag = GradPtr(ai);
       for (int r = 0; r < m; ++r) {
         const int v = std::min(std::max(valid[r], 0), n);
         const float* __restrict y = oi->value.data() + static_cast<size_t>(r) * n;
@@ -1210,7 +1276,9 @@ Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
     }
   }
   if (out.requires_grad()) {
-    auto qi = q.impl_, ki = k.impl_, vi = v.impl_;
+    Tensor::Impl* const qi = q.impl_.get();
+    Tensor::Impl* const ki = k.impl_.get();
+    Tensor::Impl* const vi = v.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [qi, ki, vi, oi, offsets, lengths, num_heads,
                               scale, dim, dh]() {
@@ -1218,9 +1286,9 @@ Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
       const float* __restrict kv = ki->value.data();
       const float* __restrict vv = vi->value.data();
       const float* __restrict og = oi->grad.data();
-      float* __restrict qg = qi->requires_grad ? GradPtr(qi.get()) : nullptr;
-      float* __restrict kg = ki->requires_grad ? GradPtr(ki.get()) : nullptr;
-      float* __restrict vg = vi->requires_grad ? GradPtr(vi.get()) : nullptr;
+      float* __restrict qg = qi->requires_grad ? GradPtr(qi) : nullptr;
+      float* __restrict kg = ki->requires_grad ? GradPtr(ki) : nullptr;
+      float* __restrict vg = vi->requires_grad ? GradPtr(vi) : nullptr;
       std::vector<float> probs, dprobs;
       for (size_t s = 0; s < lengths.size(); ++s) {
         const int off = offsets[s];

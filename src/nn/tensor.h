@@ -1,15 +1,65 @@
 #ifndef QPE_NN_TENSOR_H_
 #define QPE_NN_TENSOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <initializer_list>
 #include <memory>
+#include <new>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
 
 namespace qpe::nn {
+
+// Inline-storage callable for autograd backward functions. Training builds
+// (and tears down) one closure per graph node per step; std::function would
+// heap-allocate every one of them because the captures exceed its small-
+// buffer size. This stores the closure in-place (capacity checked at
+// compile time), so node recycling through TensorArena makes the backward
+// bookkeeping allocation-free. Not copyable or movable: it lives inside
+// Tensor::Impl, which never relocates.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+  ~BackwardFn() { Reset(); }
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+
+  template <typename F>
+  BackwardFn& operator=(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(!std::is_same_v<Fn, BackwardFn>);
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "backward closure exceeds BackwardFn inline storage; "
+                  "shrink the capture list or raise kCapacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    Reset();
+    new (storage_) Fn(std::forward<F>(fn));
+    invoke_ = [](void* s) { (*static_cast<Fn*>(s))(); };
+    destroy_ = [](void* s) { static_cast<Fn*>(s)->~Fn(); };
+    return *this;
+  }
+
+  void operator()() { invoke_(storage_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void Reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  static constexpr size_t kCapacity = 128;
+
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+};
 
 // A 2-D float tensor with reverse-mode automatic differentiation. This is
 // the computational substrate for every model in the library (the paper
@@ -121,20 +171,31 @@ class Tensor {
     int rows = 0;
     int cols = 0;
     bool requires_grad = false;
+    bool visited = false;   // scratch for topological sort
+    int arena_bucket = -1;  // TensorArena pool index; -1 for plain heap impls
     std::vector<float> value;
     std::vector<float> grad;  // lazily sized; see EnsureGrad()
     std::vector<std::shared_ptr<Impl>> parents;
-    std::function<void()> backward_fn;
-    bool visited = false;  // scratch for topological sort
+    BackwardFn backward_fn;
 
     void EnsureGrad() {
       if (grad.size() != value.size()) grad.assign(value.size(), 0.0f);
     }
   };
 
+  // How MakeResult prepares the result buffer. kOverwrite skips the zero
+  // fill and hands back sized-but-stale storage when the buffer comes from
+  // an arena — only valid for ops whose forward writes EVERY element
+  // (accumulating kernels like MatMul must use kZero).
+  enum class Fill { kZero, kOverwrite };
+
   explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
   static Tensor MakeResult(int rows, int cols,
-                           std::vector<std::shared_ptr<Impl>> parents);
+                           std::initializer_list<std::shared_ptr<Impl>> parents,
+                           Fill fill = Fill::kZero);
+  static Tensor MakeResult(int rows, int cols,
+                           const std::vector<std::shared_ptr<Impl>>& parents,
+                           Fill fill = Fill::kZero);
   Impl* impl() const { return impl_.get(); }
 
   std::shared_ptr<Impl> impl_;

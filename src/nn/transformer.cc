@@ -149,8 +149,10 @@ Tensor TransformerEncoder::ForwardBatch(const Tensor& x,
   assert(x.rows() == layout.total_rows);
   // Positional embeddings gathered per packed row: row t of sequence s gets
   // positional_[t], exactly as the single-sequence path adds
-  // SliceRows(positional_, 0, T_s).
-  std::vector<int> positions;
+  // SliceRows(positional_, 0, T_s). thread_local scratch: ForwardBatch runs
+  // once per training shard, and the index buffer keeps its capacity.
+  thread_local std::vector<int> positions;
+  positions.clear();
   positions.reserve(layout.total_rows);
   for (const int len : layout.lengths) {
     assert(len <= max_len_);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "nn/arena.h"
 #include "plan/fingerprint.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -58,6 +59,9 @@ std::vector<nn::Tensor> EmbeddingService::EncodeAll(
     const int batch = std::max(config_.batch_size, 1);
     const int chunks = (misses + batch - 1) / batch;
     util::ParallelRun(chunks, [&](int c) {
+      // Per-chunk graph epoch: intermediates recycle; the returned
+      // embeddings escape the epoch and are released to the heap.
+      nn::ArenaScope arena;
       nn::NoGradGuard no_grad;
       const int begin = c * batch;
       const int count = std::min(batch, misses - begin);
@@ -115,6 +119,8 @@ ServiceStats EmbeddingService::GetStats() const {
     }
   }
   if (cache_enabled_) stats.cache = cache_.GetStats();
+  stats.memory = nn::GlobalMemoryStats();
+  stats.peak_rss_bytes = nn::PeakRssBytes();
   return stats;
 }
 

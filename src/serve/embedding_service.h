@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "encoder/structure_encoder.h"
+#include "nn/arena.h"
 #include "nn/tensor.h"
 #include "plan/plan_node.h"
 #include "serve/embedding_cache.h"
@@ -35,6 +36,10 @@ struct ServiceStats {
   double p50_ms = 0;
   double p99_ms = 0;
   EmbeddingCache::Stats cache;
+  // Process-wide allocation telemetry (all TensorArenas, not just this
+  // service's worker threads) plus peak RSS, snapshotted by GetStats().
+  nn::MemoryStats memory;
+  uint64_t peak_rss_bytes = 0;
 };
 
 // High-throughput embedding-serving facade over a PlanSequenceEncoder: the

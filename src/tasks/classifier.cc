@@ -76,9 +76,10 @@ void QueryClassifier::Train(const std::vector<std::vector<float>>& features,
         const nn::Tensor cluster_probs = MatMul(probs, cluster_matrix_);
         nn::Tensor one_hot = nn::Tensor::Zeros(
             static_cast<int>(indices.size()), config_.num_clusters);
+        float* oh = one_hot.value().data();
         for (size_t r = 0; r < indices.size(); ++r) {
-          one_hot.set(static_cast<int>(r),
-                      config_.template_to_cluster[targets[r]], 1.0f);
+          oh[r * config_.num_clusters +
+             config_.template_to_cluster[targets[r]]] = 1.0f;
         }
         const nn::Tensor cluster_nll = Scale(
             Mean(RowSum(Mul(Log(cluster_probs), one_hot))),
@@ -101,9 +102,10 @@ int QueryClassifier::PredictTemplate(const std::vector<float>& features) {
   const nn::Tensor x = nn::Tensor::FromVector(
       1, static_cast<int>(features.size()), features);
   const nn::Tensor logits = Logits(x);
+  const float* lv = logits.value().data();  // [1, num_templates]
   int best = 0;
   for (int t = 1; t < config_.num_templates; ++t) {
-    if (logits.at(0, t) > logits.at(0, best)) best = t;
+    if (lv[t] > lv[best]) best = t;
   }
   return best;
 }
@@ -121,14 +123,16 @@ QueryClassifier::Accuracy QueryClassifier::Evaluate(
     const nn::Tensor logits = Logits(x);
     const nn::Tensor probs = SoftmaxRows(logits);
     // Template prediction: argmax logit.
+    const float* lv = logits.value().data();  // [1, num_templates]
+    const float* pv = probs.value().data();
     int best_template = 0;
     for (int t = 1; t < config_.num_templates; ++t) {
-      if (logits.at(0, t) > logits.at(0, best_template)) best_template = t;
+      if (lv[t] > lv[best_template]) best_template = t;
     }
     // Cluster prediction: argmax of summed template probabilities (§5.3).
     std::vector<double> cluster_scores(config_.num_clusters, 0.0);
     for (int t = 0; t < config_.num_templates; ++t) {
-      cluster_scores[config_.template_to_cluster[t]] += probs.at(0, t);
+      cluster_scores[config_.template_to_cluster[t]] += pv[t];
     }
     int best_cluster = 0;
     for (int c = 1; c < config_.num_clusters; ++c) {

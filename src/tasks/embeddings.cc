@@ -62,9 +62,12 @@ std::vector<float> EmbeddingFeaturizer::FeaturizeImpl(
     for (size_t i = 0; i < nodes.size(); ++i) all[i] = static_cast<int>(i);
     const encoder::PerfBatch batch = encoder::MakePerfBatch(nodes, all);
     const nn::Tensor embedded = perf->Embed(batch.node, batch.meta, batch.db);
+    const float* ev = embedded.value().data();  // [rows, embed_dim]
     for (int c = 0; c < embed_dim; ++c) {
       float mean = 0;
-      for (int r = 0; r < embedded.rows(); ++r) mean += embedded.at(r, c);
+      for (int r = 0; r < embedded.rows(); ++r) {
+        mean += ev[static_cast<size_t>(r) * embed_dim + c];
+      }
       features.push_back(mean / static_cast<float>(embedded.rows()));
     }
     if (config_.include_group_predictions) {

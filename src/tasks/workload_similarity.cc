@@ -27,8 +27,9 @@ std::vector<double> WorkloadEmbedding(
   }
   const std::vector<nn::Tensor> encoded = encoder.EncodeBatch(plans, nullptr);
   for (size_t i = 0; i < encoded.size(); ++i) {
+    const float* row = encoded[i].value().data();  // [1, dim]
     for (int c = 0; c < encoded[i].cols(); ++c) {
-      embedding[c] += weights[i] * encoded[i].at(0, c);
+      embedding[c] += weights[i] * row[c];
     }
   }
   return embedding;
