@@ -5,10 +5,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "config/db_config.h"
 #include "data/datasets.h"
+#include "nn/quant.h"
+#include "nn/simd.h"
 #include "data/features.h"
 #include "data/plan_corpus.h"
 #include "encoder/performance_encoder.h"
@@ -268,6 +274,171 @@ void BM_SoftmaxRowsUnmasked(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxRowsUnmasked)->Arg(16)->Arg(256);
 
+// --- SIMD kernel dispatch ---------------------------------------------------
+//
+// Each pair drives the same kernel table entry once through the scalar
+// reference table and once through the best table this hardware dispatches
+// (on scalar-only machines both rows measure the scalar kernel, so the
+// pair reads as 1.0x rather than failing). The kernels are called directly
+// — no autograd graph — so the pair isolates the vectorization win itself.
+
+const qpe::nn::simd::Kernels& ScalarKernels() {
+  return *qpe::nn::simd::TableFor(qpe::nn::simd::Level::kScalar);
+}
+
+const qpe::nn::simd::Kernels& BestKernels() {
+  return *qpe::nn::simd::TableFor(qpe::nn::simd::HardwareLevel());
+}
+
+std::vector<float> RandomBuffer(size_t n, uint64_t seed) {
+  qpe::util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+// Forward-only GEMM at the serving shape family. Args: {m, k, n}.
+void MatMulForwardKernel(benchmark::State& state,
+                         const qpe::nn::simd::Kernels& kern) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const std::vector<float> a = RandomBuffer(static_cast<size_t>(m) * k, 31);
+  const std::vector<float> b = RandomBuffer(static_cast<size_t>(k) * n, 32);
+  std::vector<float> out(static_cast<size_t>(m) * n);
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), 0.0f);
+    kern.matmul_forward_range(a.data(), b.data(), out.data(), 0, m, k, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+  state.SetLabel(kern.name);
+}
+void BM_MatMulForwardScalar(benchmark::State& state) {
+  MatMulForwardKernel(state, ScalarKernels());
+}
+void BM_MatMulForwardSimd(benchmark::State& state) {
+  MatMulForwardKernel(state, BestKernels());
+}
+BENCHMARK(BM_MatMulForwardScalar)->Args({256, 48, 48})->Args({256, 256, 256});
+BENCHMARK(BM_MatMulForwardSimd)->Args({256, 48, 48})->Args({256, 256, 256});
+
+void LayerNormKernel(benchmark::State& state,
+                     const qpe::nn::simd::Kernels& kern) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 64;
+  const std::vector<float> x =
+      RandomBuffer(static_cast<size_t>(rows) * cols, 33);
+  const std::vector<float> gamma = RandomBuffer(cols, 34);
+  const std::vector<float> beta = RandomBuffer(cols, 35);
+  std::vector<float> out(x.size());
+  const float invn = 1.0f / static_cast<float>(cols);
+  for (auto _ : state) {
+    kern.layer_norm_rows(x.data(), gamma.data(), beta.data(), out.data(),
+                         rows, cols, invn);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+  state.SetLabel(kern.name);
+}
+void BM_LayerNormScalar(benchmark::State& state) {
+  LayerNormKernel(state, ScalarKernels());
+}
+void BM_LayerNormSimd(benchmark::State& state) {
+  LayerNormKernel(state, BestKernels());
+}
+BENCHMARK(BM_LayerNormScalar)->Arg(256);
+BENCHMARK(BM_LayerNormSimd)->Arg(256);
+
+void SoftmaxMaskedKernel(benchmark::State& state,
+                         const qpe::nn::simd::Kernels& kern) {
+  const int rows = static_cast<int>(state.range(0));
+  const int cols = 64;
+  const std::vector<float> a =
+      RandomBuffer(static_cast<size_t>(rows) * cols, 36);
+  const std::vector<int> valid(rows, cols);
+  std::vector<float> out(a.size());
+  for (auto _ : state) {
+    kern.softmax_rows_masked(a.data(), out.data(), valid.data(), rows, cols);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+  state.SetLabel(kern.name);
+}
+void BM_SoftmaxMaskedScalar(benchmark::State& state) {
+  SoftmaxMaskedKernel(state, ScalarKernels());
+}
+void BM_SoftmaxMaskedSimd(benchmark::State& state) {
+  SoftmaxMaskedKernel(state, BestKernels());
+}
+BENCHMARK(BM_SoftmaxMaskedScalar)->Arg(256);
+BENCHMARK(BM_SoftmaxMaskedSimd)->Arg(256);
+
+// Packed ragged-batch attention at the model shape (48 dims, 4 heads),
+// 16 sequences of the given length. Arg: sequence length.
+void AttentionPackedKernel(benchmark::State& state,
+                           const qpe::nn::simd::Kernels& kern) {
+  const int len = static_cast<int>(state.range(0));
+  const int num_seqs = 16, num_heads = 4, dim = 48;
+  std::vector<int> offsets(num_seqs), lengths(num_seqs, len);
+  for (int s = 0; s < num_seqs; ++s) offsets[s] = s * len;
+  const int total = num_seqs * len;
+  const std::vector<float> q = RandomBuffer(static_cast<size_t>(total) * dim, 37);
+  const std::vector<float> k = RandomBuffer(static_cast<size_t>(total) * dim, 38);
+  const std::vector<float> v = RandomBuffer(static_cast<size_t>(total) * dim, 39);
+  std::vector<float> out(q.size());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim / num_heads));
+  for (auto _ : state) {
+    kern.attention_forward_packed(q.data(), k.data(), v.data(), out.data(),
+                                  offsets.data(), lengths.data(), num_seqs,
+                                  num_heads, dim, scale);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // Scores + context: 2 * T^2 * dim MACs per sequence.
+  state.SetItemsProcessed(state.iterations() * num_seqs * 2LL * len * len *
+                          dim * 2);
+  state.SetLabel(kern.name);
+}
+void BM_AttentionPackedScalar(benchmark::State& state) {
+  AttentionPackedKernel(state, ScalarKernels());
+}
+void BM_AttentionPackedSimd(benchmark::State& state) {
+  AttentionPackedKernel(state, BestKernels());
+}
+BENCHMARK(BM_AttentionPackedScalar)->Arg(32);
+BENCHMARK(BM_AttentionPackedSimd)->Arg(32);
+
+// Int8 GEMM (quantized serving engine) vs the fp32 forward kernel at the
+// same shape — the quantization win on top of vectorization. Uses the
+// dispatched (best) table for both rows. Args: {m, k, n}.
+void BM_Int8Gemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const qpe::nn::simd::Kernels& kern = BestKernels();
+  qpe::util::Rng rng(40);
+  std::vector<int8_t> a(static_cast<size_t>(m) * k);
+  std::vector<int8_t> b(static_cast<size_t>(n) * k);
+  for (int8_t& x : a) {
+    x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  }
+  for (int8_t& x : b) {
+    x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  }
+  const std::vector<float> a_scale(m, 0.01f);
+  const std::vector<float> b_scale(n, 0.02f);
+  const std::vector<float> bias = RandomBuffer(n, 41);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (auto _ : state) {
+    kern.int8_gemm(a.data(), b.data(), c.data(), m, k, n, a_scale.data(),
+                   b_scale.data(), bias.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+  state.SetLabel(kern.name);
+}
+BENCHMARK(BM_Int8Gemm)->Args({256, 48, 48})->Args({256, 256, 256});
+
 // --- Training steps ---------------------------------------------------------
 
 // One PPSR training epoch (24 pairs, transformer encoder) per iteration.
@@ -340,6 +511,9 @@ BENCHMARK(BM_TrainStepPerfEncoder)
 // libbenchmark was compiled, not this binary.)
 int main(int argc, char** argv) {
   benchmark::AddCustomContext("qpe_build_type", QPE_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "qpe_simd_level",
+      qpe::nn::simd::LevelName(qpe::nn::simd::ActiveLevel()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

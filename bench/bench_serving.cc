@@ -30,7 +30,9 @@
 #include <vector>
 
 #include "config/db_config.h"
+#include "encoder/quantized_encoder.h"
 #include "encoder/structure_encoder.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 #include "serve/embedding_service.h"
 #include "simdb/planner.h"
@@ -141,6 +143,28 @@ int main(int argc, char** argv) {
   const int unique_plans = static_cast<int>(uncached.GetStats().encoded_plans /
                                             uncached.GetStats().requests);
 
+  // --- 2c. Int8 quantized serving, cache disabled ---------------------------
+  // Same request shape as 2b through the int8 engine: weights quantized
+  // per-channel, activation scales calibrated on the template plans (the
+  // first instantiation of each template — a held-out-style sample of the
+  // workload's plan structures).
+  std::vector<const qpe::plan::PlanNode*> calibration(
+      ptrs.begin(), ptrs.begin() + tpch.NumTemplates());
+  const std::unique_ptr<qpe::encoder::QuantizedPlanEncoder> quantized =
+      encoder.Quantize(calibration);
+  qpe::serve::EmbeddingService quantized_service(quantized.get(),
+                                                 uncached_config);
+  double quantized_secs = 1e30;
+  for (int rep = 0; rep <= kEncodeReps; ++rep) {
+    const double start = CpuSeconds();
+    (void)quantized_service.EncodeAll(ptrs);
+    if (rep > 0) {
+      quantized_secs = std::min(quantized_secs, CpuSeconds() - start);
+    }
+  }
+  const double quantized_rate = n / quantized_secs;
+  const double quantized_speedup = quantized_rate / batched_rate;
+
   // --- 3. Template replay through the warm cache ----------------------------
   qpe::serve::EmbeddingServiceConfig service_config;
   service_config.batch_size = kBatchSize;
@@ -159,13 +183,18 @@ int main(int argc, char** argv) {
   const double cached_rate =
       kReplayPasses * templates.size() / replay_secs;
 
-  std::printf("serving benchmark (1 thread, batch %d, %d plans, %d distinct)\n",
-              kBatchSize, n, unique_plans);
+  const char* simd_level =
+      qpe::nn::simd::LevelName(qpe::nn::simd::ActiveLevel());
+  std::printf(
+      "serving benchmark (1 thread, batch %d, %d plans, %d distinct, simd %s)\n",
+      kBatchSize, n, unique_plans, simd_level);
   std::printf("  per-plan encode      : %8.1f plans/sec\n", per_plan_rate);
   std::printf("  raw EncodeBatch      : %8.1f plans/sec  (%.2fx, no dedup)\n",
               raw_batched_rate, raw_batch_speedup);
   std::printf("  batched serving      : %8.1f plans/sec  (%.2fx, cache off)\n",
               batched_rate, batch_speedup);
+  std::printf("  int8 quantized       : %8.1f plans/sec  (%.2fx vs batched)\n",
+              quantized_rate, quantized_speedup);
   std::printf("  warm-cache replay    : %8.1f plans/sec  (hit rate %.1f%%)\n",
               cached_rate, 100.0 * hit_rate);
   std::printf("  request latency      : p50 %.3f ms, p99 %.3f ms\n",
@@ -179,6 +208,7 @@ int main(int argc, char** argv) {
   out.precision(6);
   out << "{\n"
       << "  \"build_type\": \"" << QPE_BUILD_TYPE << "\",\n"
+      << "  \"simd_level\": \"" << simd_level << "\",\n"
       << "  \"threads\": 1,\n"
       << "  \"batch_size\": " << kBatchSize << ",\n"
       << "  \"num_plans\": " << n << ",\n"
@@ -189,6 +219,8 @@ int main(int argc, char** argv) {
       << "  \"raw_batch_speedup\": " << raw_batch_speedup << ",\n"
       << "  \"batched_plans_per_sec\": " << batched_rate << ",\n"
       << "  \"batch_speedup\": " << batch_speedup << ",\n"
+      << "  \"quantized_plans_per_sec\": " << quantized_rate << ",\n"
+      << "  \"quantized_speedup\": " << quantized_speedup << ",\n"
       << "  \"cached_plans_per_sec\": " << cached_rate << ",\n"
       << "  \"cache_hit_rate\": " << hit_rate << ",\n"
       << "  \"p50_ms\": " << stats.p50_ms << ",\n"

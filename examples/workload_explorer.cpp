@@ -27,6 +27,7 @@
 #include "data/plan_corpus.h"
 #include "encoder/encoder_suite.h"
 #include "encoder/performance_encoder.h"
+#include "encoder/quantized_encoder.h"
 #include "nn/arena.h"
 #include "plan/explain.h"
 #include "serve/embedding_service.h"
@@ -84,7 +85,7 @@ void PrintEmbedding(const char* label, const qpe::nn::Tensor& embedding) {
 // defect, and emit the structural + per-group performance embeddings an
 // (untrained) encoder suite produces for it — the end-to-end path a
 // crowdsourced plan would take into the characterization pipeline.
-int RunIngest(const std::string& path, bool strict) {
+int RunIngest(const std::string& path, bool strict, bool quantized) {
   const auto policy = strict ? qpe::plan::IngestionPolicy::kStrict
                              : qpe::plan::IngestionPolicy::kLenient;
   auto ingested = qpe::data::IngestExplainFile(path, policy);
@@ -105,16 +106,41 @@ int RunIngest(const std::string& path, bool strict) {
             << qpe::plan::Explain(root) << "\n";
 
   qpe::encoder::EncoderSuite suite;
+  // With --quantized, the structural serving path runs through the int8
+  // quantized twin of the structure encoder: weights quantized per output
+  // channel, activation scales calibrated on a small random plan sample
+  // (production would calibrate on held-out workload plans).
+  std::unique_ptr<qpe::encoder::QuantizedPlanEncoder> quantized_encoder;
+  if (quantized) {
+    qpe::data::CorpusOptions corpus;
+    corpus.min_nodes = 4;
+    corpus.max_nodes = 48;
+    qpe::data::RandomPlanGenerator generator(qpe::util::Rng(2021), corpus);
+    std::vector<std::unique_ptr<qpe::plan::PlanNode>> sample;
+    std::vector<const qpe::plan::PlanNode*> calibration;
+    for (int i = 0; i < 32; ++i) {
+      sample.push_back(generator.Generate());
+      calibration.push_back(sample.back().get());
+    }
+    calibration.push_back(&root);
+    quantized_encoder = suite.structure()->Quantize(calibration);
+  }
   // The ingested plan takes the same serving path production traffic does:
   // fingerprint, cache probe, batched encode on a miss.
-  qpe::serve::EmbeddingService service(suite.structure());
-  PrintEmbedding("structural embedding", service.EncodeOne(root));
+  qpe::serve::EmbeddingService service(
+      quantized ? static_cast<const qpe::encoder::PlanSequenceEncoder*>(
+                      quantized_encoder.get())
+                : suite.structure());
+  PrintEmbedding(quantized ? "structural embedding (int8)"
+                           : "structural embedding",
+                 service.EncodeOne(root));
   // A replay of the same plan must be served from the warm cache.
   (void)service.EncodeOne(root);
   const qpe::serve::ServiceStats serving = service.GetStats();
   std::cout << "serving: " << serving.plans << " plan(s) over "
             << serving.requests << " request(s); cache " << serving.cache.hits
-            << " hit(s), " << serving.cache.misses << " miss(es)\n\n";
+            << " hit(s), " << serving.cache.misses << " miss(es); simd "
+            << serving.simd_level << "\n\n";
 
   // Per-group performance embeddings over the summed same-group node
   // features (§3.2.1); meta features come from the TPC-H catalog (foreign
@@ -152,14 +178,15 @@ int RunIngest(const std::string& path, bool strict) {
 }  // namespace
 
 // Usage: workload_explorer [--threads=N] [--checkpoint-dir=DIR] [--resume]
-//                          [--ingest=EXPLAIN.txt [--strict]] [--mem-stats]
-//                          [scale_factor] [num_configs]
+//                          [--ingest=EXPLAIN.txt [--strict] [--quantized]]
+//                          [--mem-stats] [scale_factor] [num_configs]
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
   std::string checkpoint_dir;
   std::string ingest_path;
   bool resume = false;
   bool strict = false;
+  bool quantized = false;
   MemStatsReport mem_report;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -170,6 +197,8 @@ int main(int argc, char** argv) {
       ingest_path = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--quantized") == 0) {
+      quantized = true;
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(argv[i], "--mem-stats") == 0) {
@@ -178,7 +207,11 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
-  if (!ingest_path.empty()) return RunIngest(ingest_path, strict);
+  if (!ingest_path.empty()) return RunIngest(ingest_path, strict, quantized);
+  if (quantized) {
+    std::cerr << "--quantized applies to the --ingest serving path\n";
+    return 1;
+  }
   if (resume && checkpoint_dir.empty()) {
     std::cerr << "--resume requires --checkpoint-dir=DIR\n";
     return 1;

@@ -4,17 +4,23 @@
 # numbers against the committed baselines.
 #
 #   - BENCH_serving.json: a drop of more than 10% on any throughput metric
-#     (per-plan, raw-batched, batched-serving, or warm-cache plans/sec)
-#     fails with exit 1.
+#     (per-plan, raw-batched, batched-serving, int8-quantized, or
+#     warm-cache plans/sec) fails with exit 1.
 #   - BENCH_micro.json: a cpu_time increase of more than 25% on the
 #     training-step benchmarks (BM_TrainStepPpsr, BM_TrainStepPerfEncoder)
-#     fails with exit 1. The threshold is coarser than serving because a
-#     whole training epoch has more run-to-run variance than the
-#     best-of-N serving loops.
+#     or on the dispatched SIMD kernel benchmarks (BM_MatMulForwardSimd,
+#     BM_LayerNormSimd, BM_SoftmaxMaskedSimd, BM_AttentionPackedSimd,
+#     BM_Int8Gemm) fails with exit 1. The threshold is coarser than
+#     serving because single-process micro loops see more run-to-run
+#     frequency variance than the best-of-N serving measurements.
 #
 # Both comparisons refuse baselines recorded from a non-Release build: a
 # debug-recorded baseline makes any Release run look like a huge win and
-# the gate stops gating. Re-record with scripts/run_bench_baseline.sh.
+# the gate stops gating. They likewise refuse a baseline whose stamped
+# SIMD level ("scalar"/"avx2"/"neon") differs from the level the fresh
+# binaries dispatch on this machine — comparing a scalar-recorded baseline
+# against a vectorized run (or vice versa) measures the ISA, not the code
+# change. Re-record with scripts/run_bench_baseline.sh.
 #
 # The committed baseline is a portable-build number; the comparison build
 # is portable too, so a QPE_NATIVE-tuned tree never masks (or fakes) a
@@ -46,7 +52,7 @@ trap 'rm -f "${FRESH_SERVING}" "${FRESH_MICRO}"' EXIT
 "./${BUILD_DIR}/bench/bench_serving" "${FRESH_SERVING}"
 echo
 "./${BUILD_DIR}/bench/bench_micro" \
-  --benchmark_filter='BM_TrainStep' \
+  --benchmark_filter='BM_TrainStep|BM_MatMulForwardSimd|BM_LayerNormSimd|BM_SoftmaxMaskedSimd|BM_AttentionPackedSimd|BM_Int8Gemm' \
   --benchmark_min_time=0.2 \
   --benchmark_out="${FRESH_MICRO}" \
   --benchmark_out_format=json
@@ -61,9 +67,18 @@ SERVING_METRICS = [
     "per_plan_plans_per_sec",
     "raw_batched_plans_per_sec",
     "batched_plans_per_sec",
+    "quantized_plans_per_sec",
     "cached_plans_per_sec",
 ]
-MICRO_PREFIXES = ("BM_TrainStepPpsr", "BM_TrainStepPerfEncoder")
+MICRO_PREFIXES = (
+    "BM_TrainStepPpsr",
+    "BM_TrainStepPerfEncoder",
+    "BM_MatMulForwardSimd",
+    "BM_LayerNormSimd",
+    "BM_SoftmaxMaskedSimd",
+    "BM_AttentionPackedSimd",
+    "BM_Int8Gemm",
+)
 
 with open(sys.argv[1]) as f:
     serving_base = json.load(f)
@@ -87,6 +102,26 @@ for name, build_type in base_types.items():
               f"'{build_type or 'unknown'}', not Release — re-record with "
               "scripts/run_bench_baseline.sh")
         failed = True
+
+# A baseline recorded at a different SIMD level than the fresh binaries
+# dispatch here compares ISAs, not code changes. (The fresh run's stamp is
+# ground truth for this machine; QPE_SIMD overrides affect it too, so a
+# forced-scalar A/B run must point the gate at a scalar-recorded baseline.)
+base_simd = {
+    sys.argv[1]: serving_base.get("simd_level", ""),
+    sys.argv[3]: micro_base.get("context", {}).get("qpe_simd_level", ""),
+}
+fresh_simd = {
+    sys.argv[1]: serving_fresh.get("simd_level", ""),
+    sys.argv[3]: micro_fresh.get("context", {}).get("qpe_simd_level", ""),
+}
+for name in base_simd:
+    if base_simd[name] != fresh_simd[name]:
+        print(f"FAIL: baseline {name} was recorded at SIMD level "
+              f"'{base_simd[name] or 'unknown'}' but this machine dispatches "
+              f"'{fresh_simd[name] or 'unknown'}' — re-record with "
+              "scripts/run_bench_baseline.sh on matching hardware")
+        failed = True
 if failed:
     sys.exit(1)
 
@@ -107,20 +142,20 @@ for metric in SERVING_METRICS:
     print(f"{metric:<34} {base:>12.1f} {now:>12.1f} {ratio:>6.2f}x{flag}")
 
 
-def train_step_times(report):
+def micro_times(report):
     times = {}
     for bench in report.get("benchmarks", []):
         name = bench.get("name", "")
         if name.startswith(MICRO_PREFIXES) and bench.get("run_type") != "aggregate":
-            times[name] = bench["cpu_time"]
+            times[name] = (bench["cpu_time"], bench.get("time_unit", "ns"))
     return times
 
 
-base_times = train_step_times(micro_base)
-fresh_times = train_step_times(micro_fresh)
+base_times = micro_times(micro_base)
+fresh_times = micro_times(micro_fresh)
 for name in sorted(base_times):
-    base = base_times[name]
-    now = fresh_times.get(name)
+    base, unit = base_times[name]
+    now = fresh_times.get(name, (None, unit))[0]
     if now is None:
         print(f"{name:<34} missing from fresh run")
         failed = True
@@ -130,15 +165,15 @@ for name in sorted(base_times):
     if ratio > 1.0 + MICRO_THRESHOLD:
         flag = "  REGRESSION"
         failed = True
-    print(f"{name + ' cpu_time(ms)':<34} {base:>12.2f} {now:>12.2f} "
+    print(f"{name + f' cpu_time({unit})':<34} {base:>12.2f} {now:>12.2f} "
           f"{ratio:>6.2f}x{flag}")
 if not base_times:
-    print("no BM_TrainStep benchmarks found in micro baseline")
+    print("no gated micro benchmarks found in micro baseline")
     failed = True
 
 if failed:
     print("\nFAIL: benchmark regression vs committed baselines")
     sys.exit(1)
-print(f"\nOK: serving within {SERVING_THRESHOLD:.0%} and train-step "
+print(f"\nOK: serving within {SERVING_THRESHOLD:.0%} and micro "
       f"cpu_time within {MICRO_THRESHOLD:.0%} of baseline")
 PY

@@ -37,7 +37,7 @@ cmake --build "${BUILD_DIR}" --target bench_micro bench_serving -j"$(nproc)"
 # 0.05s window records 2-3 warmup-dominated iterations — too noisy to gate
 # a 25% regression threshold on.
 "./${BUILD_DIR}/bench/bench_micro" \
-  --benchmark_filter='BM_MatMul|BM_TrainStep|Fused|BM_SoftmaxRows' \
+  --benchmark_filter='BM_MatMul|BM_TrainStep|Fused|BM_SoftmaxRows|BM_LayerNorm|BM_SoftmaxMasked|BM_AttentionPacked|BM_Int8Gemm' \
   --benchmark_min_time=0.2 \
   --benchmark_out=BENCH_micro.json \
   --benchmark_out_format=json
@@ -45,18 +45,26 @@ cmake --build "${BUILD_DIR}" --target bench_micro bench_serving -j"$(nproc)"
 echo
 "./${BUILD_DIR}/bench/bench_serving" BENCH_serving.json
 
-# Refuse to leave non-Release numbers behind as the committed baseline.
+# Refuse to leave non-Release numbers behind as the committed baseline, and
+# verify both files carry the detected SIMD level (the binaries stamp it
+# at startup: "scalar", "avx2" or "neon"). The regression gate later
+# refuses baselines whose level does not match the machine it runs on —
+# scalar-recorded numbers would make any vectorized run look like a win.
 python3 - <<'PY'
 import json
 import sys
 
 with open("BENCH_micro.json") as f:
-    micro = json.load(f)["context"].get("qpe_build_type", "")
+    micro_ctx = json.load(f)["context"]
 with open("BENCH_serving.json") as f:
-    serving = json.load(f).get("build_type", "")
+    serving = json.load(f)
+micro = micro_ctx.get("qpe_build_type", "")
+micro_simd = micro_ctx.get("qpe_simd_level", "")
+serving_simd = serving.get("simd_level", "")
 
 bad = [name for name, value in [("BENCH_micro.json", micro),
-                                ("BENCH_serving.json", serving)]
+                                ("BENCH_serving.json",
+                                 serving.get("build_type", ""))]
        if value != "Release"]
 if bad:
     for name in bad:
@@ -64,7 +72,12 @@ if bad:
     print("refusing to keep a debug-recorded baseline; "
           "delete the files and rerun")
     sys.exit(1)
+if not micro_simd or not serving_simd or micro_simd != serving_simd:
+    print(f"ERROR: SIMD level missing or inconsistent between baselines "
+          f"(micro: '{micro_simd}', serving: '{serving_simd}')")
+    sys.exit(1)
 print("\nbaseline build type: Release (verified in both files)")
+print(f"baseline SIMD level: {serving_simd}")
 PY
 
 echo

@@ -22,7 +22,7 @@ echo "=== [1/4] AddressSanitizer robustness suites ==="
 cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
   --target checkpoint_test dataset_io_test robustness_test ingestion_test \
-  serving_test arena_test workload_explorer
+  serving_test arena_test simd_quant_test workload_explorer
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -37,6 +37,13 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
 # frees, so ASan sees each graph buffer's true lifetime.
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/arena_test
+# SIMD/quantization suite under ASan: the dispatch pins to the scalar
+# reference (QPE_SANITIZE_BUILD), but the parity tests still drive the
+# vector kernel tables directly through TableFor() — so ASan checks the
+# AVX2/NEON tail-lane handling for out-of-bounds reads — and the int8
+# calibration + quantized-encoder paths run end to end.
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/simd_quant_test
 
 explorer=./build-asan/examples/workload_explorer
 

@@ -7,14 +7,19 @@
 # micro-batches) under TSan, so any data race in the parallel engine or the
 # serving layer fails the run. The arena suite rides along: per-thread
 # arenas plus the relaxed-atomic telemetry counters must stay race-free
-# under the multi-threaded training tests.
+# under the multi-threaded training tests. The simd_quant suite runs too:
+# sanitizer builds pin the kernel dispatch to the scalar reference
+# (QPE_SANITIZE_BUILD), but the dispatch machinery, the quantization
+# calibration pass and the int8 serving engine all still execute — TSan
+# checks the lazy kernel-table initialization and the quantized encoder's
+# shared read-only state under the service's data-parallel micro-batches.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DQPE_SANITIZE=thread >/dev/null
 cmake --build build-tsan --target threading_test serving_test arena_test \
-  -j"$(nproc)"
+  simd_quant_test -j"$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/threading_test
@@ -22,6 +27,8 @@ TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/serving_test
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/arena_test
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  ./build-tsan/tests/simd_quant_test
 
 echo
 echo "ThreadSanitizer run clean."

@@ -1,0 +1,265 @@
+#include "encoder/quantized_encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "nn/simd.h"
+#include "plan/linearize.h"
+
+namespace qpe::encoder {
+
+namespace {
+
+// Sites per transformer layer, in fixed order: the three input projections,
+// the output projection, then the two feed-forward matrices.
+constexpr int kSitesPerLayer = 6;
+constexpr const char* kLayerSites[kSitesPerLayer] = {
+    "attention.wq", "attention.wk", "attention.wv",
+    "attention.wo", "ff1",          "ff2",
+};
+
+}  // namespace
+
+QuantizedPlanEncoder::QuantizedPlanEncoder(
+    const TransformerPlanEncoder& fp32,
+    std::span<const plan::PlanNode* const> calibration)
+    : config_(fp32.config()) {
+  model_dim_ = config_.ModelDim();
+  head_dim_ = model_dim_ / config_.num_heads;
+  assert(!calibration.empty());
+
+  // Pull the trained weights through their stable dotted names (the same
+  // names the checkpoint format serializes).
+  std::unordered_map<std::string, nn::Tensor> params;
+  for (auto& [name, tensor] : fp32.NamedParameters()) {
+    params.emplace(name, tensor);
+  }
+  auto get = [&](const std::string& name) -> const nn::Tensor& {
+    auto it = params.find(name);
+    assert(it != params.end() && "missing parameter in fp32 encoder");
+    return it->second;
+  };
+  auto copy = [&](const std::string& name) {
+    const std::vector<float>& v = get(name).value();
+    return std::vector<float>(v.begin(), v.end());
+  };
+
+  embed1_ = copy("embed1.table");
+  embed2_ = copy("embed2.table");
+  embed3_ = copy("embed3.table");
+  positional_ = copy("transformer.positional");
+
+  struct Fp32Site {
+    nn::Tensor weight;
+    nn::Tensor bias;
+  };
+  std::vector<Fp32Site> fp32_sites;
+  layers_.reserve(config_.num_layers);
+  for (int i = 0; i < config_.num_layers; ++i) {
+    const std::string prefix = "transformer.layer" + std::to_string(i) + ".";
+    LayerParams lp;
+    lp.norm1_gamma = copy(prefix + "norm1.gamma");
+    lp.norm1_beta = copy(prefix + "norm1.beta");
+    lp.norm2_gamma = copy(prefix + "norm2.gamma");
+    lp.norm2_beta = copy(prefix + "norm2.beta");
+    layers_.push_back(std::move(lp));
+    for (const char* site : kLayerSites) {
+      fp32_sites.push_back({get(prefix + site + ".weight"),
+                            get(prefix + site + ".bias")});
+    }
+  }
+  has_projection_ = params.count("projection.weight") > 0;
+  if (has_projection_) {
+    fp32_sites.push_back(
+        {get("projection.weight"), get("projection.bias")});
+  }
+
+  // Calibration pass: replay the packed forward with the fp32 weights,
+  // recording every site's input absmax. The fp32 GEMM below goes through
+  // the same simd matmul kernel the autograd path uses, so the observed
+  // ranges are exactly the ranges the fp32 encoder produces.
+  std::vector<nn::QuantCalibrator> calibrators(fp32_sites.size());
+  TokenIds packed;
+  std::vector<int> lengths;
+  PackBatch(calibration, &packed, &lengths);
+  const nn::BatchLayout layout = nn::BatchLayout::FromLengths(lengths);
+  auto fp32_linear = [&](int site, const float* x, int m, int in, int out,
+                         float* y) {
+    calibrators[site].Observe(x, static_cast<size_t>(m) * in);
+    std::fill(y, y + static_cast<size_t>(m) * out, 0.0f);
+    nn::simd::K().matmul_forward_range(x, fp32_sites[site].weight.value().data(),
+                                       y, 0, m, in, out);
+    const float* bias = fp32_sites[site].bias.value().data();
+    for (int i = 0; i < m; ++i) {
+      float* row = y + static_cast<size_t>(i) * out;
+      for (int j = 0; j < out; ++j) row[j] += bias[j];
+    }
+  };
+  (void)ForwardPacked(packed, layout, fp32_linear);
+
+  sites_.reserve(fp32_sites.size());
+  for (size_t s = 0; s < fp32_sites.size(); ++s) {
+    sites_.push_back(nn::QuantizedLinear::FromLinear(
+        fp32_sites[s].weight, fp32_sites[s].bias, calibrators[s].scale()));
+  }
+}
+
+int QuantizedPlanEncoder::output_dim() const {
+  return has_projection_ ? config_.output_dim : model_dim_;
+}
+
+std::vector<float> QuantizedPlanEncoder::input_scales() const {
+  std::vector<float> scales;
+  scales.reserve(sites_.size());
+  for (const nn::QuantizedLinear& site : sites_) {
+    scales.push_back(site.input_scale());
+  }
+  return scales;
+}
+
+void QuantizedPlanEncoder::PackBatch(
+    std::span<const plan::PlanNode* const> plans, TokenIds* packed,
+    std::vector<int>* lengths) const {
+  lengths->reserve(plans.size());
+  for (const plan::PlanNode* p : plans) {
+    std::vector<plan::OperatorType> tokens = plan::LinearizeDfsBracket(*p);
+    if (static_cast<int>(tokens.size()) > config_.max_len) {
+      tokens.resize(config_.max_len);
+    }
+    const TokenIds ids = TokensToIds(tokens);
+    packed->level1.insert(packed->level1.end(), ids.level1.begin(),
+                          ids.level1.end());
+    packed->level2.insert(packed->level2.end(), ids.level2.begin(),
+                          ids.level2.end());
+    packed->level3.insert(packed->level3.end(), ids.level3.begin(),
+                          ids.level3.end());
+    lengths->push_back(static_cast<int>(tokens.size()));
+  }
+}
+
+template <typename LinearFn>
+std::vector<float> QuantizedPlanEncoder::ForwardPacked(
+    const TokenIds& ids, const nn::BatchLayout& layout,
+    LinearFn&& linear) const {
+  const int rows = layout.total_rows;
+  const int d = model_dim_;
+  const int f = config_.ff_dim;
+  const int d1 = config_.level1_dim;
+  const int d2 = config_.level2_dim;
+  const int d3 = config_.level3_dim;
+  const float invd = 1.0f / static_cast<float>(d);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const nn::simd::Kernels& kern = nn::simd::K();
+
+  // Token embeddings (three-table concat) plus positional rows.
+  std::vector<float> h(static_cast<size_t>(rows) * d);
+  for (int t = 0; t < rows; ++t) {
+    float* row = h.data() + static_cast<size_t>(t) * d;
+    const float* e1 =
+        embed1_.data() + static_cast<size_t>(ids.level1[t]) * d1;
+    const float* e2 =
+        embed2_.data() + static_cast<size_t>(ids.level2[t]) * d2;
+    const float* e3 =
+        embed3_.data() + static_cast<size_t>(ids.level3[t]) * d3;
+    const float* pos =
+        positional_.data() + static_cast<size_t>(layout.positions[t]) * d;
+    std::copy(e1, e1 + d1, row);
+    std::copy(e2, e2 + d2, row + d1);
+    std::copy(e3, e3 + d3, row + d1 + d2);
+    for (int c = 0; c < d; ++c) row[c] += pos[c];
+  }
+
+  std::vector<float> normed(static_cast<size_t>(rows) * d);
+  std::vector<float> q(static_cast<size_t>(rows) * d);
+  std::vector<float> k(static_cast<size_t>(rows) * d);
+  std::vector<float> v(static_cast<size_t>(rows) * d);
+  std::vector<float> ctx(static_cast<size_t>(rows) * d);
+  std::vector<float> ff(static_cast<size_t>(rows) * f);
+  for (int li = 0; li < config_.num_layers; ++li) {
+    const LayerParams& lp = layers_[li];
+    const int base = li * kSitesPerLayer;
+    // Pre-norm attention block with residual.
+    kern.layer_norm_rows(h.data(), lp.norm1_gamma.data(),
+                         lp.norm1_beta.data(), normed.data(), rows, d, invd);
+    linear(base + 0, normed.data(), rows, d, d, q.data());
+    linear(base + 1, normed.data(), rows, d, d, k.data());
+    linear(base + 2, normed.data(), rows, d, d, v.data());
+    kern.attention_forward_packed(q.data(), k.data(), v.data(), ctx.data(),
+                                  layout.offsets.data(),
+                                  layout.lengths.data(), layout.size(),
+                                  config_.num_heads, d, scale);
+    linear(base + 3, ctx.data(), rows, d, d, normed.data());
+    for (size_t i = 0; i < h.size(); ++i) h[i] += normed[i];
+    // Pre-norm feed-forward block (ReLU; the trained encoder's default and
+    // only activation) with residual.
+    kern.layer_norm_rows(h.data(), lp.norm2_gamma.data(),
+                         lp.norm2_beta.data(), normed.data(), rows, d, invd);
+    linear(base + 4, normed.data(), rows, d, f, ff.data());
+    for (size_t i = 0; i < ff.size(); ++i) {
+      if (ff[i] < 0) ff[i] = 0.0f;
+    }
+    linear(base + 5, ff.data(), rows, f, d, normed.data());
+    for (size_t i = 0; i < h.size(); ++i) h[i] += normed[i];
+  }
+
+  // CLS pooling, then the optional output projection on the [B, d] matrix.
+  const int num_seqs = layout.size();
+  std::vector<float> cls(static_cast<size_t>(num_seqs) * d);
+  for (int s = 0; s < num_seqs; ++s) {
+    const float* src = h.data() + static_cast<size_t>(layout.offsets[s]) * d;
+    std::copy(src, src + d, cls.data() + static_cast<size_t>(s) * d);
+  }
+  if (!has_projection_) return cls;
+  const int od = config_.output_dim;
+  std::vector<float> projected(static_cast<size_t>(num_seqs) * od);
+  linear(config_.num_layers * kSitesPerLayer, cls.data(), num_seqs, d, od,
+         projected.data());
+  return projected;
+}
+
+std::vector<nn::Tensor> QuantizedPlanEncoder::EncodeBatch(
+    std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
+  (void)dropout_rng;  // inference-only engine: no dropout, ever
+  if (plans.empty()) return {};
+  TokenIds packed;
+  std::vector<int> lengths;
+  PackBatch(plans, &packed, &lengths);
+  const nn::BatchLayout layout = nn::BatchLayout::FromLengths(lengths);
+  std::vector<int8_t> qx_scratch;
+  std::vector<float> row_scale_scratch;
+  auto int8_linear = [&](int site, const float* x, int m, int in, int out,
+                         float* y) {
+    assert(sites_[site].in_features() == in &&
+           sites_[site].out_features() == out);
+    (void)in;
+    (void)out;
+    sites_[site].Forward(x, m, y, &qx_scratch, &row_scale_scratch);
+  };
+  const std::vector<float> cls = ForwardPacked(packed, layout, int8_linear);
+  const int od = output_dim();
+  std::vector<nn::Tensor> out;
+  out.reserve(plans.size());
+  for (int i = 0; i < layout.size(); ++i) {
+    const float* row = cls.data() + static_cast<size_t>(i) * od;
+    out.push_back(nn::Tensor::FromVector(
+        1, od, std::vector<float>(row, row + od)));
+  }
+  return out;
+}
+
+nn::Tensor QuantizedPlanEncoder::Encode(const plan::PlanNode& root,
+                                        util::Rng* dropout_rng) const {
+  const plan::PlanNode* plans[] = {&root};
+  return EncodeBatch(plans, dropout_rng)[0];
+}
+
+std::unique_ptr<QuantizedPlanEncoder> TransformerPlanEncoder::Quantize(
+    std::span<const plan::PlanNode* const> calibration) const {
+  return std::make_unique<QuantizedPlanEncoder>(*this, calibration);
+}
+
+}  // namespace qpe::encoder

@@ -1,0 +1,88 @@
+#ifndef QPE_ENCODER_QUANTIZED_ENCODER_H_
+#define QPE_ENCODER_QUANTIZED_ENCODER_H_
+
+#include <span>
+#include <vector>
+
+#include "encoder/structure_encoder.h"
+#include "nn/quant.h"
+#include "nn/transformer.h"
+
+namespace qpe::encoder {
+
+// Int8-quantized serving twin of a trained TransformerPlanEncoder.
+//
+// Construction copies the fp32 weights out of the trained encoder (via its
+// stable dotted parameter names), replays the packed forward over a
+// held-out calibration sample to record each linear layer's input range
+// (nn::QuantCalibrator, static per-tensor activation scales), and quantizes
+// every Linear — q/k/v/output projections, both feed-forward matrices, and
+// the optional output projection — to per-channel symmetric int8.
+//
+// Inference is graph-free: raw contiguous float buffers driven directly by
+// the nn::simd kernel table (layer norm, packed attention, softmax stay
+// fp32; the GEMMs run int8 x int8 -> int32). No autograd nodes, no arena
+// traffic, no backward closures — this is an inference-only engine, so
+// Encode ignores its dropout RNG. Results are deterministic and
+// batch-invariant: the int8 GEMM is exact integer arithmetic and every
+// other kernel is row-independent, so a plan's embedding is bit-identical
+// whether encoded alone or inside any batch, at any SIMD level.
+//
+// Accuracy: embeddings differ from the fp32 encoder's by quantization
+// noise. tests/simd_quant_test.cc gates the drift (max embedding cosine
+// distance and a kNN neighbor-agreement check against the fp32 encoder);
+// EXPERIMENTS.md records the measured deltas next to the speedup.
+class QuantizedPlanEncoder : public PlanSequenceEncoder {
+ public:
+  // `fp32` must be fully trained; `calibration` must be non-empty and
+  // should be held out from training. The new encoder is independent of
+  // `fp32` once constructed.
+  QuantizedPlanEncoder(const TransformerPlanEncoder& fp32,
+                       std::span<const plan::PlanNode* const> calibration);
+
+  nn::Tensor Encode(const plan::PlanNode& root,
+                    util::Rng* dropout_rng) const override;
+  std::vector<nn::Tensor> EncodeBatch(
+      std::span<const plan::PlanNode* const> plans,
+      util::Rng* dropout_rng) const override;
+  int output_dim() const override;
+
+  // Quantized GEMM sites: 6 per transformer layer (wq, wk, wv, wo, ff1,
+  // ff2) plus the output projection when present.
+  int num_quantized_sites() const { return static_cast<int>(sites_.size()); }
+  // Calibrated static input scale of each site, in site order.
+  std::vector<float> input_scales() const;
+
+ private:
+  struct LayerParams {
+    std::vector<float> norm1_gamma, norm1_beta;
+    std::vector<float> norm2_gamma, norm2_beta;
+  };
+
+  // Packs plans exactly like TransformerPlanEncoder::EncodeBatch
+  // (linearize, truncate to max_len, three id streams).
+  void PackBatch(std::span<const plan::PlanNode* const> plans,
+                 TokenIds* packed, std::vector<int>* lengths) const;
+
+  // Shared forward skeleton: `linear(site, x, rows, in, out, y)` runs the
+  // GEMM of the given site. Used with fp32 weights + calibrator taps during
+  // construction and with QuantizedLinear at serve time. Returns the CLS
+  // matrix [num_seqs, output_dim].
+  template <typename LinearFn>
+  std::vector<float> ForwardPacked(const TokenIds& ids,
+                                   const nn::BatchLayout& layout,
+                                   LinearFn&& linear) const;
+
+  StructureEncoderConfig config_;
+  int model_dim_ = 0;
+  int head_dim_ = 0;
+  std::vector<float> embed1_, embed2_, embed3_;  // [vocab, level dim] each
+  std::vector<float> positional_;                // [max_len, model dim]
+  std::vector<LayerParams> layers_;
+  std::vector<nn::QuantizedLinear> sites_;  // layer-major, then projection
+  bool has_projection_ = false;
+};
+
+}  // namespace qpe::encoder
+
+#endif  // QPE_ENCODER_QUANTIZED_ENCODER_H_

@@ -15,6 +15,8 @@
 
 namespace qpe::encoder {
 
+class QuantizedPlanEncoder;  // encoder/quantized_encoder.h
+
 // Splits a linearized token sequence into three per-level id sequences for
 // the sub-type embeddings.
 struct TokenIds {
@@ -91,6 +93,16 @@ class TransformerPlanEncoder : public PlanSequenceEncoder {
       util::Rng* dropout_rng) const override;
 
   int output_dim() const override;
+
+  const StructureEncoderConfig& config() const { return config_; }
+
+  // Builds an int8-quantized serving twin of this encoder (weights copied,
+  // activation scales calibrated on the given held-out plan sample). The
+  // result is self-contained: it does not reference this encoder after
+  // construction. See encoder/quantized_encoder.h. Defined in
+  // quantized_encoder.cc.
+  std::unique_ptr<QuantizedPlanEncoder> Quantize(
+      std::span<const plan::PlanNode* const> calibration) const;
 
  private:
   StructureEncoderConfig config_;

@@ -75,7 +75,8 @@ Linear::Linear(int in_features, int out_features, util::Rng* rng)
 
 Tensor Linear::Forward(const Tensor& x) const {
   assert(x.cols() == in_features_);
-  return Add(MatMul(x, weight_), bias_);
+  // One fused graph node; bit-identical to Add(MatMul(x, weight_), bias_).
+  return LinearRowBias(x, weight_, bias_);
 }
 
 // --- Embedding ---

@@ -1,0 +1,86 @@
+#include "nn/quant.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/simd.h"
+
+namespace qpe::nn {
+
+int8_t QuantizeValue(float x, float inv_scale) {
+  // std::nearbyint under the default rounding mode would be
+  // round-to-nearest-even; round() (ties away from zero) matches the
+  // reference quantizers of the usual int8 toolchains and is equally
+  // deterministic.
+  const float scaled = std::round(x * inv_scale);
+  if (scaled >= 127.0f) return 127;
+  if (scaled <= -127.0f) return -127;
+  return static_cast<int8_t>(scaled);
+}
+
+void QuantizeBuffer(const float* x, size_t n, float scale, int8_t* out) {
+  const float inv = 1.0f / scale;
+  for (size_t i = 0; i < n; ++i) out[i] = QuantizeValue(x[i], inv);
+}
+
+void QuantCalibrator::Observe(const float* x, size_t n) {
+  float m = absmax_;
+  for (size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > m) m = a;
+  }
+  absmax_ = m;
+}
+
+float QuantCalibrator::scale() const {
+  const float s = absmax_ / 127.0f;
+  return s > kMinQuantScale ? s : kMinQuantScale;
+}
+
+QuantizedLinear QuantizedLinear::FromLinear(const Tensor& weight,
+                                            const Tensor& bias,
+                                            float input_scale) {
+  const int in = weight.rows();
+  const int out = weight.cols();
+  assert(bias.rows() == 1 && bias.cols() == out);
+  QuantizedLinear q;
+  q.in_ = in;
+  q.out_ = out;
+  q.input_scale_ = input_scale > kMinQuantScale ? input_scale : kMinQuantScale;
+  q.weight_.resize(static_cast<size_t>(out) * in);
+  q.weight_scale_.resize(out);
+  q.bias_.assign(bias.value().begin(), bias.value().end());
+  const std::vector<float>& w = weight.value();  // [in, out] row-major
+  for (int j = 0; j < out; ++j) {
+    float absmax = 0.0f;
+    for (int p = 0; p < in; ++p) {
+      const float a = std::fabs(w[static_cast<size_t>(p) * out + j]);
+      if (a > absmax) absmax = a;
+    }
+    const float scale = absmax / 127.0f;
+    const float safe = scale > kMinQuantScale ? scale : kMinQuantScale;
+    q.weight_scale_[j] = safe;
+    const float inv = 1.0f / safe;
+    int8_t* channel = q.weight_.data() + static_cast<size_t>(j) * in;
+    for (int p = 0; p < in; ++p) {
+      channel[p] = QuantizeValue(w[static_cast<size_t>(p) * out + j], inv);
+    }
+  }
+  return q;
+}
+
+void QuantizedLinear::Forward(const float* x, int m, float* y,
+                              std::vector<int8_t>* qx_scratch,
+                              std::vector<float>* row_scale_scratch) const {
+  assert(in_ > 0 && out_ > 0);
+  qx_scratch->resize(static_cast<size_t>(m) * in_);
+  QuantizeBuffer(x, static_cast<size_t>(m) * in_, input_scale_,
+                 qx_scratch->data());
+  // Static per-tensor activation scale: every row shares input_scale_.
+  row_scale_scratch->assign(static_cast<size_t>(m), input_scale_);
+  simd::K().int8_gemm(qx_scratch->data(), weight_.data(), y, m, in_, out_,
+                      row_scale_scratch->data(), weight_scale_.data(),
+                      bias_.data());
+}
+
+}  // namespace qpe::nn

@@ -1,0 +1,94 @@
+#ifndef QPE_NN_QUANT_H_
+#define QPE_NN_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace qpe::nn {
+
+// Post-training int8 quantization primitives for the serving path.
+//
+// Scheme: symmetric linear quantization, q = clamp(round(x / scale), -127,
+// 127), zero point 0. Weights are quantized per output channel (each output
+// column of a Linear gets its own scale, from the column's absmax);
+// activations are quantized per tensor with a STATIC scale calibrated
+// offline on a held-out plan sample (QuantCalibrator). Static activation
+// scales keep inference deterministic: the quantized engine does no
+// data-dependent range analysis at serve time, so a plan always produces
+// the same embedding regardless of what else is in its batch.
+//
+// The matmul itself runs in int8 x int8 -> int32 (simd::Kernels::int8_gemm,
+// exact integer accumulation, bit-identical across SIMD levels), and the
+// int32 result is rescaled to float by input_scale * weight_scale[channel]
+// before the float bias is added.
+
+// Smallest representable scale: guards against absmax == 0 (a dead channel
+// or an all-zero calibration set) producing inf/NaN on dequantize.
+inline constexpr float kMinQuantScale = 1e-10f;
+
+// Rounds to nearest (ties away from zero) and saturates to [-127, 127].
+// Symmetric range: -128 is never produced, so negation stays in range and
+// the AVX2/NEON widening paths need no special case.
+int8_t QuantizeValue(float x, float inv_scale);
+
+// Quantizes n values with one shared scale (activations).
+void QuantizeBuffer(const float* x, size_t n, float scale, int8_t* out);
+
+// Streams activation tensors during offline calibration and yields the
+// static per-tensor scale. Observe() is absmax tracking, so the order of
+// observations does not matter and calibration is deterministic.
+class QuantCalibrator {
+ public:
+  void Observe(const float* x, size_t n);
+  float absmax() const { return absmax_; }
+  // absmax / 127, floored at kMinQuantScale.
+  float scale() const;
+
+ private:
+  float absmax_ = 0.0f;
+};
+
+// An int8-quantized Linear layer: per-channel symmetric weights, static
+// per-tensor input scale, float bias. Immutable after construction.
+class QuantizedLinear {
+ public:
+  QuantizedLinear() = default;
+
+  // Quantizes a trained fp32 Linear. `weight` is [in, out] (the layout
+  // nn::Linear trains), `bias` is [1, out]; `input_scale` comes from a
+  // QuantCalibrator run over this layer's inputs. Weights are repacked to
+  // [out][in] — each output channel contiguous — which is the layout the
+  // int8 GEMM kernel consumes.
+  static QuantizedLinear FromLinear(const Tensor& weight, const Tensor& bias,
+                                    float input_scale);
+
+  // y[m, out] = dequant(int8gemm(quant(x), W)) + bias, with x [m, in]
+  // row-major. `qx_scratch` holds the quantized activations between calls
+  // (resized as needed); passing the same scratch across calls makes the
+  // hot loop allocation-free once warm. Thread-safe for concurrent callers
+  // with distinct scratch buffers.
+  void Forward(const float* x, int m, float* y,
+               std::vector<int8_t>* qx_scratch,
+               std::vector<float>* row_scale_scratch) const;
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+  float input_scale() const { return input_scale_; }
+  const std::vector<float>& weight_scales() const { return weight_scale_; }
+  const std::vector<int8_t>& packed_weight() const { return weight_; }
+
+ private:
+  int in_ = 0;
+  int out_ = 0;
+  float input_scale_ = 1.0f;
+  std::vector<int8_t> weight_;       // [out][in], channel-contiguous
+  std::vector<float> weight_scale_;  // [out]
+  std::vector<float> bias_;          // [out]
+};
+
+}  // namespace qpe::nn
+
+#endif  // QPE_NN_QUANT_H_

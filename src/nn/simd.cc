@@ -1,0 +1,209 @@
+#include "nn/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "nn/simd_kernels_inl.h"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#endif
+
+namespace qpe::nn::simd {
+
+// Per-ISA tables, defined in simd_avx2.cc / simd_neon.cc when the build
+// compiles them (QPE_HAVE_* set by CMake for the matching architecture).
+#if defined(QPE_HAVE_AVX2)
+const Kernels* GetAvx2Kernels();
+#endif
+#if defined(QPE_HAVE_NEON)
+const Kernels* GetNeonKernels();
+#endif
+
+namespace {
+
+// Width-1 "vector" policy: instantiating the shared kernel bodies with it
+// reproduces the pre-SIMD scalar loops statement for statement, so the
+// scalar table is the bit-exactness reference for every other level.
+struct ScalarOps {
+  static constexpr int kLanes = 1;
+  using Vec = float;
+  static Vec Load(const float* p) { return *p; }
+  static void Store(float* p, Vec v) { *p = v; }
+  static Vec Broadcast(float x) { return x; }
+  static Vec Add(Vec a, Vec b) { return a + b; }
+  static Vec Sub(Vec a, Vec b) { return a - b; }
+  static Vec Mul(Vec a, Vec b) { return a * b; }
+  static Vec Div(Vec a, Vec b) { return a / b; }
+  static Vec Max(Vec a, Vec b) { return a < b ? b : a; }
+  static float HMax(Vec v) { return v; }
+  // std::exp, not a polynomial: the scalar table is the seed-bit-exact
+  // reference, so its exp must be the libm call the pre-SIMD code made.
+  static Vec Exp(Vec v) { return std::exp(v); }
+};
+
+void ScalarMatMulForwardRange(const float* a, const float* b, float* out,
+                              int i0, int i1, int k, int n) {
+  MatMulForwardRangeT<ScalarOps>(a, b, out, i0, i1, k, n);
+}
+
+void ScalarBiasRelu(const float* a, const float* bias, float* out, int m,
+                    int n) {
+  BiasReluT<ScalarOps>(a, bias, out, m, n);
+}
+
+void ScalarLayerNormRows(const float* x, const float* gamma, const float* beta,
+                         float* out, int m, int n, float invn) {
+  LayerNormRowsT<ScalarOps>(x, gamma, beta, out, m, n, invn);
+}
+
+void ScalarSoftmaxRowsMasked(const float* a, float* out, const int* valid,
+                             int m, int n) {
+  SoftmaxRowsMaskedT<ScalarOps>(a, out, valid, m, n);
+}
+
+void ScalarAttentionForwardPacked(const float* q, const float* k,
+                                  const float* v, float* out,
+                                  const int* offsets, const int* lengths,
+                                  int num_seqs, int num_heads, int dim,
+                                  float scale) {
+  AttentionForwardPackedT<ScalarOps>(q, k, v, out, offsets, lengths, num_seqs,
+                                     num_heads, dim, scale);
+}
+
+// Reference int8 GEMM: plain int32 dot products. Integer arithmetic is
+// exact, so the vector variants must match this bit for bit.
+void ScalarInt8Gemm(const int8_t* a, const int8_t* b, float* c, int m, int k,
+                    int n, const float* a_scale, const float* b_scale,
+                    const float* bias) {
+  for (int i = 0; i < m; ++i) {
+    const int8_t* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    const float as = a_scale[i];
+    for (int j = 0; j < n; ++j) {
+      const int8_t* brow = b + static_cast<size_t>(j) * k;
+      int32_t acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      float y = static_cast<float>(acc) * as * b_scale[j];
+      if (bias != nullptr) y += bias[j];
+      crow[j] = y;
+    }
+  }
+}
+
+const Kernels kScalarTable = {
+    Level::kScalar,
+    "scalar",
+    &ScalarMatMulForwardRange,
+    &ScalarBiasRelu,
+    &ScalarLayerNormRows,
+    &ScalarSoftmaxRowsMasked,
+    &ScalarAttentionForwardPacked,
+    &ScalarInt8Gemm,
+};
+
+Level DetectHardwareLevel() {
+#if defined(QPE_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+#if defined(QPE_HAVE_NEON)
+#if defined(__linux__)
+  if (getauxval(AT_HWCAP) & HWCAP_ASIMD) return Level::kNeon;
+#else
+  return Level::kNeon;  // AdvSIMD is architecturally mandatory on aarch64
+#endif
+#endif
+  return Level::kScalar;
+}
+
+Level InitialLevel() {
+  Level level = DetectHardwareLevel();
+  level = ParseLevel(std::getenv("QPE_SIMD"), level);
+  if (TableFor(level) == nullptr) level = Level::kScalar;
+#if defined(QPE_SANITIZE_BUILD)
+  // Sanitizer builds run everything through the scalar reference so TSan
+  // and ASan never have to reason about vendor intrinsics; the detection
+  // and dispatch code above still executes.
+  level = Level::kScalar;
+#endif
+  return level;
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* ActiveTable() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // First use (or a benign race between first users: both writers store
+    // the same pointer). TableFor is non-null here by InitialLevel.
+    table = TableFor(InitialLevel());
+    g_active.store(table, std::memory_order_release);
+  }
+  return table;
+}
+
+}  // namespace
+
+const Kernels* TableFor(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return &kScalarTable;
+    case Level::kAvx2:
+#if defined(QPE_HAVE_AVX2)
+      return GetAvx2Kernels();
+#else
+      return nullptr;
+#endif
+    case Level::kNeon:
+#if defined(QPE_HAVE_NEON)
+      return GetNeonKernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Kernels& K() { return *ActiveTable(); }
+
+Level ActiveLevel() { return K().level; }
+
+Level HardwareLevel() { return DetectHardwareLevel(); }
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+Level ParseLevel(const char* s, Level fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  if (std::strcmp(s, "0") == 0 || std::strcmp(s, "scalar") == 0 ||
+      std::strcmp(s, "off") == 0) {
+    return Level::kScalar;
+  }
+  if (std::strcmp(s, "avx2") == 0) return Level::kAvx2;
+  if (std::strcmp(s, "neon") == 0) return Level::kNeon;
+  return fallback;  // "1", "auto", unknown strings: keep the detected level
+}
+
+Level ForceLevel(Level level) {
+  const Kernels* table = TableFor(level);
+  if (table == nullptr) table = &kScalarTable;
+#if defined(QPE_SANITIZE_BUILD)
+  table = &kScalarTable;
+#endif
+  g_active.store(table, std::memory_order_release);
+  return table->level;
+}
+
+}  // namespace qpe::nn::simd

@@ -1,0 +1,108 @@
+#ifndef QPE_NN_SIMD_H_
+#define QPE_NN_SIMD_H_
+
+#include <cstdint>
+
+namespace qpe::nn::simd {
+
+// Instruction-set level of the kernel table in use. Exactly one non-scalar
+// level is compiled per architecture (AVX2 on x86-64, NEON on aarch64); the
+// scalar table is always built and is the bit-exactness reference: with
+// QPE_SIMD=0 every kernel below produces the same bits the pre-SIMD scalar
+// loops in nn/tensor.cc produced.
+enum class Level : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+// Kernel dispatch table. All kernels operate on raw row-major buffers so
+// both the autograd ops in nn/tensor.cc and the graph-free quantized
+// inference engine (encoder/quantized_encoder.cc) share them.
+//
+// Numerics contract: the float kernels preserve each output element's
+// accumulation order (axpy- and elementwise-shaped loops vectorize across
+// independent output lanes, never across a reduction), and the vector
+// variants use explicit mul+add — no FMA contraction. The AVX2/NEON tables
+// are therefore bit-identical to the scalar table on every input today;
+// tests still gate them by an epsilon contract (tests/simd_quant_test.cc)
+// so a future lane-reduced kernel only has to stay within epsilon. The
+// int8 kernel is pure integer arithmetic and must be bit-exact across all
+// levels.
+struct Kernels {
+  Level level = Level::kScalar;
+  const char* name = "scalar";
+
+  // out[i0:i1, :] += A[i0:i1, :] * B with A [m,k], B [k,n]: the blocked
+  // MatMul forward micro-kernel. Per output element the k dimension
+  // accumulates in ascending order at every level.
+  void (*matmul_forward_range)(const float* a, const float* b, float* out,
+                               int i0, int i1, int k, int n);
+  // out = max(a + bias, 0) over a row-major [m, n] block, bias [n].
+  void (*bias_relu)(const float* a, const float* bias, float* out, int m,
+                    int n);
+  // Row-wise layer norm: y = ((x - mean) * recip) * gamma + beta. Row
+  // statistics are computed scalar at every level (they are reductions;
+  // keeping them scalar keeps the kernel bit-exact), the normalize pass
+  // vectorizes across columns.
+  void (*layer_norm_rows)(const float* x, const float* gamma,
+                          const float* beta, float* out, int m, int n,
+                          float invn);
+  // Masked row softmax over the first valid[r] columns; remaining columns
+  // are left untouched (the caller pre-zeroes them). exp and the sum stay
+  // scalar (ascending-order reduction), max and the divide vectorize.
+  void (*softmax_rows_masked)(const float* a, float* out, const int* valid,
+                              int m, int n);
+  // Fused packed multi-head attention forward (see
+  // nn::MultiHeadAttentionPacked for the exact semantics).
+  void (*attention_forward_packed)(const float* q, const float* k,
+                                   const float* v, float* out,
+                                   const int* offsets, const int* lengths,
+                                   int num_seqs, int num_heads, int dim,
+                                   float scale);
+  // Quantized GEMM with int32 accumulation:
+  //   c[i, j] = dot(a[i, :], b[j, :]) * a_scale[i] * b_scale[j] + bias[j]
+  // a is [m, k] row-major int8 (quantized activations), b is [n, k] —
+  // each output channel's weights contiguous (column-major of the [k, n]
+  // weight matrix), bias may be null. The integer accumulation is exact,
+  // so results are bit-identical across levels.
+  void (*int8_gemm)(const int8_t* a, const int8_t* b, float* c, int m, int k,
+                    int n, const float* a_scale, const float* b_scale,
+                    const float* bias);
+};
+
+// The active kernel table. Selected once on first use: the best level the
+// hardware supports (cpuid on x86-64, getauxval on aarch64), downgraded by
+// the QPE_SIMD environment knob ("0"/"scalar" force the scalar table,
+// "avx2"/"neon" request a level and fall back to scalar if unavailable)
+// and forced to scalar under sanitizer builds (QPE_SANITIZE_BUILD) so TSan
+// and ASan exercise the dispatch machinery without vendor intrinsics.
+const Kernels& K();
+
+// Level of the active table (== K().level).
+Level ActiveLevel();
+
+// Highest level this binary + CPU supports, before QPE_SIMD and sanitizer
+// downgrades. Stamped into benchmark baselines next to the active level.
+Level HardwareLevel();
+
+const char* LevelName(Level level);
+
+// Parses a QPE_SIMD-style string: "0"/"scalar" -> kScalar, "avx2" ->
+// kAvx2, "neon" -> kNeon, "1"/"auto"/"" -> `fallback`. Unknown strings
+// also return `fallback`. Exposed for tests.
+Level ParseLevel(const char* s, Level fallback);
+
+// Test/bench hook: swap the active table. Requests above what the binary
+// supports (or any non-scalar level under a sanitizer build) clamp to
+// scalar; returns the level actually installed. Not safe to call while
+// kernels are running on other threads.
+Level ForceLevel(Level level);
+
+// Per-level tables; null when the level is not compiled into this binary.
+// Scalar is always available.
+const Kernels* TableFor(Level level);
+
+}  // namespace qpe::nn::simd
+
+#endif  // QPE_NN_SIMD_H_

@@ -1,0 +1,160 @@
+// AVX2 kernel table. Compiled only on x86-64, with -mavx2 (and
+// -ffp-contract=off so the compiler cannot contract the explicit
+// mul+add pairs into FMA — contraction would break the bit-exactness of
+// the vector lanes against the scalar reference). The functions are only
+// ever called through the dispatch table after __builtin_cpu_supports
+// confirmed AVX2 at runtime, so this TU's codegen never executes on a
+// pre-AVX2 machine.
+
+#if defined(QPE_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include "nn/simd.h"
+#include "nn/simd_kernels_inl.h"
+
+namespace qpe::nn::simd {
+
+namespace {
+
+struct Avx2Ops {
+  static constexpr int kLanes = 8;
+  using Vec = __m256;
+  static Vec Load(const float* p) { return _mm256_loadu_ps(p); }
+  static void Store(float* p, Vec v) { _mm256_storeu_ps(p, v); }
+  static Vec Broadcast(float x) { return _mm256_set1_ps(x); }
+  static Vec Add(Vec a, Vec b) { return _mm256_add_ps(a, b); }
+  static Vec Sub(Vec a, Vec b) { return _mm256_sub_ps(a, b); }
+  static Vec Mul(Vec a, Vec b) { return _mm256_mul_ps(a, b); }
+  static Vec Div(Vec a, Vec b) { return _mm256_div_ps(a, b); }
+  // max(a, b) with b preferred on unordered — matches std::max's
+  // (a < b ? b : a) selection exactly on the finite inputs the kernels see.
+  static Vec Max(Vec a, Vec b) { return _mm256_max_ps(b, a); }
+  static float HMax(Vec v) {
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 m = _mm_max_ps(lo, hi);
+    m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+    m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+    return _mm_cvtss_f32(m);
+  }
+  // 8-lane expf: Cephes-style range reduction (x = n*ln2 + r, ln2 split
+  // into a high part and a correction so r stays accurate) and a degree-5
+  // polynomial on r, then scale by 2^n via exponent-field arithmetic.
+  // Max error ~2 ulp against libm expf — this is the one kernel op allowed
+  // to diverge from the scalar reference (epsilon contract, see
+  // simd_kernels_inl.h); vectorizing exp is where the attention-softmax
+  // speedup comes from. Inputs are clamped to the finite float range of
+  // expf, so softmax's x - max <= 0 arguments never overflow and deeply
+  // negative scores saturate to a denormal instead of 0 (harmless: they
+  // vanish in the normalizing division).
+  static Vec Exp(Vec x) {
+    x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(-87.3365478515625f)),
+                      _mm256_set1_ps(88.3762626647949f));
+    const Vec n = _mm256_round_ps(
+        _mm256_mul_ps(x, _mm256_set1_ps(1.44269504088896341f)),
+        _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    Vec r = _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(0.693359375f)));
+    r = _mm256_sub_ps(r, _mm256_mul_ps(n, _mm256_set1_ps(-2.12194440e-4f)));
+    Vec p = _mm256_set1_ps(1.9875691500e-4f);
+    p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.3981999507e-3f));
+    p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(8.3334519073e-3f));
+    p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(4.1665795894e-2f));
+    p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(1.6666665459e-1f));
+    p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(5.0000001201e-1f));
+    p = _mm256_add_ps(_mm256_mul_ps(_mm256_mul_ps(p, r), r),
+                      _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+    const __m256i pow2 = _mm256_slli_epi32(
+        _mm256_add_epi32(_mm256_cvtps_epi32(n), _mm256_set1_epi32(127)), 23);
+    return _mm256_mul_ps(p, _mm256_castsi256_ps(pow2));
+  }
+};
+
+void Avx2MatMulForwardRange(const float* a, const float* b, float* out, int i0,
+                            int i1, int k, int n) {
+  MatMulForwardRangeT<Avx2Ops>(a, b, out, i0, i1, k, n);
+}
+
+void Avx2BiasRelu(const float* a, const float* bias, float* out, int m,
+                  int n) {
+  BiasReluT<Avx2Ops>(a, bias, out, m, n);
+}
+
+void Avx2LayerNormRows(const float* x, const float* gamma, const float* beta,
+                       float* out, int m, int n, float invn) {
+  LayerNormRowsT<Avx2Ops>(x, gamma, beta, out, m, n, invn);
+}
+
+void Avx2SoftmaxRowsMasked(const float* a, float* out, const int* valid,
+                           int m, int n) {
+  SoftmaxRowsMaskedT<Avx2Ops>(a, out, valid, m, n);
+}
+
+void Avx2AttentionForwardPacked(const float* q, const float* k, const float* v,
+                                float* out, const int* offsets,
+                                const int* lengths, int num_seqs,
+                                int num_heads, int dim, float scale) {
+  AttentionForwardPackedT<Avx2Ops>(q, k, v, out, offsets, lengths, num_seqs,
+                                   num_heads, dim, scale);
+}
+
+// int8 dot products, 16 elements per step: sign-extend both operands to
+// int16 and _mm256_madd_epi16 into int32 pairs. Every intermediate fits
+// comfortably (|a*b| <= 127*127, summed pairwise into int32), so the
+// accumulation is exact and bit-identical to the scalar reference.
+void Avx2Int8Gemm(const int8_t* a, const int8_t* b, float* c, int m, int k,
+                  int n, const float* a_scale, const float* b_scale,
+                  const float* bias) {
+  const int kv = (k / 16) * 16;
+  for (int i = 0; i < m; ++i) {
+    const int8_t* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    const float as = a_scale[i];
+    for (int j = 0; j < n; ++j) {
+      const int8_t* brow = b + static_cast<size_t>(j) * k;
+      __m256i acc = _mm256_setzero_si256();
+      int p = 0;
+      for (; p < kv; p += 16) {
+        const __m128i av =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(arow + p));
+        const __m128i bv =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow + p));
+        const __m256i a16 = _mm256_cvtepi8_epi16(av);
+        const __m256i b16 = _mm256_cvtepi8_epi16(bv);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16));
+      }
+      // Horizontal sum of the 8 int32 partials.
+      __m128i lo = _mm256_castsi256_si128(acc);
+      __m128i hi = _mm256_extracti128_si256(acc, 1);
+      __m128i s = _mm_add_epi32(lo, hi);
+      s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+      s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 1));
+      int32_t total = _mm_cvtsi128_si32(s);
+      for (; p < k; ++p) {
+        total += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      float y = static_cast<float>(total) * as * b_scale[j];
+      if (bias != nullptr) y += bias[j];
+      crow[j] = y;
+    }
+  }
+}
+
+const Kernels kAvx2Table = {
+    Level::kAvx2,
+    "avx2",
+    &Avx2MatMulForwardRange,
+    &Avx2BiasRelu,
+    &Avx2LayerNormRows,
+    &Avx2SoftmaxRowsMasked,
+    &Avx2AttentionForwardPacked,
+    &Avx2Int8Gemm,
+};
+
+}  // namespace
+
+const Kernels* GetAvx2Kernels() { return &kAvx2Table; }
+
+}  // namespace qpe::nn::simd
+
+#endif  // QPE_HAVE_AVX2

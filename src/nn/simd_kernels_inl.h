@@ -1,0 +1,436 @@
+#ifndef QPE_NN_SIMD_KERNELS_INL_H_
+#define QPE_NN_SIMD_KERNELS_INL_H_
+
+// Kernel bodies shared by every SIMD level. Each instruction set provides a
+// small vector-ops policy (lane count, load/store/broadcast, mul/add/max,
+// horizontal max) and instantiates these templates; qpe/nn/simd.cc holds
+// the scalar policy, simd_avx2.cc / simd_neon.cc the vector ones. One body
+// per kernel keeps the three tables in lockstep: a numerics fix lands in
+// all of them at once.
+//
+// Exactness discipline (see simd.h): loops vectorize only across
+// independent output lanes. Reductions (row sums, exp sums, dot products)
+// stay scalar in ascending order; max reductions may vectorize because
+// float max is exactly associative and commutative on the finite inputs
+// these kernels see. Policies must implement Mul/Add as separate
+// operations (never a fused multiply-add), and the per-ISA translation
+// units compile with -ffp-contract=off so the compiler cannot re-fuse
+// them.
+//
+// The one sanctioned deviation is V::Exp. The scalar policy's Exp is
+// std::exp — the scalar table therefore reproduces the pre-SIMD results
+// bit for bit, as required — but the vector policies implement a
+// polynomial expf (~2 ulp), so softmax outputs under a vector level agree
+// with the scalar reference only within the epsilon contract. Profiling
+// showed scalar expf dominating the attention softmax (~40% of an
+// end-to-end forward on short plan sequences), and unlike the sum loops
+// there is no ordering argument that would make a lane-parallel exp
+// bit-exact anyway — exp is elementwise, the divergence is purely the
+// polynomial. Every consumer of these kernels reaches them through the
+// same dispatch table, so batched-vs-single bit-equality still holds at
+// every level; only cross-level equality is epsilon-gated.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace qpe::nn::simd {
+
+// Row statistics of the fused LayerNorm, replicating the original autograd
+// chain's arithmetic exactly: mean and variance accumulate in ascending
+// column order and scale by a precomputed 1/n, and the reciprocal standard
+// deviation goes through the same clamped sqrt/log/exp chain the composite
+// forward used (Sqrt -> Log -> Scale(-1) -> Exp). Shared by the forward
+// kernels here and the (scalar) backward closure in nn/tensor.cc.
+inline void LayerNormRowStats(const float* __restrict row, int n, float invn,
+                              float* mean_out, float* recip_out) {
+  constexpr float kLogEps = 1e-12f;
+  float total = 0;
+  for (int c = 0; c < n; ++c) total += row[c];
+  const float mean = total * invn;
+  float sq = 0;
+  for (int c = 0; c < n; ++c) {
+    const float d = row[c] - mean;
+    sq += d * d;
+  }
+  const float var = sq * invn;
+  const float inv_std = std::sqrt(std::max(var + 1e-5f, 0.0f));
+  const float log_std = std::log(std::max(inv_std, kLogEps));
+  *mean_out = mean;
+  *recip_out = std::exp(std::min(-log_std, 30.0f));
+}
+
+// MatMul tile sizes, identical to the pre-SIMD blocked kernel: a
+// [kKC x kNC] panel of B (64 KB) stays resident in L1/L2 while it is
+// streamed against every row of A.
+inline constexpr int kSimdMatMulKC = 64;
+inline constexpr int kSimdMatMulNC = 256;
+
+// out[i0:i1, :] += A[i0:i1, :] * B. Vector levels run register-tiled:
+// each output tile is held in accumulator registers across the whole
+// k-block instead of being streamed through memory on every k step. Per
+// output element this is the exact operation sequence of the original
+// saxpy loop — the same mul-then-add pairs, over the same aval != 0
+// subsequence of k, in the same ascending order; only the intermediate
+// loads/stores of the output row disappear, and those never round. Every
+// level therefore produces the same bits as the pre-SIMD kernel, for
+// every thread count. What the tiling buys is breaking the loop-carried
+// store-to-load dependency the saxpy form had (~10 cycles per k step
+// through the store buffer, vs one add latency per independent
+// accumulator) — on the model's small GEMMs this was the single largest
+// cost in an end-to-end forward. The width-1 scalar policy keeps the
+// original p-outer saxpy shape (same bits again): at one float per
+// "vector" the tiles would walk B column-wise with a sparsity branch per
+// tile instead of per k step, which measured ~1.4x slower than the
+// seed loop it is required to reproduce.
+template <typename V>
+void MatMulForwardRangeT(const float* __restrict av, const float* __restrict bv,
+                         float* __restrict ov, int i0, int i1, int k, int n) {
+  constexpr int L = V::kLanes;
+  for (int p0 = 0; p0 < k; p0 += kSimdMatMulKC) {
+    const int p1 = std::min(k, p0 + kSimdMatMulKC);
+    for (int j0 = 0; j0 < n; j0 += kSimdMatMulNC) {
+      const int j1 = std::min(n, j0 + kSimdMatMulNC);
+      for (int i = i0; i < i1; ++i) {
+        const float* __restrict arow = av + static_cast<size_t>(i) * k;
+        float* __restrict orow = ov + static_cast<size_t>(i) * n;
+        if constexpr (L == 1) {
+          for (int p = p0; p < p1; ++p) {
+            const float aval = arow[p];
+            if (aval == 0.0f) continue;  // Relu outputs are often sparse
+            const float* __restrict brow = bv + static_cast<size_t>(p) * n;
+            for (int j = j0; j < j1; ++j) orow[j] += aval * brow[j];
+          }
+          continue;
+        }
+        int j = j0;
+        // 4-vector tiles: 4 independent accumulator chains in flight.
+        for (; j + 4 * L <= j1; j += 4 * L) {
+          auto a0 = V::Load(orow + j);
+          auto a1 = V::Load(orow + j + L);
+          auto a2 = V::Load(orow + j + 2 * L);
+          auto a3 = V::Load(orow + j + 3 * L);
+          for (int p = p0; p < p1; ++p) {
+            const float aval = arow[p];
+            if (aval == 0.0f) continue;  // Relu outputs are often sparse
+            const float* __restrict brow =
+                bv + static_cast<size_t>(p) * n + j;
+            const auto va = V::Broadcast(aval);
+            a0 = V::Add(a0, V::Mul(va, V::Load(brow)));
+            a1 = V::Add(a1, V::Mul(va, V::Load(brow + L)));
+            a2 = V::Add(a2, V::Mul(va, V::Load(brow + 2 * L)));
+            a3 = V::Add(a3, V::Mul(va, V::Load(brow + 3 * L)));
+          }
+          V::Store(orow + j, a0);
+          V::Store(orow + j + L, a1);
+          V::Store(orow + j + 2 * L, a2);
+          V::Store(orow + j + 3 * L, a3);
+        }
+        // 2-vector and 1-vector remainder tiles.
+        for (; j + 2 * L <= j1; j += 2 * L) {
+          auto a0 = V::Load(orow + j);
+          auto a1 = V::Load(orow + j + L);
+          for (int p = p0; p < p1; ++p) {
+            const float aval = arow[p];
+            if (aval == 0.0f) continue;
+            const float* __restrict brow =
+                bv + static_cast<size_t>(p) * n + j;
+            const auto va = V::Broadcast(aval);
+            a0 = V::Add(a0, V::Mul(va, V::Load(brow)));
+            a1 = V::Add(a1, V::Mul(va, V::Load(brow + L)));
+          }
+          V::Store(orow + j, a0);
+          V::Store(orow + j + L, a1);
+        }
+        for (; j + L <= j1; j += L) {
+          auto a0 = V::Load(orow + j);
+          for (int p = p0; p < p1; ++p) {
+            const float aval = arow[p];
+            if (aval == 0.0f) continue;
+            a0 = V::Add(a0, V::Mul(V::Broadcast(aval),
+                                   V::Load(bv + static_cast<size_t>(p) * n + j)));
+          }
+          V::Store(orow + j, a0);
+        }
+        for (; j < j1; ++j) {
+          float acc = orow[j];
+          for (int p = p0; p < p1; ++p) {
+            const float aval = arow[p];
+            if (aval == 0.0f) continue;
+            acc += aval * bv[static_cast<size_t>(p) * n + j];
+          }
+          orow[j] = acc;
+        }
+      }
+    }
+  }
+}
+
+// out = max(a + bias, 0): elementwise, so vector lanes are bit-identical
+// to the scalar loop.
+template <typename V>
+void BiasReluT(const float* __restrict av, const float* __restrict bv,
+               float* __restrict ov, int m, int n) {
+  constexpr int L = V::kLanes;
+  const int nv = (n / L) * L;
+  const auto zero = V::Broadcast(0.0f);
+  for (int r = 0; r < m; ++r) {
+    const float* __restrict arow = av + static_cast<size_t>(r) * n;
+    float* __restrict orow = ov + static_cast<size_t>(r) * n;
+    int c = 0;
+    for (; c < nv; c += L) {
+      V::Store(orow + c,
+               V::Max(V::Add(V::Load(arow + c), V::Load(bv + c)), zero));
+    }
+    for (; c < n; ++c) {
+      const float s = arow[c] + bv[c];
+      orow[c] = s > 0 ? s : 0.0f;
+    }
+  }
+}
+
+// y = ((x - mean) * recip) * gamma + beta. Stats stay scalar (reductions);
+// the normalize pass is elementwise and vectorizes bit-identically.
+template <typename V>
+void LayerNormRowsT(const float* __restrict xv, const float* __restrict gv,
+                    const float* __restrict bv, float* __restrict ov, int m,
+                    int n, float invn) {
+  constexpr int L = V::kLanes;
+  const int nv = (n / L) * L;
+  for (int r = 0; r < m; ++r) {
+    const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
+    float* __restrict orow = ov + static_cast<size_t>(r) * n;
+    float mean, recip;
+    LayerNormRowStats(xrow, n, invn, &mean, &recip);
+    const auto vmean = V::Broadcast(mean);
+    const auto vrecip = V::Broadcast(recip);
+    int c = 0;
+    for (; c < nv; c += L) {
+      const auto xhat = V::Mul(V::Sub(V::Load(xrow + c), vmean), vrecip);
+      V::Store(orow + c, V::Add(V::Mul(xhat, V::Load(gv + c)), V::Load(bv + c)));
+    }
+    for (; c < n; ++c) {
+      orow[c] = ((xrow[c] - mean) * recip) * gv[c] + bv[c];
+    }
+  }
+}
+
+// Masked row softmax over the first valid[r] columns. The max reduction
+// vectorizes (exact) and exp vectorizes through V::Exp (scalar level:
+// std::exp, bit-exact to seed; vector levels: polynomial, epsilon-gated);
+// the normalizing sum stays scalar in ascending order over the stored exp
+// values, and the final divide is elementwise.
+template <typename V>
+void SoftmaxRowsMaskedT(const float* __restrict av, float* __restrict ov,
+                        const int* __restrict valid, int m, int n) {
+  constexpr int L = V::kLanes;
+  for (int r = 0; r < m; ++r) {
+    const int v = std::min(std::max(valid[r], 0), n);
+    const float* __restrict row = av + static_cast<size_t>(r) * n;
+    float* __restrict orow = ov + static_cast<size_t>(r) * n;
+    if (v == 0) continue;  // row already zero
+    float max_v = row[0];
+    int c = 1;
+    if (v >= L) {
+      auto vmax = V::Load(row);
+      for (c = L; c + L <= v; c += L) vmax = V::Max(vmax, V::Load(row + c));
+      max_v = V::HMax(vmax);
+    }
+    for (; c < v; ++c) max_v = std::max(max_v, row[c]);
+    const int cv = (v / L) * L;
+    {
+      const auto vm = V::Broadcast(max_v);
+      int j = 0;
+      for (; j < cv; j += L) {
+        V::Store(orow + j, V::Exp(V::Sub(V::Load(row + j), vm)));
+      }
+      for (; j < v; ++j) orow[j] = std::exp(row[j] - max_v);
+    }
+    float total = 0;
+    for (int j = 0; j < v; ++j) total += orow[j];
+    const auto vtotal = V::Broadcast(total);
+    int j = 0;
+    for (; j < cv; j += L) V::Store(orow + j, V::Div(V::Load(orow + j), vtotal));
+    for (; j < v; ++j) orow[j] /= total;
+  }
+}
+
+// Fused packed multi-head attention forward (semantics documented at
+// nn::MultiHeadAttentionPacked). The score and context loops are
+// axpy-shaped and vectorize across their independent output lanes; the
+// softmax inside follows the same max-vector/exp-via-V::Exp/sum-scalar
+// split as SoftmaxRowsMaskedT.
+template <typename V>
+void AttentionForwardPackedT(const float* __restrict qv,
+                             const float* __restrict kv,
+                             const float* __restrict vv, float* __restrict ov,
+                             const int* __restrict offsets,
+                             const int* __restrict lengths, int num_seqs,
+                             int num_heads, int dim, float scale) {
+  constexpr int L = V::kLanes;
+  const int dh = dim / num_heads;
+  const int dhv = (dh / L) * L;
+  std::vector<float> probs;  // per-(sequence, head) [len, len] scratch
+  std::vector<float> kt;     // packed k^T head block, [dh, len]
+  for (int s = 0; s < num_seqs; ++s) {
+    const int off = offsets[s];
+    const int len = lengths[s];
+    const int lenv = (len / L) * L;
+    probs.resize(static_cast<size_t>(len) * len);
+    kt.resize(static_cast<size_t>(dh) * len);
+    for (int h = 0; h < num_heads; ++h) {
+      const int col0 = h * dh;
+      // Pack the head's key block transposed so the score loops run
+      // saxpy-style over a contiguous j dimension.
+      for (int j = 0; j < len; ++j) {
+        const float* __restrict krow =
+            kv + static_cast<size_t>(off + j) * dim + col0;
+        for (int c = 0; c < dh; ++c) {
+          kt[static_cast<size_t>(c) * len + j] = krow[c];
+        }
+      }
+      // Scores then row softmax: ascending-c accumulation scaled once
+      // after the sum, then max/exp/sum/divide per row — the same
+      // arithmetic as Scale(MatMul(qh, Transpose(kh)), scale) and
+      // SoftmaxRows, element for element.
+      for (int i = 0; i < len; ++i) {
+        const float* __restrict qrow =
+            qv + static_cast<size_t>(off + i) * dim + col0;
+        float* __restrict prow = probs.data() + static_cast<size_t>(i) * len;
+        // Scores q·k, register-tiled over j like MatMulForwardRangeT: the
+        // per-element sum still accumulates ascending c from zero, so the
+        // bits match the old zero-then-axpy form at every level. The
+        // scalar policy keeps the axpy shape (identical bits, better
+        // locality at width 1 — same reasoning as MatMulForwardRangeT).
+        if constexpr (L == 1) {
+          for (int j = 0; j < len; ++j) prow[j] = 0.0f;
+          for (int c = 0; c < dh; ++c) {
+            const float qc = qrow[c];
+            const float* __restrict ktrow =
+                kt.data() + static_cast<size_t>(c) * len;
+            for (int j = 0; j < len; ++j) prow[j] += qc * ktrow[j];
+          }
+        } else {
+          const float* __restrict ktv = kt.data();
+          const auto zero = V::Broadcast(0.0f);
+          int j = 0;
+          for (; j + 2 * L <= len; j += 2 * L) {
+            auto a0 = zero;
+            auto a1 = zero;
+            for (int c = 0; c < dh; ++c) {
+              const float* __restrict ktrow =
+                  ktv + static_cast<size_t>(c) * len + j;
+              const auto vq = V::Broadcast(qrow[c]);
+              a0 = V::Add(a0, V::Mul(vq, V::Load(ktrow)));
+              a1 = V::Add(a1, V::Mul(vq, V::Load(ktrow + L)));
+            }
+            V::Store(prow + j, a0);
+            V::Store(prow + j + L, a1);
+          }
+          for (; j + L <= len; j += L) {
+            auto a0 = zero;
+            for (int c = 0; c < dh; ++c) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(qrow[c]),
+                                     V::Load(ktv + static_cast<size_t>(c) * len +
+                                             j)));
+            }
+            V::Store(prow + j, a0);
+          }
+          for (; j < len; ++j) {
+            float acc = 0;
+            for (int c = 0; c < dh; ++c) {
+              acc += qrow[c] * ktv[static_cast<size_t>(c) * len + j];
+            }
+            prow[j] = acc;
+          }
+        }
+        // Scale all scores, then take the row max (exact reduction).
+        {
+          const auto vs = V::Broadcast(scale);
+          int j = 0;
+          for (; j < lenv; j += L) {
+            V::Store(prow + j, V::Mul(V::Load(prow + j), vs));
+          }
+          for (; j < len; ++j) prow[j] *= scale;
+        }
+        float max_v = prow[0];
+        {
+          int j = 1;
+          if (len >= L) {
+            auto vmax = V::Load(prow);
+            for (j = L; j + L <= len; j += L) {
+              vmax = V::Max(vmax, V::Load(prow + j));
+            }
+            max_v = V::HMax(vmax);
+          }
+          for (; j < len; ++j) max_v = std::max(max_v, prow[j]);
+        }
+        {
+          const auto vm = V::Broadcast(max_v);
+          int j = 0;
+          for (; j < lenv; j += L) {
+            V::Store(prow + j, V::Exp(V::Sub(V::Load(prow + j), vm)));
+          }
+          for (; j < len; ++j) prow[j] = std::exp(prow[j] - max_v);
+        }
+        float sum = 0;
+        for (int j = 0; j < len; ++j) sum += prow[j];
+        {
+          const auto vsum = V::Broadcast(sum);
+          int j = 0;
+          for (; j < lenv; j += L) {
+            V::Store(prow + j, V::Div(V::Load(prow + j), vsum));
+          }
+          for (; j < len; ++j) prow[j] /= sum;
+        }
+      }
+      // Context = probs * vh: j-outer saxpy over the contiguous c lanes of
+      // v; per element this accumulates ascending j, exactly like
+      // MatMul(probs, vh).
+      for (int i = 0; i < len; ++i) {
+        const float* __restrict prow =
+            probs.data() + static_cast<size_t>(i) * len;
+        float* __restrict orow = ov + static_cast<size_t>(off + i) * dim + col0;
+        // Context probs * vh, register-tiled over the head lanes c: the
+        // per-element sum accumulates ascending j from zero, exactly like
+        // the old zero-then-axpy form. The scalar policy keeps the axpy
+        // shape (identical bits, better locality at width 1).
+        if constexpr (L == 1) {
+          for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+          for (int j = 0; j < len; ++j) {
+            const float p = prow[j];
+            const float* __restrict vrow =
+                vv + static_cast<size_t>(off + j) * dim + col0;
+            for (int c = 0; c < dh; ++c) orow[c] += p * vrow[c];
+          }
+        } else {
+          const auto zero = V::Broadcast(0.0f);
+          int c = 0;
+          for (; c < dhv; c += L) {
+            auto a0 = zero;
+            for (int j = 0; j < len; ++j) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(prow[j]),
+                                     V::Load(vv + static_cast<size_t>(off + j) *
+                                                      dim +
+                                             col0 + c)));
+            }
+            V::Store(orow + c, a0);
+          }
+          for (; c < dh; ++c) {
+            float acc = 0;
+            for (int j = 0; j < len; ++j) {
+              acc +=
+                  prow[j] * vv[static_cast<size_t>(off + j) * dim + col0 + c];
+            }
+            orow[c] = acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace qpe::nn::simd
+
+#endif  // QPE_NN_SIMD_KERNELS_INL_H_

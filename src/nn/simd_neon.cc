@@ -1,0 +1,129 @@
+// NEON (AdvSIMD) kernel table, compiled only on aarch64. The TU is built
+// with -ffp-contract=off and uses explicit vmulq/vaddq pairs — never
+// vmlaq/vfmaq — so the vector lanes stay bit-identical to the scalar
+// reference kernels.
+
+#if defined(QPE_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include "nn/simd.h"
+#include "nn/simd_kernels_inl.h"
+
+namespace qpe::nn::simd {
+
+namespace {
+
+struct NeonOps {
+  static constexpr int kLanes = 4;
+  using Vec = float32x4_t;
+  static Vec Load(const float* p) { return vld1q_f32(p); }
+  static void Store(float* p, Vec v) { vst1q_f32(p, v); }
+  static Vec Broadcast(float x) { return vdupq_n_f32(x); }
+  static Vec Add(Vec a, Vec b) { return vaddq_f32(a, b); }
+  static Vec Sub(Vec a, Vec b) { return vsubq_f32(a, b); }
+  static Vec Mul(Vec a, Vec b) { return vmulq_f32(a, b); }
+  static Vec Div(Vec a, Vec b) { return vdivq_f32(a, b); }
+  static Vec Max(Vec a, Vec b) { return vmaxq_f32(a, b); }
+  static float HMax(Vec v) { return vmaxvq_f32(v); }
+  // 4-lane expf, same Cephes-style reduction + degree-5 polynomial as the
+  // AVX2 table (~2 ulp). Allowed to diverge from the scalar std::exp
+  // reference under the epsilon contract; see simd_kernels_inl.h.
+  static Vec Exp(Vec x) {
+    x = vminq_f32(vmaxq_f32(x, vdupq_n_f32(-87.3365478515625f)),
+                  vdupq_n_f32(88.3762626647949f));
+    const Vec n = vrndnq_f32(vmulq_f32(x, vdupq_n_f32(1.44269504088896341f)));
+    Vec r = vsubq_f32(x, vmulq_f32(n, vdupq_n_f32(0.693359375f)));
+    r = vsubq_f32(r, vmulq_f32(n, vdupq_n_f32(-2.12194440e-4f)));
+    Vec p = vdupq_n_f32(1.9875691500e-4f);
+    p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(1.3981999507e-3f));
+    p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(8.3334519073e-3f));
+    p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(4.1665795894e-2f));
+    p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(1.6666665459e-1f));
+    p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(5.0000001201e-1f));
+    p = vaddq_f32(vmulq_f32(vmulq_f32(p, r), r),
+                  vaddq_f32(r, vdupq_n_f32(1.0f)));
+    const int32x4_t pow2 =
+        vshlq_n_s32(vaddq_s32(vcvtnq_s32_f32(n), vdupq_n_s32(127)), 23);
+    return vmulq_f32(p, vreinterpretq_f32_s32(pow2));
+  }
+};
+
+void NeonMatMulForwardRange(const float* a, const float* b, float* out, int i0,
+                            int i1, int k, int n) {
+  MatMulForwardRangeT<NeonOps>(a, b, out, i0, i1, k, n);
+}
+
+void NeonBiasRelu(const float* a, const float* bias, float* out, int m,
+                  int n) {
+  BiasReluT<NeonOps>(a, bias, out, m, n);
+}
+
+void NeonLayerNormRows(const float* x, const float* gamma, const float* beta,
+                       float* out, int m, int n, float invn) {
+  LayerNormRowsT<NeonOps>(x, gamma, beta, out, m, n, invn);
+}
+
+void NeonSoftmaxRowsMasked(const float* a, float* out, const int* valid,
+                           int m, int n) {
+  SoftmaxRowsMaskedT<NeonOps>(a, out, valid, m, n);
+}
+
+void NeonAttentionForwardPacked(const float* q, const float* k, const float* v,
+                                float* out, const int* offsets,
+                                const int* lengths, int num_seqs,
+                                int num_heads, int dim, float scale) {
+  AttentionForwardPackedT<NeonOps>(q, k, v, out, offsets, lengths, num_seqs,
+                                   num_heads, dim, scale);
+}
+
+// int8 dot products 16 elements per step via widening multiplies:
+// vmull_s8 (int8x8 -> int16x8) then vpadalq_s16 into int32 accumulators.
+// Exact integer arithmetic, bit-identical to the scalar reference.
+void NeonInt8Gemm(const int8_t* a, const int8_t* b, float* c, int m, int k,
+                  int n, const float* a_scale, const float* b_scale,
+                  const float* bias) {
+  const int kv = (k / 16) * 16;
+  for (int i = 0; i < m; ++i) {
+    const int8_t* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    const float as = a_scale[i];
+    for (int j = 0; j < n; ++j) {
+      const int8_t* brow = b + static_cast<size_t>(j) * k;
+      int32x4_t acc = vdupq_n_s32(0);
+      int p = 0;
+      for (; p < kv; p += 16) {
+        const int8x16_t av = vld1q_s8(arow + p);
+        const int8x16_t bv = vld1q_s8(brow + p);
+        acc = vpadalq_s16(acc, vmull_s8(vget_low_s8(av), vget_low_s8(bv)));
+        acc = vpadalq_s16(acc, vmull_s8(vget_high_s8(av), vget_high_s8(bv)));
+      }
+      int32_t total = vaddvq_s32(acc);
+      for (; p < k; ++p) {
+        total += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      float y = static_cast<float>(total) * as * b_scale[j];
+      if (bias != nullptr) y += bias[j];
+      crow[j] = y;
+    }
+  }
+}
+
+const Kernels kNeonTable = {
+    Level::kNeon,
+    "neon",
+    &NeonMatMulForwardRange,
+    &NeonBiasRelu,
+    &NeonLayerNormRows,
+    &NeonSoftmaxRowsMasked,
+    &NeonAttentionForwardPacked,
+    &NeonInt8Gemm,
+};
+
+}  // namespace
+
+const Kernels* GetNeonKernels() { return &kNeonTable; }
+
+}  // namespace qpe::nn::simd
+
+#endif  // QPE_HAVE_NEON

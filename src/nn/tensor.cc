@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "nn/arena.h"
+#include "nn/simd.h"
+#include "nn/simd_kernels_inl.h"
 #include "util/thread_pool.h"
 
 #if defined(__GLIBC__)
@@ -273,32 +275,15 @@ namespace {
 // Below this many flops (2*m*k*n) the kernels run inline: pool dispatch
 // costs more than the multiply.
 constexpr int64_t kMatMulParallelFlops = 1 << 17;
-// Tile sizes: a [kKC x kNC] panel of B (64 KB) stays resident in L1/L2
-// while it is streamed against every row of A.
-constexpr int kKC = 64;
-constexpr int kNC = 256;
 
-// out[i0:i1, :] += A[i0:i1, :] * B. Per output element the k-dimension is
-// accumulated in ascending order regardless of tiling or row partition, so
-// results are identical for every thread count.
-void MatMulForwardRange(const float* __restrict av, const float* __restrict bv,
-                        float* __restrict ov, int i0, int i1, int k, int n) {
-  for (int p0 = 0; p0 < k; p0 += kKC) {
-    const int p1 = std::min(k, p0 + kKC);
-    for (int j0 = 0; j0 < n; j0 += kNC) {
-      const int j1 = std::min(n, j0 + kNC);
-      for (int i = i0; i < i1; ++i) {
-        const float* __restrict arow = av + static_cast<size_t>(i) * k;
-        float* __restrict orow = ov + static_cast<size_t>(i) * n;
-        for (int p = p0; p < p1; ++p) {
-          const float aval = arow[p];
-          if (aval == 0.0f) continue;  // Relu outputs are often sparse
-          const float* __restrict brow = bv + static_cast<size_t>(p) * n;
-          for (int j = j0; j < j1; ++j) orow[j] += aval * brow[j];
-        }
-      }
-    }
-  }
+// The blocked MatMul forward micro-kernel lives in the SIMD dispatch table
+// (nn/simd.h): out[i0:i1, :] += A[i0:i1, :] * B with the k dimension
+// accumulated in ascending order per output element at every SIMD level,
+// so results are identical for every thread count and instruction set.
+// Tiling constants are kSimdMatMulKC/kSimdMatMulNC in simd_kernels_inl.h.
+inline void MatMulForwardRange(const float* av, const float* bv, float* ov,
+                               int i0, int i1, int k, int n) {
+  simd::K().matmul_forward_range(av, bv, ov, i0, i1, k, n);
 }
 
 // dA[i0:i1, :] += dOut[i0:i1, :] * B^T, computed as row-dot-products so
@@ -983,24 +968,80 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets) {
 // (see -DQPE_NATIVE=ON for arch-specific codegen). Forward arithmetic is
 // bit-identical to the op chains they replace — see tensor.h.
 
+Tensor LinearRowBias(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  assert(x.cols() == w.rows());
+  const int m = x.rows(), k = x.cols(), n = w.cols();
+  assert(bias.rows() == 1 && bias.cols() == n);
+  Tensor out = Tensor::MakeResult(m, n, {x.impl_, w.impl_, bias.impl_});
+  const float* xv = x.impl_->value.data();
+  const float* wv = w.impl_->value.data();
+  const float* biasv = bias.impl_->value.data();
+  float* ov = out.impl_->value.data();  // pre-zeroed by MakeResult
+  const int64_t flops = 2LL * m * k * n;
+  if (flops < kMatMulParallelFlops) {
+    MatMulForwardRange(xv, wv, ov, 0, m, k, n);
+  } else {
+    util::ParallelFor(m, /*grain=*/1, [&](int64_t i0, int64_t i1) {
+      MatMulForwardRange(xv, wv, ov, static_cast<int>(i0),
+                         static_cast<int>(i1), k, n);
+    });
+  }
+  // Bias is added after each output element's multiply fully accumulated —
+  // the same order as the Add(MatMul(x, w), bias) chain, so bit-identical.
+  for (int i = 0; i < m; ++i) {
+    float* __restrict orow = ov + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) orow[j] += biasv[j];
+  }
+  if (out.requires_grad()) {
+    Tensor::Impl* const xi = x.impl_.get();
+    Tensor::Impl* const wi = w.impl_.get();
+    Tensor::Impl* const bi = bias.impl_.get();
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [xi, wi, bi, oi, m, k, n, flops]() {
+      const float* og = oi->grad.data();
+      if (xi->requires_grad) {
+        float* xg = GradPtr(xi);
+        const float* wv = wi->value.data();
+        if (flops < kMatMulParallelFlops) {
+          MatMulBackwardA(og, wv, xg, 0, m, k, n);
+        } else {
+          util::ParallelFor(m, /*grain=*/1, [&](int64_t i0, int64_t i1) {
+            MatMulBackwardA(og, wv, xg, static_cast<int>(i0),
+                            static_cast<int>(i1), k, n);
+          });
+        }
+      }
+      if (wi->requires_grad) {
+        float* wg = GradPtr(wi);
+        const float* xv = xi->value.data();
+        if (flops < kMatMulParallelFlops) {
+          MatMulBackwardB(xv, og, wg, 0, k, m, k, n);
+        } else {
+          util::ParallelFor(k, /*grain=*/1, [&](int64_t p0, int64_t p1) {
+            MatMulBackwardB(xv, og, wg, static_cast<int>(p0),
+                            static_cast<int>(p1), m, k, n);
+          });
+        }
+      }
+      if (bi->requires_grad) {
+        float* __restrict bg = GradPtr(bi);
+        for (int i = 0; i < m; ++i) {
+          const float* __restrict grow = og + static_cast<size_t>(i) * n;
+          for (int j = 0; j < n; ++j) bg[j] += grow[j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
 Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
   const int m = a.rows(), n = a.cols();
   assert(bias.rows() == 1 && bias.cols() == n);
   Tensor out = Tensor::MakeResult(m, n, {a.impl_, bias.impl_},
                                   Tensor::Fill::kOverwrite);
-  {
-    const float* __restrict av = a.impl_->value.data();
-    const float* __restrict bv = bias.impl_->value.data();
-    float* __restrict ov = out.impl_->value.data();
-    for (int r = 0; r < m; ++r) {
-      const float* __restrict arow = av + static_cast<size_t>(r) * n;
-      float* __restrict orow = ov + static_cast<size_t>(r) * n;
-      for (int c = 0; c < n; ++c) {
-        const float s = arow[c] + bv[c];
-        orow[c] = s > 0 ? s : 0.0f;
-      }
-    }
-  }
+  simd::K().bias_relu(a.impl_->value.data(), bias.impl_->value.data(),
+                      out.impl_->value.data(), m, n);
   if (out.requires_grad()) {
     Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const bi = bias.impl_.get();
@@ -1063,31 +1104,10 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
   return out;
 }
 
-namespace {
-
-// Row statistics of the fused LayerNorm, replicating the original op
-// chain's arithmetic exactly: mean and variance accumulate in ascending
-// column order and scale by a precomputed 1/n, and the reciprocal
-// standard deviation goes through the same clamped sqrt/log/exp chain the
-// composite forward used (Sqrt -> Log -> Scale(-1) -> Exp).
-inline void LayerNormRowStats(const float* __restrict row, int n, float invn,
-                              float* mean_out, float* recip_out) {
-  float total = 0;
-  for (int c = 0; c < n; ++c) total += row[c];
-  const float mean = total * invn;
-  float sq = 0;
-  for (int c = 0; c < n; ++c) {
-    const float d = row[c] - mean;
-    sq += d * d;
-  }
-  const float var = sq * invn;
-  const float inv_std = std::sqrt(std::max(var + 1e-5f, 0.0f));
-  const float log_std = std::log(std::max(inv_std, kLogEps));
-  *mean_out = mean;
-  *recip_out = std::exp(std::min(-log_std, 30.0f));
-}
-
-}  // namespace
+// Row statistics live in simd_kernels_inl.h (simd::LayerNormRowStats): the
+// forward kernels of every SIMD level and the scalar backward closure below
+// must share one definition so their mean/recip bits can never diverge.
+using simd::LayerNormRowStats;
 
 Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
   const int m = x.rows(), n = x.cols();
@@ -1096,21 +1116,9 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
   Tensor out = Tensor::MakeResult(m, n, {x.impl_, gamma.impl_, beta.impl_},
                                   Tensor::Fill::kOverwrite);
   const float invn = 1.0f / static_cast<float>(n);
-  {
-    const float* __restrict xv = x.impl_->value.data();
-    const float* __restrict gv = gamma.impl_->value.data();
-    const float* __restrict bv = beta.impl_->value.data();
-    float* __restrict ov = out.impl_->value.data();
-    for (int r = 0; r < m; ++r) {
-      const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
-      float* __restrict orow = ov + static_cast<size_t>(r) * n;
-      float mean, recip;
-      LayerNormRowStats(xrow, n, invn, &mean, &recip);
-      for (int c = 0; c < n; ++c) {
-        orow[c] = ((xrow[c] - mean) * recip) * gv[c] + bv[c];
-      }
-    }
-  }
+  simd::K().layer_norm_rows(x.impl_->value.data(), gamma.impl_->value.data(),
+                            beta.impl_->value.data(), out.impl_->value.data(),
+                            m, n, invn);
   if (out.requires_grad()) {
     Tensor::Impl* const xi = x.impl_.get();
     Tensor::Impl* const gi = gamma.impl_.get();
@@ -1157,22 +1165,10 @@ Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid) {
   const int m = a.rows(), n = a.cols();
   assert(static_cast<int>(valid.size()) == m);
   Tensor out = Tensor::MakeResult(m, n, {a.impl_});
-  for (int r = 0; r < m; ++r) {
-    const int v = std::min(std::max(valid[r], 0), n);
-    const float* __restrict row =
-        a.impl_->value.data() + static_cast<size_t>(r) * n;
-    float* __restrict orow =
-        out.impl_->value.data() + static_cast<size_t>(r) * n;
-    if (v == 0) continue;  // row already zero
-    float max_v = row[0];
-    for (int c = 1; c < v; ++c) max_v = std::max(max_v, row[c]);
-    float total = 0;
-    for (int c = 0; c < v; ++c) {
-      orow[c] = std::exp(row[c] - max_v);
-      total += orow[c];
-    }
-    for (int c = 0; c < v; ++c) orow[c] /= total;
-  }
+  // Padding columns keep MakeResult's zero fill: the kernel only writes the
+  // valid prefix of each row.
+  simd::K().softmax_rows_masked(a.impl_->value.data(), out.impl_->value.data(),
+                                valid.data(), m, n);
   if (out.requires_grad()) {
     Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
@@ -1204,77 +1200,19 @@ Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
   assert(offsets.size() == lengths.size());
   const int dh = dim / num_heads;
   Tensor out = Tensor::MakeResult(total, dim, {q.impl_, k.impl_, v.impl_});
-  {
-    const float* __restrict qv = q.impl_->value.data();
-    const float* __restrict kv = k.impl_->value.data();
-    const float* __restrict vv = v.impl_->value.data();
-    float* __restrict ov = out.impl_->value.data();
-    std::vector<float> probs;  // per-(sequence, head) [len, len] scratch
-    std::vector<float> kt;     // packed k^T head block, [dh, len]
-    for (size_t s = 0; s < lengths.size(); ++s) {
-      const int off = offsets[s];
-      const int len = lengths[s];
-      assert(off >= 0 && len > 0 && off + len <= total);
-      probs.resize(static_cast<size_t>(len) * len);
-      kt.resize(static_cast<size_t>(dh) * len);
-      for (int h = 0; h < num_heads; ++h) {
-        const int col0 = h * dh;
-        // Pack the head's key block transposed so the score loops run
-        // saxpy-style over a contiguous j dimension.
-        for (int j = 0; j < len; ++j) {
-          const float* __restrict krow =
-              kv + static_cast<size_t>(off + j) * dim + col0;
-          for (int c = 0; c < dh; ++c) {
-            kt[static_cast<size_t>(c) * len + j] = krow[c];
-          }
-        }
-        // Scores then row softmax: per element the arithmetic mirrors
-        // Scale(MatMul(qh, Transpose(kh)), scale) and SoftmaxRows exactly —
-        // ascending-c accumulation scaled once after the sum, then
-        // max/exp/sum/divide per row — so the fused values are
-        // bit-identical to the op chain's.
-        for (int i = 0; i < len; ++i) {
-          const float* __restrict qrow =
-              qv + static_cast<size_t>(off + i) * dim + col0;
-          float* __restrict prow = probs.data() + static_cast<size_t>(i) * len;
-          for (int j = 0; j < len; ++j) prow[j] = 0.0f;
-          for (int c = 0; c < dh; ++c) {
-            const float qc = qrow[c];
-            const float* __restrict ktrow =
-                kt.data() + static_cast<size_t>(c) * len;
-            for (int j = 0; j < len; ++j) prow[j] += qc * ktrow[j];
-          }
-          float max_v = prow[0] * scale;
-          for (int j = 0; j < len; ++j) {
-            prow[j] *= scale;
-            if (prow[j] > max_v) max_v = prow[j];
-          }
-          float sum = 0;
-          for (int j = 0; j < len; ++j) {
-            prow[j] = std::exp(prow[j] - max_v);
-            sum += prow[j];
-          }
-          for (int j = 0; j < len; ++j) prow[j] /= sum;
-        }
-        // Context = probs * vh: j-outer saxpy, so the inner c loop is
-        // contiguous in v; per element this accumulates ascending j,
-        // exactly like MatMul(probs, vh).
-        for (int i = 0; i < len; ++i) {
-          const float* __restrict prow =
-              probs.data() + static_cast<size_t>(i) * len;
-          float* __restrict orow =
-              ov + static_cast<size_t>(off + i) * dim + col0;
-          for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
-          for (int j = 0; j < len; ++j) {
-            const float p = prow[j];
-            const float* __restrict vrow =
-                vv + static_cast<size_t>(off + j) * dim + col0;
-            for (int c = 0; c < dh; ++c) orow[c] += p * vrow[c];
-          }
-        }
-      }
-    }
+#ifndef NDEBUG
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    assert(offsets[s] >= 0 && lengths[s] > 0 &&
+           offsets[s] + lengths[s] <= total);
   }
+#endif
+  // The fused forward (kt pack, scores, softmax, context) lives in the SIMD
+  // dispatch table; see AttentionForwardPackedT in simd_kernels_inl.h for
+  // the kernel body and its bit-exactness notes.
+  simd::K().attention_forward_packed(
+      q.impl_->value.data(), k.impl_->value.data(), v.impl_->value.data(),
+      out.impl_->value.data(), offsets.data(), lengths.data(),
+      static_cast<int>(lengths.size()), num_heads, dim, scale);
   if (out.requires_grad()) {
     Tensor::Impl* const qi = q.impl_.get();
     Tensor::Impl* const ki = k.impl_.get();

@@ -139,6 +139,8 @@ class Tensor {
   friend Tensor RowMean(const Tensor& a);               // -> [m,1]
   friend Tensor SoftmaxRows(const Tensor& a);           // rowwise softmax
   // --- Fused serving kernels (see "Fused kernels" below) ---
+  friend Tensor LinearRowBias(const Tensor& x, const Tensor& w,
+                              const Tensor& bias);
   friend Tensor BiasRelu(const Tensor& a, const Tensor& bias);
   friend Tensor BiasGelu(const Tensor& a, const Tensor& bias);
   friend Tensor LayerNormRows(const Tensor& x, const Tensor& gamma,
@@ -241,6 +243,13 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
 // restrict-qualified pointers. Forward results are bit-identical to the op
 // chains they replace, so swapping them into a model changes no numbers.
 
+// x * w + bias with x [m, k], w [k, n], bias [1, n]: Linear's whole forward
+// as one graph node instead of MatMul followed by a broadcasting Add. The
+// multiply completes before the bias row is added, so values are
+// bit-identical to the Add(MatMul(x, w), bias) chain while saving one graph
+// node, one [m, n] buffer and one full memory pass per Linear layer.
+Tensor LinearRowBias(const Tensor& x, const Tensor& w, const Tensor& bias);
+
 // max(a + bias, 0) with a [1, n] bias row: fuses Linear's bias add with the
 // ReLU that follows it (one pass instead of two ops).
 Tensor BiasRelu(const Tensor& a, const Tensor& bias);
@@ -258,9 +267,11 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias);
 Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta);
 
 // Row-wise softmax over the first valid[r] columns of row r; the remaining
-// (padding) columns are exactly 0. Over the valid prefix this is
-// bit-identical to SoftmaxRows on the unpadded row — the padding mask of
-// the batched attention path.
+// (padding) columns are exactly 0. Over the valid prefix this matches
+// SoftmaxRows on the unpadded row — bit-for-bit at the scalar dispatch
+// level, within the epsilon contract under a vector level (the kernel's
+// exp lanes are polynomial; see nn/simd_kernels_inl.h). The padding mask
+// of the batched attention path.
 Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid);
 
 // Fused multi-head self-attention over a ragged packed batch. q/k/v are
@@ -268,10 +279,14 @@ Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid);
 // form sequence s. For every sequence and every head (head h spans columns
 // [h*dh, (h+1)*dh), dh = dim/num_heads) the output block equals
 //   MatMul(SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), scale)), vh)
-// bit-for-bit, but runs as one op instead of ~8 per sequence per head —
-// on short plan sequences the chain's per-op dispatch/allocation dominates
-// the actual arithmetic. Keys never cross sequence boundaries, so packing
-// imposes an exact attention mask by construction.
+// — bit-for-bit at the scalar dispatch level, within the epsilon contract
+// under a vector level (polynomial exp lanes; see nn/simd_kernels_inl.h) —
+// but runs as one op instead of ~8 per sequence per head: on short plan
+// sequences the chain's per-op dispatch/allocation dominates the actual
+// arithmetic. Keys never cross sequence boundaries, so packing imposes an
+// exact attention mask by construction. Both MultiHeadSelfAttention paths
+// (single-sequence Forward and packed ForwardBatch) route through this op,
+// so batched-vs-single equality is bitwise at every dispatch level.
 Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
                                 const Tensor& v,
                                 const std::vector<int>& offsets,

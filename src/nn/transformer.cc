@@ -16,6 +16,10 @@ BatchLayout BatchLayout::FromLengths(const std::vector<int>& lengths) {
     layout.offsets.push_back(layout.total_rows);
     layout.total_rows += len;
   }
+  layout.positions.reserve(layout.total_rows);
+  for (const int len : lengths) {
+    for (int t = 0; t < len; ++t) layout.positions.push_back(t);
+  }
   return layout;
 }
 
@@ -37,17 +41,18 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
   const Tensor k = wk_->Forward(x);
   const Tensor v = wv_->Forward(x);
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  std::vector<Tensor> heads;
-  heads.reserve(num_heads_);
-  for (int h = 0; h < num_heads_; ++h) {
-    const Tensor qh = SliceCols(q, h * head_dim_, head_dim_);
-    const Tensor kh = SliceCols(k, h * head_dim_, head_dim_);
-    const Tensor vh = SliceCols(v, h * head_dim_, head_dim_);
-    const Tensor scores = Scale(MatMul(qh, Transpose(kh)), scale);  // [T, T]
-    const Tensor attention = SoftmaxRows(scores);
-    heads.push_back(MatMul(attention, vh));  // [T, head_dim]
-  }
-  return wo_->Forward(ConcatCols(heads));
+  // Single sequence = a packed batch of one. Routing through the same
+  // fused kernel as ForwardBatch (instead of the per-head
+  // MatMul/SoftmaxRows/MatMul chain it replaced) keeps Forward and
+  // ForwardBatch bit-identical at EVERY dispatch level: under a vector
+  // level the kernel's exp is a polynomial (epsilon contract, see
+  // simd_kernels_inl.h), so an op-chain softmax here would diverge from
+  // the batched path's. At the scalar level the kernel reproduces the old
+  // chain bit for bit, and the op carries a full backward, so training
+  // gradients flow exactly as before.
+  const Tensor context = MultiHeadAttentionPacked(q, k, v, {0}, {x.rows()},
+                                                  num_heads_, scale);
+  return wo_->Forward(context);
 }
 
 Tensor MultiHeadSelfAttention::ForwardBatch(const Tensor& x,
@@ -62,10 +67,10 @@ Tensor MultiHeadSelfAttention::ForwardBatch(const Tensor& x,
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   // Keys never cross sequence boundaries inside the fused kernel, so the
   // attention mask is exact by construction; per (sequence, head) block the
-  // kernel is bit-identical to the single-sequence
-  // MatMul(SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), scale)), vh) chain,
-  // but replaces ~8 tensor ops per sequence per head with one op — on short
-  // plan sequences the chain's dispatch/allocation overhead dominates.
+  // kernel computes exactly what the single-sequence Forward computes (both
+  // go through the same dispatched kernel), but replaces ~8 tensor ops per
+  // sequence per head with one op — on short plan sequences the chain's
+  // dispatch/allocation overhead would dominate.
   const Tensor context = MultiHeadAttentionPacked(
       q, k, v, layout.offsets, layout.lengths, num_heads_, scale);
   // Output projection, again batched over the packed matrix.
@@ -149,16 +154,13 @@ Tensor TransformerEncoder::ForwardBatch(const Tensor& x,
   assert(x.rows() == layout.total_rows);
   // Positional embeddings gathered per packed row: row t of sequence s gets
   // positional_[t], exactly as the single-sequence path adds
-  // SliceRows(positional_, 0, T_s). thread_local scratch: ForwardBatch runs
-  // once per training shard, and the index buffer keeps its capacity.
-  thread_local std::vector<int> positions;
-  positions.clear();
-  positions.reserve(layout.total_rows);
-  for (const int len : layout.lengths) {
-    assert(len <= max_len_);
-    for (int t = 0; t < len; ++t) positions.push_back(t);
-  }
-  Tensor h = Add(x, GatherRows(positional_, positions));
+  // SliceRows(positional_, 0, T_s). The index column is precomputed once in
+  // BatchLayout::FromLengths and shared by every layer-free consumer.
+#ifndef NDEBUG
+  for (const int len : layout.lengths) assert(len <= max_len_);
+#endif
+  assert(static_cast<int>(layout.positions.size()) == layout.total_rows);
+  Tensor h = Add(x, GatherRows(positional_, layout.positions));
   for (const TransformerEncoderLayer* layer : layers_) {
     h = layer->ForwardBatch(h, layout);
   }

@@ -20,10 +20,15 @@ namespace qpe::nn {
 // attends across a batch boundary. Packing is the exact-arithmetic
 // equivalent of a padded [B, L] batch with a padding mask: there are no
 // padding rows to mask (and no FLOPs wasted on them).
+// The layout is struct-of-arrays: each member is a contiguous column the
+// kernels index directly (offsets/lengths feed the packed attention kernel,
+// positions feeds the positional-embedding gather), with nothing
+// interleaved per sequence.
 struct BatchLayout {
-  std::vector<int> offsets;  // first packed row of each sequence
-  std::vector<int> lengths;  // rows (tokens) of each sequence
-  int total_rows = 0;        // sum of lengths
+  std::vector<int> offsets;    // first packed row of each sequence
+  std::vector<int> lengths;    // rows (tokens) of each sequence
+  std::vector<int> positions;  // within-sequence index of each packed row
+  int total_rows = 0;          // sum of lengths
 
   static BatchLayout FromLengths(const std::vector<int>& lengths);
   int size() const { return static_cast<int>(lengths.size()); }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nn/arena.h"
+#include "nn/simd.h"
 #include "plan/fingerprint.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -121,6 +122,7 @@ ServiceStats EmbeddingService::GetStats() const {
   if (cache_enabled_) stats.cache = cache_.GetStats();
   stats.memory = nn::GlobalMemoryStats();
   stats.peak_rss_bytes = nn::PeakRssBytes();
+  stats.simd_level = nn::simd::LevelName(nn::simd::ActiveLevel());
   return stats;
 }
 

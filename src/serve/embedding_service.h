@@ -40,6 +40,8 @@ struct ServiceStats {
   // service's worker threads) plus peak RSS, snapshotted by GetStats().
   nn::MemoryStats memory;
   uint64_t peak_rss_bytes = 0;
+  // Active SIMD kernel level ("scalar", "avx2", "neon"), from nn/simd.h.
+  const char* simd_level = "scalar";
 };
 
 // High-throughput embedding-serving facade over a PlanSequenceEncoder: the

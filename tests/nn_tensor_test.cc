@@ -4,11 +4,28 @@
 
 #include "gtest/gtest.h"
 #include "nn/loss.h"
+#include "nn/simd.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
 
 namespace qpe::nn {
 namespace {
+
+// Pins the kernel dispatch to a level for a test's duration and restores
+// the previous level on exit. The fused-vs-chain comparisons below are
+// bitwise only at the scalar level (the chain ops use scalar std::exp;
+// a vector table's exp lanes are polynomial under the epsilon contract).
+class SimdLevelGuard {
+ public:
+  explicit SimdLevelGuard(simd::Level level)
+      : previous_(simd::ActiveLevel()) {
+    simd::ForceLevel(level);
+  }
+  ~SimdLevelGuard() { simd::ForceLevel(previous_); }
+
+ private:
+  simd::Level previous_;
+};
 
 // Numerical gradient check: compares autograd gradients of
 // scalar_fn(inputs...) against central finite differences.
@@ -382,19 +399,40 @@ TEST(FusedKernelTest, LayerNormRowsGradient) {
                  [&]() { return Sum(MatMul(LayerNormRows(x, gamma, beta), w)); });
 }
 
-TEST(FusedKernelTest, SoftmaxRowsMaskedMatchesUnpaddedBitExact) {
+TEST(FusedKernelTest, SoftmaxRowsMaskedMatchesUnpaddedBitExactScalar) {
+  // At the scalar dispatch level the fused kernel is the seed-bit-exact
+  // reference: row r over its valid prefix must equal SoftmaxRows on the
+  // unpadded row exactly, and the padding tail must be exactly zero.
+  SimdLevelGuard guard(simd::Level::kScalar);
   util::Rng rng(77);
   const Tensor a = RandTensor(3, 6, &rng);
   const std::vector<int> valid = {6, 4, 2};
   const Tensor masked = SoftmaxRowsMasked(a, valid);
   for (int r = 0; r < 3; ++r) {
-    // Row r over its valid prefix must equal SoftmaxRows on the unpadded
-    // row; the padding tail must be exactly zero.
     const Tensor row = SoftmaxRows(SliceCols(SliceRows(a, r, 1), 0, valid[r]));
     for (int c = 0; c < valid[r]; ++c) {
       EXPECT_EQ(masked.at(r, c), row.at(0, c)) << r << "," << c;
     }
     for (int c = valid[r]; c < 6; ++c) EXPECT_EQ(masked.at(r, c), 0.0f);
+  }
+}
+
+TEST(FusedKernelTest, SoftmaxRowsMaskedMatchesUnpaddedWithinEpsilon) {
+  // Under the machine's vector level the kernel's exp lanes are polynomial
+  // (~2 ulp), so the comparison against the scalar-exp op chain is gated
+  // by the epsilon contract instead of bitwise. On a machine without a
+  // vector table this degenerates to the scalar case and still holds.
+  SimdLevelGuard guard(simd::HardwareLevel());
+  util::Rng rng(77);
+  const Tensor a = RandTensor(5, 23, &rng);
+  const std::vector<int> valid = {23, 17, 8, 3, 1};
+  const Tensor masked = SoftmaxRowsMasked(a, valid);
+  for (int r = 0; r < 5; ++r) {
+    const Tensor row = SoftmaxRows(SliceCols(SliceRows(a, r, 1), 0, valid[r]));
+    for (int c = 0; c < valid[r]; ++c) {
+      EXPECT_NEAR(masked.at(r, c), row.at(0, c), 1e-6f) << r << "," << c;
+    }
+    for (int c = valid[r]; c < 23; ++c) EXPECT_EQ(masked.at(r, c), 0.0f);
   }
 }
 
@@ -407,7 +445,12 @@ TEST(FusedKernelTest, SoftmaxRowsMaskedGradient) {
       {a}, [&]() { return Sum(MatMul(SoftmaxRowsMasked(a, valid), w)); });
 }
 
-TEST(FusedKernelTest, MultiHeadAttentionPackedMatchesChainBitExact) {
+// Compares the fused packed attention against the per-sequence, per-head
+// op chain ForwardBatch used before the fused kernel existed. tol == 0
+// demands bitwise equality (valid at the scalar dispatch level); a
+// positive tol applies the epsilon contract (vector levels, where the
+// kernel's exp lanes are polynomial).
+void CheckAttentionPackedAgainstChain(float tol) {
   util::Rng rng(79);
   const int dim = 8, num_heads = 2, dh = dim / num_heads;
   const std::vector<int> offsets = {0, 5};
@@ -418,8 +461,6 @@ TEST(FusedKernelTest, MultiHeadAttentionPackedMatchesChainBitExact) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   const Tensor fused =
       MultiHeadAttentionPacked(q, k, v, offsets, lengths, num_heads, scale);
-  // The per-sequence, per-head op chain ForwardBatch used before the fused
-  // kernel existed.
   for (size_t s = 0; s < lengths.size(); ++s) {
     const Tensor qs = SliceRows(q, offsets[s], lengths[s]);
     const Tensor ks = SliceRows(k, offsets[s], lengths[s]);
@@ -432,12 +473,29 @@ TEST(FusedKernelTest, MultiHeadAttentionPackedMatchesChainBitExact) {
           MatMul(SoftmaxRows(Scale(MatMul(qh, Transpose(kh)), scale)), vh);
       for (int i = 0; i < lengths[s]; ++i) {
         for (int c = 0; c < dh; ++c) {
-          EXPECT_EQ(fused.at(offsets[s] + i, h * dh + c), ctx.at(i, c))
-              << "seq " << s << " head " << h << " (" << i << "," << c << ")";
+          const float got = fused.at(offsets[s] + i, h * dh + c);
+          const float want = ctx.at(i, c);
+          if (tol == 0.0f) {
+            EXPECT_EQ(got, want)
+                << "seq " << s << " head " << h << " (" << i << "," << c << ")";
+          } else {
+            EXPECT_NEAR(got, want, tol)
+                << "seq " << s << " head " << h << " (" << i << "," << c << ")";
+          }
         }
       }
     }
   }
+}
+
+TEST(FusedKernelTest, MultiHeadAttentionPackedMatchesChainBitExactScalar) {
+  SimdLevelGuard guard(simd::Level::kScalar);
+  CheckAttentionPackedAgainstChain(0.0f);
+}
+
+TEST(FusedKernelTest, MultiHeadAttentionPackedMatchesChainWithinEpsilon) {
+  SimdLevelGuard guard(simd::HardwareLevel());
+  CheckAttentionPackedAgainstChain(1e-6f);
 }
 
 TEST(FusedKernelTest, MultiHeadAttentionPackedGradient) {
