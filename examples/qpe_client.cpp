@@ -1,0 +1,182 @@
+// qpe_client: command-line client for qpe_served.
+//
+// Generates random query plans (or reads serialized plan s-expressions from
+// a file, one per line), sends them to the daemon in ENCODE requests, and
+// prints per-request outcomes — including typed shed errors with their
+// retry-after hints, so backpressure is visible from the shell.
+//
+//   ./build/examples/qpe_client --socket=/tmp/qpe.sock --plans=32
+//   ./build/examples/qpe_client --socket=/tmp/qpe.sock --stats
+//   ./build/examples/qpe_client --socket=/tmp/qpe.sock --ping
+//
+// Flags:
+//   --socket=PATH       daemon socket (default /tmp/qpe_served.sock)
+//   --tenant=NAME       tenant to bill the requests to (default "default")
+//   --plans=N           random plans to encode (default 8)
+//   --per-request=N     plans per ENCODE request (default 8)
+//   --requests=N        number of requests; 0 = derive from --plans (default 0)
+//   --deadline-ms=N     per-request deadline (default: none)
+//   --seed=N            plan-generator seed (default 1)
+//   --plan-file=PATH    read plans from a file instead (one s-expr per line)
+//   --stats             fetch and print the daemon's stats JSON, then exit
+//   --ping              health-check the daemon, then exit
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/plan_corpus.h"
+#include "plan/serialize.h"
+#include "serve/client.h"
+#include "util/rng.h"
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/qpe_served.sock";
+  std::string tenant = "default";
+  std::string plan_file;
+  int total_plans = 8;
+  int per_request = 8;
+  int requests = 0;
+  uint32_t deadline_ms = qpe::serve::kNoDeadline;
+  uint64_t seed = 1;
+  bool stats_only = false;
+  bool ping_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--socket", &v)) {
+      socket_path = v;
+    } else if (FlagValue(argv[i], "--tenant", &v)) {
+      tenant = v;
+    } else if (FlagValue(argv[i], "--plans", &v)) {
+      total_plans = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--per-request", &v)) {
+      per_request = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--requests", &v)) {
+      requests = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--deadline-ms", &v)) {
+      deadline_ms = static_cast<uint32_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(argv[i], "--seed", &v)) {
+      seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(argv[i], "--plan-file", &v)) {
+      plan_file = v;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats_only = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      ping_only = true;
+    } else {
+      std::fprintf(stderr, "qpe_client: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto client_or = qpe::serve::DaemonClient::Connect(socket_path);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "qpe_client: connect to %s failed: %s\n",
+                 socket_path.c_str(), client_or.status().ToString().c_str());
+    return 1;
+  }
+  qpe::serve::DaemonClient client = std::move(*client_or);
+
+  if (ping_only) {
+    if (qpe::util::Status s = client.Ping(); !s.ok()) {
+      std::fprintf(stderr, "qpe_client: ping failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("PONG\n");
+    return 0;
+  }
+  if (stats_only) {
+    auto json = client.StatsJson();
+    if (!json.ok()) {
+      std::fprintf(stderr, "qpe_client: stats failed: %s\n",
+                   json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+
+  // Build the plan set: either from a file of serialized s-expressions or
+  // from the same random-plan generator the tests and benchmarks use.
+  std::vector<std::string> plans;
+  if (!plan_file.empty()) {
+    std::ifstream is(plan_file);
+    if (!is) {
+      std::fprintf(stderr, "qpe_client: cannot open '%s'\n", plan_file.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(is, line)) {
+      if (!line.empty()) plans.push_back(line);
+    }
+  } else {
+    qpe::data::CorpusOptions options;
+    options.min_nodes = 4;
+    options.max_nodes = 24;
+    qpe::data::RandomPlanGenerator generator(qpe::util::Rng(seed), options);
+    plans.reserve(total_plans);
+    for (int i = 0; i < total_plans; ++i) {
+      plans.push_back(qpe::plan::SerializePlanNode(*generator.Generate()));
+    }
+  }
+  if (plans.empty()) {
+    std::fprintf(stderr, "qpe_client: no plans to send\n");
+    return 1;
+  }
+  if (per_request <= 0) per_request = 1;
+  if (requests <= 0) {
+    requests = static_cast<int>((plans.size() + per_request - 1) / per_request);
+  }
+
+  int ok_count = 0, shed_count = 0, failed = 0;
+  for (int r = 0; r < requests; ++r) {
+    qpe::serve::EncodeRequest request;
+    request.tenant = tenant;
+    request.deadline_ms = deadline_ms;
+    for (int i = 0; i < per_request; ++i) {
+      request.plans.push_back(plans[(r * per_request + i) % plans.size()]);
+    }
+    qpe::serve::ErrorResponse error;
+    auto response = client.Encode(request, &error);
+    if (response.ok()) {
+      ++ok_count;
+      std::printf("request %d: OK — %zu embedding(s) of dim %u\n", r,
+                  response->embeddings.size(), response->dim);
+    } else if (error.message.empty()) {
+      ++failed;
+      std::fprintf(stderr, "request %d: transport error: %s\n", r,
+                   response.status().ToString().c_str());
+      return 1;  // connection is gone; no point continuing
+    } else {
+      ++shed_count;
+      if (error.retry_after_ms == qpe::serve::kRetryNever) {
+        std::printf("request %d: %s (retry: never) — %s\n", r,
+                    qpe::serve::WireErrorName(error.code),
+                    error.message.c_str());
+      } else {
+        std::printf("request %d: %s (retry after %u ms) — %s\n", r,
+                    qpe::serve::WireErrorName(error.code), error.retry_after_ms,
+                    error.message.c_str());
+      }
+    }
+  }
+  std::printf("done: %d ok, %d shed, %d failed\n", ok_count, shed_count,
+              failed);
+  return failed == 0 ? 0 : 1;
+}

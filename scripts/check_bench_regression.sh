@@ -5,7 +5,12 @@
 #
 #   - BENCH_serving.json: a drop of more than 10% on any throughput metric
 #     (per-plan, raw-batched, batched-serving, int8-quantized, or
-#     warm-cache plans/sec) fails with exit 1.
+#     warm-cache plans/sec) fails with exit 1. The daemon's closed-loop
+#     p99 request latency (daemon_p99_ms) is gated too, at a doubling:
+#     it is a wall-clock number over a real socket (queueing + IPC
+#     included), so it carries more run-to-run variance than the
+#     CPU-time throughput metrics — but an unbounded-queue or
+#     admission-control regression shows up as far more than 2x.
 #   - BENCH_micro.json: a cpu_time increase of more than 25% on the
 #     training-step benchmarks (BM_TrainStepPpsr, BM_TrainStepPerfEncoder)
 #     or on the dispatched SIMD kernel benchmarks (BM_MatMulForwardSimd,
@@ -63,12 +68,16 @@ import sys
 
 SERVING_THRESHOLD = 0.10   # throughput: fail below (1 - 0.10) x baseline
 MICRO_THRESHOLD = 0.25     # cpu_time:   fail above (1 + 0.25) x baseline
+LATENCY_THRESHOLD = 1.00   # wall p99:   fail above (1 + 1.00) x baseline
 SERVING_METRICS = [
     "per_plan_plans_per_sec",
     "raw_batched_plans_per_sec",
     "batched_plans_per_sec",
     "quantized_plans_per_sec",
     "cached_plans_per_sec",
+]
+SERVING_LATENCY_METRICS = [
+    "daemon_p99_ms",
 ]
 MICRO_PREFIXES = (
     "BM_TrainStepPpsr",
@@ -141,6 +150,20 @@ for metric in SERVING_METRICS:
         failed = True
     print(f"{metric:<34} {base:>12.1f} {now:>12.1f} {ratio:>6.2f}x{flag}")
 
+for metric in SERVING_LATENCY_METRICS:
+    base = serving_base.get(metric)
+    now = serving_fresh.get(metric)
+    if base is None or now is None:
+        print(f"{metric:<34} missing from baseline or fresh run")
+        failed = True
+        continue
+    ratio = now / base if base else float("inf")
+    flag = ""
+    if ratio > 1.0 + LATENCY_THRESHOLD:
+        flag = "  REGRESSION"
+        failed = True
+    print(f"{metric:<34} {base:>12.3f} {now:>12.3f} {ratio:>6.2f}x{flag}")
+
 
 def micro_times(report):
     times = {}
@@ -174,6 +197,7 @@ if not base_times:
 if failed:
     print("\nFAIL: benchmark regression vs committed baselines")
     sys.exit(1)
-print(f"\nOK: serving within {SERVING_THRESHOLD:.0%} and micro "
-      f"cpu_time within {MICRO_THRESHOLD:.0%} of baseline")
+print(f"\nOK: serving within {SERVING_THRESHOLD:.0%}, daemon p99 within "
+      f"{1 + LATENCY_THRESHOLD:.1f}x, micro cpu_time within "
+      f"{MICRO_THRESHOLD:.0%} of baseline")
 PY

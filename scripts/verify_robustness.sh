@@ -14,15 +14,20 @@
 #  4. Crash-resume smoke: kills a checkpointed workload_explorer run
 #     mid-flight with SIGKILL, resumes it, and requires the resumed run's
 #     model fingerprint to be bit-identical to an uninterrupted run's.
+#  5. Serving-daemon chaos: under ASan, qpe_served takes live traffic and
+#     drains cleanly on SIGTERM (leak check at exit); a second daemon is
+#     SIGKILLed mid-traffic and its restart must restore the warm embedding
+#     cache from the last crash-safe snapshot and keep serving.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] AddressSanitizer robustness suites ==="
+echo "=== [1/5] AddressSanitizer robustness suites ==="
 cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
   --target checkpoint_test dataset_io_test robustness_test ingestion_test \
-  serving_test arena_test simd_quant_test workload_explorer
+  serving_test daemon_test arena_test simd_quant_test workload_explorer \
+  qpe_served qpe_client
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -32,6 +37,10 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/robustness_test
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/serving_test
+# The daemon suite under ASan: wire-protocol fuzzing, admission edge cases,
+# socket fault injection, drain/SIGTERM paths — every error path leak-checked.
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/daemon_test
 # The arena cooperates with sanitizers by disabling recycling
 # (QPE_SANITIZE_BUILD): every Acquire allocates fresh and EndEpoch really
 # frees, so ASan sees each graph buffer's true lifetime.
@@ -48,7 +57,7 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
 explorer=./build-asan/examples/workload_explorer
 
 echo
-echo "=== [2/4] Ingestion fuzz sweep (10k seeded mutations under ASan) ==="
+echo "=== [2/5] Ingestion fuzz sweep (10k seeded mutations under ASan) ==="
 # The ingestion suite runs its parser/sanitizer/encoder tests plus two fuzz
 # loops (byte-level EXPLAIN mutations, tree-level corruptions); the fixed
 # seeds inside the tests plus QPE_FUZZ_ITERS make every iteration
@@ -61,7 +70,7 @@ QPE_FUZZ_ITERS=10000 \
 echo "ingestion fuzz sweep passed: no crashes, no leaks, finite embeddings"
 
 echo
-echo "=== [3/4] Environment-driven fault injection (QPE_FAULT) ==="
+echo "=== [3/5] Environment-driven fault injection (QPE_FAULT) ==="
 fault_dir=$(mktemp -d)
 trap 'rm -rf "$fault_dir"' EXIT
 # The very first checkpoint write fails; the run must exit non-zero and
@@ -84,7 +93,7 @@ fi
 echo "injected checkpoint fault surfaced cleanly, no temp file leaked"
 
 echo
-echo "=== [4/4] Crash-resume smoke (SIGKILL mid-run) ==="
+echo "=== [4/5] Crash-resume smoke (SIGKILL mid-run) ==="
 SF=0.2
 CONFIGS=24
 fingerprint() { grep -o "model fingerprint: [0-9]*" | awk '{print $3}'; }
@@ -119,5 +128,88 @@ if [ "$resumed" != "$expected" ]; then
 fi
 
 echo
+echo "=== [5/5] Serving-daemon chaos (drain, SIGKILL mid-traffic, warm restart) ==="
+served=./build-asan/examples/qpe_served
+qclient=./build-asan/examples/qpe_client
+daemon_dir=$(mktemp -d)
+trap 'rm -rf "$fault_dir" "$clean_dir" "$crash_dir" "$daemon_dir"' EXIT
+sock="$daemon_dir/qpe.sock"
+warm="$daemon_dir/warm.qpew"
+
+# Wait for the daemon's "listening on" line rather than the socket file: a
+# SIGKILLed predecessor leaves a stale socket file behind, so testing -S
+# would race ahead of the restarted daemon's warm restore + bind.
+wait_for_ready() {
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "FAIL: daemon never reported listening ($1)"
+  cat "$1" 2>/dev/null || true
+  return 1
+}
+
+# 5a. Live traffic, then SIGTERM: the daemon must drain gracefully, exit 0
+# (ASan leak-checks the whole process at exit), and leave a warm snapshot.
+"$served" --socket="$sock" --small --workers=1 --warm-state="$warm" \
+  --snapshot-every=4 >"$daemon_dir/served_drain.log" 2>&1 &
+served_pid=$!
+wait_for_ready "$daemon_dir/served_drain.log"
+"$qclient" --socket="$sock" --plans=24 --per-request=6 >/dev/null
+kill -TERM "$served_pid"
+if ! wait "$served_pid"; then
+  echo "FAIL: daemon exited non-zero after SIGTERM drain"
+  cat "$daemon_dir/served_drain.log"
+  exit 1
+fi
+grep -q "drained, exiting" "$daemon_dir/served_drain.log" || {
+  echo "FAIL: no drain message in the daemon log"
+  cat "$daemon_dir/served_drain.log"
+  exit 1
+}
+[ -f "$warm" ] || { echo "FAIL: no warm snapshot after drain"; exit 1; }
+echo "SIGTERM drain: clean exit, ASan leak check passed, snapshot written"
+
+# 5b. SIGKILL mid-traffic: nothing is flushed, so the restart restores from
+# the last *periodic* snapshot — the crash-safe write discipline means the
+# file is either that snapshot or the previous one, never torn.
+"$served" --socket="$sock" --small --workers=1 --warm-state="$warm" \
+  --snapshot-every=4 >"$daemon_dir/served_kill.log" 2>&1 &
+served_pid=$!
+wait_for_ready "$daemon_dir/served_kill.log"
+"$qclient" --socket="$sock" --plans=32 --per-request=4 >/dev/null 2>&1 &
+traffic_pid=$!
+sleep 0.5
+kill -KILL "$served_pid"
+wait "$served_pid" 2>/dev/null || true
+wait "$traffic_pid" 2>/dev/null || true
+
+"$served" --socket="$sock" --small --workers=1 --warm-state="$warm" \
+  >"$daemon_dir/served_restart.log" 2>&1 &
+served_pid=$!
+wait_for_ready "$daemon_dir/served_restart.log"
+# `|| true`: under set -e a failed grep in the assignment would abort the
+# script silently instead of reaching the FAIL branch below.
+restored=$(grep -o "warm cache restored: [0-9]*" \
+  "$daemon_dir/served_restart.log" | awk '{print $4}' || true)
+if [ -z "${restored:-}" ] || [ "$restored" -eq 0 ]; then
+  echo "FAIL: restarted daemon did not restore the warm cache"
+  cat "$daemon_dir/served_restart.log"
+  exit 1
+fi
+# The restarted daemon must actually serve — same plans as before the kill,
+# now answered from the restored cache.
+"$qclient" --socket="$sock" --ping >/dev/null
+"$qclient" --socket="$sock" --plans=24 --per-request=6 >/dev/null
+kill -TERM "$served_pid"
+wait "$served_pid" || {
+  echo "FAIL: restarted daemon exited non-zero on drain"
+  cat "$daemon_dir/served_restart.log"
+  exit 1
+}
+echo "SIGKILL mid-traffic + restart: warm cache restored ($restored entries), serving resumed"
+
+echo
 echo "Robustness verification passed: ASan clean, ingestion fuzz clean,"
-echo "faults degrade cleanly, crash-resume is bit-exact."
+echo "faults degrade cleanly, crash-resume is bit-exact, daemon drains,"
+echo "survives SIGKILL, and restarts warm."

@@ -1,0 +1,134 @@
+#include "serve/client.h"
+
+#include <cstring>
+#include <utility>
+
+namespace qpe::serve {
+
+namespace {
+
+// Maps a typed daemon error to the Status a caller sees. kInvalidArgument
+// keeps its code; everything else (shed, deadline, draining, internal) is a
+// precondition of the daemon's current state, not of the caller's input.
+util::Status WireErrorToStatus(const ErrorResponse& error) {
+  std::string text = std::string("daemon: ") + WireErrorName(error.code) +
+                     ": " + error.message;
+  if (error.code == WireError::kInvalidArgument) {
+    return util::InvalidArgumentError(std::move(text));
+  }
+  return util::FailedPreconditionError(std::move(text));
+}
+
+}  // namespace
+
+util::StatusOr<DaemonClient> DaemonClient::Connect(
+    const std::string& socket_path) {
+  util::StatusOr<util::UniqueFd> fd = util::ConnectUnix(socket_path);
+  if (!fd.ok()) return fd.status();
+  DaemonClient client;
+  client.fd_ = std::move(*fd);
+  return client;
+}
+
+util::StatusOr<Frame> DaemonClient::RoundTrip(FrameType type,
+                                              std::string_view payload) {
+  if (!fd_.valid()) {
+    return util::FailedPreconditionError("client is not connected");
+  }
+  const std::string frame = EncodeFrame(type, payload);
+  if (util::Status s = util::WriteFull(fd_.get(), frame.data(), frame.size());
+      !s.ok()) {
+    fd_.Reset();
+    return s;
+  }
+
+  char header[kFrameHeaderSize];
+  if (util::Status s = util::ReadFull(fd_.get(), header, sizeof(header));
+      !s.ok()) {
+    fd_.Reset();
+    if (s.code() == util::StatusCode::kNotFound) {
+      // Clean hangup where a response was owed: the daemon dropped us
+      // (protocol error, drain deadline, write timeout).
+      return util::IoError("daemon closed the connection before responding");
+    }
+    return s;
+  }
+  uint32_t magic = 0, payload_size = 0;
+  uint8_t version = 0, raw_type = 0;
+  uint16_t reserved = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&version, header + 4, 1);
+  std::memcpy(&raw_type, header + 5, 1);
+  std::memcpy(&reserved, header + 6, 2);
+  std::memcpy(&payload_size, header + 8, 4);
+  if (magic != kWireMagic || version != kWireVersion || reserved != 0) {
+    fd_.Reset();
+    return util::DataLossError("daemon response has a corrupt frame header");
+  }
+  if (payload_size > max_payload_bytes_) {
+    fd_.Reset();
+    return util::DataLossError("daemon response payload of " +
+                               std::to_string(payload_size) +
+                               " byte(s) exceeds the client limit");
+  }
+  Frame response;
+  response.type = static_cast<FrameType>(raw_type);
+  response.payload.resize(payload_size);
+  if (payload_size > 0) {
+    if (util::Status s =
+            util::ReadFull(fd_.get(), response.payload.data(), payload_size);
+        !s.ok()) {
+      fd_.Reset();
+      return s;
+    }
+  }
+  return response;
+}
+
+util::Status DaemonClient::Ping() {
+  util::StatusOr<Frame> response = RoundTrip(FrameType::kPingRequest, "");
+  if (!response.ok()) return response.status();
+  if (response->type != FrameType::kPongResponse) {
+    return util::DataLossError("expected PONG, got frame type " +
+                               std::to_string(static_cast<int>(response->type)));
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<EncodeResponse> DaemonClient::Encode(
+    const EncodeRequest& request, ErrorResponse* typed_error) {
+  const std::string payload = EncodeEncodeRequestPayload(request);
+  util::StatusOr<Frame> response =
+      RoundTrip(FrameType::kEncodeRequest, payload);
+  if (!response.ok()) return response.status();
+  if (response->type == FrameType::kErrorResponse) {
+    util::StatusOr<ErrorResponse> error =
+        ParseErrorResponsePayload(response->payload);
+    if (!error.ok()) return error.status();
+    if (typed_error != nullptr) *typed_error = *error;
+    return WireErrorToStatus(*error);
+  }
+  if (response->type != FrameType::kEncodeResponse) {
+    return util::DataLossError("expected ENCODE response, got frame type " +
+                               std::to_string(static_cast<int>(response->type)));
+  }
+  return ParseEncodeResponsePayload(response->payload);
+}
+
+util::StatusOr<std::string> DaemonClient::StatsJson() {
+  util::StatusOr<Frame> response = RoundTrip(FrameType::kStatsRequest, "");
+  if (!response.ok()) return response.status();
+  if (response->type == FrameType::kErrorResponse) {
+    util::StatusOr<ErrorResponse> error =
+        ParseErrorResponsePayload(response->payload);
+    if (!error.ok()) return error.status();
+    return WireErrorToStatus(*error);
+  }
+  if (response->type != FrameType::kStatsResponse) {
+    return util::DataLossError("expected STATS response, got frame type " +
+                               std::to_string(static_cast<int>(response->type)));
+  }
+  return std::move(response->payload);
+}
+
+}  // namespace qpe::serve

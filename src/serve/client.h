@@ -1,0 +1,54 @@
+#ifndef QPE_SERVE_CLIENT_H_
+#define QPE_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "serve/wire_protocol.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace qpe::serve {
+
+// Blocking client for the qpe_served wire protocol: one connection, one
+// outstanding request at a time (the daemon itself handles pipelining;
+// this client keeps the common case simple). Used by the qpe_client CLI,
+// the bench_serving load generator, and the daemon tests.
+//
+// A transport failure (daemon gone, truncated frame) surfaces as a non-OK
+// Status from the call. A *typed daemon error* — shed under overload,
+// deadline exceeded, draining — also returns a non-OK Status, but fills
+// *typed_error with the wire code, retry-after hint, and message so
+// callers can implement backoff instead of string-matching.
+class DaemonClient {
+ public:
+  DaemonClient() = default;
+
+  static util::StatusOr<DaemonClient> Connect(const std::string& socket_path);
+
+  bool connected() const { return fd_.valid(); }
+
+  util::Status Ping();
+
+  // Encodes request.plans; embeddings come back in request order.
+  util::StatusOr<EncodeResponse> Encode(const EncodeRequest& request,
+                                        ErrorResponse* typed_error = nullptr);
+
+  util::StatusOr<std::string> StatsJson();
+
+  // Closes the connection immediately (tests use this to hang up with a
+  // request in flight).
+  void Close() { fd_.Reset(); }
+
+  // Raw access for tests that write deliberately hostile bytes.
+  int raw_fd() const { return fd_.get(); }
+
+ private:
+  util::StatusOr<Frame> RoundTrip(FrameType type, std::string_view payload);
+
+  util::UniqueFd fd_;
+  size_t max_payload_bytes_ = 64u << 20;
+};
+
+}  // namespace qpe::serve
+
+#endif  // QPE_SERVE_CLIENT_H_

@@ -1,0 +1,520 @@
+#include "serve/daemon.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "plan/serialize.h"
+#include "serve/warm_state.h"
+#include "util/fault_injection.h"
+
+namespace qpe::serve {
+
+namespace {
+
+constexpr double kInfiniteDeadline = std::numeric_limits<double>::infinity();
+constexpr int kPollTimeoutMs = 50;
+
+}  // namespace
+
+// One client connection. The IO thread owns the receive buffer and the
+// lifetime (it alone erases connections from its map); workers hold a
+// shared_ptr and write responses under write_mu, so a response to a
+// connection that died mid-encode lands on a closed flag, not a dangling
+// fd.
+struct ServingDaemon::Connection {
+  util::UniqueFd fd;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+  std::string in_buf;  // IO thread only
+};
+
+ServingDaemon::ServingDaemon(const encoder::PlanSequenceEncoder* encoder,
+                             const ServingDaemonConfig& config)
+    : encoder_(encoder),
+      config_(config),
+      service_(std::make_unique<EmbeddingService>(encoder, config.service)),
+      admission_(std::make_unique<AdmissionController>(config.admission)) {}
+
+ServingDaemon::~ServingDaemon() {
+  if (started_.load() && !stopped_.load()) Stop();
+}
+
+double ServingDaemon::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+util::Status ServingDaemon::Start() {
+  if (started_.exchange(true)) {
+    return util::FailedPreconditionError("daemon already started");
+  }
+  start_time_ = std::chrono::steady_clock::now();
+  if (!drain_pipe_.valid()) {
+    return util::IoError("cannot create the drain self-pipe");
+  }
+  util::StatusOr<util::UniqueFd> listener =
+      util::ListenUnix(config_.socket_path, config_.listen_backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  if (util::Status s = util::SetNonBlocking(listener_.get()); !s.ok()) {
+    return s;
+  }
+  if (config_.install_signal_handlers) {
+    if (util::Status s = util::InstallShutdownSignalHandler(&drain_pipe_);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  // Warm restore: best effort — a missing, corrupt, or wrong-model
+  // snapshot starts cold, it never blocks startup.
+  if (!config_.warm_state_path.empty() && service_->cache() != nullptr &&
+      WarmStateExists(config_.warm_state_path)) {
+    WarmState warm;
+    util::Status s = LoadWarmState(config_.warm_state_path,
+                                   config_.model_fingerprint, &warm);
+    if (s.ok()) {
+      service_->cache()->Restore(std::move(warm.entries));
+      warm_restored_entries_.store(service_->cache()->GetStats().entries);
+      std::fprintf(stderr, "qpe_served: warm cache restored: %zu entries\n",
+                   static_cast<size_t>(warm_restored_entries_.load()));
+    } else {
+      std::fprintf(stderr, "qpe_served: warm restore skipped: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+
+  workers_.reserve(static_cast<size_t>(std::max(config_.workers, 1)));
+  workers_running_.store(std::max(config_.workers, 1));
+  for (int i = 0; i < std::max(config_.workers, 1); ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return util::OkStatus();
+}
+
+void ServingDaemon::TriggerDrain() { drain_pipe_.Notify(); }
+
+void ServingDaemon::Join() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  stopped_.store(true);
+}
+
+void ServingDaemon::Stop() {
+  TriggerDrain();
+  Join();
+}
+
+void ServingDaemon::SendFrame(const ConnPtr& conn, FrameType type,
+                              std::string_view payload) {
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  const std::string frame = EncodeFrame(type, payload);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->closed.load(std::memory_order_acquire)) return;
+  if (util::Status s = util::WriteFull(conn->fd.get(), frame.data(),
+                                       frame.size());
+      !s.ok()) {
+    // Slow consumer (SO_SNDTIMEO), hangup, or injected fault: this
+    // connection is done, the daemon is not.
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    conn->closed.store(true, std::memory_order_release);
+  }
+}
+
+void ServingDaemon::SendError(const ConnPtr& conn, WireError code,
+                              uint32_t retry_after_ms, std::string message) {
+  ErrorResponse error;
+  error.code = code;
+  error.retry_after_ms = retry_after_ms;
+  error.message = std::move(message);
+  SendFrame(conn, FrameType::kErrorResponse,
+            EncodeErrorResponsePayload(error));
+}
+
+void ServingDaemon::HandleEncodeRequest(const ConnPtr& conn,
+                                        std::string payload) {
+  // Admission runs on the head fields only — tenant, deadline, cost — so
+  // shedding a request under overload never pays for plan parsing.
+  util::StatusOr<EncodeRequestHead> head =
+      PeekEncodeRequestHead(payload, config_.max_plans_per_request);
+  if (!head.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, WireError::kInvalidArgument, 0, head.status().ToString());
+    return;
+  }
+  const double now = Now();
+  QueuedRequest request;
+  request.tenant = head->tenant;
+  request.cost = head->plan_count;
+  request.deadline = head->deadline_ms == kNoDeadline
+                         ? kInfiniteDeadline
+                         : now + head->deadline_ms * 1e-3;
+  request.payload = std::move(payload);
+  request.context = conn;
+  const AdmissionController::Result result =
+      admission_->Offer(std::move(request), now);
+  switch (result.decision) {
+    case AdmissionController::Decision::kAdmitted:
+      return;  // a worker will respond
+    case AdmissionController::Decision::kShedDraining:
+      SendError(conn, WireError::kUnavailable, result.retry_after_ms,
+                "daemon is draining");
+      return;
+    case AdmissionController::Decision::kShedDeadline:
+      SendError(conn, WireError::kDeadlineExceeded, 0,
+                "deadline expired before admission");
+      return;
+    case AdmissionController::Decision::kShedQuota:
+      SendError(conn, WireError::kResourceExhausted, result.retry_after_ms,
+                result.retry_after_ms == kRetryNever
+                    ? "tenant quota can never cover this request"
+                    : "tenant quota exhausted");
+      return;
+    case AdmissionController::Decision::kShedQueueFull:
+      SendError(conn, WireError::kResourceExhausted, result.retry_after_ms,
+                "tenant queue is full");
+      return;
+  }
+}
+
+void ServingDaemon::HandleFrame(const ConnPtr& conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kEncodeRequest:
+      HandleEncodeRequest(conn, std::move(frame.payload));
+      return;
+    case FrameType::kStatsRequest:
+      SendFrame(conn, FrameType::kStatsResponse, StatsJson());
+      return;
+    case FrameType::kPingRequest:
+      SendFrame(conn, FrameType::kPongResponse, "");
+      return;
+    default:
+      // A client sending response-typed frames is confused; treat as a
+      // protocol error and drop the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, WireError::kInvalidArgument, 0,
+                "unexpected frame type on the request channel");
+      conn->closed.store(true, std::memory_order_release);
+      return;
+  }
+}
+
+void ServingDaemon::ProcessWork(QueuedRequest work) {
+  const ConnPtr conn = std::static_pointer_cast<Connection>(work.context);
+  // Deadline re-check at dequeue: queued work whose budget lapsed is
+  // cancelled without touching the encoder — that is what keeps a backlog
+  // from wasting capacity on responses nobody is waiting for anymore.
+  if (Now() > work.deadline) {
+    admission_->RecordDeadlineMissed(work.tenant);
+    SendError(conn, WireError::kDeadlineExceeded, 0,
+              "deadline expired while queued");
+    return;
+  }
+  util::StatusOr<EncodeRequest> request = ParseEncodeRequestPayload(
+      work.payload, config_.max_plans_per_request);
+  if (!request.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, WireError::kInvalidArgument, 0,
+              request.status().ToString());
+    admission_->RecordCompleted(work.tenant);
+    return;
+  }
+  std::vector<std::unique_ptr<plan::PlanNode>> plans;
+  plans.reserve(request->plans.size());
+  for (size_t i = 0; i < request->plans.size(); ++i) {
+    util::StatusOr<std::unique_ptr<plan::PlanNode>> parsed =
+        plan::ParsePlanNodeChecked(request->plans[i]);
+    if (!parsed.ok()) {
+      SendError(conn, WireError::kInvalidArgument, 0,
+                "plan " + std::to_string(i) + ": " +
+                    parsed.status().ToString());
+      admission_->RecordCompleted(work.tenant);
+      return;
+    }
+    plans.push_back(std::move(*parsed));
+  }
+  std::vector<const plan::PlanNode*> ptrs;
+  ptrs.reserve(plans.size());
+  for (const auto& p : plans) ptrs.push_back(p.get());
+
+  const std::vector<nn::Tensor> embeddings = service_->EncodeAll(ptrs);
+  EncodeResponse response;
+  response.dim = static_cast<uint32_t>(encoder_->output_dim());
+  response.embeddings.reserve(embeddings.size());
+  for (const nn::Tensor& e : embeddings) {
+    response.embeddings.push_back(e.value());
+  }
+  SendFrame(conn, FrameType::kEncodeResponse,
+            EncodeEncodeResponsePayload(response));
+  // The encode ran to completion whether or not the client stuck around to
+  // read the response, so `completed` counts it either way — keeping the
+  // invariant admitted == completed + deadline_missed for every tenant.
+  admission_->RecordCompleted(work.tenant);
+  completed_since_snapshot_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServingDaemon::WorkerLoop() {
+  while (true) {
+    std::optional<QueuedRequest> work = admission_->PopBlocking();
+    if (!work.has_value()) break;  // draining/aborted and queues empty
+    ProcessWork(std::move(*work));
+  }
+  workers_running_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ServingDaemon::MaybeSnapshot(bool force) {
+  if (config_.warm_state_path.empty() || service_->cache() == nullptr) return;
+  if (!force) {
+    if (config_.snapshot_every_requests == 0) return;
+    if (completed_since_snapshot_.load(std::memory_order_relaxed) <
+        config_.snapshot_every_requests) {
+      return;
+    }
+  }
+  completed_since_snapshot_.store(0, std::memory_order_relaxed);
+  WarmState warm;
+  warm.model_fingerprint = config_.model_fingerprint;
+  warm.dim = static_cast<uint32_t>(encoder_->output_dim());
+  warm.entries = service_->cache()->Snapshot();
+  if (warm.entries.empty()) return;  // nothing worth persisting
+  if (util::Status s = SaveWarmState(config_.warm_state_path, warm); s.ok()) {
+    snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A failed snapshot (disk full, injected fault) degrades warm restart,
+    // not serving; the crash-safe writer left no torn file behind.
+    io_errors_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "qpe_served: warm snapshot failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+void ServingDaemon::IoLoop() {
+  std::map<int, ConnPtr> conns;
+  bool listener_open = true;
+  double drain_start = 0;
+  bool drain_aborted = false;
+
+  const auto close_conn = [&](int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    it->second->closed.store(true, std::memory_order_release);
+    conns.erase(it);
+    connections_open_.store(conns.size(), std::memory_order_relaxed);
+  };
+
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.push_back({drain_pipe_.read_fd(), POLLIN, 0});
+    if (listener_open) fds.push_back({listener_.get(), POLLIN, 0});
+    for (const auto& [fd, conn] : conns) fds.push_back({fd, POLLIN, 0});
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0 && errno != EINTR) break;  // poll itself failed: bail out
+
+    // 1. Shutdown signal (SIGTERM/SIGINT via self-pipe, or TriggerDrain).
+    if (drain_pipe_.Drain() && !draining_.load()) {
+      draining_.store(true, std::memory_order_release);
+      admission_->SetDraining();  // new work -> UNAVAILABLE; queues flush
+      listener_.Reset();          // stop accepting
+      listener_open = false;
+      drain_start = Now();
+    }
+
+    // 2. New connections.
+    if (listener_open) {
+      while (true) {
+        if (util::Status s = util::InjectFault("daemon.accept"); !s.ok()) {
+          io_errors_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        const int fd = ::accept(listener_.get(), nullptr, nullptr);
+        if (fd < 0) {
+          if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            io_errors_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        // Reads are multiplexed with MSG_DONTWAIT; writes stay blocking
+        // with a send timeout so a stalled consumer cannot pin a worker.
+        if (config_.write_timeout_seconds > 0) {
+          timeval tv{};
+          tv.tv_sec = static_cast<time_t>(config_.write_timeout_seconds);
+          tv.tv_usec = static_cast<suseconds_t>(
+              (config_.write_timeout_seconds - static_cast<double>(tv.tv_sec)) *
+              1e6);
+          ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        }
+        auto conn = std::make_shared<Connection>();
+        conn->fd.Reset(fd);
+        conns.emplace(fd, std::move(conn));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        connections_open_.store(conns.size(), std::memory_order_relaxed);
+      }
+    }
+
+    // 3. Connection reads: accumulate bytes, extract complete frames.
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns) {
+      if (conn->closed.load(std::memory_order_acquire)) {
+        dead.push_back(fd);
+        continue;
+      }
+      char buf[4096];
+      bool conn_dead = false;
+      while (true) {
+        if (util::Status s = util::InjectFault("daemon.conn.read"); !s.ok()) {
+          io_errors_.fetch_add(1, std::memory_order_relaxed);
+          conn_dead = true;
+          break;
+        }
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n > 0) {
+          conn->in_buf.append(buf, static_cast<size_t>(n));
+          if (static_cast<ssize_t>(sizeof(buf)) == n) continue;
+          break;
+        }
+        if (n == 0) {  // peer hung up (possibly mid-frame: dropped cleanly)
+          conn_dead = true;
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          io_errors_.fetch_add(1, std::memory_order_relaxed);
+          conn_dead = true;
+        }
+        break;
+      }
+      while (!conn_dead) {
+        Frame frame;
+        size_t consumed = 0;
+        util::Status error;
+        const FrameParse parse =
+            NextFrame(conn->in_buf, config_.max_payload_bytes, &frame,
+                      &consumed, &error);
+        if (parse == FrameParse::kNeedMore) break;
+        if (parse == FrameParse::kError) {
+          // Garbage on the wire: answer with a typed error (best effort —
+          // the stream is unframed now) and drop the connection.
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          SendError(conn, WireError::kInvalidArgument, 0, error.ToString());
+          conn_dead = true;
+          break;
+        }
+        conn->in_buf.erase(0, consumed);
+        HandleFrame(conn, std::move(frame));
+        if (conn->closed.load(std::memory_order_acquire)) {
+          conn_dead = true;
+          break;
+        }
+      }
+      if (conn_dead) dead.push_back(fd);
+    }
+    for (const int fd : dead) close_conn(fd);
+
+    // 4. Periodic warm snapshot.
+    if (!draining_.load()) MaybeSnapshot(/*force=*/false);
+
+    // 5. Drain state machine.
+    if (draining_.load()) {
+      const bool workers_done = workers_running_.load() == 0;
+      const bool overdue = Now() - drain_start > config_.drain_deadline_seconds;
+      if (overdue && !drain_aborted) {
+        // Admitted work we could not flush in time: fail it with a typed
+        // error rather than serving it late into a closed window.
+        drain_aborted = true;
+        for (QueuedRequest& request : admission_->Abort()) {
+          SendError(std::static_pointer_cast<Connection>(request.context),
+                    WireError::kUnavailable, 0,
+                    "daemon drain deadline exceeded");
+        }
+      }
+      if (workers_done) {
+        // Everything admitted has been answered (or failed above). Close
+        // out: connections, final snapshot, exit.
+        for (auto& [fd, conn] : conns) {
+          conn->closed.store(true, std::memory_order_release);
+        }
+        conns.clear();
+        connections_open_.store(0, std::memory_order_relaxed);
+        MaybeSnapshot(/*force=*/true);
+        break;
+      }
+    }
+  }
+}
+
+DaemonStats ServingDaemon::GetStats() const {
+  DaemonStats stats;
+  stats.draining = draining_.load();
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_open = connections_open_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  stats.io_errors = io_errors_.load();
+  stats.warm_restored_entries = warm_restored_entries_.load();
+  stats.snapshots_written = snapshots_written_.load();
+  stats.service = service_->GetStats();
+  stats.tenants = admission_->CountersSnapshot();
+  return stats;
+}
+
+std::string ServingDaemon::StatsJson() const {
+  const DaemonStats stats = GetStats();
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\n"
+     << "  \"draining\": " << (stats.draining ? "true" : "false") << ",\n"
+     << "  \"connections_accepted\": " << stats.connections_accepted << ",\n"
+     << "  \"connections_open\": " << stats.connections_open << ",\n"
+     << "  \"protocol_errors\": " << stats.protocol_errors << ",\n"
+     << "  \"io_errors\": " << stats.io_errors << ",\n"
+     << "  \"warm_restored_entries\": " << stats.warm_restored_entries
+     << ",\n"
+     << "  \"snapshots_written\": " << stats.snapshots_written << ",\n"
+     << "  \"model_fingerprint\": " << config_.model_fingerprint << ",\n"
+     << "  \"service\": {\n"
+     << "    \"requests\": " << stats.service.requests << ",\n"
+     << "    \"plans\": " << stats.service.plans << ",\n"
+     << "    \"encoded_plans\": " << stats.service.encoded_plans << ",\n"
+     << "    \"plans_per_second\": " << stats.service.plans_per_second
+     << ",\n"
+     << "    \"p50_ms\": " << stats.service.p50_ms << ",\n"
+     << "    \"p99_ms\": " << stats.service.p99_ms << ",\n"
+     << "    \"cache_hits\": " << stats.service.cache.hits << ",\n"
+     << "    \"cache_misses\": " << stats.service.cache.misses << ",\n"
+     << "    \"cache_evictions\": " << stats.service.cache.evictions << ",\n"
+     << "    \"cache_entries\": " << stats.service.cache.entries << ",\n"
+     << "    \"cache_hit_rate\": " << stats.service.cache.HitRate() << "\n"
+     << "  },\n"
+     << "  \"tenants\": {";
+  bool first = true;
+  for (const auto& [name, counters] : stats.tenants) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << name << "\": {"
+       << "\"admitted\": " << counters.admitted
+       << ", \"completed\": " << counters.completed
+       << ", \"plans\": " << counters.plans
+       << ", \"shed_quota\": " << counters.shed_quota
+       << ", \"shed_queue_full\": " << counters.shed_queue_full
+       << ", \"shed_draining\": " << counters.shed_draining
+       << ", \"shed_deadline\": " << counters.shed_deadline
+       << ", \"deadline_missed\": " << counters.deadline_missed
+       << ", \"queue_depth\": " << counters.queue_depth << "}";
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace qpe::serve

@@ -84,15 +84,46 @@ void EmbeddingCache::Clear() {
 }
 
 EmbeddingCache::Stats EmbeddingCache::GetStats() const {
+  // Hold every shard lock at once (fixed shard order; writers take only a
+  // single shard lock, so this cannot deadlock) — the aggregate is then a
+  // consistent cut instead of a shard-at-a-time read that could mix
+  // before/after states of one concurrent operation.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
     stats.entries += shard->lru.size();
   }
   return stats;
+}
+
+std::vector<std::pair<uint64_t, std::vector<float>>> EmbeddingCache::Snapshot()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  std::vector<std::pair<uint64_t, std::vector<float>>> entries;
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->lru.size();
+  entries.reserve(total);
+  for (const auto& shard : shards_) {
+    // Back of the list is least recently used; emitting LRU-first lets
+    // Restore() replay with plain Insert() calls and end up with the same
+    // recency order (the last insert is the most recent).
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      entries.emplace_back(it->first, it->second);
+    }
+  }
+  return entries;
+}
+
+void EmbeddingCache::Restore(
+    std::vector<std::pair<uint64_t, std::vector<float>>> entries) {
+  for (auto& [key, embedding] : entries) Insert(key, std::move(embedding));
 }
 
 }  // namespace qpe::serve

@@ -47,6 +47,17 @@ class EmbeddingCache {
 
   void Clear();
 
+  // Consistent point-in-time dump of every entry for warm-restart
+  // persistence (serve/warm_state.h): all shard locks are held at once, so
+  // the snapshot is a true cut of the cache. Entries are ordered
+  // shard-by-shard, least-recently-used first, so Restore() replays them
+  // with Insert() and reproduces each shard's exact LRU order.
+  std::vector<std::pair<uint64_t, std::vector<float>>> Snapshot() const;
+
+  // Inserts `entries` in order (see Snapshot for the ordering contract).
+  // Counters are unchanged: restored entries are neither hits nor misses.
+  void Restore(std::vector<std::pair<uint64_t, std::vector<float>>> entries);
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -57,9 +68,12 @@ class EmbeddingCache {
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
   };
-  // Aggregated over shards; a consistent per-shard snapshot (shards are
-  // locked one at a time, so cross-shard totals may race a concurrent
-  // writer, which is fine for monitoring counters).
+  // Aggregated over shards under *all* shard locks at once, so the totals
+  // are a consistent point-in-time cut: GetStats can never observe one
+  // shard's counters from before a concurrent operation and another
+  // shard's from after it (torn hit/miss/eviction totals). Writers only
+  // ever take one shard lock, so the all-locks acquisition (in fixed shard
+  // order) cannot deadlock against them.
   Stats GetStats() const;
 
   size_t capacity() const { return capacity_; }

@@ -1,0 +1,41 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+
+namespace qpe::serve {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(std::max(rate_per_sec, 0.0)),
+      burst_(std::max(burst, 0.0)),
+      tokens_(burst_) {}
+
+void TokenBucket::Refill(double now) {
+  if (now <= last_refill_) return;  // monotonic clock; tolerate equal stamps
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+  last_refill_ = now;
+}
+
+bool TokenBucket::TrySpend(double cost, double now,
+                           double* retry_after_seconds) {
+  Refill(now);
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    *retry_after_seconds = 0;
+    return true;
+  }
+  if (cost > burst_ || rate_ <= 0) {
+    // The bucket can never cover this cost: zero-quota tenant, or a
+    // request larger than the burst capacity.
+    *retry_after_seconds = -1;
+    return false;
+  }
+  *retry_after_seconds = (cost - tokens_) / rate_;
+  return false;
+}
+
+double TokenBucket::tokens_at(double now) const {
+  if (now <= last_refill_) return tokens_;
+  return std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+}
+
+}  // namespace qpe::serve

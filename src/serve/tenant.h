@@ -1,0 +1,87 @@
+#ifndef QPE_SERVE_TENANT_H_
+#define QPE_SERVE_TENANT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qpe::serve {
+
+// Per-tenant quota and fairness knobs. Costs are measured in *plans*, not
+// requests: a 64-plan batch spends 64 tokens, so one tenant cannot buy
+// unlimited compute by packing giant requests.
+struct TenantConfig {
+  // Token bucket: sustained plans/sec and burst capacity. rate == 0 with
+  // burst == 0 is a zero-quota tenant — every request is shed immediately
+  // with RESOURCE_EXHAUSTED and a "never" retry hint.
+  double rate_plans_per_sec = 1e9;  // effectively unlimited by default
+  double burst_plans = 1e9;
+  // Weighted-fair-queueing weight: a tenant with weight 2 drains twice as
+  // fast as a weight-1 tenant when both are backlogged.
+  double weight = 1.0;
+  // Bound on queued (admitted, not yet executing) requests. Admission
+  // sheds with RESOURCE_EXHAUSTED once the bound is reached — bounded
+  // queues are what keep p99 bounded under overload.
+  int max_queued_requests = 64;
+};
+
+// Rolling per-tenant serving counters, exposed via the STATS verb. All
+// counts are cumulative since daemon start; queue depth is instantaneous.
+struct TenantCounters {
+  uint64_t admitted = 0;          // requests admitted into the queue
+  uint64_t completed = 0;         // responses sent successfully
+  uint64_t shed_quota = 0;        // token bucket empty (or zero quota)
+  uint64_t shed_queue_full = 0;   // per-tenant queue bound hit
+  uint64_t shed_draining = 0;     // rejected because the daemon is draining
+  uint64_t shed_deadline = 0;     // deadline already expired at enqueue
+  uint64_t deadline_missed = 0;   // expired while queued; cancelled unserved
+  uint64_t plans = 0;             // plans admitted (token-bucket cost)
+  int queue_depth = 0;
+};
+
+// Deterministic token bucket over a caller-supplied clock (seconds). Not
+// internally locked: the admission controller serializes access under its
+// own mutex.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst);
+
+  // Tries to spend `cost` tokens at time `now` (monotonic seconds). On
+  // success returns true. On failure *retry_after_seconds is the earliest
+  // time the bucket could cover the cost, or a negative value if it never
+  // can (cost exceeds burst or the rate is zero).
+  bool TrySpend(double cost, double now, double* retry_after_seconds);
+
+  double tokens_at(double now) const;
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(double now);
+
+  double rate_ = 0;
+  double burst_ = 0;
+  double tokens_ = 0;
+  double last_refill_ = 0;
+};
+
+// One tenant's admission state: quota bucket, WFQ virtual-time tag, and
+// counters. Owned by the AdmissionController and protected by its mutex.
+struct TenantState {
+  explicit TenantState(std::string tenant_name, const TenantConfig& cfg)
+      : name(std::move(tenant_name)),
+        config(cfg),
+        bucket(cfg.rate_plans_per_sec, cfg.burst_plans) {}
+
+  std::string name;
+  TenantConfig config;
+  TokenBucket bucket;
+  // WFQ bookkeeping: virtual finish time of the tenant's most recently
+  // enqueued request (see admission.h for the scheduling discipline).
+  double last_virtual_finish = 0;
+  TenantCounters counters;
+};
+
+}  // namespace qpe::serve
+
+#endif  // QPE_SERVE_TENANT_H_

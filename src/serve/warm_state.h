@@ -1,0 +1,72 @@
+#ifndef QPE_SERVE_WARM_STATE_H_
+#define QPE_SERVE_WARM_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace qpe::serve {
+
+// Warm-restart state for the serving daemon: the embedding cache's
+// contents plus the fingerprint of the model that produced them, persisted
+// with the same crash-safe discipline as nn/checkpoint (write `path.tmp`,
+// flush + fsync, atomic rename; CRC32-guarded payload) so a SIGKILL at any
+// moment leaves either the previous snapshot or the new one, never a torn
+// file. A restarted daemon restores the snapshot and serves its first
+// requests from a warm cache instead of re-encoding the entire working
+// set.
+//
+// The model fingerprint gates restore: cached embeddings are only valid
+// for the exact weights that produced them, so a snapshot whose
+// fingerprint differs from the serving model's is refused
+// (kFailedPrecondition) and the daemon starts cold. Quantized and fp32
+// engines of the same weights fingerprint differently by construction
+// (see QuantizedModelFingerprint).
+//
+// On-disk format:
+//   header : magic u32 "QPEW" | version u32 | payload_size u64 | crc u32
+//   payload: model_fingerprint u64 | dim u32 | entry_count u32
+//            | entry_count x { key u64 | dim f32 }
+//
+// Fault sites (util/fault_injection.h): "warm_state.open_tmp",
+// "warm_state.write", "warm_state.flush", "warm_state.rename",
+// "warm_state.read.open", "warm_state.read".
+
+struct WarmState {
+  uint64_t model_fingerprint = 0;
+  uint32_t dim = 0;
+  // Cache entries in EmbeddingCache::Snapshot() order (LRU-first per
+  // shard); every embedding has exactly `dim` floats.
+  std::vector<std::pair<uint64_t, std::vector<float>>> entries;
+};
+
+util::Status SaveWarmState(const std::string& path, const WarmState& state);
+
+// Transactional load: any error (missing file, truncation, CRC mismatch,
+// bad magic/version, ragged embedding rows) returns a descriptive Status
+// and leaves *state untouched. `expected_fingerprint` != 0 additionally
+// requires the snapshot to match the serving model.
+util::Status LoadWarmState(const std::string& path,
+                           uint64_t expected_fingerprint, WarmState* state);
+
+bool WarmStateExists(const std::string& path);
+
+// CRC32 over every named parameter buffer, widened with the parameter
+// count: two modules fingerprint equal iff their weights are bit-equal.
+// The same function the crash-resume smoke test applies to training runs,
+// exposed here so the daemon can stamp snapshots.
+uint64_t ModelFingerprint(const nn::Module& module);
+
+// Fingerprint for an int8-quantized serving engine derived from `fp32`:
+// the fp32 fingerprint XOR a fixed tag, so a quantized daemon never
+// restores an fp32 daemon's cache (or vice versa) even though both came
+// from the same trained weights.
+uint64_t QuantizedModelFingerprint(const nn::Module& fp32);
+
+}  // namespace qpe::serve
+
+#endif  // QPE_SERVE_WARM_STATE_H_

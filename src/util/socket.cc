@@ -1,0 +1,186 @@
+#include "util/socket.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+
+namespace qpe::util {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+StatusOr<UniqueFd> ListenUnix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path '" + path + "' exceeds " +
+                                std::to_string(sizeof(addr.sun_path) - 1) +
+                                " bytes");
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return IoError(Errno("socket(AF_UNIX)"));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // a stale socket file from a crashed predecessor
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return IoError(Errno(("bind('" + path + "')").c_str()));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return IoError(Errno(("listen('" + path + "')").c_str()));
+  }
+  return fd;
+}
+
+StatusOr<UniqueFd> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path '" + path + "' exceeds " +
+                                std::to_string(sizeof(addr.sun_path) - 1) +
+                                " bytes");
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return IoError(Errno("socket(AF_UNIX)"));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return IoError(Errno(("connect('" + path + "')").c_str()));
+  }
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return IoError(Errno("fcntl(F_GETFL)"));
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return IoError(Errno("fcntl(F_SETFL, O_NONBLOCK)"));
+  }
+  return OkStatus();
+}
+
+Status WriteFull(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    if (Status s = InjectFault("socket.write"); !s.ok()) return s;
+    size_t chunk = left;
+    // Deterministic short-write chaos: the armed call shrinks this chunk
+    // to a single byte instead of failing, so the retry loop itself is
+    // exercised byte by byte.
+    if (!InjectFault("socket.write.short").ok()) chunk = 1;
+    const ssize_t n = ::send(fd, p, chunk, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("send"));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status ReadFull(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    if (Status s = InjectFault("socket.read"); !s.ok()) return s;
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(Errno("recv"));
+    }
+    if (n == 0) {
+      if (got == 0) return NotFoundError("peer closed the connection");
+      return DataLossError("peer closed mid-message after " +
+                           std::to_string(got) + " of " +
+                           std::to_string(size) + " byte(s)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+SelfPipe::SelfPipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return;
+  read_fd_.Reset(fds[0]);
+  write_fd_.Reset(fds[1]);
+  // Both ends non-blocking: Notify from a signal handler must never block
+  // on a full pipe, and Drain must never block on an empty one.
+  (void)SetNonBlocking(read_fd_.get());
+  (void)SetNonBlocking(write_fd_.get());
+}
+
+void SelfPipe::Notify() const {
+  // Single syscall on a pre-opened fd: async-signal-safe by POSIX. EAGAIN
+  // (pipe full) is fine — a notification is already pending.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(write_fd_.get(), &byte, 1);
+}
+
+bool SelfPipe::Drain() const {
+  char buf[64];
+  bool any = false;
+  while (::read(read_fd_.get(), buf, sizeof(buf)) > 0) any = true;
+  return any;
+}
+
+namespace {
+
+// The handler reads a single pointer-sized value; sig_atomic_ cannot hold a
+// pointer portably, so rely on the store happening before the handler is
+// installed (InstallShutdownSignalHandler sequences it) and the pointer
+// staying valid for the daemon's lifetime.
+const SelfPipe* volatile g_shutdown_pipe = nullptr;
+
+void ShutdownHandler(int /*signum*/) {
+  // No allocation, no locking, no stdio: one write(2) on a pre-opened fd.
+  const SelfPipe* pipe = g_shutdown_pipe;
+  if (pipe != nullptr) pipe->Notify();
+}
+
+}  // namespace
+
+Status InstallShutdownSignalHandler(const SelfPipe* pipe) {
+  if (pipe == nullptr || !pipe->valid()) {
+    return InvalidArgumentError("shutdown signal handler needs a live pipe");
+  }
+  g_shutdown_pipe = pipe;  // published before the handler can fire
+  struct sigaction sa{};
+  sa.sa_handler = &ShutdownHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (::sigaction(SIGTERM, &sa, nullptr) != 0 ||
+      ::sigaction(SIGINT, &sa, nullptr) != 0) {
+    return IoError(Errno("sigaction"));
+  }
+  return OkStatus();
+}
+
+void ResetShutdownSignalHandler() {
+  struct sigaction sa{};
+  sa.sa_handler = SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  g_shutdown_pipe = nullptr;
+}
+
+}  // namespace qpe::util

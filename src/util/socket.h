@@ -1,0 +1,109 @@
+#ifndef QPE_UTIL_SOCKET_H_
+#define QPE_UTIL_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace qpe::util {
+
+// POSIX fd plumbing for the serving daemon: RAII descriptors, Unix-domain
+// listen/connect, full-buffer IO with deterministic fault injection, and an
+// async-signal-safe self-pipe for shutdown signals. Everything reports
+// through Status; no exceptions, no third-party deps.
+
+// Owning file descriptor. Closing is idempotent; moved-from handles are
+// empty (-1).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// Binds and listens on a Unix-domain stream socket at `path`. An existing
+// socket file at `path` is unlinked first (the daemon owns its socket
+// path), so a crashed predecessor's stale socket never blocks a restart.
+StatusOr<UniqueFd> ListenUnix(const std::string& path, int backlog);
+
+// Blocking connect to a Unix-domain socket.
+StatusOr<UniqueFd> ConnectUnix(const std::string& path);
+
+Status SetNonBlocking(int fd);
+
+// Sends/receives exactly `size` bytes, retrying on EINTR and partial
+// transfers. Fault sites (util/fault_injection.h):
+//   "socket.write"       — the write fails with the injected IO error;
+//   "socket.write.short" — the current chunk is truncated to one byte (the
+//                          loop then continues), proving callers survive
+//                          arbitrary kernel short writes deterministically;
+//   "socket.read"        — the read fails with the injected IO error.
+// ReadFull distinguishes clean EOF before any byte (kNotFound, so a peer
+// hangup between frames is not an error) from EOF mid-buffer (kDataLoss).
+Status WriteFull(int fd, const void* data, size_t size);
+Status ReadFull(int fd, void* data, size_t size);
+
+// Self-pipe for routing SIGTERM/SIGINT out of signal context. The handler
+// side (Notify) performs a single write(2) on a pre-opened non-blocking
+// descriptor — no allocation, no locking, async-signal-safe; a full pipe
+// simply drops the byte (one pending notification is enough). The poll
+// side watches read_fd() and calls Drain() when it becomes readable.
+class SelfPipe {
+ public:
+  SelfPipe();
+  ~SelfPipe() = default;
+
+  SelfPipe(const SelfPipe&) = delete;
+  SelfPipe& operator=(const SelfPipe&) = delete;
+
+  bool valid() const { return read_fd_.valid() && write_fd_.valid(); }
+  int read_fd() const { return read_fd_.get(); }
+
+  // Async-signal-safe. Safe to call from any thread or signal handler.
+  void Notify() const;
+
+  // Consumes all pending notification bytes; returns true if there was at
+  // least one.
+  bool Drain() const;
+
+ private:
+  UniqueFd read_fd_;
+  UniqueFd write_fd_;
+};
+
+// Installs a SIGTERM + SIGINT handler that does nothing but Notify(pipe).
+// `pipe` must outlive the handlers (in practice: the daemon's lifetime).
+// Returns the previously installed dispositions' validity via Status only;
+// re-installation replaces the previous pipe.
+Status InstallShutdownSignalHandler(const SelfPipe* pipe);
+
+// Restores SIGTERM/SIGINT to SIG_DFL and forgets the pipe (tests).
+void ResetShutdownSignalHandler();
+
+}  // namespace qpe::util
+
+#endif  // QPE_UTIL_SOCKET_H_
