@@ -319,6 +319,54 @@ int main(int argc, char** argv) {
     daemon_fairness = hi == 0 ? 0 : lo / hi;
   }
 
+  // --- 5. Drift-sentinel observation overhead -------------------------------
+  // Same template load through a drift-enabled daemon (baseline sketches
+  // built over the very plans being served, so the sentinel stays quiet and
+  // we measure the steady-state cost: fingerprint + sketch updates per
+  // plan). The gate metric is that cost as a fraction of the section-4
+  // request p99 — the sentinel must be invisible next to one socket round
+  // trip, not just cheap in absolute terms.
+  double drift_observe_us = 0, drift_overhead_pct = 0;
+  {
+    std::vector<std::string> plan_texts;
+    plan_texts.reserve(tpch.NumTemplates());
+    for (int t = 0; t < tpch.NumTemplates(); ++t) {
+      plan_texts.push_back(qpe::plan::SerializePlanNode(*ptrs[t]));
+    }
+    qpe::serve::ServingDaemonConfig drift_config;
+    drift_config.socket_path =
+        "/tmp/qpe_bench_drift_" + std::to_string(::getpid()) + ".sock";
+    drift_config.workers = 1;
+    drift_config.service.batch_size = kBatchSize;
+    drift_config.enable_drift = true;
+    drift_config.drift_corpus = plan_texts;
+    qpe::serve::ServingDaemon drift_daemon(&encoder, drift_config);
+    if (qpe::util::Status s = drift_daemon.Start(); !s.ok()) {
+      std::cerr << "drift daemon start failed: " << s.ToString() << "\n";
+      return 1;
+    }
+    auto client_or =
+        qpe::serve::DaemonClient::Connect(drift_config.socket_path);
+    if (client_or.ok()) {
+      int cursor = 0;
+      for (int r = 0; r < 64; ++r) {  // ~512 observed plans: stable average
+        qpe::serve::EncodeRequest request;
+        request.tenant = "default";
+        for (int i = 0; i < kDaemonPlansPerRequest; ++i) {
+          request.plans.push_back(plan_texts[cursor++ % plan_texts.size()]);
+        }
+        (void)client_or->Encode(request);
+      }
+    }
+    drift_daemon.Stop();
+    std::remove(drift_config.socket_path.c_str());
+    drift_observe_us = drift_daemon.GetStats().drift_observe_us_per_plan;
+    const double per_request_ms =
+        drift_observe_us * kDaemonPlansPerRequest / 1000.0;
+    drift_overhead_pct =
+        daemon_p99 > 0 ? 100.0 * per_request_ms / daemon_p99 : 0;
+  }
+
   const char* simd_level =
       qpe::nn::simd::LevelName(qpe::nn::simd::ActiveLevel());
   std::printf(
@@ -344,6 +392,10 @@ int main(int argc, char** argv) {
       "  daemon latency       : p50 %.3f ms, p99 %.3f ms, p99.9 %.3f ms, "
       "fairness %.2f\n",
       daemon_p50, daemon_p99, daemon_p999, daemon_fairness);
+  std::printf(
+      "  drift sentinel       : %.3f us/plan observed  (%.2f%% of daemon "
+      "p99)\n",
+      drift_observe_us, drift_overhead_pct);
 
   std::ofstream out(out_path);
   if (!out) {
@@ -377,7 +429,9 @@ int main(int argc, char** argv) {
       << "  \"daemon_fairness_ratio\": " << daemon_fairness << ",\n"
       << "  \"daemon_p50_ms\": " << daemon_p50 << ",\n"
       << "  \"daemon_p99_ms\": " << daemon_p99 << ",\n"
-      << "  \"daemon_p999_ms\": " << daemon_p999 << "\n"
+      << "  \"daemon_p999_ms\": " << daemon_p999 << ",\n"
+      << "  \"drift_observe_us_per_plan\": " << drift_observe_us << ",\n"
+      << "  \"drift_overhead_pct\": " << drift_overhead_pct << "\n"
       << "}\n";
   std::cout << "\nWrote " << out_path << "\n";
   return 0;

@@ -17,7 +17,16 @@
 //   --requests=N        number of requests; 0 = derive from --plans (default 0)
 //   --deadline-ms=N     per-request deadline (default: none)
 //   --seed=N            plan-generator seed (default 1)
+//   --min-nodes=N       plan-generator minimum plan size (default 4)
+//   --max-nodes=N       plan-generator maximum plan size (default 24);
+//                       raising this past the daemon's drift-corpus size
+//                       produces structurally novel plans (the chaos
+//                       drill's drifted stream)
 //   --plan-file=PATH    read plans from a file instead (one s-expr per line)
+//   --retries=N         retry shed/transport failures up to N times, honoring
+//                       the daemon's retry-after hints with capped
+//                       exponential backoff + deterministic jitter (default 0)
+//   --max-backoff-ms=N  backoff cap for --retries (default 2000)
 //   --stats             fetch and print the daemon's stats JSON, then exit
 //   --ping              health-check the daemon, then exit
 
@@ -53,6 +62,10 @@ int main(int argc, char** argv) {
   int requests = 0;
   uint32_t deadline_ms = qpe::serve::kNoDeadline;
   uint64_t seed = 1;
+  int min_nodes = 4;
+  int max_nodes = 24;
+  int retries = 0;
+  uint32_t max_backoff_ms = 2000;
   bool stats_only = false;
   bool ping_only = false;
 
@@ -72,8 +85,16 @@ int main(int argc, char** argv) {
       deadline_ms = static_cast<uint32_t>(std::atoll(v.c_str()));
     } else if (FlagValue(argv[i], "--seed", &v)) {
       seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(argv[i], "--min-nodes", &v)) {
+      min_nodes = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--max-nodes", &v)) {
+      max_nodes = std::atoi(v.c_str());
     } else if (FlagValue(argv[i], "--plan-file", &v)) {
       plan_file = v;
+    } else if (FlagValue(argv[i], "--retries", &v)) {
+      retries = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--max-backoff-ms", &v)) {
+      max_backoff_ms = static_cast<uint32_t>(std::atoll(v.c_str()));
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats_only = true;
     } else if (std::strcmp(argv[i], "--ping") == 0) {
@@ -127,8 +148,8 @@ int main(int argc, char** argv) {
     }
   } else {
     qpe::data::CorpusOptions options;
-    options.min_nodes = 4;
-    options.max_nodes = 24;
+    options.min_nodes = min_nodes;
+    options.max_nodes = max_nodes;
     qpe::data::RandomPlanGenerator generator(qpe::util::Rng(seed), options);
     plans.reserve(total_plans);
     for (int i = 0; i < total_plans; ++i) {
@@ -153,11 +174,28 @@ int main(int argc, char** argv) {
       request.plans.push_back(plans[(r * per_request + i) % plans.size()]);
     }
     qpe::serve::ErrorResponse error;
-    auto response = client.Encode(request, &error);
+    qpe::serve::RetryStats retry_stats;
+    qpe::serve::RetryPolicy policy;
+    policy.max_retries = retries;
+    policy.max_backoff_ms = max_backoff_ms;
+    policy.jitter_seed = seed + static_cast<uint64_t>(r);
+    auto response =
+        retries > 0 ? client.EncodeWithRetry(request, policy, &error,
+                                             &retry_stats)
+                    : client.Encode(request, &error);
     if (response.ok()) {
       ++ok_count;
-      std::printf("request %d: OK — %zu embedding(s) of dim %u\n", r,
+      std::printf("request %d: OK — %zu embedding(s) of dim %u", r,
                   response->embeddings.size(), response->dim);
+      if (retry_stats.attempts > 1) {
+        std::printf(" (after %d attempt(s), %d reconnect(s))",
+                    retry_stats.attempts, retry_stats.reconnects);
+      }
+      if (response->stale) {
+        std::printf(" [STALE: drift state %u, score %.3f]",
+                    response->drift_state, response->drift_score);
+      }
+      std::printf("\n");
     } else if (error.message.empty()) {
       ++failed;
       std::fprintf(stderr, "request %d: transport error: %s\n", r,

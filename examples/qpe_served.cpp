@@ -29,13 +29,31 @@
 //   --tenant=NAME:RATE:BURST:WEIGHT[:QUEUE]   per-tenant override
 //                          (repeatable; RATE=0 and BURST=0 is a zero-quota
 //                          tenant — always shed, retry "never")
+//
+// Drift sentinel (see DESIGN.md "Drift detection & online adaptation"):
+//   --drift                enable the streaming drift sentinel: baseline
+//                          sketches are built over a generated corpus at
+//                          startup, every served plan is folded into the
+//                          sliding window, and v2 responses carry a
+//                          stale flag + drift score once drift is declared
+//   --drift-window=N       plans per detector window (default 64)
+//   --drift-corpus-plans=N baseline corpus size (default 96)
+//   --drift-corpus-seed=N  baseline corpus generator seed (default 7)
+//   --adapt-dir=PATH       crash-safe self-healing state directory; enables
+//                          incremental fine-tuning on DRIFTED ("" = detect
+//                          only). A daemon killed mid-adaptation resumes
+//                          the round from its checkpoint on the next start.
+//   --adapt-epochs=N       fine-tune epochs per round (default 6)
+//   --adapt-pairs=N        PPSR pairs built from the drifted slice (default 48)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "data/plan_corpus.h"
 #include "encoder/structure_encoder.h"
+#include "plan/serialize.h"
 #include "serve/daemon.h"
 #include "serve/warm_state.h"
 #include "util/rng.h"
@@ -78,6 +96,8 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/qpe_served.sock";
   uint64_t seed = 42;
   bool small = false;
+  int drift_corpus_plans = 96;
+  uint64_t drift_corpus_seed = 7;
   qpe::serve::ServingDaemonConfig config;
   config.install_signal_handlers = true;
   config.snapshot_every_requests = 32;
@@ -110,6 +130,20 @@ int main(int argc, char** argv) {
     } else if (FlagValue(argv[i], "--default-queue", &v)) {
       config.admission.default_tenant.max_queued_requests =
           static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (std::strcmp(argv[i], "--drift") == 0) {
+      config.enable_drift = true;
+    } else if (FlagValue(argv[i], "--drift-window", &v)) {
+      config.drift_sentinel.detector.window_size = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--drift-corpus-plans", &v)) {
+      drift_corpus_plans = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--drift-corpus-seed", &v)) {
+      drift_corpus_seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(argv[i], "--adapt-dir", &v)) {
+      config.adaptation.dir = v;
+    } else if (FlagValue(argv[i], "--adapt-epochs", &v)) {
+      config.adaptation.epochs = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--adapt-pairs", &v)) {
+      config.adaptation.pairs = std::atoi(v.c_str());
     } else if (FlagValue(argv[i], "--tenant", &v)) {
       std::string name;
       qpe::serve::TenantConfig tenant;
@@ -144,6 +178,22 @@ int main(int argc, char** argv) {
   qpe::util::Rng rng(seed);
   qpe::encoder::TransformerPlanEncoder encoder(encoder_config, &rng);
   config.model_fingerprint = qpe::serve::ModelFingerprint(encoder);
+
+  if (config.enable_drift) {
+    // The baseline corpus stands in for "the plans this model was trained
+    // on": deterministic given the seed, so restarts rebuild the same
+    // baseline sketches.
+    qpe::data::CorpusOptions corpus_options;
+    corpus_options.min_nodes = 4;
+    corpus_options.max_nodes = 24;
+    qpe::data::RandomPlanGenerator generator(qpe::util::Rng(drift_corpus_seed),
+                                             corpus_options);
+    config.drift_corpus.reserve(static_cast<size_t>(drift_corpus_plans));
+    for (int i = 0; i < drift_corpus_plans; ++i) {
+      config.drift_corpus.push_back(
+          qpe::plan::SerializePlanNode(*generator.Generate()));
+    }
+  }
 
   qpe::serve::ServingDaemon daemon(&encoder, config);
   if (qpe::util::Status s = daemon.Start(); !s.ok()) {

@@ -11,6 +11,9 @@
 #     included), so it carries more run-to-run variance than the
 #     CPU-time throughput metrics — but an unbounded-queue or
 #     admission-control regression shows up as far more than 2x.
+#     drift_overhead_pct is an absolute gate: the drift sentinel's
+#     per-request observation cost must stay under 5% of the daemon's
+#     p99 request latency, whatever the baseline recorded.
 #   - BENCH_micro.json: a cpu_time increase of more than 25% on the
 #     training-step benchmarks (BM_TrainStepPpsr, BM_TrainStepPerfEncoder)
 #     or on the dispatched SIMD kernel benchmarks (BM_MatMulForwardSimd,
@@ -164,6 +167,21 @@ for metric in SERVING_LATENCY_METRICS:
         failed = True
     print(f"{metric:<34} {base:>12.3f} {now:>12.3f} {ratio:>6.2f}x{flag}")
 
+# Absolute gate, not relative: the sentinel's observe cost must be noise
+# next to a request's p99 regardless of what the baseline machine recorded.
+DRIFT_OVERHEAD_LIMIT_PCT = 5.0
+drift_pct = serving_fresh.get("drift_overhead_pct")
+if drift_pct is None:
+    print(f"{'drift_overhead_pct':<34} missing from fresh run")
+    failed = True
+else:
+    flag = ""
+    if drift_pct > DRIFT_OVERHEAD_LIMIT_PCT:
+        flag = "  REGRESSION"
+        failed = True
+    print(f"{'drift_overhead_pct (abs limit 5)':<34} {'—':>12} "
+          f"{drift_pct:>12.3f} {'':>7}{flag}")
+
 
 def micro_times(report):
     times = {}
@@ -198,6 +216,7 @@ if failed:
     print("\nFAIL: benchmark regression vs committed baselines")
     sys.exit(1)
 print(f"\nOK: serving within {SERVING_THRESHOLD:.0%}, daemon p99 within "
-      f"{1 + LATENCY_THRESHOLD:.1f}x, micro cpu_time within "
+      f"{1 + LATENCY_THRESHOLD:.1f}x, drift overhead under "
+      f"{DRIFT_OVERHEAD_LIMIT_PCT:.0f}%, micro cpu_time within "
       f"{MICRO_THRESHOLD:.0%} of baseline")
 PY

@@ -18,16 +18,21 @@
 #     drains cleanly on SIGTERM (leak check at exit); a second daemon is
 #     SIGKILLed mid-traffic and its restart must restore the warm embedding
 #     cache from the last crash-safe snapshot and keep serving.
+#  6. Drift chaos: a drift-enabled daemon takes a structurally novel
+#     stream, declares drift (responses flagged STALE), starts the
+#     self-healing fine-tune, and is SIGKILLed mid-ADAPTING; the restart
+#     must resume the round from its checkpoint, swap the adapted model
+#     in, and serve the once-novel stream without a stale flag.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "=== [1/5] AddressSanitizer robustness suites ==="
+echo "=== [1/6] AddressSanitizer robustness suites ==="
 cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
   --target checkpoint_test dataset_io_test robustness_test ingestion_test \
-  serving_test daemon_test arena_test simd_quant_test workload_explorer \
-  qpe_served qpe_client
+  serving_test daemon_test drift_test arena_test simd_quant_test \
+  workload_explorer qpe_served qpe_client
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -41,6 +46,12 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
 # socket fault injection, drain/SIGTERM paths — every error path leak-checked.
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/daemon_test
+# Drift suite under ASan: sketches, the hysteresis monitor, wire v2
+# trailer negotiation, crash-safe adaptation rounds, and the in-process
+# drain-abort/resume/self-heal drill — every adaptation error path
+# leak-checked.
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/drift_test
 # The arena cooperates with sanitizers by disabling recycling
 # (QPE_SANITIZE_BUILD): every Acquire allocates fresh and EndEpoch really
 # frees, so ASan sees each graph buffer's true lifetime.
@@ -57,7 +68,7 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
 explorer=./build-asan/examples/workload_explorer
 
 echo
-echo "=== [2/5] Ingestion fuzz sweep (10k seeded mutations under ASan) ==="
+echo "=== [2/6] Ingestion fuzz sweep (10k seeded mutations under ASan) ==="
 # The ingestion suite runs its parser/sanitizer/encoder tests plus two fuzz
 # loops (byte-level EXPLAIN mutations, tree-level corruptions); the fixed
 # seeds inside the tests plus QPE_FUZZ_ITERS make every iteration
@@ -70,7 +81,7 @@ QPE_FUZZ_ITERS=10000 \
 echo "ingestion fuzz sweep passed: no crashes, no leaks, finite embeddings"
 
 echo
-echo "=== [3/5] Environment-driven fault injection (QPE_FAULT) ==="
+echo "=== [3/6] Environment-driven fault injection (QPE_FAULT) ==="
 fault_dir=$(mktemp -d)
 trap 'rm -rf "$fault_dir"' EXIT
 # The very first checkpoint write fails; the run must exit non-zero and
@@ -93,7 +104,7 @@ fi
 echo "injected checkpoint fault surfaced cleanly, no temp file leaked"
 
 echo
-echo "=== [4/5] Crash-resume smoke (SIGKILL mid-run) ==="
+echo "=== [4/6] Crash-resume smoke (SIGKILL mid-run) ==="
 SF=0.2
 CONFIGS=24
 fingerprint() { grep -o "model fingerprint: [0-9]*" | awk '{print $3}'; }
@@ -128,7 +139,7 @@ if [ "$resumed" != "$expected" ]; then
 fi
 
 echo
-echo "=== [5/5] Serving-daemon chaos (drain, SIGKILL mid-traffic, warm restart) ==="
+echo "=== [5/6] Serving-daemon chaos (drain, SIGKILL mid-traffic, warm restart) ==="
 served=./build-asan/examples/qpe_served
 qclient=./build-asan/examples/qpe_client
 daemon_dir=$(mktemp -d)
@@ -210,6 +221,103 @@ wait "$served_pid" || {
 echo "SIGKILL mid-traffic + restart: warm cache restored ($restored entries), serving resumed"
 
 echo
+echo "=== [6/6] Drift chaos (drift -> alarm -> SIGKILL mid-ADAPTING -> resume -> heal) ==="
+drift_dir=$(mktemp -d)
+trap 'rm -rf "$fault_dir" "$clean_dir" "$crash_dir" "$daemon_dir" "$drift_dir"' EXIT
+dsock="$drift_dir/qpe.sock"
+adapt="$drift_dir/adapt"
+
+wait_for_log() {
+  # Generous bound: the resumed fine-tune replays every remaining epoch
+  # under ASan before "adaptation complete" appears.
+  for _ in $(seq 1 1200); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "FAIL: timed out waiting for '$2' in $1"
+  cat "$1" 2>/dev/null || true
+  return 1
+}
+
+# Small detector window so a short drifted burst closes enough windows to
+# alarm; enough fine-tune epochs (each one checkpointed) that the round
+# far outlives the drifted stream and the SIGKILL below lands mid-round.
+serve_drifty() {
+  "$served" --socket="$dsock" --small --workers=1 --drift \
+    --drift-window=32 --adapt-dir="$adapt" --adapt-epochs=64 \
+    --adapt-pairs=16 >"$1" 2>&1 &
+  served_pid=$!
+  wait_for_ready "$1"
+}
+
+# 6a. Baseline traffic must never flag stale. The client replays the
+# daemon's own baseline corpus: same generator, same options, same seed
+# (--drift-corpus-seed defaults to 7, 96 plans), so the stream is exactly
+# the plans the sketches were built over — the definition of "no drift".
+serve_drifty "$drift_dir/served_drift.log"
+"$qclient" --socket="$dsock" --plans=96 --per-request=8 --seed=7 \
+  >"$drift_dir/client_baseline.log"
+if grep -q "STALE" "$drift_dir/client_baseline.log"; then
+  echo "FAIL: baseline traffic was flagged stale"
+  cat "$drift_dir/client_baseline.log"
+  exit 1
+fi
+
+# 6b. A structurally novel stream (plans twice the baseline's depth) must
+# drive the monitor to DRIFTED: stale-flagged responses and an adaptation
+# round. --retries covers the admission hiccups of an adapting daemon.
+"$qclient" --socket="$dsock" --plans=192 --per-request=8 --seed=9 \
+  --min-nodes=28 --max-nodes=48 --retries=3 \
+  >"$drift_dir/client_drift.log"
+grep -q "STALE" "$drift_dir/client_drift.log" || {
+  echo "FAIL: drifted stream never produced a stale-flagged response"
+  cat "$drift_dir/client_drift.log"
+  cat "$drift_dir/served_drift.log"
+  exit 1
+}
+wait_for_log "$drift_dir/served_drift.log" "adaptation started"
+
+# 6c. SIGKILL mid-ADAPTING: the manifest survives; nothing else of the
+# round may matter. The restart must resume from the last checkpoint,
+# finish the round, and swap the adapted weights in.
+kill -KILL "$served_pid"
+wait "$served_pid" 2>/dev/null || true
+[ -f "$adapt/manifest.qpam" ] || {
+  echo "FAIL: no adaptation manifest survived the SIGKILL"
+  ls -la "$adapt" 2>/dev/null || true
+  exit 1
+}
+serve_drifty "$drift_dir/served_resume.log"
+wait_for_log "$drift_dir/served_resume.log" "resuming interrupted adaptation"
+wait_for_log "$drift_dir/served_resume.log" "adaptation complete: fingerprint"
+
+# 6d. Healed: the once-novel stream is the model's new normal — responses
+# carry no stale flag and the round left a refreshed fingerprint.
+"$qclient" --socket="$dsock" --plans=64 --per-request=8 --seed=9 \
+  --min-nodes=28 --max-nodes=48 --retries=3 \
+  >"$drift_dir/client_healed.log"
+if grep -q "STALE" "$drift_dir/client_healed.log"; then
+  echo "FAIL: responses still stale after the resumed adaptation completed"
+  cat "$drift_dir/client_healed.log"
+  cat "$drift_dir/served_resume.log"
+  exit 1
+fi
+"$qclient" --socket="$dsock" --stats >"$drift_dir/stats.json"
+grep -q '"adaptations_resumed": 1' "$drift_dir/stats.json" || {
+  echo "FAIL: stats do not record the resumed adaptation round"
+  cat "$drift_dir/stats.json"
+  exit 1
+}
+kill -TERM "$served_pid"
+wait "$served_pid" || {
+  echo "FAIL: drift daemon exited non-zero on final drain"
+  cat "$drift_dir/served_resume.log"
+  exit 1
+}
+echo "drift chaos: alarm raised, SIGKILL mid-ADAPTING, round resumed from"
+echo "its checkpoint, adapted model swapped in, stream serves un-stale"
+
+echo
 echo "Robustness verification passed: ASan clean, ingestion fuzz clean,"
 echo "faults degrade cleanly, crash-resume is bit-exact, daemon drains,"
-echo "survives SIGKILL, and restarts warm."
+echo "survives SIGKILL, restarts warm, and self-heals from drift."

@@ -13,13 +13,16 @@
 # calibration pass and the int8 serving engine all still execute — TSan
 # checks the lazy kernel-table initialization and the quantized encoder's
 # shared read-only state under the service's data-parallel micro-batches.
+# The daemon suite's cache-concurrency tests run too: a warm snapshot
+# walking all shards while writers insert/lookup is exactly the
+# reader-vs-writer interleaving the daemon's snapshot thread produces.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 cmake -B build-tsan -S . -DQPE_SANITIZE=thread >/dev/null
 cmake --build build-tsan --target threading_test serving_test arena_test \
-  simd_quant_test -j"$(nproc)"
+  simd_quant_test daemon_test -j"$(nproc)"
 
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/threading_test
@@ -29,6 +32,10 @@ TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/arena_test
 TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
   ./build-tsan/tests/simd_quant_test
+# Snapshot-vs-insert and stats-vs-traffic consistency on the sharded cache
+# (the rest of the daemon suite is socket-bound, not concurrency-bound).
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+  ./build-tsan/tests/daemon_test --gtest_filter='CacheStatsTest.*'
 
 echo
 echo "ThreadSanitizer run clean."

@@ -1,0 +1,431 @@
+#include "drift/adaptation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <sys/stat.h>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "data/datasets.h"
+#include "data/plan_corpus.h"
+#include "encoder/ppsr.h"
+#include "nn/checkpoint.h"
+#include "nn/serialize.h"
+#include "plan/serialize.h"
+#include "serve/warm_state.h"
+#include "smatch/smatch.h"
+#include "util/checksum.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+
+namespace qpe::drift {
+
+namespace {
+
+constexpr uint32_t kSliceMagic = 0x4C535051;     // "QPSL"
+constexpr uint32_t kManifestMagic = 0x4D415051;  // "QPAM"
+constexpr uint32_t kBlobVersion = 1;
+constexpr size_t kBlobHeaderSize = 4 + 4 + 8 + 4;
+
+void PutBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+void PutU32(std::string* out, uint32_t v) { PutBytes(out, &v, sizeof(v)); }
+void PutU64(std::string* out, uint64_t v) { PutBytes(out, &v, sizeof(v)); }
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+#ifdef __unix__
+util::Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return util::IoError("cannot reopen '" + path + "' for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return util::IoError("fsync of '" + path + "' failed");
+  return util::OkStatus();
+}
+#endif
+
+// CRC-guarded atomic blob with the warm-state header discipline:
+//   magic u32 | version u32 | payload_size u64 | crc u32 | payload
+util::Status WriteBlobAtomic(const std::string& path, uint32_t magic,
+                             const std::string& payload) {
+  const std::string tmp_path = path + ".tmp";
+  auto fail = [&tmp_path](util::Status s) {
+    std::remove(tmp_path.c_str());
+    return s;
+  };
+  if (util::Status s = util::InjectFault("adapt.write"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) return fail(util::IoError("cannot open '" + tmp_path + "'"));
+    std::string header;
+    PutU32(&header, magic);
+    PutU32(&header, kBlobVersion);
+    PutU64(&header, payload.size());
+    PutU32(&header, util::Crc32(payload));
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.flush();
+    if (!os) return fail(util::IoError("write to '" + tmp_path + "' failed"));
+  }
+#ifdef __unix__
+  if (util::Status s = FsyncPath(tmp_path); !s.ok()) return fail(std::move(s));
+#endif
+  if (util::Status s = util::InjectFault("adapt.rename"); !s.ok()) {
+    return fail(std::move(s));
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return fail(util::IoError("atomic rename '" + tmp_path + "' -> '" + path +
+                              "' failed"));
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<std::string> ReadBlob(const std::string& path, uint32_t magic) {
+  if (util::Status s = util::InjectFault("adapt.read"); !s.ok()) return s;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return util::NotFoundError("cannot open '" + path + "'");
+  std::ostringstream buffer(std::ios::binary);
+  buffer << is.rdbuf();
+  if (is.bad()) return util::IoError("read of '" + path + "' failed");
+  const std::string file = buffer.str();
+  if (file.size() < kBlobHeaderSize) {
+    return util::DataLossError("'" + path + "' is smaller than its header");
+  }
+  uint32_t file_magic = 0, version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  std::memcpy(&file_magic, file.data(), 4);
+  std::memcpy(&version, file.data() + 4, 4);
+  std::memcpy(&payload_size, file.data() + 8, 8);
+  std::memcpy(&crc, file.data() + 16, 4);
+  if (file_magic != magic) {
+    return util::DataLossError("'" + path + "' has bad magic");
+  }
+  if (version != kBlobVersion) {
+    return util::DataLossError("'" + path + "' has version " +
+                               std::to_string(version) + ", expected " +
+                               std::to_string(kBlobVersion));
+  }
+  if (file.size() - kBlobHeaderSize != payload_size) {
+    return util::DataLossError("'" + path + "' payload size mismatch");
+  }
+  std::string payload = file.substr(kBlobHeaderSize);
+  if (util::Crc32(payload) != crc) {
+    return util::DataLossError("'" + path + "' payload CRC mismatch");
+  }
+  return payload;
+}
+
+// The manifest freezes every input of the round so a resumed run replays
+// the original configuration even if the daemon restarted with new flags.
+struct Manifest {
+  uint64_t base_fingerprint = 0;
+  uint64_t seed = 0;
+  uint32_t epochs = 0;
+  uint32_t pairs = 0;
+  uint32_t batch_size = 0;
+  float lr = 0;
+  double related_fraction = 0;
+};
+
+util::Status SaveManifest(const std::string& dir, const Manifest& manifest) {
+  std::string payload;
+  PutU64(&payload, manifest.base_fingerprint);
+  PutU64(&payload, manifest.seed);
+  PutU32(&payload, manifest.epochs);
+  PutU32(&payload, manifest.pairs);
+  PutU32(&payload, manifest.batch_size);
+  PutBytes(&payload, &manifest.lr, sizeof(manifest.lr));
+  PutBytes(&payload, &manifest.related_fraction,
+           sizeof(manifest.related_fraction));
+  return WriteBlobAtomic(AdaptationManifestPath(dir), kManifestMagic, payload);
+}
+
+util::StatusOr<Manifest> LoadManifest(const std::string& dir) {
+  util::StatusOr<std::string> payload =
+      ReadBlob(AdaptationManifestPath(dir), kManifestMagic);
+  if (!payload.ok()) return payload.status();
+  constexpr size_t kManifestSize = 8 + 8 + 4 + 4 + 4 + 4 + 8;
+  if (payload->size() != kManifestSize) {
+    return util::DataLossError("adaptation manifest payload is " +
+                               std::to_string(payload->size()) +
+                               " byte(s), expected " +
+                               std::to_string(kManifestSize));
+  }
+  Manifest manifest;
+  const char* p = payload->data();
+  std::memcpy(&manifest.base_fingerprint, p, 8);
+  std::memcpy(&manifest.seed, p + 8, 8);
+  std::memcpy(&manifest.epochs, p + 16, 4);
+  std::memcpy(&manifest.pairs, p + 20, 4);
+  std::memcpy(&manifest.batch_size, p + 24, 4);
+  std::memcpy(&manifest.lr, p + 28, 4);
+  std::memcpy(&manifest.related_fraction, p + 32, 8);
+  return manifest;
+}
+
+util::Status SaveSlice(const std::string& dir,
+                       const std::vector<std::string>& slice) {
+  std::string payload;
+  PutU32(&payload, static_cast<uint32_t>(slice.size()));
+  for (const std::string& text : slice) {
+    PutU32(&payload, static_cast<uint32_t>(text.size()));
+    payload.append(text);
+  }
+  return WriteBlobAtomic(AdaptationSlicePath(dir), kSliceMagic, payload);
+}
+
+util::StatusOr<std::vector<std::string>> LoadSlice(const std::string& dir) {
+  util::StatusOr<std::string> payload =
+      ReadBlob(AdaptationSlicePath(dir), kSliceMagic);
+  if (!payload.ok()) return payload.status();
+  std::vector<std::string> slice;
+  size_t pos = 0;
+  auto read_u32 = [&](uint32_t* v) -> bool {
+    if (payload->size() - pos < 4) return false;
+    std::memcpy(v, payload->data() + pos, 4);
+    pos += 4;
+    return true;
+  };
+  uint32_t count = 0;
+  if (!read_u32(&count)) {
+    return util::DataLossError("adaptation slice truncated reading count");
+  }
+  slice.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!read_u32(&len) || payload->size() - pos < len) {
+      return util::DataLossError("adaptation slice truncated at entry " +
+                                 std::to_string(i));
+    }
+    slice.emplace_back(payload->data() + pos, len);
+    pos += len;
+  }
+  if (pos != payload->size()) {
+    return util::DataLossError("adaptation slice has trailing bytes");
+  }
+  return slice;
+}
+
+util::Status SaveModuleAtomic(const nn::Module& module,
+                              const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  if (util::Status s = nn::SaveModuleToFileStatus(module, tmp_path); !s.ok()) {
+    std::remove(tmp_path.c_str());
+    return s;
+  }
+#ifdef __unix__
+  if (util::Status s = FsyncPath(tmp_path); !s.ok()) {
+    std::remove(tmp_path.c_str());
+    return s;
+  }
+#endif
+  if (util::Status s = util::InjectFault("adapt.rename"); !s.ok()) {
+    std::remove(tmp_path.c_str());
+    return s;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return util::IoError("atomic rename '" + tmp_path + "' -> '" + path +
+                         "' failed");
+  }
+  return util::OkStatus();
+}
+
+// Deterministic PPSR pairs over the slice: a pure function of (plans,
+// manifest) — the heart of the bit-exact resume guarantee.
+std::vector<data::PlanPair> BuildSlicePairs(
+    const std::vector<std::unique_ptr<plan::PlanNode>>& plans,
+    const Manifest& manifest) {
+  std::vector<data::PlanPair> pairs;
+  const int n = static_cast<int>(plans.size());
+  if (n == 0 || manifest.pairs == 0) return pairs;
+  util::Rng rng(manifest.seed);
+  data::RandomPlanGenerator generator(rng.Fork());
+  pairs.reserve(manifest.pairs);
+  for (uint32_t p = 0; p < manifest.pairs; ++p) {
+    const int i = static_cast<int>(rng.UniformInt(0, n - 1));
+    std::unique_ptr<plan::PlanNode> left = plans[i]->Clone();
+    std::unique_ptr<plan::PlanNode> right;
+    if (rng.Bernoulli(manifest.related_fraction)) {
+      right = generator.Mutate(*plans[i], /*mutation_rate=*/0.2);
+    } else {
+      right = plans[rng.UniformInt(0, n - 1)]->Clone();
+    }
+    data::PlanPair pair;
+    pair.smatch = smatch::Score(*left, *right).f1;
+    pair.left = std::move(left);
+    pair.right = std::move(right);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::string AdaptationSlicePath(const std::string& dir) {
+  return dir + "/slice.qpsl";
+}
+std::string AdaptationBaseWeightsPath(const std::string& dir) {
+  return dir + "/base.qpe";
+}
+std::string AdaptationManifestPath(const std::string& dir) {
+  return dir + "/manifest.qpam";
+}
+std::string AdaptationCheckpointPath(const std::string& dir) {
+  return dir + "/ckpt.qpck";
+}
+std::string AdaptedWeightsPath(const std::string& dir) {
+  return dir + "/adapted.qpe";
+}
+
+bool AdaptationPending(const std::string& dir) {
+  return !dir.empty() && FileExists(AdaptationManifestPath(dir));
+}
+
+bool AdaptedWeightsPresent(const std::string& dir) {
+  return !dir.empty() && !AdaptationPending(dir) &&
+         FileExists(AdaptedWeightsPath(dir));
+}
+
+void ClearAdaptation(const std::string& dir) {
+  if (dir.empty()) return;
+  // Manifest first: whatever else remains is then unambiguously garbage.
+  std::remove(AdaptationManifestPath(dir).c_str());
+  std::remove(AdaptationCheckpointPath(dir).c_str());
+  std::remove(AdaptationBaseWeightsPath(dir).c_str());
+  std::remove(AdaptationSlicePath(dir).c_str());
+  std::remove(AdaptedWeightsPath(dir).c_str());
+}
+
+util::StatusOr<AdaptationResult> RunAdaptation(
+    const encoder::TransformerPlanEncoder& base,
+    const std::vector<std::string>& slice, const AdaptationConfig& config) {
+  if (config.dir.empty()) {
+    return util::InvalidArgumentError("adaptation directory not set");
+  }
+  ::mkdir(config.dir.c_str(), 0755);  // EEXIST is fine; writes catch others
+
+  AdaptationResult result;
+  Manifest manifest;
+  if (AdaptationPending(config.dir)) {
+    util::StatusOr<Manifest> loaded = LoadManifest(config.dir);
+    if (!loaded.ok()) return loaded.status();
+    manifest = *loaded;
+    result.resumed = true;
+  } else {
+    if (slice.empty()) {
+      return util::FailedPreconditionError(
+          "adaptation requested with an empty drifted slice");
+    }
+    manifest.base_fingerprint = serve::ModelFingerprint(base);
+    manifest.seed = config.seed;
+    manifest.epochs = static_cast<uint32_t>(std::max(config.epochs, 1));
+    manifest.pairs = static_cast<uint32_t>(std::max(config.pairs, 1));
+    manifest.batch_size = static_cast<uint32_t>(std::max(config.batch_size, 1));
+    manifest.lr = config.lr;
+    manifest.related_fraction = config.related_fraction;
+    // Inputs first, then the manifest: its rename is the commit point, and
+    // it must never reference a slice or base-weights file that is not
+    // fully on disk.
+    if (util::Status s = SaveSlice(config.dir, slice); !s.ok()) return s;
+    if (util::Status s = SaveModuleAtomic(
+            base, AdaptationBaseWeightsPath(config.dir));
+        !s.ok())
+      return s;
+    if (util::Status s = SaveManifest(config.dir, manifest); !s.ok()) return s;
+  }
+
+  util::StatusOr<std::vector<std::string>> slice_texts = LoadSlice(config.dir);
+  if (!slice_texts.ok()) return slice_texts.status();
+  result.slice_plans.reserve(slice_texts->size());
+  for (const std::string& text : *slice_texts) {
+    util::StatusOr<std::unique_ptr<plan::PlanNode>> parsed =
+        plan::ParsePlanNodeChecked(text);
+    if (!parsed.ok()) return parsed.status();
+    result.slice_plans.push_back(std::move(*parsed));
+  }
+
+  // Rebuild the training setup deterministically: clone the architecture,
+  // load the persisted base weights (NOT the live encoder's — it may have
+  // moved since the manifest committed), fresh match head from the seed.
+  util::Rng init_rng(manifest.seed ^ 0x5EED5EED5EED5EEDULL);
+  auto clone = std::make_unique<encoder::TransformerPlanEncoder>(base.config(),
+                                                                 &init_rng);
+  if (util::Status s = nn::LoadModuleFromFileStatus(
+          clone.get(), AdaptationBaseWeightsPath(config.dir));
+      !s.ok())
+    return s;
+  encoder::PpsrModel model(std::move(clone), &init_rng);
+
+  const std::vector<data::PlanPair> pairs =
+      BuildSlicePairs(result.slice_plans, manifest);
+
+  encoder::PpsrTrainOptions options;
+  options.epochs = static_cast<int>(manifest.epochs);
+  options.lr = manifest.lr;
+  options.batch_size = static_cast<int>(manifest.batch_size);
+  options.seed = manifest.seed;
+  options.checkpoint.path = AdaptationCheckpointPath(config.dir);
+  options.checkpoint.interval_epochs = 1;
+  options.checkpoint.resume = true;
+  options.abort = config.abort;
+  encoder::PpsrTrainStats stats;
+  options.stats = &stats;
+  result.final_loss = TrainPpsr(&model, pairs, options);
+  if (!stats.io_status.ok()) return stats.io_status;
+  result.aborted = stats.aborted;
+  result.resumed_from_epoch = stats.resumed_from_epoch;
+  if (result.aborted) {
+    // Manifest and checkpoint stay on disk: the next call resumes exactly
+    // where the last completed epoch checkpointed, as after a SIGKILL.
+    return result;
+  }
+
+  // Completion protocol: adapted weights become durable BEFORE the manifest
+  // disappears, so a crash in between re-runs an already-finished round
+  // (idempotent) instead of losing it.
+  util::Rng out_rng(manifest.seed ^ 0x0ADA97ED0ADA97EDULL);
+  auto adapted = std::make_unique<encoder::TransformerPlanEncoder>(
+      base.config(), &out_rng);
+  nn::CopyParameters(*model.encoder(), adapted.get());
+  if (util::Status s =
+          SaveModuleAtomic(*adapted, AdaptedWeightsPath(config.dir));
+      !s.ok())
+    return s;
+  std::remove(AdaptationManifestPath(config.dir).c_str());
+  std::remove(AdaptationCheckpointPath(config.dir).c_str());
+  std::remove(AdaptationBaseWeightsPath(config.dir).c_str());
+  std::remove(AdaptationSlicePath(config.dir).c_str());
+  result.encoder = std::move(adapted);
+  return result;
+}
+
+util::StatusOr<std::unique_ptr<encoder::TransformerPlanEncoder>>
+LoadAdaptedEncoder(const std::string& dir,
+                   const encoder::StructureEncoderConfig& config) {
+  util::Rng rng(0x10AD10AD10AD10ADULL);
+  auto encoder = std::make_unique<encoder::TransformerPlanEncoder>(config,
+                                                                   &rng);
+  if (util::Status s =
+          nn::LoadModuleFromFileStatus(encoder.get(), AdaptedWeightsPath(dir));
+      !s.ok())
+    return s;
+  return encoder;
+}
+
+}  // namespace qpe::drift

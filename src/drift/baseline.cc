@@ -1,0 +1,95 @@
+#include "drift/baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/arena.h"
+#include "nn/tensor.h"
+#include "plan/fingerprint.h"
+#include "plan/linearize.h"
+#include "util/rng.h"
+
+namespace qpe::drift {
+
+uint32_t TokenCode(const plan::OperatorType& type) {
+  return (static_cast<uint32_t>(type.level1) << 16) |
+         (static_cast<uint32_t>(type.level2) << 8) |
+         static_cast<uint32_t>(type.level3);
+}
+
+bool IsStructuralToken(const plan::OperatorType& type) {
+  const plan::Taxonomy& tax = plan::Taxonomy::Get();
+  const int l1 = type.level1;
+  return l1 == tax.br_open() || l1 == tax.br_close() || l1 == tax.cls() ||
+         l1 == tax.sep();
+}
+
+std::string TokenCodeName(uint32_t code) {
+  const plan::OperatorType type(static_cast<uint8_t>((code >> 16) & 0xFF),
+                                static_cast<uint8_t>((code >> 8) & 0xFF),
+                                static_cast<uint8_t>(code & 0xFF));
+  return type.ToString(/*full=*/false);
+}
+
+DriftBaseline BuildDriftBaseline(
+    const encoder::PlanSequenceEncoder& encoder,
+    const std::vector<const plan::PlanNode*>& plans,
+    const DriftBaselineConfig& config) {
+  DriftBaseline baseline;
+  baseline.config = config;
+  baseline.dim = encoder.output_dim();
+  baseline.plans = plans.size();
+  baseline.bloom = BloomFilter(config.bloom_bits, config.bloom_hashes);
+  baseline.outlier_occupancy = std::clamp(1.0 - config.outlier_quantile,
+                                          0.0, 1.0);
+  if (plans.empty()) return baseline;
+
+  // Token frequencies + fingerprint bloom straight off the linearizations.
+  std::unordered_map<uint32_t, uint64_t> token_counts;
+  uint64_t total_tokens = 0;
+  for (const plan::PlanNode* plan : plans) {
+    const std::vector<plan::OperatorType> tokens =
+        plan::LinearizeDfsBracket(*plan);
+    baseline.bloom.Insert(plan::FingerprintTokens(tokens));
+    for (const plan::OperatorType& token : tokens) {
+      if (IsStructuralToken(token)) continue;
+      ++token_counts[TokenCode(token)];
+      ++total_tokens;
+    }
+  }
+  if (total_tokens > 0) {
+    for (const auto& [code, count] : token_counts) {
+      baseline.token_freq[code] =
+          static_cast<double>(count) / static_cast<double>(total_tokens);
+    }
+  }
+
+  // Embedding-space summary: encode everything (eval mode), cluster, and
+  // set the outlier threshold at the configured quantile of the training
+  // nearest-centroid distances.
+  std::vector<std::vector<float>> points;
+  points.reserve(plans.size());
+  {
+    nn::ArenaScope arena;
+    nn::NoGradGuard no_grad;
+    const std::vector<nn::Tensor> embedded = encoder.EncodeBatch(
+        std::span<const plan::PlanNode* const>(plans.data(), plans.size()),
+        /*dropout_rng=*/nullptr);
+    for (const nn::Tensor& t : embedded) points.push_back(t.value());
+  }
+  util::Rng rng(config.seed);
+  std::vector<float> nearest;
+  baseline.centroids = KMeansCluster(points, config.clusters,
+                                     config.kmeans_iterations, &rng, &nearest);
+  if (!nearest.empty()) {
+    std::sort(nearest.begin(), nearest.end());
+    const double q = std::clamp(config.outlier_quantile, 0.0, 1.0);
+    const size_t idx = std::min(
+        nearest.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(nearest.size() - 1) + 0.5));
+    baseline.centroids.outlier_threshold = nearest[idx];
+  }
+  return baseline;
+}
+
+}  // namespace qpe::drift

@@ -1,0 +1,95 @@
+#include "drift/monitor.h"
+
+#include <algorithm>
+
+namespace qpe::drift {
+
+const char* DriftStateName(DriftState state) {
+  switch (state) {
+    case DriftState::kHealthy:
+      return "HEALTHY";
+    case DriftState::kSuspect:
+      return "SUSPECT";
+    case DriftState::kDrifted:
+      return "DRIFTED";
+    case DriftState::kAdapting:
+      return "ADAPTING";
+  }
+  return "UNKNOWN";
+}
+
+DriftMonitor::DriftMonitor(const DriftMonitorConfig& config) : config_(config) {
+  // The no-flap contract: a single high window can never reach DRIFTED.
+  config_.windows_to_drift = std::max(config_.windows_to_drift, 2);
+  config_.windows_to_recover = std::max(config_.windows_to_recover, 1);
+}
+
+DriftState DriftMonitor::OnWindow(const DriftWindowReport& report) {
+  last_score_ = report.score;
+  if (state_ == DriftState::kAdapting) return state_;
+
+  // Streaks are tracked independently of the current state so the window
+  // that pushes HEALTHY into SUSPECT already counts toward the drift streak.
+  if (report.score >= config_.drift_threshold) {
+    ++high_streak_;
+  } else {
+    high_streak_ = 0;
+  }
+  if (report.score < config_.suspect_threshold) {
+    ++low_streak_;
+  } else {
+    low_streak_ = 0;
+  }
+
+  switch (state_) {
+    case DriftState::kHealthy:
+      if (report.score >= config_.suspect_threshold) {
+        state_ = DriftState::kSuspect;
+      }
+      break;
+    case DriftState::kSuspect:
+      if (high_streak_ >= config_.windows_to_drift) {
+        state_ = DriftState::kDrifted;
+        ++alarms_;
+      } else if (low_streak_ >= config_.windows_to_recover) {
+        state_ = DriftState::kHealthy;
+      }
+      break;
+    case DriftState::kDrifted:
+      if (low_streak_ >= config_.windows_to_recover) {
+        // The workload reverted before adaptation kicked in.
+        state_ = DriftState::kHealthy;
+      }
+      break;
+    case DriftState::kAdapting:
+      break;  // unreachable (early return above)
+  }
+  return state_;
+}
+
+bool DriftMonitor::BeginAdaptation() {
+  if (state_ != DriftState::kDrifted) return false;
+  state_ = DriftState::kAdapting;
+  return true;
+}
+
+void DriftMonitor::CompleteAdaptation() {
+  if (state_ != DriftState::kAdapting) return;
+  state_ = DriftState::kHealthy;
+  high_streak_ = 0;
+  low_streak_ = 0;
+  last_score_ = 0;
+}
+
+void DriftMonitor::AbortAdaptation() {
+  if (state_ != DriftState::kAdapting) return;
+  state_ = DriftState::kDrifted;
+}
+
+void DriftMonitor::ForceAdapting() {
+  state_ = DriftState::kAdapting;
+  high_streak_ = 0;
+  low_streak_ = 0;
+}
+
+}  // namespace qpe::drift

@@ -73,14 +73,23 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
   std::vector<util::Rng> shard_rngs;
   double last_epoch_loss = 0;
   const int interval = std::max(1, options.checkpoint.interval_epochs);
+  auto abort_requested = [&options]() {
+    return options.abort != nullptr &&
+           options.abort->load(std::memory_order_relaxed);
+  };
+  bool aborted = false;
   for (int epoch = static_cast<int>(ckpt_state.next_epoch);
-       epoch < options.epochs; ++epoch) {
+       epoch < options.epochs && !aborted; ++epoch) {
     const std::vector<int> order =
         rng.Permutation(static_cast<int>(train.size()));
     double epoch_loss = 0;
     int batches = 0;
     for (size_t start = 0; start < order.size();
          start += options.batch_size) {
+      if (abort_requested()) {
+        aborted = true;
+        break;
+      }
       const int count = static_cast<int>(
           std::min(order.size(), start + options.batch_size) - start);
       if (count == 0) continue;
@@ -121,7 +130,10 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
       ++batches;
     }
     last_epoch_loss = batches > 0 ? epoch_loss / batches : 0;
-    if (checkpointing &&
+    // An aborted (partial) epoch must not checkpoint: its optimizer state is
+    // mid-epoch, and stamping next_epoch past it would break the bit-exact
+    // resume contract. The last interval checkpoint stands, as after SIGKILL.
+    if (checkpointing && !aborted &&
         ((epoch + 1) % interval == 0 || epoch + 1 == options.epochs)) {
       ckpt_state.next_epoch = epoch + 1;
       ckpt_state.rng = rng.GetState();
@@ -131,6 +143,7 @@ double TrainPpsr(PpsrModel* model, const std::vector<data::PlanPair>& train,
       if (!s.ok()) record_io(std::move(s));  // degrade, don't abort training
     }
   }
+  if (aborted && options.stats != nullptr) options.stats->aborted = true;
   model->SetTraining(false);
   return last_epoch_loss;
 }

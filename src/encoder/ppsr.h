@@ -1,6 +1,7 @@
 #ifndef QPE_ENCODER_PPSR_H_
 #define QPE_ENCODER_PPSR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -42,6 +43,7 @@ struct PpsrTrainStats {
   int64_t resumed_from_epoch = 0;  // 0 == started fresh
   int64_t skipped_batches = 0;     // cumulative across resumes
   int64_t nonfinite_losses = 0;
+  bool aborted = false;  // stopped early via PpsrTrainOptions::abort
   util::Status io_status;
 };
 
@@ -58,6 +60,12 @@ struct PpsrTrainOptions {
   // A resumed run finishes with bit-identical weights to an uninterrupted
   // one at the same thread count.
   nn::CheckpointConfig checkpoint;
+  // Cooperative cancellation: when non-null and set, training stops at the
+  // next batch boundary *without* writing a fresh checkpoint — exactly the
+  // state a SIGKILL would leave — so a later resume from the last interval
+  // checkpoint is bit-identical either way. Used by the serving daemon to
+  // drain mid-adaptation.
+  const std::atomic<bool>* abort = nullptr;
   // If non-null, filled with resume/skip/IO information for the run.
   PpsrTrainStats* stats = nullptr;
 };

@@ -63,6 +63,9 @@ struct QueuedRequest {
   double virtual_finish = 0;
   std::string payload;              // opaque wire payload (parsed by worker)
   std::shared_ptr<void> context;    // opaque connection handle
+  // Wire version of the request frame (serve/wire_protocol.h); the worker
+  // encodes the response in the requester's version.
+  uint8_t wire_version = 1;
 };
 
 class AdmissionController {

@@ -1,6 +1,9 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace qpe::serve {
@@ -19,6 +22,24 @@ util::Status WireErrorToStatus(const ErrorResponse& error) {
   return util::FailedPreconditionError(std::move(text));
 }
 
+// splitmix64 finalizer — the deterministic jitter stream. Seeded per
+// (policy.jitter_seed, retry index) so every retry of every client draws a
+// distinct but replayable offset.
+uint64_t JitterMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// True iff the typed error invites a retry. kRetryNever means the request
+// can never be admitted (zero-quota tenant, request larger than the burst).
+bool TypedErrorRetryable(const ErrorResponse& error) {
+  if (error.retry_after_ms == kRetryNever) return false;
+  return error.code == WireError::kResourceExhausted ||
+         error.code == WireError::kUnavailable;
+}
+
 }  // namespace
 
 util::StatusOr<DaemonClient> DaemonClient::Connect(
@@ -27,6 +48,7 @@ util::StatusOr<DaemonClient> DaemonClient::Connect(
   if (!fd.ok()) return fd.status();
   DaemonClient client;
   client.fd_ = std::move(*fd);
+  client.socket_path_ = socket_path;
   return client;
 }
 
@@ -61,7 +83,8 @@ util::StatusOr<Frame> DaemonClient::RoundTrip(FrameType type,
   std::memcpy(&raw_type, header + 5, 1);
   std::memcpy(&reserved, header + 6, 2);
   std::memcpy(&payload_size, header + 8, 4);
-  if (magic != kWireMagic || version != kWireVersion || reserved != 0) {
+  if (magic != kWireMagic || version < kWireVersionMin ||
+      version > kWireVersion || reserved != 0) {
     fd_.Reset();
     return util::DataLossError("daemon response has a corrupt frame header");
   }
@@ -113,6 +136,77 @@ util::StatusOr<EncodeResponse> DaemonClient::Encode(
                                std::to_string(static_cast<int>(response->type)));
   }
   return ParseEncodeResponsePayload(response->payload);
+}
+
+util::StatusOr<EncodeResponse> DaemonClient::EncodeWithRetry(
+    const EncodeRequest& request, const RetryPolicy& policy,
+    ErrorResponse* typed_error, RetryStats* retry_stats) {
+  util::StatusOr<EncodeResponse> result =
+      util::FailedPreconditionError("no attempt made");
+  int reconnects_left = policy.max_reconnects;
+  for (int attempt = 0; attempt <= std::max(policy.max_retries, 0);
+       ++attempt) {
+    ErrorResponse error;
+    // Sentinel: Encode only writes *typed_error when the daemon answered
+    // with an ERROR frame, so a zero code afterwards means transport-level
+    // failure (wire codes start at 1).
+    error.code = static_cast<WireError>(0);
+    if (retry_stats != nullptr) ++retry_stats->attempts;
+    result = Encode(request, &error);
+    if (result.ok()) {
+      if (typed_error != nullptr) *typed_error = ErrorResponse{};
+      return result;
+    }
+    const bool got_typed = error.code != static_cast<WireError>(0);
+    if (typed_error != nullptr) {
+      *typed_error = got_typed ? error : ErrorResponse{};
+    }
+    if (attempt == policy.max_retries) break;  // budget spent
+
+    uint32_t hint_ms = 0;
+    if (got_typed) {
+      // A typed daemon error: retry only the shed family, and only when
+      // the daemon's hint says a retry can ever succeed.
+      if (!TypedErrorRetryable(error)) break;
+      hint_ms = error.retry_after_ms;
+    } else if (!connected()) {
+      // Transport loss — EOF or broken pipe dropped the connection. A
+      // bounded number of reconnects covers a daemon restart (warm
+      // restarts are the normal deployment path); past the budget the
+      // daemon is genuinely gone.
+      if (reconnects_left <= 0) break;
+      --reconnects_left;
+      if (retry_stats != nullptr) ++retry_stats->reconnects;
+    } else {
+      break;  // non-retryable local failure (e.g. corrupt response frame)
+    }
+
+    // Capped exponential backoff, floored at the daemon's hint, plus
+    // deterministic jitter in [0, backoff/4].
+    uint64_t backoff = policy.initial_backoff_ms;
+    backoff <<= std::min(attempt, 20);
+    backoff = std::max<uint64_t>(backoff, hint_ms);
+    backoff = std::min<uint64_t>(backoff, policy.max_backoff_ms);
+    backoff += JitterMix(policy.jitter_seed ^ static_cast<uint64_t>(attempt)) %
+               (backoff / 4 + 1);
+    const auto backoff_ms = static_cast<uint32_t>(backoff);
+    if (retry_stats != nullptr) retry_stats->backoffs_ms.push_back(backoff_ms);
+    if (policy.sleep_override) {
+      policy.sleep_override(backoff_ms);
+    } else if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+    if (!connected()) {
+      util::StatusOr<DaemonClient> fresh = Connect(socket_path_);
+      if (!fresh.ok()) {
+        result = fresh.status();
+        continue;  // next attempt fails fast on "not connected" — or we
+                   // reconnect again if budget remains
+      }
+      fd_ = std::move(fresh->fd_);
+    }
+  }
+  return result;
 }
 
 util::StatusOr<std::string> DaemonClient::StatsJson() {

@@ -36,6 +36,10 @@ struct ServingDaemon::Connection {
   std::mutex write_mu;
   std::atomic<bool> closed{false};
   std::string in_buf;  // IO thread only
+  // Wire version of the client's most recent frame; every response goes
+  // out stamped with it, so v1 clients keep getting v1 frames from a v2
+  // daemon. Written by the IO thread, read by workers.
+  std::atomic<uint8_t> wire_version{1};
 };
 
 ServingDaemon::ServingDaemon(const encoder::PlanSequenceEncoder* encoder,
@@ -77,6 +81,13 @@ util::Status ServingDaemon::Start() {
     }
   }
 
+  // Drift sentinel first: if a completed adaptation round's weights are on
+  // disk they become the serving model (with their own fingerprint), and
+  // the warm restore below must validate against *that* fingerprint.
+  if (config_.enable_drift) {
+    if (util::Status s = InitDrift(); !s.ok()) return s;
+  }
+
   // Warm restore: best effort — a missing, corrupt, or wrong-model
   // snapshot starts cold, it never blocks startup.
   if (!config_.warm_state_path.empty() && service_->cache() != nullptr &&
@@ -101,6 +112,69 @@ util::Status ServingDaemon::Start() {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   io_thread_ = std::thread([this] { IoLoop(); });
+
+  // Restart re-entry: a persisted manifest proves the previous process was
+  // SIGKILLed mid-ADAPTING. Re-enter the state immediately (responses flag
+  // stale from the first request) and resume the fine-tune from its last
+  // checkpoint while serving continues.
+  if (sentinel_ != nullptr && !config_.adaptation.dir.empty() &&
+      drift::AdaptationPending(config_.adaptation.dir)) {
+    std::fprintf(stderr, "qpe_served: resuming interrupted adaptation\n");
+    sentinel_->ForceAdapting();
+    adaptations_resumed_.fetch_add(1, std::memory_order_relaxed);
+    StartAdaptationThread(/*resumed=*/true);
+  }
+  return util::OkStatus();
+}
+
+util::Status ServingDaemon::InitDrift() {
+  const auto* base =
+      dynamic_cast<const encoder::TransformerPlanEncoder*>(encoder_);
+  if (base == nullptr) {
+    return util::InvalidArgumentError(
+        "drift sentinel requires a TransformerPlanEncoder");
+  }
+  if (config_.drift_corpus.empty()) {
+    return util::InvalidArgumentError(
+        "drift sentinel needs a baseline corpus (drift_corpus is empty)");
+  }
+  corpus_plans_.reserve(config_.drift_corpus.size());
+  for (const std::string& text : config_.drift_corpus) {
+    util::StatusOr<std::unique_ptr<plan::PlanNode>> parsed =
+        plan::ParsePlanNodeChecked(text);
+    if (!parsed.ok()) return parsed.status();
+    corpus_plans_.push_back(std::move(*parsed));
+  }
+
+  // A completed round the previous process never got to swap in (or
+  // swapped in and then exited): its weights are the model to serve now.
+  const std::string& dir = config_.adaptation.dir;
+  if (!dir.empty() && drift::AdaptedWeightsPresent(dir)) {
+    util::StatusOr<std::unique_ptr<encoder::TransformerPlanEncoder>> adapted =
+        drift::LoadAdaptedEncoder(dir, base->config());
+    if (adapted.ok()) {
+      adapted_encoder_ = std::move(*adapted);
+      encoder_ = adapted_encoder_.get();
+      service_->SwapEncoder(encoder_);  // pre-thread: nothing concurrent
+      config_.model_fingerprint = ModelFingerprint(*adapted_encoder_);
+      std::fprintf(stderr,
+                   "qpe_served: adapted model restored: fingerprint %" PRIu64
+                   "\n",
+                   config_.model_fingerprint);
+    } else {
+      // Corrupt adapted weights degrade to the base model, never to a
+      // failed start.
+      std::fprintf(stderr, "qpe_served: adapted model load skipped: %s\n",
+                   adapted.status().ToString().c_str());
+    }
+  }
+
+  std::vector<const plan::PlanNode*> ptrs;
+  ptrs.reserve(corpus_plans_.size());
+  for (const auto& p : corpus_plans_) ptrs.push_back(p.get());
+  sentinel_ = std::make_unique<drift::DriftSentinel>(
+      drift::BuildDriftBaseline(*encoder_, ptrs, config_.drift_baseline),
+      config_.drift_sentinel);
   return util::OkStatus();
 }
 
@@ -112,6 +186,7 @@ void ServingDaemon::Join() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (adapt_thread_.joinable()) adapt_thread_.join();
   stopped_.store(true);
 }
 
@@ -123,7 +198,8 @@ void ServingDaemon::Stop() {
 void ServingDaemon::SendFrame(const ConnPtr& conn, FrameType type,
                               std::string_view payload) {
   if (conn->closed.load(std::memory_order_acquire)) return;
-  const std::string frame = EncodeFrame(type, payload);
+  const std::string frame = EncodeFrame(
+      type, payload, conn->wire_version.load(std::memory_order_relaxed));
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed.load(std::memory_order_acquire)) return;
   if (util::Status s = util::WriteFull(conn->fd.get(), frame.data(),
@@ -147,7 +223,8 @@ void ServingDaemon::SendError(const ConnPtr& conn, WireError code,
 }
 
 void ServingDaemon::HandleEncodeRequest(const ConnPtr& conn,
-                                        std::string payload) {
+                                        std::string payload,
+                                        uint8_t wire_version) {
   // Admission runs on the head fields only — tenant, deadline, cost — so
   // shedding a request under overload never pays for plan parsing.
   util::StatusOr<EncodeRequestHead> head =
@@ -166,6 +243,7 @@ void ServingDaemon::HandleEncodeRequest(const ConnPtr& conn,
                          : now + head->deadline_ms * 1e-3;
   request.payload = std::move(payload);
   request.context = conn;
+  request.wire_version = wire_version;
   const AdmissionController::Result result =
       admission_->Offer(std::move(request), now);
   switch (result.decision) {
@@ -193,9 +271,12 @@ void ServingDaemon::HandleEncodeRequest(const ConnPtr& conn,
 }
 
 void ServingDaemon::HandleFrame(const ConnPtr& conn, Frame frame) {
+  // Version negotiation: a connection speaks whatever version its latest
+  // frame used, and every response echoes it.
+  conn->wire_version.store(frame.version, std::memory_order_relaxed);
   switch (frame.type) {
     case FrameType::kEncodeRequest:
-      HandleEncodeRequest(conn, std::move(frame.payload));
+      HandleEncodeRequest(conn, std::move(frame.payload), frame.version);
       return;
     case FrameType::kStatsRequest:
       SendFrame(conn, FrameType::kStatsResponse, StatsJson());
@@ -252,15 +333,40 @@ void ServingDaemon::ProcessWork(QueuedRequest work) {
   ptrs.reserve(plans.size());
   for (const auto& p : plans) ptrs.push_back(p.get());
 
-  const std::vector<nn::Tensor> embeddings = service_->EncodeAll(ptrs);
   EncodeResponse response;
-  response.dim = static_cast<uint32_t>(encoder_->output_dim());
-  response.embeddings.reserve(embeddings.size());
-  for (const nn::Tensor& e : embeddings) {
-    response.embeddings.push_back(e.value());
+  {
+    // Shared model lock: the encode, the dim read, and the sentinel's
+    // observation of the produced embeddings all see one consistent model —
+    // an adaptation swap (exclusive side) can never land in between.
+    std::shared_lock<std::shared_mutex> model_lock(model_mu_);
+    const std::vector<nn::Tensor> embeddings = service_->EncodeAll(ptrs);
+    response.dim = static_cast<uint32_t>(encoder_->output_dim());
+    response.embeddings.reserve(embeddings.size());
+    for (const nn::Tensor& e : embeddings) {
+      response.embeddings.push_back(e.value());
+    }
+    if (sentinel_ != nullptr) {
+      const auto observe_start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < plans.size(); ++i) {
+        sentinel_->Observe(*plans[i], response.embeddings[i].data(),
+                           response.dim);
+      }
+      drift_observe_ns_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - observe_start)
+                  .count()),
+          std::memory_order_relaxed);
+      drift_observed_.fetch_add(plans.size(), std::memory_order_relaxed);
+    }
+  }
+  if (sentinel_ != nullptr) {
+    response.stale = sentinel_->stale();
+    response.drift_state = static_cast<uint8_t>(sentinel_->state());
+    response.drift_score = sentinel_->last_score();
   }
   SendFrame(conn, FrameType::kEncodeResponse,
-            EncodeEncodeResponsePayload(response));
+            EncodeEncodeResponsePayload(response, work.wire_version));
   // The encode ran to completion whether or not the client stuck around to
   // read the response, so `completed` counts it either way — keeping the
   // invariant admitted == completed + deadline_missed for every tenant.
@@ -288,9 +394,17 @@ void ServingDaemon::MaybeSnapshot(bool force) {
   }
   completed_since_snapshot_.store(0, std::memory_order_relaxed);
   WarmState warm;
-  warm.model_fingerprint = config_.model_fingerprint;
-  warm.dim = static_cast<uint32_t>(encoder_->output_dim());
-  warm.entries = service_->cache()->Snapshot();
+  {
+    // Shared model lock: fingerprint and cache contents are captured as a
+    // consistent pair. Without it an adaptation swap could land between the
+    // two reads, stamping the *old* fingerprint onto the *new* model's
+    // cache — a snapshot a restarted daemon would happily restore against
+    // the wrong weights.
+    std::shared_lock<std::shared_mutex> model_lock(model_mu_);
+    warm.model_fingerprint = config_.model_fingerprint;
+    warm.dim = static_cast<uint32_t>(encoder_->output_dim());
+    warm.entries = service_->cache()->Snapshot();
+  }
   if (warm.entries.empty()) return;  // nothing worth persisting
   if (util::Status s = SaveWarmState(config_.warm_state_path, warm); s.ok()) {
     snapshots_written_.fetch_add(1, std::memory_order_relaxed);
@@ -301,6 +415,95 @@ void ServingDaemon::MaybeSnapshot(bool force) {
     std::fprintf(stderr, "qpe_served: warm snapshot failed: %s\n",
                  s.ToString().c_str());
   }
+}
+
+void ServingDaemon::MaybeStartAdaptation() {
+  // IO-thread only (like everything that touches adapt_thread_ after
+  // Start), so the check-then-spawn below has no race.
+  if (sentinel_ == nullptr || config_.adaptation.dir.empty()) return;
+  if (adapt_running_.load(std::memory_order_acquire)) return;
+  if (sentinel_->state() != drift::DriftState::kDrifted) return;
+  StartAdaptationThread(/*resumed=*/false);
+}
+
+void ServingDaemon::StartAdaptationThread(bool resumed) {
+  adapt_running_.store(true, std::memory_order_release);
+  if (adapt_thread_.joinable()) adapt_thread_.join();  // reap the last round
+  adapt_thread_ = std::thread([this, resumed] { AdaptationRound(resumed); });
+}
+
+void ServingDaemon::AdaptationRound(bool resumed) {
+  // Fresh rounds take the DRIFTED -> ADAPTING edge; a resumed round was
+  // forced into ADAPTING by Start() already.
+  if (!resumed && !sentinel_->BeginAdaptation()) {
+    adapt_running_.store(false, std::memory_order_release);
+    return;
+  }
+  std::fprintf(stderr, "qpe_served: adaptation started%s\n",
+               resumed ? " (resumed from checkpoint)" : "");
+  const std::vector<std::string> slice = sentinel_->SliceSnapshot();
+  drift::AdaptationConfig adapt_config = config_.adaptation;
+  adapt_config.abort = &adapt_abort_;
+  const encoder::TransformerPlanEncoder* base = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> model_lock(model_mu_);
+    base = dynamic_cast<const encoder::TransformerPlanEncoder*>(encoder_);
+  }
+  // RunAdaptation only *reads* the base encoder (it trains a clone), so
+  // serving continues on it concurrently without the model lock.
+  util::StatusOr<drift::AdaptationResult> result =
+      drift::RunAdaptation(*base, slice, adapt_config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "qpe_served: adaptation failed: %s\n",
+                 result.status().ToString().c_str());
+    sentinel_->AbortAdaptation();  // back to DRIFTED; retry-eligible
+    adapt_running_.store(false, std::memory_order_release);
+    return;
+  }
+  if (result->aborted) {
+    // Drain interrupted the round: manifest + checkpoint persist, the next
+    // start resumes. The state stays ADAPTING until then.
+    std::fprintf(stderr,
+                 "qpe_served: adaptation interrupted by drain; will resume\n");
+    adapt_running_.store(false, std::memory_order_release);
+    return;
+  }
+  InstallAdaptedEncoder(std::move(result->encoder),
+                        std::move(result->slice_plans));
+  adaptations_completed_.fetch_add(1, std::memory_order_relaxed);
+  adapt_running_.store(false, std::memory_order_release);
+}
+
+void ServingDaemon::InstallAdaptedEncoder(
+    std::unique_ptr<encoder::TransformerPlanEncoder> fresh,
+    std::vector<std::unique_ptr<plan::PlanNode>> slice_plans) {
+  // The drifted slice joins the baseline corpus: after the swap the adapted
+  // distribution *is* normal, and the rebuilt baseline must say so.
+  for (auto& p : slice_plans) corpus_plans_.push_back(std::move(p));
+  std::vector<const plan::PlanNode*> ptrs;
+  ptrs.reserve(corpus_plans_.size());
+  for (const auto& p : corpus_plans_) ptrs.push_back(p.get());
+  drift::DriftBaseline baseline =
+      drift::BuildDriftBaseline(*fresh, ptrs, config_.drift_baseline);
+  const uint64_t fingerprint = ModelFingerprint(*fresh);
+  std::unique_ptr<encoder::TransformerPlanEncoder> retired;
+  {
+    // The swap: encoder pointer, embedding cache (cleared transactionally
+    // by SwapEncoder), and fingerprint change as one unit under the
+    // exclusive lock. Encodes and snapshots see the old triple or the new
+    // one, never a mix.
+    std::unique_lock<std::shared_mutex> model_lock(model_mu_);
+    retired = std::move(adapted_encoder_);
+    adapted_encoder_ = std::move(fresh);
+    encoder_ = adapted_encoder_.get();
+    service_->SwapEncoder(encoder_);
+    config_.model_fingerprint = fingerprint;
+  }
+  sentinel_->CompleteAdaptation(std::move(baseline));
+  std::fprintf(stderr,
+               "qpe_served: adaptation complete: fingerprint %" PRIu64
+               " now serving\n",
+               fingerprint);
 }
 
 void ServingDaemon::IoLoop() {
@@ -327,6 +530,10 @@ void ServingDaemon::IoLoop() {
 
     // 1. Shutdown signal (SIGTERM/SIGINT via self-pipe, or TriggerDrain).
     if (drain_pipe_.Drain() && !draining_.load()) {
+      // An in-flight adaptation stops at its next batch boundary WITHOUT
+      // checkpointing (SIGKILL-equivalent); its manifest survives, so the
+      // next start resumes the round.
+      adapt_abort_.store(true, std::memory_order_release);
       draining_.store(true, std::memory_order_release);
       admission_->SetDraining();  // new work -> UNAVAILABLE; queues flush
       listener_.Reset();          // stop accepting
@@ -423,8 +630,11 @@ void ServingDaemon::IoLoop() {
     }
     for (const int fd : dead) close_conn(fd);
 
-    // 4. Periodic warm snapshot.
-    if (!draining_.load()) MaybeSnapshot(/*force=*/false);
+    // 4. Periodic warm snapshot + drift-triggered adaptation.
+    if (!draining_.load()) {
+      MaybeSnapshot(/*force=*/false);
+      MaybeStartAdaptation();
+    }
 
     // 5. Drain state machine.
     if (draining_.load()) {
@@ -466,6 +676,25 @@ DaemonStats ServingDaemon::GetStats() const {
   stats.snapshots_written = snapshots_written_.load();
   stats.service = service_->GetStats();
   stats.tenants = admission_->CountersSnapshot();
+  {
+    std::shared_lock<std::shared_mutex> model_lock(model_mu_);
+    stats.current_fingerprint = config_.model_fingerprint;
+  }
+  stats.drift_enabled = sentinel_ != nullptr;
+  if (sentinel_ != nullptr) {
+    stats.drift = sentinel_->Snapshot();
+    stats.adaptations_completed =
+        adaptations_completed_.load(std::memory_order_relaxed);
+    stats.adaptations_resumed =
+        adaptations_resumed_.load(std::memory_order_relaxed);
+    const uint64_t observed = drift_observed_.load(std::memory_order_relaxed);
+    if (observed > 0) {
+      stats.drift_observe_us_per_plan =
+          static_cast<double>(drift_observe_ns_.load(
+              std::memory_order_relaxed)) *
+          1e-3 / static_cast<double>(observed);
+    }
+  }
   return stats;
 }
 
@@ -482,7 +711,52 @@ std::string ServingDaemon::StatsJson() const {
      << "  \"warm_restored_entries\": " << stats.warm_restored_entries
      << ",\n"
      << "  \"snapshots_written\": " << stats.snapshots_written << ",\n"
-     << "  \"model_fingerprint\": " << config_.model_fingerprint << ",\n"
+     << "  \"model_fingerprint\": " << stats.current_fingerprint << ",\n";
+  os << "  \"drift\": {\n"
+     << "    \"enabled\": " << (stats.drift_enabled ? "true" : "false");
+  if (stats.drift_enabled) {
+    const drift::DriftStatusSnapshot& d = stats.drift;
+    os << ",\n"
+       << "    \"state\": \"" << drift::DriftStateName(d.state) << "\",\n"
+       << "    \"stale\": "
+       << (d.state == drift::DriftState::kDrifted ||
+                   d.state == drift::DriftState::kAdapting
+               ? "true"
+               : "false")
+       << ",\n"
+       << "    \"score\": " << d.last_score << ",\n"
+       << "    \"windows\": " << d.windows << ",\n"
+       << "    \"alarms\": " << d.alarms << ",\n"
+       << "    \"observed_plans\": " << d.observed_plans << ",\n"
+       << "    \"slice_size\": " << d.slice_size << ",\n"
+       << "    \"adaptations_completed\": " << stats.adaptations_completed
+       << ",\n"
+       << "    \"adaptations_resumed\": " << stats.adaptations_resumed << ",\n"
+       << "    \"observe_us_per_plan\": " << stats.drift_observe_us_per_plan;
+    if (d.has_report) {
+      const drift::DriftWindowReport& r = d.last_report;
+      os << ",\n    \"last_window\": {"
+         << "\"plans\": " << r.plans << ", \"novel_rate\": " << r.novel_rate
+         << ", \"novel_score\": " << r.novel_score
+         << ", \"token_score\": " << r.token_score
+         << ", \"cluster_score\": " << r.cluster_score
+         << ", \"outlier_rate\": " << r.outlier_rate
+         << ", \"score\": " << r.score << ", \"dominant\": \""
+         << drift::DriftComponentName(r.dominant) << "\", \"top_tokens\": [";
+      for (size_t i = 0; i < r.top_tokens.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "{\"name\": \"" << r.top_tokens[i].name
+           << "\", \"delta\": " << r.top_tokens[i].delta << "}";
+      }
+      os << "], \"top_clusters\": [";
+      for (size_t i = 0; i < r.top_clusters.size(); ++i) {
+        os << (i == 0 ? "" : ", ")
+           << "{\"cluster\": " << r.top_clusters[i].cluster
+           << ", \"delta\": " << r.top_clusters[i].delta << "}";
+      }
+      os << "]}";
+    }
+  }
+  os << "\n  },\n"
      << "  \"service\": {\n"
      << "    \"requests\": " << stats.service.requests << ",\n"
      << "    \"plans\": " << stats.service.plans << ",\n"

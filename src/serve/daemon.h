@@ -7,11 +7,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "drift/adaptation.h"
+#include "drift/sentinel.h"
 #include "serve/admission.h"
 #include "serve/embedding_service.h"
 #include "serve/tenant.h"
@@ -83,6 +86,22 @@ struct ServingDaemonConfig {
   // Fingerprint of the serving model (serve/warm_state.h). Stamped into
   // snapshots and required of restored ones; 0 skips the check.
   uint64_t model_fingerprint = 0;
+
+  // --- Drift sentinel & self-healing (optional) ---------------------------
+  // Enables the streaming drift sentinel. Requires drift_corpus (serialized
+  // training plans) so Start() can build the baseline — embedding-space
+  // centroids, token frequencies, fingerprint bloom — against the serving
+  // encoder, and requires that encoder to be a TransformerPlanEncoder.
+  bool enable_drift = false;
+  std::vector<std::string> drift_corpus;
+  drift::DriftBaselineConfig drift_baseline;
+  drift::DriftSentinelConfig drift_sentinel;
+  // Self-healing: the crash-safe adaptation round's state directory lives in
+  // adaptation.dir; "" keeps the sentinel alarm-only (detect + flag stale
+  // responses, never fine-tune). When set, a DRIFTED verdict starts an
+  // incremental fine-tune on the drifted slice in a background thread, and
+  // Start() resumes (or installs) a round the previous process left behind.
+  drift::AdaptationConfig adaptation;
 };
 
 // Daemon-level counters (connection/protocol health; admission and cache
@@ -97,6 +116,16 @@ struct DaemonStats {
   uint64_t snapshots_written = 0;
   ServiceStats service;
   std::vector<std::pair<std::string, TenantCounters>> tenants;
+  // Drift sentinel state (drift fields valid iff drift_enabled).
+  bool drift_enabled = false;
+  drift::DriftStatusSnapshot drift;
+  uint64_t adaptations_completed = 0;
+  uint64_t adaptations_resumed = 0;
+  // Fingerprint of the model serving right now (tracks adaptation swaps,
+  // unlike the construction-time config value).
+  uint64_t current_fingerprint = 0;
+  // Mean sentinel Observe cost per served plan — the detector's overhead.
+  double drift_observe_us_per_plan = 0;
 };
 
 class ServingDaemon {
@@ -139,7 +168,8 @@ class ServingDaemon {
   void IoLoop();
   void WorkerLoop();
   void HandleFrame(const ConnPtr& conn, Frame frame);
-  void HandleEncodeRequest(const ConnPtr& conn, std::string payload);
+  void HandleEncodeRequest(const ConnPtr& conn, std::string payload,
+                           uint8_t wire_version);
   void ProcessWork(QueuedRequest work);
   void SendFrame(const ConnPtr& conn, FrameType type,
                  std::string_view payload);
@@ -147,6 +177,15 @@ class ServingDaemon {
                  std::string message);
   void MaybeSnapshot(bool force);
   double Now() const;  // monotonic seconds since Start
+
+  // Drift plumbing (all no-ops unless config_.enable_drift).
+  util::Status InitDrift();             // Start(): baseline + restart re-entry
+  void MaybeStartAdaptation();          // IO thread: DRIFTED -> spawn round
+  void StartAdaptationThread(bool resumed);
+  void AdaptationRound(bool resumed);   // adaptation thread body
+  void InstallAdaptedEncoder(
+      std::unique_ptr<encoder::TransformerPlanEncoder> fresh,
+      std::vector<std::unique_ptr<plan::PlanNode>> slice_plans);
 
   const encoder::PlanSequenceEncoder* encoder_;
   ServingDaemonConfig config_;
@@ -163,6 +202,23 @@ class ServingDaemon {
   std::chrono::steady_clock::time_point start_time_;
 
   std::mutex join_mu_;  // serializes Join callers
+
+  // Guards the serving-model triple — encoder_ (and the service's copy of
+  // it), the embedding cache, and config_.model_fingerprint — as one unit.
+  // EncodeAll + sentinel observation and warm snapshots take it shared; an
+  // adaptation swap takes it exclusive, so a snapshot can never pair the
+  // old fingerprint with the refreshed cache (or vice versa).
+  mutable std::shared_mutex model_mu_;
+  std::unique_ptr<encoder::TransformerPlanEncoder> adapted_encoder_;
+  std::unique_ptr<drift::DriftSentinel> sentinel_;
+  std::vector<std::unique_ptr<plan::PlanNode>> corpus_plans_;
+  std::thread adapt_thread_;
+  std::atomic<bool> adapt_running_{false};
+  std::atomic<bool> adapt_abort_{false};
+  std::atomic<uint64_t> adaptations_completed_{0};
+  std::atomic<uint64_t> adaptations_resumed_{0};
+  std::atomic<uint64_t> drift_observe_ns_{0};
+  std::atomic<uint64_t> drift_observed_{0};
 
   // Counters (relaxed: monitoring only).
   std::atomic<uint64_t> connections_accepted_{0};

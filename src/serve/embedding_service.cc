@@ -103,6 +103,11 @@ nn::Tensor EmbeddingService::EncodeOne(const plan::PlanNode& plan) {
   return EncodeAll(std::span<const plan::PlanNode* const>(&ptr, 1))[0];
 }
 
+void EmbeddingService::SwapEncoder(const encoder::PlanSequenceEncoder* encoder) {
+  encoder_ = encoder;
+  if (cache_enabled_) cache_.Clear();
+}
+
 ServiceStats EmbeddingService::GetStats() const {
   ServiceStats stats;
   {

@@ -78,6 +78,13 @@ class EmbeddingService {
 
   nn::Tensor EncodeOne(const plan::PlanNode& plan);
 
+  // Swaps the serving encoder and clears the cache in one step, so no
+  // cached embedding from the old model can ever be returned as if the new
+  // one produced it. NOT internally synchronized against EncodeAll/
+  // EncodeOne: the caller must exclude concurrent encodes for the duration
+  // of the call (the daemon holds its model lock exclusively here).
+  void SwapEncoder(const encoder::PlanSequenceEncoder* encoder);
+
   ServiceStats GetStats() const;
   void ResetStats();
 

@@ -91,11 +91,12 @@ const char* WireErrorName(WireError code) {
   return "UNKNOWN";
 }
 
-std::string EncodeFrame(FrameType type, std::string_view payload) {
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        uint8_t version) {
   std::string out;
   out.reserve(kFrameHeaderSize + payload.size());
   PutU32(&out, kWireMagic);
-  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(type));
   PutU16(&out, 0);  // reserved
   PutU32(&out, static_cast<uint32_t>(payload.size()));
@@ -131,7 +132,7 @@ FrameParse NextFrame(std::string_view buf, size_t max_payload, Frame* out,
     *error = util::DataLossError("bad frame magic");
     return FrameParse::kError;
   }
-  if (version != kWireVersion) {
+  if (version < kWireVersionMin || version > kWireVersion) {
     *error = util::DataLossError("unsupported frame version " +
                                  std::to_string(version));
     return FrameParse::kError;
@@ -153,6 +154,7 @@ FrameParse NextFrame(std::string_view buf, size_t max_payload, Frame* out,
   }
   if (buf.size() < kFrameHeaderSize + payload_size) return FrameParse::kNeedMore;
   out->type = static_cast<FrameType>(type);
+  out->version = version;
   out->payload.assign(buf.data() + kFrameHeaderSize, payload_size);
   *consumed = kFrameHeaderSize + payload_size;
   return FrameParse::kFrame;
@@ -228,13 +230,20 @@ util::StatusOr<EncodeRequest> ParseEncodeRequestPayload(
   return request;
 }
 
-std::string EncodeEncodeResponsePayload(const EncodeResponse& response) {
+std::string EncodeEncodeResponsePayload(const EncodeResponse& response,
+                                        uint8_t version) {
   std::string out;
   PutU32(&out, static_cast<uint32_t>(response.embeddings.size()));
   PutU32(&out, response.dim);
   for (const std::vector<float>& row : response.embeddings) {
     out.append(reinterpret_cast<const char*>(row.data()),
                row.size() * sizeof(float));
+  }
+  if (version >= 2) {
+    out.push_back(static_cast<char>(response.stale ? 1 : 0));
+    out.push_back(static_cast<char>(response.drift_state));
+    out.append(reinterpret_cast<const char*>(&response.drift_score),
+               sizeof(response.drift_score));
   }
   return out;
 }
@@ -263,7 +272,25 @@ util::StatusOr<EncodeResponse> ParseEncodeResponsePayload(
         !s.ok())
       return s;
   }
-  if (cursor.remaining() != 0) return TrailingBytes(cursor, "encode response");
+  // Version auto-detect: a v1 payload ends exactly at the rows; a v2
+  // payload carries the 6-byte drift trailer. Any other remainder is a
+  // malformed frame.
+  if (cursor.remaining() == 0) return response;
+  constexpr size_t kDriftTrailerSize = 1 + 1 + sizeof(float);
+  if (cursor.remaining() != kDriftTrailerSize) {
+    return TrailingBytes(cursor, "encode response");
+  }
+  uint8_t stale = 0;
+  if (util::Status s = cursor.Bytes(&stale, 1, "stale flag"); !s.ok()) return s;
+  response.stale = stale != 0;
+  if (util::Status s = cursor.Bytes(&response.drift_state, 1, "drift state");
+      !s.ok())
+    return s;
+  if (util::Status s = cursor.Bytes(&response.drift_score,
+                                    sizeof(response.drift_score),
+                                    "drift score");
+      !s.ok())
+    return s;
   return response;
 }
 

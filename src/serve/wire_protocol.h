@@ -32,6 +32,13 @@ namespace qpe::serve {
 // kNoDeadline disables it, 0 is already expired on arrival.
 //
 // ENCODE response payload: count u32 | dim u32 | count*dim f32 rows.
+// In protocol version 2 the response grows an optional drift trailer:
+//   ... rows | stale u8 | drift_state u8 | drift_score f32
+// The trailer is version-negotiated per connection: the daemon replies in
+// the version of the request frame, so a v1 client never sees the trailer
+// and keeps parsing unchanged. The parser auto-detects by the exact
+// remaining length after the rows (0 bytes → v1 defaults, 6 bytes → v2
+// trailer, anything else → typed error).
 // STATS  response payload: a JSON object (see ServingDaemon::StatsJson).
 // ERROR  response payload:
 //   code u16 (WireError) | retry_after_ms u32 | msg_len u32 | msg bytes
@@ -39,7 +46,11 @@ namespace qpe::serve {
 // that will never be admitted (e.g. a zero-quota tenant).
 
 inline constexpr uint32_t kWireMagic = 0x31455051;  // "QPE1" little-endian
-inline constexpr uint8_t kWireVersion = 1;
+// Current protocol version. The daemon accepts every version in
+// [kWireVersionMin, kWireVersion] and answers each request in the version
+// the request frame carried.
+inline constexpr uint8_t kWireVersion = 2;
+inline constexpr uint8_t kWireVersionMin = 1;
 inline constexpr size_t kFrameHeaderSize = 12;
 inline constexpr uint32_t kNoDeadline = 0xFFFFFFFFu;
 inline constexpr uint32_t kRetryNever = 0xFFFFFFFFu;
@@ -71,11 +82,15 @@ const char* WireErrorName(WireError code);
 
 struct Frame {
   FrameType type = FrameType::kPingRequest;
+  uint8_t version = kWireVersion;  // as carried on the wire
   std::string payload;
 };
 
-// Serializes a complete frame (header + payload).
-std::string EncodeFrame(FrameType type, std::string_view payload);
+// Serializes a complete frame (header + payload). `version` is stamped
+// into the header; responders pass the version negotiated from the
+// request frame so old clients keep parsing.
+std::string EncodeFrame(FrameType type, std::string_view payload,
+                        uint8_t version = kWireVersion);
 
 // Incremental frame extraction from a receive buffer. Returns:
 //   kNeedMore — `buf` holds a prefix of a valid frame; read more bytes.
@@ -111,9 +126,19 @@ util::StatusOr<EncodeRequestHead> PeekEncodeRequestHead(
 struct EncodeResponse {
   uint32_t dim = 0;
   std::vector<std::vector<float>> embeddings;  // count rows of dim floats
+  // v2 drift trailer. `stale` means the daemon's drift monitor has declared
+  // the serving model stale for the live workload (state DRIFTED or
+  // ADAPTING); drift_state is the raw drift::DriftState value and
+  // drift_score the last fused window score. v1 responses leave defaults.
+  bool stale = false;
+  uint8_t drift_state = 0;
+  float drift_score = 0.0f;
 };
 
-std::string EncodeEncodeResponsePayload(const EncodeResponse& response);
+// `version` selects the payload layout: v1 omits the drift trailer so old
+// clients parse the response unchanged; v2 appends it.
+std::string EncodeEncodeResponsePayload(const EncodeResponse& response,
+                                        uint8_t version = kWireVersion);
 util::StatusOr<EncodeResponse> ParseEncodeResponsePayload(
     std::string_view payload);
 

@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -640,6 +641,63 @@ TEST(CacheStatsTest, SnapshotIsConsistentUnderConcurrentWrites) {
   EXPECT_EQ(final_stats.misses, 20000u);
 }
 
+TEST(CacheStatsTest, SnapshotIsWellFormedUnderConcurrentInserts) {
+  // The daemon's snapshot thread walks the cache while encode workers keep
+  // inserting (a warm snapshot racing live traffic). Every snapshot taken
+  // mid-stream must be internally consistent: no torn rows (every
+  // embedding keeps its full width and its key's marker value), no
+  // duplicate keys, and never more entries than the capacity bound. Run
+  // under TSan this also proves Snapshot holds the shard locks it claims.
+  serve::EmbeddingCacheConfig config;
+  config.capacity = 64;
+  config.shards = 4;
+  serve::EmbeddingCache cache(config);
+  constexpr uint32_t kDim = 8;
+
+  std::atomic<bool> done{false};
+  std::thread writer([&cache, &done] {
+    for (uint64_t i = 0; i < 20000; ++i) {
+      std::vector<float> row(kDim, static_cast<float>(i));
+      cache.Insert(i, std::move(row));
+    }
+    done.store(true);
+  });
+  bool malformed = false;
+  int snapshots = 0;
+  while (!done.load() && !malformed) {
+    const auto snapshot = cache.Snapshot();
+    ++snapshots;
+    if (snapshot.size() > config.capacity) malformed = true;
+    std::vector<uint64_t> keys;
+    for (const auto& [key, row] : snapshot) {
+      keys.push_back(key);
+      if (row.size() != kDim) {
+        malformed = true;
+        break;
+      }
+      for (float v : row) {
+        if (v != static_cast<float>(key)) {  // torn row: mixed writes
+          malformed = true;
+          break;
+        }
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+      malformed = true;
+    }
+  }
+  writer.join();
+  EXPECT_FALSE(malformed) << "Snapshot observed a torn or duplicated entry";
+  EXPECT_GT(snapshots, 0);
+  // The final snapshot replays into an identical cache.
+  const auto final_snapshot = cache.Snapshot();
+  EXPECT_EQ(final_snapshot.size(), config.capacity);
+  serve::EmbeddingCache replica(config);
+  replica.Restore(cache.Snapshot());
+  EXPECT_EQ(replica.GetStats().entries, config.capacity);
+}
+
 // --- Warm state ------------------------------------------------------------
 
 serve::WarmState MakeWarmState(uint64_t fingerprint, uint32_t dim,
@@ -1019,6 +1077,96 @@ TEST_F(DaemonTest, DrainPersistsWarmStateAndRestartServesFromCache) {
     ASSERT_TRUE(daemon.Start().ok());
     EXPECT_EQ(daemon.GetStats().warm_restored_entries, 0u);
     daemon.Stop();
+  }
+  std::remove(config.warm_state_path.c_str());
+}
+
+// Every way a warm snapshot can be damaged on disk — truncation, a flipped
+// payload byte (CRC mismatch), a header version from the future, a model
+// fingerprint from a different build — must leave the restarted daemon
+// indistinguishable from a cold start: Start() succeeds, not one snapshot
+// entry reaches the cache, and the first request is served by encoding.
+// This is the daemon-level counterpart of the WarmStateTest load tests:
+// those prove LoadWarmState rejects the file, this proves the daemon
+// survives the rejection.
+TEST_F(DaemonTest, CorruptWarmStateVariantsAllStartColdAndStillServe) {
+  ServingDaemonConfig config = BaseConfig("warmmatrix");
+  config.warm_state_path = testing::TempDir() + "daemon_warm_matrix_" +
+                           std::to_string(::getpid());
+  std::remove(config.warm_state_path.c_str());
+  const std::vector<std::string> plans = SamplePlanTexts(5, 61);
+
+  // Produce a pristine snapshot the honest way: serve, then drain.
+  {
+    ServingDaemon daemon(&encoder_, config);
+    ASSERT_TRUE(daemon.Start().ok());
+    auto client = DaemonClient::Connect(config.socket_path);
+    ASSERT_TRUE(client.ok());
+    EncodeRequest request;
+    request.tenant = "default";
+    request.plans = plans;
+    ASSERT_TRUE(client->Encode(request).ok());
+    daemon.Stop();
+  }
+  std::string pristine;
+  {
+    std::ifstream is(config.warm_state_path, std::ios::binary);
+    ASSERT_TRUE(is.good());
+    std::ostringstream os;
+    os << is.rdbuf();
+    pristine = os.str();
+  }
+  // header: magic u32 | version u32 | payload_size u64 | crc u32 = 20 bytes
+  ASSERT_GT(pristine.size(), 20u);
+
+  struct Variant {
+    const char* name;
+    std::string bytes;            // file contents to plant
+    uint64_t fingerprint_xor;     // perturbs the serving model's fingerprint
+  };
+  std::string truncated = pristine.substr(0, pristine.size() / 2);
+  std::string flipped = pristine;
+  flipped[flipped.size() - 1] ^= 0x01;  // payload byte: CRC must catch it
+  std::string version_skew = pristine;
+  version_skew[4] ^= 0x40;  // version u32 at offset 4: a future format
+  const Variant variants[] = {
+      {"truncated", truncated, 0},
+      {"flipped_payload_byte", flipped, 0},
+      {"version_skew", version_skew, 0},
+      {"fingerprint_mismatch", pristine, 0xDEADBEEFu},
+  };
+
+  for (const Variant& variant : variants) {
+    SCOPED_TRACE(variant.name);
+    {
+      std::ofstream os(config.warm_state_path,
+                       std::ios::binary | std::ios::trunc);
+      os.write(variant.bytes.data(),
+               static_cast<std::streamsize>(variant.bytes.size()));
+      ASSERT_TRUE(os.good());
+    }
+    ServingDaemonConfig damaged = config;
+    damaged.model_fingerprint = config.model_fingerprint ^
+                                variant.fingerprint_xor;
+    ServingDaemon daemon(&encoder_, damaged);
+    ASSERT_TRUE(daemon.Start().ok());
+    // Zero cache mutation: the rejected snapshot contributed nothing.
+    EXPECT_EQ(daemon.GetStats().warm_restored_entries, 0u);
+    EXPECT_EQ(daemon.GetStats().service.cache.entries, 0u);
+
+    auto client = DaemonClient::Connect(config.socket_path);
+    ASSERT_TRUE(client.ok());
+    EncodeRequest request;
+    request.tenant = "default";
+    request.plans = plans;
+    const auto response = client->Encode(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->embeddings.size(), plans.size());
+    daemon.Stop();
+    const auto stats = daemon.GetStats();
+    EXPECT_EQ(stats.service.cache.hits, 0u);          // nothing was warm
+    EXPECT_EQ(stats.service.cache.misses, plans.size());
+    EXPECT_EQ(stats.service.encoded_plans, plans.size());
   }
   std::remove(config.warm_state_path.c_str());
 }
