@@ -13,6 +13,7 @@
 
 #include "config/db_config.h"
 #include "data/datasets.h"
+#include "nn/packed_forward.h"
 #include "nn/quant.h"
 #include "nn/simd.h"
 #include "data/features.h"
@@ -408,6 +409,85 @@ void BM_AttentionPackedSimd(benchmark::State& state) {
 BENCHMARK(BM_AttentionPackedScalar)->Arg(32);
 BENCHMARK(BM_AttentionPackedSimd)->Arg(32);
 
+// Head-blocked attention at the same shape, including the per-layer K/V
+// repack the engine pays — the pair against BM_AttentionPacked measures
+// what head blocking buys end to end. Arg: sequence length.
+void AttentionBlockedKernel(benchmark::State& state,
+                            const qpe::nn::simd::Kernels& kern) {
+  const int len = static_cast<int>(state.range(0));
+  const int num_seqs = 16, num_heads = 4, dim = 48;
+  std::vector<int> offsets(num_seqs), lengths(num_seqs, len);
+  for (int s = 0; s < num_seqs; ++s) offsets[s] = s * len;
+  const int total = num_seqs * len;
+  const std::vector<float> q = RandomBuffer(static_cast<size_t>(total) * dim, 37);
+  const std::vector<float> k = RandomBuffer(static_cast<size_t>(total) * dim, 38);
+  const std::vector<float> v = RandomBuffer(static_cast<size_t>(total) * dim, 39);
+  std::vector<float> kbt(k.size()), vb(v.size());
+  std::vector<float> probs(static_cast<size_t>(len) * len);
+  std::vector<float> out(q.size());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dim / num_heads));
+  for (auto _ : state) {
+    qpe::nn::RepackHeadsKT(k.data(), total, dim, num_heads, kbt.data());
+    qpe::nn::RepackHeadsVB(v.data(), total, dim, num_heads, vb.data());
+    kern.attention_forward_blocked(q.data(), kbt.data(), vb.data(),
+                                   out.data(), offsets.data(), lengths.data(),
+                                   num_seqs, num_heads, total, dim, scale,
+                                   probs.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * num_seqs * 2LL * len * len *
+                          dim * 2);
+  state.SetLabel(kern.name);
+}
+void BM_AttentionBlockedScalar(benchmark::State& state) {
+  AttentionBlockedKernel(state, ScalarKernels());
+}
+void BM_AttentionBlockedSimd(benchmark::State& state) {
+  AttentionBlockedKernel(state, BestKernels());
+}
+BENCHMARK(BM_AttentionBlockedScalar)->Arg(32);
+BENCHMARK(BM_AttentionBlockedSimd)->Arg(32);
+
+// Fused embedding gather + positional add at the model dims (24+12+12),
+// the packed pipeline's batch-assembly kernel. Arg: packed rows.
+void EmbedGatherKernel(benchmark::State& state,
+                       const qpe::nn::simd::Kernels& kern) {
+  const int rows = static_cast<int>(state.range(0));
+  const int d1 = 24, d2 = 12, d3 = 12;
+  const int d = d1 + d2 + d3;
+  const int vocab = 64, max_len = 256;
+  const std::vector<float> e1 = RandomBuffer(static_cast<size_t>(vocab) * d1, 51);
+  const std::vector<float> e2 = RandomBuffer(static_cast<size_t>(vocab) * d2, 52);
+  const std::vector<float> e3 = RandomBuffer(static_cast<size_t>(vocab) * d3, 53);
+  const std::vector<float> pos =
+      RandomBuffer(static_cast<size_t>(max_len) * d, 54);
+  qpe::util::Rng rng(55);
+  std::vector<int> ids1(rows), ids2(rows), ids3(rows), positions(rows);
+  for (int r = 0; r < rows; ++r) {
+    ids1[r] = rng.UniformInt(0, vocab - 1);
+    ids2[r] = rng.UniformInt(0, vocab - 1);
+    ids3[r] = rng.UniformInt(0, vocab - 1);
+    positions[r] = rng.UniformInt(0, max_len - 1);
+  }
+  std::vector<float> out(static_cast<size_t>(rows) * d);
+  for (auto _ : state) {
+    kern.embed_gather_add(e1.data(), e2.data(), e3.data(), pos.data(),
+                          ids1.data(), ids2.data(), ids3.data(),
+                          positions.data(), out.data(), rows, d1, d2, d3);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * d);
+  state.SetLabel(kern.name);
+}
+void BM_EmbedGatherScalar(benchmark::State& state) {
+  EmbedGatherKernel(state, ScalarKernels());
+}
+void BM_EmbedGatherSimd(benchmark::State& state) {
+  EmbedGatherKernel(state, BestKernels());
+}
+BENCHMARK(BM_EmbedGatherScalar)->Arg(512);
+BENCHMARK(BM_EmbedGatherSimd)->Arg(512);
+
 // Int8 GEMM (quantized serving engine) vs the fp32 forward kernel at the
 // same shape — the quantization win on top of vectorization. Uses the
 // dispatched (best) table for both rows. Args: {m, k, n}.
@@ -438,6 +518,44 @@ void BM_Int8Gemm(benchmark::State& state) {
   state.SetLabel(kern.name);
 }
 BENCHMARK(BM_Int8Gemm)->Args({256, 48, 48})->Args({256, 256, 256});
+
+// Int8 GEMM over pre-packed weight tiles (the serving layout after
+// Quantize() repacks). Packing happens once outside the loop, exactly as
+// in QuantizedLinear; the pair against BM_Int8Gemm isolates the tile
+// layout's win. Args: {m, k, n}.
+void BM_Int8GemmPacked(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const qpe::nn::simd::Kernels& kern = BestKernels();
+  qpe::util::Rng rng(40);
+  const int k_pad = qpe::nn::simd::Int8PackedKPad(k);
+  std::vector<int8_t> a(static_cast<size_t>(m) * k_pad, 0);
+  std::vector<int8_t> b(static_cast<size_t>(n) * k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      a[static_cast<size_t>(i) * k_pad + j] =
+          static_cast<int8_t>(rng.UniformInt(-127, 127));
+    }
+  }
+  for (int8_t& x : b) {
+    x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  }
+  std::vector<int16_t> packed(qpe::nn::simd::Int8PackedSize(k, n));
+  qpe::nn::simd::PackInt8WeightTiles(b.data(), k, n, packed.data());
+  const std::vector<float> a_scale(m, 0.01f);
+  const std::vector<float> b_scale(n, 0.02f);
+  const std::vector<float> bias = RandomBuffer(n, 41);
+  std::vector<float> c(static_cast<size_t>(m) * n);
+  for (auto _ : state) {
+    kern.int8_gemm_packed(a.data(), packed.data(), c.data(), m, k, n,
+                          a_scale.data(), b_scale.data(), bias.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * k * n);
+  state.SetLabel(kern.name);
+}
+BENCHMARK(BM_Int8GemmPacked)->Args({256, 48, 48})->Args({256, 256, 256});
 
 // --- Training steps ---------------------------------------------------------
 

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -61,8 +62,13 @@ double CpuSeconds() {
 }
 
 constexpr int kBatchSize = 16;
-constexpr int kEncodeReps = 5;     // best-of repetitions (after 1 warmup)
-constexpr int kReplayPasses = 20;  // template replays for the cache bench
+
+// Best-of repetitions and replay passes. QPE_BENCH_SMOKE=1 shrinks the
+// whole workload to a single quick pass — enough to smoke-test the
+// harness (scripts/profile_serving.sh runs under it in run_all.sh), never
+// to be recorded as a baseline.
+int g_encode_reps = 5;     // best-of repetitions (after 1 warmup)
+int g_replay_passes = 20;  // template replays for the cache bench
 
 // Daemon load generator: closed-loop clients per tenant, fixed wall-clock
 // window. Latency here is wall time by necessity (it includes queueing and
@@ -71,7 +77,7 @@ constexpr int kReplayPasses = 20;  // template replays for the cache bench
 // threshold than the CPU-time throughput metrics.
 constexpr int kDaemonClientsPerTenant = 2;
 constexpr int kDaemonPlansPerRequest = 8;
-constexpr double kDaemonWindowSeconds = 1.2;
+double g_daemon_window_seconds = 1.2;
 
 struct LoadResult {
   std::vector<double> latencies_ms;
@@ -91,6 +97,11 @@ double PercentileMs(std::vector<double>* sorted_ms, double q) {
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  if (std::getenv("QPE_BENCH_SMOKE") != nullptr) {
+    g_encode_reps = 1;
+    g_replay_passes = 2;
+    g_daemon_window_seconds = 0.2;
+  }
   qpe::util::SetMaxThreads(1);
 
   // The paper-default structure encoder over the TPC-H template catalog:
@@ -120,7 +131,7 @@ int main(int argc, char** argv) {
 
   // --- 1. Per-plan encode (the pre-batching baseline) -----------------------
   double per_plan_secs = 1e30;
-  for (int rep = 0; rep <= kEncodeReps; ++rep) {
+  for (int rep = 0; rep <= g_encode_reps; ++rep) {
     const double start = CpuSeconds();
     for (const auto* p : ptrs) {
       qpe::nn::Tensor e = encoder.Encode(*p, nullptr);
@@ -134,7 +145,7 @@ int main(int argc, char** argv) {
 
   // --- 2a. Raw EncodeBatch, no dedup (pure batching/kernel win) -------------
   double raw_batched_secs = 1e30;
-  for (int rep = 0; rep <= kEncodeReps; ++rep) {
+  for (int rep = 0; rep <= g_encode_reps; ++rep) {
     const double start = CpuSeconds();
     for (int begin = 0; begin < n; begin += kBatchSize) {
       const int count = std::min(kBatchSize, n - begin);
@@ -162,7 +173,7 @@ int main(int argc, char** argv) {
   uncached_config.enable_cache = false;
   qpe::serve::EmbeddingService uncached(&encoder, uncached_config);
   double batched_secs = 1e30;
-  for (int rep = 0; rep <= kEncodeReps; ++rep) {
+  for (int rep = 0; rep <= g_encode_reps; ++rep) {
     const double start = CpuSeconds();
     (void)uncached.EncodeAll(ptrs);
     if (rep > 0) batched_secs = std::min(batched_secs, CpuSeconds() - start);
@@ -186,7 +197,7 @@ int main(int argc, char** argv) {
   qpe::serve::EmbeddingService quantized_service(quantized.get(),
                                                  uncached_config);
   double quantized_secs = 1e30;
-  for (int rep = 0; rep <= kEncodeReps; ++rep) {
+  for (int rep = 0; rep <= g_encode_reps; ++rep) {
     const double start = CpuSeconds();
     (void)quantized_service.EncodeAll(ptrs);
     if (rep > 0) {
@@ -205,14 +216,14 @@ int main(int argc, char** argv) {
   std::vector<const qpe::plan::PlanNode*> templates(
       ptrs.begin(), ptrs.begin() + tpch.NumTemplates());
   const double replay_start = CpuSeconds();
-  for (int pass = 0; pass < kReplayPasses; ++pass) {
+  for (int pass = 0; pass < g_replay_passes; ++pass) {
     (void)service.EncodeAll(templates);
   }
   const double replay_secs = CpuSeconds() - replay_start;
   const qpe::serve::ServiceStats stats = service.GetStats();
   const double hit_rate = stats.cache.HitRate();
   const double cached_rate =
-      kReplayPasses * templates.size() / replay_secs;
+      g_replay_passes * templates.size() / replay_secs;
 
   // --- 4. Daemon serving: closed-loop load over the Unix socket -------------
   // The full qpe_served path — wire protocol, admission control, WFQ, a
@@ -243,7 +254,7 @@ int main(int argc, char** argv) {
     }
     const auto window_end =
         std::chrono::steady_clock::now() +
-        std::chrono::duration<double>(kDaemonWindowSeconds);
+        std::chrono::duration<double>(g_daemon_window_seconds);
     const char* tenants[] = {"alpha", "beta"};
     LoadResult per_tenant[2];
     std::mutex result_mu;
@@ -306,7 +317,7 @@ int main(int argc, char** argv) {
     daemon_p99 = PercentileMs(&all_ms, 0.99);
     daemon_p999 = PercentileMs(&all_ms, 0.999);
     daemon_rate = static_cast<double>(daemon_requests) *
-                  kDaemonPlansPerRequest / kDaemonWindowSeconds;
+                  kDaemonPlansPerRequest / g_daemon_window_seconds;
     daemon_shed_fraction =
         daemon_requests + total_shed == 0
             ? 0
@@ -410,7 +421,7 @@ int main(int argc, char** argv) {
       << "  \"batch_size\": " << kBatchSize << ",\n"
       << "  \"num_plans\": " << n << ",\n"
       << "  \"unique_plans\": " << unique_plans << ",\n"
-      << "  \"replay_passes\": " << kReplayPasses << ",\n"
+      << "  \"replay_passes\": " << g_replay_passes << ",\n"
       << "  \"per_plan_plans_per_sec\": " << per_plan_rate << ",\n"
       << "  \"raw_batched_plans_per_sec\": " << raw_batched_rate << ",\n"
       << "  \"raw_batch_speedup\": " << raw_batch_speedup << ",\n"

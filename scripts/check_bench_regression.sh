@@ -14,6 +14,12 @@
 #     drift_overhead_pct is an absolute gate: the drift sentinel's
 #     per-request observation cost must stay under 5% of the daemon's
 #     p99 request latency, whatever the baseline recorded.
+#     Two absolute speedup floors guard the packed pipeline's reason to
+#     exist: raw_batch_speedup (raw batched vs per-plan encode) must stay
+#     >= 1.0 and quantized_speedup (int8 vs fp32 batched) must stay
+#     >= 1.0 — both regressed silently below break-even once before the
+#     floors existed, because the relative gate only compares against
+#     whatever the baseline recorded.
 #   - BENCH_micro.json: a cpu_time increase of more than 25% on the
 #     training-step benchmarks (BM_TrainStepPpsr, BM_TrainStepPerfEncoder)
 #     or on the dispatched SIMD kernel benchmarks (BM_MatMulForwardSimd,
@@ -60,8 +66,9 @@ trap 'rm -f "${FRESH_SERVING}" "${FRESH_MICRO}"' EXIT
 "./${BUILD_DIR}/bench/bench_serving" "${FRESH_SERVING}"
 echo
 "./${BUILD_DIR}/bench/bench_micro" \
-  --benchmark_filter='BM_TrainStep|BM_MatMulForwardSimd|BM_LayerNormSimd|BM_SoftmaxMaskedSimd|BM_AttentionPackedSimd|BM_Int8Gemm' \
+  --benchmark_filter='BM_TrainStep|BM_MatMulForwardSimd|BM_LayerNormSimd|BM_SoftmaxMaskedSimd|BM_AttentionPackedSimd|BM_AttentionBlockedSimd|BM_EmbedGatherSimd|BM_Int8Gemm' \
   --benchmark_min_time=0.2 \
+  --benchmark_repetitions=3 \
   --benchmark_out="${FRESH_MICRO}" \
   --benchmark_out_format=json
 
@@ -89,8 +96,23 @@ MICRO_PREFIXES = (
     "BM_LayerNormSimd",
     "BM_SoftmaxMaskedSimd",
     "BM_AttentionPackedSimd",
+    "BM_AttentionBlockedSimd",
+    "BM_EmbedGatherSimd",
     "BM_Int8Gemm",
 )
+# Absolute floors on the fresh run, independent of the baseline: the
+# packed batch path must beat per-plan encode by a real margin, and the
+# int8 path must at least tie the fp32 batched path. A fresh run below a
+# floor fails even if the committed baseline was already below it. The
+# values bake in this container's ±8-10% run-to-run noise: raw batching
+# records ~1.45x (floor 1.2 still fails any structural regression), and
+# int8 records ~1.06x — a genuine regression (e.g. losing the packed
+# int16 tiles) measures ~0.75x, safely below the 0.95 floor, while noise
+# around a true ~1.05x stays above it.
+SERVING_SPEEDUP_FLOORS = {
+    "raw_batch_speedup": 1.2,
+    "quantized_speedup": 0.95,
+}
 
 with open(sys.argv[1]) as f:
     serving_base = json.load(f)
@@ -167,6 +189,19 @@ for metric in SERVING_LATENCY_METRICS:
         failed = True
     print(f"{metric:<34} {base:>12.3f} {now:>12.3f} {ratio:>6.2f}x{flag}")
 
+for metric, floor in SERVING_SPEEDUP_FLOORS.items():
+    now = serving_fresh.get(metric)
+    if now is None:
+        print(f"{metric:<34} missing from fresh run")
+        failed = True
+        continue
+    flag = ""
+    if now < floor:
+        flag = "  REGRESSION"
+        failed = True
+    print(f"{metric + f' (abs floor {floor:g})':<34} {'—':>12} "
+          f"{now:>12.3f} {'':>7}{flag}")
+
 # Absolute gate, not relative: the sentinel's observe cost must be noise
 # next to a request's p99 regardless of what the baseline machine recorded.
 DRIFT_OVERHEAD_LIMIT_PCT = 5.0
@@ -184,11 +219,18 @@ else:
 
 
 def micro_times(report):
+    # Minimum cpu_time across repetitions: single shots of the
+    # microsecond-scale kernel benches swing 30%+ on shared hosts, so the
+    # gate compares best-of-N on both sides (baselines recorded before
+    # repetitions existed degrade to best-of-1 and still compare).
     times = {}
     for bench in report.get("benchmarks", []):
         name = bench.get("name", "")
         if name.startswith(MICRO_PREFIXES) and bench.get("run_type") != "aggregate":
-            times[name] = (bench["cpu_time"], bench.get("time_unit", "ns"))
+            t = bench["cpu_time"]
+            unit = bench.get("time_unit", "ns")
+            if name not in times or t < times[name][0]:
+                times[name] = (t, unit)
     return times
 
 
@@ -217,6 +259,6 @@ if failed:
     sys.exit(1)
 print(f"\nOK: serving within {SERVING_THRESHOLD:.0%}, daemon p99 within "
       f"{1 + LATENCY_THRESHOLD:.1f}x, drift overhead under "
-      f"{DRIFT_OVERHEAD_LIMIT_PCT:.0f}%, micro cpu_time within "
-      f"{MICRO_THRESHOLD:.0%} of baseline")
+      f"{DRIFT_OVERHEAD_LIMIT_PCT:.0f}%, speedup floors held, micro "
+      f"cpu_time within {MICRO_THRESHOLD:.0%} of baseline")
 PY

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# One-command serving profile: builds bench_serving in a dedicated
+# Release+gprof tree (build-profile), runs it once, and prints the top-10
+# flat-profile rows. This is the decomposition tool behind the packed
+# pipeline work — it answers "where do serving cycles actually go"
+# (gather/pack, attention, GEMM, quantize) without guessing from
+# throughput deltas.
+#
+# gprof instead of perf: the container images this runs in have binutils
+# (gprof) but no perf_event access. -pg instrumentation perturbs the
+# absolute numbers a little, so read the *shares*, not the ns — the
+# regression gate owns absolute numbers.
+#
+# Usage: scripts/profile_serving.sh [top_n]
+#   QPE_PROFILE_SMOKE=1  cap the serving workload (QPE_BENCH_SMOKE) so the
+#                        script doubles as a CI smoke test of the
+#                        profiling toolchain itself.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOP_N="${1:-10}"
+BUILD_DIR="${QPE_PROFILE_BUILD_DIR:-build-profile}"
+
+if ! command -v gprof >/dev/null 2>&1; then
+  echo "ERROR: gprof not found on PATH (install binutils)"
+  exit 1
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS=-pg -DCMAKE_EXE_LINKER_FLAGS=-pg >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_serving -j"$(nproc)"
+
+# gmon.out lands in the working directory; keep it (and the JSON the
+# benchmark insists on writing) out of the repo root.
+PROFILE_DIR="$(mktemp -d /tmp/qpe_profile.XXXXXX)"
+trap 'rm -rf "${PROFILE_DIR}"' EXIT
+
+BENCH="$(pwd)/${BUILD_DIR}/bench/bench_serving"
+(
+  cd "${PROFILE_DIR}"
+  if [[ "${QPE_PROFILE_SMOKE:-0}" != "0" ]]; then
+    export QPE_BENCH_SMOKE=1
+  fi
+  "${BENCH}" profile_serving.json >/dev/null
+)
+
+if [[ ! -f "${PROFILE_DIR}/gmon.out" ]]; then
+  echo "ERROR: bench_serving produced no gmon.out (built without -pg?)"
+  exit 1
+fi
+
+echo
+echo "== top ${TOP_N} functions by flat self-time (gprof, bench_serving) =="
+# -b: skip the explanatory boilerplate; -p: flat profile only. The first
+# 5 lines of -b -p output are the table header.
+gprof -b -p "${BENCH}" "${PROFILE_DIR}/gmon.out" | head -n "$((TOP_N + 5))"

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "nn/arena.h"
+#include "nn/packed_forward.h"
 #include "nn/simd.h"
 #include "plan/linearize.h"
 
@@ -78,28 +80,43 @@ QuantizedPlanEncoder::QuantizedPlanEncoder(
         {get("projection.weight"), get("projection.bias")});
   }
 
+  // The owned weight vectors are final now: build the model view the
+  // packed engine consumes. The pointers stay valid for the encoder's
+  // lifetime.
+  view_.model_dim = model_dim_;
+  view_.ff_dim = config_.ff_dim;
+  view_.num_heads = config_.num_heads;
+  view_.num_layers = config_.num_layers;
+  view_.level1_dim = config_.level1_dim;
+  view_.level2_dim = config_.level2_dim;
+  view_.level3_dim = config_.level3_dim;
+  view_.output_dim = has_projection_ ? config_.output_dim : model_dim_;
+  view_.has_projection = has_projection_;
+  view_.embed1 = embed1_.data();
+  view_.embed2 = embed2_.data();
+  view_.embed3 = embed3_.data();
+  view_.positional = positional_.data();
+  view_.layers.reserve(layers_.size());
+  for (const LayerParams& lp : layers_) {
+    view_.layers.push_back({lp.norm1_gamma.data(), lp.norm1_beta.data(),
+                            lp.norm2_gamma.data(), lp.norm2_beta.data()});
+  }
+
   // Calibration pass: replay the packed forward with the fp32 weights,
   // recording every site's input absmax. The fp32 GEMM below goes through
   // the same simd matmul kernel the autograd path uses, so the observed
   // ranges are exactly the ranges the fp32 encoder produces.
   std::vector<nn::QuantCalibrator> calibrators(fp32_sites.size());
-  TokenIds packed;
-  std::vector<int> lengths;
-  PackBatch(calibration, &packed, &lengths);
-  const nn::BatchLayout layout = nn::BatchLayout::FromLengths(lengths);
+  nn::PackedBatch& ws = nn::PackedBatch::ThreadLocal();
+  PackPlansColumns(calibration, config_.max_len, &ws);
   auto fp32_linear = [&](int site, const float* x, int m, int in, int out,
-                         float* y) {
+                         float* y, bool relu) {
     calibrators[site].Observe(x, static_cast<size_t>(m) * in);
-    std::fill(y, y + static_cast<size_t>(m) * out, 0.0f);
-    nn::simd::K().matmul_forward_range(x, fp32_sites[site].weight.value().data(),
-                                       y, 0, m, in, out);
-    const float* bias = fp32_sites[site].bias.value().data();
-    for (int i = 0; i < m; ++i) {
-      float* row = y + static_cast<size_t>(i) * out;
-      for (int j = 0; j < out; ++j) row[j] += bias[j];
-    }
+    nn::simd::K().linear_bias_act(x, fp32_sites[site].weight.value().data(),
+                                  fp32_sites[site].bias.value().data(), y, m,
+                                  in, out, relu ? 1 : 0);
   };
-  (void)ForwardPacked(packed, layout, fp32_linear);
+  (void)nn::PackedEncodeForward(view_, ws, fp32_linear);
 
   sites_.reserve(fp32_sites.size());
   for (size_t s = 0; s < fp32_sites.size(); ++s) {
@@ -121,130 +138,57 @@ std::vector<float> QuantizedPlanEncoder::input_scales() const {
   return scales;
 }
 
-void QuantizedPlanEncoder::PackBatch(
-    std::span<const plan::PlanNode* const> plans, TokenIds* packed,
-    std::vector<int>* lengths) const {
-  lengths->reserve(plans.size());
-  for (const plan::PlanNode* p : plans) {
-    std::vector<plan::OperatorType> tokens = plan::LinearizeDfsBracket(*p);
-    if (static_cast<int>(tokens.size()) > config_.max_len) {
-      tokens.resize(config_.max_len);
-    }
-    const TokenIds ids = TokensToIds(tokens);
-    packed->level1.insert(packed->level1.end(), ids.level1.begin(),
-                          ids.level1.end());
-    packed->level2.insert(packed->level2.end(), ids.level2.begin(),
-                          ids.level2.end());
-    packed->level3.insert(packed->level3.end(), ids.level3.begin(),
-                          ids.level3.end());
-    lengths->push_back(static_cast<int>(tokens.size()));
-  }
-}
-
-template <typename LinearFn>
-std::vector<float> QuantizedPlanEncoder::ForwardPacked(
-    const TokenIds& ids, const nn::BatchLayout& layout,
-    LinearFn&& linear) const {
-  const int rows = layout.total_rows;
-  const int d = model_dim_;
-  const int f = config_.ff_dim;
-  const int d1 = config_.level1_dim;
-  const int d2 = config_.level2_dim;
-  const int d3 = config_.level3_dim;
-  const float invd = 1.0f / static_cast<float>(d);
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-  const nn::simd::Kernels& kern = nn::simd::K();
-
-  // Token embeddings (three-table concat) plus positional rows.
-  std::vector<float> h(static_cast<size_t>(rows) * d);
-  for (int t = 0; t < rows; ++t) {
-    float* row = h.data() + static_cast<size_t>(t) * d;
-    const float* e1 =
-        embed1_.data() + static_cast<size_t>(ids.level1[t]) * d1;
-    const float* e2 =
-        embed2_.data() + static_cast<size_t>(ids.level2[t]) * d2;
-    const float* e3 =
-        embed3_.data() + static_cast<size_t>(ids.level3[t]) * d3;
-    const float* pos =
-        positional_.data() + static_cast<size_t>(layout.positions[t]) * d;
-    std::copy(e1, e1 + d1, row);
-    std::copy(e2, e2 + d2, row + d1);
-    std::copy(e3, e3 + d3, row + d1 + d2);
-    for (int c = 0; c < d; ++c) row[c] += pos[c];
-  }
-
-  std::vector<float> normed(static_cast<size_t>(rows) * d);
-  std::vector<float> q(static_cast<size_t>(rows) * d);
-  std::vector<float> k(static_cast<size_t>(rows) * d);
-  std::vector<float> v(static_cast<size_t>(rows) * d);
-  std::vector<float> ctx(static_cast<size_t>(rows) * d);
-  std::vector<float> ff(static_cast<size_t>(rows) * f);
-  for (int li = 0; li < config_.num_layers; ++li) {
-    const LayerParams& lp = layers_[li];
-    const int base = li * kSitesPerLayer;
-    // Pre-norm attention block with residual.
-    kern.layer_norm_rows(h.data(), lp.norm1_gamma.data(),
-                         lp.norm1_beta.data(), normed.data(), rows, d, invd);
-    linear(base + 0, normed.data(), rows, d, d, q.data());
-    linear(base + 1, normed.data(), rows, d, d, k.data());
-    linear(base + 2, normed.data(), rows, d, d, v.data());
-    kern.attention_forward_packed(q.data(), k.data(), v.data(), ctx.data(),
-                                  layout.offsets.data(),
-                                  layout.lengths.data(), layout.size(),
-                                  config_.num_heads, d, scale);
-    linear(base + 3, ctx.data(), rows, d, d, normed.data());
-    for (size_t i = 0; i < h.size(); ++i) h[i] += normed[i];
-    // Pre-norm feed-forward block (ReLU; the trained encoder's default and
-    // only activation) with residual.
-    kern.layer_norm_rows(h.data(), lp.norm2_gamma.data(),
-                         lp.norm2_beta.data(), normed.data(), rows, d, invd);
-    linear(base + 4, normed.data(), rows, d, f, ff.data());
-    for (size_t i = 0; i < ff.size(); ++i) {
-      if (ff[i] < 0) ff[i] = 0.0f;
-    }
-    linear(base + 5, ff.data(), rows, f, d, normed.data());
-    for (size_t i = 0; i < h.size(); ++i) h[i] += normed[i];
-  }
-
-  // CLS pooling, then the optional output projection on the [B, d] matrix.
-  const int num_seqs = layout.size();
-  std::vector<float> cls(static_cast<size_t>(num_seqs) * d);
-  for (int s = 0; s < num_seqs; ++s) {
-    const float* src = h.data() + static_cast<size_t>(layout.offsets[s]) * d;
-    std::copy(src, src + d, cls.data() + static_cast<size_t>(s) * d);
-  }
-  if (!has_projection_) return cls;
-  const int od = config_.output_dim;
-  std::vector<float> projected(static_cast<size_t>(num_seqs) * od);
-  linear(config_.num_layers * kSitesPerLayer, cls.data(), num_seqs, d, od,
-         projected.data());
-  return projected;
-}
-
 std::vector<nn::Tensor> QuantizedPlanEncoder::EncodeBatch(
     std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
   (void)dropout_rng;  // inference-only engine: no dropout, ever
   if (plans.empty()) return {};
-  TokenIds packed;
-  std::vector<int> lengths;
-  PackBatch(plans, &packed, &lengths);
-  const nn::BatchLayout layout = nn::BatchLayout::FromLengths(lengths);
-  std::vector<int8_t> qx_scratch;
-  std::vector<float> row_scale_scratch;
+  nn::PackedBatch& ws = nn::PackedBatch::ThreadLocal();
+  PackPlansColumns(plans, config_.max_len, &ws);
+  // The engine calls wq, wk, wv back to back on the same normed buffer,
+  // and the three sites calibrated on identical inputs, so their static
+  // scales agree — wk/wv can then reuse wq's quantized activations
+  // bit-identically instead of re-quantizing. The guard is conservative:
+  // consecutive site ids (so an intervening call can never have rewritten
+  // the buffer), same pointer/shape, and exactly equal scales.
+  int last_site = -1;
+  const float* last_x = nullptr;
+  int last_m = 0, last_in = 0;
   auto int8_linear = [&](int site, const float* x, int m, int in, int out,
-                         float* y) {
+                         float* y, bool relu) {
     assert(sites_[site].in_features() == in &&
            sites_[site].out_features() == out);
-    (void)in;
-    (void)out;
-    sites_[site].Forward(x, m, y, &qx_scratch, &row_scale_scratch);
+    const bool reuse_qx =
+        site == last_site + 1 && (site % 6 == 1 || site % 6 == 2) &&
+        x == last_x && m == last_m && in == last_in &&
+        sites_[site].input_scale() == sites_[last_site].input_scale();
+    if (reuse_qx) {
+      sites_[site].ForwardPrequantized(m, y, ws.qx, &ws.row_scale);
+    } else {
+      sites_[site].Forward(x, m, y, &ws.qx, &ws.row_scale);
+    }
+    last_site = site;
+    last_x = x;
+    last_m = m;
+    last_in = in;
+    if (relu) {
+      // The engine delegates ff1's activation to the callback. bias_relu
+      // with a zero bias is the op chain's exact `> 0` clamp: adding +0.0f
+      // maps -0 to +0 and the clamp does the same, so every element comes
+      // out bit-identical to the plain scalar sweep — vectorized.
+      static thread_local std::vector<float> zeros;
+      if (zeros.size() < static_cast<size_t>(out)) zeros.resize(out, 0.0f);
+      nn::simd::K().bias_relu(y, zeros.data(), y, m, out);
+    }
   };
-  const std::vector<float> cls = ForwardPacked(packed, layout, int8_linear);
+  const float* cls = nn::PackedEncodeForward(view_, ws, int8_linear);
+  // Result tensors escape to the caller: construct them outside any active
+  // arena so steady-state serving batches create zero arena traffic.
+  nn::ArenaScope noarena(nullptr);
   const int od = output_dim();
   std::vector<nn::Tensor> out;
   out.reserve(plans.size());
-  for (int i = 0; i < layout.size(); ++i) {
-    const float* row = cls.data() + static_cast<size_t>(i) * od;
+  for (int i = 0; i < ws.layout.size(); ++i) {
+    const float* row = cls + static_cast<size_t>(i) * od;
     out.push_back(nn::Tensor::FromVector(
         1, od, std::vector<float>(row, row + od)));
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "encoder/structure_encoder.h"
+#include "nn/packed_batch.h"
 #include "nn/quant.h"
 #include "nn/transformer.h"
 
@@ -59,20 +60,6 @@ class QuantizedPlanEncoder : public PlanSequenceEncoder {
     std::vector<float> norm2_gamma, norm2_beta;
   };
 
-  // Packs plans exactly like TransformerPlanEncoder::EncodeBatch
-  // (linearize, truncate to max_len, three id streams).
-  void PackBatch(std::span<const plan::PlanNode* const> plans,
-                 TokenIds* packed, std::vector<int>* lengths) const;
-
-  // Shared forward skeleton: `linear(site, x, rows, in, out, y)` runs the
-  // GEMM of the given site. Used with fp32 weights + calibrator taps during
-  // construction and with QuantizedLinear at serve time. Returns the CLS
-  // matrix [num_seqs, output_dim].
-  template <typename LinearFn>
-  std::vector<float> ForwardPacked(const TokenIds& ids,
-                                   const nn::BatchLayout& layout,
-                                   LinearFn&& linear) const;
-
   StructureEncoderConfig config_;
   int model_dim_ = 0;
   int head_dim_ = 0;
@@ -81,6 +68,10 @@ class QuantizedPlanEncoder : public PlanSequenceEncoder {
   std::vector<LayerParams> layers_;
   std::vector<nn::QuantizedLinear> sites_;  // layer-major, then projection
   bool has_projection_ = false;
+  // Model view over the owned weight vectors above, consumed by the shared
+  // packed engine (nn::PackedEncodeForward). The vectors never move after
+  // construction, so the pointers are built once and stay valid.
+  nn::PackedModelView view_;
 };
 
 }  // namespace qpe::encoder

@@ -1,10 +1,16 @@
 #include "encoder/structure_encoder.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <string>
+#include <unordered_map>
 
+#include "nn/arena.h"
 #include "nn/optimizer.h"
+#include "nn/packed_forward.h"
 #include "nn/parallel.h"
+#include "nn/simd.h"
 
 namespace qpe::encoder {
 
@@ -70,6 +76,30 @@ nn::Tensor FeaturesToTensor(const std::vector<double>& features) {
 
 }  // namespace
 
+void PackPlansColumns(std::span<const plan::PlanNode* const> plans,
+                      int max_len, nn::PackedBatch* ws) {
+  const Taxonomy& tax = Taxonomy::Get();
+  const int c1 = tax.Level1Count(), u1 = tax.unknown1();
+  const int c2 = tax.Level2Count(), u2 = tax.unknown2();
+  const int c3 = tax.Level3Count(), u3 = tax.unknown3();
+  // One linearization scratch per thread, reused across plans and batches.
+  thread_local std::vector<plan::OperatorType> tokens;
+  ws->BeginBatch();
+  for (const plan::PlanNode* p : plans) {
+    plan::LinearizeDfsBracketInto(*p, &tokens);
+    const int len = std::min(static_cast<int>(tokens.size()), max_len);
+    for (int t = 0; t < len; ++t) {
+      const plan::OperatorType& tok = tokens[t];
+      ws->ids1.push_back(ClampId(tok.level1, c1, u1));
+      ws->ids2.push_back(ClampId(tok.level2, c2, u2));
+      ws->ids3.push_back(ClampId(tok.level3, c3, u3));
+    }
+    ws->lengths.push_back(len);
+  }
+  ws->BuildLayout();
+  ws->FinishPack();
+}
+
 // --- PlanSequenceEncoder ---
 
 std::vector<nn::Tensor> PlanSequenceEncoder::EncodeBatch(
@@ -105,6 +135,44 @@ TransformerPlanEncoder::TransformerPlanEncoder(
         "projection",
         std::make_unique<nn::Linear>(config.ModelDim(), config.output_dim, rng));
   }
+
+  // Resolve the packed engine's parameter handles once, through the same
+  // dotted names the checkpoint format uses. Tensor handles stay valid
+  // across LoadCheckpoint (which replaces value buffers, not tensors), so
+  // this never needs re-running — only the raw pointers are re-read per
+  // call.
+  std::unordered_map<std::string, nn::Tensor> params;
+  for (auto& [name, tensor] : NamedParameters()) params.emplace(name, tensor);
+  auto get = [&](const std::string& name) -> nn::Tensor {
+    auto it = params.find(name);
+    assert(it != params.end() && "missing parameter for packed refs");
+    return it->second;
+  };
+  packed_refs_.embed1 = get("embed1.table");
+  packed_refs_.embed2 = get("embed2.table");
+  packed_refs_.embed3 = get("embed3.table");
+  packed_refs_.positional = get("transformer.positional");
+  static constexpr const char* kSiteNames[] = {
+      "attention.wq", "attention.wk", "attention.wv",
+      "attention.wo", "ff1",          "ff2",
+  };
+  for (int i = 0; i < config.num_layers; ++i) {
+    const std::string prefix = "transformer.layer" + std::to_string(i) + ".";
+    PackedRefs::Layer layer;
+    layer.norm1_gamma = get(prefix + "norm1.gamma");
+    layer.norm1_beta = get(prefix + "norm1.beta");
+    layer.norm2_gamma = get(prefix + "norm2.gamma");
+    layer.norm2_beta = get(prefix + "norm2.beta");
+    packed_refs_.layers.push_back(std::move(layer));
+    for (const char* site : kSiteNames) {
+      packed_refs_.sites.push_back(
+          {get(prefix + site + ".weight"), get(prefix + site + ".bias")});
+    }
+  }
+  if (projection_ != nullptr) {
+    packed_refs_.sites.push_back(
+        {get("projection.weight"), get("projection.bias")});
+  }
 }
 
 int TransformerPlanEncoder::output_dim() const {
@@ -136,6 +204,67 @@ nn::Tensor TransformerPlanEncoder::Encode(const plan::PlanNode& root,
   return EncodeTokens(plan::LinearizeDfsBracket(root), dropout_rng);
 }
 
+std::vector<nn::Tensor> TransformerPlanEncoder::EncodeBatchPacked(
+    std::span<const plan::PlanNode* const> plans) const {
+  nn::PackedBatch& ws = nn::PackedBatch::ThreadLocal();
+  PackPlansColumns(plans, config_.max_len, &ws);
+
+  // Refresh the model view's raw pointers from the parameter handles (the
+  // buffers move on checkpoint load). The view lives in the thread-local
+  // workspace so concurrent encoder threads never write a shared view.
+  nn::PackedModelView& mv = ws.view;
+  mv.model_dim = config_.ModelDim();
+  mv.ff_dim = config_.ff_dim;
+  mv.num_heads = config_.num_heads;
+  mv.num_layers = config_.num_layers;
+  mv.level1_dim = config_.level1_dim;
+  mv.level2_dim = config_.level2_dim;
+  mv.level3_dim = config_.level3_dim;
+  mv.output_dim = output_dim();
+  mv.has_projection = projection_ != nullptr;
+  mv.embed1 = packed_refs_.embed1.value().data();
+  mv.embed2 = packed_refs_.embed2.value().data();
+  mv.embed3 = packed_refs_.embed3.value().data();
+  mv.positional = packed_refs_.positional.value().data();
+  if (mv.layers.size() != packed_refs_.layers.size()) {
+    mv.layers.resize(packed_refs_.layers.size());
+  }
+  for (size_t i = 0; i < packed_refs_.layers.size(); ++i) {
+    const PackedRefs::Layer& src = packed_refs_.layers[i];
+    mv.layers[i] = {src.norm1_gamma.value().data(),
+                    src.norm1_beta.value().data(),
+                    src.norm2_gamma.value().data(),
+                    src.norm2_beta.value().data()};
+  }
+
+  // fp32 GEMM: the fused linear kernel reproduces the op chain's
+  // fill + blocked matmul + bias add (+ ReLU clamp) value stream per
+  // output element, so the packed result is bit-identical to it — without
+  // the zero-fill and bias passes over the output buffer.
+  auto fp32_linear = [&](int site, const float* x, int m, int in, int out,
+                         float* y, bool relu) {
+    const PackedRefs::Site& s = packed_refs_.sites[site];
+    nn::simd::K().linear_bias_act(x, s.weight.value().data(),
+                                  s.bias.value().data(), y, m, in, out,
+                                  relu ? 1 : 0);
+  };
+  const float* result = nn::PackedEncodeForward(mv, ws, fp32_linear);
+
+  // Result tensors are plain heap tensors, constructed outside any arena:
+  // they escape this call, and routing them through the serving arena
+  // would turn every micro-batch into arena misses.
+  nn::ArenaScope noarena(nullptr);
+  const int od = mv.output_dim;
+  std::vector<nn::Tensor> out;
+  out.reserve(plans.size());
+  for (int i = 0; i < ws.layout.size(); ++i) {
+    const float* row = result + static_cast<size_t>(i) * od;
+    out.push_back(
+        nn::Tensor::FromVector(1, od, std::vector<float>(row, row + od)));
+  }
+  return out;
+}
+
 std::vector<nn::Tensor> TransformerPlanEncoder::EncodeBatch(
     std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
   if (plans.empty()) return {};
@@ -143,6 +272,12 @@ std::vector<nn::Tensor> TransformerPlanEncoder::EncodeBatch(
     // Dropout draws are defined per sequence; the packed path cannot
     // reproduce them, so training-mode batches take the per-plan loop.
     return PlanSequenceEncoder::EncodeBatch(plans, dropout_rng);
+  }
+  if (!nn::GradEnabled() && nn::PackedEnvEnabled()) {
+    // Inference batches under NoGradGuard take the columnar packed engine;
+    // the op-chain path below remains for graph-recording callers and as
+    // the QPE_PACKED=0 reference.
+    return EncodeBatchPacked(plans);
   }
   // Linearize and pack every plan's (truncated) token sequence into one
   // ragged batch.

@@ -7,6 +7,7 @@
 
 #include "nn/checkpoint.h"
 #include "nn/module.h"
+#include "nn/packed_batch.h"
 #include "nn/tensor.h"
 #include "nn/transformer.h"
 #include "plan/linearize.h"
@@ -30,6 +31,15 @@ TokenIds TokensToIds(const std::vector<plan::OperatorType>& tokens);
 // size/depth), the input of the FNN baseline and the sparse autoencoder.
 int BagOfTokensDim();
 std::vector<double> BagOfTokens(const plan::PlanNode& root);
+
+// Columnar batch assembly for the packed pipeline: linearizes every plan
+// (DFS-bracket, truncated to max_len), clamps the three sub-type ids, and
+// appends them straight into the workspace's id columns, then builds the
+// ragged layout in place. Equivalent to LinearizeDfsBracket + TokensToIds
+// + BatchLayout::FromLengths per plan, but reuses the workspace's capacity
+// so steady-state packing performs no heap allocation.
+void PackPlansColumns(std::span<const plan::PlanNode* const> plans,
+                      int max_len, nn::PackedBatch* ws);
 
 // Common interface of all plan structure encoders: plan in, S(p) out.
 class PlanSequenceEncoder : public nn::Module {
@@ -105,12 +115,38 @@ class TransformerPlanEncoder : public PlanSequenceEncoder {
       std::span<const plan::PlanNode* const> calibration) const;
 
  private:
+  // Stable Tensor handles to every parameter the packed engine touches,
+  // resolved once from the dotted parameter names. Checkpoint loads
+  // replace a tensor's value *buffer* but not its identity, so the handles
+  // survive LoadCheckpoint; EncodeBatchPacked re-reads the raw data
+  // pointers from them on every call.
+  struct PackedRefs {
+    nn::Tensor embed1, embed2, embed3, positional;
+    struct Layer {
+      nn::Tensor norm1_gamma, norm1_beta, norm2_gamma, norm2_beta;
+    };
+    std::vector<Layer> layers;
+    struct Site {
+      nn::Tensor weight, bias;
+    };
+    std::vector<Site> sites;  // layer-major wq,wk,wv,wo,ff1,ff2; projection
+  };
+
+  // The columnar fast path of EncodeBatch: packs into the thread-local
+  // nn::PackedBatch and runs the graph-free packed engine with fp32 GEMMs.
+  // Bit-identical to the op-chain path at every SIMD level. Engaged only
+  // under an active NoGradGuard (it records no graph) when QPE_PACKED
+  // allows.
+  std::vector<nn::Tensor> EncodeBatchPacked(
+      std::span<const plan::PlanNode* const> plans) const;
+
   StructureEncoderConfig config_;
   nn::Embedding* embed1_;
   nn::Embedding* embed2_;
   nn::Embedding* embed3_;
   nn::TransformerEncoder* transformer_;
   nn::Linear* projection_ = nullptr;  // only when output_dim != model dim
+  PackedRefs packed_refs_;
 };
 
 // LSTM baseline over the same linearization (LSTM-PPSR in §6.1).

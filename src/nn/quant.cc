@@ -2,17 +2,32 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "nn/simd.h"
 
 namespace qpe::nn {
 
+namespace {
+
+// Packed-tile int8 GEMM knob, re-read per call so tests can A/B the two
+// layouts in-process with setenv. Default on; QPE_INT8_PACKED=0 falls back
+// to the channel-contiguous int8_gemm layout.
+bool Int8PackedEnabled() {
+  const char* s = std::getenv("QPE_INT8_PACKED");
+  return s == nullptr || std::strcmp(s, "0") != 0;
+}
+
+}  // namespace
+
 int8_t QuantizeValue(float x, float inv_scale) {
-  // std::nearbyint under the default rounding mode would be
-  // round-to-nearest-even; round() (ties away from zero) matches the
-  // reference quantizers of the usual int8 toolchains and is equally
-  // deterministic.
-  const float scaled = std::round(x * inv_scale);
+  // Round to nearest, ties away from zero — matches the reference
+  // quantizers of the usual int8 toolchains. Spelled trunc(t +
+  // copysign(0.5, t)) instead of std::round so every step is a plain IEEE
+  // op the vector quantize_buffer lanes can reproduce bit for bit.
+  const float t = x * inv_scale;
+  const float scaled = std::trunc(t + std::copysign(0.5f, t));
   if (scaled >= 127.0f) return 127;
   if (scaled <= -127.0f) return -127;
   return static_cast<int8_t>(scaled);
@@ -20,7 +35,7 @@ int8_t QuantizeValue(float x, float inv_scale) {
 
 void QuantizeBuffer(const float* x, size_t n, float scale, int8_t* out) {
   const float inv = 1.0f / scale;
-  for (size_t i = 0; i < n; ++i) out[i] = QuantizeValue(x[i], inv);
+  simd::K().quantize_buffer(x, static_cast<int>(n), inv, out);
 }
 
 void QuantCalibrator::Observe(const float* x, size_t n) {
@@ -66,6 +81,12 @@ QuantizedLinear QuantizedLinear::FromLinear(const Tensor& weight,
       channel[p] = QuantizeValue(w[static_cast<size_t>(p) * out + j], inv);
     }
   }
+  // Pre-pack the weight tiles once here so the serve path never touches
+  // the channel-contiguous layout when the packed GEMM is enabled.
+  q.k_pad_ = simd::Int8PackedKPad(in);
+  q.packed_tiles_.resize(simd::Int8PackedSize(in, out));
+  simd::PackInt8WeightTiles(q.weight_.data(), in, out,
+                            q.packed_tiles_.data());
   return q;
 }
 
@@ -73,14 +94,52 @@ void QuantizedLinear::Forward(const float* x, int m, float* y,
                               std::vector<int8_t>* qx_scratch,
                               std::vector<float>* row_scale_scratch) const {
   assert(in_ > 0 && out_ > 0);
-  qx_scratch->resize(static_cast<size_t>(m) * in_);
-  QuantizeBuffer(x, static_cast<size_t>(m) * in_, input_scale_,
-                 qx_scratch->data());
+  const float inv = 1.0f / input_scale_;
   // Static per-tensor activation scale: every row shares input_scale_.
   row_scale_scratch->assign(static_cast<size_t>(m), input_scale_);
-  simd::K().int8_gemm(qx_scratch->data(), weight_.data(), y, m, in_, out_,
-                      row_scale_scratch->data(), weight_scale_.data(),
-                      bias_.data());
+  const auto& kern = simd::K();
+  if (Int8PackedEnabled()) {
+    // Packed path: activations quantized into [m, k_pad] rows with zeroed
+    // k tails (the padding contributes exact zeros to the integer dots).
+    qx_scratch->resize(static_cast<size_t>(m) * k_pad_);
+    if (in_ == k_pad_) {
+      kern.quantize_buffer(x, m * in_, inv, qx_scratch->data());
+    } else {
+      for (int i = 0; i < m; ++i) {
+        int8_t* row = qx_scratch->data() + static_cast<size_t>(i) * k_pad_;
+        kern.quantize_buffer(x + static_cast<size_t>(i) * in_, in_, inv, row);
+        std::memset(row + in_, 0, static_cast<size_t>(k_pad_ - in_));
+      }
+    }
+    kern.int8_gemm_packed(qx_scratch->data(), packed_tiles_.data(), y, m, in_,
+                          out_, row_scale_scratch->data(),
+                          weight_scale_.data(), bias_.data());
+    return;
+  }
+  qx_scratch->resize(static_cast<size_t>(m) * in_);
+  kern.quantize_buffer(x, m * in_, inv, qx_scratch->data());
+  kern.int8_gemm(qx_scratch->data(), weight_.data(), y, m, in_, out_,
+                 row_scale_scratch->data(), weight_scale_.data(),
+                 bias_.data());
+}
+
+void QuantizedLinear::ForwardPrequantized(
+    int m, float* y, const std::vector<int8_t>& qx_scratch,
+    std::vector<float>* row_scale_scratch) const {
+  assert(in_ > 0 && out_ > 0);
+  row_scale_scratch->assign(static_cast<size_t>(m), input_scale_);
+  const auto& kern = simd::K();
+  if (Int8PackedEnabled()) {
+    assert(qx_scratch.size() == static_cast<size_t>(m) * k_pad_);
+    kern.int8_gemm_packed(qx_scratch.data(), packed_tiles_.data(), y, m, in_,
+                          out_, row_scale_scratch->data(),
+                          weight_scale_.data(), bias_.data());
+    return;
+  }
+  assert(qx_scratch.size() == static_cast<size_t>(m) * in_);
+  kern.int8_gemm(qx_scratch.data(), weight_.data(), y, m, in_, out_,
+                 row_scale_scratch->data(), weight_scale_.data(),
+                 bias_.data());
 }
 
 }  // namespace qpe::nn

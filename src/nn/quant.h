@@ -31,7 +31,9 @@ inline constexpr float kMinQuantScale = 1e-10f;
 
 // Rounds to nearest (ties away from zero) and saturates to [-127, 127].
 // Symmetric range: -128 is never produced, so negation stays in range and
-// the AVX2/NEON widening paths need no special case.
+// the AVX2/NEON widening paths need no special case. Computed as
+// trunc(t + copysign(0.5, t)) — exact IEEE ops only, so the vectorized
+// quantize_buffer kernel lanes reproduce it bit for bit.
 int8_t QuantizeValue(float x, float inv_scale);
 
 // Quantizes n values with one shared scale (activations).
@@ -74,19 +76,33 @@ class QuantizedLinear {
                std::vector<int8_t>* qx_scratch,
                std::vector<float>* row_scale_scratch) const;
 
+  // Forward over activations a previous Forward already quantized into
+  // `qx_scratch` — valid only when that call saw the same x, m, and an
+  // identical input_scale() (then the quantized bytes this layer would
+  // produce are bit-identical, so skipping the quantize pass cannot change
+  // the result). The packed engine's q/k/v projections share one
+  // calibrated input, which makes two of their three quantize passes
+  // redundant.
+  void ForwardPrequantized(int m, float* y,
+                           const std::vector<int8_t>& qx_scratch,
+                           std::vector<float>* row_scale_scratch) const;
+
   int in_features() const { return in_; }
   int out_features() const { return out_; }
   float input_scale() const { return input_scale_; }
   const std::vector<float>& weight_scales() const { return weight_scale_; }
   const std::vector<int8_t>& packed_weight() const { return weight_; }
+  const std::vector<int16_t>& packed_tiles() const { return packed_tiles_; }
 
  private:
   int in_ = 0;
   int out_ = 0;
+  int k_pad_ = 0;  // simd::Int8PackedKPad(in_)
   float input_scale_ = 1.0f;
-  std::vector<int8_t> weight_;       // [out][in], channel-contiguous
-  std::vector<float> weight_scale_;  // [out]
-  std::vector<float> bias_;          // [out]
+  std::vector<int8_t> weight_;        // [out][in], channel-contiguous
+  std::vector<int16_t> packed_tiles_;  // simd::PackInt8WeightTiles layout
+  std::vector<float> weight_scale_;   // [out]
+  std::vector<float> bias_;           // [out]
 };
 
 }  // namespace qpe::nn

@@ -97,6 +97,44 @@ void ScalarInt8Gemm(const int8_t* a, const int8_t* b, float* c, int m, int k,
   }
 }
 
+void ScalarEmbedGatherAdd(const float* e1, const float* e2, const float* e3,
+                          const float* pos, const int* ids1, const int* ids2,
+                          const int* ids3, const int* positions, float* out,
+                          int rows, int d1, int d2, int d3) {
+  EmbedGatherAddT<ScalarOps>(e1, e2, e3, pos, ids1, ids2, ids3, positions, out,
+                             rows, d1, d2, d3);
+}
+
+void ScalarAttentionForwardBlocked(const float* q, const float* kbt,
+                                   const float* vb, float* out,
+                                   const int* offsets, const int* lengths,
+                                   int num_seqs, int num_heads, int total_rows,
+                                   int dim, float scale, float* probs) {
+  AttentionForwardBlockedT<ScalarOps>(q, kbt, vb, out, offsets, lengths,
+                                      num_seqs, num_heads, total_rows, dim,
+                                      scale, probs);
+}
+
+void ScalarInt8GemmPacked(const int8_t* a, const int16_t* bp, float* c, int m,
+                          int k, int n, const float* a_scale,
+                          const float* b_scale, const float* bias) {
+  Int8GemmPackedRef(a, bp, c, m, k, n, a_scale, b_scale, bias);
+}
+
+void ScalarQuantizeBuffer(const float* x, int n, float inv_scale,
+                          int8_t* out) {
+  QuantizeBufferRef(x, n, inv_scale, out);
+}
+
+void ScalarLinearBiasAct(const float* a, const float* b, const float* bias,
+                         float* out, int m, int k, int n, int relu) {
+  LinearBiasActT<ScalarOps>(a, b, bias, out, m, k, n, relu);
+}
+
+void ScalarAddRows(float* dst, const float* src, size_t n) {
+  AddRowsT<ScalarOps>(dst, src, n);
+}
+
 const Kernels kScalarTable = {
     Level::kScalar,
     "scalar",
@@ -106,6 +144,12 @@ const Kernels kScalarTable = {
     &ScalarSoftmaxRowsMasked,
     &ScalarAttentionForwardPacked,
     &ScalarInt8Gemm,
+    &ScalarEmbedGatherAdd,
+    &ScalarAttentionForwardBlocked,
+    &ScalarInt8GemmPacked,
+    &ScalarQuantizeBuffer,
+    &ScalarLinearBiasAct,
+    &ScalarAddRows,
 };
 
 Level DetectHardwareLevel() {
@@ -149,6 +193,28 @@ const Kernels* ActiveTable() {
 }
 
 }  // namespace
+
+void PackInt8WeightTiles(const int8_t* w, int k, int n, int16_t* packed) {
+  const int kp = Int8PackedKPad(k);
+  const int kb = kp / kInt8TileK;
+  const int tiles = (n + kInt8TileN - 1) / kInt8TileN;
+  for (int t = 0; t < tiles; ++t) {
+    for (int b = 0; b < kb; ++b) {
+      for (int ch = 0; ch < kInt8TileN; ++ch) {
+        const int j = t * kInt8TileN + ch;
+        int16_t* dst =
+            packed + ((static_cast<size_t>(t) * kb + b) * kInt8TileN + ch) *
+                         kInt8TileK;
+        for (int kk = 0; kk < kInt8TileK; ++kk) {
+          const int p = b * kInt8TileK + kk;
+          dst[kk] = (j < n && p < k)
+                        ? static_cast<int16_t>(w[static_cast<size_t>(j) * k + p])
+                        : int16_t{0};
+        }
+      }
+    }
+  }
+}
 
 const Kernels* TableFor(Level level) {
   switch (level) {

@@ -1,6 +1,7 @@
 #ifndef QPE_NN_SIMD_H_
 #define QPE_NN_SIMD_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace qpe::nn::simd {
@@ -69,7 +70,90 @@ struct Kernels {
   void (*int8_gemm)(const int8_t* a, const int8_t* b, float* c, int m, int k,
                     int n, const float* a_scale, const float* b_scale,
                     const float* bias);
+  // Fused embedding gather + positional add for the packed batch pipeline:
+  //   out[r, :] = concat(e1[ids1[r]], e2[ids2[r]], e3[ids3[r]]) +
+  //               pos[positions[r], :]
+  // with out [rows, d1+d2+d3] row-major. Pure copies and elementwise adds
+  // in ascending column order, so every level is bit-identical.
+  void (*embed_gather_add)(const float* e1, const float* e2, const float* e3,
+                           const float* pos, const int* ids1, const int* ids2,
+                           const int* ids3, const int* positions, float* out,
+                           int rows, int d1, int d2, int d3);
+  // Head-blocked variant of attention_forward_packed. q and out stay in the
+  // interleaved [total_rows, dim] projection layout; keys arrive
+  // pre-transposed per head as kbt [head][head_dim][total_rows] (row stride
+  // total_rows) and values head-blocked as vb [head][total_rows][head_dim]
+  // (contiguous head lanes), so the score and context loops stream
+  // contiguous memory instead of striding across the interleaved heads.
+  // `probs` is caller-provided scratch of at least max(lengths)^2 floats —
+  // the kernel allocates nothing. Per output element the arithmetic
+  // sequence is identical to attention_forward_packed, so the two kernels
+  // agree bit for bit at every level.
+  void (*attention_forward_blocked)(const float* q, const float* kbt,
+                                    const float* vb, float* out,
+                                    const int* offsets, const int* lengths,
+                                    int num_seqs, int num_heads,
+                                    int total_rows, int dim, float scale,
+                                    float* probs);
+  // int8 GEMM over pre-packed weight tiles (see PackInt8WeightTiles): bp
+  // holds kInt8TileN output channels x kInt8TileK k-steps per tile in the
+  // exact order the micro-kernel consumes, zero-padded in both dimensions
+  // and pre-sign-extended to int16 — the values are still int8-range, but
+  // widening them once at pack time removes the per-step sign-extension
+  // shuffles from the hot loop (on AVX2 that was 4 of the 5 shuffles per
+  // k-block). a is [m, Int8PackedKPad(k)] row-major int8 with the k tail
+  // of every row zeroed by the caller. Same dequantization as int8_gemm;
+  // the padded entries contribute exact zeros to the integer dots, so the
+  // result is bit-identical to int8_gemm on the unpacked operands —
+  // across levels and across the two layouts.
+  void (*int8_gemm_packed)(const int8_t* a, const int16_t* bp, float* c,
+                           int m, int k, int n, const float* a_scale,
+                           const float* b_scale, const float* bias);
+  // Quantizes n floats with one shared scale: round to nearest, ties away
+  // from zero, saturating to [-127, 127] (the QuantizeValue contract, as
+  // trunc(t + copysign(0.5, t)) — exact IEEE ops, so scalar and vector
+  // lanes produce identical int8 for every input).
+  void (*quantize_buffer)(const float* x, int n, float inv_scale,
+                          int8_t* out);
+  // Fused linear for the packed pipeline: out = act(A * B + bias) with A
+  // [m, k], B [k, n], bias [n]; act is ReLU when `relu` is nonzero. The
+  // accumulators start at zero in registers and the bias/ReLU ride the
+  // GEMM epilogue, so no zero-fill or bias pass touches the output — yet
+  // per output element the value stream (ascending-k mul/add pairs over
+  // the aval != 0 subsequence, one bias add, the `> 0` clamp) is exactly
+  // fill + matmul_forward_range + the bias/bias_relu pass, so every level
+  // is bit-identical to that three-step chain.
+  void (*linear_bias_act)(const float* a, const float* b, const float* bias,
+                          float* out, int m, int k, int n, int relu);
+  // dst[i] += src[i] over n floats (the packed pipeline's residual adds).
+  // Elementwise; every level is bit-identical.
+  void (*add_rows)(float* dst, const float* src, size_t n);
 };
+
+// Tile geometry of the packed int8 weight layout: kInt8TileN output
+// channels interleaved per tile, kInt8TileK quantized inputs per step (one
+// 128-bit int8 vector).
+inline constexpr int kInt8TileK = 16;
+inline constexpr int kInt8TileN = 4;
+
+inline int Int8PackedKPad(int k) {
+  return ((k + kInt8TileK - 1) / kInt8TileK) * kInt8TileK;
+}
+inline size_t Int8PackedSize(int k, int n) {
+  const size_t tiles = static_cast<size_t>((n + kInt8TileN - 1) / kInt8TileN);
+  return tiles * static_cast<size_t>(Int8PackedKPad(k)) * kInt8TileN;
+}
+
+// Repacks channel-contiguous int8 weights w [n][k] (the int8_gemm layout)
+// into the tiled layout int8_gemm_packed consumes:
+//   packed[((t*KB + b)*kInt8TileN + ch)*kInt8TileK + kk] = w[(t*kInt8TileN +
+//   ch)][b*kInt8TileK + kk]
+// with KB = Int8PackedKPad(k)/kInt8TileK; out-of-range channels and k
+// positions are zero. Each entry is the int8 weight sign-extended to
+// int16 (see int8_gemm_packed). `packed` must hold Int8PackedSize(k, n)
+// elements. Plain widening copies — done once at Quantize() time, never
+// on the serve path.
+void PackInt8WeightTiles(const int8_t* w, int k, int n, int16_t* packed);
 
 // The active kernel table. Selected once on first use: the best level the
 // hardware supports (cpuid on x86-64, getauxval on aarch64), downgraded by

@@ -140,6 +140,144 @@ void Avx2Int8Gemm(const int8_t* a, const int8_t* b, float* c, int m, int k,
   }
 }
 
+void Avx2EmbedGatherAdd(const float* e1, const float* e2, const float* e3,
+                        const float* pos, const int* ids1, const int* ids2,
+                        const int* ids3, const int* positions, float* out,
+                        int rows, int d1, int d2, int d3) {
+  EmbedGatherAddT<Avx2Ops>(e1, e2, e3, pos, ids1, ids2, ids3, positions, out,
+                           rows, d1, d2, d3);
+}
+
+void Avx2AttentionForwardBlocked(const float* q, const float* kbt,
+                                 const float* vb, float* out,
+                                 const int* offsets, const int* lengths,
+                                 int num_seqs, int num_heads, int total_rows,
+                                 int dim, float scale, float* probs) {
+  AttentionForwardBlockedT<Avx2Ops>(q, kbt, vb, out, offsets, lengths,
+                                    num_seqs, num_heads, total_rows, dim,
+                                    scale, probs);
+}
+
+// Packed-tile int8 GEMM. The tile layout (kInt8TileN = 4 channels x
+// kInt8TileK = 16 k-steps, pre-sign-extended to int16 — see
+// PackInt8WeightTiles) lets one sign-extended activation vector feed four
+// madd_epi16 against four direct 256-bit weight loads — versus
+// Avx2Int8Gemm's one madd plus a full horizontal sum per (i, j), and with
+// no cvtepi8_epi16 on the weight side at all (the widening happened once
+// at pack time; inline it was 4 of the 5 shuffles per k-block and capped
+// the kernel at roughly fp32 speed). The four int32 accumulators are
+// folded with two hadds at tile end, amortizing the horizontal reduction
+// across four output channels, and every weight byte is a sequential
+// read. Integer accumulation is exact in any order, so the result is
+// bit-identical to Int8GemmPackedRef and to int8_gemm on the unpacked
+// operands.
+void Avx2Int8GemmPacked(const int8_t* a, const int16_t* bp, float* c, int m,
+                        int k, int n, const float* a_scale,
+                        const float* b_scale, const float* bias) {
+  const int kp = Int8PackedKPad(k);
+  const int kb = kp / kInt8TileK;
+  const int tiles = (n + kInt8TileN - 1) / kInt8TileN;
+  for (int i = 0; i < m; ++i) {
+    const int8_t* arow = a + static_cast<size_t>(i) * kp;
+    float* crow = c + static_cast<size_t>(i) * n;
+    const float as = a_scale[i];
+    for (int t = 0; t < tiles; ++t) {
+      const int16_t* btile =
+          bp + static_cast<size_t>(t) * kb * (kInt8TileN * kInt8TileK);
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (int b = 0; b < kb; ++b) {
+        const __m256i a16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(arow + b * kInt8TileK)));
+        const int16_t* bb =
+            btile + static_cast<size_t>(b) * (kInt8TileN * kInt8TileK);
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(a16, _mm256_loadu_si256(
+                                             reinterpret_cast<const __m256i*>(
+                                                 bb))));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(a16, _mm256_loadu_si256(
+                                             reinterpret_cast<const __m256i*>(
+                                                 bb + kInt8TileK))));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(a16, _mm256_loadu_si256(
+                                             reinterpret_cast<const __m256i*>(
+                                                 bb + 2 * kInt8TileK))));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(a16, _mm256_loadu_si256(
+                                             reinterpret_cast<const __m256i*>(
+                                                 bb + 3 * kInt8TileK))));
+      }
+      // hadd twice folds the four 8-lane accumulators into one vector of
+      // [sum0, sum1, sum2, sum3] per 128-bit half; adding the halves gives
+      // the four channel totals.
+      const __m256i t0 = _mm256_hadd_epi32(acc0, acc1);
+      const __m256i t1 = _mm256_hadd_epi32(acc2, acc3);
+      const __m256i t2 = _mm256_hadd_epi32(t0, t1);
+      const __m128i sums = _mm_add_epi32(_mm256_castsi256_si128(t2),
+                                         _mm256_extracti128_si256(t2, 1));
+      const int j0 = t * kInt8TileN;
+      if (n - j0 >= kInt8TileN) {
+        // Full tile: dequantize all four channels at once. Identical IEEE
+        // ops per lane — int32->float convert, then (total * as) *
+        // b_scale[j] + bias[j] in the scalar epilogue's order — so the
+        // bits match the scalar tail exactly.
+        __m128 y = _mm_mul_ps(_mm_mul_ps(_mm_cvtepi32_ps(sums),
+                                         _mm_set1_ps(as)),
+                              _mm_loadu_ps(b_scale + j0));
+        if (bias != nullptr) y = _mm_add_ps(y, _mm_loadu_ps(bias + j0));
+        _mm_storeu_ps(crow + j0, y);
+      } else {
+        alignas(16) int32_t acc[kInt8TileN];
+        _mm_store_si128(reinterpret_cast<__m128i*>(acc), sums);
+        const int jmax = n - j0;
+        for (int ch = 0; ch < jmax; ++ch) {
+          const int j = j0 + ch;
+          float y = static_cast<float>(acc[ch]) * as * b_scale[j];
+          if (bias != nullptr) y += bias[j];
+          crow[j] = y;
+        }
+      }
+    }
+  }
+}
+
+// 8-lane quantize: the exact trunc(t + copysign(0.5, t)) sequence of
+// QuantizeOneRef, every step an exact IEEE op, so each lane produces the
+// same int8 the scalar reference does.
+void Avx2QuantizeBuffer(const float* x, int n, float inv_scale, int8_t* out) {
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256 sign = _mm256_set1_ps(-0.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 hi = _mm256_set1_ps(127.0f);
+  const __m256 lo = _mm256_set1_ps(-127.0f);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(_mm256_loadu_ps(x + i), vs);
+    const __m256 h = _mm256_or_ps(_mm256_and_ps(t, sign), half);
+    __m256 r = _mm256_round_ps(_mm256_add_ps(t, h),
+                               _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    r = _mm256_max_ps(_mm256_min_ps(r, hi), lo);
+    const __m256i q32 = _mm256_cvtps_epi32(r);
+    const __m128i q16 = _mm_packs_epi32(_mm256_castsi256_si128(q32),
+                                        _mm256_extracti128_si256(q32, 1));
+    const __m128i q8 = _mm_packs_epi16(q16, q16);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), q8);
+  }
+  for (; i < n; ++i) out[i] = QuantizeOneRef(x[i], inv_scale);
+}
+
+void Avx2LinearBiasAct(const float* a, const float* b, const float* bias,
+                       float* out, int m, int k, int n, int relu) {
+  LinearBiasActT<Avx2Ops>(a, b, bias, out, m, k, n, relu);
+}
+
+void Avx2AddRows(float* dst, const float* src, size_t n) {
+  AddRowsT<Avx2Ops>(dst, src, n);
+}
+
 const Kernels kAvx2Table = {
     Level::kAvx2,
     "avx2",
@@ -149,6 +287,12 @@ const Kernels kAvx2Table = {
     &Avx2SoftmaxRowsMasked,
     &Avx2AttentionForwardPacked,
     &Avx2Int8Gemm,
+    &Avx2EmbedGatherAdd,
+    &Avx2AttentionForwardBlocked,
+    &Avx2Int8GemmPacked,
+    &Avx2QuantizeBuffer,
+    &Avx2LinearBiasAct,
+    &Avx2AddRows,
 };
 
 }  // namespace

@@ -33,6 +33,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace qpe::nn::simd {
@@ -188,6 +189,143 @@ void BiasReluT(const float* __restrict av, const float* __restrict bv,
       orow[c] = s > 0 ? s : 0.0f;
     }
   }
+}
+
+// Fused linear layer for the packed pipeline: out = act(A * B + bias) with
+// A [m, k], B [k, n], bias [n], act = ReLU when `relu` is nonzero, identity
+// otherwise. Per output element this is the op chain's exact sequence —
+// zero, ascending-k mul/add pairs, one bias add, then BiasRelu's `> 0`
+// clamp — but the zero lives in a register instead of a pre-filled buffer
+// and the bias/ReLU ride the GEMM epilogue, so the fused kernel never
+// makes the zero-fill and bias passes over the output. Dropping the
+// k-panel split changes only where intermediate sums sit (registers vs a
+// stored row reloaded exactly), so every level is bit-identical to fill +
+// matmul_forward_range + bias (+ bias_relu's clamp).
+//
+// Unlike MatMulForwardRangeT, the vector path has no aval == 0 skip: on
+// the ReLU-sparse ff2 input (~50% random zeros) the data-dependent branch
+// mispredicts constantly and measured 3.5x slower than just doing the
+// multiplies. Including the zero products is bit-identical to skipping
+// them here because the accumulator starts at +0 and a round-to-nearest
+// sum that starts at +0 can never become -0 (exact cancellation rounds to
+// +0, and adding a zero of either sign to +0 yields +0) — so every aval ==
+// 0 step adds a +/-0 product to a non-negative-zero accumulator, which
+// never changes a bit. matmul_forward_range cannot make that argument (its
+// out is caller-provided and may hold -0), which is one more reason the
+// fused kernel is separate. The width-1 policy keeps the seed's saxpy
+// shape, skip included.
+template <typename V>
+void LinearBiasActT(const float* __restrict av, const float* __restrict bv,
+                    const float* __restrict biasv, float* __restrict ov,
+                    int m, int k, int n, int relu) {
+  constexpr int L = V::kLanes;
+  if constexpr (L == 1) {
+    // Width-1 policy: the p-outer saxpy shape of MatMulForwardRangeT (see
+    // the rationale there), then the op chain's bias/ReLU passes.
+    for (int i = 0; i < m; ++i) {
+      const float* __restrict arow = av + static_cast<size_t>(i) * k;
+      float* __restrict orow = ov + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        const float aval = arow[p];
+        if (aval == 0.0f) continue;
+        const float* __restrict brow = bv + static_cast<size_t>(p) * n;
+        for (int j = 0; j < n; ++j) orow[j] += aval * brow[j];
+      }
+      if (relu != 0) {
+        for (int j = 0; j < n; ++j) {
+          const float s = orow[j] + biasv[j];
+          orow[j] = s > 0 ? s : 0.0f;
+        }
+      } else {
+        for (int j = 0; j < n; ++j) orow[j] += biasv[j];
+      }
+    }
+    return;
+  }
+  const auto zero = V::Broadcast(0.0f);
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict arow = av + static_cast<size_t>(i) * k;
+    float* __restrict orow = ov + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 * L <= n; j += 4 * L) {
+      auto a0 = zero;
+      auto a1 = zero;
+      auto a2 = zero;
+      auto a3 = zero;
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict brow = bv + static_cast<size_t>(p) * n + j;
+        const auto va = V::Broadcast(arow[p]);
+        a0 = V::Add(a0, V::Mul(va, V::Load(brow)));
+        a1 = V::Add(a1, V::Mul(va, V::Load(brow + L)));
+        a2 = V::Add(a2, V::Mul(va, V::Load(brow + 2 * L)));
+        a3 = V::Add(a3, V::Mul(va, V::Load(brow + 3 * L)));
+      }
+      a0 = V::Add(a0, V::Load(biasv + j));
+      a1 = V::Add(a1, V::Load(biasv + j + L));
+      a2 = V::Add(a2, V::Load(biasv + j + 2 * L));
+      a3 = V::Add(a3, V::Load(biasv + j + 3 * L));
+      if (relu != 0) {
+        a0 = V::Max(a0, zero);
+        a1 = V::Max(a1, zero);
+        a2 = V::Max(a2, zero);
+        a3 = V::Max(a3, zero);
+      }
+      V::Store(orow + j, a0);
+      V::Store(orow + j + L, a1);
+      V::Store(orow + j + 2 * L, a2);
+      V::Store(orow + j + 3 * L, a3);
+    }
+    for (; j + 2 * L <= n; j += 2 * L) {
+      auto a0 = zero;
+      auto a1 = zero;
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict brow = bv + static_cast<size_t>(p) * n + j;
+        const auto va = V::Broadcast(arow[p]);
+        a0 = V::Add(a0, V::Mul(va, V::Load(brow)));
+        a1 = V::Add(a1, V::Mul(va, V::Load(brow + L)));
+      }
+      a0 = V::Add(a0, V::Load(biasv + j));
+      a1 = V::Add(a1, V::Load(biasv + j + L));
+      if (relu != 0) {
+        a0 = V::Max(a0, zero);
+        a1 = V::Max(a1, zero);
+      }
+      V::Store(orow + j, a0);
+      V::Store(orow + j + L, a1);
+    }
+    for (; j + L <= n; j += L) {
+      auto a0 = zero;
+      for (int p = 0; p < k; ++p) {
+        a0 = V::Add(a0, V::Mul(V::Broadcast(arow[p]),
+                               V::Load(bv + static_cast<size_t>(p) * n + j)));
+      }
+      a0 = V::Add(a0, V::Load(biasv + j));
+      if (relu != 0) a0 = V::Max(a0, zero);
+      V::Store(orow + j, a0);
+    }
+    for (; j < n; ++j) {
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += arow[p] * bv[static_cast<size_t>(p) * n + j];
+      }
+      const float s = acc + biasv[j];
+      orow[j] = (relu != 0 && !(s > 0)) ? 0.0f : s;
+    }
+  }
+}
+
+// dst[i] += src[i]: the residual-stream add of the packed pipeline.
+// Elementwise, so vector lanes are bit-identical to the scalar loop.
+template <typename V>
+void AddRowsT(float* __restrict dst, const float* __restrict src, size_t n) {
+  constexpr int L = V::kLanes;
+  const size_t nv = (n / L) * L;
+  size_t i = 0;
+  for (; i < nv; i += L) {
+    V::Store(dst + i, V::Add(V::Load(dst + i), V::Load(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
 }
 
 // y = ((x - mean) * recip) * gamma + beta. Stats stay scalar (reductions);
@@ -426,6 +564,423 @@ void AttentionForwardPackedT(const float* __restrict qv,
             orow[c] = acc;
           }
         }
+      }
+    }
+  }
+}
+
+// Fused embedding gather + positional add (see simd.h). Three contiguous
+// segment copies fused with the positional add into one pass per row:
+// out[c] = e[c] + pos[c], elementwise in ascending order, so every level
+// produces the same bits as the copy-then-add the op chain did.
+template <typename V>
+void EmbedGatherAddT(const float* __restrict e1, const float* __restrict e2,
+                     const float* __restrict e3, const float* __restrict pos,
+                     const int* __restrict ids1, const int* __restrict ids2,
+                     const int* __restrict ids3,
+                     const int* __restrict positions, float* __restrict out,
+                     int rows, int d1, int d2, int d3) {
+  constexpr int L = V::kLanes;
+  const int d = d1 + d2 + d3;
+  auto seg = [](const float* __restrict src, const float* __restrict add,
+                float* __restrict dst, int n) {
+    int c = 0;
+    for (; c + L <= n; c += L) {
+      V::Store(dst + c, V::Add(V::Load(src + c), V::Load(add + c)));
+    }
+    for (; c < n; ++c) dst[c] = src[c] + add[c];
+  };
+  for (int r = 0; r < rows; ++r) {
+    float* __restrict row = out + static_cast<size_t>(r) * d;
+    const float* __restrict prow =
+        pos + static_cast<size_t>(positions[r]) * d;
+    seg(e1 + static_cast<size_t>(ids1[r]) * d1, prow, row, d1);
+    seg(e2 + static_cast<size_t>(ids2[r]) * d2, prow + d1, row + d1, d2);
+    seg(e3 + static_cast<size_t>(ids3[r]) * d3, prow + d1 + d2,
+        row + d1 + d2, d3);
+  }
+}
+
+// Head-blocked attention forward (see simd.h for the layouts). This is
+// AttentionForwardPackedT with the per-sequence k^T repack hoisted out:
+// the caller transposes K once per layer into kbt [head][head_dim][rows]
+// and blocks V into vb [head][rows][head_dim], so the score loops stream
+// kbt rows (stride total_rows instead of a per-sequence pack) and the
+// context loops read contiguous head_dim lanes of vb instead of striding
+// `dim` floats between value rows.
+//
+// The vector path additionally tiles queries by kQueryTile: serving
+// sequences are short (tens of tokens) and head_dim is small, so a
+// single-query loop is latency-bound — one serially dependent
+// accumulator chain per output vector. Four queries share every kt/v
+// load and run four independent chains, which is what moves this kernel
+// from memory-latency-bound to throughput-bound at serving shapes.
+// Tiling across queries never touches any single element's accumulation
+// order (scores still sum ascending c, context ascending j, the scale
+// is one multiply on the finished dot either way), so the kernel stays
+// bit-identical to AttentionForwardPackedT at every level, and the
+// scalar level remains bit-identical to per-plan Encode.
+template <typename V>
+void AttentionForwardBlockedT(const float* __restrict qv,
+                              const float* __restrict kbt,
+                              const float* __restrict vb,
+                              float* __restrict ov,
+                              const int* __restrict offsets,
+                              const int* __restrict lengths, int num_seqs,
+                              int num_heads, int total_rows, int dim,
+                              float scale, float* __restrict probs) {
+  constexpr int L = V::kLanes;
+  constexpr int kQueryTile = 4;
+  const int dh = dim / num_heads;
+  for (int s = 0; s < num_seqs; ++s) {
+    const int off = offsets[s];
+    const int len = lengths[s];
+    const int lenv = (len / L) * L;
+    for (int h = 0; h < num_heads; ++h) {
+      const int col0 = h * dh;
+      // This head's key block, transposed: row c holds k[:, col0 + c] with
+      // stride total_rows; the sequence's columns start at offset `off`.
+      const float* __restrict ktb =
+          kbt + (static_cast<size_t>(h) * dh) * total_rows + off;
+      // This head's value block: row j of the sequence is dh contiguous
+      // floats.
+      const float* __restrict vbb =
+          vb + (static_cast<size_t>(h) * total_rows + off) * dh;
+      // --- Phase 1: scaled score rows, query-tiled ---------------------
+      if constexpr (L == 1) {
+        for (int i = 0; i < len; ++i) {
+          const float* __restrict qrow =
+              qv + static_cast<size_t>(off + i) * dim + col0;
+          float* __restrict prow = probs + static_cast<size_t>(i) * len;
+          for (int j = 0; j < len; ++j) prow[j] = 0.0f;
+          for (int c = 0; c < dh; ++c) {
+            const float qc = qrow[c];
+            const float* __restrict ktrow =
+                ktb + static_cast<size_t>(c) * total_rows;
+            for (int j = 0; j < len; ++j) prow[j] += qc * ktrow[j];
+          }
+          for (int j = 0; j < len; ++j) prow[j] *= scale;
+        }
+      } else {
+        const auto zero = V::Broadcast(0.0f);
+        const auto vs = V::Broadcast(scale);
+        int i = 0;
+        for (; i + kQueryTile <= len; i += kQueryTile) {
+          const float* __restrict q0 =
+              qv + static_cast<size_t>(off + i) * dim + col0;
+          const float* __restrict q1 = q0 + dim;
+          const float* __restrict q2 = q1 + dim;
+          const float* __restrict q3 = q2 + dim;
+          float* __restrict p0 = probs + static_cast<size_t>(i) * len;
+          float* __restrict p1 = p0 + len;
+          float* __restrict p2 = p1 + len;
+          float* __restrict p3 = p2 + len;
+          int j = 0;
+          for (; j + L <= len; j += L) {
+            auto a0 = zero;
+            auto a1 = zero;
+            auto a2 = zero;
+            auto a3 = zero;
+            for (int c = 0; c < dh; ++c) {
+              const auto kt = V::Load(
+                  ktb + static_cast<size_t>(c) * total_rows + j);
+              a0 = V::Add(a0, V::Mul(V::Broadcast(q0[c]), kt));
+              a1 = V::Add(a1, V::Mul(V::Broadcast(q1[c]), kt));
+              a2 = V::Add(a2, V::Mul(V::Broadcast(q2[c]), kt));
+              a3 = V::Add(a3, V::Mul(V::Broadcast(q3[c]), kt));
+            }
+            V::Store(p0 + j, V::Mul(a0, vs));
+            V::Store(p1 + j, V::Mul(a1, vs));
+            V::Store(p2 + j, V::Mul(a2, vs));
+            V::Store(p3 + j, V::Mul(a3, vs));
+          }
+          if (j < len && len >= L) {
+            // Overlapping tail vector: recompute the last full vector of
+            // scores ending at `len`. Each overlapped element is the same
+            // ascending-c dot as before, so the second store writes the
+            // same bits — cheaper than a scalar tail and bit-identical.
+            const int jt = len - L;
+            auto a0 = zero;
+            auto a1 = zero;
+            auto a2 = zero;
+            auto a3 = zero;
+            for (int c = 0; c < dh; ++c) {
+              const auto kt = V::Load(
+                  ktb + static_cast<size_t>(c) * total_rows + jt);
+              a0 = V::Add(a0, V::Mul(V::Broadcast(q0[c]), kt));
+              a1 = V::Add(a1, V::Mul(V::Broadcast(q1[c]), kt));
+              a2 = V::Add(a2, V::Mul(V::Broadcast(q2[c]), kt));
+              a3 = V::Add(a3, V::Mul(V::Broadcast(q3[c]), kt));
+            }
+            V::Store(p0 + jt, V::Mul(a0, vs));
+            V::Store(p1 + jt, V::Mul(a1, vs));
+            V::Store(p2 + jt, V::Mul(a2, vs));
+            V::Store(p3 + jt, V::Mul(a3, vs));
+          } else {
+            for (; j < len; ++j) {
+              float c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+              for (int c = 0; c < dh; ++c) {
+                const float kc = ktb[static_cast<size_t>(c) * total_rows + j];
+                c0 += q0[c] * kc;
+                c1 += q1[c] * kc;
+                c2 += q2[c] * kc;
+                c3 += q3[c] * kc;
+              }
+              p0[j] = c0 * scale;
+              p1[j] = c1 * scale;
+              p2[j] = c2 * scale;
+              p3[j] = c3 * scale;
+            }
+          }
+        }
+        for (; i < len; ++i) {
+          const float* __restrict qrow =
+              qv + static_cast<size_t>(off + i) * dim + col0;
+          float* __restrict prow = probs + static_cast<size_t>(i) * len;
+          int j = 0;
+          for (; j + L <= len; j += L) {
+            auto a0 = zero;
+            for (int c = 0; c < dh; ++c) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(qrow[c]),
+                                     V::Load(ktb + static_cast<size_t>(c) *
+                                                       total_rows +
+                                             j)));
+            }
+            V::Store(prow + j, V::Mul(a0, vs));
+          }
+          if (j < len && len >= L) {
+            const int jt = len - L;
+            auto a0 = zero;
+            for (int c = 0; c < dh; ++c) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(qrow[c]),
+                                     V::Load(ktb + static_cast<size_t>(c) *
+                                                       total_rows +
+                                             jt)));
+            }
+            V::Store(prow + jt, V::Mul(a0, vs));
+          } else {
+            for (; j < len; ++j) {
+              float acc = 0;
+              for (int c = 0; c < dh; ++c) {
+                acc += qrow[c] * ktb[static_cast<size_t>(c) * total_rows + j];
+              }
+              prow[j] = acc * scale;
+            }
+          }
+        }
+      }
+      // --- Phase 2: row softmax — max, exp, sum, divide, the same split
+      // as AttentionForwardPackedT (and SoftmaxRowsMaskedT) -------------
+      for (int i = 0; i < len; ++i) {
+        float* __restrict prow = probs + static_cast<size_t>(i) * len;
+        float max_v = prow[0];
+        {
+          int j = 1;
+          if (len >= L) {
+            auto vmax = V::Load(prow);
+            for (j = L; j + L <= len; j += L) {
+              vmax = V::Max(vmax, V::Load(prow + j));
+            }
+            max_v = V::HMax(vmax);
+          }
+          for (; j < len; ++j) max_v = std::max(max_v, prow[j]);
+        }
+        {
+          const auto vm = V::Broadcast(max_v);
+          int j = 0;
+          for (; j < lenv; j += L) {
+            V::Store(prow + j, V::Exp(V::Sub(V::Load(prow + j), vm)));
+          }
+          for (; j < len; ++j) prow[j] = std::exp(prow[j] - max_v);
+        }
+        float sum = 0;
+        for (int j = 0; j < len; ++j) sum += prow[j];
+        {
+          const auto vsum = V::Broadcast(sum);
+          int j = 0;
+          for (; j < lenv; j += L) {
+            V::Store(prow + j, V::Div(V::Load(prow + j), vsum));
+          }
+          for (; j < len; ++j) prow[j] /= sum;
+        }
+      }
+      // --- Phase 3: context = probs * vh over the contiguous rows of
+      // this head's value block, query-tiled like the scores; per element
+      // accumulates ascending j, like AttentionForwardPackedT ----------
+      if constexpr (L == 1) {
+        for (int i = 0; i < len; ++i) {
+          const float* __restrict prow = probs + static_cast<size_t>(i) * len;
+          float* __restrict orow =
+              ov + static_cast<size_t>(off + i) * dim + col0;
+          for (int c = 0; c < dh; ++c) orow[c] = 0.0f;
+          for (int j = 0; j < len; ++j) {
+            const float p = prow[j];
+            const float* __restrict vrow = vbb + static_cast<size_t>(j) * dh;
+            for (int c = 0; c < dh; ++c) orow[c] += p * vrow[c];
+          }
+        }
+      } else {
+        const int dhv = (dh / L) * L;
+        const auto zero = V::Broadcast(0.0f);
+        int i = 0;
+        for (; i + kQueryTile <= len; i += kQueryTile) {
+          const float* __restrict p0 = probs + static_cast<size_t>(i) * len;
+          const float* __restrict p1 = p0 + len;
+          const float* __restrict p2 = p1 + len;
+          const float* __restrict p3 = p2 + len;
+          float* __restrict o0 =
+              ov + static_cast<size_t>(off + i) * dim + col0;
+          float* __restrict o1 = o0 + dim;
+          float* __restrict o2 = o1 + dim;
+          float* __restrict o3 = o2 + dim;
+          int c = 0;
+          for (; c < dhv; c += L) {
+            auto a0 = zero;
+            auto a1 = zero;
+            auto a2 = zero;
+            auto a3 = zero;
+            for (int j = 0; j < len; ++j) {
+              const auto vrow =
+                  V::Load(vbb + static_cast<size_t>(j) * dh + c);
+              a0 = V::Add(a0, V::Mul(V::Broadcast(p0[j]), vrow));
+              a1 = V::Add(a1, V::Mul(V::Broadcast(p1[j]), vrow));
+              a2 = V::Add(a2, V::Mul(V::Broadcast(p2[j]), vrow));
+              a3 = V::Add(a3, V::Mul(V::Broadcast(p3[j]), vrow));
+            }
+            V::Store(o0 + c, a0);
+            V::Store(o1 + c, a1);
+            V::Store(o2 + c, a2);
+            V::Store(o3 + c, a3);
+          }
+          if (c < dh && dh >= L) {
+            // Overlapping tail vector over the last L head columns: the
+            // overlapped lanes redo the same ascending-j sums and store
+            // the same bits (see the score tail above).
+            const int ct = dh - L;
+            auto a0 = zero;
+            auto a1 = zero;
+            auto a2 = zero;
+            auto a3 = zero;
+            for (int j = 0; j < len; ++j) {
+              const auto vrow =
+                  V::Load(vbb + static_cast<size_t>(j) * dh + ct);
+              a0 = V::Add(a0, V::Mul(V::Broadcast(p0[j]), vrow));
+              a1 = V::Add(a1, V::Mul(V::Broadcast(p1[j]), vrow));
+              a2 = V::Add(a2, V::Mul(V::Broadcast(p2[j]), vrow));
+              a3 = V::Add(a3, V::Mul(V::Broadcast(p3[j]), vrow));
+            }
+            V::Store(o0 + ct, a0);
+            V::Store(o1 + ct, a1);
+            V::Store(o2 + ct, a2);
+            V::Store(o3 + ct, a3);
+          } else {
+            for (; c < dh; ++c) {
+              float c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+              for (int j = 0; j < len; ++j) {
+                const float vv = vbb[static_cast<size_t>(j) * dh + c];
+                c0 += p0[j] * vv;
+                c1 += p1[j] * vv;
+                c2 += p2[j] * vv;
+                c3 += p3[j] * vv;
+              }
+              o0[c] = c0;
+              o1[c] = c1;
+              o2[c] = c2;
+              o3[c] = c3;
+            }
+          }
+        }
+        for (; i < len; ++i) {
+          const float* __restrict prow = probs + static_cast<size_t>(i) * len;
+          float* __restrict orow =
+              ov + static_cast<size_t>(off + i) * dim + col0;
+          int c = 0;
+          for (; c < dhv; c += L) {
+            auto a0 = zero;
+            for (int j = 0; j < len; ++j) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(prow[j]),
+                                     V::Load(vbb + static_cast<size_t>(j) * dh +
+                                             c)));
+            }
+            V::Store(orow + c, a0);
+          }
+          if (c < dh && dh >= L) {
+            const int ct = dh - L;
+            auto a0 = zero;
+            for (int j = 0; j < len; ++j) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(prow[j]),
+                                     V::Load(vbb + static_cast<size_t>(j) * dh +
+                                             ct)));
+            }
+            V::Store(orow + ct, a0);
+          } else {
+            for (; c < dh; ++c) {
+              float acc = 0;
+              for (int j = 0; j < len; ++j) {
+                acc += prow[j] * vbb[static_cast<size_t>(j) * dh + c];
+              }
+              orow[c] = acc;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// One quantization step of the quantize_buffer contract: round to nearest,
+// ties away from zero, saturate to [-127, 127]. Written as
+// trunc(t + copysign(0.5, t)) — every operation is an exact IEEE op, so a
+// vector lane computing the same expression produces the same int8.
+inline int8_t QuantizeOneRef(float x, float inv_scale) {
+  const float t = x * inv_scale;
+  const float r = std::trunc(t + std::copysign(0.5f, t));
+  if (r >= 127.0f) return 127;
+  if (r <= -127.0f) return -127;
+  return static_cast<int8_t>(r);
+}
+
+inline void QuantizeBufferRef(const float* x, int n, float inv_scale,
+                              int8_t* out) {
+  for (int i = 0; i < n; ++i) out[i] = QuantizeOneRef(x[i], inv_scale);
+}
+
+// Reference walk of the packed int8 tile layout (see simd.h). Integer
+// accumulation is exact in any order, so this is the bit-exactness anchor
+// for the vector micro-kernels — and, because the padding contributes
+// exact zeros, for plain int8_gemm on the unpacked operands too.
+inline void Int8GemmPackedRef(const int8_t* a, const int16_t* bp, float* c,
+                              int m, int k, int n, const float* a_scale,
+                              const float* b_scale, const float* bias) {
+  const int kp = Int8PackedKPad(k);
+  const int kb = kp / kInt8TileK;
+  const int tiles = (n + kInt8TileN - 1) / kInt8TileN;
+  for (int i = 0; i < m; ++i) {
+    const int8_t* arow = a + static_cast<size_t>(i) * kp;
+    float* crow = c + static_cast<size_t>(i) * n;
+    const float as = a_scale[i];
+    for (int t = 0; t < tiles; ++t) {
+      const int16_t* btile =
+          bp + static_cast<size_t>(t) * kb * (kInt8TileN * kInt8TileK);
+      int32_t acc[kInt8TileN] = {0, 0, 0, 0};
+      for (int b = 0; b < kb; ++b) {
+        const int8_t* ab = arow + b * kInt8TileK;
+        for (int ch = 0; ch < kInt8TileN; ++ch) {
+          const int16_t* bb =
+              btile + (static_cast<size_t>(b) * kInt8TileN + ch) * kInt8TileK;
+          int32_t sum = acc[ch];
+          for (int kk = 0; kk < kInt8TileK; ++kk) {
+            sum += static_cast<int32_t>(ab[kk]) * static_cast<int32_t>(bb[kk]);
+          }
+          acc[ch] = sum;
+        }
+      }
+      for (int ch = 0; ch < kInt8TileN; ++ch) {
+        const int j = t * kInt8TileN + ch;
+        if (j >= n) break;
+        float y = static_cast<float>(acc[ch]) * as * b_scale[j];
+        if (bias != nullptr) y += bias[j];
+        crow[j] = y;
       }
     }
   }

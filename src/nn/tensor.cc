@@ -250,6 +250,8 @@ void Tensor::Backward() const {
 NoGradGuard::NoGradGuard() : previous_(tl_no_grad) { tl_no_grad = true; }
 NoGradGuard::~NoGradGuard() { tl_no_grad = previous_; }
 
+bool GradEnabled() { return !tl_no_grad; }
+
 GradientCapture::GradientCapture(const std::vector<Tensor>& targets,
                                  std::vector<std::vector<float>>* buffers) {
   buffers->resize(targets.size());

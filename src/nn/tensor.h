@@ -316,6 +316,12 @@ class NoGradGuard {
   bool previous_;
 };
 
+// True unless a NoGradGuard is alive on this thread. The packed inference
+// pipeline keys off this: it is graph-free, so it only engages when the
+// caller has already declared (via NoGradGuard) that no gradients are
+// wanted from the pass.
+bool GradEnabled();
+
 // While alive on a thread, gradient accumulation into the given target
 // tensors (typically model parameters, the only tensors shared between
 // data-parallel shard graphs) is redirected into the caller-provided

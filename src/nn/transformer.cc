@@ -1,18 +1,40 @@
 #include "nn/transformer.h"
 
 #include <cassert>
+#include <climits>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace qpe::nn {
 
 // --- BatchLayout ---
 
-BatchLayout BatchLayout::FromLengths(const std::vector<int>& lengths) {
+util::StatusOr<BatchLayout> BatchLayout::FromLengthsChecked(
+    const std::vector<int>& lengths) {
+  // Validate everything (including the total) before building the
+  // positions column, so a hostile total can't trigger a huge allocation.
+  long long total = 0;
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len <= 0) {
+      return util::InvalidArgumentError(
+          "BatchLayout::FromLengths: sequence " + std::to_string(s) +
+          " has non-positive length " + std::to_string(len));
+    }
+    total += len;
+    if (total > INT_MAX) {
+      return util::InvalidArgumentError(
+          "BatchLayout::FromLengths: total_rows overflows int at sequence " +
+          std::to_string(s) + " (running total " + std::to_string(total) +
+          ")");
+    }
+  }
   BatchLayout layout;
   layout.lengths = lengths;
   layout.offsets.reserve(lengths.size());
   for (const int len : lengths) {
-    assert(len > 0);
     layout.offsets.push_back(layout.total_rows);
     layout.total_rows += len;
   }
@@ -21,6 +43,15 @@ BatchLayout BatchLayout::FromLengths(const std::vector<int>& lengths) {
     for (int t = 0; t < len; ++t) layout.positions.push_back(t);
   }
   return layout;
+}
+
+BatchLayout BatchLayout::FromLengths(const std::vector<int>& lengths) {
+  util::StatusOr<BatchLayout> layout = FromLengthsChecked(lengths);
+  if (!layout.ok()) {
+    std::fprintf(stderr, "%s\n", layout.status().message().c_str());
+    std::abort();
+  }
+  return std::move(layout.value());
 }
 
 // --- MultiHeadSelfAttention ---

@@ -20,6 +20,35 @@ std::vector<const PlanNode*> SortedChildren(const PlanNode& node) {
   return kids;
 }
 
+// Visits node's children in canonical-typename order without allocating:
+// real plans have tiny fan-outs (binary joins dominate), so a stable
+// insertion sort over an inline pointer array replaces SortedChildren's
+// per-node vector + stable_sort on the hot linearization path — the
+// per-node heap traffic was visible in encode profiles. Equal keys are
+// never moved past each other, so the visit order matches SortedChildren
+// exactly; improbable fan-outs fall back to the allocating path.
+template <typename Fn>
+void ForEachChildSorted(const PlanNode& node, Fn&& fn) {
+  const auto& ch = node.children();
+  const size_t n = ch.size();
+  constexpr size_t kInline = 16;
+  if (n > kInline) {
+    for (const PlanNode* child : SortedChildren(node)) fn(*child);
+    return;
+  }
+  const PlanNode* kids[kInline];
+  for (size_t i = 0; i < n; ++i) {
+    const PlanNode* key = ch[i].get();
+    size_t j = i;
+    while (j > 0 && key->type() < kids[j - 1]->type()) {
+      kids[j] = kids[j - 1];
+      --j;
+    }
+    kids[j] = key;
+  }
+  for (size_t i = 0; i < n; ++i) fn(*kids[i]);
+}
+
 void DfsBracket(const PlanNode& node, std::vector<OperatorType>* out) {
   const Taxonomy& tax = Taxonomy::Get();
   if (node.children().empty()) {
@@ -28,31 +57,37 @@ void DfsBracket(const PlanNode& node, std::vector<OperatorType>* out) {
   }
   out->push_back(OperatorType(static_cast<uint8_t>(tax.br_open()), 0, 0));
   out->push_back(node.type());
-  for (const PlanNode* child : SortedChildren(node)) {
-    DfsBracket(*child, out);
-  }
+  ForEachChildSorted(node,
+                     [out](const PlanNode& child) { DfsBracket(child, out); });
   out->push_back(OperatorType(static_cast<uint8_t>(tax.br_close()), 0, 0));
 }
 
 void Dfs(const PlanNode& node, std::vector<OperatorType>* out) {
   out->push_back(node.type());
-  for (const PlanNode* child : SortedChildren(node)) Dfs(*child, out);
+  ForEachChildSorted(node, [out](const PlanNode& child) { Dfs(child, out); });
 }
 
 }  // namespace
 
 std::vector<OperatorType> LinearizeDfsBracket(const PlanNode& root,
                                               bool add_cls_sep) {
-  const Taxonomy& tax = Taxonomy::Get();
   std::vector<OperatorType> tokens;
-  if (add_cls_sep) {
-    tokens.push_back(OperatorType(static_cast<uint8_t>(tax.cls()), 0, 0));
-  }
-  DfsBracket(root, &tokens);
-  if (add_cls_sep) {
-    tokens.push_back(OperatorType(static_cast<uint8_t>(tax.sep()), 0, 0));
-  }
+  LinearizeDfsBracketInto(root, &tokens, add_cls_sep);
   return tokens;
+}
+
+void LinearizeDfsBracketInto(const PlanNode& root,
+                             std::vector<OperatorType>* out,
+                             bool add_cls_sep) {
+  const Taxonomy& tax = Taxonomy::Get();
+  out->clear();
+  if (add_cls_sep) {
+    out->push_back(OperatorType(static_cast<uint8_t>(tax.cls()), 0, 0));
+  }
+  DfsBracket(root, out);
+  if (add_cls_sep) {
+    out->push_back(OperatorType(static_cast<uint8_t>(tax.sep()), 0, 0));
+  }
 }
 
 std::vector<OperatorType> LinearizeDfs(const PlanNode& root) {

@@ -21,6 +21,13 @@ namespace qpe::plan {
 std::vector<OperatorType> LinearizeDfsBracket(const PlanNode& root,
                                               bool add_cls_sep = true);
 
+// Appends the same linearization into a caller-owned vector (cleared
+// first). The batch packer reuses one scratch vector across plans so
+// steady-state packing does no heap allocation.
+void LinearizeDfsBracketInto(const PlanNode& root,
+                             std::vector<OperatorType>* out,
+                             bool add_cls_sep = true);
+
 // Plain BFS and DFS traversals (no brackets); used as contrast baselines in
 // tests — they are ambiguous across distinct trees, which DFS-bracket fixes.
 std::vector<OperatorType> LinearizeDfs(const PlanNode& root);

@@ -40,6 +40,10 @@ struct ServiceStats {
   // service's worker threads) plus peak RSS, snapshotted by GetStats().
   nn::MemoryStats memory;
   uint64_t peak_rss_bytes = 0;
+  // Process-wide count of packed-workspace reallocation events
+  // (nn::PackedBatch::TotalGrowthEvents). Flat once serving reaches steady
+  // state — growth after warmup means the workspace high-water mark moved.
+  uint64_t packed_growth_events = 0;
   // Active SIMD kernel level ("scalar", "avx2", "neon"), from nn/simd.h.
   const char* simd_level = "scalar";
 };
