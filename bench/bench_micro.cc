@@ -6,9 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "config/db_config.h"
@@ -621,6 +625,63 @@ BENCHMARK(BM_TrainStepPerfEncoder)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+// --- train_step_speedup context stamp ---------------------------------------
+
+// Best-of-3 single-threaded PPSR training epochs (same model shape and data
+// as BM_TrainStepPpsr), fresh model per repetition so every measurement
+// times epoch 1 from identical weights.
+double BestTrainEpochMs(const qpe::data::PlanPairDataset& dataset) {
+  qpe::util::SetMaxThreads(1);
+  double best_ms = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    qpe::util::Rng rng(14);
+    qpe::encoder::StructureEncoderConfig config;
+    config.num_layers = 1;
+    qpe::encoder::PpsrModel model(
+        std::make_unique<qpe::encoder::TransformerPlanEncoder>(config, &rng),
+        &rng);
+    qpe::encoder::PpsrTrainOptions train_options;
+    train_options.epochs = 1;
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        qpe::encoder::TrainPpsr(&model, dataset.train, train_options));
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
+
+// The packed-training win, measured in-process so the regression gate can
+// hold an absolute floor on it: per-plan op-chain training graphs
+// (QPE_PACKED_TRAIN=0) vs the packed columnar forward/backward (the
+// default) on the exact same single-threaded epoch. A ratio of wall-clock
+// ratios is largely frequency-insensitive, which is what an absolute
+// floor needs on shared hosts.
+std::string MeasureTrainStepSpeedup() {
+  qpe::data::PairDatasetOptions options;
+  options.num_pairs = 24;
+  options.corpus.min_nodes = 4;
+  options.corpus.max_nodes = 16;
+  const qpe::data::PlanPairDataset dataset =
+      qpe::data::BuildCorpusPairDataset(options);
+  const char* saved = std::getenv("QPE_PACKED_TRAIN");
+  setenv("QPE_PACKED_TRAIN", "0", 1);
+  const double per_plan_ms = BestTrainEpochMs(dataset);
+  if (saved != nullptr) {
+    setenv("QPE_PACKED_TRAIN", saved, 1);
+  } else {
+    unsetenv("QPE_PACKED_TRAIN");
+  }
+  const double packed_ms = BestTrainEpochMs(dataset);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                packed_ms > 0 ? per_plan_ms / packed_ms : 0.0);
+  return buf;
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): stamp this binary's build type
@@ -632,6 +693,8 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext(
       "qpe_simd_level",
       qpe::nn::simd::LevelName(qpe::nn::simd::ActiveLevel()));
+  benchmark::AddCustomContext("train_step_speedup",
+                              MeasureTrainStepSpeedup());
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

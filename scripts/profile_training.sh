@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# One-command training profile: builds bench_micro in a dedicated
+# Release+gprof tree (build-profile, shared with profile_serving.sh), runs
+# the training-step benchmarks once, and prints the top-10 flat-profile
+# rows. This is the decomposition tool behind the packed training work —
+# it answers "where do training cycles actually go" (packed forward,
+# backward kernels, optimizer, dataset assembly) without guessing from
+# epoch-time deltas.
+#
+# gprof instead of perf: the container images this runs in have binutils
+# (gprof) but no perf_event access. -pg instrumentation perturbs the
+# absolute numbers a little, so read the *shares*, not the ns — the
+# regression gate owns absolute numbers.
+#
+# Usage: scripts/profile_training.sh [top_n]
+#   QPE_PROFILE_SMOKE=1  cap the benchmark time so the script doubles as a
+#                        CI smoke test of the profiling toolchain itself.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TOP_N="${1:-10}"
+BUILD_DIR="${QPE_PROFILE_BUILD_DIR:-build-profile}"
+
+if ! command -v gprof >/dev/null 2>&1; then
+  echo "ERROR: gprof not found on PATH (install binutils)"
+  exit 1
+fi
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS=-pg -DCMAKE_EXE_LINKER_FLAGS=-pg >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_micro -j"$(nproc)"
+
+# gmon.out lands in the working directory; keep it out of the repo root.
+PROFILE_DIR="$(mktemp -d /tmp/qpe_profile.XXXXXX)"
+trap 'rm -rf "${PROFILE_DIR}"' EXIT
+
+BENCH="$(pwd)/${BUILD_DIR}/bench/bench_micro"
+# Single-threaded runs only (BM_TrainStepPpsr/1): gprof's sampling only
+# covers the main thread, so multi-threaded rows would under-attribute the
+# shard work. The in-process train_step_speedup A/B that bench_micro runs
+# at startup profiles both the per-plan and packed paths for free.
+MIN_TIME=0.5
+if [[ "${QPE_PROFILE_SMOKE:-0}" != "0" ]]; then
+  MIN_TIME=0.05
+fi
+(
+  cd "${PROFILE_DIR}"
+  "${BENCH}" \
+    --benchmark_filter='BM_TrainStepPpsr/1|BM_TrainStepPerfEncoder/1' \
+    --benchmark_min_time="${MIN_TIME}" >/dev/null
+)
+
+if [[ ! -f "${PROFILE_DIR}/gmon.out" ]]; then
+  echo "ERROR: bench_micro produced no gmon.out (built without -pg?)"
+  exit 1
+fi
+
+echo
+echo "== top ${TOP_N} functions by flat self-time (gprof, bench_micro training) =="
+# -b: skip the explanatory boilerplate; -p: flat profile only. The first
+# 5 lines of -b -p output are the table header.
+gprof -b -p "${BENCH}" "${PROFILE_DIR}/gmon.out" | head -n "$((TOP_N + 5))"

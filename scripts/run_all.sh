@@ -15,10 +15,12 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # and the crash-resume smoke (see scripts/verify_robustness.sh).
 ./scripts/verify_robustness.sh 2>&1 | tee -a test_output.txt
 
-# Profiling-toolchain smoke: build the gprof tree and take a capped-workload
-# flat profile of bench_serving (see scripts/profile_serving.sh for the
-# full-workload version used when chasing a regression).
+# Profiling-toolchain smoke: build the gprof tree and take capped-workload
+# flat profiles of bench_serving and the training benchmarks (see
+# scripts/profile_serving.sh and scripts/profile_training.sh for the
+# full-workload versions used when chasing a regression).
 QPE_PROFILE_SMOKE=1 ./scripts/profile_serving.sh 2>&1 | tee -a test_output.txt
+QPE_PROFILE_SMOKE=1 ./scripts/profile_training.sh 2>&1 | tee -a test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do

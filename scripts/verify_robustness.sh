@@ -32,7 +32,7 @@ cmake -B build-asan -S . -DQPE_SANITIZE=address >/dev/null
 cmake --build build-asan -j"$(nproc)" \
   --target checkpoint_test dataset_io_test robustness_test ingestion_test \
   serving_test daemon_test drift_test arena_test simd_quant_test \
-  workload_explorer qpe_served qpe_client
+  packed_pipeline_test workload_explorer qpe_served qpe_client
 
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/checkpoint_test
@@ -64,6 +64,14 @@ ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
 # calibration + quantized-encoder paths run end to end.
 ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
   ./build-asan/tests/simd_quant_test
+# Packed columnar pipeline under ASan, with the dispatch pinned scalar
+# (QPE_SANITIZE_BUILD): the growable workspace buffers, the packed
+# training forward/backward's scatter/gather indexing into the ragged
+# layout, and the workspace-capture backward closures all get their
+# bounds and lifetimes checked — including the new PackedTrainTest
+# end-to-end training runs.
+ASAN_OPTIONS="halt_on_error=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}" \
+  ./build-asan/tests/packed_pipeline_test
 
 explorer=./build-asan/examples/workload_explorer
 

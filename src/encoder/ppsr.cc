@@ -22,8 +22,16 @@ PpsrModel::PpsrModel(std::unique_ptr<PlanSequenceEncoder> encoder,
 nn::Tensor PpsrModel::PredictSimilarity(const plan::PlanNode& left,
                                         const plan::PlanNode& right,
                                         util::Rng* dropout_rng) const {
-  const nn::Tensor v1 = encoder_->Encode(left, dropout_rng);
-  const nn::Tensor v2 = encoder_->Encode(right, dropout_rng);
+  // Both plans encode through one gradient-capable batch call: during
+  // training the transformer encoder runs one columnar packed
+  // forward/backward per pair (bit-identical to two per-plan Encode
+  // graphs, gradients included); under NoGradGuard and for the baseline
+  // encoders this is exactly the per-plan loop.
+  const plan::PlanNode* batch[2] = {&left, &right};
+  const std::vector<nn::Tensor> enc =
+      encoder_->EncodeBatchGrad(batch, dropout_rng);
+  const nn::Tensor& v1 = enc[0];
+  const nn::Tensor& v2 = enc[1];
   const nn::Tensor features =
       nn::ConcatCols({v1, v2, Abs(Sub(v1, v2)), Mul(v1, v2)});
   return Sigmoid(match_->Forward(features));

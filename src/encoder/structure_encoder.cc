@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 
 #include "nn/arena.h"
 #include "nn/optimizer.h"
 #include "nn/packed_forward.h"
+#include "nn/packed_train.h"
 #include "nn/parallel.h"
 #include "nn/simd.h"
 
@@ -104,6 +106,16 @@ void PackPlansColumns(std::span<const plan::PlanNode* const> plans,
 
 std::vector<nn::Tensor> PlanSequenceEncoder::EncodeBatch(
     std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
+  std::vector<nn::Tensor> out;
+  out.reserve(plans.size());
+  for (const plan::PlanNode* p : plans) out.push_back(Encode(*p, dropout_rng));
+  return out;
+}
+
+std::vector<nn::Tensor> PlanSequenceEncoder::EncodeBatchGrad(
+    std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
+  // The per-plan loop is the gradient-bit reference the packed override
+  // must reproduce.
   std::vector<nn::Tensor> out;
   out.reserve(plans.size());
   for (const plan::PlanNode* p : plans) out.push_back(Encode(*p, dropout_rng));
@@ -261,6 +273,117 @@ std::vector<nn::Tensor> TransformerPlanEncoder::EncodeBatchPacked(
     const float* row = result + static_cast<size_t>(i) * od;
     out.push_back(
         nn::Tensor::FromVector(1, od, std::vector<float>(row, row + od)));
+  }
+  return out;
+}
+
+std::vector<nn::Tensor> TransformerPlanEncoder::EncodeBatchGrad(
+    std::span<const plan::PlanNode* const> plans, util::Rng* dropout_rng) const {
+  if (plans.empty()) return {};
+  if (!nn::GradEnabled() || !nn::PackedEnvEnabled() ||
+      !nn::PackedTrainEnvEnabled()) {
+    return PlanSequenceEncoder::EncodeBatchGrad(plans, dropout_rng);
+  }
+  // Pack in REVERSE caller order: the autograd engine runs later-built
+  // sibling subtrees' backward first, so under the reversed packing the
+  // backward kernels' ascending-row accumulation reproduces the per-plan
+  // gradient accumulation order at every shared memory location.
+  nn::PackedBatch& pb = nn::PackedBatch::ThreadLocal();
+  std::vector<const plan::PlanNode*> reversed(plans.rbegin(), plans.rend());
+  PackPlansColumns(reversed, config_.max_len, &pb);
+
+  nn::PackedTrainBatch& ws = nn::PackedTrainBatch::ThreadLocal();
+  ws.ids1.assign(pb.ids1.begin(), pb.ids1.end());
+  ws.ids2.assign(pb.ids2.begin(), pb.ids2.end());
+  ws.ids3.assign(pb.ids3.begin(), pb.ids3.end());
+  ws.positions.assign(pb.layout.positions.begin(), pb.layout.positions.end());
+  ws.offsets.assign(pb.layout.offsets.begin(), pb.layout.offsets.end());
+  ws.lengths.assign(pb.layout.lengths.begin(), pb.layout.lengths.end());
+  ws.rows = pb.layout.total_rows;
+  ws.num_seqs = pb.layout.size();
+
+  // Refresh the training view's raw pointers from the stable parameter
+  // handles (checkpoint loads replace value buffers, never the autograd
+  // nodes the gradients route through).
+  auto param = [](const nn::Tensor& t) {
+    return nn::PackedTrainParam{t.value().data(), t.impl()};
+  };
+  nn::PackedTrainView& tv = ws.view;
+  tv.model_dim = config_.ModelDim();
+  tv.ff_dim = config_.ff_dim;
+  tv.num_heads = config_.num_heads;
+  tv.num_layers = config_.num_layers;
+  tv.level1_dim = config_.level1_dim;
+  tv.level2_dim = config_.level2_dim;
+  tv.level3_dim = config_.level3_dim;
+  tv.output_dim = output_dim();
+  tv.has_projection = projection_ != nullptr;
+  tv.dropout = config_.dropout;
+  tv.embed1 = param(packed_refs_.embed1);
+  tv.embed2 = param(packed_refs_.embed2);
+  tv.embed3 = param(packed_refs_.embed3);
+  tv.positional = param(packed_refs_.positional);
+  if (tv.layers.size() != packed_refs_.layers.size()) {
+    tv.layers.resize(packed_refs_.layers.size());
+  }
+  for (size_t i = 0; i < packed_refs_.layers.size(); ++i) {
+    const PackedRefs::Layer& src = packed_refs_.layers[i];
+    tv.layers[i] = {param(src.norm1_gamma), param(src.norm1_beta),
+                    param(src.norm2_gamma), param(src.norm2_beta)};
+  }
+  if (tv.sites.size() != packed_refs_.sites.size()) {
+    tv.sites.resize(packed_refs_.sites.size());
+  }
+  for (size_t i = 0; i < packed_refs_.sites.size(); ++i) {
+    tv.sites[i] = {param(packed_refs_.sites[i].weight),
+                   param(packed_refs_.sites[i].bias)};
+  }
+
+  // Dropout engages exactly when the per-plan path would engage it; the
+  // rate check happens inside the forward.
+  util::Rng* rng = training() ? dropout_rng : nullptr;
+  const float* result = nn::PackedTrainForward(ws, rng);
+
+  // One graph node for the whole batch. Its parents are every parameter
+  // the backward writes, so requires_grad propagates; the gradients
+  // themselves flow through GradPtr inside PackedTrainBackward, not
+  // through graph edges (the parameters are leaves).
+  const int S = ws.num_seqs;
+  const int od = tv.output_dim;
+  std::vector<std::shared_ptr<nn::Tensor::Impl>> parents;
+  parents.reserve(4 + 4 * packed_refs_.layers.size() +
+                  2 * packed_refs_.sites.size());
+  parents.push_back(packed_refs_.embed1.impl_);
+  parents.push_back(packed_refs_.embed2.impl_);
+  parents.push_back(packed_refs_.embed3.impl_);
+  parents.push_back(packed_refs_.positional.impl_);
+  for (const PackedRefs::Layer& l : packed_refs_.layers) {
+    parents.push_back(l.norm1_gamma.impl_);
+    parents.push_back(l.norm1_beta.impl_);
+    parents.push_back(l.norm2_gamma.impl_);
+    parents.push_back(l.norm2_beta.impl_);
+  }
+  for (const PackedRefs::Site& s : packed_refs_.sites) {
+    parents.push_back(s.weight.impl_);
+    parents.push_back(s.bias.impl_);
+  }
+  nn::Tensor packed_out =
+      nn::Tensor::MakeResult(S, od, parents, nn::Tensor::Fill::kOverwrite);
+  std::memcpy(packed_out.value().data(), result,
+              sizeof(float) * static_cast<size_t>(S) * od);
+  nn::PackedTrainBatch* wsp = &ws;
+  nn::Tensor::Impl* oi = packed_out.impl();
+  const uint64_t gen = ws.generation;
+  oi->backward_fn = [wsp, oi, gen]() {
+    oi->EnsureGrad();
+    nn::PackedTrainBackward(*wsp, oi->grad.data(), gen);
+  };
+
+  // Caller plan ci is packed sequence S-1-ci.
+  std::vector<nn::Tensor> out;
+  out.reserve(plans.size());
+  for (int ci = 0; ci < S; ++ci) {
+    out.push_back(SliceRows(packed_out, S - 1 - ci, 1));
   }
   return out;
 }

@@ -58,6 +58,17 @@ class PlanSequenceEncoder : public nn::Module {
       std::span<const plan::PlanNode* const> plans,
       util::Rng* dropout_rng) const;
 
+  // Gradient-recording batch encode: like EncodeBatch, but usable while
+  // gradients are enabled — result i backpropagates exactly like
+  // Encode(*plans[i], dropout_rng) would, gradient bits included. The base
+  // implementation is the per-plan loop (which IS that reference);
+  // TransformerPlanEncoder overrides it with the columnar packed training
+  // forward/backward (nn/packed_train.h) so data-parallel training shards
+  // run one packed pass per shard instead of per-plan op-chain graphs.
+  virtual std::vector<nn::Tensor> EncodeBatchGrad(
+      std::span<const plan::PlanNode* const> plans,
+      util::Rng* dropout_rng) const;
+
   virtual int output_dim() const = 0;
 };
 
@@ -99,6 +110,19 @@ class TransformerPlanEncoder : public PlanSequenceEncoder {
   // training it falls back to the per-plan path (dropout draws are
   // per-sequence by contract).
   std::vector<nn::Tensor> EncodeBatch(
+      std::span<const plan::PlanNode* const> plans,
+      util::Rng* dropout_rng) const override;
+
+  // Training fast path: packs the batch (in reverse caller order — see
+  // nn/packed_train.h) and runs the columnar recording forward, returning
+  // slices of one graph node whose backward replays the op chain's
+  // gradient arithmetic through the dispatched backward kernels.
+  // Bit-identical to the per-plan loop — values, dropout streams and
+  // accumulated parameter gradients — at every SIMD level. Falls back to
+  // the per-plan loop under NoGradGuard (it would record no graph there;
+  // eval paths keep their existing numerics) or when QPE_PACKED /
+  // QPE_PACKED_TRAIN disable it.
+  std::vector<nn::Tensor> EncodeBatchGrad(
       std::span<const plan::PlanNode* const> plans,
       util::Rng* dropout_rng) const override;
 

@@ -79,6 +79,13 @@ Tensor Linear::Forward(const Tensor& x) const {
   return LinearRowBias(x, weight_, bias_);
 }
 
+Tensor Linear::ForwardRelu(const Tensor& x) const {
+  assert(x.cols() == in_features_);
+  // One fused graph node; bit-identical to Relu(Forward(x)) forward and
+  // backward (see LinearRowBiasRelu in nn/tensor.h).
+  return LinearRowBiasRelu(x, weight_, bias_);
+}
+
 // --- Embedding ---
 
 Embedding::Embedding(int vocab_size, int dim, util::Rng* rng)
@@ -201,9 +208,16 @@ Mlp::Mlp(const std::vector<int>& dims, Activation hidden_activation,
 Tensor Mlp::Forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    h = Activate(h, i + 1 < layers_.size() ? hidden_activation_
-                                           : output_activation_);
+    const Activation act = i + 1 < layers_.size() ? hidden_activation_
+                                                  : output_activation_;
+    // ReLU-activated layers run as one fused Linear+ReLU node — same bits
+    // forward and backward, one graph node and two memory passes cheaper
+    // per layer (the MLP training hot path).
+    if (act == Activation::kRelu) {
+      h = layers_[i]->ForwardRelu(h);
+    } else {
+      h = Activate(layers_[i]->Forward(h), act);
+    }
   }
   return h;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/simd.h"
+
 namespace qpe::nn {
 
 void Optimizer::ZeroGrad() {
@@ -102,61 +104,21 @@ Adam::Adam(std::vector<Tensor> params, float lr, float beta1, float beta2,
   }
 }
 
-namespace {
-
-// One fused pass over a parameter: moments, bias correction, and the
-// parameter update in a single loop over restrict-qualified pointers. The
-// per-element arithmetic (including the divisions by bias1/bias2) is kept
-// exactly as the original composite loop computed it, so training
-// trajectories are unchanged.
-void FusedAdamStep(float* __restrict value, const float* __restrict grad,
-                   float* __restrict m, float* __restrict v, size_t n,
-                   float lr, float beta1, float beta2, float eps, float bias1,
-                   float bias2) {
-  for (size_t j = 0; j < n; ++j) {
-    m[j] = beta1 * m[j] + (1.0f - beta1) * grad[j];
-    v[j] = beta2 * v[j] + (1.0f - beta2) * grad[j] * grad[j];
-    const float m_hat = m[j] / bias1;
-    const float v_hat = v[j] / bias2;
-    value[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
-  }
-}
-
-// AdamW variant: decoupled decay reads the pre-update value and rides the
-// same pass. Split from FusedAdamStep so the zero-decay path stays bitwise
-// identical to plain Adam.
-void FusedAdamWStep(float* __restrict value, const float* __restrict grad,
-                    float* __restrict m, float* __restrict v, size_t n,
-                    float lr, float beta1, float beta2, float eps, float bias1,
-                    float bias2, float weight_decay) {
-  for (size_t j = 0; j < n; ++j) {
-    m[j] = beta1 * m[j] + (1.0f - beta1) * grad[j];
-    v[j] = beta2 * v[j] + (1.0f - beta2) * grad[j] * grad[j];
-    const float m_hat = m[j] / bias1;
-    const float v_hat = v[j] / bias2;
-    value[j] -=
-        lr * (m_hat / (std::sqrt(v_hat) + eps) + weight_decay * value[j]);
-  }
-}
-
-}  // namespace
-
 void Adam::Step() {
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  // The fused moments + bias-correction + update pass lives in the kernel
+  // dispatch table (AdamStepT): elementwise with correctly rounded ops
+  // only, so the vector levels update parameters bit-identically to the
+  // scalar loop — training trajectories are unchanged by dispatch level.
+  // weight_decay == 0 selects the plain-Adam expression inside the kernel,
+  // keeping zero-decay AdamW bitwise identical to Adam.
   for (size_t i = 0; i < params_.size(); ++i) {
     Tensor p = params_[i];
-    float* value = p.value().data();
-    const float* grad = p.grad().data();
-    const size_t n = p.value().size();
-    if (weight_decay_ == 0.0f) {
-      FusedAdamStep(value, grad, m_[i].data(), v_[i].data(), n, lr_, beta1_,
-                    beta2_, eps_, bias1, bias2);
-    } else {
-      FusedAdamWStep(value, grad, m_[i].data(), v_[i].data(), n, lr_, beta1_,
-                     beta2_, eps_, bias1, bias2, weight_decay_);
-    }
+    simd::K().adam_step(p.value().data(), p.grad().data(), m_[i].data(),
+                        v_[i].data(), p.value().size(), lr_, beta1_, beta2_,
+                        eps_, bias1, bias2, weight_decay_);
   }
 }
 

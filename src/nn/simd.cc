@@ -40,6 +40,7 @@ struct ScalarOps {
   static Vec Mul(Vec a, Vec b) { return a * b; }
   static Vec Div(Vec a, Vec b) { return a / b; }
   static Vec Max(Vec a, Vec b) { return a < b ? b : a; }
+  static Vec Sqrt(Vec v) { return std::sqrt(v); }
   static float HMax(Vec v) { return v; }
   // std::exp, not a polynomial: the scalar table is the seed-bit-exact
   // reference, so its exp must be the libm call the pre-SIMD code made.
@@ -135,6 +136,51 @@ void ScalarAddRows(float* dst, const float* src, size_t n) {
   AddRowsT<ScalarOps>(dst, src, n);
 }
 
+void ScalarMatMulBackwardA(const float* og, const float* bv, float* ag,
+                           int i0, int i1, int k, int n) {
+  MatMulBackwardAT<ScalarOps>(og, bv, ag, i0, i1, k, n);
+}
+
+void ScalarMatMulBackwardB(const float* av, const float* og, float* bg,
+                           int p0, int p1, int m, int k, int n) {
+  MatMulBackwardBT<ScalarOps>(av, og, bg, p0, p1, m, k, n);
+}
+
+void ScalarBiasActBackward(const float* ov, const float* og, float* ag,
+                           float* bg, int m, int n) {
+  BiasActBackwardT<ScalarOps>(ov, og, ag, bg, m, n);
+}
+
+void ScalarLayerNormRowsBackward(const float* xv, const float* gv,
+                                 const float* og, float* xg, float* gg,
+                                 float* bg, int m, int n, float invn) {
+  LayerNormRowsBackwardT<ScalarOps>(xv, gv, og, xg, gg, bg, m, n, invn);
+}
+
+void ScalarSoftmaxRowsMaskedBackward(const float* yv, const float* gy,
+                                     float* gx, const int* valid, int m,
+                                     int n) {
+  SoftmaxRowsMaskedBackwardT<ScalarOps>(yv, gy, gx, valid, m, n);
+}
+
+void ScalarAttentionBackwardPacked(const float* qv, const float* kv,
+                                   const float* vv, const float* og,
+                                   float* qg, float* kg, float* vg,
+                                   const int* offsets, const int* lengths,
+                                   int num_seqs, int num_heads, int dim,
+                                   float scale) {
+  AttentionBackwardPackedT<ScalarOps>(qv, kv, vv, og, qg, kg, vg, offsets,
+                                      lengths, num_seqs, num_heads, dim,
+                                      scale);
+}
+
+void ScalarAdamStep(float* value, const float* grad, float* m, float* v,
+                    size_t n, float lr, float beta1, float beta2, float eps,
+                    float bias1, float bias2, float weight_decay) {
+  AdamStepT<ScalarOps>(value, grad, m, v, n, lr, beta1, beta2, eps, bias1,
+                       bias2, weight_decay);
+}
+
 const Kernels kScalarTable = {
     Level::kScalar,
     "scalar",
@@ -150,6 +196,13 @@ const Kernels kScalarTable = {
     &ScalarQuantizeBuffer,
     &ScalarLinearBiasAct,
     &ScalarAddRows,
+    &ScalarMatMulBackwardA,
+    &ScalarMatMulBackwardB,
+    &ScalarBiasActBackward,
+    &ScalarLayerNormRowsBackward,
+    &ScalarSoftmaxRowsMaskedBackward,
+    &ScalarAttentionBackwardPacked,
+    &ScalarAdamStep,
 };
 
 Level DetectHardwareLevel() {

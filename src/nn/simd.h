@@ -128,6 +128,78 @@ struct Kernels {
   // dst[i] += src[i] over n floats (the packed pipeline's residual adds).
   // Elementwise; every level is bit-identical.
   void (*add_rows)(float* dst, const float* src, size_t n);
+
+  // --- Backward kernels -----------------------------------------------
+  // The training-side counterparts of the forwards above, with the same
+  // numerics contract: the scalar table reproduces the pre-SIMD backward
+  // closures in nn/tensor.cc bit for bit, and the vector tables preserve
+  // each gradient element's accumulation order (dot-shaped reductions
+  // keep their ascending order per lane; elementwise passes vectorize
+  // freely). The one cross-level deviation is again V::Exp, which the
+  // packed attention backward uses to recompute the softmax
+  // probabilities — so at a vector level the recomputed probs match that
+  // level's *forward* bits exactly, and only cross-level equality is
+  // epsilon-gated (like the forward).
+
+  // dA[i0:i1, :] += dOut[i0:i1, :] * B^T with dOut [m, n], B [k, n]. Each
+  // dA element is one complete ascending-j dot accumulated in a register
+  // and added to dA once — the vector levels run lanes across the p (dA
+  // column) dimension over a transposed copy of B, so every lane's dot
+  // keeps the scalar's ascending-j order and the single final add.
+  void (*matmul_backward_a)(const float* og, const float* bv, float* ag,
+                            int i0, int i1, int k, int n);
+  // dB[p0:p1, :] += (A^T * dOut)[p0:p1, :] with A [m, k], dOut [m, n]:
+  // rank-1 row updates, i accumulated in ascending order per output
+  // element regardless of the p partition, with the seed's aval == 0 skip
+  // kept at every level (same value subsequence, so same bits). Vector
+  // levels run lanes across the j (dB column) dimension.
+  void (*matmul_backward_b)(const float* av, const float* og, float* bg,
+                            int p0, int p1, int m, int k, int n);
+  // Backward of bias_relu: for elements where the forward output ov was
+  // > 0, ag[r, c] += og[r, c] and bg[c] += og[r, c]; gated elements are
+  // untouched. ag / bg may be null to skip that gradient. bg accumulates
+  // rows in ascending order per column at every level.
+  void (*bias_act_backward)(const float* ov, const float* og, float* ag,
+                            float* bg, int m, int n);
+  // Backward of layer_norm_rows: given forward input xv and gamma gv,
+  // accumulates xg (input grad), gg (gamma grad) and bg (beta grad), any
+  // of which may be null. Row statistics and the m1/m2 reductions stay
+  // scalar ascending at every level; the gg/bg and xg passes are
+  // elementwise and vectorize bit-identically.
+  void (*layer_norm_rows_backward)(const float* xv, const float* gv,
+                                   const float* og, float* xg, float* gg,
+                                   float* bg, int m, int n, float invn);
+  // Backward of softmax_rows_masked: gx[r, c] += y[r, c] * (gy[r, c] -
+  // dot_r) over the first valid[r] columns, dot_r = sum_c y * gy kept
+  // scalar ascending; the gx pass is elementwise.
+  void (*softmax_rows_masked_backward)(const float* yv, const float* gy,
+                                       float* gx, const int* valid, int m,
+                                       int n);
+  // Backward of attention_forward_packed: recomputes the probabilities
+  // (through V::Exp — see above) and accumulates qg / kg / vg, any of
+  // which may be null. All dot reductions keep the scalar's ascending
+  // order per lane; lanes run across key positions (d_probs) and head
+  // columns (the gradient axpys).
+  void (*attention_backward_packed)(const float* qv, const float* kv,
+                                    const float* vv, const float* og,
+                                    float* qg, float* kg, float* vg,
+                                    const int* offsets, const int* lengths,
+                                    int num_seqs, int num_heads, int dim,
+                                    float scale);
+  // Fused Adam/AdamW parameter update over one flat parameter buffer:
+  //   m[j] = beta1 * m[j] + (1 - beta1) * g[j]
+  //   v[j] = beta2 * v[j] + (1 - beta2) * g[j] * g[j]
+  //   value[j] -= lr * (m[j]/bias1) / (sqrt(v[j]/bias2) + eps)       (Adam)
+  //   value[j] -= lr * ((m[j]/bias1) / (sqrt(v[j]/bias2) + eps)
+  //               + weight_decay * value[j])                         (AdamW)
+  // Purely elementwise, and sqrt/div are correctly rounded IEEE ops, so
+  // every level is bit-identical — lane for lane the vector path computes
+  // the scalar expression tree (including the left-associated
+  // ((1-beta2)*g)*g product). weight_decay == 0 selects the plain-Adam
+  // expression so zero-decay AdamW stays bitwise identical to Adam.
+  void (*adam_step)(float* value, const float* grad, float* m, float* v,
+                    size_t n, float lr, float beta1, float beta2, float eps,
+                    float bias1, float bias2, float weight_decay);
 };
 
 // Tile geometry of the packed int8 weight layout: kInt8TileN output

@@ -30,6 +30,14 @@ struct Avx2Ops {
   // max(a, b) with b preferred on unordered — matches std::max's
   // (a < b ? b : a) selection exactly on the finite inputs the kernels see.
   static Vec Max(Vec a, Vec b) { return _mm256_max_ps(b, a); }
+  // Correctly rounded per IEEE 754, same bits as scalar sqrtf per lane.
+  static Vec Sqrt(Vec v) { return _mm256_sqrt_ps(v); }
+  // All-ones mask where v > 0 (quiet compare: NaN lanes gate off), and a
+  // bitwise AND — the pair turns BiasActBackwardT's branch into a mask.
+  static Vec GtZero(Vec v) {
+    return _mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_GT_OQ);
+  }
+  static Vec And(Vec a, Vec b) { return _mm256_and_ps(a, b); }
   static float HMax(Vec v) {
     __m128 lo = _mm256_castps256_ps128(v);
     __m128 hi = _mm256_extractf128_ps(v, 1);
@@ -278,6 +286,48 @@ void Avx2AddRows(float* dst, const float* src, size_t n) {
   AddRowsT<Avx2Ops>(dst, src, n);
 }
 
+void Avx2MatMulBackwardA(const float* og, const float* bv, float* ag, int i0,
+                         int i1, int k, int n) {
+  MatMulBackwardAT<Avx2Ops>(og, bv, ag, i0, i1, k, n);
+}
+
+void Avx2MatMulBackwardB(const float* av, const float* og, float* bg, int p0,
+                         int p1, int m, int k, int n) {
+  MatMulBackwardBT<Avx2Ops>(av, og, bg, p0, p1, m, k, n);
+}
+
+void Avx2BiasActBackward(const float* ov, const float* og, float* ag,
+                         float* bg, int m, int n) {
+  BiasActBackwardT<Avx2Ops>(ov, og, ag, bg, m, n);
+}
+
+void Avx2LayerNormRowsBackward(const float* xv, const float* gv,
+                               const float* og, float* xg, float* gg,
+                               float* bg, int m, int n, float invn) {
+  LayerNormRowsBackwardT<Avx2Ops>(xv, gv, og, xg, gg, bg, m, n, invn);
+}
+
+void Avx2SoftmaxRowsMaskedBackward(const float* yv, const float* gy,
+                                   float* gx, const int* valid, int m, int n) {
+  SoftmaxRowsMaskedBackwardT<Avx2Ops>(yv, gy, gx, valid, m, n);
+}
+
+void Avx2AttentionBackwardPacked(const float* qv, const float* kv,
+                                 const float* vv, const float* og, float* qg,
+                                 float* kg, float* vg, const int* offsets,
+                                 const int* lengths, int num_seqs,
+                                 int num_heads, int dim, float scale) {
+  AttentionBackwardPackedT<Avx2Ops>(qv, kv, vv, og, qg, kg, vg, offsets,
+                                    lengths, num_seqs, num_heads, dim, scale);
+}
+
+void Avx2AdamStep(float* value, const float* grad, float* m, float* v,
+                  size_t n, float lr, float beta1, float beta2, float eps,
+                  float bias1, float bias2, float weight_decay) {
+  AdamStepT<Avx2Ops>(value, grad, m, v, n, lr, beta1, beta2, eps, bias1,
+                     bias2, weight_decay);
+}
+
 const Kernels kAvx2Table = {
     Level::kAvx2,
     "avx2",
@@ -293,6 +343,13 @@ const Kernels kAvx2Table = {
     &Avx2QuantizeBuffer,
     &Avx2LinearBiasAct,
     &Avx2AddRows,
+    &Avx2MatMulBackwardA,
+    &Avx2MatMulBackwardB,
+    &Avx2BiasActBackward,
+    &Avx2LayerNormRowsBackward,
+    &Avx2SoftmaxRowsMaskedBackward,
+    &Avx2AttentionBackwardPacked,
+    &Avx2AdamStep,
 };
 
 }  // namespace

@@ -928,6 +928,644 @@ void AttentionForwardBlockedT(const float* __restrict qv,
   }
 }
 
+// --- Backward kernel bodies ------------------------------------------
+//
+// Width-1 instantiations reproduce the pre-SIMD backward closures of
+// nn/tensor.cc statement for statement (the scalar table is the training
+// bit-exactness reference, just as for the forwards). The vector paths
+// follow the same discipline as the forwards: lanes run across
+// independent gradient elements, never across a reduction, and every
+// reduction keeps its scalar ascending order inside each lane. Gradient
+// buffers have one extra invariant the vector paths lean on: a grad
+// buffer starts zero-filled (+0) and is only ever accumulated into, and
+// under round-to-nearest a sum can only produce -0 when both operands
+// are -0 — so by induction a grad element is never -0, and adding a +/-0
+// term to it leaves its bits unchanged. That is what makes the masked
+// adds in BiasActBackwardT bit-safe.
+
+// dA[i0:i1, :] += dOut[i0:i1, :] * B^T. The seed closure computes each
+// dA element as one complete ascending-j dot in a register, added to dA
+// once — note this is *not* the forward's accumulate-into-out shape, so
+// the vector path cannot reuse MatMulForwardRangeT. Instead it runs
+// register-tiled lanes across the p (dA column) dimension over a
+// transposed copy of B: each lane's dot still starts at zero and
+// accumulates ascending j, followed by the one final add, so every level
+// produces the seed's bits. The transpose is pure data movement (never
+// rounds) into a thread-local scratch, rebuilt per ParallelFor range —
+// ranges are capped at 4x the thread count, and the training matrices
+// are small enough (k, n <= a few hundred) that the repack is noise next
+// to the O(m*k*n) dots it unlocks.
+template <typename V>
+void MatMulBackwardAT(const float* __restrict og, const float* __restrict bv,
+                      float* __restrict ag, int i0, int i1, int k, int n) {
+  constexpr int L = V::kLanes;
+  if constexpr (L == 1) {
+    for (int i = i0; i < i1; ++i) {
+      const float* __restrict orow = og + static_cast<size_t>(i) * n;
+      float* __restrict arow = ag + static_cast<size_t>(i) * k;
+      for (int p = 0; p < k; ++p) {
+        const float* __restrict brow = bv + static_cast<size_t>(p) * n;
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) dot += orow[j] * brow[j];
+        arow[p] += dot;
+      }
+    }
+  } else {
+    static thread_local std::vector<float> bt;  // B^T scratch, [n, k]
+    bt.resize(static_cast<size_t>(n) * k);
+    float* __restrict btv = bt.data();
+    for (int p = 0; p < k; ++p) {
+      const float* __restrict brow = bv + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) btv[static_cast<size_t>(j) * k + p] = brow[j];
+    }
+    const auto zero = V::Broadcast(0.0f);
+    for (int i = i0; i < i1; ++i) {
+      const float* __restrict orow = og + static_cast<size_t>(i) * n;
+      float* __restrict arow = ag + static_cast<size_t>(i) * k;
+      int p = 0;
+      for (; p + 4 * L <= k; p += 4 * L) {
+        auto a0 = zero;
+        auto a1 = zero;
+        auto a2 = zero;
+        auto a3 = zero;
+        for (int j = 0; j < n; ++j) {
+          const float* __restrict btrow = btv + static_cast<size_t>(j) * k + p;
+          const auto vo = V::Broadcast(orow[j]);
+          a0 = V::Add(a0, V::Mul(vo, V::Load(btrow)));
+          a1 = V::Add(a1, V::Mul(vo, V::Load(btrow + L)));
+          a2 = V::Add(a2, V::Mul(vo, V::Load(btrow + 2 * L)));
+          a3 = V::Add(a3, V::Mul(vo, V::Load(btrow + 3 * L)));
+        }
+        V::Store(arow + p, V::Add(V::Load(arow + p), a0));
+        V::Store(arow + p + L, V::Add(V::Load(arow + p + L), a1));
+        V::Store(arow + p + 2 * L, V::Add(V::Load(arow + p + 2 * L), a2));
+        V::Store(arow + p + 3 * L, V::Add(V::Load(arow + p + 3 * L), a3));
+      }
+      for (; p + L <= k; p += L) {
+        auto a0 = zero;
+        for (int j = 0; j < n; ++j) {
+          a0 = V::Add(a0, V::Mul(V::Broadcast(orow[j]),
+                                 V::Load(btv + static_cast<size_t>(j) * k + p)));
+        }
+        V::Store(arow + p, V::Add(V::Load(arow + p), a0));
+      }
+      for (; p < k; ++p) {
+        float dot = 0.0f;
+        for (int j = 0; j < n; ++j) {
+          dot += orow[j] * btv[static_cast<size_t>(j) * k + p];
+        }
+        arow[p] += dot;
+      }
+    }
+  }
+}
+
+// dB[p0:p1, :] += (A^T * dOut)[p0:p1, :] as rank-1 row updates: for each
+// i ascending, axpy dOut row i into the dB rows selected by A row i. Per
+// output element the i dimension accumulates in ascending order
+// regardless of the p partition, and the seed's aval == 0 skip (ReLU
+// inputs are often sparse) is kept at every level — the surviving value
+// subsequence is identical, so so are the bits. The vector path runs
+// lanes across the contiguous j dimension of the axpy.
+template <typename V>
+void MatMulBackwardBT(const float* __restrict av, const float* __restrict og,
+                      float* __restrict bg, int p0, int p1, int m, int k,
+                      int n) {
+  constexpr int L = V::kLanes;
+  for (int i = 0; i < m; ++i) {
+    const float* __restrict arow = av + static_cast<size_t>(i) * k;
+    const float* __restrict orow = og + static_cast<size_t>(i) * n;
+    for (int p = p0; p < p1; ++p) {
+      const float aval = arow[p];
+      if (aval == 0.0f) continue;
+      float* __restrict brow = bg + static_cast<size_t>(p) * n;
+      if constexpr (L == 1) {
+        for (int j = 0; j < n; ++j) brow[j] += aval * orow[j];
+      } else {
+        const auto va = V::Broadcast(aval);
+        int j = 0;
+        for (; j + 2 * L <= n; j += 2 * L) {
+          V::Store(brow + j,
+                   V::Add(V::Load(brow + j), V::Mul(va, V::Load(orow + j))));
+          V::Store(brow + j + L, V::Add(V::Load(brow + j + L),
+                                        V::Mul(va, V::Load(orow + j + L))));
+        }
+        for (; j + L <= n; j += L) {
+          V::Store(brow + j,
+                   V::Add(V::Load(brow + j), V::Mul(va, V::Load(orow + j))));
+        }
+        for (; j < n; ++j) brow[j] += aval * orow[j];
+      }
+    }
+  }
+}
+
+// Backward of bias_relu, gated on the forward *output* (ov > 0 iff the
+// pre-activation was > 0). The vector path turns the branch into a mask:
+// gated lanes contribute And(og, 0) == +0, and adding +/-0 to a grad
+// element never changes its bits (grad buffers are never -0, see the
+// header note above) — so the masked add is bit-identical to the seed's
+// skip. bg accumulates rows in ascending order per column either way.
+// NaN forward outputs (already diverged training) gate differently
+// between the quiet vector compare and the scalar `<= 0`, matching the
+// forward kernels' NaN posture.
+template <typename V>
+void BiasActBackwardT(const float* __restrict ov, const float* __restrict og,
+                      float* __restrict ag, float* __restrict bg, int m,
+                      int n) {
+  constexpr int L = V::kLanes;
+  if constexpr (L == 1) {
+    for (int r = 0; r < m; ++r) {
+      const size_t base = static_cast<size_t>(r) * n;
+      for (int c = 0; c < n; ++c) {
+        if (ov[base + c] <= 0) continue;
+        const float g = og[base + c];
+        if (ag) ag[base + c] += g;
+        if (bg) bg[c] += g;
+      }
+    }
+  } else {
+    const int nv = (n / L) * L;
+    for (int r = 0; r < m; ++r) {
+      const float* __restrict ovr = ov + static_cast<size_t>(r) * n;
+      const float* __restrict ogr = og + static_cast<size_t>(r) * n;
+      float* __restrict agr = ag ? ag + static_cast<size_t>(r) * n : nullptr;
+      int c = 0;
+      for (; c < nv; c += L) {
+        const auto g = V::And(V::Load(ogr + c), V::GtZero(V::Load(ovr + c)));
+        if (agr) V::Store(agr + c, V::Add(V::Load(agr + c), g));
+        if (bg) V::Store(bg + c, V::Add(V::Load(bg + c), g));
+      }
+      for (; c < n; ++c) {
+        if (ovr[c] <= 0) continue;
+        const float g = ogr[c];
+        if (agr) agr[c] += g;
+        if (bg) bg[c] += g;
+      }
+    }
+  }
+}
+
+// Backward of layer_norm_rows. Row statistics recompute through the
+// shared LayerNormRowStats (same bits as the forward), and the m1/m2
+// reductions stay scalar ascending at every level. The gamma/beta and
+// input-gradient passes are elementwise: hoisting them out of the
+// reduction loop (vector levels) touches each gg[c]/bg[c] element once
+// per row in the same ascending row order, so their bits are unchanged,
+// and the xg expression keeps the seed's exact operation tree
+// recip * ((dy * gamma - m1) - xhat * m2).
+template <typename V>
+void LayerNormRowsBackwardT(const float* __restrict xv,
+                            const float* __restrict gv,
+                            const float* __restrict og, float* __restrict xg,
+                            float* __restrict gg, float* __restrict bg, int m,
+                            int n, float invn) {
+  constexpr int L = V::kLanes;
+  for (int r = 0; r < m; ++r) {
+    const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
+    const float* __restrict grow = og + static_cast<size_t>(r) * n;
+    float mean, recip;
+    LayerNormRowStats(xrow, n, invn, &mean, &recip);
+    float m1 = 0, m2 = 0;
+    if constexpr (L == 1) {
+      for (int c = 0; c < n; ++c) {
+        const float xhat = (xrow[c] - mean) * recip;
+        const float dxhat = grow[c] * gv[c];
+        m1 += dxhat;
+        m2 += dxhat * xhat;
+        if (gg) gg[c] += grow[c] * xhat;
+        if (bg) bg[c] += grow[c];
+      }
+    } else {
+      for (int c = 0; c < n; ++c) {
+        const float xhat = (xrow[c] - mean) * recip;
+        const float dxhat = grow[c] * gv[c];
+        m1 += dxhat;
+        m2 += dxhat * xhat;
+      }
+      const int nv = (n / L) * L;
+      const auto vmean = V::Broadcast(mean);
+      const auto vrecip = V::Broadcast(recip);
+      int c = 0;
+      for (; c < nv; c += L) {
+        const auto g = V::Load(grow + c);
+        if (gg) {
+          const auto xhat =
+              V::Mul(V::Sub(V::Load(xrow + c), vmean), vrecip);
+          V::Store(gg + c, V::Add(V::Load(gg + c), V::Mul(g, xhat)));
+        }
+        if (bg) V::Store(bg + c, V::Add(V::Load(bg + c), g));
+      }
+      for (; c < n; ++c) {
+        const float xhat = (xrow[c] - mean) * recip;
+        if (gg) gg[c] += grow[c] * xhat;
+        if (bg) bg[c] += grow[c];
+      }
+    }
+    if (xg == nullptr) continue;
+    m1 *= invn;
+    m2 *= invn;
+    float* __restrict xgrow = xg + static_cast<size_t>(r) * n;
+    if constexpr (L == 1) {
+      for (int c = 0; c < n; ++c) {
+        const float xhat = (xrow[c] - mean) * recip;
+        xgrow[c] += recip * (grow[c] * gv[c] - m1 - xhat * m2);
+      }
+    } else {
+      const int nv = (n / L) * L;
+      const auto vmean = V::Broadcast(mean);
+      const auto vrecip = V::Broadcast(recip);
+      const auto vm1 = V::Broadcast(m1);
+      const auto vm2 = V::Broadcast(m2);
+      int c = 0;
+      for (; c < nv; c += L) {
+        const auto xhat = V::Mul(V::Sub(V::Load(xrow + c), vmean), vrecip);
+        const auto t = V::Sub(
+            V::Sub(V::Mul(V::Load(grow + c), V::Load(gv + c)), vm1),
+            V::Mul(xhat, vm2));
+        V::Store(xgrow + c, V::Add(V::Load(xgrow + c), V::Mul(vrecip, t)));
+      }
+      for (; c < n; ++c) {
+        const float xhat = (xrow[c] - mean) * recip;
+        xgrow[c] += recip * (grow[c] * gv[c] - m1 - xhat * m2);
+      }
+    }
+  }
+}
+
+// Backward of softmax_rows_masked: the y*gy dot stays scalar ascending
+// (reduction); the gx pass is elementwise and vectorizes bit-identically.
+template <typename V>
+void SoftmaxRowsMaskedBackwardT(const float* __restrict yv,
+                                const float* __restrict gy,
+                                float* __restrict gx,
+                                const int* __restrict valid, int m, int n) {
+  constexpr int L = V::kLanes;
+  for (int r = 0; r < m; ++r) {
+    const int v = std::min(std::max(valid[r], 0), n);
+    const float* __restrict y = yv + static_cast<size_t>(r) * n;
+    const float* __restrict gyr = gy + static_cast<size_t>(r) * n;
+    float* __restrict gxr = gx + static_cast<size_t>(r) * n;
+    float dot = 0;
+    for (int c = 0; c < v; ++c) dot += y[c] * gyr[c];
+    if constexpr (L == 1) {
+      for (int c = 0; c < v; ++c) gxr[c] += y[c] * (gyr[c] - dot);
+    } else {
+      const auto vdot = V::Broadcast(dot);
+      int c = 0;
+      for (; c + L <= v; c += L) {
+        V::Store(gxr + c,
+                 V::Add(V::Load(gxr + c),
+                        V::Mul(V::Load(y + c), V::Sub(V::Load(gyr + c), vdot))));
+      }
+      for (; c < v; ++c) gxr[c] += y[c] * (gyr[c] - dot);
+    }
+  }
+}
+
+// Backward of attention_forward_packed. The probabilities are recomputed
+// rather than cached across the graph's lifetime (the seed closure's
+// trade-off, kept here): per element the score dot accumulates ascending
+// c from zero and is scaled once, the max reduction is exact, exp goes
+// through V::Exp — so at any level the recomputed probs match that
+// level's *forward* bits exactly, and only cross-level equality is
+// epsilon-gated — and the normalizing sum stays scalar ascending. The
+// gradient phases keep the seed's accumulation orders: d_probs lanes run
+// across key positions j over a transposed value pack (each lane's dot
+// ascending c from zero), and the v/q/k gradient axpys run lanes across
+// the head columns with their per-j memory accumulation order untouched.
+template <typename V>
+void AttentionBackwardPackedT(const float* __restrict qv,
+                              const float* __restrict kv,
+                              const float* __restrict vv,
+                              const float* __restrict og, float* __restrict qg,
+                              float* __restrict kg, float* __restrict vg,
+                              const int* __restrict offsets,
+                              const int* __restrict lengths, int num_seqs,
+                              int num_heads, int dim, float scale) {
+  constexpr int L = V::kLanes;
+  const int dh = dim / num_heads;
+  const int dhv = (dh / L) * L;
+  std::vector<float> probs, dprobs;
+  std::vector<float> kt, vt;  // vector levels: k^T / v^T head packs [dh, len]
+  for (int s = 0; s < num_seqs; ++s) {
+    const int off = offsets[s];
+    const int len = lengths[s];
+    probs.resize(static_cast<size_t>(len) * len);
+    dprobs.resize(static_cast<size_t>(len) * len);
+    if constexpr (L != 1) {
+      kt.resize(static_cast<size_t>(dh) * len);
+      vt.resize(static_cast<size_t>(dh) * len);
+    }
+    for (int h = 0; h < num_heads; ++h) {
+      const int col0 = h * dh;
+      if constexpr (L != 1) {
+        for (int j = 0; j < len; ++j) {
+          const float* __restrict krow =
+              kv + static_cast<size_t>(off + j) * dim + col0;
+          const float* __restrict vrow =
+              vv + static_cast<size_t>(off + j) * dim + col0;
+          for (int c = 0; c < dh; ++c) {
+            kt[static_cast<size_t>(c) * len + j] = krow[c];
+            vt[static_cast<size_t>(c) * len + j] = vrow[c];
+          }
+        }
+      }
+      // --- Recompute this head's attention probabilities ---------------
+      for (int i = 0; i < len; ++i) {
+        const float* __restrict qrow =
+            qv + static_cast<size_t>(off + i) * dim + col0;
+        float* __restrict prow = probs.data() + static_cast<size_t>(i) * len;
+        if constexpr (L == 1) {
+          for (int j = 0; j < len; ++j) {
+            const float* __restrict krow =
+                kv + static_cast<size_t>(off + j) * dim + col0;
+            float dot = 0;
+            for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
+            prow[j] = dot * scale;
+          }
+          float max_v = prow[0];
+          for (int j = 1; j < len; ++j) max_v = std::max(max_v, prow[j]);
+          float sum = 0;
+          for (int j = 0; j < len; ++j) {
+            prow[j] = std::exp(prow[j] - max_v);
+            sum += prow[j];
+          }
+          for (int j = 0; j < len; ++j) prow[j] /= sum;
+        } else {
+          const int lenv = (len / L) * L;
+          const float* __restrict ktv = kt.data();
+          const auto zero = V::Broadcast(0.0f);
+          const auto vs = V::Broadcast(scale);
+          int j = 0;
+          for (; j + L <= len; j += L) {
+            auto a0 = zero;
+            for (int c = 0; c < dh; ++c) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(qrow[c]),
+                                     V::Load(ktv + static_cast<size_t>(c) * len +
+                                             j)));
+            }
+            V::Store(prow + j, V::Mul(a0, vs));
+          }
+          for (; j < len; ++j) {
+            float dot = 0;
+            for (int c = 0; c < dh; ++c) {
+              dot += qrow[c] * ktv[static_cast<size_t>(c) * len + j];
+            }
+            prow[j] = dot * scale;
+          }
+          float max_v = prow[0];
+          {
+            int jj = 1;
+            if (len >= L) {
+              auto vmax = V::Load(prow);
+              for (jj = L; jj + L <= len; jj += L) {
+                vmax = V::Max(vmax, V::Load(prow + jj));
+              }
+              max_v = V::HMax(vmax);
+            }
+            for (; jj < len; ++jj) max_v = std::max(max_v, prow[jj]);
+          }
+          {
+            const auto vm = V::Broadcast(max_v);
+            int jj = 0;
+            for (; jj < lenv; jj += L) {
+              V::Store(prow + jj, V::Exp(V::Sub(V::Load(prow + jj), vm)));
+            }
+            for (; jj < len; ++jj) prow[jj] = std::exp(prow[jj] - max_v);
+          }
+          float sum = 0;
+          for (int jj = 0; jj < len; ++jj) sum += prow[jj];
+          {
+            const auto vsum = V::Broadcast(sum);
+            int jj = 0;
+            for (; jj < lenv; jj += L) {
+              V::Store(prow + jj, V::Div(V::Load(prow + jj), vsum));
+            }
+            for (; jj < len; ++jj) prow[jj] /= sum;
+          }
+        }
+      }
+      // --- Gradient phases, same accumulation orders as the seed -------
+      for (int i = 0; i < len; ++i) {
+        const float* __restrict prow =
+            probs.data() + static_cast<size_t>(i) * len;
+        float* __restrict dprow =
+            dprobs.data() + static_cast<size_t>(i) * len;
+        const float* __restrict grow =
+            og + static_cast<size_t>(off + i) * dim + col0;
+        // d_probs = d_ctx * vh^T; d_vh += probs^T * d_ctx.
+        if constexpr (L == 1) {
+          for (int j = 0; j < len; ++j) {
+            const float* __restrict vrow =
+                vv + static_cast<size_t>(off + j) * dim + col0;
+            float dp = 0;
+            for (int c = 0; c < dh; ++c) dp += grow[c] * vrow[c];
+            dprow[j] = dp;
+            if (vg) {
+              float* __restrict vgrow =
+                  vg + static_cast<size_t>(off + j) * dim + col0;
+              const float p = prow[j];
+              for (int c = 0; c < dh; ++c) vgrow[c] += p * grow[c];
+            }
+          }
+        } else {
+          const float* __restrict vtv = vt.data();
+          const auto zero = V::Broadcast(0.0f);
+          int j = 0;
+          for (; j + L <= len; j += L) {
+            auto a0 = zero;
+            for (int c = 0; c < dh; ++c) {
+              a0 = V::Add(a0, V::Mul(V::Broadcast(grow[c]),
+                                     V::Load(vtv + static_cast<size_t>(c) * len +
+                                             j)));
+            }
+            V::Store(dprow + j, a0);
+          }
+          for (; j < len; ++j) {
+            float dp = 0;
+            for (int c = 0; c < dh; ++c) {
+              dp += grow[c] * vtv[static_cast<size_t>(c) * len + j];
+            }
+            dprow[j] = dp;
+          }
+          if (vg) {
+            for (j = 0; j < len; ++j) {
+              float* __restrict vgrow =
+                  vg + static_cast<size_t>(off + j) * dim + col0;
+              const auto vp = V::Broadcast(prow[j]);
+              int c = 0;
+              for (; c < dhv; c += L) {
+                V::Store(vgrow + c, V::Add(V::Load(vgrow + c),
+                                           V::Mul(vp, V::Load(grow + c))));
+              }
+              for (; c < dh; ++c) vgrow[c] += prow[j] * grow[c];
+            }
+          }
+        }
+        // Softmax backward, then the post-softmax Scale folds into the
+        // score gradient: d_scores = scale * p * (dp - sum(p * dp)).
+        float dot = 0;
+        for (int j = 0; j < len; ++j) dot += prow[j] * dprow[j];
+        if constexpr (L == 1) {
+          for (int j = 0; j < len; ++j) {
+            dprow[j] = scale * prow[j] * (dprow[j] - dot);
+          }
+        } else {
+          const auto vscale = V::Broadcast(scale);
+          const auto vdot = V::Broadcast(dot);
+          int j = 0;
+          for (; j + L <= len; j += L) {
+            V::Store(dprow + j,
+                     V::Mul(V::Mul(vscale, V::Load(prow + j)),
+                            V::Sub(V::Load(dprow + j), vdot)));
+          }
+          for (; j < len; ++j) {
+            dprow[j] = scale * prow[j] * (dprow[j] - dot);
+          }
+        }
+        // d_qh += d_scores * kh; d_kh += d_scores^T * qh.
+        const float* __restrict qrow =
+            qv + static_cast<size_t>(off + i) * dim + col0;
+        float* __restrict qgrow =
+            qg ? qg + static_cast<size_t>(off + i) * dim + col0 : nullptr;
+        for (int j = 0; j < len; ++j) {
+          const float ds = dprow[j];
+          const float* __restrict krow =
+              kv + static_cast<size_t>(off + j) * dim + col0;
+          if constexpr (L == 1) {
+            if (qgrow) {
+              for (int c = 0; c < dh; ++c) qgrow[c] += ds * krow[c];
+            }
+            if (kg) {
+              float* __restrict kgrow =
+                  kg + static_cast<size_t>(off + j) * dim + col0;
+              for (int c = 0; c < dh; ++c) kgrow[c] += ds * qrow[c];
+            }
+          } else {
+            const auto vds = V::Broadcast(ds);
+            if (qgrow) {
+              int c = 0;
+              for (; c < dhv; c += L) {
+                V::Store(qgrow + c, V::Add(V::Load(qgrow + c),
+                                           V::Mul(vds, V::Load(krow + c))));
+              }
+              for (; c < dh; ++c) qgrow[c] += ds * krow[c];
+            }
+            if (kg) {
+              float* __restrict kgrow =
+                  kg + static_cast<size_t>(off + j) * dim + col0;
+              int c = 0;
+              for (; c < dhv; c += L) {
+                V::Store(kgrow + c, V::Add(V::Load(kgrow + c),
+                                           V::Mul(vds, V::Load(qrow + c))));
+              }
+              for (; c < dh; ++c) kgrow[c] += ds * qrow[c];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Fused Adam/AdamW update (the adam_step contract). Elementwise over
+// independent lanes with correctly rounded mul/add/sub/div/sqrt only, so
+// the vector path is bit-identical to the scalar loop as long as it keeps
+// the scalar expression tree: products and quotients associate exactly as
+// written below — in particular (1 - beta2) * g * g multiplies left to
+// right. The weight-decay branch is hoisted out of the loop: the decayed
+// expression must never run with weight_decay == 0 (0 * value would turn
+// the tree into different bits), mirroring the Adam/AdamW split the
+// optimizer had before the kernel existed.
+template <typename V>
+void AdamStepT(float* __restrict value, const float* __restrict grad,
+               float* __restrict m, float* __restrict v, size_t n, float lr,
+               float beta1, float beta2, float eps, float bias1, float bias2,
+               float weight_decay) {
+  constexpr int L = V::kLanes;
+  if constexpr (L == 1) {
+    if (weight_decay == 0.0f) {
+      for (size_t j = 0; j < n; ++j) {
+        m[j] = beta1 * m[j] + (1.0f - beta1) * grad[j];
+        v[j] = beta2 * v[j] + (1.0f - beta2) * grad[j] * grad[j];
+        const float m_hat = m[j] / bias1;
+        const float v_hat = v[j] / bias2;
+        value[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) {
+        m[j] = beta1 * m[j] + (1.0f - beta1) * grad[j];
+        v[j] = beta2 * v[j] + (1.0f - beta2) * grad[j] * grad[j];
+        const float m_hat = m[j] / bias1;
+        const float v_hat = v[j] / bias2;
+        value[j] -=
+            lr * (m_hat / (std::sqrt(v_hat) + eps) + weight_decay * value[j]);
+      }
+    }
+  } else {
+    const auto vb1 = V::Broadcast(beta1);
+    const auto vomb1 = V::Broadcast(1.0f - beta1);
+    const auto vb2 = V::Broadcast(beta2);
+    const auto vomb2 = V::Broadcast(1.0f - beta2);
+    const auto vbias1 = V::Broadcast(bias1);
+    const auto vbias2 = V::Broadcast(bias2);
+    const auto vlr = V::Broadcast(lr);
+    const auto veps = V::Broadcast(eps);
+    const size_t nv = (n / L) * L;
+    size_t j = 0;
+    if (weight_decay == 0.0f) {
+      for (; j < nv; j += L) {
+        const auto g = V::Load(grad + j);
+        const auto mj =
+            V::Add(V::Mul(vb1, V::Load(m + j)), V::Mul(vomb1, g));
+        const auto vj = V::Add(V::Mul(vb2, V::Load(v + j)),
+                               V::Mul(V::Mul(vomb2, g), g));
+        V::Store(m + j, mj);
+        V::Store(v + j, vj);
+        const auto m_hat = V::Div(mj, vbias1);
+        const auto v_hat = V::Div(vj, vbias2);
+        const auto upd =
+            V::Div(V::Mul(vlr, m_hat), V::Add(V::Sqrt(v_hat), veps));
+        V::Store(value + j, V::Sub(V::Load(value + j), upd));
+      }
+      for (; j < n; ++j) {
+        m[j] = beta1 * m[j] + (1.0f - beta1) * grad[j];
+        v[j] = beta2 * v[j] + (1.0f - beta2) * grad[j] * grad[j];
+        const float m_hat = m[j] / bias1;
+        const float v_hat = v[j] / bias2;
+        value[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+      }
+    } else {
+      const auto vwd = V::Broadcast(weight_decay);
+      for (; j < nv; j += L) {
+        const auto g = V::Load(grad + j);
+        const auto mj =
+            V::Add(V::Mul(vb1, V::Load(m + j)), V::Mul(vomb1, g));
+        const auto vj = V::Add(V::Mul(vb2, V::Load(v + j)),
+                               V::Mul(V::Mul(vomb2, g), g));
+        V::Store(m + j, mj);
+        V::Store(v + j, vj);
+        const auto m_hat = V::Div(mj, vbias1);
+        const auto v_hat = V::Div(vj, vbias2);
+        const auto val = V::Load(value + j);
+        const auto upd = V::Mul(
+            vlr, V::Add(V::Div(m_hat, V::Add(V::Sqrt(v_hat), veps)),
+                        V::Mul(vwd, val)));
+        V::Store(value + j, V::Sub(val, upd));
+      }
+      for (; j < n; ++j) {
+        m[j] = beta1 * m[j] + (1.0f - beta1) * grad[j];
+        v[j] = beta2 * v[j] + (1.0f - beta2) * grad[j] * grad[j];
+        const float m_hat = m[j] / bias1;
+        const float v_hat = v[j] / bias2;
+        value[j] -=
+            lr * (m_hat / (std::sqrt(v_hat) + eps) + weight_decay * value[j]);
+      }
+    }
+  }
+}
+
 // One quantization step of the quantize_buffer contract: round to nearest,
 // ties away from zero, saturate to [-127, 127]. Written as
 // trunc(t + copysign(0.5, t)) — every operation is an exact IEEE op, so a

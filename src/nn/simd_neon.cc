@@ -25,7 +25,18 @@ struct NeonOps {
   static Vec Mul(Vec a, Vec b) { return vmulq_f32(a, b); }
   static Vec Div(Vec a, Vec b) { return vdivq_f32(a, b); }
   static Vec Max(Vec a, Vec b) { return vmaxq_f32(a, b); }
+  // Correctly rounded per IEEE 754, same bits as scalar sqrtf per lane.
+  static Vec Sqrt(Vec v) { return vsqrtq_f32(v); }
   static float HMax(Vec v) { return vmaxvq_f32(v); }
+  // All-ones mask where v > 0 (NaN lanes gate off), and a bitwise AND —
+  // the pair turns BiasActBackwardT's branch into a mask.
+  static Vec GtZero(Vec v) {
+    return vreinterpretq_f32_u32(vcgtq_f32(v, vdupq_n_f32(0.0f)));
+  }
+  static Vec And(Vec a, Vec b) {
+    return vreinterpretq_f32_u32(
+        vandq_u32(vreinterpretq_u32_f32(a), vreinterpretq_u32_f32(b)));
+  }
   // 4-lane expf, same Cephes-style reduction + degree-5 polynomial as the
   // AVX2 table (~2 ulp). Allowed to diverge from the scalar std::exp
   // reference under the epsilon contract; see simd_kernels_inl.h.
@@ -232,6 +243,48 @@ void NeonAddRows(float* dst, const float* src, size_t n) {
   AddRowsT<NeonOps>(dst, src, n);
 }
 
+void NeonMatMulBackwardA(const float* og, const float* bv, float* ag, int i0,
+                         int i1, int k, int n) {
+  MatMulBackwardAT<NeonOps>(og, bv, ag, i0, i1, k, n);
+}
+
+void NeonMatMulBackwardB(const float* av, const float* og, float* bg, int p0,
+                         int p1, int m, int k, int n) {
+  MatMulBackwardBT<NeonOps>(av, og, bg, p0, p1, m, k, n);
+}
+
+void NeonBiasActBackward(const float* ov, const float* og, float* ag,
+                         float* bg, int m, int n) {
+  BiasActBackwardT<NeonOps>(ov, og, ag, bg, m, n);
+}
+
+void NeonLayerNormRowsBackward(const float* xv, const float* gv,
+                               const float* og, float* xg, float* gg,
+                               float* bg, int m, int n, float invn) {
+  LayerNormRowsBackwardT<NeonOps>(xv, gv, og, xg, gg, bg, m, n, invn);
+}
+
+void NeonSoftmaxRowsMaskedBackward(const float* yv, const float* gy,
+                                   float* gx, const int* valid, int m, int n) {
+  SoftmaxRowsMaskedBackwardT<NeonOps>(yv, gy, gx, valid, m, n);
+}
+
+void NeonAttentionBackwardPacked(const float* qv, const float* kv,
+                                 const float* vv, const float* og, float* qg,
+                                 float* kg, float* vg, const int* offsets,
+                                 const int* lengths, int num_seqs,
+                                 int num_heads, int dim, float scale) {
+  AttentionBackwardPackedT<NeonOps>(qv, kv, vv, og, qg, kg, vg, offsets,
+                                    lengths, num_seqs, num_heads, dim, scale);
+}
+
+void NeonAdamStep(float* value, const float* grad, float* m, float* v,
+                  size_t n, float lr, float beta1, float beta2, float eps,
+                  float bias1, float bias2, float weight_decay) {
+  AdamStepT<NeonOps>(value, grad, m, v, n, lr, beta1, beta2, eps, bias1,
+                     bias2, weight_decay);
+}
+
 const Kernels kNeonTable = {
     Level::kNeon,
     "neon",
@@ -247,6 +300,13 @@ const Kernels kNeonTable = {
     &NeonQuantizeBuffer,
     &NeonLinearBiasAct,
     &NeonAddRows,
+    &NeonMatMulBackwardA,
+    &NeonMatMulBackwardB,
+    &NeonBiasActBackward,
+    &NeonLayerNormRowsBackward,
+    &NeonSoftmaxRowsMaskedBackward,
+    &NeonAttentionBackwardPacked,
+    &NeonAdamStep,
 };
 
 }  // namespace

@@ -38,20 +38,6 @@ thread_local bool tl_no_grad = false;
 thread_local const std::unordered_map<Tensor::Impl*, float*>* tl_grad_redirect =
     nullptr;
 
-// Where a backward function accumulates a parent's gradient. Normally the
-// parent's own (lazily allocated) grad buffer; under an active
-// GradientCapture the shared targets are redirected to per-thread shadow
-// buffers so concurrent Backward() calls on graphs sharing parameter
-// leaves never write the same memory.
-float* GradPtr(Tensor::Impl* p) {
-  if (tl_grad_redirect) {
-    auto it = tl_grad_redirect->find(p);
-    if (it != tl_grad_redirect->end()) return it->second;
-  }
-  p->EnsureGrad();
-  return p->grad.data();
-}
-
 // Single creation point for tensor storage. Tensors that can participate
 // in the long-lived parameter set (requires_grad=true at creation) always
 // come from the plain heap; everything else draws from the thread's
@@ -77,6 +63,22 @@ Tensor NewTensor(int rows, int cols, bool requires_grad, bool zero_fill) {
 }
 
 }  // namespace
+
+// Where a backward function accumulates a parent's gradient. Normally the
+// parent's own (lazily allocated) grad buffer; under an active
+// GradientCapture the shared targets are redirected to per-thread shadow
+// buffers so concurrent Backward() calls on graphs sharing parameter
+// leaves never write the same memory. Exported (tensor.h) because the
+// packed-batch training backward accumulates parameter gradients outside
+// this translation unit and must honor the same redirect.
+float* GradPtr(Tensor::Impl* p) {
+  if (tl_grad_redirect) {
+    auto it = tl_grad_redirect->find(p);
+    if (it != tl_grad_redirect->end()) return it->second;
+  }
+  p->EnsureGrad();
+  return p->grad.data();
+}
 
 // ---------------------------------------------------------------------------
 // Construction and accessors
@@ -288,39 +290,20 @@ inline void MatMulForwardRange(const float* av, const float* bv, float* ov,
   simd::K().matmul_forward_range(av, bv, ov, i0, i1, k, n);
 }
 
-// dA[i0:i1, :] += dOut[i0:i1, :] * B^T, computed as row-dot-products so
-// both inner operands are contiguous (no stride-n walk through B).
-void MatMulBackwardA(const float* __restrict og, const float* __restrict bv,
-                     float* __restrict ag, int i0, int i1, int k, int n) {
-  for (int i = i0; i < i1; ++i) {
-    const float* __restrict orow = og + static_cast<size_t>(i) * n;
-    float* __restrict arow = ag + static_cast<size_t>(i) * k;
-    for (int p = 0; p < k; ++p) {
-      const float* __restrict brow = bv + static_cast<size_t>(p) * n;
-      float dot = 0.0f;
-      for (int j = 0; j < n; ++j) dot += orow[j] * brow[j];
-      arow[p] += dot;
-    }
-  }
+// dA[i0:i1, :] += dOut[i0:i1, :] * B^T — in the dispatch table since the
+// backward kernels joined it; each dA element stays one complete
+// ascending-j dot added once, at every level (MatMulBackwardAT).
+inline void MatMulBackwardA(const float* og, const float* bv, float* ag,
+                            int i0, int i1, int k, int n) {
+  simd::K().matmul_backward_a(og, bv, ag, i0, i1, k, n);
 }
 
-// dB[p0:p1, :] += (A^T * dOut)[p0:p1, :] as rank-1 row updates: for each i,
-// axpy dOut row i into the B-gradient rows selected by A row i. Per output
-// element the i-dimension is accumulated in ascending order regardless of
-// the p partition.
-void MatMulBackwardB(const float* __restrict av, const float* __restrict og,
-                     float* __restrict bg, int p0, int p1, int m, int k,
-                     int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict arow = av + static_cast<size_t>(i) * k;
-    const float* __restrict orow = og + static_cast<size_t>(i) * n;
-    for (int p = p0; p < p1; ++p) {
-      const float aval = arow[p];
-      if (aval == 0.0f) continue;
-      float* __restrict brow = bg + static_cast<size_t>(p) * n;
-      for (int j = 0; j < n; ++j) brow[j] += aval * orow[j];
-    }
-  }
+// dB[p0:p1, :] += (A^T * dOut)[p0:p1, :] as rank-1 row updates with the i
+// dimension accumulated in ascending order per output element regardless
+// of the p partition (MatMulBackwardBT in the dispatch table).
+inline void MatMulBackwardB(const float* av, const float* og, float* bg,
+                            int p0, int p1, int m, int k, int n) {
+  simd::K().matmul_backward_b(av, og, bg, p0, p1, m, k, n);
 }
 
 }  // namespace
@@ -1026,10 +1009,85 @@ Tensor LinearRowBias(const Tensor& x, const Tensor& w, const Tensor& bias) {
         }
       }
       if (bi->requires_grad) {
+        // Column sums: one add_rows per dOut row keeps the ascending-row
+        // accumulation order per bias element.
         float* __restrict bg = GradPtr(bi);
         for (int i = 0; i < m; ++i) {
-          const float* __restrict grow = og + static_cast<size_t>(i) * n;
-          for (int j = 0; j < n; ++j) bg[j] += grow[j];
+          simd::K().add_rows(bg, og + static_cast<size_t>(i) * n,
+                             static_cast<size_t>(n));
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor LinearRowBiasRelu(const Tensor& x, const Tensor& w,
+                         const Tensor& bias) {
+  assert(x.cols() == w.rows());
+  const int m = x.rows(), k = x.cols(), n = w.cols();
+  assert(bias.rows() == 1 && bias.cols() == n);
+  Tensor out = Tensor::MakeResult(m, n, {x.impl_, w.impl_, bias.impl_},
+                                  Tensor::Fill::kOverwrite);
+  const float* xv = x.impl_->value.data();
+  const float* wv = w.impl_->value.data();
+  const float* biasv = bias.impl_->value.data();
+  float* ov = out.impl_->value.data();
+  const int64_t flops = 2LL * m * k * n;
+  // linear_bias_act is bit-identical to fill + matmul_forward_range + the
+  // bias_relu pass (see nn/simd.h), and rows are independent, so splitting
+  // the row range across threads keeps LinearRowBias's parallel shape.
+  if (flops < kMatMulParallelFlops) {
+    simd::K().linear_bias_act(xv, wv, biasv, ov, m, k, n, /*relu=*/1);
+  } else {
+    util::ParallelFor(m, /*grain=*/1, [&](int64_t i0, int64_t i1) {
+      simd::K().linear_bias_act(xv + i0 * k, wv, biasv, ov + i0 * n,
+                                static_cast<int>(i1 - i0), k, n, /*relu=*/1);
+    });
+  }
+  if (out.requires_grad()) {
+    Tensor::Impl* const xi = x.impl_.get();
+    Tensor::Impl* const wi = w.impl_.get();
+    Tensor::Impl* const bi = bias.impl_.get();
+    Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
+    out.impl_->backward_fn = [xi, wi, bi, oi, m, k, n, flops]() {
+      // Recover the pre-activation gradient into a zero-filled scratch by
+      // gating dOut on out > 0 (out > 0 iff the pre-activation was > 0:
+      // the GEMM accumulator starts at +0 and IEEE addition only yields
+      // -0 from two -0 operands, so the clamp gates exactly the <= 0
+      // pre-activations). Clamped entries stay exactly +0 — the same bits
+      // the separate Relu node's input-grad buffer held in the chain —
+      // and the bias column sums ride the same gated pass in the chain's
+      // ascending row order, so all three gradients match the
+      // LinearRowBias + Relu chain bit for bit.
+      thread_local std::vector<float> d_pre;
+      d_pre.assign(static_cast<size_t>(m) * n, 0.0f);
+      float* bg = bi->requires_grad ? GradPtr(bi) : nullptr;
+      simd::K().bias_act_backward(oi->value.data(), oi->grad.data(),
+                                  d_pre.data(), bg, m, n);
+      const float* og = d_pre.data();
+      if (xi->requires_grad) {
+        float* xg = GradPtr(xi);
+        const float* wv = wi->value.data();
+        if (flops < kMatMulParallelFlops) {
+          MatMulBackwardA(og, wv, xg, 0, m, k, n);
+        } else {
+          util::ParallelFor(m, /*grain=*/1, [&](int64_t i0, int64_t i1) {
+            MatMulBackwardA(og, wv, xg, static_cast<int>(i0),
+                            static_cast<int>(i1), k, n);
+          });
+        }
+      }
+      if (wi->requires_grad) {
+        float* wg = GradPtr(wi);
+        const float* xv = xi->value.data();
+        if (flops < kMatMulParallelFlops) {
+          MatMulBackwardB(xv, og, wg, 0, k, m, k, n);
+        } else {
+          util::ParallelFor(k, /*grain=*/1, [&](int64_t p0, int64_t p1) {
+            MatMulBackwardB(xv, og, wg, static_cast<int>(p0),
+                            static_cast<int>(p1), m, k, n);
+          });
         }
       }
     };
@@ -1049,20 +1107,12 @@ Tensor BiasRelu(const Tensor& a, const Tensor& bias) {
     Tensor::Impl* const bi = bias.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, bi, oi, m, n]() {
-      // out > 0 iff the pre-activation a + bias was > 0.
-      const float* __restrict ov = oi->value.data();
-      const float* __restrict og = oi->grad.data();
-      float* __restrict ag = ai->requires_grad ? GradPtr(ai) : nullptr;
-      float* __restrict bg = bi->requires_grad ? GradPtr(bi) : nullptr;
-      for (int r = 0; r < m; ++r) {
-        const size_t base = static_cast<size_t>(r) * n;
-        for (int c = 0; c < n; ++c) {
-          if (ov[base + c] <= 0) continue;
-          const float g = og[base + c];
-          if (ag) ag[base + c] += g;
-          if (bg) bg[c] += g;
-        }
-      }
+      // out > 0 iff the pre-activation a + bias was > 0; the gated
+      // accumulation lives in the dispatch table (BiasActBackwardT).
+      float* ag = ai->requires_grad ? GradPtr(ai) : nullptr;
+      float* bg = bi->requires_grad ? GradPtr(bi) : nullptr;
+      simd::K().bias_act_backward(oi->value.data(), oi->grad.data(), ag, bg,
+                                  m, n);
     };
   }
   return out;
@@ -1107,9 +1157,8 @@ Tensor BiasGelu(const Tensor& a, const Tensor& bias) {
 }
 
 // Row statistics live in simd_kernels_inl.h (simd::LayerNormRowStats): the
-// forward kernels of every SIMD level and the scalar backward closure below
-// must share one definition so their mean/recip bits can never diverge.
-using simd::LayerNormRowStats;
+// forward and backward kernels of every SIMD level share one definition so
+// their mean/recip bits can never diverge.
 
 Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
   const int m = x.rows(), n = x.cols();
@@ -1127,37 +1176,16 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta) {
     Tensor::Impl* const bi = beta.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [xi, gi, bi, oi, m, n, invn]() {
-      const float* __restrict xv = xi->value.data();
-      const float* __restrict gv = gi->value.data();
-      const float* __restrict og = oi->grad.data();
-      float* __restrict xg = xi->requires_grad ? GradPtr(xi) : nullptr;
-      float* __restrict gg = gi->requires_grad ? GradPtr(gi) : nullptr;
-      float* __restrict bg = bi->requires_grad ? GradPtr(bi) : nullptr;
-      for (int r = 0; r < m; ++r) {
-        const float* __restrict xrow = xv + static_cast<size_t>(r) * n;
-        const float* __restrict grow = og + static_cast<size_t>(r) * n;
-        float mean, recip;
-        LayerNormRowStats(xrow, n, invn, &mean, &recip);
-        // dxhat = dy * gamma; dx = r * (dxhat - mean(dxhat) - xhat *
-        // mean(dxhat * xhat)) — the standard layer-norm backward.
-        float m1 = 0, m2 = 0;
-        for (int c = 0; c < n; ++c) {
-          const float xhat = (xrow[c] - mean) * recip;
-          const float dxhat = grow[c] * gv[c];
-          m1 += dxhat;
-          m2 += dxhat * xhat;
-          if (gg) gg[c] += grow[c] * xhat;
-          if (bg) bg[c] += grow[c];
-        }
-        if (xg == nullptr) continue;
-        m1 *= invn;
-        m2 *= invn;
-        float* __restrict xgrow = xg + static_cast<size_t>(r) * n;
-        for (int c = 0; c < n; ++c) {
-          const float xhat = (xrow[c] - mean) * recip;
-          xgrow[c] += recip * (grow[c] * gv[c] - m1 - xhat * m2);
-        }
-      }
+      // dxhat = dy * gamma; dx = r * (dxhat - mean(dxhat) - xhat *
+      // mean(dxhat * xhat)) — the standard layer-norm backward, in the
+      // dispatch table (LayerNormRowsBackwardT) with the row statistics
+      // recomputed through the shared LayerNormRowStats.
+      float* xg = xi->requires_grad ? GradPtr(xi) : nullptr;
+      float* gg = gi->requires_grad ? GradPtr(gi) : nullptr;
+      float* bg = bi->requires_grad ? GradPtr(bi) : nullptr;
+      simd::K().layer_norm_rows_backward(xi->value.data(), gi->value.data(),
+                                         oi->grad.data(), xg, gg, bg, m, n,
+                                         invn);
     };
   }
   return out;
@@ -1175,16 +1203,9 @@ Tensor SoftmaxRowsMasked(const Tensor& a, const std::vector<int>& valid) {
     Tensor::Impl* const ai = a.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [ai, oi, valid, m, n]() {
-      float* __restrict ag = GradPtr(ai);
-      for (int r = 0; r < m; ++r) {
-        const int v = std::min(std::max(valid[r], 0), n);
-        const float* __restrict y = oi->value.data() + static_cast<size_t>(r) * n;
-        const float* __restrict gy = oi->grad.data() + static_cast<size_t>(r) * n;
-        float* __restrict gx = ag + static_cast<size_t>(r) * n;
-        float dot = 0;
-        for (int c = 0; c < v; ++c) dot += y[c] * gy[c];
-        for (int c = 0; c < v; ++c) gx[c] += y[c] * (gy[c] - dot);
-      }
+      simd::K().softmax_rows_masked_backward(oi->value.data(),
+                                             oi->grad.data(), GradPtr(ai),
+                                             valid.data(), m, n);
     };
   }
   return out;
@@ -1200,7 +1221,6 @@ Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
   assert(v.rows() == total && v.cols() == dim);
   assert(num_heads > 0 && dim % num_heads == 0);
   assert(offsets.size() == lengths.size());
-  const int dh = dim / num_heads;
   Tensor out = Tensor::MakeResult(total, dim, {q.impl_, k.impl_, v.impl_});
 #ifndef NDEBUG
   for (size_t s = 0; s < lengths.size(); ++s) {
@@ -1221,94 +1241,17 @@ Tensor MultiHeadAttentionPacked(const Tensor& q, const Tensor& k,
     Tensor::Impl* const vi = v.impl_.get();
     Tensor::Impl* const oi = out.impl_.get();  // raw: no self-cycle
     out.impl_->backward_fn = [qi, ki, vi, oi, offsets, lengths, num_heads,
-                              scale, dim, dh]() {
-      const float* __restrict qv = qi->value.data();
-      const float* __restrict kv = ki->value.data();
-      const float* __restrict vv = vi->value.data();
-      const float* __restrict og = oi->grad.data();
-      float* __restrict qg = qi->requires_grad ? GradPtr(qi) : nullptr;
-      float* __restrict kg = ki->requires_grad ? GradPtr(ki) : nullptr;
-      float* __restrict vg = vi->requires_grad ? GradPtr(vi) : nullptr;
-      std::vector<float> probs, dprobs;
-      for (size_t s = 0; s < lengths.size(); ++s) {
-        const int off = offsets[s];
-        const int len = lengths[s];
-        probs.resize(static_cast<size_t>(len) * len);
-        dprobs.resize(static_cast<size_t>(len) * len);
-        for (int h = 0; h < num_heads; ++h) {
-          const int col0 = h * dh;
-          // Recompute the attention probabilities (cheaper than caching
-          // [len, len] per sequence per head across the graph's lifetime).
-          for (int i = 0; i < len; ++i) {
-            const float* __restrict qrow =
-                qv + static_cast<size_t>(off + i) * dim + col0;
-            float* __restrict prow =
-                probs.data() + static_cast<size_t>(i) * len;
-            for (int j = 0; j < len; ++j) {
-              const float* __restrict krow =
-                  kv + static_cast<size_t>(off + j) * dim + col0;
-              float dot = 0;
-              for (int c = 0; c < dh; ++c) dot += qrow[c] * krow[c];
-              prow[j] = dot * scale;
-            }
-            float max_v = prow[0];
-            for (int j = 1; j < len; ++j) max_v = std::max(max_v, prow[j]);
-            float sum = 0;
-            for (int j = 0; j < len; ++j) {
-              prow[j] = std::exp(prow[j] - max_v);
-              sum += prow[j];
-            }
-            for (int j = 0; j < len; ++j) prow[j] /= sum;
-          }
-          for (int i = 0; i < len; ++i) {
-            const float* __restrict prow =
-                probs.data() + static_cast<size_t>(i) * len;
-            float* __restrict dprow =
-                dprobs.data() + static_cast<size_t>(i) * len;
-            const float* __restrict grow =
-                og + static_cast<size_t>(off + i) * dim + col0;
-            // d_probs = d_ctx * vh^T; d_vh += probs^T * d_ctx.
-            for (int j = 0; j < len; ++j) {
-              const float* __restrict vrow =
-                  vv + static_cast<size_t>(off + j) * dim + col0;
-              float dp = 0;
-              for (int c = 0; c < dh; ++c) dp += grow[c] * vrow[c];
-              dprow[j] = dp;
-              if (vg) {
-                float* __restrict vgrow =
-                    vg + static_cast<size_t>(off + j) * dim + col0;
-                const float p = prow[j];
-                for (int c = 0; c < dh; ++c) vgrow[c] += p * grow[c];
-              }
-            }
-            // Softmax backward, then the post-softmax Scale folds into the
-            // score gradient: d_scores = scale * p * (dp - sum(p * dp)).
-            float dot = 0;
-            for (int j = 0; j < len; ++j) dot += prow[j] * dprow[j];
-            for (int j = 0; j < len; ++j) {
-              dprow[j] = scale * prow[j] * (dprow[j] - dot);
-            }
-            // d_qh += d_scores * kh; d_kh += d_scores^T * qh.
-            const float* __restrict qrow =
-                qv + static_cast<size_t>(off + i) * dim + col0;
-            float* __restrict qgrow =
-                qg ? qg + static_cast<size_t>(off + i) * dim + col0 : nullptr;
-            for (int j = 0; j < len; ++j) {
-              const float ds = dprow[j];
-              const float* __restrict krow =
-                  kv + static_cast<size_t>(off + j) * dim + col0;
-              if (qgrow) {
-                for (int c = 0; c < dh; ++c) qgrow[c] += ds * krow[c];
-              }
-              if (kg) {
-                float* __restrict kgrow =
-                    kg + static_cast<size_t>(off + j) * dim + col0;
-                for (int c = 0; c < dh; ++c) kgrow[c] += ds * qrow[c];
-              }
-            }
-          }
-        }
-      }
+                              scale, dim]() {
+      // Probabilities are recomputed inside the kernel (cheaper than
+      // caching [len, len] per sequence per head across the graph's
+      // lifetime); see AttentionBackwardPackedT in simd_kernels_inl.h.
+      float* qg = qi->requires_grad ? GradPtr(qi) : nullptr;
+      float* kg = ki->requires_grad ? GradPtr(ki) : nullptr;
+      float* vg = vi->requires_grad ? GradPtr(vi) : nullptr;
+      simd::K().attention_backward_packed(
+          qi->value.data(), ki->value.data(), vi->value.data(),
+          oi->grad.data(), qg, kg, vg, offsets.data(), lengths.data(),
+          static_cast<int>(lengths.size()), num_heads, dim, scale);
     };
   }
   return out;

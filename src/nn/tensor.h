@@ -141,6 +141,8 @@ class Tensor {
   // --- Fused serving kernels (see "Fused kernels" below) ---
   friend Tensor LinearRowBias(const Tensor& x, const Tensor& w,
                               const Tensor& bias);
+  friend Tensor LinearRowBiasRelu(const Tensor& x, const Tensor& w,
+                                  const Tensor& bias);
   friend Tensor BiasRelu(const Tensor& a, const Tensor& bias);
   friend Tensor BiasGelu(const Tensor& a, const Tensor& bias);
   friend Tensor LayerNormRows(const Tensor& x, const Tensor& gamma,
@@ -250,6 +252,17 @@ Tensor CrossEntropy(const Tensor& logits, const std::vector<int>& targets);
 // node, one [m, n] buffer and one full memory pass per Linear layer.
 Tensor LinearRowBias(const Tensor& x, const Tensor& w, const Tensor& bias);
 
+// max(x * w + bias, 0): a whole Linear + ReLU layer as one graph node. The
+// forward runs the packed pipeline's linear_bias_act kernel (GEMM with the
+// bias add and ReLU clamp riding the epilogue), whose contract makes it
+// bit-identical to the LinearRowBias + Relu chain; the backward recovers
+// the pre-activation gradient by gating on the output (out > 0 iff the
+// pre-activation was > 0 — the GEMM accumulator never produces -0) and
+// reuses the matmul/bias backward kernels on it, so gradients match the
+// chain bit for bit too. Saves a graph node, an [m, n] buffer and two full
+// memory passes per hidden MLP layer; the MLP training hot path.
+Tensor LinearRowBiasRelu(const Tensor& x, const Tensor& w, const Tensor& bias);
+
 // max(a + bias, 0) with a [1, n] bias row: fuses Linear's bias add with the
 // ReLU that follows it (one pass instead of two ops).
 Tensor BiasRelu(const Tensor& a, const Tensor& bias);
@@ -349,6 +362,14 @@ class GradientCapture {
 };
 
 // Gradient utilities.
+
+// Where a backward function accumulates a tensor's gradient: the impl's
+// own (lazily allocated) grad buffer, or the thread's GradientCapture
+// shadow buffer when one is redirecting this impl. Every backward that
+// writes parameter gradients — the op closures in tensor.cc and the
+// packed-batch training backward — must go through this so data-parallel
+// shards never write shared memory.
+float* GradPtr(Tensor::Impl* p);
 
 // Clips the global L2 norm of the given tensors' gradients to `max_norm`;
 // returns the pre-clip norm.

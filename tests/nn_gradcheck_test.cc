@@ -2,6 +2,9 @@
 // attention, a full transformer encoder layer, the LSTM, and the
 // performance-encoder architecture. These catch subtle backward bugs that
 // unit-level op checks can miss (shared subexpressions, broadcast chains).
+// The key module checks additionally rerun under every forced QPE_SIMD
+// dispatch level, so the vectorized backward kernels face the same
+// central-difference scrutiny as the scalar reference.
 
 #include <cmath>
 #include <functional>
@@ -10,11 +13,36 @@
 #include "gtest/gtest.h"
 #include "nn/loss.h"
 #include "nn/module.h"
+#include "nn/simd.h"
 #include "nn/transformer.h"
 #include "util/rng.h"
 
 namespace qpe::nn {
 namespace {
+
+// Restores the dispatched kernel table on scope exit so a forced level
+// never leaks into other tests.
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : saved_(simd::ActiveLevel()) {}
+  ~SimdLevelGuard() { simd::ForceLevel(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+// Runs `body` once with the dispatch forced to scalar and once at the
+// hardware's own level (skipping the second run on scalar-only hardware or
+// sanitizer builds, where ForceLevel clamps back down).
+void ForEachSimdLevel(const std::function<void()>& body) {
+  SimdLevelGuard guard;
+  for (const simd::Level level :
+       {simd::Level::kScalar, simd::HardwareLevel()}) {
+    if (simd::ForceLevel(level) != level) continue;
+    SCOPED_TRACE(simd::LevelName(level));
+    body();
+  }
+}
 
 // Checks d(scalar_fn)/d(param) against central differences for a sampled
 // subset of each parameter's entries (full sweeps are too slow for big
@@ -58,31 +86,37 @@ Tensor RandInput(int rows, int cols, uint64_t seed) {
 }
 
 TEST(ModuleGradCheck, LayerNorm) {
-  LayerNorm norm(6);
-  const Tensor x = RandInput(3, 6, 1);
-  const Tensor w = RandInput(3, 6, 2);
-  CheckModuleGradients(&norm, [&]() {
-    return Sum(Mul(norm.Forward(x), w));
+  ForEachSimdLevel([] {
+    LayerNorm norm(6);
+    const Tensor x = RandInput(3, 6, 1);
+    const Tensor w = RandInput(3, 6, 2);
+    CheckModuleGradients(&norm, [&]() {
+      return Sum(Mul(norm.Forward(x), w));
+    });
   });
 }
 
 TEST(ModuleGradCheck, MultiHeadSelfAttention) {
-  util::Rng rng(3);
-  MultiHeadSelfAttention attention(8, 2, &rng);
-  const Tensor x = RandInput(5, 8, 4);
-  const Tensor w = RandInput(5, 8, 5);
-  CheckModuleGradients(&attention, [&]() {
-    return Sum(Mul(attention.Forward(x), w));
+  ForEachSimdLevel([] {
+    util::Rng rng(3);
+    MultiHeadSelfAttention attention(8, 2, &rng);
+    const Tensor x = RandInput(5, 8, 4);
+    const Tensor w = RandInput(5, 8, 5);
+    CheckModuleGradients(&attention, [&]() {
+      return Sum(Mul(attention.Forward(x), w));
+    });
   });
 }
 
 TEST(ModuleGradCheck, TransformerEncoderLayer) {
-  util::Rng rng(6);
-  TransformerEncoderLayer layer(8, 2, 16, 0.0f, &rng);
-  layer.SetTraining(false);
-  const Tensor x = RandInput(4, 8, 7);
-  CheckModuleGradients(&layer, [&]() {
-    return Mean(Square(layer.Forward(x, nullptr)));
+  ForEachSimdLevel([] {
+    util::Rng rng(6);
+    TransformerEncoderLayer layer(8, 2, 16, 0.0f, &rng);
+    layer.SetTraining(false);
+    const Tensor x = RandInput(4, 8, 7);
+    CheckModuleGradients(&layer, [&]() {
+      return Mean(Square(layer.Forward(x, nullptr)));
+    });
   });
 }
 
@@ -111,11 +145,14 @@ TEST(ModuleGradCheck, EmbeddingThroughAttention) {
     Embedding* embed;
     MultiHeadSelfAttention* attn;
   };
-  util::Rng rng2(12);
-  Wrapper wrapper(&rng2);
-  const std::vector<int> tokens = {1, 4, 2, 1, 6};
-  CheckModuleGradients(&wrapper, [&]() {
-    return Mean(Square(wrapper.attn->Forward(wrapper.embed->Forward(tokens))));
+  ForEachSimdLevel([] {
+    util::Rng rng2(12);
+    Wrapper wrapper(&rng2);
+    const std::vector<int> tokens = {1, 4, 2, 1, 6};
+    CheckModuleGradients(&wrapper, [&]() {
+      return Mean(
+          Square(wrapper.attn->Forward(wrapper.embed->Forward(tokens))));
+    });
   });
 }
 

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "data/datasets.h"
 #include "data/plan_corpus.h"
+#include "encoder/ppsr.h"
 #include "encoder/quantized_encoder.h"
 #include "encoder/structure_encoder.h"
 #include "gtest/gtest.h"
@@ -534,6 +536,122 @@ TEST(PackedEncoderTest, Int8PackedKnobNeverChangesBits) {
     for (int c = 0; c < legacy[i].cols(); ++c) {
       ASSERT_EQ(legacy[i].at(0, c), packed[i].at(0, c))
           << "plan " << i << " dim " << c;
+    }
+  }
+}
+
+// --- Packed training vs per-plan op chain -----------------------------------
+//
+// QPE_PACKED_TRAIN=0 re-routes EncodeBatchGrad through the per-plan Encode
+// loop (the gradient-bit reference). The packed training path must match it
+// bit for bit — forward values, dropout streams, and every accumulated
+// parameter gradient — at EVERY SIMD level (both paths dispatch the same
+// kernel table; there is no sanctioned divergence like the inference exp).
+
+std::vector<std::vector<float>> ParamGrads(const nn::Module& m) {
+  std::vector<std::vector<float>> grads;
+  for (const auto& [name, tensor] : m.NamedParameters()) {
+    grads.push_back(tensor.grad());
+  }
+  return grads;
+}
+
+TEST(PackedTrainTest, EncodeBatchGradMatchesPerPlanBitwise) {
+  SimdLevelGuard level_guard;
+  util::Rng rng(101);
+  for (const bool projection : {false, true}) {
+    encoder::StructureEncoderConfig config = SmallConfig();
+    config.dropout = 0.25f;  // exercises the mask-stream contract
+    config.output_dim = projection ? 10 : 0;
+    encoder::TransformerPlanEncoder enc(config, &rng);
+    enc.SetTraining(true);
+    const auto plans = SamplePlans(5, 212);
+    const auto ptrs = Pointers(plans);
+
+    for (const Level level : {Level::kScalar, nn::simd::HardwareLevel()}) {
+      if (nn::simd::ForceLevel(level) != level) continue;  // sanitize build
+      auto run = [&](const char* knob) {
+        EnvVarGuard packed("QPE_PACKED_TRAIN", knob);
+        enc.ZeroGrad();
+        util::Rng dropout_rng(7);
+        const std::vector<nn::Tensor> outs =
+            enc.EncodeBatchGrad(ptrs, &dropout_rng);
+        // Distinct per-plan weights so a swapped or misrouted gradient
+        // cannot cancel out.
+        nn::Tensor loss = Sum(outs[0]);
+        for (size_t i = 1; i < outs.size(); ++i) {
+          loss = Add(loss, Scale(Sum(outs[i]), 0.5f + static_cast<float>(i)));
+        }
+        loss.Backward();
+        std::vector<std::vector<float>> values;
+        for (const nn::Tensor& t : outs) values.push_back(t.value());
+        return std::make_pair(values, ParamGrads(enc));
+      };
+      const auto per_plan = run("0");
+      const auto packed = run("1");
+      ASSERT_EQ(per_plan.first.size(), packed.first.size());
+      for (size_t i = 0; i < per_plan.first.size(); ++i) {
+        ASSERT_EQ(per_plan.first[i], packed.first[i])
+            << "values, plan " << i << " level " << nn::simd::LevelName(level)
+            << (projection ? " projection" : "");
+      }
+      ASSERT_EQ(per_plan.second.size(), packed.second.size());
+      for (size_t i = 0; i < per_plan.second.size(); ++i) {
+        ASSERT_EQ(per_plan.second[i], packed.second[i])
+            << "grads, param " << i << " level " << nn::simd::LevelName(level)
+            << (projection ? " projection" : "");
+      }
+    }
+  }
+}
+
+TEST(PackedTrainTest, TrainPpsrPackedKnobAndThreadsMatchBitwise) {
+  // End-to-end: whole TrainPpsr runs (dropout, Adam, grad clipping, shard
+  // reduction) must land on bit-identical weights with the packed training
+  // path on or off, at 1 or 4 threads.
+  data::PairDatasetOptions options;
+  options.num_pairs = 27;
+  options.corpus.min_nodes = 4;
+  options.corpus.max_nodes = 12;
+  const data::PlanPairDataset dataset = BuildCorpusPairDataset(options);
+
+  SimdLevelGuard level_guard;
+  ThreadCountGuard thread_guard;
+  encoder::StructureEncoderConfig config = SmallConfig();
+  config.dropout = 0.1f;
+  config.output_dim = 10;
+
+  auto train = [&](const char* knob, int threads) {
+    EnvVarGuard packed("QPE_PACKED_TRAIN", knob);
+    util::SetMaxThreads(threads);
+    util::Rng rng(42);
+    encoder::PpsrModel model(
+        std::make_unique<encoder::TransformerPlanEncoder>(config, &rng), &rng);
+    encoder::PpsrTrainOptions train_options;
+    train_options.epochs = 2;
+    TrainPpsr(&model, dataset.train, train_options);
+    std::vector<std::vector<float>> values;
+    for (const auto& [name, tensor] : model.NamedParameters()) {
+      values.push_back(tensor.value());
+    }
+    return values;
+  };
+
+  for (const Level level : {Level::kScalar, nn::simd::HardwareLevel()}) {
+    if (nn::simd::ForceLevel(level) != level) continue;  // sanitize build
+    const auto reference = train("0", 1);
+    const struct {
+      const char* knob;
+      int threads;
+    } cases[] = {{"1", 1}, {"1", 4}, {"0", 4}};
+    for (const auto& c : cases) {
+      const auto got = train(c.knob, c.threads);
+      ASSERT_EQ(reference.size(), got.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(reference[i], got[i])
+            << "param " << i << " level " << nn::simd::LevelName(level)
+            << " packed " << c.knob << " threads " << c.threads;
+      }
     }
   }
 }

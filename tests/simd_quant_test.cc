@@ -243,6 +243,246 @@ TEST(SimdParityTest, AttentionForwardPacked) {
   }
 }
 
+// --- Backward kernel parity -------------------------------------------------
+//
+// The backward table's contract is stricter than the forward epsilon: every
+// kernel except attention_backward_packed preserves the scalar accumulation
+// order per gradient element, so scalar and vector tables must match BIT FOR
+// BIT, including at adversarial odd shapes where only the tail lanes run.
+// Gradient buffers accumulate (+=), so each case seeds both tables' buffers
+// with identical random prior values to cover the accumulate path too.
+
+TEST(SimdParityTest, MatMulBackwardABitExact) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(51);
+  const int shapes[][3] = {{1, 1, 1},   {3, 7, 5},    {17, 48, 33},
+                           {129, 64, 129}, {2, 3, 300}, {5, 129, 17}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    const std::vector<float> og = RandomVec(static_cast<size_t>(m) * n, &rng);
+    const std::vector<float> b = RandomVec(static_cast<size_t>(k) * n, &rng);
+    std::vector<float> ag_s = RandomVec(static_cast<size_t>(m) * k, &rng);
+    std::vector<float> ag_v = ag_s;
+    // Split the row range to exercise the sharded [i0, i1) entry point.
+    const int mid = m / 2;
+    scalar->matmul_backward_a(og.data(), b.data(), ag_s.data(), 0, mid, k, n);
+    scalar->matmul_backward_a(og.data(), b.data(), ag_s.data(), mid, m, k, n);
+    vec->matmul_backward_a(og.data(), b.data(), ag_v.data(), 0, mid, k, n);
+    vec->matmul_backward_a(og.data(), b.data(), ag_v.data(), mid, m, k, n);
+    for (size_t i = 0; i < ag_s.size(); ++i) {
+      ASSERT_EQ(ag_s[i], ag_v[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(SimdParityTest, MatMulBackwardBBitExact) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(52);
+  const int shapes[][3] = {{1, 1, 1},   {3, 7, 5},    {17, 48, 33},
+                           {129, 64, 129}, {2, 3, 300}, {5, 129, 17}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1], n = s[2];
+    std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, &rng);
+    // Sprinkle zeros: the aval == 0 skip must be kept at every level.
+    for (size_t i = 0; i < a.size(); i += 3) a[i] = 0.0f;
+    const std::vector<float> og = RandomVec(static_cast<size_t>(m) * n, &rng);
+    std::vector<float> bg_s = RandomVec(static_cast<size_t>(k) * n, &rng);
+    std::vector<float> bg_v = bg_s;
+    const int mid = k / 2;
+    scalar->matmul_backward_b(a.data(), og.data(), bg_s.data(), 0, mid, m, k,
+                              n);
+    scalar->matmul_backward_b(a.data(), og.data(), bg_s.data(), mid, k, m, k,
+                              n);
+    vec->matmul_backward_b(a.data(), og.data(), bg_v.data(), 0, mid, m, k, n);
+    vec->matmul_backward_b(a.data(), og.data(), bg_v.data(), mid, k, m, k, n);
+    for (size_t i = 0; i < bg_s.size(); ++i) {
+      ASSERT_EQ(bg_s[i], bg_v[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(SimdParityTest, BiasActBackwardBitExact) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(53);
+  for (const int m : {1, 3, 17, 129}) {
+    for (const int n : {1, 3, 17, 48, 129}) {
+      const size_t total = static_cast<size_t>(m) * n;
+      // Forward output of bias_relu: nonnegative with exact zeros where the
+      // pre-activation was clamped, so the > 0 gate sees both branches.
+      const std::vector<float> pre = RandomVec(total, &rng);
+      const std::vector<float> bias = RandomVec(n, &rng, 0.25f);
+      std::vector<float> ov(total);
+      scalar->bias_relu(pre.data(), bias.data(), ov.data(), m, n);
+      const std::vector<float> og = RandomVec(total, &rng);
+      std::vector<float> ag_s = RandomVec(total, &rng), ag_v = ag_s;
+      std::vector<float> bg_s = RandomVec(n, &rng), bg_v = bg_s;
+      scalar->bias_act_backward(ov.data(), og.data(), ag_s.data(), bg_s.data(),
+                                m, n);
+      vec->bias_act_backward(ov.data(), og.data(), ag_v.data(), bg_v.data(), m,
+                             n);
+      for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(ag_s[i], ag_v[i]) << "ag " << i;
+      }
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(bg_s[i], bg_v[i]) << "bg " << i;
+      }
+      // Nullable-gradient paths: ag only, then bg only.
+      std::vector<float> ag2_s = ag_s, ag2_v = ag_v;
+      scalar->bias_act_backward(ov.data(), og.data(), ag2_s.data(), nullptr, m,
+                                n);
+      vec->bias_act_backward(ov.data(), og.data(), ag2_v.data(), nullptr, m,
+                             n);
+      std::vector<float> bg2_s = bg_s, bg2_v = bg_v;
+      scalar->bias_act_backward(ov.data(), og.data(), nullptr, bg2_s.data(), m,
+                                n);
+      vec->bias_act_backward(ov.data(), og.data(), nullptr, bg2_v.data(), m,
+                             n);
+      for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(ag2_s[i], ag2_v[i]) << "ag-only " << i;
+      }
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(bg2_s[i], bg2_v[i]) << "bg-only " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, LayerNormRowsBackwardBitExact) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(54);
+  for (const int m : {1, 3, 17, 129}) {
+    for (const int n : {1, 3, 17, 48, 129}) {
+      const size_t total = static_cast<size_t>(m) * n;
+      const std::vector<float> x = RandomVec(total, &rng, 3.0f);
+      const std::vector<float> gamma = RandomVec(n, &rng);
+      const std::vector<float> og = RandomVec(total, &rng);
+      const float invn = 1.0f / static_cast<float>(n);
+      std::vector<float> xg_s = RandomVec(total, &rng), xg_v = xg_s;
+      std::vector<float> gg_s = RandomVec(n, &rng), gg_v = gg_s;
+      std::vector<float> bg_s = RandomVec(n, &rng), bg_v = bg_s;
+      scalar->layer_norm_rows_backward(x.data(), gamma.data(), og.data(),
+                                       xg_s.data(), gg_s.data(), bg_s.data(),
+                                       m, n, invn);
+      vec->layer_norm_rows_backward(x.data(), gamma.data(), og.data(),
+                                    xg_v.data(), gg_v.data(), bg_v.data(), m,
+                                    n, invn);
+      for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(xg_s[i], xg_v[i]) << "xg " << i;
+      }
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(gg_s[i], gg_v[i]) << "gg " << i;
+        ASSERT_EQ(bg_s[i], bg_v[i]) << "bg " << i;
+      }
+      // Input-grad-only path (frozen affine params).
+      std::vector<float> xg2_s = xg_s, xg2_v = xg_v;
+      scalar->layer_norm_rows_backward(x.data(), gamma.data(), og.data(),
+                                       xg2_s.data(), nullptr, nullptr, m, n,
+                                       invn);
+      vec->layer_norm_rows_backward(x.data(), gamma.data(), og.data(),
+                                    xg2_v.data(), nullptr, nullptr, m, n,
+                                    invn);
+      for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(xg2_s[i], xg2_v[i]) << "xg-only " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, SoftmaxRowsMaskedBackwardBitExact) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(55);
+  for (const int m : {1, 3, 17}) {
+    for (const int n : {1, 3, 17, 129}) {
+      const size_t total = static_cast<size_t>(m) * n;
+      const std::vector<float> logits = RandomVec(total, &rng, 4.0f);
+      std::vector<int> valid(m);
+      for (int r = 0; r < m; ++r) {
+        valid[r] = 1 + static_cast<int>(rng.Uniform() * n);
+      }
+      if (m > 2) valid[m - 1] = 0;  // fully masked row contributes nothing
+      // Both tables consume the SAME forward probabilities (the scalar
+      // ones): the backward itself must be bit-exact given equal inputs.
+      std::vector<float> y(total, 0.0f);
+      scalar->softmax_rows_masked(logits.data(), y.data(), valid.data(), m, n);
+      const std::vector<float> gy = RandomVec(total, &rng);
+      std::vector<float> gx_s = RandomVec(total, &rng), gx_v = gx_s;
+      scalar->softmax_rows_masked_backward(y.data(), gy.data(), gx_s.data(),
+                                           valid.data(), m, n);
+      vec->softmax_rows_masked_backward(y.data(), gy.data(), gx_v.data(),
+                                        valid.data(), m, n);
+      for (size_t i = 0; i < total; ++i) {
+        ASSERT_EQ(gx_s[i], gx_v[i]) << "gx " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdParityTest, AttentionBackwardPacked) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(56);
+  struct Case {
+    std::vector<int> lengths;
+    int num_heads;
+    int dim;
+  };
+  const Case cases[] = {
+      {{1}, 1, 7},          // single token, odd head dim
+      {{3, 17, 1}, 4, 48},  // model-shaped heads, ragged batch
+      {{29, 5}, 2, 24},     // odd lengths
+      {{129}, 4, 48},       // long sequence crosses lane blocks
+  };
+  for (const Case& c : cases) {
+    std::vector<int> offsets;
+    int total = 0;
+    for (const int len : c.lengths) {
+      offsets.push_back(total);
+      total += len;
+    }
+    const int num_seqs = static_cast<int>(c.lengths.size());
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(c.dim / c.num_heads));
+    const size_t size = static_cast<size_t>(total) * c.dim;
+    const std::vector<float> q = RandomVec(size, &rng);
+    const std::vector<float> k = RandomVec(size, &rng);
+    const std::vector<float> v = RandomVec(size, &rng);
+    const std::vector<float> og = RandomVec(size, &rng);
+    std::vector<float> qg_s = RandomVec(size, &rng), qg_v = qg_s;
+    std::vector<float> kg_s = RandomVec(size, &rng), kg_v = kg_s;
+    std::vector<float> vg_s = RandomVec(size, &rng), vg_v = vg_s;
+    scalar->attention_backward_packed(q.data(), k.data(), v.data(), og.data(),
+                                      qg_s.data(), kg_s.data(), vg_s.data(),
+                                      offsets.data(), c.lengths.data(),
+                                      num_seqs, c.num_heads, c.dim, scale);
+    vec->attention_backward_packed(q.data(), k.data(), v.data(), og.data(),
+                                   qg_v.data(), kg_v.data(), vg_v.data(),
+                                   offsets.data(), c.lengths.data(), num_seqs,
+                                   c.num_heads, c.dim, scale);
+    // The recomputed softmax probabilities go through V::Exp, so (exactly
+    // like the forward) cross-level equality is epsilon-gated rather than
+    // bitwise.
+    ExpectAllNear(qg_s, qg_v);
+    ExpectAllNear(kg_s, kg_v);
+    ExpectAllNear(vg_s, vg_v);
+    // vg-only path (frozen q/k projections upstream).
+    std::vector<float> vg2_s = vg_s, vg2_v = vg_v;
+    scalar->attention_backward_packed(
+        q.data(), k.data(), v.data(), og.data(), nullptr, nullptr,
+        vg2_s.data(), offsets.data(), c.lengths.data(), num_seqs, c.num_heads,
+        c.dim, scale);
+    vec->attention_backward_packed(q.data(), k.data(), v.data(), og.data(),
+                                   nullptr, nullptr, vg2_v.data(),
+                                   offsets.data(), c.lengths.data(), num_seqs,
+                                   c.num_heads, c.dim, scale);
+    ExpectAllNear(vg2_s, vg2_v);
+  }
+}
+
 TEST(SimdParityTest, Int8GemmBitExactAcrossLevels) {
   const Kernels* vec = VectorTable();
   const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
@@ -342,6 +582,113 @@ TEST(LinearRowBiasTest, BackwardMatchesChain) {
   }
   for (int i = 0; i < ba.numel(); ++i) {
     ASSERT_EQ(ba.grad()[i], bb.grad()[i]) << "bias grad " << i;
+  }
+}
+
+// --- LinearRowBiasRelu ------------------------------------------------------
+
+TEST(LinearRowBiasReluTest, ForwardBitIdenticalToChain) {
+  util::Rng rng(57);
+  const nn::Tensor x = nn::Tensor::Xavier(13, 29, &rng);
+  const nn::Tensor w = nn::Tensor::Xavier(29, 11, &rng);
+  const nn::Tensor bias = nn::Tensor::Xavier(1, 11, &rng);
+  const nn::Tensor fused = LinearRowBiasRelu(x, w, bias);
+  const nn::Tensor chain = Relu(Add(MatMul(x, w), bias));
+  ASSERT_EQ(fused.rows(), chain.rows());
+  ASSERT_EQ(fused.cols(), chain.cols());
+  for (int i = 0; i < fused.numel(); ++i) {
+    ASSERT_EQ(fused.value()[i], chain.value()[i]) << "index " << i;
+  }
+}
+
+TEST(LinearRowBiasReluTest, BackwardMatchesChain) {
+  util::Rng rng(58);
+  const nn::Tensor x0 = nn::Tensor::Xavier(7, 19, &rng);
+  const nn::Tensor w0 = nn::Tensor::Xavier(19, 5, &rng);
+  const nn::Tensor b0 = nn::Tensor::Xavier(1, 5, &rng);
+  const nn::Tensor xa = nn::Tensor::FromVector(7, 19, x0.value(), true);
+  const nn::Tensor wa = nn::Tensor::FromVector(19, 5, w0.value(), true);
+  const nn::Tensor ba = nn::Tensor::FromVector(1, 5, b0.value(), true);
+  const nn::Tensor xb = nn::Tensor::FromVector(7, 19, x0.value(), true);
+  const nn::Tensor wb = nn::Tensor::FromVector(19, 5, w0.value(), true);
+  const nn::Tensor bb = nn::Tensor::FromVector(1, 5, b0.value(), true);
+  // Square the output so the upstream gradient is non-constant and signed:
+  // the ReLU gate then has to zero real values, not just ones.
+  Sum(Square(LinearRowBiasRelu(xa, wa, ba))).Backward();
+  Sum(Square(Relu(LinearRowBias(xb, wb, bb)))).Backward();
+  for (int i = 0; i < xa.numel(); ++i) {
+    ASSERT_EQ(xa.grad()[i], xb.grad()[i]) << "x grad " << i;
+  }
+  for (int i = 0; i < wa.numel(); ++i) {
+    ASSERT_EQ(wa.grad()[i], wb.grad()[i]) << "w grad " << i;
+  }
+  for (int i = 0; i < ba.numel(); ++i) {
+    ASSERT_EQ(ba.grad()[i], bb.grad()[i]) << "bias grad " << i;
+  }
+}
+
+// The fused node must also agree across dispatch levels (its backward
+// routes through bias_act_backward + the matmul backward kernels).
+TEST(LinearRowBiasReluTest, BitIdenticalScalarVsVector) {
+  SimdLevelGuard guard;
+  util::Rng rng(59);
+  const nn::Tensor x0 = nn::Tensor::Xavier(17, 23, &rng);
+  const nn::Tensor w0 = nn::Tensor::Xavier(23, 9, &rng);
+  const nn::Tensor b0 = nn::Tensor::Xavier(1, 9, &rng);
+  std::vector<float> value_by_level[2];
+  std::vector<float> xg_by_level[2];
+  const Level levels[2] = {nn::simd::HardwareLevel(), Level::kScalar};
+  for (int li = 0; li < 2; ++li) {
+    nn::simd::ForceLevel(levels[li]);
+    const nn::Tensor x = nn::Tensor::FromVector(17, 23, x0.value(), true);
+    const nn::Tensor w = nn::Tensor::FromVector(23, 9, w0.value(), true);
+    const nn::Tensor b = nn::Tensor::FromVector(1, 9, b0.value(), true);
+    const nn::Tensor out = LinearRowBiasRelu(x, w, b);
+    Sum(out).Backward();
+    value_by_level[li] = out.value();
+    xg_by_level[li] = x.grad();
+  }
+  for (size_t i = 0; i < value_by_level[0].size(); ++i) {
+    ASSERT_EQ(value_by_level[0][i], value_by_level[1][i]) << "value " << i;
+  }
+  for (size_t i = 0; i < xg_by_level[0].size(); ++i) {
+    ASSERT_EQ(xg_by_level[0][i], xg_by_level[1][i]) << "x grad " << i;
+  }
+}
+
+// --- Fused Adam update ------------------------------------------------------
+
+// adam_step is elementwise with correctly rounded ops only, so every level
+// must match the scalar reference bit for bit — parameter values, and both
+// moment buffers, across several update steps and both decay modes.
+TEST(SimdParityTest, AdamStepBitExact) {
+  const Kernels* vec = VectorTable();
+  const Kernels* scalar = nn::simd::TableFor(Level::kScalar);
+  util::Rng rng(60);
+  const float lr = 2e-3f, beta1 = 0.9f, beta2 = 0.999f, eps = 1e-8f;
+  for (const int n : {1, 5, 17, 129, 1000}) {
+    for (const float weight_decay : {0.0f, 0.01f}) {
+      std::vector<float> value_s = RandomVec(n, &rng);
+      std::vector<float> m_s = RandomVec(n, &rng, 0.1f);
+      std::vector<float> v_s(n);
+      for (int i = 0; i < n; ++i) v_s[i] = rng.Uniform() * 0.01f;
+      std::vector<float> value_v = value_s, m_v = m_s, v_v = v_s;
+      for (int step = 1; step <= 3; ++step) {
+        const std::vector<float> grad = RandomVec(n, &rng);
+        const float bias1 = 1.0f - std::pow(beta1, static_cast<float>(step));
+        const float bias2 = 1.0f - std::pow(beta2, static_cast<float>(step));
+        scalar->adam_step(value_s.data(), grad.data(), m_s.data(), v_s.data(),
+                          n, lr, beta1, beta2, eps, bias1, bias2,
+                          weight_decay);
+        vec->adam_step(value_v.data(), grad.data(), m_v.data(), v_v.data(), n,
+                       lr, beta1, beta2, eps, bias1, bias2, weight_decay);
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(value_s[i], value_v[i]) << "value " << i;
+          ASSERT_EQ(m_s[i], m_v[i]) << "m " << i;
+          ASSERT_EQ(v_s[i], v_v[i]) << "v " << i;
+        }
+      }
+    }
   }
 }
 
